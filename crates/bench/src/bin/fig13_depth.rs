@@ -1,0 +1,29 @@
+//! Figure 13: restriction-zone-aware critical-path (depth) pulses
+//! under Baseline, OptiMap, and Geyser.
+
+use geyser::Technique;
+use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.pipeline_config();
+    let mut rows = Vec::new();
+    for spec in cli.selected_workloads(false) {
+        let program = cli.build(&spec);
+        let compiled =
+            compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg);
+        let baseline = compiled[0].1.depth_pulses() as f64;
+        for (t, c) in &compiled {
+            rows.push(Row {
+                workload: spec.name.to_string(),
+                technique: t.label().to_string(),
+                metrics: metrics(&[
+                    ("depth_pulses", c.depth_pulses() as f64),
+                    ("vs_baseline", c.depth_pulses() as f64 / baseline.max(1.0)),
+                ]),
+            });
+        }
+    }
+    print_rows("Figure 13: critical-path pulses (lower is better)", &rows);
+    maybe_write_json(&cli, &rows);
+}

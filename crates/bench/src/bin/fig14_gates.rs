@@ -1,0 +1,29 @@
+//! Figure 14 (a/b/c): U3, CZ, and CCZ gate counts under Baseline,
+//! OptiMap, and Geyser. Only Geyser introduces CCZ gates.
+
+use geyser::Technique;
+use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.pipeline_config();
+    let mut rows = Vec::new();
+    for spec in cli.selected_workloads(false) {
+        let program = cli.build(&spec);
+        for (t, c) in compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg)
+        {
+            let counts = c.gate_counts();
+            rows.push(Row {
+                workload: spec.name.to_string(),
+                technique: t.label().to_string(),
+                metrics: metrics(&[
+                    ("u3_gates", counts.u3 as f64),
+                    ("cz_gates", counts.cz as f64),
+                    ("ccz_gates", counts.ccz as f64),
+                ]),
+            });
+        }
+    }
+    print_rows("Figure 14: gate counts by type", &rows);
+    maybe_write_json(&cli, &rows);
+}

@@ -1,0 +1,38 @@
+//! Figure 15: TVD to the ideal output under the default 0.1% noise
+//! for Baseline, OptiMap, and Geyser.
+
+use geyser::{evaluate_tvd, Technique};
+use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_sim::NoiseModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.pipeline_config();
+    let noise = NoiseModel::symmetric(cli.noise);
+    let mut rows = Vec::new();
+    for spec in cli.selected_workloads(true) {
+        let program = cli.build(&spec);
+        for (t, c) in compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg)
+        {
+            let report = evaluate_tvd(&c, &program, &noise, cli.trajectories, cli.seed);
+            rows.push(Row {
+                workload: spec.name.to_string(),
+                technique: t.label().to_string(),
+                metrics: metrics(&[
+                    ("tvd", report.tvd_to_ideal),
+                    ("compilation_tvd", report.compilation_tvd),
+                    ("pulses", c.total_pulses() as f64),
+                ]),
+            });
+        }
+    }
+    print_rows(
+        &format!(
+            "Figure 15: TVD to ideal output @ {:.2}% noise ({} trajectories)",
+            cli.noise * 100.0,
+            cli.trajectories
+        ),
+        &rows,
+    );
+    maybe_write_json(&cli, &rows);
+}

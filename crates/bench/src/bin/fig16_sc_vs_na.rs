@@ -1,0 +1,36 @@
+//! Figure 16: TVD of circuits run on superconducting qubits (square
+//! lattice, no CCZ) versus neutral atoms with Geyser, same noise.
+
+use geyser::{evaluate_tvd, Technique};
+use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_sim::NoiseModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.pipeline_config();
+    let noise = NoiseModel::symmetric(cli.noise);
+    let techniques = [Technique::Superconducting, Technique::Geyser];
+    let mut rows = Vec::new();
+    for spec in cli.selected_workloads(true) {
+        let program = cli.build(&spec);
+        for (t, c) in compile_techniques(&cli, spec.name, &program, &techniques, &cfg) {
+            let report = evaluate_tvd(&c, &program, &noise, cli.trajectories, cli.seed);
+            rows.push(Row {
+                workload: spec.name.to_string(),
+                technique: t.label().to_string(),
+                metrics: metrics(&[
+                    ("tvd", report.tvd_to_ideal),
+                    ("pulses", c.total_pulses() as f64),
+                ]),
+            });
+        }
+    }
+    print_rows(
+        &format!(
+            "Figure 16: superconducting vs neutral-atom Geyser @ {:.2}% noise",
+            cli.noise * 100.0
+        ),
+        &rows,
+    );
+    maybe_write_json(&cli, &rows);
+}

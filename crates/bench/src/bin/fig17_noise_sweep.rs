@@ -1,0 +1,33 @@
+//! Figure 17: the Figure-15 TVD comparison repeated at 0.05% and 0.5%
+//! error rates (plus the default 0.1% for reference).
+
+use geyser::{evaluate_tvd, Technique};
+use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_sim::NoiseModel;
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.pipeline_config();
+    let mut rows = Vec::new();
+    for spec in cli.selected_workloads(true) {
+        let program = cli.build(&spec);
+        let compiled =
+            compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg);
+        for rate in [0.0005, 0.001, 0.005] {
+            let noise = NoiseModel::symmetric(rate);
+            for (t, c) in &compiled {
+                let report = evaluate_tvd(c, &program, &noise, cli.trajectories, cli.seed);
+                rows.push(Row {
+                    workload: format!("{}@{:.2}%", spec.name, rate * 100.0),
+                    technique: t.label().to_string(),
+                    metrics: metrics(&[("tvd", report.tvd_to_ideal)]),
+                });
+            }
+        }
+    }
+    print_rows(
+        "Figure 17: TVD across error rates (0.05% / 0.1% / 0.5%)",
+        &rows,
+    );
+    maybe_write_json(&cli, &rows);
+}

@@ -1,0 +1,29 @@
+//! Table 1: benchmark characteristics of the Baseline circuits —
+//! qubits, U3/CZ gate counts, total pulses, and depth pulses.
+
+use geyser::{compile, Technique};
+use geyser_bench::{maybe_write_json, metrics, print_rows, Cli, Row};
+
+fn main() {
+    let cli = Cli::parse();
+    let cfg = cli.pipeline_config();
+    let mut rows = Vec::new();
+    for spec in cli.selected_workloads(false) {
+        let program = cli.build(&spec);
+        let compiled = compile(&program, Technique::Baseline, &cfg);
+        let counts = compiled.gate_counts();
+        rows.push(Row {
+            workload: spec.name.to_string(),
+            technique: "Baseline".to_string(),
+            metrics: metrics(&[
+                ("qubits", spec.num_qubits as f64),
+                ("u3_gates", counts.u3 as f64),
+                ("cz_gates", counts.cz as f64),
+                ("total_pulses", compiled.total_pulses() as f64),
+                ("depth_pulses", compiled.depth_pulses() as f64),
+            ]),
+        });
+    }
+    print_rows("Table 1: Baseline benchmark characteristics", &rows);
+    maybe_write_json(&cli, &rows);
+}

@@ -1,0 +1,222 @@
+//! On-disk compilation cache.
+//!
+//! The Geyser technique's composition search is by far the most
+//! expensive stage (minutes for the 16-qubit Heisenberg workload on
+//! one core), and every figure binary needs the same compiled
+//! circuits. This cache persists each `(workload, technique, seed,
+//! budget)` compilation as JSON under `.geyser-cache/` so the full
+//! figure suite compiles everything exactly once.
+
+use std::path::PathBuf;
+
+use geyser::{compile, CompiledCircuit, PipelineConfig, Technique};
+use geyser_circuit::Circuit;
+use geyser_compose::CompositionStats;
+use geyser_map::{Layout, MappedCircuit};
+use geyser_topology::{Lattice, LatticeKind};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct CachedStats {
+    blocks_total: usize,
+    blocks_eligible: usize,
+    blocks_composed: usize,
+    pulses_before: u64,
+    pulses_after: u64,
+    max_accepted_hsd: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CachedCompile {
+    lattice_kind: String,
+    rows: usize,
+    cols: usize,
+    circuit: Circuit,
+    initial_node_of: Vec<usize>,
+    final_node_of: Vec<usize>,
+    num_logical: usize,
+    swaps: usize,
+    stats: Option<CachedStats>,
+}
+
+/// FNV-1a fingerprint of a circuit's debug form — changes whenever the
+/// workload generator's output changes, invalidating stale entries.
+fn fingerprint(program: &Circuit) -> u64 {
+    let text = format!("{program:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn cache_path(name: &str, technique: Technique, cfg_tag: &str, fp: u64) -> PathBuf {
+    PathBuf::from(".geyser-cache").join(format!(
+        "{name}-{}-{cfg_tag}-{fp:016x}.json",
+        technique.label().to_lowercase()
+    ))
+}
+
+fn rebuild_lattice(kind: &str, rows: usize, cols: usize) -> Option<Lattice> {
+    match kind {
+        "triangular" => Some(Lattice::triangular(rows, cols)),
+        "square" => Some(Lattice::square(rows, cols)),
+        "square_diagonal" => Some(Lattice::square_diagonal(rows, cols)),
+        _ => None,
+    }
+}
+
+fn lattice_kind_tag(kind: LatticeKind) -> &'static str {
+    match kind {
+        LatticeKind::Triangular => "triangular",
+        LatticeKind::Square => "square",
+        LatticeKind::SquareDiagonal => "square_diagonal",
+    }
+}
+
+fn to_cached(compiled: &CompiledCircuit) -> CachedCompile {
+    let mapped = compiled.mapped();
+    let lattice = mapped.lattice();
+    CachedCompile {
+        lattice_kind: lattice_kind_tag(lattice.kind()).to_string(),
+        rows: lattice.rows(),
+        cols: lattice.cols(),
+        circuit: mapped.circuit().clone(),
+        initial_node_of: (0..mapped.num_logical())
+            .map(|q| mapped.initial_layout().node_of(q))
+            .collect(),
+        final_node_of: (0..mapped.num_logical())
+            .map(|q| mapped.final_layout().node_of(q))
+            .collect(),
+        num_logical: mapped.num_logical(),
+        swaps: mapped.swaps_inserted(),
+        stats: compiled.composition_stats().map(|s| CachedStats {
+            blocks_total: s.blocks_total,
+            blocks_eligible: s.blocks_eligible,
+            blocks_composed: s.blocks_composed,
+            pulses_before: s.pulses_before,
+            pulses_after: s.pulses_after,
+            max_accepted_hsd: s.max_accepted_hsd,
+        }),
+    }
+}
+
+fn from_cached(cached: CachedCompile, technique: Technique) -> Option<CompiledCircuit> {
+    let lattice = rebuild_lattice(&cached.lattice_kind, cached.rows, cached.cols)?;
+    if cached.circuit.num_qubits() != lattice.num_nodes() {
+        return None;
+    }
+    let initial = Layout::from_assignment(cached.initial_node_of, lattice.num_nodes());
+    let final_l = Layout::from_assignment(cached.final_node_of, lattice.num_nodes());
+    let mapped = MappedCircuit::from_parts(
+        cached.circuit,
+        lattice,
+        initial,
+        final_l,
+        cached.num_logical,
+        cached.swaps,
+    );
+    let stats = cached.stats.map(|s| CompositionStats {
+        blocks_total: s.blocks_total,
+        blocks_eligible: s.blocks_eligible,
+        blocks_composed: s.blocks_composed,
+        pulses_before: s.pulses_before,
+        pulses_after: s.pulses_after,
+        max_accepted_hsd: s.max_accepted_hsd,
+    });
+    Some(CompiledCircuit::from_parts(technique, mapped, stats))
+}
+
+/// Compiles through the on-disk cache: returns the cached compilation
+/// when one exists for this exact `(workload, technique, config,
+/// program)` tuple; otherwise compiles and stores the result.
+///
+/// Cache corruption or version skew degrades gracefully to a fresh
+/// compile. `cfg_tag` should encode everything that affects the
+/// output (seed, fast/paper budget, workload parameter overrides).
+pub fn compile_cached(
+    name: &str,
+    program: &Circuit,
+    technique: Technique,
+    cfg: &PipelineConfig,
+    cfg_tag: &str,
+) -> CompiledCircuit {
+    let fp = fingerprint(program);
+    let path = cache_path(name, technique, cfg_tag, fp);
+    if let Ok(body) = std::fs::read_to_string(&path) {
+        if let Ok(cached) = serde_json::from_str::<CachedCompile>(&body) {
+            if let Some(compiled) = from_cached(cached, technique) {
+                return compiled;
+            }
+        }
+    }
+    let compiled = compile(program, technique, cfg);
+    let _ = std::fs::create_dir_all(".geyser-cache");
+    if let Ok(body) = serde_json::to_string(&to_cached(&compiled)) {
+        let _ = std::fs::write(&path, body);
+    }
+    compiled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).t(2);
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_metrics() {
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        for technique in [
+            Technique::Baseline,
+            Technique::Geyser,
+            Technique::Superconducting,
+        ] {
+            let direct = compile(&program, technique, &cfg);
+            let cached = to_cached(&direct);
+            let body = serde_json::to_string(&cached).unwrap();
+            let back: CachedCompile = serde_json::from_str(&body).unwrap();
+            let rebuilt = from_cached(back, technique).expect("rebuild succeeds");
+            assert_eq!(rebuilt.total_pulses(), direct.total_pulses());
+            assert_eq!(rebuilt.depth_pulses(), direct.depth_pulses());
+            assert_eq!(rebuilt.gate_counts(), direct.gate_counts());
+            assert_eq!(
+                rebuilt.composition_stats().is_some(),
+                direct.composition_stats().is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_programs() {
+        let a = sample_program();
+        let mut b = sample_program();
+        b.h(2);
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), fingerprint(&sample_program()));
+    }
+
+    #[test]
+    fn cache_files_round_trip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("geyser-cache-test-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let first = compile_cached("t", &program, Technique::OptiMap, &cfg, "test");
+        let second = compile_cached("t", &program, Technique::OptiMap, &cfg, "test");
+        assert_eq!(first.total_pulses(), second.total_pulses());
+        assert!(dir.join(".geyser-cache").exists());
+
+        std::env::set_current_dir(old).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

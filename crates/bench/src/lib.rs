@@ -1,0 +1,272 @@
+//! Shared harness for the evaluation binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). They share the CLI, the
+//! workload registry, the compile-all-techniques driver, and the
+//! table/JSON emitters defined here.
+//!
+//! Common flags (all binaries):
+//!
+//! * `--fast` — reduced composition budget (smoke runs, CI)
+//! * `--workloads a,b,c` — filter to specific suite rows
+//! * `--trajectories N` — Monte-Carlo trajectories for TVD runs
+//! * `--noise R` — error rate (e.g. `0.001` for the paper's 0.1%)
+//! * `--seed N` — master seed
+//! * `--include-large` — include the 16-qubit Heisenberg in TVD runs
+//! * `--steps N` — Trotter steps for Heisenberg (paper scale: 37)
+//! * `--json PATH` — also dump rows as JSON
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+
+use std::collections::BTreeMap;
+
+pub use cache::compile_cached;
+use geyser::{CompiledCircuit, PipelineConfig, Technique};
+use geyser_circuit::Circuit;
+use geyser_workloads::{heisenberg, suite, WorkloadSpec};
+use serde::Serialize;
+
+/// Parsed command-line options shared by all figure binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Use the reduced-budget pipeline configuration.
+    pub fast: bool,
+    /// Workload-name filter (empty = whole suite).
+    pub workloads: Vec<String>,
+    /// Monte-Carlo trajectories for noisy simulation.
+    pub trajectories: usize,
+    /// Error rate per channel invocation.
+    pub noise: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Include >10-qubit workloads in TVD experiments.
+    pub include_large: bool,
+    /// Heisenberg Trotter-step override.
+    pub steps: Option<usize>,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            fast: false,
+            workloads: Vec::new(),
+            trajectories: 400,
+            noise: 0.001,
+            seed: 0,
+            include_large: false,
+            steps: None,
+            json: None,
+        }
+    }
+}
+
+impl Cli {
+    /// Parses `std::env::args`, panicking with a usage message on
+    /// malformed input.
+    pub fn parse() -> Self {
+        let mut cli = Cli::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            let mut value = |name: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--fast" => cli.fast = true,
+                "--include-large" => cli.include_large = true,
+                "--workloads" => {
+                    cli.workloads = value("--workloads")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .collect();
+                }
+                "--trajectories" => {
+                    cli.trajectories = value("--trajectories").parse().expect("integer")
+                }
+                "--noise" => cli.noise = value("--noise").parse().expect("float"),
+                "--seed" => cli.seed = value("--seed").parse().expect("integer"),
+                "--steps" => cli.steps = Some(value("--steps").parse().expect("integer")),
+                "--json" => cli.json = Some(value("--json")),
+                other => panic!("unknown flag {other}; see crate docs for usage"),
+            }
+        }
+        cli
+    }
+
+    /// The pipeline configuration implied by the flags.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let base = if self.fast {
+            PipelineConfig::fast()
+        } else {
+            PipelineConfig::paper()
+        };
+        base.with_seed(self.seed)
+    }
+
+    /// Suite rows selected by the flags. TVD experiments pass
+    /// `simulable_only = true` to drop >10-qubit rows unless
+    /// `--include-large` is given.
+    pub fn selected_workloads(&self, simulable_only: bool) -> Vec<WorkloadSpec> {
+        suite()
+            .into_iter()
+            .filter(|spec| {
+                (self.workloads.is_empty() || self.workloads.iter().any(|w| w == spec.name))
+                    && (!simulable_only || self.include_large || spec.num_qubits <= 10)
+            })
+            .collect()
+    }
+
+    /// Tag encoding every flag that affects compilation output, used
+    /// as part of the on-disk cache key.
+    pub fn config_tag(&self) -> String {
+        format!(
+            "s{}-{}-st{}",
+            self.seed,
+            if self.fast { "fast" } else { "paper" },
+            self.steps
+                .map_or_else(|| "d".to_string(), |s| s.to_string())
+        )
+    }
+
+    /// Builds a workload, honouring the Heisenberg step override.
+    pub fn build(&self, spec: &WorkloadSpec) -> Circuit {
+        match (spec.name, self.steps) {
+            ("heisenberg-16", Some(steps)) => heisenberg(16, steps, 0.1),
+            _ => spec.build(),
+        }
+    }
+}
+
+/// One (workload × technique) measurement row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Workload name.
+    pub workload: String,
+    /// Technique label.
+    pub technique: String,
+    /// Named metric values, insertion-ordered by BTreeMap key.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Compiles one workload with every requested technique, going
+/// through the on-disk cache so repeated figure runs pay for each
+/// compilation once.
+pub fn compile_techniques(
+    cli: &Cli,
+    name: &str,
+    program: &Circuit,
+    techniques: &[Technique],
+    cfg: &PipelineConfig,
+) -> Vec<(Technique, CompiledCircuit)> {
+    let tag = cli.config_tag();
+    techniques
+        .iter()
+        .map(|&t| (t, compile_cached(name, program, t, cfg, &tag)))
+        .collect()
+}
+
+/// Renders rows as an aligned text table on stdout.
+pub fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let metric_names: Vec<&String> = rows[0].metrics.keys().collect();
+    print!("{:<16} {:<10}", "workload", "technique");
+    for m in &metric_names {
+        print!(" {:>14}", m);
+    }
+    println!();
+    for row in rows {
+        print!("{:<16} {:<10}", row.workload, row.technique);
+        for m in &metric_names {
+            let v = row.metrics[*m];
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                print!(" {:>14}", v as i64);
+            } else {
+                print!(" {:>14.4}", v);
+            }
+        }
+        println!();
+    }
+}
+
+/// Writes rows to the `--json` path if one was given.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn maybe_write_json(cli: &Cli, rows: &[Row]) {
+    if let Some(path) = &cli.json {
+        let body = serde_json::to_string_pretty(rows).expect("rows serialize");
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
+    }
+}
+
+/// Convenience constructor for a metrics map.
+pub fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+    pairs.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_selects_full_suite() {
+        let cli = Cli::default();
+        assert_eq!(cli.selected_workloads(false).len(), 10);
+        // TVD-mode drops the 16-qubit row.
+        assert_eq!(cli.selected_workloads(true).len(), 9);
+    }
+
+    #[test]
+    fn include_large_restores_heisenberg() {
+        let cli = Cli {
+            include_large: true,
+            ..Cli::default()
+        };
+        assert_eq!(cli.selected_workloads(true).len(), 10);
+    }
+
+    #[test]
+    fn workload_filter_applies() {
+        let cli = Cli {
+            workloads: vec!["qft-5".into(), "adder-4".into()],
+            ..Cli::default()
+        };
+        let rows = cli.selected_workloads(false);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn steps_override_changes_heisenberg_depth() {
+        let spec = suite()
+            .into_iter()
+            .find(|s| s.name == "heisenberg-16")
+            .unwrap();
+        let small = Cli {
+            steps: Some(1),
+            ..Cli::default()
+        };
+        let big = Cli {
+            steps: Some(2),
+            ..Cli::default()
+        };
+        assert!(small.build(&spec).len() < big.build(&spec).len());
+    }
+
+    #[test]
+    fn metrics_helper_builds_map() {
+        let m = metrics(&[("a", 1.0), ("b", 2.5)]);
+        assert_eq!(m["a"], 1.0);
+        assert_eq!(m["b"], 2.5);
+    }
+}

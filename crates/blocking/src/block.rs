@@ -1,0 +1,245 @@
+//! Block, round, and blocked-circuit data structures.
+
+use geyser_circuit::Circuit;
+
+/// A self-contained group of operations on a small qubit set.
+///
+/// Triangle blocks (`is_triangle() == true`) cover three mutually
+/// adjacent lattice nodes and are candidates for CCZ-based
+/// composition. Passthrough blocks carry operations that could not be
+/// placed in any triangle (e.g. on degenerate lattices); they are
+/// re-emitted unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    qubits: Vec<usize>,
+    op_indices: Vec<usize>,
+    is_triangle: bool,
+}
+
+impl Block {
+    /// Creates a block over `qubits` covering the given source-circuit
+    /// operation indices (ascending program order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_indices` is empty or not strictly ascending.
+    pub fn new(qubits: Vec<usize>, op_indices: Vec<usize>, is_triangle: bool) -> Self {
+        assert!(!op_indices.is_empty(), "block must cover operations");
+        assert!(
+            op_indices.windows(2).all(|w| w[0] < w[1]),
+            "operation indices must be strictly ascending"
+        );
+        Block {
+            qubits,
+            op_indices,
+            is_triangle,
+        }
+    }
+
+    /// The lattice nodes this block engages (sorted for triangles).
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// Indices into the source circuit, in program order.
+    pub fn op_indices(&self) -> &[usize] {
+        &self.op_indices
+    }
+
+    /// Whether the block is a three-qubit triangle (composable).
+    pub fn is_triangle(&self) -> bool {
+        self.is_triangle
+    }
+
+    /// Number of operations covered.
+    pub fn num_ops(&self) -> usize {
+        self.op_indices.len()
+    }
+
+    /// Total pulses of the covered operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range for `source`.
+    pub fn pulses(&self, source: &Circuit) -> u64 {
+        self.op_indices
+            .iter()
+            .map(|&i| source.ops()[i].pulses() as u64)
+            .sum()
+    }
+
+    /// Extracts the block as a standalone circuit over local qubits
+    /// `0..qubits.len()`, with `qubits()[k] → k`. Returns the local
+    /// circuit; the mapping back is [`Block::qubits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operation touches a qubit outside the block.
+    pub fn subcircuit(&self, source: &Circuit) -> Circuit {
+        let mut local = Circuit::new(self.qubits.len());
+        for &i in &self.op_indices {
+            let op = &source.ops()[i];
+            local.push(op.remapped(|q| {
+                self.qubits
+                    .iter()
+                    .position(|&b| b == q)
+                    .expect("operation escapes block qubits")
+            }));
+        }
+        local
+    }
+}
+
+/// A set of blocks whose restriction zones are mutually compatible —
+/// they execute concurrently.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Round {
+    blocks: Vec<Block>,
+}
+
+impl Round {
+    /// Creates a round from blocks (compatibility is the algorithm's
+    /// responsibility and is asserted in debug builds there).
+    pub fn new(blocks: Vec<Block>) -> Self {
+        Round { blocks }
+    }
+
+    /// The blocks of this round.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Total operations across the round's blocks.
+    pub fn num_ops(&self) -> usize {
+        self.blocks.iter().map(Block::num_ops).sum()
+    }
+}
+
+/// The result of blocking: the source circuit partitioned into rounds
+/// of parallel blocks.
+#[derive(Debug, Clone)]
+pub struct BlockedCircuit {
+    source: Circuit,
+    rounds: Vec<Round>,
+}
+
+impl BlockedCircuit {
+    /// Assembles a blocked circuit (used by the blocking algorithm).
+    pub fn new(source: Circuit, rounds: Vec<Round>) -> Self {
+        BlockedCircuit { source, rounds }
+    }
+
+    /// The original circuit the blocks index into.
+    pub fn source(&self) -> &Circuit {
+        &self.source
+    }
+
+    /// Rounds in execution order.
+    pub fn rounds(&self) -> &[Round] {
+        &self.rounds
+    }
+
+    /// Iterates over all blocks across rounds.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> {
+        self.rounds.iter().flat_map(|r| r.blocks().iter())
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.rounds.iter().map(|r| r.blocks().len()).sum()
+    }
+
+    /// Number of triangle (composable) blocks.
+    pub fn num_triangle_blocks(&self) -> usize {
+        self.blocks().filter(|b| b.is_triangle()).count()
+    }
+
+    /// Total operations covered by all blocks.
+    pub fn num_ops_covered(&self) -> usize {
+        self.rounds.iter().map(Round::num_ops).sum()
+    }
+
+    /// Mean operations per block (0 when there are no blocks).
+    pub fn mean_block_size(&self) -> f64 {
+        if self.num_blocks() == 0 {
+            0.0
+        } else {
+            self.num_ops_covered() as f64 / self.num_blocks() as f64
+        }
+    }
+
+    /// Re-emits the blocked circuit as a flat circuit: rounds in
+    /// order, blocks within a round in order, operations within a
+    /// block in program order. This is a valid dependency-preserving
+    /// reordering of the source circuit.
+    pub fn reassemble(&self) -> Circuit {
+        let mut out = Circuit::new(self.source.num_qubits());
+        for round in &self.rounds {
+            for block in round.blocks() {
+                for &i in block.op_indices() {
+                    out.push(self.source.ops()[i].clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).cz(1, 2).h(2).cz(2, 3);
+        c
+    }
+
+    #[test]
+    fn block_accessors() {
+        let c = sample_circuit();
+        let b = Block::new(vec![0, 1, 2], vec![0, 1, 2], true);
+        assert_eq!(b.num_ops(), 3);
+        assert!(b.is_triangle());
+        assert_eq!(b.pulses(&c), 1 + 3 + 3);
+    }
+
+    #[test]
+    fn subcircuit_remaps_to_local_qubits() {
+        let c = sample_circuit();
+        let b = Block::new(vec![1, 2, 3], vec![2, 3, 4], true);
+        let local = b.subcircuit(&c);
+        assert_eq!(local.num_qubits(), 3);
+        // cz(1,2) → cz(0,1); h(2) → h(1); cz(2,3) → cz(1,2).
+        assert_eq!(local.ops()[0].qubits(), &[0, 1]);
+        assert_eq!(local.ops()[1].qubits(), &[1]);
+        assert_eq!(local.ops()[2].qubits(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes block qubits")]
+    fn subcircuit_rejects_escaping_ops() {
+        let c = sample_circuit();
+        let b = Block::new(vec![0, 1], vec![2], false); // cz(1,2) ⊄ {0,1}
+        let _ = b.subcircuit(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_indices_panic() {
+        let _ = Block::new(vec![0], vec![2, 1], false);
+    }
+
+    #[test]
+    fn reassemble_concatenates_rounds() {
+        let c = sample_circuit();
+        let r1 = Round::new(vec![Block::new(vec![0, 1, 2], vec![0, 1, 2, 3], true)]);
+        let r2 = Round::new(vec![Block::new(vec![2, 3], vec![4], false)]);
+        let blocked = BlockedCircuit::new(c.clone(), vec![r1, r2]);
+        assert_eq!(blocked.num_blocks(), 2);
+        assert_eq!(blocked.num_triangle_blocks(), 1);
+        assert_eq!(blocked.num_ops_covered(), 5);
+        assert_eq!(blocked.reassemble().ops(), c.ops());
+        assert!((blocked.mean_block_size() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dependency analysis: ASAP layering and pulse-weighted critical path.
+//!
+//! Two operations depend on each other iff they share a qubit; the
+//! circuit's program order then induces a DAG. The paper's
+//! "depth pulses" metric (Fig. 13, Table 1) is the longest path through
+//! this DAG with each node weighted by its pulse cost. (The restriction-
+//! zone-aware variant additionally serializes operations whose zones
+//! overlap; that scheduler lives in `geyser-map` because it needs the
+//! physical layout.)
+
+use crate::Circuit;
+
+/// Explicit dependency DAG over a circuit's operations.
+///
+/// Node `i` corresponds to `circuit.ops()[i]`. Edges point from an
+/// operation to the next operation on each of its qubits.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::{Circuit, DependencyDag};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cz(0, 1).h(1);
+/// let dag = DependencyDag::build(&c);
+/// assert_eq!(dag.predecessors(1), &[0]);
+/// assert_eq!(dag.successors(1), &[2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DependencyDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl DependencyDag {
+    /// Builds the dependency DAG for `circuit`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        // Last operation index seen per qubit.
+        let mut last: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, op) in circuit.iter().enumerate() {
+            for &q in op.qubits() {
+                if let Some(p) = last[q] {
+                    // Avoid duplicate edges when two ops share >1 qubit.
+                    if !succs[p].contains(&i) {
+                        succs[p].push(i);
+                        preds[i].push(p);
+                    }
+                }
+                last[q] = Some(i);
+            }
+        }
+        DependencyDag { preds, succs }
+    }
+
+    /// Direct predecessors of operation `i`.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of operation `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+/// Partitions operations into ASAP (as-soon-as-possible) layers:
+/// operation `i` is placed in layer `1 + max(layer of predecessors)`.
+///
+/// Operations within one layer act on disjoint qubits and could execute
+/// concurrently on hardware with no restriction-zone conflicts.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::{asap_layers, Circuit};
+/// let mut c = Circuit::new(3);
+/// c.h(0).h(1).cz(0, 1).h(2);
+/// let layers = asap_layers(&c);
+/// assert_eq!(layers[0], vec![0, 1, 3]); // h q0, h q1, h q2 concurrent
+/// assert_eq!(layers[1], vec![2]);       // cz waits for both h gates
+/// ```
+pub fn asap_layers(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let mut layer_of = vec![0usize; circuit.len()];
+    let mut qubit_layer = vec![0usize; circuit.num_qubits()];
+    let mut max_layer = 0;
+    for (i, op) in circuit.iter().enumerate() {
+        let l = op
+            .qubits()
+            .iter()
+            .map(|&q| qubit_layer[q])
+            .max()
+            .unwrap_or(0);
+        layer_of[i] = l;
+        for &q in op.qubits() {
+            qubit_layer[q] = l + 1;
+        }
+        max_layer = max_layer.max(l);
+    }
+    let mut layers = vec![Vec::new(); if circuit.is_empty() { 0 } else { max_layer + 1 }];
+    for (i, &l) in layer_of.iter().enumerate() {
+        layers[l].push(i);
+    }
+    layers
+}
+
+/// Pulse-weighted critical path length (paper's "depth pulses").
+///
+/// Each operation occupies its qubits for [`crate::Operation::pulses`]
+/// time units; the returned value is the earliest time at which all
+/// qubits are free after executing the whole circuit.
+pub fn critical_path_pulses(circuit: &Circuit) -> u64 {
+    let mut qubit_free_at = vec![0u64; circuit.num_qubits()];
+    let mut makespan = 0u64;
+    for op in circuit.iter() {
+        let start = op
+            .qubits()
+            .iter()
+            .map(|&q| qubit_free_at[q])
+            .max()
+            .unwrap_or(0);
+        let end = start + op.pulses() as u64;
+        for &q in op.qubits() {
+            qubit_free_at[q] = end;
+        }
+        makespan = makespan.max(end);
+    }
+    makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn dag_edges_follow_shared_qubits() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).cz(1, 2).h(0);
+        let dag = DependencyDag::build(&c);
+        assert_eq!(dag.len(), 4);
+        assert!(dag.predecessors(0).is_empty());
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.predecessors(3), &[1]);
+        assert_eq!(dag.successors(1), &[2, 3]);
+    }
+
+    #[test]
+    fn dag_deduplicates_multi_qubit_edges() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(0, 1);
+        let dag = DependencyDag::build(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn layers_of_parallel_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        let layers = asap_layers(&c);
+        assert_eq!(layers.len(), 1);
+        assert_eq!(layers[0].len(), 4);
+    }
+
+    #[test]
+    fn layers_of_serial_chain() {
+        let mut c = Circuit::new(1);
+        c.h(0).x(0).z(0);
+        let layers = asap_layers(&c);
+        assert_eq!(layers.len(), 3);
+        for (i, l) in layers.iter().enumerate() {
+            assert_eq!(l, &vec![i]);
+        }
+    }
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        assert!(asap_layers(&Circuit::new(3)).is_empty());
+        assert_eq!(critical_path_pulses(&Circuit::new(3)), 0);
+    }
+
+    #[test]
+    fn critical_path_weights_by_pulses() {
+        // q0: H (1 pulse) then CZ (3) => 4
+        // q1: CZ (3) then CCZ? no — keep simple two-qubit case.
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1).h(1);
+        // h0 ends at 1; cz spans [1,4); h1 spans [4,5).
+        assert_eq!(critical_path_pulses(&c), 5);
+    }
+
+    #[test]
+    fn parallel_branches_take_max() {
+        let mut c = Circuit::new(4);
+        // Branch A: 3 single-qubit pulses on q0.
+        c.h(0).h(0).h(0);
+        // Branch B: one CZ = 3 pulses on q2,q3.
+        c.cz(2, 3);
+        assert_eq!(critical_path_pulses(&c), 3);
+        // Total pulses is additive though.
+        assert_eq!(c.total_pulses(), 6);
+    }
+
+    #[test]
+    fn ccz_weighs_five() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        assert_eq!(critical_path_pulses(&c), 5);
+    }
+
+    #[test]
+    fn depth_pulses_never_exceeds_total() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).ccz(0, 1, 2).h(2).cz(1, 2);
+        assert!(c.depth_pulses() <= c.total_pulses());
+    }
+}

@@ -1,0 +1,120 @@
+//! ASCII circuit diagrams.
+//!
+//! Renders a circuit as one text row per qubit with gates placed in
+//! their ASAP layers — the standard wire-diagram view, for examples,
+//! debugging, and documentation.
+
+use crate::{asap_layers, Circuit, Gate};
+
+/// Width of one diagram column in characters.
+const CELL: usize = 5;
+
+/// Short cell label for a gate (≤ 3 chars to fit the column).
+fn gate_label(g: &Gate) -> String {
+    match g {
+        Gate::U3 { .. } => "U3".to_string(),
+        Gate::RX(_) => "RX".to_string(),
+        Gate::RY(_) => "RY".to_string(),
+        Gate::RZ(_) => "RZ".to_string(),
+        Gate::Phase(_) => "P".to_string(),
+        Gate::CPhase(_) => "CP".to_string(),
+        other => other.name().to_uppercase(),
+    }
+}
+
+/// Renders a wire diagram of the circuit.
+///
+/// Single-qubit gates show as boxed labels, multi-qubit gates as
+/// labels on the first qubit with `#` connectors on the partners;
+/// empty stretches are wire (`─`).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::{draw, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let art = draw(&c);
+/// assert!(art.contains("[H ]") || art.contains("[H]"));
+/// assert!(art.lines().count() == 2);
+/// ```
+pub fn draw(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    let layers = asap_layers(circuit);
+    let cols = layers.len();
+    // grid[q][layer] = cell text (without padding).
+    let mut grid: Vec<Vec<String>> = vec![vec![String::new(); cols]; n];
+    for (l, layer) in layers.iter().enumerate() {
+        for &op_idx in layer {
+            let op = &circuit.ops()[op_idx];
+            let label = gate_label(op.gate());
+            for (pos, &q) in op.qubits().iter().enumerate() {
+                grid[q][l] = if pos == 0 {
+                    format!("[{label}]")
+                } else {
+                    "[#]".to_string()
+                };
+            }
+        }
+    }
+    let mut out = String::new();
+    for (q, row) in grid.iter().enumerate() {
+        out.push_str(&format!("q{q:<2}"));
+        for cell in row {
+            if cell.is_empty() {
+                out.push_str(&"─".repeat(CELL));
+            } else {
+                let pad = CELL.saturating_sub(cell.chars().count());
+                let left = pad / 2;
+                out.push_str(&"─".repeat(left));
+                out.push_str(cell);
+                out.push_str(&"─".repeat(pad - left));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_row_per_qubit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccz(0, 1, 2);
+        let art = draw(&c);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains("[CX]"));
+        assert!(art.contains("[CCZ]"));
+        assert!(art.contains("[#]"));
+    }
+
+    #[test]
+    fn layers_align_into_columns() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cz(0, 1);
+        let art = draw(&c);
+        let lines: Vec<&str> = art.lines().collect();
+        // Both rows have identical display width (2 layers).
+        assert_eq!(lines[0].chars().count(), lines[1].chars().count(), "{art}");
+    }
+
+    #[test]
+    fn empty_circuit_draws_bare_wires() {
+        let art = draw(&Circuit::new(2));
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.starts_with("q0"));
+    }
+
+    #[test]
+    fn parameterized_gates_use_short_labels() {
+        let mut c = Circuit::new(1);
+        c.rz(0.4, 0).u3(0.1, 0.2, 0.3, 0).p(0.9, 0);
+        let art = draw(&c);
+        assert!(art.contains("[RZ]"));
+        assert!(art.contains("[U3]"));
+        assert!(art.contains("[P]"));
+    }
+}

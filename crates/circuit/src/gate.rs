@@ -1,0 +1,542 @@
+//! The gate alphabet and its matrix/pulse semantics.
+
+use std::fmt;
+
+use geyser_num::{CMatrix, Complex};
+use serde::{Deserialize, Serialize};
+
+/// Pulses required for a single-qubit U3 gate (one Raman pulse).
+pub const PULSES_U3: u32 = 1;
+/// Pulses required for a CZ gate (three Rydberg pulses, paper Fig. 3a).
+pub const PULSES_CZ: u32 = 3;
+/// Pulses required for a CCZ gate (five Rydberg pulses, paper Fig. 3b).
+pub const PULSES_CCZ: u32 = 5;
+
+/// A quantum gate.
+///
+/// The alphabet covers two tiers:
+///
+/// * **Physical** gates natively executable on neutral-atom hardware:
+///   [`Gate::U3`], [`Gate::CZ`], [`Gate::CCZ`]. Every compiled circuit
+///   emitted by the Geyser pipeline uses only these.
+/// * **Logical** gates used to express benchmark algorithms (H, X, RZ,
+///   CX, SWAP, CCX, controlled-phase, …). The mapping stage translates
+///   them into the physical basis.
+///
+/// Gate matrices follow the big-endian qubit convention: for an
+/// operation on qubits `[a, b, c]`, qubit `a` indexes the most
+/// significant bit of the local matrix.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// assert_eq!(Gate::CZ.arity(), 2);
+/// assert_eq!(Gate::CZ.pulses(), 3);
+/// assert!(Gate::CCZ.is_native());
+/// assert!(!Gate::CX.is_native());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Gate {
+    // ---- physical (native neutral-atom) basis ----
+    /// General single-qubit rotation `U3(θ, φ, λ)` (paper Sec. 2.1).
+    U3 {
+        /// Polar angle θ.
+        theta: f64,
+        /// First azimuthal angle φ.
+        phi: f64,
+        /// Second azimuthal angle λ.
+        lambda: f64,
+    },
+    /// Controlled-Z, native two-qubit Rydberg gate.
+    CZ,
+    /// Doubly-controlled Z, native three-qubit Rydberg gate.
+    CCZ,
+
+    // ---- logical single-qubit gates ----
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T gate = diag(1, e^{iπ/4}).
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Rotation about X by the given angle.
+    RX(f64),
+    /// Rotation about Y by the given angle.
+    RY(f64),
+    /// Rotation about Z by the given angle.
+    RZ(f64),
+    /// Phase gate diag(1, e^{iθ}).
+    Phase(f64),
+
+    // ---- logical multi-qubit gates ----
+    /// Controlled-X (CNOT); first qubit is the control.
+    CX,
+    /// Controlled phase diag(1, 1, 1, e^{iθ}).
+    CPhase(f64),
+    /// Qubit-state swap.
+    Swap,
+    /// Toffoli (CCX); first two qubits are controls.
+    CCX,
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on.
+    pub fn arity(&self) -> usize {
+        match self {
+            Gate::U3 { .. }
+            | Gate::H
+            | Gate::X
+            | Gate::Y
+            | Gate::Z
+            | Gate::S
+            | Gate::Sdg
+            | Gate::T
+            | Gate::Tdg
+            | Gate::RX(_)
+            | Gate::RY(_)
+            | Gate::RZ(_)
+            | Gate::Phase(_) => 1,
+            Gate::CZ | Gate::CX | Gate::CPhase(_) | Gate::Swap => 2,
+            Gate::CCZ | Gate::CCX => 3,
+        }
+    }
+
+    /// Returns `true` if the gate is in the native neutral-atom basis
+    /// `{U3, CZ, CCZ}` executed directly by light pulses.
+    pub fn is_native(&self) -> bool {
+        matches!(self, Gate::U3 { .. } | Gate::CZ | Gate::CCZ)
+    }
+
+    /// Returns `true` for any single-qubit gate.
+    pub fn is_single_qubit(&self) -> bool {
+        self.arity() == 1
+    }
+
+    /// Returns `true` if the gate's matrix is diagonal in the
+    /// computational basis (useful for commutation analysis).
+    pub fn is_diagonal(&self) -> bool {
+        matches!(
+            self,
+            Gate::Z
+                | Gate::S
+                | Gate::Sdg
+                | Gate::T
+                | Gate::Tdg
+                | Gate::RZ(_)
+                | Gate::Phase(_)
+                | Gate::CZ
+                | Gate::CPhase(_)
+                | Gate::CCZ
+        )
+    }
+
+    /// Physical pulse cost of the gate (paper Fig. 3).
+    ///
+    /// Native gates report their direct pulse count (U3 = 1, CZ = 3,
+    /// CCZ = 5). Any other single-qubit gate is one Raman pulse since
+    /// it is a U3 instance. Logical multi-qubit gates report the pulse
+    /// count of their canonical `{U3, CZ}` decomposition — the cost
+    /// they would incur if executed without further optimization:
+    ///
+    /// * CX = H·CZ·H → 1 + 3 + 1 = 5
+    /// * CPhase = 2 CX + 3 RZ → 13
+    /// * SWAP = 3 CX → 15
+    /// * CCX = (I⊗I⊗H)·CCZ·(I⊗I⊗H) → 7
+    pub fn pulses(&self) -> u32 {
+        match self {
+            Gate::CZ => PULSES_CZ,
+            Gate::CCZ => PULSES_CCZ,
+            Gate::CX => 2 * PULSES_U3 + PULSES_CZ,
+            Gate::CPhase(_) => 2 * (2 * PULSES_U3 + PULSES_CZ) + 3 * PULSES_U3,
+            Gate::Swap => 3 * (2 * PULSES_U3 + PULSES_CZ),
+            Gate::CCX => 2 * PULSES_U3 + PULSES_CCZ,
+            _ => PULSES_U3, // every remaining gate is single-qubit
+        }
+    }
+
+    /// The gate's unitary matrix in the big-endian local basis.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geyser_circuit::Gate;
+    /// let m = Gate::CZ.matrix();
+    /// assert_eq!(m.rows(), 4);
+    /// assert!(m.is_unitary(1e-12));
+    /// ```
+    pub fn matrix(&self) -> CMatrix {
+        let one = Complex::ONE;
+        let zero = Complex::ZERO;
+        let i = Complex::I;
+        match *self {
+            Gate::U3 { theta, phi, lambda } => {
+                let (c, s) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+                CMatrix::from_rows(&[
+                    &[Complex::from_real(c), -(Complex::cis(lambda) * s)],
+                    &[Complex::cis(phi) * s, Complex::cis(phi + lambda) * c],
+                ])
+            }
+            Gate::H => {
+                let s = Complex::from_real(1.0 / f64::sqrt(2.0));
+                CMatrix::from_rows(&[&[s, s], &[s, -s]])
+            }
+            Gate::X => CMatrix::from_rows(&[&[zero, one], &[one, zero]]),
+            Gate::Y => CMatrix::from_rows(&[&[zero, -i], &[i, zero]]),
+            Gate::Z => CMatrix::from_diagonal(&[one, -one]),
+            Gate::S => CMatrix::from_diagonal(&[one, i]),
+            Gate::Sdg => CMatrix::from_diagonal(&[one, -i]),
+            Gate::T => CMatrix::from_diagonal(&[one, Complex::cis(std::f64::consts::FRAC_PI_4)]),
+            Gate::Tdg => CMatrix::from_diagonal(&[one, Complex::cis(-std::f64::consts::FRAC_PI_4)]),
+            Gate::RX(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_rows(&[
+                    &[Complex::from_real(c), -i * s],
+                    &[-i * s, Complex::from_real(c)],
+                ])
+            }
+            Gate::RY(t) => {
+                let (c, s) = ((t / 2.0).cos(), (t / 2.0).sin());
+                CMatrix::from_rows(&[
+                    &[Complex::from_real(c), Complex::from_real(-s)],
+                    &[Complex::from_real(s), Complex::from_real(c)],
+                ])
+            }
+            Gate::RZ(t) => CMatrix::from_diagonal(&[Complex::cis(-t / 2.0), Complex::cis(t / 2.0)]),
+            Gate::Phase(t) => CMatrix::from_diagonal(&[one, Complex::cis(t)]),
+            Gate::CZ => CMatrix::from_diagonal(&[one, one, one, -one]),
+            Gate::CX => CMatrix::from_rows(&[
+                &[one, zero, zero, zero],
+                &[zero, one, zero, zero],
+                &[zero, zero, zero, one],
+                &[zero, zero, one, zero],
+            ]),
+            Gate::CPhase(t) => CMatrix::from_diagonal(&[one, one, one, Complex::cis(t)]),
+            Gate::Swap => CMatrix::from_rows(&[
+                &[one, zero, zero, zero],
+                &[zero, zero, one, zero],
+                &[zero, one, zero, zero],
+                &[zero, zero, zero, one],
+            ]),
+            Gate::CCZ => {
+                let mut d = vec![one; 8];
+                d[7] = -one;
+                CMatrix::from_diagonal(&d)
+            }
+            Gate::CCX => {
+                let mut m = CMatrix::identity(8);
+                m[(6, 6)] = zero;
+                m[(7, 7)] = zero;
+                m[(6, 7)] = one;
+                m[(7, 6)] = one;
+                m
+            }
+        }
+    }
+
+    /// The inverse gate `G⁻¹` (every gate here has an in-alphabet
+    /// inverse: self-inverse gates return themselves, rotations negate
+    /// their angle, S/T map to their daggers, and U3 inverts its ZYZ
+    /// angles).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geyser_circuit::Gate;
+    /// assert_eq!(Gate::S.inverse(), Gate::Sdg);
+    /// assert_eq!(Gate::RZ(0.5).inverse(), Gate::RZ(-0.5));
+    /// assert_eq!(Gate::CZ.inverse(), Gate::CZ);
+    /// ```
+    pub fn inverse(&self) -> Gate {
+        match *self {
+            Gate::U3 { theta, phi, lambda } => Gate::U3 {
+                theta: -theta,
+                phi: -lambda,
+                lambda: -phi,
+            },
+            Gate::S => Gate::Sdg,
+            Gate::Sdg => Gate::S,
+            Gate::T => Gate::Tdg,
+            Gate::Tdg => Gate::T,
+            Gate::RX(t) => Gate::RX(-t),
+            Gate::RY(t) => Gate::RY(-t),
+            Gate::RZ(t) => Gate::RZ(-t),
+            Gate::Phase(t) => Gate::Phase(-t),
+            Gate::CPhase(t) => Gate::CPhase(-t),
+            // Self-inverse gates.
+            g => g,
+        }
+    }
+
+    /// Short lowercase mnemonic used in textual output and QASM.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Gate::U3 { .. } => "u3",
+            Gate::CZ => "cz",
+            Gate::CCZ => "ccz",
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::RX(_) => "rx",
+            Gate::RY(_) => "ry",
+            Gate::RZ(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::CX => "cx",
+            Gate::CPhase(_) => "cp",
+            Gate::Swap => "swap",
+            Gate::CCX => "ccx",
+        }
+    }
+
+    /// Returns `true` if the gate is (numerically) an identity, i.e.
+    /// its matrix equals the identity up to global phase within `tol`.
+    pub fn is_identity(&self, tol: f64) -> bool {
+        let m = self.matrix();
+        let dim = m.rows();
+        let phase = m[(0, 0)];
+        if (phase.norm() - 1.0).abs() > tol {
+            return false;
+        }
+        m.approx_eq(&CMatrix::identity(dim).scale(phase), tol)
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::U3 { theta, phi, lambda } => {
+                write!(f, "u3({theta:.4},{phi:.4},{lambda:.4})")
+            }
+            Gate::RX(t) | Gate::RY(t) | Gate::RZ(t) | Gate::Phase(t) | Gate::CPhase(t) => {
+                write!(f, "{}({t:.4})", self.name())
+            }
+            _ => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn every_gate_matrix_is_unitary() {
+        let gates = [
+            Gate::U3 {
+                theta: 0.3,
+                phi: 1.1,
+                lambda: -0.2,
+            },
+            Gate::CZ,
+            Gate::CCZ,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RX(0.7),
+            Gate::RY(1.3),
+            Gate::RZ(2.2),
+            Gate::Phase(0.9),
+            Gate::CX,
+            Gate::CPhase(0.4),
+            Gate::Swap,
+            Gate::CCX,
+        ];
+        for g in gates {
+            let m = g.matrix();
+            assert!(m.is_unitary(1e-12), "{g} matrix not unitary");
+            assert_eq!(m.rows(), 1 << g.arity(), "{g} matrix dimension");
+        }
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // H = U3(π/2, 0, π)
+        let h = Gate::U3 {
+            theta: FRAC_PI_2,
+            phi: 0.0,
+            lambda: PI,
+        };
+        assert!(h.matrix().approx_eq(&Gate::H.matrix(), 1e-12));
+        // I = U3(0, 0, 0)
+        let id = Gate::U3 {
+            theta: 0.0,
+            phi: 0.0,
+            lambda: 0.0,
+        };
+        assert!(id.matrix().approx_eq(&CMatrix::identity(2), 1e-12));
+        assert!(id.is_identity(1e-12));
+        assert!(!h.is_identity(1e-6));
+    }
+
+    #[test]
+    fn cx_equals_h_cz_h_on_target() {
+        // CX = (I ⊗ H) CZ (I ⊗ H) — paper Sec. 2.1.
+        let ih = CMatrix::identity(2).kron(&Gate::H.matrix());
+        let want = ih.matmul(&Gate::CZ.matrix()).matmul(&ih);
+        assert!(want.approx_eq(&Gate::CX.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn ccx_equals_ccz_conjugated_by_h() {
+        let iih = CMatrix::identity(4).kron(&Gate::H.matrix());
+        let want = iih.matmul(&Gate::CCZ.matrix()).matmul(&iih);
+        assert!(want.approx_eq(&Gate::CCX.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn pulse_counts_match_paper() {
+        assert_eq!(
+            Gate::U3 {
+                theta: 1.0,
+                phi: 0.0,
+                lambda: 0.0
+            }
+            .pulses(),
+            1
+        );
+        assert_eq!(Gate::H.pulses(), 1);
+        assert_eq!(Gate::CZ.pulses(), 3);
+        assert_eq!(Gate::CCZ.pulses(), 5);
+        assert_eq!(Gate::CX.pulses(), 5);
+        assert_eq!(Gate::Swap.pulses(), 15);
+        assert_eq!(Gate::CCX.pulses(), 7);
+    }
+
+    #[test]
+    fn native_flags() {
+        assert!(Gate::CZ.is_native());
+        assert!(Gate::CCZ.is_native());
+        assert!(!Gate::H.is_native());
+        assert!(!Gate::CX.is_native());
+        assert!(!Gate::Swap.is_native());
+    }
+
+    #[test]
+    fn diagonal_classification() {
+        assert!(Gate::CZ.is_diagonal());
+        assert!(Gate::CCZ.is_diagonal());
+        assert!(Gate::RZ(0.4).is_diagonal());
+        assert!(Gate::T.is_diagonal());
+        assert!(!Gate::H.is_diagonal());
+        assert!(!Gate::CX.is_diagonal());
+        assert!(!Gate::RX(0.1).is_diagonal());
+        // Every gate flagged diagonal has an actually-diagonal matrix.
+        for g in [
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RZ(0.7),
+            Gate::Phase(1.2),
+            Gate::CZ,
+            Gate::CPhase(0.5),
+            Gate::CCZ,
+        ] {
+            let m = g.matrix();
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    if r != c {
+                        assert_eq!(m[(r, c)], Complex::ZERO, "{g} not diagonal");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swap_matrix_swaps_basis_states() {
+        let m = Gate::Swap.matrix();
+        // |01> (index 1) -> |10> (index 2)
+        assert_eq!(m[(2, 1)], Complex::ONE);
+        assert_eq!(m[(1, 2)], Complex::ONE);
+    }
+
+    #[test]
+    fn rotation_gates_at_zero_are_identity() {
+        for g in [
+            Gate::RX(0.0),
+            Gate::RY(0.0),
+            Gate::RZ(0.0),
+            Gate::Phase(0.0),
+        ] {
+            assert!(g.is_identity(1e-12), "{g} at angle 0");
+        }
+    }
+
+    #[test]
+    fn s_is_sqrt_z_and_t_is_sqrt_s() {
+        let s2 = Gate::S.matrix().matmul(&Gate::S.matrix());
+        assert!(s2.approx_eq(&Gate::Z.matrix(), 1e-12));
+        let t2 = Gate::T.matrix().matmul(&Gate::T.matrix());
+        assert!(t2.approx_eq(&Gate::S.matrix(), 1e-12));
+        let sdg = Gate::S.matrix().matmul(&Gate::Sdg.matrix());
+        assert!(sdg.approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn inverse_matrices_multiply_to_identity() {
+        let gates = [
+            Gate::U3 {
+                theta: 0.7,
+                phi: 1.9,
+                lambda: -0.4,
+            },
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::RX(0.9),
+            Gate::RY(-1.1),
+            Gate::RZ(2.3),
+            Gate::Phase(0.6),
+            Gate::CZ,
+            Gate::CX,
+            Gate::CPhase(1.4),
+            Gate::Swap,
+            Gate::CCZ,
+            Gate::CCX,
+        ];
+        for g in gates {
+            let prod = g.matrix().matmul(&g.inverse().matrix());
+            let dim = prod.rows();
+            assert!(
+                prod.approx_eq(&CMatrix::identity(dim), 1e-11),
+                "{g}·{}⁻¹ ≠ I",
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        let g = Gate::RZ(1.5);
+        assert_eq!(g.to_string(), "rz(1.5000)");
+        assert_eq!(Gate::CZ.to_string(), "cz");
+    }
+}

@@ -1,0 +1,49 @@
+//! Quantum circuit intermediate representation with pulse-aware costing.
+//!
+//! This crate defines the circuit IR shared by every stage of the
+//! Geyser pipeline:
+//!
+//! * [`Gate`] — the gate alphabet, spanning both the *logical* gates
+//!   benchmark programs are written in (H, CX, RZ, …) and the
+//!   *physical* basis natively executed by neutral-atom hardware
+//!   (U3, CZ, CCZ — paper Sec. 2.2).
+//! * [`Operation`] — a gate applied to specific qubit indices.
+//! * [`Circuit`] — an ordered sequence of operations with builders,
+//!   gate/pulse accounting, and critical-path analysis.
+//!
+//! # Pulse model
+//!
+//! Geyser's central metric is the number of physical light pulses, not
+//! gates (paper Sec. 3.3): a U3 needs **1** Raman pulse, a CZ needs
+//! **3** Rydberg pulses, and a CCZ needs **5** (paper Fig. 3). All
+//! costing in this crate follows that model via [`Gate::pulses`].
+//!
+//! # Example
+//!
+//! ```
+//! use geyser_circuit::Circuit;
+//!
+//! let mut c = Circuit::new(3);
+//! c.h(0).cx(0, 1).ccz(0, 1, 2);
+//! assert_eq!(c.len(), 3);
+//! assert_eq!(c.num_qubits(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+mod draw;
+mod gate;
+mod op;
+mod qasm;
+mod qasm_parse;
+
+pub use circuit::{Circuit, GateCounts};
+pub use dag::{asap_layers, critical_path_pulses, DependencyDag};
+pub use draw::draw;
+pub use gate::{Gate, PULSES_CCZ, PULSES_CZ, PULSES_U3};
+pub use op::Operation;
+pub use qasm::to_qasm;
+pub use qasm_parse::{from_qasm, ParseQasmError};

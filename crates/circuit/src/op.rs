@@ -1,0 +1,163 @@
+//! A gate bound to specific qubit indices.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Gate;
+
+/// A [`Gate`] applied to an ordered list of qubit indices.
+///
+/// The qubit order is significant for non-symmetric gates: for
+/// [`Gate::CX`] the first qubit is the control; for [`Gate::CCX`] the
+/// first two are controls.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::{Gate, Operation};
+/// let op = Operation::new(Gate::CX, vec![0, 2]);
+/// assert_eq!(op.qubits(), &[0, 2]);
+/// assert_eq!(op.pulses(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    gate: Gate,
+    qubits: Vec<usize>,
+}
+
+impl Operation {
+    /// Binds `gate` to `qubits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of qubits does not match the gate arity or
+    /// if the qubit list contains duplicates.
+    pub fn new(gate: Gate, qubits: Vec<usize>) -> Self {
+        assert_eq!(
+            qubits.len(),
+            gate.arity(),
+            "gate {gate} expects {} qubits, got {}",
+            gate.arity(),
+            qubits.len()
+        );
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(
+                !qubits[..i].contains(q),
+                "duplicate qubit {q} in operation {gate}"
+            );
+        }
+        Operation { gate, qubits }
+    }
+
+    /// The gate being applied.
+    #[inline]
+    pub fn gate(&self) -> &Gate {
+        &self.gate
+    }
+
+    /// The target qubit indices, in gate-argument order.
+    #[inline]
+    pub fn qubits(&self) -> &[usize] {
+        &self.qubits
+    }
+
+    /// Number of qubits the operation touches.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Physical pulse cost (see [`Gate::pulses`]).
+    #[inline]
+    pub fn pulses(&self) -> u32 {
+        self.gate.pulses()
+    }
+
+    /// Returns `true` if this operation shares any qubit with `other`.
+    pub fn overlaps(&self, other: &Operation) -> bool {
+        self.qubits.iter().any(|q| other.qubits.contains(q))
+    }
+
+    /// Returns `true` if the operation acts on the given qubit.
+    #[inline]
+    pub fn acts_on(&self, qubit: usize) -> bool {
+        self.qubits.contains(&qubit)
+    }
+
+    /// Returns a copy with qubit indices rewritten through `f`.
+    ///
+    /// Used when embedding a block-local circuit back into the full
+    /// device circuit, or when applying a layout permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the remapping introduces duplicate qubits.
+    pub fn remapped<F: FnMut(usize) -> usize>(&self, mut f: F) -> Operation {
+        Operation::new(self.gate, self.qubits.iter().map(|&q| f(q)).collect())
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.gate)?;
+        for (i, q) in self.qubits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "q{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let op = Operation::new(Gate::CCZ, vec![4, 1, 7]);
+        assert_eq!(op.arity(), 3);
+        assert_eq!(op.qubits(), &[4, 1, 7]);
+        assert_eq!(op.pulses(), 5);
+        assert_eq!(*op.gate(), Gate::CCZ);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 qubits")]
+    fn arity_mismatch_panics() {
+        let _ = Operation::new(Gate::CZ, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_qubits_panic() {
+        let _ = Operation::new(Gate::CZ, vec![3, 3]);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = Operation::new(Gate::CZ, vec![0, 1]);
+        let b = Operation::new(Gate::CZ, vec![1, 2]);
+        let c = Operation::new(Gate::CZ, vec![3, 4]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.acts_on(0));
+        assert!(!a.acts_on(2));
+    }
+
+    #[test]
+    fn remap_rewrites_qubits() {
+        let op = Operation::new(Gate::CX, vec![0, 1]);
+        let shifted = op.remapped(|q| q + 10);
+        assert_eq!(shifted.qubits(), &[10, 11]);
+        assert_eq!(*shifted.gate(), Gate::CX);
+    }
+
+    #[test]
+    fn display_format() {
+        let op = Operation::new(Gate::CX, vec![2, 5]);
+        assert_eq!(op.to_string(), "cx q2,q5");
+    }
+}

@@ -1,0 +1,100 @@
+//! OpenQASM 2.0-style textual emission.
+//!
+//! Geyser's native CCZ gate has no OpenQASM 2.0 primitive, so it is
+//! emitted as a `ccz` call with a defining `gate` declaration included
+//! in the preamble. The output is intended for interchange with other
+//! toolchains and for golden-file testing.
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, Gate};
+
+/// Serializes a circuit to OpenQASM 2.0-style text.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::{to_qasm, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let qasm = to_qasm(&c);
+/// assert!(qasm.contains("h q[0];"));
+/// assert!(qasm.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    if circuit.iter().any(|op| matches!(op.gate(), Gate::CCZ)) {
+        out.push_str("gate ccz a,b,c { h c; ccx a,b,c; h c; }\n");
+    }
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    for op in circuit.iter() {
+        let args: Vec<String> = op.qubits().iter().map(|q| format!("q[{q}]")).collect();
+        let args = args.join(",");
+        match *op.gate() {
+            Gate::U3 { theta, phi, lambda } => {
+                let _ = writeln!(out, "u3({theta},{phi},{lambda}) {args};");
+            }
+            Gate::RX(t) => {
+                let _ = writeln!(out, "rx({t}) {args};");
+            }
+            Gate::RY(t) => {
+                let _ = writeln!(out, "ry({t}) {args};");
+            }
+            Gate::RZ(t) => {
+                let _ = writeln!(out, "rz({t}) {args};");
+            }
+            Gate::Phase(t) => {
+                let _ = writeln!(out, "p({t}) {args};");
+            }
+            Gate::CPhase(t) => {
+                let _ = writeln!(out, "cp({t}) {args};");
+            }
+            ref g => {
+                let _ = writeln!(out, "{} {args};", g.name());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Circuit;
+
+    #[test]
+    fn header_and_register() {
+        let c = Circuit::new(3);
+        let q = to_qasm(&c);
+        assert!(q.starts_with("OPENQASM 2.0;"));
+        assert!(q.contains("qreg q[3];"));
+    }
+
+    #[test]
+    fn parameterized_gates_serialize_angles() {
+        let mut c = Circuit::new(1);
+        c.u3(0.5, 1.0, 1.5, 0).rz(0.25, 0);
+        let q = to_qasm(&c);
+        assert!(q.contains("u3(0.5,1,1.5) q[0];"));
+        assert!(q.contains("rz(0.25) q[0];"));
+    }
+
+    #[test]
+    fn ccz_gets_definition_only_when_used() {
+        let mut with = Circuit::new(3);
+        with.ccz(0, 1, 2);
+        assert!(to_qasm(&with).contains("gate ccz"));
+        let without = Circuit::new(3);
+        assert!(!to_qasm(&without).contains("gate ccz"));
+    }
+
+    #[test]
+    fn multi_qubit_argument_order_preserved() {
+        let mut c = Circuit::new(3);
+        c.cx(2, 0).ccz(1, 0, 2);
+        let q = to_qasm(&c);
+        assert!(q.contains("cx q[2],q[0];"));
+        assert!(q.contains("ccz q[1],q[0],q[2];"));
+    }
+}

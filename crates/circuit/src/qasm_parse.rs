@@ -1,0 +1,316 @@
+//! OpenQASM 2.0-subset parsing — the inverse of [`crate::to_qasm`].
+//!
+//! Supports the gate set this crate emits plus the angle expressions
+//! commonly found in benchmark files (`pi`, `pi/2`, `-3*pi/4`, plain
+//! floats). `gate` definitions and `include` lines are skipped; the
+//! emitted `ccz` definition is therefore consumed transparently.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Circuit, Gate};
+
+/// Error from [`from_qasm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQasmError {
+    line: usize,
+    message: String,
+}
+
+impl ParseQasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseQasmError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl Error for ParseQasmError {}
+
+/// Parses an angle expression: `[-] (float | pi) [*float | /float]`
+/// plus `float*pi[/float]` forms.
+fn parse_angle(expr: &str, line: usize) -> Result<f64, ParseQasmError> {
+    let s = expr.trim().replace(' ', "");
+    let bad = |m: &str| ParseQasmError::new(line, format!("{m} in angle `{expr}`"));
+    let (sign, s) = match s.strip_prefix('-') {
+        Some(rest) => (-1.0, rest.to_string()),
+        None => (1.0, s),
+    };
+    // Split on '/' first (division binds last in these expressions).
+    let (num, den) = match s.split_once('/') {
+        Some((n, d)) => (
+            n.to_string(),
+            d.parse::<f64>().map_err(|_| bad("bad divisor"))?,
+        ),
+        None => (s, 1.0),
+    };
+    // Numerator: product of factors separated by '*'.
+    let mut value = 1.0f64;
+    for factor in num.split('*') {
+        if factor == "pi" {
+            value *= std::f64::consts::PI;
+        } else {
+            value *= factor.parse::<f64>().map_err(|_| bad("bad factor"))?;
+        }
+    }
+    Ok(sign * value / den)
+}
+
+/// Parses a qubit argument `q[i]`.
+fn parse_qubit(arg: &str, line: usize) -> Result<usize, ParseQasmError> {
+    let arg = arg.trim();
+    let inner = arg
+        .strip_prefix("q[")
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| ParseQasmError::new(line, format!("bad qubit `{arg}`")))?;
+    inner
+        .parse::<usize>()
+        .map_err(|_| ParseQasmError::new(line, format!("bad qubit index `{arg}`")))
+}
+
+/// Parses an OpenQASM 2.0-subset program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unknown gates, malformed arguments,
+/// missing registers, or out-of-range qubits.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::{from_qasm, to_qasm, Circuit};
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).rz(0.25, 1);
+/// let parsed = from_qasm(&to_qasm(&c)).expect("round-trips");
+/// assert_eq!(parsed.ops(), c.ops());
+/// ```
+pub fn from_qasm(source: &str) -> Result<Circuit, ParseQasmError> {
+    let mut circuit: Option<Circuit> = None;
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = match raw.find("//") {
+            Some(p) => &raw[..p],
+            None => raw,
+        }
+        .trim();
+        if line.is_empty()
+            || line.starts_with("OPENQASM")
+            || line.starts_with("include")
+            || line.starts_with("gate ")
+            || line.starts_with("barrier")
+            || line.starts_with("creg")
+            || line.starts_with("measure")
+        {
+            continue;
+        }
+        let stmt = line
+            .strip_suffix(';')
+            .ok_or_else(|| ParseQasmError::new(line_no, "missing semicolon"))?
+            .trim();
+
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let rest = rest.trim();
+            let n = rest
+                .strip_prefix("q[")
+                .and_then(|s| s.strip_suffix(']'))
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| ParseQasmError::new(line_no, "bad qreg declaration"))?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+
+        let c = circuit
+            .as_mut()
+            .ok_or_else(|| ParseQasmError::new(line_no, "gate before qreg"))?;
+
+        // Split `name(params) args` / `name args`.
+        let (head, args) = match stmt.split_once(' ') {
+            Some((h, a)) => (h.trim(), a.trim()),
+            None => return Err(ParseQasmError::new(line_no, "missing gate arguments")),
+        };
+        let (name, params): (&str, Vec<f64>) = match head.split_once('(') {
+            Some((n, p)) => {
+                let p = p
+                    .strip_suffix(')')
+                    .ok_or_else(|| ParseQasmError::new(line_no, "unclosed parameter list"))?;
+                let params = p
+                    .split(',')
+                    .map(|e| parse_angle(e, line_no))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                (n, params)
+            }
+            None => (head, Vec::new()),
+        };
+        let qubits: Vec<usize> = args
+            .split(',')
+            .map(|a| parse_qubit(a, line_no))
+            .collect::<Result<Vec<usize>, _>>()?;
+
+        let param = |k: usize| -> Result<f64, ParseQasmError> {
+            params
+                .get(k)
+                .copied()
+                .ok_or_else(|| ParseQasmError::new(line_no, "missing parameter"))
+        };
+        let gate = match name {
+            "u3" | "u" => Gate::U3 {
+                theta: param(0)?,
+                phi: param(1)?,
+                lambda: param(2)?,
+            },
+            "h" => Gate::H,
+            "x" => Gate::X,
+            "y" => Gate::Y,
+            "z" => Gate::Z,
+            "s" => Gate::S,
+            "sdg" => Gate::Sdg,
+            "t" => Gate::T,
+            "tdg" => Gate::Tdg,
+            "id" => Gate::U3 {
+                theta: 0.0,
+                phi: 0.0,
+                lambda: 0.0,
+            },
+            "rx" => Gate::RX(param(0)?),
+            "ry" => Gate::RY(param(0)?),
+            "rz" => Gate::RZ(param(0)?),
+            "p" | "u1" => Gate::Phase(param(0)?),
+            "cx" => Gate::CX,
+            "cz" => Gate::CZ,
+            "cp" | "cu1" => Gate::CPhase(param(0)?),
+            "swap" => Gate::Swap,
+            "ccx" => Gate::CCX,
+            "ccz" => Gate::CCZ,
+            other => {
+                return Err(ParseQasmError::new(
+                    line_no,
+                    format!("unsupported gate `{other}`"),
+                ))
+            }
+        };
+        if gate.arity() != qubits.len() {
+            return Err(ParseQasmError::new(
+                line_no,
+                format!(
+                    "gate `{name}` expects {} qubits, got {}",
+                    gate.arity(),
+                    qubits.len()
+                ),
+            ));
+        }
+        for &q in &qubits {
+            if q >= c.num_qubits() {
+                return Err(ParseQasmError::new(
+                    line_no,
+                    format!("qubit {q} out of range"),
+                ));
+            }
+        }
+        c.apply(gate, &qubits);
+    }
+    circuit.ok_or_else(|| ParseQasmError::new(0, "no qreg declaration found"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_qasm;
+
+    #[test]
+    fn roundtrip_through_emitter() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .u3(0.1, -0.2, 0.3, 2)
+            .rz(1.5, 1)
+            .cp(0.7, 0, 2)
+            .swap(1, 2)
+            .ccz(0, 1, 2)
+            .ccx(2, 1, 0);
+        let parsed = from_qasm(&to_qasm(&c)).expect("round-trip parses");
+        assert_eq!(parsed.num_qubits(), 3);
+        assert_eq!(parsed.ops(), c.ops());
+    }
+
+    #[test]
+    fn parses_pi_expressions() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrz(pi) q[0];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(3*pi/2) q[0];\nrz(0.5) q[0];\n";
+        let c = from_qasm(src).unwrap();
+        let angles: Vec<f64> = c
+            .iter()
+            .map(|op| match op.gate() {
+                Gate::RZ(t) => *t,
+                _ => panic!(),
+            })
+            .collect();
+        let pi = std::f64::consts::PI;
+        let want = [pi, pi / 2.0, -pi / 4.0, 3.0 * pi / 2.0, 0.5];
+        for (a, w) in angles.iter().zip(want) {
+            assert!((a - w).abs() < 1e-12, "{a} vs {w}");
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_declarations() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\ngate ccz a,b,c { h c; ccx a,b,c; h c; }\n// comment\nqreg q[2];\nh q[0]; // trailing\ncz q[0],q[1];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reports_unknown_gate_with_line() {
+        let src = "qreg q[1];\nfancy q[0];\n";
+        let err = from_qasm(src).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("unsupported gate"));
+    }
+
+    #[test]
+    fn reports_out_of_range_qubit() {
+        let src = "qreg q[2];\nh q[5];\n";
+        let err = from_qasm(src).unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn reports_arity_mismatch() {
+        let src = "qreg q[2];\ncx q[0];\n";
+        let err = from_qasm(src).unwrap_err();
+        assert!(err.to_string().contains("expects 2 qubits"));
+    }
+
+    #[test]
+    fn rejects_gate_before_register() {
+        let err = from_qasm("h q[0];\n").unwrap_err();
+        assert!(err.to_string().contains("before qreg"));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = from_qasm("qreg q[1];\nh q[0]\n").unwrap_err();
+        assert!(err.to_string().contains("semicolon"));
+    }
+
+    #[test]
+    fn measure_and_barrier_are_ignored() {
+        let src = "qreg q[1];\ncreg c[1];\nh q[0];\nbarrier q;\nmeasure q[0] -> c[0];\n";
+        let c = from_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! The result of compiling a program with one technique.
+
+use geyser_circuit::GateCounts;
+use geyser_compose::CompositionStats;
+use geyser_map::MappedCircuit;
+
+use crate::Technique;
+
+/// A program compiled for a specific architecture/technique, with all
+/// the metrics the paper reports.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    technique: Technique,
+    mapped: MappedCircuit,
+    composition: Option<CompositionStats>,
+}
+
+impl CompiledCircuit {
+    pub(crate) fn new(
+        technique: Technique,
+        mapped: MappedCircuit,
+        composition: Option<CompositionStats>,
+    ) -> Self {
+        CompiledCircuit {
+            technique,
+            mapped,
+            composition,
+        }
+    }
+
+    /// Reassembles a compiled circuit from its parts — the inverse of
+    /// the accessors, used by result caches and external toolchains
+    /// that persist compilations.
+    pub fn from_parts(
+        technique: Technique,
+        mapped: MappedCircuit,
+        composition: Option<CompositionStats>,
+    ) -> Self {
+        Self::new(technique, mapped, composition)
+    }
+
+    /// The technique that produced this circuit.
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    /// The mapped physical circuit and layout information.
+    pub fn mapped(&self) -> &MappedCircuit {
+        &self.mapped
+    }
+
+    /// Composition statistics (present only for [`Technique::Geyser`]).
+    pub fn composition_stats(&self) -> Option<&CompositionStats> {
+        self.composition.as_ref()
+    }
+
+    /// Total physical pulses (paper Fig. 12, lower is better).
+    pub fn total_pulses(&self) -> u64 {
+        self.mapped.total_pulses()
+    }
+
+    /// Critical-path pulses (paper Fig. 13, lower is better).
+    ///
+    /// Neutral-atom techniques account for restriction zones;
+    /// superconducting hardware has none (fixed couplers), so its
+    /// depth is the plain data-dependency critical path.
+    pub fn depth_pulses(&self) -> u64 {
+        if self.technique == Technique::Superconducting {
+            self.mapped.circuit().depth_pulses()
+        } else {
+            self.mapped.depth_pulses()
+        }
+    }
+
+    /// Gate counts in the paper's buckets (Fig. 14).
+    pub fn gate_counts(&self) -> GateCounts {
+        self.mapped.gate_counts()
+    }
+}

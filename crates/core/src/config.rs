@@ -1,0 +1,73 @@
+//! End-to-end pipeline configuration.
+
+use geyser_blocking::BlockingConfig;
+use geyser_compose::CompositionConfig;
+
+/// Configuration shared by every compilation technique.
+///
+/// The defaults reproduce the paper's settings; [`PipelineConfig::fast`]
+/// shrinks the composition search budget for tests and smoke runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Circuit-blocking options (Algorithm 1).
+    pub blocking: BlockingConfig,
+    /// Block-composition options (Algorithm 2).
+    pub composition: CompositionConfig,
+    /// Master seed for all stochastic stages.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// Full-budget configuration used for the paper-scale experiments.
+    pub fn paper() -> Self {
+        PipelineConfig {
+            blocking: BlockingConfig::default(),
+            composition: CompositionConfig::default(),
+            seed: 0,
+        }
+    }
+
+    /// Reduced-budget configuration for tests, doctests, and smoke
+    /// runs: one annealing restart and a shallow ansatz search.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            blocking: BlockingConfig::default(),
+            composition: CompositionConfig::fast(),
+            seed: 0,
+        }
+    }
+
+    /// Returns a copy with the given master seed (propagated into the
+    /// composition stage).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.composition.seed = seed;
+        self
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_is_cheaper_than_paper() {
+        let fast = PipelineConfig::fast();
+        let paper = PipelineConfig::paper();
+        assert!(fast.composition.anneal_iters < paper.composition.anneal_iters);
+        assert!(fast.composition.max_layers <= paper.composition.max_layers);
+    }
+
+    #[test]
+    fn seed_propagates_to_composition() {
+        let cfg = PipelineConfig::paper().with_seed(42);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.composition.seed, 42);
+    }
+}

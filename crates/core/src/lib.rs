@@ -1,0 +1,63 @@
+//! Geyser: a compilation framework for quantum computing with neutral
+//! atoms — Rust reproduction of the ISCA 2022 paper by Patel, Silver,
+//! and Tiwari.
+//!
+//! Geyser compiles quantum circuits for neutral-atom hardware in three
+//! steps (paper Fig. 6):
+//!
+//! 1. **Mapping** — place the logical circuit on a triangular atom
+//!    lattice, route with SWAPs, translate to the native
+//!    `{U3, CZ, CCZ}` basis ([`geyser_map`]).
+//! 2. **Blocking** — partition the mapped circuit into three-qubit
+//!    triangle blocks grouped into parallel rounds
+//!    ([`geyser_blocking`]).
+//! 3. **Composition** — re-synthesize each block with layers of U3 +
+//!    CZ/CCZ gates found by dual annealing, cutting physical pulse
+//!    counts ([`geyser_compose`]).
+//!
+//! This crate exposes the end-to-end pipeline as the paper's four
+//! comparison points ([`Technique`]) and the evaluation drivers that
+//! regenerate every table and figure (see `geyser-bench`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use geyser::{compile, PipelineConfig, Technique};
+//! use geyser_circuit::Circuit;
+//!
+//! let mut program = Circuit::new(3);
+//! program.h(0).cx(0, 1).cx(1, 2);
+//!
+//! let cfg = PipelineConfig::fast(); // reduced budgets for docs/tests
+//! let baseline = compile(&program, Technique::Baseline, &cfg);
+//! let geyser = compile(&program, Technique::Geyser, &cfg);
+//! assert!(geyser.total_pulses() <= baseline.total_pulses());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiled;
+mod config;
+mod evaluate;
+mod technique;
+
+pub use compiled::CompiledCircuit;
+pub use config::PipelineConfig;
+pub use evaluate::{
+    estimated_success_probability, evaluate_tvd, ideal_logical_distribution, TvdReport,
+};
+pub use technique::{compile, Technique};
+
+// Re-export the component crates so downstream users need only one
+// dependency.
+pub use geyser_blocking as blocking;
+pub use geyser_circuit as circuit;
+pub use geyser_compose as compose;
+pub use geyser_map as map;
+pub use geyser_num as num;
+pub use geyser_optimize as optimize;
+pub use geyser_sim as sim;
+pub use geyser_synth as synth;
+pub use geyser_topology as topology;
+pub use geyser_workloads as workloads;

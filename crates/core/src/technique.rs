@@ -1,0 +1,188 @@
+//! The four compilation techniques of the paper's evaluation.
+
+use std::fmt;
+
+use geyser_blocking::block_circuit;
+use geyser_circuit::Circuit;
+use geyser_compose::compose_blocked_circuit;
+use geyser_map::{map_circuit, optimize_to_fixpoint, MappingOptions};
+use geyser_topology::Lattice;
+
+use crate::{CompiledCircuit, PipelineConfig};
+
+/// A compilation technique from the paper's evaluation (Sec. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// Mapping and scheduling onto the triangular neutral-atom lattice
+    /// with no optimization passes — the Baker-et-al.-style comparison
+    /// point.
+    Baseline,
+    /// Baseline plus all standard compiler optimizations (the passes a
+    /// state-of-the-art transpiler applies).
+    OptiMap,
+    /// OptiMap plus Geyser's circuit blocking and block composition.
+    Geyser,
+    /// The superconducting-qubit comparison: square lattice (the
+    /// best-case layout the paper grants superconducting hardware),
+    /// all optimizations, **no CCZ** (not physically executable), and
+    /// no restriction zones.
+    Superconducting,
+}
+
+impl Technique {
+    /// All four techniques in the paper's presentation order.
+    pub const ALL: [Technique; 4] = [
+        Technique::Baseline,
+        Technique::OptiMap,
+        Technique::Geyser,
+        Technique::Superconducting,
+    ];
+
+    /// The three neutral-atom techniques (Figs. 12–15, 17).
+    pub const NEUTRAL_ATOM: [Technique; 3] =
+        [Technique::Baseline, Technique::OptiMap, Technique::Geyser];
+
+    /// Display label used in tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Technique::Baseline => "Baseline",
+            Technique::OptiMap => "OptiMap",
+            Technique::Geyser => "Geyser",
+            Technique::Superconducting => "SC",
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Compiles a logical program with the given technique.
+///
+/// # Panics
+///
+/// Panics if the program has zero qubits.
+///
+/// # Example
+///
+/// ```
+/// use geyser::{compile, PipelineConfig, Technique};
+/// use geyser_circuit::Circuit;
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let compiled = compile(&c, Technique::OptiMap, &PipelineConfig::fast());
+/// assert!(compiled.mapped().circuit().is_native_basis());
+/// ```
+pub fn compile(
+    program: &Circuit,
+    technique: Technique,
+    config: &PipelineConfig,
+) -> CompiledCircuit {
+    assert!(program.num_qubits() > 0, "program must have qubits");
+    match technique {
+        Technique::Baseline => {
+            let lattice = Lattice::triangular_for(program.num_qubits());
+            let mapped = map_circuit(program, &lattice, &MappingOptions::baseline());
+            CompiledCircuit::new(technique, mapped, None)
+        }
+        Technique::OptiMap => {
+            let lattice = Lattice::triangular_for(program.num_qubits());
+            let mapped = map_circuit(program, &lattice, &MappingOptions::optimized());
+            CompiledCircuit::new(technique, mapped, None)
+        }
+        Technique::Geyser => {
+            let lattice = Lattice::triangular_for(program.num_qubits());
+            let mapped = map_circuit(program, &lattice, &MappingOptions::optimized());
+            let blocked = block_circuit(mapped.circuit(), &lattice, &config.blocking);
+            let composed = compose_blocked_circuit(&blocked, &config.composition);
+            // Composition can expose new 1q-fusion opportunities at
+            // block seams; a final cleanup never increases pulses.
+            let cleaned = optimize_to_fixpoint(&composed.circuit);
+            let final_mapped = mapped.with_circuit(cleaned);
+            CompiledCircuit::new(technique, final_mapped, Some(composed.stats))
+        }
+        Technique::Superconducting => {
+            let lattice = Lattice::square_for(program.num_qubits());
+            let mapped = map_circuit(program, &lattice, &MappingOptions::optimized());
+            CompiledCircuit::new(technique, mapped, None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for i in 1..n {
+            c.cx(i - 1, i);
+        }
+        c
+    }
+
+    #[test]
+    fn all_techniques_produce_native_circuits() {
+        let program = ghz(4);
+        for t in Technique::ALL {
+            let compiled = compile(&program, t, &PipelineConfig::fast());
+            assert!(
+                compiled.mapped().circuit().is_native_basis(),
+                "{t} not native"
+            );
+            assert_eq!(compiled.technique(), t);
+        }
+    }
+
+    #[test]
+    fn superconducting_never_emits_ccz() {
+        let mut program = ghz(4);
+        program.ccx(0, 1, 2); // forces a Toffoli through the pipeline
+        let compiled = compile(
+            &program,
+            Technique::Superconducting,
+            &PipelineConfig::fast(),
+        );
+        assert_eq!(compiled.gate_counts().ccz, 0);
+    }
+
+    #[test]
+    fn optimap_beats_baseline_on_pulses() {
+        let program = ghz(5);
+        let cfg = PipelineConfig::fast();
+        let base = compile(&program, Technique::Baseline, &cfg);
+        let opti = compile(&program, Technique::OptiMap, &cfg);
+        assert!(opti.total_pulses() <= base.total_pulses());
+    }
+
+    #[test]
+    fn geyser_never_worse_than_optimap() {
+        let program = ghz(5);
+        let cfg = PipelineConfig::fast();
+        let opti = compile(&program, Technique::OptiMap, &cfg);
+        let geyser = compile(&program, Technique::Geyser, &cfg);
+        assert!(geyser.total_pulses() <= opti.total_pulses());
+    }
+
+    #[test]
+    fn geyser_records_composition_stats() {
+        let program = ghz(4);
+        let compiled = compile(&program, Technique::Geyser, &PipelineConfig::fast());
+        let stats = compiled.composition_stats().expect("geyser has stats");
+        assert!(stats.blocks_total > 0);
+        assert!(
+            compile(&program, Technique::Baseline, &PipelineConfig::fast())
+                .composition_stats()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Technique::Baseline.label(), "Baseline");
+        assert_eq!(Technique::Geyser.to_string(), "Geyser");
+    }
+}

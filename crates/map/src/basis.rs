@@ -1,0 +1,190 @@
+//! Translation into the native neutral-atom basis `{U3, CZ, CCZ}`.
+
+use geyser_circuit::{Circuit, Gate, Operation};
+use geyser_num::zyz_angles;
+
+/// Rewrites every gate into the native neutral-atom basis:
+///
+/// * any single-qubit gate → one `U3` (exact ZYZ angles, global phase
+///   dropped — physically irrelevant),
+/// * `CZ` → `CZ`; `CCZ` → `CCZ` (already native),
+/// * `CX(c, t)` → `H(t)·CZ·H(t)` with the Hadamards as U3,
+/// * `CPhase(θ)` → two CZ plus U3 corrections,
+/// * `SWAP` → three CX, each expanded as above.
+///
+/// The output is unitary-equivalent to the input up to global phase.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::to_native_basis;
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let native = to_native_basis(&c);
+/// assert!(native.is_native_basis());
+/// ```
+pub fn to_native_basis(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.iter() {
+        emit_native(&mut out, op);
+    }
+    out
+}
+
+fn emit_native(out: &mut Circuit, op: &Operation) {
+    match *op.gate() {
+        Gate::U3 { .. } | Gate::CZ | Gate::CCZ => {
+            out.push(op.clone());
+        }
+        ref g if g.is_single_qubit() => {
+            let d = zyz_angles(&g.matrix()).expect("1q gate matrices are unitary");
+            out.u3(d.theta, d.phi, d.lambda, op.qubits()[0]);
+        }
+        Gate::CX => {
+            let (c, t) = (op.qubits()[0], op.qubits()[1]);
+            emit_u3_of(out, Gate::H, t);
+            out.cz(c, t);
+            emit_u3_of(out, Gate::H, t);
+        }
+        Gate::CPhase(theta) => {
+            // CP(θ) = P(θ/2)_c · P(θ/2)_t · CX · P(−θ/2)_t · CX, with
+            // each CX expanded through CZ.
+            let (c, t) = (op.qubits()[0], op.qubits()[1]);
+            emit_u3_of(out, Gate::Phase(theta / 2.0), c);
+            emit_u3_of(out, Gate::Phase(theta / 2.0), t);
+            emit_cx_native(out, c, t);
+            emit_u3_of(out, Gate::Phase(-theta / 2.0), t);
+            emit_cx_native(out, c, t);
+        }
+        Gate::Swap => {
+            let (a, b) = (op.qubits()[0], op.qubits()[1]);
+            emit_cx_native(out, a, b);
+            emit_cx_native(out, b, a);
+            emit_cx_native(out, a, b);
+        }
+        Gate::CCX => {
+            // CCX = (I⊗I⊗H)·CCZ·(I⊗I⊗H); CCZ is native.
+            let (a, b, c) = (op.qubits()[0], op.qubits()[1], op.qubits()[2]);
+            emit_u3_of(out, Gate::H, c);
+            out.ccz(a, b, c);
+            emit_u3_of(out, Gate::H, c);
+        }
+        ref g => unreachable!("unhandled gate {g}"),
+    }
+}
+
+fn emit_cx_native(out: &mut Circuit, c: usize, t: usize) {
+    emit_u3_of(out, Gate::H, t);
+    out.cz(c, t);
+    emit_u3_of(out, Gate::H, t);
+}
+
+fn emit_u3_of(out: &mut Circuit, gate: Gate, q: usize) {
+    let d = zyz_angles(&gate.matrix()).expect("1q gate matrices are unitary");
+    out.u3(d.theta, d.phi, d.lambda, q);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_num::hilbert_schmidt_distance;
+    use geyser_sim::circuit_unitary;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let d = hilbert_schmidt_distance(&circuit_unitary(a), &circuit_unitary(b));
+        assert!(d < 1e-10, "HSD = {d}");
+    }
+
+    #[test]
+    fn single_qubit_gates_become_one_u3() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).x(0).rz(0.7, 0).ry(1.1, 0);
+        let native = to_native_basis(&c);
+        assert!(native.is_native_basis());
+        assert_eq!(native.len(), 5);
+        assert_equivalent(&c, &native);
+    }
+
+    #[test]
+    fn cx_translation_is_exact() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let native = to_native_basis(&c);
+        assert!(native.is_native_basis());
+        assert_eq!(native.gate_counts().cz, 1);
+        assert_equivalent(&c, &native);
+    }
+
+    #[test]
+    fn cx_reverse_direction() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 0);
+        assert_equivalent(&c, &to_native_basis(&c));
+    }
+
+    #[test]
+    fn cphase_translation_is_exact() {
+        for theta in [0.3, 1.7, -0.9, std::f64::consts::PI] {
+            let mut c = Circuit::new(2);
+            c.cp(theta, 0, 1);
+            let native = to_native_basis(&c);
+            assert!(native.is_native_basis());
+            assert_equivalent(&c, &native);
+        }
+    }
+
+    #[test]
+    fn swap_translation_is_exact() {
+        let mut c = Circuit::new(2);
+        c.swap(0, 1);
+        let native = to_native_basis(&c);
+        assert!(native.is_native_basis());
+        assert_eq!(native.gate_counts().cz, 3);
+        assert_equivalent(&c, &native);
+    }
+
+    #[test]
+    fn ccx_uses_native_ccz() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let native = to_native_basis(&c);
+        assert!(native.is_native_basis());
+        assert_eq!(native.gate_counts().ccz, 1);
+        assert_equivalent(&c, &native);
+    }
+
+    #[test]
+    fn ccz_passes_through() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        let native = to_native_basis(&c);
+        assert_eq!(native.len(), 1);
+        assert_equivalent(&c, &native);
+    }
+
+    #[test]
+    fn larger_mixed_circuit_is_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .cp(0.4, 1, 2)
+            .swap(0, 2)
+            .t(1)
+            .cz(0, 1)
+            .rz(1.2, 2)
+            .cx(2, 0);
+        let native = to_native_basis(&c);
+        assert!(native.is_native_basis());
+        assert_equivalent(&c, &native);
+    }
+
+    #[test]
+    fn pulse_cost_matches_gate_pulse_model() {
+        // A translated CX should cost exactly Gate::CX.pulses().
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let native = to_native_basis(&c);
+        assert_eq!(native.total_pulses(), u64::from(Gate::CX.pulses()));
+    }
+}

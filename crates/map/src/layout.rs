@@ -1,0 +1,281 @@
+//! Initial placement of logical qubits onto lattice nodes.
+
+use geyser_circuit::Circuit;
+use geyser_topology::{Lattice, PathMatrix};
+
+/// A bijection from logical qubits to a subset of lattice nodes.
+///
+/// # Example
+///
+/// ```
+/// use geyser_map::Layout;
+/// use geyser_topology::Lattice;
+/// let lat = Lattice::triangular(3, 3);
+/// let layout = Layout::trivial(4, &lat);
+/// assert_eq!(layout.node_of(2), 2);
+/// assert_eq!(layout.logical_at(2), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    node_of: Vec<usize>,
+    logical_at: Vec<Option<usize>>,
+}
+
+impl Layout {
+    /// Builds a layout from an explicit logical→node assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range or assigned twice.
+    pub fn from_assignment(node_of: Vec<usize>, num_nodes: usize) -> Self {
+        let mut logical_at = vec![None; num_nodes];
+        for (q, &n) in node_of.iter().enumerate() {
+            assert!(n < num_nodes, "node {n} out of range");
+            assert!(logical_at[n].is_none(), "node {n} assigned twice");
+            logical_at[n] = Some(q);
+        }
+        Layout {
+            node_of,
+            logical_at,
+        }
+    }
+
+    /// Places logical qubit `q` on node `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice has fewer nodes than logical qubits.
+    pub fn trivial(num_logical: usize, lattice: &Lattice) -> Self {
+        assert!(
+            lattice.num_nodes() >= num_logical,
+            "lattice too small: {} nodes for {} qubits",
+            lattice.num_nodes(),
+            num_logical
+        );
+        Self::from_assignment((0..num_logical).collect(), lattice.num_nodes())
+    }
+
+    /// Interaction-aware greedy placement: logical qubits that
+    /// interact most are placed first, each as close as possible to
+    /// its already-placed partners (classic weighted-graph embedding,
+    /// the role Qiskit's layout passes play in the paper's flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lattice has fewer nodes than logical qubits.
+    pub fn interaction_aware(circuit: &Circuit, lattice: &Lattice) -> Self {
+        let n = circuit.num_qubits();
+        assert!(
+            lattice.num_nodes() >= n,
+            "lattice too small: {} nodes for {} qubits",
+            lattice.num_nodes(),
+            n
+        );
+        let pm = PathMatrix::new(lattice);
+
+        // Interaction weights between logical qubit pairs.
+        let mut weight = vec![0u64; n * n];
+        for op in circuit.iter() {
+            let qs = op.qubits();
+            for i in 0..qs.len() {
+                for j in (i + 1)..qs.len() {
+                    weight[qs[i] * n + qs[j]] += 1;
+                    weight[qs[j] * n + qs[i]] += 1;
+                }
+            }
+        }
+        let degree = |q: usize| -> u64 { (0..n).map(|r| weight[q * n + r]).sum() };
+
+        // Order logical qubits by total interaction weight, descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&q| std::cmp::Reverse(degree(q)));
+
+        // Seed: put the heaviest qubit on the most-connected node
+        // nearest the lattice centroid.
+        let centroid_node = {
+            let (mut cx, mut cy) = (0.0, 0.0);
+            for v in 0..lattice.num_nodes() {
+                let (x, y) = lattice.position(v);
+                cx += x;
+                cy += y;
+            }
+            cx /= lattice.num_nodes() as f64;
+            cy /= lattice.num_nodes() as f64;
+            (0..lattice.num_nodes())
+                .min_by(|&a, &b| {
+                    let da = {
+                        let (x, y) = lattice.position(a);
+                        (x - cx).hypot(y - cy)
+                    };
+                    let db = {
+                        let (x, y) = lattice.position(b);
+                        (x - cx).hypot(y - cy)
+                    };
+                    da.total_cmp(&db)
+                })
+                .expect("lattice is non-empty")
+        };
+
+        let mut node_of = vec![usize::MAX; n];
+        let mut taken = vec![false; lattice.num_nodes()];
+        for (rank, &q) in order.iter().enumerate() {
+            let best = if rank == 0 {
+                centroid_node
+            } else {
+                // Cost of a candidate node: weighted hop distance to
+                // already-placed partners (falls back to centroid pull
+                // for qubits with no placed partner).
+                (0..lattice.num_nodes())
+                    .filter(|&v| !taken[v])
+                    .min_by_key(|&v| {
+                        let mut cost: u64 = 0;
+                        let mut any = false;
+                        for r in 0..n {
+                            let w = weight[q * n + r];
+                            if w > 0 && node_of[r] != usize::MAX {
+                                cost += w * pm.hops(v, node_of[r]) as u64;
+                                any = true;
+                            }
+                        }
+                        if !any {
+                            cost = pm.hops(v, centroid_node) as u64;
+                        }
+                        cost
+                    })
+                    .expect("lattice has free nodes")
+            };
+            node_of[q] = best;
+            taken[best] = true;
+        }
+        Self::from_assignment(node_of, lattice.num_nodes())
+    }
+
+    /// Node hosting logical qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    #[inline]
+    pub fn node_of(&self, q: usize) -> usize {
+        self.node_of[q]
+    }
+
+    /// Logical qubit hosted at `node`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn logical_at(&self, node: usize) -> Option<usize> {
+        self.logical_at[node]
+    }
+
+    /// Number of logical qubits.
+    #[inline]
+    pub fn num_logical(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of lattice nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.logical_at.len()
+    }
+
+    /// Exchanges the contents of two nodes (the layout-tracking side
+    /// of a SWAP gate). Either node may be empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node is out of range.
+    pub fn swap_nodes(&mut self, a: usize, b: usize) {
+        let la = self.logical_at[a];
+        let lb = self.logical_at[b];
+        self.logical_at[a] = lb;
+        self.logical_at[b] = la;
+        if let Some(q) = la {
+            self.node_of[q] = b;
+        }
+        if let Some(q) = lb {
+            self.node_of[q] = a;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let lat = Lattice::square(2, 3);
+        let l = Layout::trivial(5, &lat);
+        for q in 0..5 {
+            assert_eq!(l.node_of(q), q);
+            assert_eq!(l.logical_at(q), Some(q));
+        }
+        assert_eq!(l.logical_at(5), None);
+        assert_eq!(l.num_logical(), 5);
+        assert_eq!(l.num_nodes(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "lattice too small")]
+    fn oversubscription_panics() {
+        let lat = Lattice::square(2, 2);
+        let _ = Layout::trivial(5, &lat);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_panics() {
+        let _ = Layout::from_assignment(vec![0, 0], 4);
+    }
+
+    #[test]
+    fn swap_nodes_updates_both_directions() {
+        let lat = Lattice::square(2, 2);
+        let mut l = Layout::trivial(2, &lat);
+        l.swap_nodes(0, 3); // q0 moves to empty node 3
+        assert_eq!(l.node_of(0), 3);
+        assert_eq!(l.logical_at(0), None);
+        assert_eq!(l.logical_at(3), Some(0));
+        l.swap_nodes(3, 1); // q0 and q1 exchange
+        assert_eq!(l.node_of(0), 1);
+        assert_eq!(l.node_of(1), 3);
+    }
+
+    #[test]
+    fn interaction_aware_places_hot_pairs_adjacent() {
+        // q0-q1 interact heavily; they should land adjacent.
+        let mut c = Circuit::new(4);
+        for _ in 0..10 {
+            c.cx(0, 1);
+        }
+        c.cx(2, 3);
+        let lat = Lattice::triangular(3, 3);
+        let l = Layout::interaction_aware(&c, &lat);
+        assert!(lat.are_adjacent(l.node_of(0), l.node_of(1)));
+    }
+
+    #[test]
+    fn interaction_aware_is_a_valid_bijection() {
+        let mut c = Circuit::new(6);
+        c.cx(0, 5).cx(1, 4).cx(2, 3).h(0);
+        let lat = Lattice::triangular(3, 3);
+        let l = Layout::interaction_aware(&c, &lat);
+        let mut seen = std::collections::BTreeSet::new();
+        for q in 0..6 {
+            assert!(seen.insert(l.node_of(q)), "node reused");
+            assert_eq!(l.logical_at(l.node_of(q)), Some(q));
+        }
+    }
+
+    #[test]
+    fn interaction_aware_handles_gateless_circuit() {
+        let c = Circuit::new(3);
+        let lat = Lattice::square(2, 2);
+        let l = Layout::interaction_aware(&c, &lat);
+        assert_eq!(l.num_logical(), 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Front-end lowering: decompose three-qubit gates into one- and
+//! two-qubit gates.
+//!
+//! The paper's input circuits contain only one- and two-qubit gates
+//! (Sec. 3.2: "the input circuits of quantum algorithms only consist
+//! of one- and two-qubit gate operations") — any Toffoli in an
+//! algorithm's textbook form is first lowered with the standard
+//! T-gate construction. Geyser's composition stage later *re*-creates
+//! three-qubit gates where profitable; this module is the forward
+//! direction.
+
+use geyser_circuit::{Circuit, Gate, Operation};
+
+/// Rewrites every CCX/CCZ into the standard 6-CNOT + T-gate
+/// construction, leaving all other gates untouched. The result is
+/// exactly unitary-equivalent (no global-phase drift).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::lower_to_two_qubit;
+/// let mut c = Circuit::new(3);
+/// c.ccx(0, 1, 2);
+/// let lowered = lower_to_two_qubit(&c);
+/// assert!(lowered.iter().all(|op| op.arity() <= 2));
+/// ```
+pub fn lower_to_two_qubit(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.iter() {
+        match op.gate() {
+            Gate::CCX => {
+                let (a, b, c) = (op.qubits()[0], op.qubits()[1], op.qubits()[2]);
+                out.h(c);
+                emit_ccz_core(&mut out, a, b, c);
+                out.h(c);
+            }
+            Gate::CCZ => {
+                let (a, b, c) = (op.qubits()[0], op.qubits()[1], op.qubits()[2]);
+                emit_ccz_core(&mut out, a, b, c);
+            }
+            _ => {
+                out.push(op.clone());
+            }
+        }
+    }
+    out
+}
+
+/// The CCZ body shared by both decompositions: the textbook Toffoli
+/// construction with the target's sandwiching Hadamards stripped.
+fn emit_ccz_core(out: &mut Circuit, a: usize, b: usize, c: usize) {
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(c);
+    out.cx(b, c);
+    out.tdg(c);
+    out.cx(a, c);
+    out.t(b);
+    out.t(c);
+    out.cx(a, b);
+    out.t(a);
+    out.tdg(b);
+    out.cx(a, b);
+}
+
+/// Convenience check used by the router: `true` when no operation in
+/// the circuit exceeds two qubits.
+pub(crate) fn is_two_qubit_max(circuit: &Circuit) -> bool {
+    circuit.iter().all(|op: &Operation| op.arity() <= 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_num::hilbert_schmidt_distance;
+    use geyser_sim::circuit_unitary;
+
+    #[test]
+    fn ccx_lowering_is_exact() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        let lowered = lower_to_two_qubit(&c);
+        assert!(is_two_qubit_max(&lowered));
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &circuit_unitary(&lowered));
+        assert!(d < 1e-12, "HSD = {d}");
+    }
+
+    #[test]
+    fn ccz_lowering_is_exact() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        let lowered = lower_to_two_qubit(&c);
+        assert!(is_two_qubit_max(&lowered));
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &circuit_unitary(&lowered));
+        assert!(d < 1e-12, "HSD = {d}");
+    }
+
+    #[test]
+    fn ccz_lowering_gate_budget_matches_paper() {
+        // Paper Fig. 11: a decomposed CCZ costs 6 two-qubit gates.
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        let lowered = lower_to_two_qubit(&c);
+        let two_qubit = lowered.iter().filter(|op| op.arity() == 2).count();
+        assert_eq!(two_qubit, 6);
+    }
+
+    #[test]
+    fn lowering_with_permuted_arguments() {
+        let mut c = Circuit::new(4);
+        c.ccx(3, 1, 0);
+        let lowered = lower_to_two_qubit(&c);
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &circuit_unitary(&lowered));
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn other_gates_pass_through() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).rz(0.3, 2).swap(1, 2);
+        let lowered = lower_to_two_qubit(&c);
+        assert_eq!(lowered.len(), c.len());
+        assert_eq!(lowered.ops(), c.ops());
+    }
+
+    #[test]
+    fn mixed_circuit_stays_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(0).ccx(0, 1, 2).cz(1, 2).ccz(2, 0, 1).t(0);
+        let lowered = lower_to_two_qubit(&c);
+        assert!(is_two_qubit_max(&lowered));
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &circuit_unitary(&lowered));
+        assert!(d < 1e-11, "HSD = {d}");
+    }
+}

@@ -1,0 +1,306 @@
+//! OptiMap optimization passes.
+//!
+//! These are the "state-of-the-art optimizations performed by Qiskit"
+//! the paper's OptiMap technique layers on top of the Baseline
+//! (Sec. 4): fusing runs of single-qubit gates into one U3 pulse,
+//! deleting identity gates, and cancelling CZ/CCZ pairs across
+//! commuting (diagonal) operations. Every pass preserves the circuit
+//! unitary up to global phase.
+
+use geyser_circuit::{Circuit, Gate, Operation};
+use geyser_num::{zyz_angles, CMatrix};
+
+const TOL: f64 = 1e-9;
+
+/// Returns `true` if the matrix equals `e^{iα}·I` within tolerance.
+fn is_identity_up_to_phase(m: &CMatrix) -> bool {
+    let phase = m[(0, 0)];
+    if (phase.norm() - 1.0).abs() > TOL {
+        return false;
+    }
+    m.approx_eq(&CMatrix::identity(m.rows()).scale(phase), TOL)
+}
+
+/// Returns `true` if the operation's matrix is diagonal (commutes with
+/// CZ and CCZ).
+fn is_diagonal_op(op: &Operation) -> bool {
+    if op.gate().is_diagonal() {
+        return true;
+    }
+    let m = op.gate().matrix();
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            if r != c && m[(r, c)].norm() > TOL {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Fuses every maximal run of single-qubit gates on one qubit into a
+/// single U3 (dropping runs that collapse to the identity).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::fuse_single_qubit_runs;
+/// let mut c = Circuit::new(1);
+/// c.h(0).h(0); // H·H = I: fuses away entirely
+/// assert!(fuse_single_qubit_runs(&c).is_empty());
+/// ```
+pub fn fuse_single_qubit_runs(circuit: &Circuit) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut out = Circuit::new(n);
+    let mut pending: Vec<Option<CMatrix>> = vec![None; n];
+
+    let flush = |out: &mut Circuit, pending: &mut Vec<Option<CMatrix>>, q: usize| {
+        if let Some(m) = pending[q].take() {
+            if !is_identity_up_to_phase(&m) {
+                let d = zyz_angles(&m).expect("product of unitaries is unitary");
+                out.u3(d.theta, d.phi, d.lambda, q);
+            }
+        }
+    };
+
+    for op in circuit.iter() {
+        if op.arity() == 1 {
+            let q = op.qubits()[0];
+            let g = op.gate().matrix();
+            pending[q] = Some(match pending[q].take() {
+                // Later gates left-multiply: run = g_k ⋯ g_2 g_1.
+                Some(acc) => g.matmul(&acc),
+                None => g,
+            });
+        } else {
+            for &q in op.qubits() {
+                flush(&mut out, &mut pending, q);
+            }
+            out.push(op.clone());
+        }
+    }
+    for q in 0..n {
+        flush(&mut out, &mut pending, q);
+    }
+    out
+}
+
+/// Removes single-qubit operations whose matrix is the identity up to
+/// global phase (e.g. `U3(0, 0, 0)` or `RZ(2π)`).
+pub fn remove_identities(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.iter() {
+        if op.arity() == 1 && is_identity_up_to_phase(&op.gate().matrix()) {
+            continue;
+        }
+        out.push(op.clone());
+    }
+    out
+}
+
+/// Cancels pairs of identical CZ (or CCZ) operations on the same qubit
+/// set when every intervening operation touching those qubits is
+/// diagonal (and therefore commutes with the gate).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::cancel_cz_pairs;
+/// let mut c = Circuit::new(2);
+/// c.cz(0, 1).rz(0.4, 0).cz(1, 0); // CZ is symmetric; RZ commutes
+/// let opt = cancel_cz_pairs(&c);
+/// assert_eq!(opt.gate_counts().cz, 0);
+/// assert_eq!(opt.len(), 1);
+/// ```
+pub fn cancel_cz_pairs(circuit: &Circuit) -> Circuit {
+    let ops = circuit.ops();
+    let mut removed = vec![false; ops.len()];
+
+    for i in 0..ops.len() {
+        if removed[i] || !matches!(ops[i].gate(), Gate::CZ | Gate::CCZ) {
+            continue;
+        }
+        let mut set_i: Vec<usize> = ops[i].qubits().to_vec();
+        set_i.sort_unstable();
+        'scan: for j in (i + 1)..ops.len() {
+            if removed[j] {
+                continue;
+            }
+            if !ops[j].overlaps(&ops[i]) {
+                continue;
+            }
+            if ops[j].gate() == ops[i].gate() {
+                let mut set_j: Vec<usize> = ops[j].qubits().to_vec();
+                set_j.sort_unstable();
+                if set_i == set_j {
+                    removed[i] = true;
+                    removed[j] = true;
+                    break 'scan;
+                }
+            }
+            if is_diagonal_op(&ops[j]) {
+                continue;
+            }
+            break 'scan;
+        }
+    }
+
+    let mut out = Circuit::new(circuit.num_qubits());
+    for (i, op) in ops.iter().enumerate() {
+        if !removed[i] {
+            out.push(op.clone());
+        }
+    }
+    out
+}
+
+/// Runs all OptiMap passes in rotation until the circuit stops
+/// changing (bounded at ten rounds; convergence is typically 2–3).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::optimize_to_fixpoint;
+/// let mut c = Circuit::new(2);
+/// c.h(1).cz(0, 1).cz(0, 1).h(1); // everything cancels
+/// assert!(optimize_to_fixpoint(&c).is_empty());
+/// ```
+pub fn optimize_to_fixpoint(circuit: &Circuit) -> Circuit {
+    let mut cur = circuit.clone();
+    for _ in 0..10 {
+        let next = cancel_cz_pairs(&fuse_single_qubit_runs(&cur));
+        if next.ops() == cur.ops() {
+            break;
+        }
+        cur = next;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_num::hilbert_schmidt_distance;
+    use geyser_sim::circuit_unitary;
+
+    fn assert_equivalent(a: &Circuit, b: &Circuit) {
+        let d = hilbert_schmidt_distance(&circuit_unitary(a), &circuit_unitary(b));
+        assert!(d < 1e-9, "HSD = {d}");
+    }
+
+    #[test]
+    fn fusion_merges_runs() {
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).h(0).x(1).z(1);
+        let fused = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 2); // one U3 per qubit
+        assert_equivalent(&c, &fused);
+    }
+
+    #[test]
+    fn fusion_respects_multi_qubit_barriers() {
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1).h(0);
+        let fused = fuse_single_qubit_runs(&c);
+        // The two H's cannot fuse across the CZ.
+        assert_eq!(fused.len(), 3);
+        assert_equivalent(&c, &fused);
+    }
+
+    #[test]
+    fn fusion_drops_identity_runs() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0).t(0).tdg(0);
+        assert!(fuse_single_qubit_runs(&c).is_empty());
+    }
+
+    #[test]
+    fn fusion_preserves_gate_order_semantics() {
+        // T·H ≠ H·T: fusion must respect application order.
+        let mut c = Circuit::new(1);
+        c.h(0).t(0);
+        let fused = fuse_single_qubit_runs(&c);
+        assert_eq!(fused.len(), 1);
+        assert_equivalent(&c, &fused);
+    }
+
+    #[test]
+    fn identity_removal() {
+        let mut c = Circuit::new(2);
+        c.u3(0.0, 0.0, 0.0, 0).rz(0.0, 1).h(0);
+        let cleaned = remove_identities(&c);
+        assert_eq!(cleaned.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_cz_pairs_cancel() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).cz(0, 1);
+        assert!(cancel_cz_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn cz_cancels_through_diagonal_gates() {
+        let mut c = Circuit::new(3);
+        c.cz(0, 1).rz(0.3, 0).t(1).cz(2, 1).cz(0, 1);
+        let opt = cancel_cz_pairs(&c);
+        // The outer CZ(0,1) pair cancels (RZ, T, CZ(2,1) all diagonal).
+        assert_eq!(opt.gate_counts().cz, 1);
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn cz_blocked_by_non_diagonal_gate() {
+        let mut c = Circuit::new(2);
+        c.cz(0, 1).h(0).cz(0, 1);
+        let opt = cancel_cz_pairs(&c);
+        assert_eq!(opt.gate_counts().cz, 2);
+    }
+
+    #[test]
+    fn ccz_pairs_cancel() {
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2).rz(0.5, 1).ccz(2, 0, 1);
+        let opt = cancel_cz_pairs(&c);
+        assert_eq!(opt.gate_counts().ccz, 0);
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn fixpoint_combines_passes() {
+        // H-CZ-CZ-H collapses to nothing, but only after both passes.
+        let mut c = Circuit::new(2);
+        c.h(1).cz(0, 1).cz(1, 0).h(1);
+        assert!(optimize_to_fixpoint(&c).is_empty());
+    }
+
+    #[test]
+    fn fixpoint_preserves_unitary_on_random_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .t(0)
+            .cz(0, 1)
+            .rz(0.2, 1)
+            .cz(0, 1)
+            .h(2)
+            .h(2)
+            .cz(1, 2)
+            .x(0)
+            .y(0);
+        let opt = optimize_to_fixpoint(&c);
+        assert!(opt.total_pulses() < c.total_pulses());
+        assert_equivalent(&c, &opt);
+    }
+
+    #[test]
+    fn fixpoint_never_increases_pulses() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cz(1, 2).h(2);
+        let native = crate::to_native_basis(&c);
+        let opt = optimize_to_fixpoint(&native);
+        assert!(opt.total_pulses() <= native.total_pulses());
+    }
+}

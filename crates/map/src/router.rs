@@ -1,0 +1,255 @@
+//! SWAP routing onto the lattice (SABRE-style lookahead heuristic).
+
+use geyser_circuit::{Circuit, Gate, Operation};
+use geyser_topology::{Lattice, PathMatrix};
+
+use crate::lower::is_two_qubit_max;
+use crate::Layout;
+
+/// Result of routing: a physical circuit over lattice nodes plus the
+/// layout evolution caused by inserted SWAPs.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit, indexed by lattice node. Every two-qubit
+    /// operation acts on adjacent nodes.
+    pub circuit: Circuit,
+    /// Placement before the first operation.
+    pub initial_layout: Layout,
+    /// Placement after the last operation (SWAPs permute qubits).
+    pub final_layout: Layout,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+}
+
+/// Number of upcoming two-qubit gates considered by the lookahead.
+const LOOKAHEAD_WINDOW: usize = 12;
+/// Geometric decay applied to later gates in the lookahead score.
+const LOOKAHEAD_DECAY: f64 = 0.6;
+
+/// Routes a logical circuit (gates of arity ≤ 2) onto `lattice`,
+/// inserting SWAPs so that every two-qubit gate acts on adjacent
+/// nodes.
+///
+/// The heuristic walks each non-adjacent pair together one hop at a
+/// time, choosing at each step the single SWAP (from either endpoint
+/// toward the other) that minimizes a decayed lookahead distance over
+/// the next `LOOKAHEAD_WINDOW` (12) two-qubit gates — a lightweight
+/// variant of SABRE's scoring.
+///
+/// # Panics
+///
+/// Panics if the circuit contains gates of arity three (lower them
+/// first with [`crate::lower_to_two_qubit`]), or the layout does not
+/// match the circuit/lattice.
+pub fn route(circuit: &Circuit, lattice: &Lattice, initial_layout: &Layout) -> RoutedCircuit {
+    assert!(
+        is_two_qubit_max(circuit),
+        "route requires gates of arity <= 2; lower the circuit first"
+    );
+    assert_eq!(
+        initial_layout.num_logical(),
+        circuit.num_qubits(),
+        "layout logical-qubit count mismatch"
+    );
+    assert_eq!(
+        initial_layout.num_nodes(),
+        lattice.num_nodes(),
+        "layout node count mismatch"
+    );
+
+    let pm = PathMatrix::new(lattice);
+    let mut layout = initial_layout.clone();
+    let mut out = Circuit::new(lattice.num_nodes());
+    let mut swaps = 0usize;
+
+    // Pre-extract the two-qubit gate positions for lookahead scoring.
+    let two_qubit_gates: Vec<(usize, usize, usize)> = circuit
+        .iter()
+        .enumerate()
+        .filter(|(_, op)| op.arity() == 2)
+        .map(|(i, op)| (i, op.qubits()[0], op.qubits()[1]))
+        .collect();
+
+    let lookahead_score = |layout: &Layout, from_2q_idx: usize| -> f64 {
+        two_qubit_gates
+            .iter()
+            .skip(from_2q_idx)
+            .take(LOOKAHEAD_WINDOW)
+            .enumerate()
+            .map(|(k, &(_, a, b))| {
+                let d = pm.hops(layout.node_of(a), layout.node_of(b)) as f64;
+                LOOKAHEAD_DECAY.powi(k as i32) * d
+            })
+            .sum()
+    };
+
+    let mut next_2q = 0usize;
+    for op in circuit.iter() {
+        match op.arity() {
+            1 => {
+                let node = layout.node_of(op.qubits()[0]);
+                out.push(Operation::new(*op.gate(), vec![node]));
+            }
+            2 => {
+                let (a, b) = (op.qubits()[0], op.qubits()[1]);
+                // Bring the endpoints together one hop at a time.
+                while !lattice.are_adjacent(layout.node_of(a), layout.node_of(b)) {
+                    let na = layout.node_of(a);
+                    let nb = layout.node_of(b);
+                    // Candidate SWAPs: first hop from either endpoint.
+                    let hop_a = pm.shortest_path(na, nb)[1];
+                    let hop_b = pm.shortest_path(nb, na)[1];
+                    let mut try_a = layout.clone();
+                    try_a.swap_nodes(na, hop_a);
+                    let mut try_b = layout.clone();
+                    try_b.swap_nodes(nb, hop_b);
+                    let score_a = lookahead_score(&try_a, next_2q);
+                    let score_b = lookahead_score(&try_b, next_2q);
+                    let (chosen, swap_pair) = if score_a <= score_b {
+                        (try_a, (na, hop_a))
+                    } else {
+                        (try_b, (nb, hop_b))
+                    };
+                    out.push(Operation::new(Gate::Swap, vec![swap_pair.0, swap_pair.1]));
+                    swaps += 1;
+                    layout = chosen;
+                }
+                out.push(Operation::new(
+                    *op.gate(),
+                    vec![layout.node_of(a), layout.node_of(b)],
+                ));
+                next_2q += 1;
+            }
+            _ => unreachable!("arity checked above"),
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        initial_layout: initial_layout.clone(),
+        final_layout: layout,
+        swaps_inserted: swaps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_num::hilbert_schmidt_distance;
+    use geyser_sim::circuit_unitary;
+
+    /// Builds the permutation circuit mapping the routed register back
+    /// to the initial placement, so unitary equivalence can be checked.
+    fn undo_permutation(routed: &RoutedCircuit) -> Circuit {
+        let n_nodes = routed.circuit.num_qubits();
+        let mut c = Circuit::new(n_nodes);
+        // Current position of each logical qubit vs its initial node.
+        let mut pos: Vec<usize> = (0..routed.initial_layout.num_logical())
+            .map(|q| routed.final_layout.node_of(q))
+            .collect();
+        for q in 0..pos.len() {
+            let want = routed.initial_layout.node_of(q);
+            if pos[q] != want {
+                // Find which logical qubit (if any) sits at `want`.
+                let other = pos.iter().position(|&p| p == want);
+                c.swap(pos[q], want);
+                let old = pos[q];
+                pos[q] = want;
+                if let Some(o) = other {
+                    pos[o] = old;
+                }
+            }
+        }
+        c
+    }
+
+    fn assert_routing_preserves_unitary(logical: &Circuit, lattice: &Lattice) {
+        let layout = Layout::trivial(logical.num_qubits(), lattice);
+        let routed = route(logical, lattice, &layout);
+        // All 2q ops adjacent.
+        for op in routed.circuit.iter() {
+            if op.arity() == 2 {
+                assert!(
+                    lattice.are_adjacent(op.qubits()[0], op.qubits()[1]),
+                    "non-adjacent 2q op after routing: {op}"
+                );
+            }
+        }
+        // Unitary equivalence after undoing the SWAP permutation:
+        // embed the logical circuit into the node space via the layout.
+        let mut full = routed.circuit.clone();
+        full.extend_from(&undo_permutation(&routed));
+        let embedded = logical.remapped(lattice.num_nodes(), |q| layout.node_of(q));
+        let d = hilbert_schmidt_distance(&circuit_unitary(&embedded), &circuit_unitary(&full));
+        assert!(d < 1e-9, "routing changed the unitary, HSD = {d}");
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let lat = Lattice::square(2, 2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let routed = route(&c, &lat, &Layout::trivial(2, &lat));
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.len(), 2);
+    }
+
+    #[test]
+    fn distant_gate_inserts_swaps() {
+        // 1×4 line: qubits 0 and 3 are three hops apart.
+        let lat = Lattice::square(1, 4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3);
+        let routed = route(&c, &lat, &Layout::trivial(4, &lat));
+        assert_eq!(routed.swaps_inserted, 2);
+        assert_routing_preserves_unitary(&c, &lat);
+    }
+
+    #[test]
+    fn routing_preserves_unitary_on_line() {
+        let lat = Lattice::square(1, 4);
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 2).cx(1, 3).cz(0, 3).t(2);
+        assert_routing_preserves_unitary(&c, &lat);
+    }
+
+    #[test]
+    fn routing_preserves_unitary_on_triangular() {
+        let lat = Lattice::triangular(2, 3);
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 4).cz(1, 3).cx(2, 4).cx(0, 1).cz(3, 4);
+        assert_routing_preserves_unitary(&c, &lat);
+    }
+
+    #[test]
+    fn single_qubit_gates_follow_their_qubit() {
+        let lat = Lattice::square(1, 3);
+        let mut c = Circuit::new(3);
+        c.cx(0, 2).h(0);
+        let routed = route(&c, &lat, &Layout::trivial(3, &lat));
+        // The H must land on wherever q0 ended up.
+        let last = routed.circuit.ops().last().unwrap();
+        assert_eq!(last.gate().name(), "h");
+        assert_eq!(last.qubits()[0], routed.final_layout.node_of(0));
+    }
+
+    #[test]
+    fn repeated_interaction_amortizes_swaps() {
+        // After the first CX(0,3), the qubits sit adjacent: the second
+        // CX must not add SWAPs.
+        let lat = Lattice::square(1, 4);
+        let mut c = Circuit::new(4);
+        c.cx(0, 3).cx(0, 3);
+        let routed = route(&c, &lat, &Layout::trivial(4, &lat));
+        assert_eq!(routed.swaps_inserted, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity <= 2")]
+    fn three_qubit_gate_rejected() {
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(3);
+        c.ccz(0, 1, 2);
+        let _ = route(&c, &lat, &Layout::trivial(3, &lat));
+    }
+}

@@ -1,0 +1,342 @@
+//! Restriction-zone-aware scheduling (depth pulses, paper Fig. 13).
+//!
+//! While a multi-qubit Rydberg gate executes, every atom inside its
+//! restriction zone is frozen (paper Fig. 4). The critical-path length
+//! of a physical circuit therefore depends on the layout: two
+//! operations that are data-independent may still serialize because
+//! their zones overlap. This greedy list scheduler computes the
+//! makespan in pulses under those constraints.
+
+use geyser_circuit::Circuit;
+use geyser_topology::Lattice;
+
+/// One scheduled time interval `[start, end)` on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    start: u64,
+    end: u64,
+}
+
+impl Interval {
+    fn overlaps(&self, start: u64, end: u64) -> bool {
+        self.start < end && start < self.end
+    }
+}
+
+/// One operation's placement in a zone-aware schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Index into the circuit's operation list.
+    pub op_index: usize,
+    /// Start time in pulses.
+    pub start: u64,
+    /// End time in pulses (exclusive).
+    pub end: u64,
+}
+
+/// A complete zone-aware schedule of a physical circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    entries: Vec<ScheduledOp>,
+    makespan: u64,
+}
+
+impl Schedule {
+    /// Per-operation placements in program order.
+    pub fn entries(&self) -> &[ScheduledOp] {
+        &self.entries
+    }
+
+    /// Total schedule length in pulses (the paper's depth pulses).
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Number of operations executing at time `t`.
+    pub fn concurrency_at(&self, t: u64) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.start <= t && t < e.end)
+            .count()
+    }
+
+    /// Peak concurrency across the schedule — how much quantum
+    /// parallelism the layout actually admits.
+    pub fn peak_concurrency(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|e| self.concurrency_at(e.start))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Renders a textual Gantt chart (one row per scheduled op),
+    /// useful for inspecting restriction-zone serialization.
+    pub fn render_gantt(&self, circuit: &Circuit) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let span = self.makespan.min(120);
+        let scale = if self.makespan > 120 {
+            self.makespan as f64 / 120.0
+        } else {
+            1.0
+        };
+        for e in &self.entries {
+            let op = &circuit.ops()[e.op_index];
+            let s = (e.start as f64 / scale).round() as u64;
+            let w = (((e.end - e.start) as f64 / scale).round() as u64).max(1);
+            let _ = write!(out, "{:>4} {:<18} ", e.op_index, op.to_string());
+            out.push_str(&" ".repeat(s as usize));
+            out.push_str(&"█".repeat(w.min(span + 1) as usize));
+            out.push('\n');
+        }
+        let _ = writeln!(out, "makespan: {} pulses", self.makespan);
+        out
+    }
+}
+
+/// Builds the full zone-aware schedule of `circuit` on `lattice`.
+///
+/// Operations are scheduled greedily in program order: each starts at
+/// the earliest time satisfying
+///
+/// 1. data dependencies (its qubits are free),
+/// 2. its own qubits are not inside any running multi-qubit gate's
+///    restriction zone,
+/// 3. (for multi-qubit gates) no other operation is running on a node
+///    inside its own restriction zone.
+///
+/// `circuit` must be expressed over physical lattice nodes.
+///
+/// # Panics
+///
+/// Panics if the circuit's qubit count differs from the lattice size.
+pub fn zone_aware_schedule(circuit: &Circuit, lattice: &Lattice) -> Schedule {
+    assert_eq!(
+        circuit.num_qubits(),
+        lattice.num_nodes(),
+        "circuit must be over lattice nodes"
+    );
+    let n = lattice.num_nodes();
+    // Per node: intervals where an operation executes on the node.
+    let mut busy: Vec<Vec<Interval>> = vec![Vec::new(); n];
+    // Per node: intervals where the node sits in some gate's zone.
+    let mut restricted: Vec<Vec<Interval>> = vec![Vec::new(); n];
+    // Earliest data-ready time per node.
+    let mut ready: Vec<u64> = vec![0; n];
+
+    let mut makespan = 0u64;
+    let mut entries = Vec::with_capacity(circuit.len());
+    for (op_index, op) in circuit.iter().enumerate() {
+        let dur = op.pulses() as u64;
+        let qubits = op.qubits();
+        let is_multi = qubits.len() > 1;
+        let zone: Vec<usize> = if is_multi {
+            lattice.restriction_zone(qubits).into_iter().collect()
+        } else {
+            Vec::new()
+        };
+
+        // Lower bound from data dependencies.
+        let mut t = qubits.iter().map(|&q| ready[q]).max().unwrap_or(0);
+        // Push t forward past every conflict.
+        loop {
+            let end = t + dur;
+            let mut pushed = t;
+            // (2) own qubits must not be restricted during [t, end).
+            for &q in qubits {
+                for iv in &restricted[q] {
+                    if iv.overlaps(t, end) {
+                        pushed = pushed.max(iv.end);
+                    }
+                }
+                // Qubits must also not be busy (covers same-node
+                // overlap with ops we don't depend on via `ready`).
+                for iv in &busy[q] {
+                    if iv.overlaps(t, end) {
+                        pushed = pushed.max(iv.end);
+                    }
+                }
+            }
+            // (3) our zone must contain no executing operation.
+            for &z in &zone {
+                for iv in &busy[z] {
+                    if iv.overlaps(t, end) {
+                        pushed = pushed.max(iv.end);
+                    }
+                }
+            }
+            if pushed == t {
+                break;
+            }
+            t = pushed;
+        }
+
+        let end = t + dur;
+        for &q in qubits {
+            busy[q].push(Interval { start: t, end });
+            ready[q] = end;
+        }
+        for &z in &zone {
+            restricted[z].push(Interval { start: t, end });
+        }
+        entries.push(ScheduledOp {
+            op_index,
+            start: t,
+            end,
+        });
+        makespan = makespan.max(end);
+    }
+    Schedule { entries, makespan }
+}
+
+/// The zone-aware makespan in pulses (paper Fig. 13's metric).
+///
+/// Shorthand for [`zone_aware_schedule`]`.makespan()`.
+///
+/// # Panics
+///
+/// Panics if the circuit's qubit count differs from the lattice size.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::zone_aware_depth_pulses;
+/// use geyser_topology::Lattice;
+///
+/// let lat = Lattice::triangular(2, 2);
+/// let mut c = Circuit::new(4);
+/// c.cz(0, 1).cz(2, 3); // zones overlap on a 2×2 patch: serialized
+/// assert_eq!(zone_aware_depth_pulses(&c, &lat), 6);
+/// ```
+pub fn zone_aware_depth_pulses(circuit: &Circuit, lattice: &Lattice) -> u64 {
+    zone_aware_schedule(circuit, lattice).makespan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_circuit_has_zero_depth() {
+        let lat = Lattice::triangular(2, 2);
+        assert_eq!(zone_aware_depth_pulses(&Circuit::new(4), &lat), 0);
+    }
+
+    #[test]
+    fn independent_one_qubit_gates_run_in_parallel() {
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        // 1q gates create no zones: all concurrent.
+        assert_eq!(zone_aware_depth_pulses(&c, &lat), 1);
+    }
+
+    #[test]
+    fn serial_chain_adds_up() {
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).h(1);
+        assert_eq!(zone_aware_depth_pulses(&c, &lat), 1 + 3 + 1);
+    }
+
+    #[test]
+    fn zone_conflict_serializes_data_independent_gates() {
+        // On a 2×2 triangular patch every node neighbours every other
+        // (except one diagonal), so two CZs conflict via zones even
+        // though they share no qubit.
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).cz(2, 3);
+        assert_eq!(zone_aware_depth_pulses(&c, &lat), 6);
+        // Ignoring zones they would be concurrent:
+        assert_eq!(c.depth_pulses(), 3);
+    }
+
+    #[test]
+    fn distant_gates_stay_parallel() {
+        // A 3×6 triangular lattice: gates at opposite corners.
+        let lat = Lattice::triangular(3, 6);
+        let mut c = Circuit::new(18);
+        c.cz(0, 1).cz(16, 17);
+        assert_eq!(zone_aware_depth_pulses(&c, &lat), 3);
+    }
+
+    #[test]
+    fn one_qubit_gate_blocked_inside_zone() {
+        // H on a node inside the zone of a running CZ must wait if
+        // issued after, but the scheduler is greedy in program order:
+        // H(q2) issued after CZ(0,1) with q2 adjacent to q0.
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(4);
+        c.cz(0, 1).h(2);
+        // q2 neighbours q0/q1 on this patch, so H waits for the CZ.
+        assert_eq!(zone_aware_depth_pulses(&c, &lat), 4);
+    }
+
+    #[test]
+    fn one_qubit_gates_do_not_block_multi_qubit_gates() {
+        // H(far node) runs during CZ: 1q gates generate no zone, and
+        // the H's node is outside the CZ zone.
+        let lat = Lattice::triangular(3, 6);
+        let mut c = Circuit::new(18);
+        c.h(17).cz(0, 1);
+        assert_eq!(zone_aware_depth_pulses(&c, &lat), 3);
+    }
+
+    #[test]
+    fn zone_aware_depth_at_least_plain_depth() {
+        let lat = Lattice::triangular(3, 3);
+        let mut c = Circuit::new(9);
+        c.cz(0, 1).cz(3, 4).cz(6, 7).h(2).h(5).cz(1, 2).ccz(3, 4, 6);
+        assert!(zone_aware_depth_pulses(&c, &lat) >= c.depth_pulses());
+    }
+
+    #[test]
+    #[should_panic(expected = "over lattice nodes")]
+    fn size_mismatch_panics() {
+        let lat = Lattice::triangular(2, 2);
+        let _ = zone_aware_depth_pulses(&Circuit::new(3), &lat);
+    }
+
+    #[test]
+    fn schedule_entries_cover_all_ops_in_order() {
+        let lat = Lattice::triangular(2, 3);
+        let mut c = Circuit::new(6);
+        c.h(0).cz(0, 1).cz(4, 5).h(1).ccz(0, 1, 2);
+        let s = zone_aware_schedule(&c, &lat);
+        assert_eq!(s.entries().len(), c.len());
+        for (i, e) in s.entries().iter().enumerate() {
+            assert_eq!(e.op_index, i);
+            assert_eq!(e.end - e.start, c.ops()[i].pulses() as u64);
+        }
+        assert_eq!(
+            s.makespan(),
+            s.entries().iter().map(|e| e.end).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn concurrency_reflects_parallelism() {
+        let lat = Lattice::triangular(3, 6);
+        let mut c = Circuit::new(18);
+        c.cz(0, 1).cz(16, 17); // independent, run together
+        let s = zone_aware_schedule(&c, &lat);
+        assert_eq!(s.peak_concurrency(), 2);
+        assert_eq!(s.concurrency_at(0), 2);
+        assert_eq!(s.concurrency_at(5), 0);
+    }
+
+    #[test]
+    fn gantt_renders_every_op() {
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1);
+        let s = zone_aware_schedule(&c, &lat);
+        let g = s.render_gantt(&c);
+        assert!(g.contains("h q0"));
+        assert!(g.contains("cz q0,q1"));
+        assert!(g.contains("makespan: 4 pulses"));
+    }
+}

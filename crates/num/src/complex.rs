@@ -1,0 +1,406 @@
+//! A compact double-precision complex scalar.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A double-precision complex number `re + i·im`.
+///
+/// Implements the full set of field operations plus the handful of
+/// transcendental helpers the rest of the workspace needs (polar forms,
+/// complex exponentials for gate matrices).
+///
+/// # Example
+///
+/// ```
+/// use geyser_num::Complex;
+///
+/// let z = Complex::new(0.0, 1.0);
+/// assert!((z * z + Complex::ONE).norm() < 1e-15); // i² = -1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Creates the complex number `r·e^{iθ}` from polar coordinates.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geyser_num::Complex;
+    /// use std::f64::consts::PI;
+    /// let z = Complex::from_polar(1.0, PI);
+    /// assert!((z - Complex::new(-1.0, 0.0)).norm() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Modulus (absolute value) `|z| = sqrt(re² + im²)`.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`, cheaper than [`Complex::norm`].
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value if `z` is zero, mirroring `f64`
+    /// division semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Component-wise approximate equality with absolute tolerance `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ is the definition
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn constructors_and_accessors() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(z.norm(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(Complex::from_real(2.5), Complex::new(2.5, 0.0));
+        assert_eq!(Complex::from(1.5), Complex::new(1.5, 0.0));
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 0.25);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert!(((a * b) * a.recip() - b).norm() < 1e-14);
+        assert_eq!(a - a, Complex::ZERO);
+        assert!((a / a - Complex::ONE).norm() < 1e-15);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::I * Complex::I + Complex::ONE).norm() < 1e-15);
+    }
+
+    #[test]
+    fn conjugation_properties() {
+        let a = Complex::new(1.5, -2.5);
+        let b = Complex::new(0.5, 3.0);
+        assert_eq!(a.conj().conj(), a);
+        assert!(((a * b).conj() - a.conj() * b.conj()).norm() < 1e-14);
+        assert!((a * a.conj() - Complex::from_real(a.norm_sqr())).norm() < 1e-14);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, FRAC_PI_2);
+        assert!((z - Complex::new(0.0, 2.0)).norm() < 1e-15);
+        assert!((z.norm() - 2.0).abs() < 1e-15);
+        assert!((z.arg() - FRAC_PI_2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * PI / 8.0;
+            assert!((Complex::cis(theta).norm() - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex::I * PI).exp();
+        assert!((z + Complex::ONE).norm() < 1e-14);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex::new(-3.0, 4.0);
+        let r = z.sqrt();
+        assert!((r * r - z).norm() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(2.0, -3.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c = a;
+        c -= b;
+        assert_eq!(c, a - b);
+        c = a;
+        c *= b;
+        assert_eq!(c, a * b);
+        c = a;
+        c /= b;
+        assert_eq!(c, a / b);
+    }
+
+    #[test]
+    fn sum_and_product_fold_correctly() {
+        let zs = [
+            Complex::new(1.0, 0.0),
+            Complex::new(0.0, 1.0),
+            Complex::new(2.0, 2.0),
+        ];
+        let s: Complex = zs.iter().copied().sum();
+        assert_eq!(s, Complex::new(3.0, 3.0));
+        let p: Complex = zs.iter().copied().product();
+        // (1)(i)(2+2i) = 2i - 2
+        assert!((p - Complex::new(-2.0, 2.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        let a = Complex::new(1.0, 1.0);
+        let b = Complex::new(1.0 + 1e-9, 1.0 - 1e-9);
+        assert!(a.approx_eq(b, 1e-8));
+        assert!(!a.approx_eq(b, 1e-10));
+    }
+
+    #[test]
+    fn real_scalar_mul_div() {
+        let z = Complex::new(2.0, -4.0);
+        assert_eq!(z * 0.5, Complex::new(1.0, -2.0));
+        assert_eq!(0.5 * z, Complex::new(1.0, -2.0));
+        assert_eq!(z / 2.0, Complex::new(1.0, -2.0));
+    }
+}

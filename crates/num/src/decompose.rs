@@ -1,0 +1,204 @@
+//! Analytic decomposition of 2×2 unitaries into U3 angles.
+//!
+//! Any single-qubit unitary can be written as `e^{iα} · U3(θ, φ, λ)`
+//! where `U3` is the general three-parameter rotation gate used by the
+//! neutral-atom hardware basis (paper Sec. 2.1). This module extracts
+//! those angles analytically — the core primitive behind OptiMap's
+//! single-qubit-run fusion pass, which merges arbitrary chains of 1q
+//! gates into a single physical pulse.
+
+use crate::{CMatrix, Complex};
+
+/// Result of decomposing a 2×2 unitary into `e^{iα}·U3(θ, φ, λ)`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_num::{zyz_angles, CMatrix, Complex};
+/// let s = Complex::from_real(1.0 / f64::sqrt(2.0));
+/// let h = CMatrix::from_rows(&[&[s, s], &[s, -s]]);
+/// let d = zyz_angles(&h).expect("H is unitary");
+/// assert!((d.theta - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZyzDecomposition {
+    /// Global phase `α`.
+    pub alpha: f64,
+    /// Polar rotation angle `θ ∈ [0, π]`.
+    pub theta: f64,
+    /// First azimuthal angle `φ`.
+    pub phi: f64,
+    /// Second azimuthal angle `λ`.
+    pub lambda: f64,
+}
+
+impl ZyzDecomposition {
+    /// Reconstructs the 2×2 unitary `e^{iα}·U3(θ, φ, λ)`.
+    pub fn to_matrix(&self) -> CMatrix {
+        let (ht_cos, ht_sin) = ((self.theta / 2.0).cos(), (self.theta / 2.0).sin());
+        let a = Complex::cis(self.alpha);
+        CMatrix::from_rows(&[
+            &[a * ht_cos, -(a * Complex::cis(self.lambda)) * ht_sin],
+            &[
+                a * Complex::cis(self.phi) * ht_sin,
+                a * Complex::cis(self.phi + self.lambda) * ht_cos,
+            ],
+        ])
+    }
+}
+
+/// Decomposes a 2×2 unitary into `e^{iα}·U3(θ, φ, λ)` angles.
+///
+/// Returns `None` if the matrix is not 2×2 or deviates from unitarity
+/// by more than `1e-8` (entry-wise).
+///
+/// The decomposition is exact: reconstructing via
+/// [`ZyzDecomposition::to_matrix`] reproduces the input to floating-
+/// point precision. Degenerate cases (`θ ≈ 0` diagonal matrices and
+/// `θ ≈ π` anti-diagonal matrices) resolve the gauge freedom by fixing
+/// `φ = 0` and `α = 0` respectively.
+pub fn zyz_angles(u: &CMatrix) -> Option<ZyzDecomposition> {
+    if u.rows() != 2 || u.cols() != 2 || !u.is_unitary(1e-8) {
+        return None;
+    }
+    let u00 = u[(0, 0)];
+    let u01 = u[(0, 1)];
+    let u10 = u[(1, 0)];
+    let u11 = u[(1, 1)];
+
+    let c = u00.norm(); // cos(θ/2)
+    let s = u10.norm(); // sin(θ/2)
+    let theta = 2.0 * s.atan2(c);
+
+    const EPS: f64 = 1e-12;
+    let (alpha, phi, lambda) = if s <= EPS {
+        // Diagonal: U = diag(e^{iα}, e^{i(α+λ)}) with φ gauge-fixed to 0.
+        let alpha = u00.arg();
+        let lambda = u11.arg() - alpha;
+        (alpha, 0.0, lambda)
+    } else if c <= EPS {
+        // Anti-diagonal: u10 = e^{i(α+φ)}, u01 = -e^{i(α+λ)}; fix α = 0.
+        let phi = u10.arg();
+        let lambda = (-u01).arg();
+        (0.0, phi, lambda)
+    } else {
+        let alpha = u00.arg();
+        let phi = u10.arg() - alpha;
+        let lambda = (-u01).arg() - alpha;
+        (alpha, phi, lambda)
+    };
+
+    Some(ZyzDecomposition {
+        alpha,
+        theta,
+        phi,
+        lambda,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    fn u3(theta: f64, phi: f64, lambda: f64) -> CMatrix {
+        ZyzDecomposition {
+            alpha: 0.0,
+            theta,
+            phi,
+            lambda,
+        }
+        .to_matrix()
+    }
+
+    fn assert_roundtrip(u: &CMatrix) {
+        let d = zyz_angles(u).expect("input must be unitary");
+        let back = d.to_matrix();
+        assert!(
+            back.approx_eq(u, 1e-10),
+            "roundtrip failed:\ninput:\n{u}\nreconstructed:\n{back}\nangles: {d:?}"
+        );
+    }
+
+    #[test]
+    fn hadamard_roundtrip() {
+        assert_roundtrip(&u3(FRAC_PI_2, 0.0, PI));
+    }
+
+    #[test]
+    fn pauli_gates_roundtrip() {
+        // X = U3(π, 0, π) up to phase; build directly.
+        let x = CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ]);
+        assert_roundtrip(&x);
+        let y = CMatrix::from_rows(&[&[Complex::ZERO, -Complex::I], &[Complex::I, Complex::ZERO]]);
+        assert_roundtrip(&y);
+        let z = CMatrix::from_diagonal(&[Complex::ONE, -Complex::ONE]);
+        assert_roundtrip(&z);
+    }
+
+    #[test]
+    fn identity_decomposes_to_zero_theta() {
+        let d = zyz_angles(&CMatrix::identity(2)).unwrap();
+        assert!(d.theta.abs() < 1e-12);
+        assert!(d.alpha.abs() < 1e-12);
+        assert_roundtrip(&CMatrix::identity(2));
+    }
+
+    #[test]
+    fn phase_gate_roundtrip() {
+        let sgate = CMatrix::from_diagonal(&[Complex::ONE, Complex::I]);
+        let d = zyz_angles(&sgate).unwrap();
+        assert!((d.lambda - FRAC_PI_2).abs() < 1e-12);
+        assert_roundtrip(&sgate);
+    }
+
+    #[test]
+    fn global_phase_is_recovered() {
+        let phased = CMatrix::identity(2).scale(Complex::cis(0.7));
+        let d = zyz_angles(&phased).unwrap();
+        assert!((d.alpha - 0.7).abs() < 1e-12);
+        assert_roundtrip(&phased);
+    }
+
+    #[test]
+    fn dense_generic_unitaries_roundtrip() {
+        for &(t, p, l) in &[
+            (0.3, 1.2, -0.8),
+            (FRAC_PI_4, 2.0, 4.0),
+            (2.9, -1.0, 0.1),
+            (1.0, 0.0, 0.0),
+        ] {
+            let u = u3(t, p, l).scale(Complex::cis(0.33));
+            assert_roundtrip(&u);
+        }
+    }
+
+    #[test]
+    fn non_unitary_is_rejected() {
+        let m = CMatrix::from_rows(&[
+            &[c64(1.0, 0.0), c64(1.0, 0.0)],
+            &[Complex::ZERO, Complex::ONE],
+        ]);
+        assert!(zyz_angles(&m).is_none());
+    }
+
+    #[test]
+    fn wrong_dimension_is_rejected() {
+        assert!(zyz_angles(&CMatrix::identity(4)).is_none());
+    }
+
+    #[test]
+    fn product_of_u3s_fuses_to_single_u3() {
+        // The fusion use-case: multiply two arbitrary single-qubit
+        // unitaries, decompose, and verify the single U3 reproduces
+        // the product.
+        let a = u3(0.7, 0.2, 1.1);
+        let b = u3(2.2, -0.4, 0.9);
+        let prod = a.matmul(&b);
+        assert_roundtrip(&prod);
+    }
+}

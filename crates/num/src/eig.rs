@@ -1,0 +1,429 @@
+//! Real symmetric eigendecomposition (cyclic Jacobi) and simultaneous
+//! diagonalization of commuting symmetric pairs.
+//!
+//! These are the numerical kernels behind the Cartan (KAK)
+//! decomposition of two-qubit unitaries: diagonalizing the symmetric
+//! unitary `W = U'ᵀU'` in the magic basis requires simultaneously
+//! diagonalizing its commuting real and imaginary parts.
+
+/// A real symmetric matrix in row-major storage.
+///
+/// Only the operations needed by the eigensolver are provided; general
+/// complex matrices live in [`crate::CMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl RMatrix {
+    /// Creates an `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be non-zero");
+        RMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a function of `(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(n: usize, mut f: F) -> Self {
+        let mut m = Self::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &RMatrix) -> RMatrix {
+        assert_eq!(self.n, rhs.n, "dimension mismatch");
+        let n = self.n;
+        let mut out = RMatrix::zeros(n);
+        for r in 0..n {
+            for k in 0..n {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..n {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> RMatrix {
+        RMatrix::from_fn(self.n, |r, c| self[(c, r)])
+    }
+
+    /// Determinant via LU with partial pivoting.
+    pub fn det(&self) -> f64 {
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut det = 1.0;
+        for col in 0..n {
+            // Pivot.
+            let mut piv = col;
+            for r in (col + 1)..n {
+                if a[r * n + col].abs() > a[piv * n + col].abs() {
+                    piv = r;
+                }
+            }
+            if a[piv * n + col].abs() < 1e-300 {
+                return 0.0;
+            }
+            if piv != col {
+                for c in 0..n {
+                    a.swap(col * n + c, piv * n + c);
+                }
+                det = -det;
+            }
+            det *= a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / a[col * n + col];
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+            }
+        }
+        det
+    }
+
+    /// Maximum absolute off-diagonal entry.
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut m = 0.0f64;
+        for r in 0..self.n {
+            for c in 0..self.n {
+                if r != c {
+                    m = m.max(self[(r, c)].abs());
+                }
+            }
+        }
+        m
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for RMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.n + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for RMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.n + c]
+    }
+}
+
+/// Eigendecomposition `A = Q · diag(λ) · Qᵀ` of a real symmetric
+/// matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, Q)` with `Q` orthogonal (columns are
+/// eigenvectors). Accuracy ~1e-13 for well-conditioned inputs.
+///
+/// # Panics
+///
+/// Panics if `a` deviates from symmetry by more than `1e-9`.
+pub fn jacobi_eigen(a: &RMatrix) -> (Vec<f64>, RMatrix) {
+    let n = a.dim();
+    for r in 0..n {
+        for c in (r + 1)..n {
+            assert!(
+                (a[(r, c)] - a[(c, r)]).abs() < 1e-9,
+                "matrix is not symmetric"
+            );
+        }
+    }
+    let mut m = a.clone();
+    let mut q = RMatrix::identity(n);
+    for _sweep in 0..100 {
+        if m.max_off_diagonal() < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apq = m[(p, r)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(r, r)];
+                // Classic Jacobi rotation angle: tan(2θ) = 2a_pq/(a_pp−a_qq).
+                let phi = 0.5 * (2.0 * apq).atan2(app - aqq);
+                let (s, c) = phi.sin_cos();
+                // Apply rotation R(p, r) on both sides: m ← Rᵀ m R.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkr = m[(k, r)];
+                    m[(k, p)] = c * mkp + s * mkr;
+                    m[(k, r)] = -s * mkp + c * mkr;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mrk = m[(r, k)];
+                    m[(p, k)] = c * mpk + s * mrk;
+                    m[(r, k)] = -s * mpk + c * mrk;
+                }
+                for k in 0..n {
+                    let qkp = q[(k, p)];
+                    let qkr = q[(k, r)];
+                    q[(k, p)] = c * qkp + s * qkr;
+                    q[(k, r)] = -s * qkp + c * qkr;
+                }
+            }
+        }
+    }
+    let eigenvalues = (0..n).map(|i| m[(i, i)]).collect();
+    (eigenvalues, q)
+}
+
+/// Simultaneously diagonalizes two commuting real symmetric matrices:
+/// returns an orthogonal `Q` with both `QᵀAQ` and `QᵀBQ` diagonal.
+///
+/// Strategy: diagonalize `A`; within each degenerate eigenvalue
+/// cluster of `A`, diagonalize the projection of `B` (which is block
+/// diagonal there because `A` and `B` commute).
+///
+/// # Panics
+///
+/// Panics if the matrices have different dimensions or are not
+/// symmetric; returns a `Q` that fails to diagonalize `B` only if the
+/// inputs do not actually commute (checked by the caller's tests).
+pub fn simultaneous_diagonalize(a: &RMatrix, b: &RMatrix) -> RMatrix {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+    let n = a.dim();
+    let (mut evals, mut q) = jacobi_eigen(a);
+
+    // Sort eigenvalues (and columns) so clusters are contiguous.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| evals[i].total_cmp(&evals[j]));
+    let sorted_q = RMatrix::from_fn(n, |r, c| q[(r, order[c])]);
+    let sorted_evals: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
+    q = sorted_q;
+    evals = sorted_evals;
+
+    // Identify degenerate clusters and rotate within them to
+    // diagonalize B's projection.
+    let tol = 1e-8;
+    let mut start = 0;
+    while start < n {
+        let mut end = start + 1;
+        while end < n && (evals[end] - evals[start]).abs() < tol {
+            end += 1;
+        }
+        let k = end - start;
+        if k > 1 {
+            // Projection of B into the cluster: (QᵀBQ)[start..end].
+            let bq = b.matmul(&q);
+            let proj = RMatrix::from_fn(k, |r, c| {
+                (0..n).map(|i| q[(i, start + r)] * bq[(i, start + c)]).sum()
+            });
+            let (_, rot) = jacobi_eigen(&proj);
+            // q_cluster ← q_cluster · rot
+            let old: Vec<Vec<f64>> = (0..k)
+                .map(|c| (0..n).map(|r| q[(r, start + c)]).collect())
+                .collect();
+            for c in 0..k {
+                for r in 0..n {
+                    q[(r, start + c)] = (0..k).map(|j| old[j][r] * rot[(j, c)]).sum();
+                }
+            }
+        }
+        start = end;
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_symmetric(n: usize, seed: u64) -> RMatrix {
+        // Simple deterministic LCG so the crate needs no rand dep.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        let mut m = RMatrix::zeros(n);
+        for r in 0..n {
+            for c in r..n {
+                let v = next();
+                m[(r, c)] = v;
+                m[(c, r)] = v;
+            }
+        }
+        m
+    }
+
+    fn assert_diagonalizes(a: &RMatrix, q: &RMatrix, tol: f64) {
+        let d = q.transpose().matmul(a).matmul(q);
+        assert!(
+            d.max_off_diagonal() < tol,
+            "off-diagonal residue {}",
+            d.max_off_diagonal()
+        );
+    }
+
+    fn assert_orthogonal(q: &RMatrix, tol: f64) {
+        let qtq = q.transpose().matmul(q);
+        for r in 0..q.dim() {
+            for c in 0..q.dim() {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((qtq[(r, c)] - want).abs() < tol, "QᵀQ[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let mut a = RMatrix::zeros(3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 0.5;
+        let (evals, q) = jacobi_eigen(&a);
+        assert_orthogonal(&q, 1e-12);
+        let mut sorted = evals.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert!((sorted[0] + 1.0).abs() < 1e-12);
+        assert!((sorted[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_eigenvalues() {
+        // [[0, 1], [1, 0]] has eigenvalues ±1.
+        let mut a = RMatrix::zeros(2);
+        a[(0, 1)] = 1.0;
+        a[(1, 0)] = 1.0;
+        let (mut evals, q) = jacobi_eigen(&a);
+        evals.sort_by(f64::total_cmp);
+        assert!((evals[0] + 1.0).abs() < 1e-12);
+        assert!((evals[1] - 1.0).abs() < 1e-12);
+        assert_orthogonal(&q, 1e-12);
+        assert_diagonalizes(&a, &q, 1e-12);
+    }
+
+    #[test]
+    fn random_matrices_diagonalize() {
+        for seed in 0..10 {
+            for n in [2usize, 3, 4, 6] {
+                let a = random_symmetric(n, seed * 31 + n as u64);
+                let (evals, q) = jacobi_eigen(&a);
+                assert_orthogonal(&q, 1e-10);
+                assert_diagonalizes(&a, &q, 1e-10);
+                // Reconstruction: A = Q D Qᵀ.
+                let mut d = RMatrix::zeros(n);
+                for (i, &l) in evals.iter().enumerate() {
+                    d[(i, i)] = l;
+                }
+                let back = q.matmul(&d).matmul(&q.transpose());
+                for r in 0..n {
+                    for c in 0..n {
+                        assert!((back[(r, c)] - a[(r, c)]).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_symmetric(5, 7);
+        let (evals, _) = jacobi_eigen(&a);
+        let trace: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        assert!((evals.iter().sum::<f64>() - trace).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_of_orthogonal_is_unit() {
+        let a = random_symmetric(4, 3);
+        let (_, q) = jacobi_eigen(&a);
+        assert!((q.det().abs() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simultaneous_diagonalization_of_commuting_pair() {
+        // Build commuting A, B sharing eigenvectors with degenerate
+        // A-eigenvalues so the cluster path is exercised.
+        let base = random_symmetric(4, 9);
+        let (_, q0) = jacobi_eigen(&base);
+        let mut da = RMatrix::zeros(4);
+        let mut db = RMatrix::zeros(4);
+        // A has a degenerate pair; B splits it.
+        for (i, &(la, lb)) in [(1.0, 3.0), (1.0, -2.0), (2.0, 0.5), (-1.0, 0.1)]
+            .iter()
+            .enumerate()
+        {
+            da[(i, i)] = la;
+            db[(i, i)] = lb;
+        }
+        let a = q0.matmul(&da).matmul(&q0.transpose());
+        let b = q0.matmul(&db).matmul(&q0.transpose());
+        let q = simultaneous_diagonalize(&a, &b);
+        assert_orthogonal(&q, 1e-9);
+        assert_diagonalizes(&a, &q, 1e-8);
+        assert_diagonalizes(&b, &q, 1e-8);
+    }
+
+    #[test]
+    fn simultaneous_diagonalization_fully_degenerate_a() {
+        // A = I commutes with everything: B must still diagonalize.
+        let a = RMatrix::identity(4);
+        let b = random_symmetric(4, 21);
+        let q = simultaneous_diagonalize(&a, &b);
+        assert_orthogonal(&q, 1e-9);
+        assert_diagonalizes(&b, &q, 1e-8);
+    }
+
+    #[test]
+    fn det_of_known_matrices() {
+        let id = RMatrix::identity(3);
+        assert!((id.det() - 1.0).abs() < 1e-12);
+        let mut m = RMatrix::zeros(2);
+        m[(0, 0)] = 2.0;
+        m[(0, 1)] = 1.0;
+        m[(1, 0)] = 1.0;
+        m[(1, 1)] = 2.0;
+        assert!((m.det() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not symmetric")]
+    fn asymmetric_input_rejected() {
+        let mut m = RMatrix::zeros(2);
+        m[(0, 1)] = 1.0;
+        let _ = jacobi_eigen(&m);
+    }
+}

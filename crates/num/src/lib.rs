@@ -1,0 +1,57 @@
+//! Complex scalar and dense complex matrix algebra for the Geyser
+//! quantum-compilation framework.
+//!
+//! This crate is the numerical substrate of the workspace: every other
+//! crate that manipulates unitaries (circuit construction, simulation,
+//! synthesis, composition) builds on the [`Complex`] scalar and the
+//! [`CMatrix`] dense matrix type defined here.
+//!
+//! The crate deliberately implements its own complex arithmetic instead
+//! of pulling in an external numerics stack: the workloads only need
+//! dense matrices up to `2^n × 2^n` for small `n` (block composition
+//! operates on 8×8 unitaries), so a compact, well-tested implementation
+//! is both sufficient and easy to audit.
+//!
+//! # Example
+//!
+//! ```
+//! use geyser_num::{CMatrix, Complex};
+//!
+//! // Build the Pauli-X matrix and verify it is unitary and involutive.
+//! let x = CMatrix::from_rows(&[
+//!     &[Complex::ZERO, Complex::ONE],
+//!     &[Complex::ONE, Complex::ZERO],
+//! ]);
+//! assert!(x.is_unitary(1e-12));
+//! assert!(x.matmul(&x).approx_eq(&CMatrix::identity(2), 1e-12));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod decompose;
+mod eig;
+mod matrix;
+mod metrics;
+
+pub use complex::Complex;
+pub use decompose::{zyz_angles, ZyzDecomposition};
+pub use eig::{jacobi_eigen, simultaneous_diagonalize, RMatrix};
+pub use matrix::CMatrix;
+pub use metrics::{frobenius_distance, hilbert_schmidt_distance, hilbert_schmidt_inner};
+
+/// Convenience constructor for a [`Complex`] value.
+///
+/// # Example
+///
+/// ```
+/// use geyser_num::c64;
+/// let z = c64(1.0, -2.0);
+/// assert_eq!(z.re, 1.0);
+/// assert_eq!(z.im, -2.0);
+/// ```
+#[inline]
+pub fn c64(re: f64, im: f64) -> Complex {
+    Complex::new(re, im)
+}

@@ -1,0 +1,143 @@
+//! Distance metrics between unitaries.
+//!
+//! The Geyser paper (Sec. 2.3) measures circuit equivalence during
+//! block composition with the *Hilbert–Schmidt distance* (HSD), chosen
+//! over process-fidelity-style metrics for its low computational cost.
+
+use crate::{CMatrix, Complex};
+
+/// Hilbert–Schmidt inner product `Tr(U₁† · U₂)`.
+///
+/// For `d × d` unitaries the modulus of this value lies in `[0, d]`,
+/// reaching `d` exactly when the matrices are equal up to global phase.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with identical dimensions.
+///
+/// # Example
+///
+/// ```
+/// use geyser_num::{hilbert_schmidt_inner, CMatrix};
+/// let id = CMatrix::identity(4);
+/// let ip = hilbert_schmidt_inner(&id, &id);
+/// assert!((ip.norm() - 4.0).abs() < 1e-12);
+/// ```
+pub fn hilbert_schmidt_inner(u1: &CMatrix, u2: &CMatrix) -> Complex {
+    assert!(
+        u1.is_square() && u2.is_square() && u1.rows() == u2.rows(),
+        "HS inner product requires equal square matrices"
+    );
+    // Tr(U1† U2) = Σ_ij conj(U1[i,j]) U2[i,j] — avoid forming the product.
+    u1.as_slice()
+        .iter()
+        .zip(u2.as_slice())
+        .map(|(a, b)| a.conj() * *b)
+        .sum()
+}
+
+/// Hilbert–Schmidt distance `1 − |Tr(U₁† U₂)| / d` (paper Sec. 2.3).
+///
+/// The distance lies in `[0, 1]`; `0` means the unitaries are equal up
+/// to a global phase. This global-phase invariance is essential for
+/// block composition: a composed block that differs only by phase is
+/// physically identical.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square with identical dimensions.
+///
+/// # Example
+///
+/// ```
+/// use geyser_num::{hilbert_schmidt_distance, CMatrix, Complex};
+/// let id = CMatrix::identity(2);
+/// let phased = id.scale(Complex::cis(1.234));
+/// assert!(hilbert_schmidt_distance(&id, &phased) < 1e-12);
+/// ```
+pub fn hilbert_schmidt_distance(u1: &CMatrix, u2: &CMatrix) -> f64 {
+    let d = u1.rows() as f64;
+    let raw = 1.0 - hilbert_schmidt_inner(u1, u2).norm() / d;
+    // Numerical round-off can dip just below zero; clamp into range.
+    raw.max(0.0)
+}
+
+/// Frobenius distance `‖U₁ − U₂‖_F`.
+///
+/// Unlike [`hilbert_schmidt_distance`] this is *not* global-phase
+/// invariant. It is used in tests and diagnostics where exact matrix
+/// equality matters.
+///
+/// # Panics
+///
+/// Panics if dimensions differ.
+pub fn frobenius_distance(u1: &CMatrix, u2: &CMatrix) -> f64 {
+    (u1 - u2).frobenius_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::c64;
+
+    fn hadamard() -> CMatrix {
+        let s = Complex::from_real(1.0 / f64::sqrt(2.0));
+        CMatrix::from_rows(&[&[s, s], &[s, -s]])
+    }
+
+    #[test]
+    fn identical_unitaries_have_zero_hsd() {
+        let h = hadamard();
+        assert!(hilbert_schmidt_distance(&h, &h) < 1e-15);
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        let h = hadamard();
+        let phased = h.scale(Complex::cis(0.7));
+        assert!(hilbert_schmidt_distance(&h, &phased) < 1e-14);
+        assert!(frobenius_distance(&h, &phased) > 0.1);
+    }
+
+    #[test]
+    fn orthogonal_unitaries_have_maximal_hsd() {
+        // Tr(X† Z) = 0 so HSD = 1.
+        let x = CMatrix::from_rows(&[
+            &[Complex::ZERO, Complex::ONE],
+            &[Complex::ONE, Complex::ZERO],
+        ]);
+        let z = CMatrix::from_diagonal(&[Complex::ONE, -Complex::ONE]);
+        assert!((hilbert_schmidt_distance(&x, &z) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inner_product_is_conjugate_symmetric() {
+        let a = hadamard();
+        let b = CMatrix::from_rows(&[&[Complex::ONE, Complex::ZERO], &[Complex::ZERO, Complex::I]]);
+        let ab = hilbert_schmidt_inner(&a, &b);
+        let ba = hilbert_schmidt_inner(&b, &a);
+        assert!(ab.approx_eq(ba.conj(), 1e-14));
+    }
+
+    #[test]
+    fn hsd_range_bounds() {
+        let a = hadamard();
+        let z = CMatrix::from_diagonal(&[Complex::ONE, Complex::cis(0.3)]);
+        let d = hilbert_schmidt_distance(&a, &z);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn frobenius_distance_of_shifted_identity() {
+        let a = CMatrix::identity(2);
+        let mut b = a.clone();
+        b[(0, 0)] = c64(0.0, 0.0);
+        assert!((frobenius_distance(&a, &b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal square matrices")]
+    fn mismatched_dims_panic() {
+        let _ = hilbert_schmidt_inner(&CMatrix::identity(2), &CMatrix::identity(4));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the numerical substrate.
+
+use geyser_num::{
+    c64, frobenius_distance, hilbert_schmidt_distance, zyz_angles, CMatrix, Complex,
+    ZyzDecomposition,
+};
+use proptest::prelude::*;
+
+/// A strategy producing finite complex numbers with moderate magnitude.
+fn complex() -> impl Strategy<Value = Complex> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| c64(re, im))
+}
+
+/// A strategy producing random single-qubit unitaries via U3 angles.
+fn unitary2() -> impl Strategy<Value = CMatrix> {
+    (
+        0.0f64..std::f64::consts::PI,
+        0.0f64..std::f64::consts::TAU,
+        0.0f64..std::f64::consts::TAU,
+        0.0f64..std::f64::consts::TAU,
+    )
+        .prop_map(|(theta, phi, lambda, alpha)| {
+            ZyzDecomposition {
+                alpha,
+                theta,
+                phi,
+                lambda,
+            }
+            .to_matrix()
+        })
+}
+
+proptest! {
+    #[test]
+    fn complex_mul_is_commutative(a in complex(), b in complex()) {
+        prop_assert!((a * b - b * a).norm() < 1e-9);
+    }
+
+    #[test]
+    fn complex_mul_is_associative(a in complex(), b in complex(), c in complex()) {
+        prop_assert!(((a * b) * c - a * (b * c)).norm() < 1e-6);
+    }
+
+    #[test]
+    fn complex_distributive(a in complex(), b in complex(), c in complex()) {
+        prop_assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-7);
+    }
+
+    #[test]
+    fn conj_is_involution(a in complex()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn norm_is_multiplicative(a in complex(), b in complex()) {
+        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn polar_roundtrip(r in 0.01f64..10.0, theta in -3.0f64..3.0) {
+        let z = Complex::from_polar(r, theta);
+        prop_assert!((z.norm() - r).abs() < 1e-9);
+        prop_assert!((z.arg() - theta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn u3_form_is_always_unitary(u in unitary2()) {
+        prop_assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn zyz_roundtrip_is_exact(u in unitary2()) {
+        let d = zyz_angles(&u).expect("unitary by construction");
+        prop_assert!(d.to_matrix().approx_eq(&u, 1e-8));
+    }
+
+    #[test]
+    fn product_of_unitaries_is_unitary(a in unitary2(), b in unitary2()) {
+        prop_assert!(a.matmul(&b).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(a in unitary2(), b in unitary2()) {
+        prop_assert!(a.kron(&b).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn kron_mixed_product(a in unitary2(), b in unitary2(), c in unitary2(), d in unitary2()) {
+        let lhs = a.kron(&b).matmul(&c.kron(&d));
+        let rhs = a.matmul(&c).kron(&b.matmul(&d));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+    }
+
+    #[test]
+    fn hsd_is_symmetric_and_bounded(a in unitary2(), b in unitary2()) {
+        let dab = hilbert_schmidt_distance(&a, &b);
+        let dba = hilbert_schmidt_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-10);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab));
+    }
+
+    #[test]
+    fn hsd_zero_iff_phase_equal(u in unitary2(), alpha in 0.0f64..std::f64::consts::TAU) {
+        let phased = u.scale(Complex::cis(alpha));
+        prop_assert!(hilbert_schmidt_distance(&u, &phased) < 1e-10);
+    }
+
+    #[test]
+    fn hsd_invariant_under_global_unitary(a in unitary2(), b in unitary2(), v in unitary2()) {
+        // HSD(VA, VB) = HSD(A, B): Tr((VA)†VB) = Tr(A†V†VB) = Tr(A†B).
+        let lhs = hilbert_schmidt_distance(&v.matmul(&a), &v.matmul(&b));
+        let rhs = hilbert_schmidt_distance(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frobenius_triangle_inequality(a in unitary2(), b in unitary2(), c in unitary2()) {
+        let ab = frobenius_distance(&a, &b);
+        let bc = frobenius_distance(&b, &c);
+        let ac = frobenius_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn dagger_inverts_unitary(u in unitary2()) {
+        let prod = u.matmul(&u.dagger());
+        prop_assert!(prod.approx_eq(&CMatrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn trace_is_similarity_invariant(a in unitary2(), v in unitary2()) {
+        // Tr(V A V†) = Tr(A)
+        let conjugated = v.matmul(&a).matmul(&v.dagger());
+        prop_assert!((conjugated.trace() - a.trace()).norm() < 1e-8);
+    }
+}

@@ -1,0 +1,163 @@
+//! Box constraints for the optimizers.
+
+/// Per-dimension box constraints `lo[i] ≤ x[i] ≤ hi[i]`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_optimize::Bounds;
+/// let b = Bounds::uniform(2, 0.0, std::f64::consts::TAU);
+/// assert_eq!(b.dim(), 2);
+/// assert!(b.contains(&[1.0, 6.0]));
+/// assert!(!b.contains(&[-0.1, 1.0]));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from per-dimension `(lo, hi)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty, if any `lo > hi`, or on non-finite values.
+    pub fn new(pairs: &[(f64, f64)]) -> Self {
+        assert!(!pairs.is_empty(), "bounds must have at least one dimension");
+        for &(lo, hi) in pairs {
+            assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+            assert!(lo <= hi, "lower bound {lo} exceeds upper bound {hi}");
+        }
+        Bounds {
+            lo: pairs.iter().map(|p| p.0).collect(),
+            hi: pairs.iter().map(|p| p.1).collect(),
+        }
+    }
+
+    /// Creates `dim` identical `(lo, hi)` bounds.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Bounds::new`].
+    pub fn uniform(dim: usize, lo: f64, hi: f64) -> Self {
+        Self::new(&vec![(lo, hi); dim])
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower bound of dimension `i`.
+    #[inline]
+    pub fn lo(&self, i: usize) -> f64 {
+        self.lo[i]
+    }
+
+    /// Upper bound of dimension `i`.
+    #[inline]
+    pub fn hi(&self, i: usize) -> f64 {
+        self.hi[i]
+    }
+
+    /// Width of dimension `i`.
+    #[inline]
+    pub fn width(&self, i: usize) -> f64 {
+        self.hi[i] - self.lo[i]
+    }
+
+    /// Returns `true` if `x` lies within the box.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.len() == self.dim()
+            && x.iter()
+                .enumerate()
+                .all(|(i, &v)| v >= self.lo[i] && v <= self.hi[i])
+    }
+
+    /// Clamps `x` into the box in place.
+    pub fn clamp(&self, x: &mut [f64]) {
+        for (i, v) in x.iter_mut().enumerate() {
+            *v = v.clamp(self.lo[i], self.hi[i]);
+        }
+    }
+
+    /// Wraps `x` into the box by reflecting out-of-range coordinates
+    /// back inside (periodic fold) — preserves search diversity better
+    /// than clamping for annealing steps on angle parameters.
+    pub fn wrap(&self, x: &mut [f64]) {
+        for (i, v) in x.iter_mut().enumerate() {
+            let w = self.width(i);
+            if w == 0.0 {
+                *v = self.lo[i];
+                continue;
+            }
+            if *v < self.lo[i] || *v > self.hi[i] {
+                // Map into [0, 2w) then reflect.
+                let mut t = (*v - self.lo[i]).rem_euclid(2.0 * w);
+                if t > w {
+                    t = 2.0 * w - t;
+                }
+                *v = self.lo[i] + t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = Bounds::new(&[(0.0, 1.0), (-2.0, 2.0)]);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.lo(1), -2.0);
+        assert_eq!(b.hi(0), 1.0);
+        assert_eq!(b.width(1), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper bound")]
+    fn inverted_bounds_panic() {
+        let _ = Bounds::new(&[(1.0, 0.0)]);
+    }
+
+    #[test]
+    fn clamp_projects_into_box() {
+        let b = Bounds::uniform(3, 0.0, 1.0);
+        let mut x = [-0.5, 0.5, 1.5];
+        b.clamp(&mut x);
+        assert_eq!(x, [0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn wrap_reflects_into_box() {
+        let b = Bounds::uniform(1, 0.0, 1.0);
+        let mut x = [1.25];
+        b.wrap(&mut x);
+        assert!((x[0] - 0.75).abs() < 1e-12);
+        let mut y = [-0.25];
+        b.wrap(&mut y);
+        assert!((y[0] - 0.25).abs() < 1e-12);
+        let mut z = [0.5];
+        b.wrap(&mut z);
+        assert_eq!(z[0], 0.5);
+    }
+
+    #[test]
+    fn wrap_handles_degenerate_dimension() {
+        let b = Bounds::new(&[(2.0, 2.0)]);
+        let mut x = [5.0];
+        b.wrap(&mut x);
+        assert_eq!(x[0], 2.0);
+    }
+
+    #[test]
+    fn contains_checks_dimension() {
+        let b = Bounds::uniform(2, 0.0, 1.0);
+        assert!(!b.contains(&[0.5]));
+        assert!(b.contains(&[0.5, 0.5]));
+    }
+}

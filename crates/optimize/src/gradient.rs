@@ -1,0 +1,206 @@
+//! Bounded Adam gradient descent with central finite differences.
+//!
+//! Unitary-synthesis objectives (Hilbert–Schmidt distances of smooth
+//! gate parameterizations) are infinitely differentiable, which makes
+//! first-order descent with numerical gradients the most reliable
+//! local refiner — it is used here to polish dual-annealing iterates
+//! and as a multi-start local searcher in its own right.
+
+use crate::{Bounds, OptimizeResult};
+
+/// Configuration for [`adam`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamConfig {
+    /// Maximum descent iterations.
+    pub max_iters: usize,
+    /// Base learning rate.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Finite-difference step for the gradient estimate.
+    pub fd_step: f64,
+    /// Stop once the objective falls at or below this value.
+    pub target: Option<f64>,
+    /// When the objective improves by less than this over a
+    /// 25-iteration window, the learning rate is halved; the run stops
+    /// once the rate falls below `learning_rate / 1024`.
+    pub stall_tol: f64,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig {
+            max_iters: 300,
+            learning_rate: 0.08,
+            beta1: 0.9,
+            beta2: 0.999,
+            fd_step: 1e-5,
+            target: None,
+            stall_tol: 1e-12,
+        }
+    }
+}
+
+impl AdamConfig {
+    /// Returns a copy with an early-stop target.
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target = Some(target);
+        self
+    }
+}
+
+/// Minimizes `f` from `x0` with Adam on central-difference gradients,
+/// clamping iterates into `bounds`.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != bounds.dim()`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_optimize::{adam, AdamConfig, Bounds};
+/// let bounds = Bounds::uniform(2, -5.0, 5.0);
+/// let f = |x: &[f64]| (x[0] - 2.0).powi(2) + (x[1] + 1.0).powi(2);
+/// let res = adam(&f, &bounds, &[0.0, 0.0], &AdamConfig::default());
+/// assert!(res.fx < 1e-8);
+/// ```
+pub fn adam<F: Fn(&[f64]) -> f64>(
+    f: &F,
+    bounds: &Bounds,
+    x0: &[f64],
+    cfg: &AdamConfig,
+) -> OptimizeResult {
+    let dim = bounds.dim();
+    assert_eq!(x0.len(), dim, "starting point dimension mismatch");
+    let mut x = x0.to_vec();
+    bounds.clamp(&mut x);
+
+    let mut evaluations = 0usize;
+    let eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(x)
+    };
+
+    let mut fx = eval(&x, &mut evaluations);
+    let mut best_x = x.clone();
+    let mut best_f = fx;
+
+    let mut m = vec![0.0; dim];
+    let mut v = vec![0.0; dim];
+    let mut window_best = fx;
+    let mut lr = cfg.learning_rate;
+
+    for t in 1..=cfg.max_iters {
+        // Central-difference gradient.
+        let mut grad = vec![0.0; dim];
+        for i in 0..dim {
+            let mut xp = x.clone();
+            let mut xm = x.clone();
+            xp[i] = (xp[i] + cfg.fd_step).min(bounds.hi(i));
+            xm[i] = (xm[i] - cfg.fd_step).max(bounds.lo(i));
+            let h = xp[i] - xm[i];
+            if h > 0.0 {
+                grad[i] = (eval(&xp, &mut evaluations) - eval(&xm, &mut evaluations)) / h;
+            }
+        }
+        // Adam update.
+        for i in 0..dim {
+            m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * grad[i];
+            v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * grad[i] * grad[i];
+            let m_hat = m[i] / (1.0 - cfg.beta1.powi(t as i32));
+            let v_hat = v[i] / (1.0 - cfg.beta2.powi(t as i32));
+            x[i] -= lr * m_hat / (v_hat.sqrt() + 1e-12);
+        }
+        bounds.clamp(&mut x);
+        fx = eval(&x, &mut evaluations);
+        if fx < best_f {
+            best_f = fx;
+            best_x = x.clone();
+        }
+        if let Some(target) = cfg.target {
+            if best_f <= target {
+                break;
+            }
+        }
+        if t % 25 == 0 {
+            if window_best - best_f < cfg.stall_tol {
+                // Plateaued at this step size: anneal the rate and
+                // restart descent from the best point seen.
+                lr *= 0.5;
+                if lr < cfg.learning_rate / 1024.0 {
+                    break;
+                }
+                x = best_x.clone();
+                m.fill(0.0);
+                v.fill(0.0);
+            }
+            window_best = best_f;
+        }
+    }
+
+    OptimizeResult {
+        x: best_x,
+        fx: best_f,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let bounds = Bounds::uniform(4, -10.0, 10.0);
+        let f = |x: &[f64]| x.iter().map(|v| (v - 1.5).powi(2)).sum::<f64>();
+        let cfg = AdamConfig {
+            max_iters: 800,
+            ..AdamConfig::default()
+        };
+        let res = adam(&f, &bounds, &[5.0; 4], &cfg);
+        assert!(res.fx < 1e-6, "fx = {}", res.fx);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let bounds = Bounds::uniform(2, 0.0, 1.0);
+        let f = |x: &[f64]| (x[0] + 2.0).powi(2) + (x[1] + 2.0).powi(2);
+        let res = adam(&f, &bounds, &[0.5, 0.5], &AdamConfig::default());
+        assert!(bounds.contains(&res.x));
+        assert!(res.x[0] < 1e-6 && res.x[1] < 1e-6);
+    }
+
+    #[test]
+    fn early_stop_at_target() {
+        let bounds = Bounds::uniform(2, -5.0, 5.0);
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let cfg = AdamConfig::default().with_target(0.5);
+        let res = adam(&f, &bounds, &[3.0, -3.0], &cfg);
+        assert!(res.fx <= 0.5);
+        assert!(res.evaluations < 3000);
+    }
+
+    #[test]
+    fn handles_rosenbrock_valley() {
+        let bounds = Bounds::uniform(2, -2.0, 2.0);
+        let f = |x: &[f64]| 100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2);
+        let cfg = AdamConfig {
+            max_iters: 4000,
+            learning_rate: 0.02,
+            ..AdamConfig::default()
+        };
+        let res = adam(&f, &bounds, &[-1.0, 1.0], &cfg);
+        assert!(res.fx < 1e-3, "fx = {}", res.fx);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dimension_panics() {
+        let bounds = Bounds::uniform(2, 0.0, 1.0);
+        let f = |x: &[f64]| x[0];
+        let _ = adam(&f, &bounds, &[0.5], &AdamConfig::default());
+    }
+}

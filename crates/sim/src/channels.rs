@@ -1,0 +1,243 @@
+//! General quantum channels in Kraus form.
+//!
+//! The paper's evaluation uses the bit-flip + phase-flip channel; this
+//! module generalizes the exact (density-matrix) engine to arbitrary
+//! single-qubit Kraus channels — depolarizing and amplitude damping
+//! are provided — so the noise-model ablations can explore channels
+//! the stochastic-Pauli trajectory sampler cannot represent.
+
+use geyser_num::{CMatrix, Complex};
+
+use crate::DensityMatrix;
+
+/// A single-qubit quantum channel as a set of Kraus operators
+/// `{K_i}` with `Σ K_i† K_i = I`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_sim::KrausChannel;
+/// let ch = KrausChannel::depolarizing(0.1);
+/// assert_eq!(ch.operators().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    operators: Vec<CMatrix>,
+}
+
+impl KrausChannel {
+    /// Builds a channel from explicit Kraus operators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operators are not all 2×2 or violate the
+    /// completeness relation `Σ K†K = I` beyond `1e-9`.
+    pub fn new(operators: Vec<CMatrix>) -> Self {
+        assert!(!operators.is_empty(), "channel needs Kraus operators");
+        let mut sum = CMatrix::zeros(2, 2);
+        for k in &operators {
+            assert_eq!(k.rows(), 2, "Kraus operators must be 2×2");
+            assert_eq!(k.cols(), 2, "Kraus operators must be 2×2");
+            sum = &sum + &k.dagger().matmul(k);
+        }
+        assert!(
+            sum.approx_eq(&CMatrix::identity(2), 1e-9),
+            "Kraus operators violate completeness"
+        );
+        KrausChannel { operators }
+    }
+
+    /// The Kraus operators.
+    pub fn operators(&self) -> &[CMatrix] {
+        &self.operators
+    }
+
+    /// Bit-flip channel: `ρ → (1−p)ρ + p XρX`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn bit_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let k0 = CMatrix::identity(2).scale(Complex::from_real((1.0 - p).sqrt()));
+        let k1 = geyser_circuit::Gate::X
+            .matrix()
+            .scale(Complex::from_real(p.sqrt()));
+        Self::new(vec![k0, k1])
+    }
+
+    /// Phase-flip channel: `ρ → (1−p)ρ + p ZρZ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn phase_flip(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let k0 = CMatrix::identity(2).scale(Complex::from_real((1.0 - p).sqrt()));
+        let k1 = geyser_circuit::Gate::Z
+            .matrix()
+            .scale(Complex::from_real(p.sqrt()));
+        Self::new(vec![k0, k1])
+    }
+
+    /// Symmetric depolarizing channel:
+    /// `ρ → (1−p)ρ + p/3 (XρX + YρY + ZρZ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let s = (p / 3.0).sqrt();
+        Self::new(vec![
+            CMatrix::identity(2).scale(Complex::from_real((1.0 - p).sqrt())),
+            geyser_circuit::Gate::X
+                .matrix()
+                .scale(Complex::from_real(s)),
+            geyser_circuit::Gate::Y
+                .matrix()
+                .scale(Complex::from_real(s)),
+            geyser_circuit::Gate::Z
+                .matrix()
+                .scale(Complex::from_real(s)),
+        ])
+    }
+
+    /// Amplitude-damping channel with decay probability `γ` —
+    /// the `T₁` relaxation of a physical qubit toward `|0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `γ ∉ [0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma out of range");
+        let z = Complex::ZERO;
+        let k0 = CMatrix::from_rows(&[
+            &[Complex::ONE, z],
+            &[z, Complex::from_real((1.0 - gamma).sqrt())],
+        ]);
+        let k1 = CMatrix::from_rows(&[&[z, Complex::from_real(gamma.sqrt())], &[z, z]]);
+        Self::new(vec![k0, k1])
+    }
+}
+
+impl DensityMatrix {
+    /// Applies a single-qubit Kraus channel to one qubit:
+    /// `ρ → Σ_i K_i ρ K_i†`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn apply_channel(&mut self, channel: &KrausChannel, qubit: usize) {
+        let n = self.num_qubits();
+        assert!(qubit < n, "qubit out of range");
+        let mut out = CMatrix::zeros(self.as_matrix().rows(), self.as_matrix().cols());
+        for k in channel.operators() {
+            let full = crate::embed_gate(k, &[qubit], n);
+            let term = full.matmul(self.as_matrix()).matmul(&full.dagger());
+            out = &out + &term;
+        }
+        self.set_matrix(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_circuit::Circuit;
+
+    fn plus_state() -> DensityMatrix {
+        let mut rho = DensityMatrix::zero_state(1);
+        let mut c = Circuit::new(1);
+        c.h(0);
+        rho.apply_circuit_noisy(&c, &crate::NoiseModel::noiseless());
+        rho
+    }
+
+    #[test]
+    fn channels_preserve_trace() {
+        for ch in [
+            KrausChannel::bit_flip(0.3),
+            KrausChannel::phase_flip(0.2),
+            KrausChannel::depolarizing(0.4),
+            KrausChannel::amplitude_damping(0.25),
+        ] {
+            let mut rho = plus_state();
+            rho.apply_channel(&ch, 0);
+            assert!((rho.trace().re - 1.0).abs() < 1e-10);
+            assert!(rho.trace().im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_depolarizing_yields_maximally_mixed() {
+        // p = 3/4 with equal Pauli weights is the fully depolarizing
+        // point: ρ → I/2 for any input.
+        let mut rho = plus_state();
+        rho.apply_channel(&KrausChannel::depolarizing(0.75), 0);
+        let m = rho.as_matrix();
+        assert!((m[(0, 0)].re - 0.5).abs() < 1e-10);
+        assert!((m[(1, 1)].re - 0.5).abs() < 1e-10);
+        assert!(m[(0, 1)].norm() < 1e-10);
+    }
+
+    #[test]
+    fn amplitude_damping_decays_excited_state() {
+        let gamma = 0.3;
+        let mut rho = DensityMatrix::zero_state(1);
+        let mut c = Circuit::new(1);
+        c.x(0);
+        rho.apply_circuit_noisy(&c, &crate::NoiseModel::noiseless());
+        rho.apply_channel(&KrausChannel::amplitude_damping(gamma), 0);
+        let p = rho.probabilities();
+        assert!((p[1] - (1.0 - gamma)).abs() < 1e-10);
+        assert!((p[0] - gamma).abs() < 1e-10);
+        // Unlike Pauli channels, repeated damping converges to |0⟩.
+        for _ in 0..200 {
+            rho.apply_channel(&KrausChannel::amplitude_damping(gamma), 0);
+        }
+        assert!(rho.probabilities()[0] > 0.999999);
+    }
+
+    #[test]
+    fn phase_flip_kills_coherence_not_populations() {
+        let mut rho = plus_state();
+        rho.apply_channel(&KrausChannel::phase_flip(0.5), 0);
+        let m = rho.as_matrix();
+        // Populations stay 50/50; off-diagonals vanish at p = 1/2.
+        assert!((m[(0, 0)].re - 0.5).abs() < 1e-10);
+        assert!(m[(0, 1)].norm() < 1e-10);
+    }
+
+    #[test]
+    fn bit_flip_channel_matches_noise_model_closed_form() {
+        // One bit-flip channel application equals one NoiseModel
+        // invocation with the same rate (phase part disabled).
+        let p = 0.17;
+        let mut via_channel = DensityMatrix::zero_state(1);
+        via_channel.apply_channel(&KrausChannel::bit_flip(p), 0);
+        let d1 = via_channel.probabilities();
+        assert!((d1[1] - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_on_one_qubit_of_entangled_pair() {
+        // Damping one half of a Bell pair breaks the correlation
+        // asymmetrically: P(01) gains weight... specifically,
+        // ρ_Bell under damping of qubit 1 puts γ/2 mass on |10⟩.
+        let mut rho = DensityMatrix::zero_state(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        rho.apply_circuit_noisy(&c, &crate::NoiseModel::noiseless());
+        rho.apply_channel(&KrausChannel::amplitude_damping(0.4), 1);
+        let p = rho.probabilities();
+        assert!((p[0b10] - 0.2).abs() < 1e-10, "p = {p:?}");
+        assert!((p[0b11] - 0.3).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "completeness")]
+    fn invalid_kraus_set_rejected() {
+        let _ = KrausChannel::new(vec![CMatrix::identity(2).scale(Complex::from_real(0.5))]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Ideal and noisy output-distribution estimation.
+
+use geyser_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{NoiseModel, StateVector};
+
+/// Exact (noise-free) output distribution of `circuit` starting from
+/// `|0…0⟩`, indexed by big-endian basis state.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_sim::ideal_distribution;
+/// let mut c = Circuit::new(1);
+/// c.h(0);
+/// let p = ideal_distribution(&c);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn ideal_distribution(circuit: &Circuit) -> Vec<f64> {
+    let mut sv = StateVector::zero_state(circuit.num_qubits());
+    sv.apply_circuit(circuit);
+    sv.probabilities()
+}
+
+/// Monte-Carlo estimate of the noisy output distribution.
+///
+/// Runs `trajectories` independent noise realizations. In each
+/// trajectory every operation is applied exactly, followed by the
+/// Pauli errors sampled from `noise`; the trajectory's *exact*
+/// measurement distribution is then accumulated. Averaging exact
+/// per-trajectory distributions (rather than drawing one shot per
+/// trajectory) is a standard variance-reduction: the estimator remains
+/// unbiased for the channel's output distribution while converging
+/// with far fewer trajectories.
+///
+/// Deterministic for a fixed `(circuit, noise, trajectories, seed)`.
+///
+/// # Panics
+///
+/// Panics if `trajectories == 0`.
+pub fn sample_noisy_distribution(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(trajectories > 0, "need at least one trajectory");
+    let n = circuit.num_qubits();
+    let dim = 1usize << n;
+
+    if noise.is_noiseless() {
+        return ideal_distribution(circuit);
+    }
+
+    let mut accum = vec![0.0f64; dim];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trajectories {
+        let mut sv = StateVector::zero_state(n);
+        for op in circuit.iter() {
+            sv.apply_operation(op);
+            let (xs, zs) = noise.sample_errors(op, &mut rng);
+            for q in xs {
+                sv.apply_x(q);
+            }
+            for q in zs {
+                sv.apply_z(q);
+            }
+        }
+        for (a, p) in accum.iter_mut().zip(sv.probabilities()) {
+            *a += p;
+        }
+    }
+    let inv = 1.0 / trajectories as f64;
+    for a in &mut accum {
+        *a *= inv;
+    }
+    accum
+}
+
+/// Draws `shots` basis-state samples from a probability distribution,
+/// returning per-state counts. Used to emulate finite-shot readout.
+///
+/// # Panics
+///
+/// Panics if the distribution is empty or sums to ≤ 0.
+pub fn sampled_counts(distribution: &[f64], shots: usize, seed: u64) -> Vec<u64> {
+    assert!(!distribution.is_empty(), "empty distribution");
+    let total: f64 = distribution.iter().sum();
+    assert!(total > 0.0, "distribution must have positive mass");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = vec![0u64; distribution.len()];
+    for _ in 0..shots {
+        let mut r = rng.gen::<f64>() * total;
+        let mut idx = distribution.len() - 1;
+        for (i, &p) in distribution.iter().enumerate() {
+            if r < p {
+                idx = i;
+                break;
+            }
+            r -= p;
+        }
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::total_variation_distance;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn ideal_distribution_normalizes() {
+        let p = ideal_distribution(&bell());
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_sampling_equals_ideal() {
+        let c = bell();
+        let p1 = ideal_distribution(&c);
+        let p2 = sample_noisy_distribution(&c, &NoiseModel::noiseless(), 10, 1);
+        assert!(total_variation_distance(&p1, &p2) < 1e-14);
+    }
+
+    #[test]
+    fn noise_increases_tvd_to_ideal() {
+        let c = bell();
+        let ideal = ideal_distribution(&c);
+        let low = sample_noisy_distribution(&c, &NoiseModel::symmetric(0.001), 400, 2);
+        let high = sample_noisy_distribution(&c, &NoiseModel::symmetric(0.05), 400, 2);
+        let tvd_low = total_variation_distance(&ideal, &low);
+        let tvd_high = total_variation_distance(&ideal, &high);
+        assert!(tvd_low < tvd_high, "tvd {tvd_low} !< {tvd_high}");
+        assert!(tvd_high > 0.01);
+    }
+
+    #[test]
+    fn noisy_distribution_is_normalized() {
+        let c = bell();
+        let p = sample_noisy_distribution(&c, &NoiseModel::symmetric(0.02), 50, 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = bell();
+        let nm = NoiseModel::symmetric(0.01);
+        let a = sample_noisy_distribution(&c, &nm, 20, 7);
+        let b = sample_noisy_distribution(&c, &nm, 20, 7);
+        assert_eq!(a, b);
+        let d = sample_noisy_distribution(&c, &nm, 20, 8);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn more_pulses_mean_more_noise() {
+        // Same unitary effect, but one circuit wastes pulses: X·X·X = X.
+        let mut lean = Circuit::new(1);
+        lean.x(0);
+        let mut wasteful = Circuit::new(1);
+        wasteful.x(0).x(0).x(0).x(0).x(0);
+        let nm = NoiseModel::symmetric(0.02);
+        let ideal = ideal_distribution(&lean);
+        let lean_p = sample_noisy_distribution(&lean, &nm, 600, 11);
+        let waste_p = sample_noisy_distribution(&wasteful, &nm, 600, 11);
+        let tvd_lean = total_variation_distance(&ideal, &lean_p);
+        let tvd_waste = total_variation_distance(&ideal, &waste_p);
+        assert!(
+            tvd_lean < tvd_waste,
+            "lean {tvd_lean} !< wasteful {tvd_waste}"
+        );
+    }
+
+    #[test]
+    fn sampled_counts_sum_to_shots() {
+        let p = ideal_distribution(&bell());
+        let counts = sampled_counts(&p, 1000, 5);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+        // Only |00> and |11> should ever be sampled.
+        assert_eq!(counts[1], 0);
+        assert_eq!(counts[2], 0);
+        assert!(counts[0] > 350 && counts[3] > 350);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trajectory")]
+    fn zero_trajectories_panics() {
+        let _ = sample_noisy_distribution(&bell(), &NoiseModel::symmetric(0.1), 0, 0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Per-gate state-vector simulation.
+
+use geyser_circuit::{Circuit, Operation};
+use geyser_num::{CMatrix, Complex};
+
+/// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
+///
+/// The basis-index convention is big-endian: **qubit 0 is the most
+/// significant bit** of the basis-state index, matching the local
+/// matrix convention of [`geyser_circuit::Gate::matrix`] and the
+/// Kronecker-product order used by [`crate::circuit_unitary`].
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_sim::StateVector;
+///
+/// let mut c = Circuit::new(2);
+/// c.x(0); // flips qubit 0 (the MSB)
+/// let mut sv = StateVector::zero_state(2);
+/// sv.apply_circuit(&c);
+/// let p = sv.probabilities();
+/// assert!((p[0b10] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<Complex>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros computational basis state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 26` (guard against runaway allocation).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        Self::basis_state(num_qubits, 0)
+    }
+
+    /// Creates the computational basis state with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_qubits` or `num_qubits > 26`.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        assert!(num_qubits <= 26, "state vector too large");
+        let dim = 1usize << num_qubits;
+        assert!(index < dim, "basis index out of range");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[index] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Constructs a state from raw amplitudes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm deviates
+    /// from 1 by more than `1e-6`.
+    pub fn from_amplitudes(amps: Vec<Complex>) -> Self {
+        let dim = amps.len();
+        assert!(dim.is_power_of_two(), "length must be a power of two");
+        let num_qubits = dim.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-6,
+            "state vector not normalized (norm² = {norm})"
+        );
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Borrows the amplitudes (big-endian basis indexing).
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Bit position (from the least-significant end) of `qubit` in a
+    /// basis index under the big-endian convention.
+    #[inline]
+    fn bit_of(&self, qubit: usize) -> usize {
+        self.num_qubits - 1 - qubit
+    }
+
+    /// Applies a `2^k × 2^k` unitary to the ordered qubit list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimension does not match `qubits.len()`,
+    /// or any qubit is duplicated/out of range.
+    pub fn apply_matrix(&mut self, m: &CMatrix, qubits: &[usize]) {
+        let k = qubits.len();
+        assert_eq!(m.rows(), 1 << k, "matrix dimension mismatch");
+        assert_eq!(m.cols(), 1 << k, "matrix must be square");
+        for (i, q) in qubits.iter().enumerate() {
+            assert!(*q < self.num_qubits, "qubit {q} out of range");
+            assert!(!qubits[..i].contains(q), "duplicate qubit {q}");
+        }
+        let bits: Vec<usize> = qubits.iter().map(|&q| self.bit_of(q)).collect();
+        let mask: usize = bits.iter().map(|&b| 1usize << b).sum();
+        let dim = self.amps.len();
+        let sub = 1usize << k;
+        let mut local = vec![Complex::ZERO; sub];
+
+        // Iterate over every basis index with all gate bits cleared.
+        let mut base = 0usize;
+        loop {
+            // Gather the 2^k amplitudes of this gate subspace.
+            for (l, slot) in local.iter_mut().enumerate() {
+                let mut idx = base;
+                for (j, &b) in bits.iter().enumerate() {
+                    // Local index bit j corresponds to qubits[j], which
+                    // is the (k-1-j)-th significant local bit.
+                    if (l >> (k - 1 - j)) & 1 == 1 {
+                        idx |= 1 << b;
+                    }
+                }
+                *slot = self.amps[idx];
+            }
+            // Scatter the transformed amplitudes back.
+            for r in 0..sub {
+                let mut acc = Complex::ZERO;
+                for (c, &amp) in local.iter().enumerate() {
+                    let entry = m[(r, c)];
+                    if entry != Complex::ZERO {
+                        acc += entry * amp;
+                    }
+                }
+                let mut idx = base;
+                for (j, &b) in bits.iter().enumerate() {
+                    if (r >> (k - 1 - j)) & 1 == 1 {
+                        idx |= 1 << b;
+                    }
+                }
+                self.amps[idx] = acc;
+            }
+            // Advance `base` to the next index that has zeros in all
+            // gate-bit positions (standard "carry over masked bits").
+            base = (base | mask).wrapping_add(1) & !mask;
+            if base == 0 || base >= dim {
+                break;
+            }
+        }
+    }
+
+    /// Applies one circuit operation.
+    pub fn apply_operation(&mut self, op: &Operation) {
+        self.apply_matrix(&op.gate().matrix(), op.qubits());
+    }
+
+    /// Applies every operation of `circuit` in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is declared over a different qubit count.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "circuit qubit count mismatch"
+        );
+        for op in circuit.iter() {
+            self.apply_operation(op);
+        }
+    }
+
+    /// Applies a Pauli-X error to one qubit (fast path for noise
+    /// injection — swaps amplitude pairs in place).
+    pub fn apply_x(&mut self, qubit: usize) {
+        let b = 1usize << self.bit_of(qubit);
+        for i in 0..self.amps.len() {
+            if i & b == 0 {
+                self.amps.swap(i, i | b);
+            }
+        }
+    }
+
+    /// Applies a Pauli-Z error to one qubit (fast path for noise
+    /// injection — negates amplitudes where the qubit is `|1⟩`).
+    pub fn apply_z(&mut self, qubit: usize) {
+        let b = 1usize << self.bit_of(qubit);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & b != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Multiplies every amplitude by the imaginary unit `i` — a
+    /// tracked global phase, needed when building Pauli-Y action from
+    /// `Y = i·X·Z` in observable evaluation.
+    pub fn apply_global_i(&mut self) {
+        for a in &mut self.amps {
+            *a = Complex::I * *a;
+        }
+    }
+
+    /// Measurement probabilities for every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// `⟨self|other⟩` inner product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if qubit counts differ.
+    pub fn inner(&self, other: &StateVector) -> Complex {
+        assert_eq!(self.num_qubits, other.num_qubits);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Squared norm (should remain 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_circuit::Gate;
+
+    #[test]
+    fn zero_state_probabilities() {
+        let sv = StateVector::zero_state(3);
+        let p = sv.probabilities();
+        assert_eq!(p.len(), 8);
+        assert!((p[0] - 1.0).abs() < 1e-15);
+        assert!(p[1..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn x_flips_msb_for_qubit_zero() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_matrix(&Gate::X.matrix(), &[0]);
+        assert!((sv.probabilities()[0b10] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_flips_lsb_for_last_qubit() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_matrix(&Gate::X.matrix(), &[1]);
+        assert!((sv.probabilities()[0b01] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut sv = StateVector::zero_state(1);
+        sv.apply_matrix(&Gate::H.matrix(), &[0]);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_via_circuit() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_circuit(&c);
+        let p = sv.probabilities();
+        assert!((p[0b00] - 0.5).abs() < 1e-12);
+        assert!((p[0b11] - 0.5).abs() < 1e-12);
+        assert!(p[0b01].abs() < 1e-12);
+        assert!(p[0b10].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_respects_argument_order() {
+        // Control q1, target q0: |01> -> |11>.
+        let mut sv = StateVector::basis_state(2, 0b01);
+        sv.apply_matrix(&Gate::CX.matrix(), &[1, 0]);
+        assert!((sv.probabilities()[0b11] - 1.0).abs() < 1e-12);
+        // Control q0 (currently |0>), nothing happens.
+        let mut sv2 = StateVector::basis_state(2, 0b01);
+        sv2.apply_matrix(&Gate::CX.matrix(), &[0, 1]);
+        assert!((sv2.probabilities()[0b01] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccz_phases_only_all_ones() {
+        let mut sv = StateVector::basis_state(3, 0b111);
+        sv.apply_matrix(&Gate::CCZ.matrix(), &[0, 1, 2]);
+        assert!((sv.amplitudes()[0b111] + Complex::ONE).norm() < 1e-12);
+        let mut sv2 = StateVector::basis_state(3, 0b110);
+        sv2.apply_matrix(&Gate::CCZ.matrix(), &[0, 1, 2]);
+        assert!((sv2.amplitudes()[0b110] - Complex::ONE).norm() < 1e-12);
+    }
+
+    #[test]
+    fn gate_on_nonadjacent_qubits() {
+        // CX with control q0 and target q2 in a 3-qubit register.
+        let mut sv = StateVector::basis_state(3, 0b100);
+        sv.apply_matrix(&Gate::CX.matrix(), &[0, 2]);
+        assert!((sv.probabilities()[0b101] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_qubit_states() {
+        let mut sv = StateVector::basis_state(3, 0b100);
+        sv.apply_matrix(&Gate::Swap.matrix(), &[0, 2]);
+        assert!((sv.probabilities()[0b001] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_paulis_match_matrix_application() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2).cz(0, 1).t(2);
+        let mut a = StateVector::zero_state(3);
+        a.apply_circuit(&c);
+        let mut b = a.clone();
+        a.apply_x(1);
+        b.apply_matrix(&Gate::X.matrix(), &[1]);
+        assert!(a.inner(&b).norm() > 1.0 - 1e-12);
+        let mut a2 = b.clone();
+        let mut b2 = b.clone();
+        a2.apply_z(2);
+        b2.apply_matrix(&Gate::Z.matrix(), &[2]);
+        assert!(a2.inner(&b2).norm() > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn norm_preserved_under_long_random_circuit() {
+        let mut c = Circuit::new(4);
+        for i in 0..20 {
+            c.rx(0.1 * i as f64, i % 4);
+            c.cz(i % 4, (i + 1) % 4);
+        }
+        let mut sv = StateVector::zero_state(4);
+        sv.apply_circuit(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inner_product_of_orthogonal_states() {
+        let a = StateVector::basis_state(2, 0);
+        let b = StateVector::basis_state(2, 3);
+        assert!(a.inner(&b).norm() < 1e-15);
+        assert!((a.inner(&a) - Complex::ONE).norm() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "not normalized")]
+    fn unnormalized_amplitudes_rejected() {
+        let _ = StateVector::from_amplitudes(vec![Complex::ONE, Complex::ONE]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate qubit")]
+    fn duplicate_gate_qubits_rejected() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_matrix(&Gate::CZ.matrix(), &[0, 0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Total variation distance between output distributions.
+
+/// Total variation distance `½ Σ_k |p₁(k) − p₂(k)|` (paper Sec. 2.3).
+///
+/// The paper's primary output-fidelity metric: the TVD between a noisy
+/// circuit's output distribution and the ideal output, lower is
+/// better. Ranges over `[0, 1]` for normalized distributions.
+///
+/// # Panics
+///
+/// Panics if the distributions have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use geyser_sim::total_variation_distance;
+/// let p = [0.5, 0.5];
+/// let q = [1.0, 0.0];
+/// assert!((total_variation_distance(&p, &q) - 0.5).abs() < 1e-15);
+/// ```
+pub fn total_variation_distance(p1: &[f64], p2: &[f64]) -> f64 {
+    assert_eq!(p1.len(), p2.len(), "distribution length mismatch");
+    0.5 * p1.iter().zip(p2).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_tvd() {
+        let p = [0.25, 0.25, 0.25, 0.25];
+        assert_eq!(total_variation_distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn disjoint_distributions_have_tvd_one() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn symmetry() {
+        let p = [0.7, 0.2, 0.1, 0.0];
+        let q = [0.1, 0.3, 0.5, 0.1];
+        assert_eq!(
+            total_variation_distance(&p, &q),
+            total_variation_distance(&q, &p)
+        );
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        let p = [0.6, 0.4];
+        let q = [0.3, 0.7];
+        let r = [0.1, 0.9];
+        let pq = total_variation_distance(&p, &q);
+        let qr = total_variation_distance(&q, &r);
+        let pr = total_variation_distance(&p, &r);
+        assert!(pr <= pq + qr + 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = total_variation_distance(&[1.0], &[0.5, 0.5]);
+    }
+}

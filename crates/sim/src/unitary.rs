@@ -1,0 +1,193 @@
+//! Full-circuit unitary construction.
+//!
+//! Block composition (paper Sec. 3.4) compares the 8×8 unitary of an
+//! original 3-qubit block against a composed candidate via the
+//! Hilbert–Schmidt distance. This module builds those unitaries — and,
+//! for testing, the unitary of any small circuit.
+
+use geyser_circuit::Circuit;
+use geyser_num::{CMatrix, Complex};
+
+/// Embeds a `2^k × 2^k` gate matrix acting on the ordered qubit list
+/// `qubits` into the full `2^n × 2^n` space of an `n`-qubit register
+/// (big-endian convention: qubit 0 is the most significant index bit).
+///
+/// # Panics
+///
+/// Panics if the matrix dimension does not match `qubits.len()`, if a
+/// qubit is out of range or duplicated, or if `n > 13` (the resulting
+/// dense matrix would exceed memory sanity bounds).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// use geyser_sim::embed_gate;
+/// let full = embed_gate(&Gate::X.matrix(), &[1], 2);
+/// assert_eq!(full.rows(), 4);
+/// // X on qubit 1 (LSB): |00> -> |01>
+/// assert!(full[(1, 0)].norm() > 0.99);
+/// ```
+pub fn embed_gate(m: &CMatrix, qubits: &[usize], n: usize) -> CMatrix {
+    let k = qubits.len();
+    assert!(n <= 13, "embedding beyond 13 qubits is not supported");
+    assert_eq!(m.rows(), 1 << k, "matrix dimension mismatch");
+    assert_eq!(m.cols(), 1 << k, "matrix must be square");
+    for (i, q) in qubits.iter().enumerate() {
+        assert!(*q < n, "qubit {q} out of range");
+        assert!(!qubits[..i].contains(q), "duplicate qubit {q}");
+    }
+    let dim = 1usize << n;
+    let bit_of = |q: usize| n - 1 - q;
+    let mut out = CMatrix::zeros(dim, dim);
+    for col in 0..dim {
+        // Extract the local column index for the gate qubits.
+        let mut lcol = 0usize;
+        for (j, &q) in qubits.iter().enumerate() {
+            if (col >> bit_of(q)) & 1 == 1 {
+                lcol |= 1 << (k - 1 - j);
+            }
+        }
+        // Rest bits are unchanged by the gate.
+        let rest = {
+            let mut r = col;
+            for &q in qubits {
+                r &= !(1usize << bit_of(q));
+            }
+            r
+        };
+        for lrow in 0..(1usize << k) {
+            let entry = m[(lrow, lcol)];
+            if entry == Complex::ZERO {
+                continue;
+            }
+            let mut row = rest;
+            for (j, &q) in qubits.iter().enumerate() {
+                if (lrow >> (k - 1 - j)) & 1 == 1 {
+                    row |= 1 << bit_of(q);
+                }
+            }
+            out[(row, col)] = entry;
+        }
+    }
+    out
+}
+
+/// Builds the full unitary of a circuit by composing embedded gate
+/// matrices in program order (`U = U_m ⋯ U_2 U_1`).
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 13 qubits.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_sim::circuit_unitary;
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let u = circuit_unitary(&c);
+/// assert!(u.is_unitary(1e-10));
+/// ```
+pub fn circuit_unitary(circuit: &Circuit) -> CMatrix {
+    let n = circuit.num_qubits();
+    assert!(n <= 13, "unitary construction beyond 13 qubits");
+    let mut u = CMatrix::identity(1 << n);
+    for op in circuit.iter() {
+        let g = embed_gate(&op.gate().matrix(), op.qubits(), n);
+        u = g.matmul(&u);
+    }
+    u
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateVector;
+    use geyser_circuit::Gate;
+
+    #[test]
+    fn embed_single_qubit_matches_kron() {
+        // X on qubit 0 of 2 = X ⊗ I; on qubit 1 = I ⊗ X.
+        let x = Gate::X.matrix();
+        let id = CMatrix::identity(2);
+        assert!(embed_gate(&x, &[0], 2).approx_eq(&x.kron(&id), 1e-14));
+        assert!(embed_gate(&x, &[1], 2).approx_eq(&id.kron(&x), 1e-14));
+    }
+
+    #[test]
+    fn embed_adjacent_two_qubit_matches_kron() {
+        let cz = Gate::CZ.matrix();
+        let id = CMatrix::identity(2);
+        assert!(embed_gate(&cz, &[0, 1], 3).approx_eq(&cz.kron(&id), 1e-14));
+        assert!(embed_gate(&cz, &[1, 2], 3).approx_eq(&id.kron(&cz), 1e-14));
+    }
+
+    #[test]
+    fn embed_reversed_qubit_order() {
+        // CX with control q1, target q0 should differ from control q0.
+        let cx = Gate::CX.matrix();
+        let a = embed_gate(&cx, &[0, 1], 2);
+        let b = embed_gate(&cx, &[1, 0], 2);
+        assert!(!a.approx_eq(&b, 1e-6));
+        // b: |01> (ctrl q1 = 1) -> |11>
+        assert!(b[(0b11, 0b01)].norm() > 0.99);
+    }
+
+    #[test]
+    fn circuit_unitary_is_unitary() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccz(0, 1, 2).rz(0.3, 2).swap(0, 2);
+        let u = circuit_unitary(&c);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn unitary_agrees_with_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(0, 2).cz(1, 2).ry(0.7, 0);
+        let u = circuit_unitary(&c);
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_circuit(&c);
+        // First column of U = U|000>.
+        for row in 0..8 {
+            assert!(
+                (u[(row, 0)] - sv.amplitudes()[row]).norm() < 1e-12,
+                "row {row}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_of_application_is_program_order() {
+        // X then H on one qubit: U = H·X.
+        let mut c = Circuit::new(1);
+        c.x(0).h(0);
+        let u = circuit_unitary(&c);
+        let want = Gate::H.matrix().matmul(&Gate::X.matrix());
+        assert!(u.approx_eq(&want, 1e-14));
+    }
+
+    #[test]
+    fn empty_circuit_is_identity() {
+        let u = circuit_unitary(&Circuit::new(2));
+        assert!(u.approx_eq(&CMatrix::identity(4), 1e-15));
+    }
+
+    #[test]
+    fn nonadjacent_gate_embedding() {
+        // CZ on qubits (0, 2) of 3: diagonal with -1 where both bits set.
+        let u = embed_gate(&Gate::CZ.matrix(), &[0, 2], 3);
+        for idx in 0..8 {
+            let want = if idx & 0b101 == 0b101 { -1.0 } else { 1.0 };
+            assert!((u[(idx, idx)].re - want).abs() < 1e-14, "idx {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond 13 qubits")]
+    fn oversized_unitary_rejected() {
+        let _ = circuit_unitary(&Circuit::new(14));
+    }
+}

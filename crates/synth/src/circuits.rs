@@ -1,0 +1,285 @@
+//! Materializing KAK factors as `{U3, CZ}` circuits.
+
+use geyser_circuit::{Circuit, Gate};
+use geyser_num::{zyz_angles, CMatrix};
+
+use crate::{kak_decompose, KakDecomposition};
+
+/// Angle below which an interaction coefficient is treated as zero.
+const ANGLE_TOL: f64 = 1e-7;
+
+/// A 2-qubit circuit builder that fuses every run of single-qubit
+/// gates into one U3 pulse, so synthesized circuits come out with
+/// minimal pulse counts without needing a separate optimization pass.
+struct FusingBuilder {
+    circuit: Circuit,
+    pending: [Option<CMatrix>; 2],
+}
+
+impl FusingBuilder {
+    fn new() -> Self {
+        FusingBuilder {
+            circuit: Circuit::new(2),
+            pending: [None, None],
+        }
+    }
+
+    fn apply_1q(&mut self, q: usize, m: &CMatrix) {
+        self.pending[q] = Some(match self.pending[q].take() {
+            Some(acc) => m.matmul(&acc),
+            None => m.clone(),
+        });
+    }
+
+    fn apply_gate(&mut self, q: usize, g: Gate) {
+        self.apply_1q(q, &g.matrix());
+    }
+
+    fn flush(&mut self, q: usize) {
+        if let Some(m) = self.pending[q].take() {
+            let phase = m[(0, 0)];
+            let is_identity = (phase.norm() - 1.0).abs() < 1e-9
+                && m.approx_eq(&CMatrix::identity(2).scale(phase), 1e-9);
+            if !is_identity {
+                let d = zyz_angles(&m).expect("1q products stay unitary");
+                self.circuit.u3(d.theta, d.phi, d.lambda, q);
+            }
+        }
+    }
+
+    fn cz(&mut self) {
+        self.flush(0);
+        self.flush(1);
+        self.circuit.cz(0, 1);
+    }
+
+    fn finish(mut self) -> Circuit {
+        self.flush(0);
+        self.flush(1);
+        self.circuit
+    }
+}
+
+/// Reduces an interaction angle into `(-π/2, π/2]` and reports how
+/// many π-steps were folded (each contributes a local `P ⊗ P` at π/2
+/// or a global sign at π).
+fn fold_angle(t: f64) -> (f64, bool) {
+    // exp(i t PP) with t' = t − kπ differs by (−1)^k global phase.
+    let k = (t / std::f64::consts::PI).round();
+    let mut reduced = t - k * std::f64::consts::PI;
+    let mut half_turn = false;
+    if reduced > std::f64::consts::FRAC_PI_2 - 1e-12 {
+        reduced -= std::f64::consts::PI;
+    }
+    // Exactly ±π/2: exp(±iπ/2 PP) = ±i·P⊗P — emit locals instead of
+    // an entangling factor.
+    if (reduced.abs() - std::f64::consts::FRAC_PI_2).abs() < ANGLE_TOL {
+        half_turn = true;
+    }
+    (reduced, half_turn)
+}
+
+/// Emits `exp(i t P⊗P)` for one interaction axis into the builder.
+fn emit_axis(builder: &mut FusingBuilder, axis: char, t: f64) {
+    let (t, half_turn) = fold_angle(t);
+    if t.abs() < ANGLE_TOL {
+        return;
+    }
+    let pauli = match axis {
+        'X' => Gate::X,
+        'Y' => Gate::Y,
+        _ => Gate::Z,
+    };
+    if half_turn {
+        // exp(±iπ/2 PP) = ±i (P ⊗ P): purely local.
+        builder.apply_gate(0, pauli);
+        builder.apply_gate(1, pauli);
+        return;
+    }
+    // Basis change taking ZZ → PP.
+    let pre: Option<Gate> = match axis {
+        'X' => Some(Gate::H),
+        'Y' => Some(Gate::RX(std::f64::consts::FRAC_PI_2)),
+        _ => None,
+    };
+    if let Some(g) = pre {
+        builder.apply_gate(0, g);
+        builder.apply_gate(1, g);
+    }
+    // exp(i t ZZ) = CX·(I⊗RZ(−2t))·CX, with CX = (I⊗H)·CZ·(I⊗H).
+    builder.apply_gate(1, Gate::H);
+    builder.cz();
+    builder.apply_gate(1, Gate::H);
+    builder.apply_gate(1, Gate::RZ(-2.0 * t));
+    builder.apply_gate(1, Gate::H);
+    builder.cz();
+    builder.apply_gate(1, Gate::H);
+    let post: Option<Gate> = match axis {
+        'X' => Some(Gate::H),
+        'Y' => Some(Gate::RX(-std::f64::consts::FRAC_PI_2)),
+        _ => None,
+    };
+    if let Some(g) = post {
+        builder.apply_gate(0, g);
+        builder.apply_gate(1, g);
+    }
+}
+
+/// Builds a `{U3, CZ}` circuit implementing the canonical interaction
+/// `exp(i(a XX + b YY + c ZZ))` up to global phase.
+///
+/// Axes whose folded angle vanishes cost nothing; axes landing on
+/// ±π/2 reduce to local Paulis; each remaining axis costs two CZ.
+///
+/// # Example
+///
+/// ```
+/// use geyser_synth::canonical_circuit;
+/// // A pure ZZ interaction takes two CZ pulses.
+/// let c = canonical_circuit(0.0, 0.0, 0.4);
+/// assert_eq!(c.gate_counts().cz, 2);
+/// ```
+pub fn canonical_circuit(a: f64, b: f64, c: f64) -> Circuit {
+    let mut builder = FusingBuilder::new();
+    emit_axis(&mut builder, 'X', a);
+    emit_axis(&mut builder, 'Y', b);
+    emit_axis(&mut builder, 'Z', c);
+    builder.finish()
+}
+
+/// Synthesizes an exact `{U3, CZ}` circuit for any 4×4 unitary
+/// (global phase dropped — physically irrelevant).
+///
+/// Returns `None` if `u` is not a 4×4 unitary. The output uses at
+/// most six CZ gates (two per non-trivial interaction axis) with all
+/// single-qubit runs fused into single U3 pulses.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// use geyser_synth::synthesize_two_qubit;
+/// let c = synthesize_two_qubit(&Gate::CPhase(0.8).matrix()).unwrap();
+/// assert!(c.is_native_basis());
+/// assert_eq!(c.gate_counts().cz, 2);
+/// ```
+pub fn synthesize_two_qubit(u: &CMatrix) -> Option<Circuit> {
+    let kak: KakDecomposition = kak_decompose(u)?;
+    let mut builder = FusingBuilder::new();
+    // Right locals first (applied first in time).
+    builder.apply_1q(0, &kak.b1);
+    builder.apply_1q(1, &kak.b0);
+    emit_axis(&mut builder, 'X', kak.interaction.0);
+    emit_axis(&mut builder, 'Y', kak.interaction.1);
+    emit_axis(&mut builder, 'Z', kak.interaction.2);
+    builder.apply_1q(0, &kak.a1);
+    builder.apply_1q(1, &kak.a0);
+    Some(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_num::hilbert_schmidt_distance;
+    use geyser_sim::circuit_unitary;
+
+    fn assert_synthesis(u: &CMatrix, max_cz: usize) {
+        let c = synthesize_two_qubit(u).expect("synthesis succeeds");
+        assert!(c.is_native_basis());
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), u);
+        assert!(d < 1e-7, "HSD = {d}");
+        assert!(
+            c.gate_counts().cz <= max_cz,
+            "used {} CZ (max {max_cz})",
+            c.gate_counts().cz
+        );
+    }
+
+    #[test]
+    fn canonical_circuit_matches_closed_form() {
+        for (a, b, c) in [
+            (0.3, 0.0, 0.0),
+            (0.0, 0.7, 0.0),
+            (0.0, 0.0, -0.4),
+            (0.5, -0.3, 0.2),
+            (1.2, 0.9, 0.1),
+        ] {
+            let circuit = canonical_circuit(a, b, c);
+            let want = crate::kak::canonical_matrix(a, b, c);
+            let d = hilbert_schmidt_distance(&circuit_unitary(&circuit), &want);
+            assert!(d < 1e-9, "({a},{b},{c}): HSD = {d}");
+        }
+    }
+
+    #[test]
+    fn zero_interaction_is_empty() {
+        assert!(canonical_circuit(0.0, 0.0, 0.0).is_empty());
+        // Full π turns are global phases.
+        assert!(canonical_circuit(std::f64::consts::PI, 0.0, 0.0).is_empty());
+    }
+
+    #[test]
+    fn half_turns_are_local() {
+        let c = canonical_circuit(std::f64::consts::FRAC_PI_2, 0.0, 0.0);
+        assert_eq!(c.gate_counts().cz, 0);
+        let want = crate::kak::canonical_matrix(std::f64::consts::FRAC_PI_2, 0.0, 0.0);
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &want);
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn single_axis_costs_two_cz() {
+        let c = canonical_circuit(0.0, 0.0, 0.37);
+        assert_eq!(c.gate_counts().cz, 2);
+    }
+
+    #[test]
+    fn cphase_synthesizes_with_two_cz() {
+        for theta in [0.4, 1.3, -2.0] {
+            assert_synthesis(&Gate::CPhase(theta).matrix(), 2);
+        }
+    }
+
+    #[test]
+    fn cz_class_gates_synthesize_cheaply() {
+        assert_synthesis(&Gate::CZ.matrix(), 2);
+        assert_synthesis(&Gate::CX.matrix(), 2);
+    }
+
+    #[test]
+    fn swap_synthesizes() {
+        // SWAP is the (π/4, π/4, π/4) class: 6 CZ with this template.
+        assert_synthesis(&Gate::Swap.matrix(), 6);
+    }
+
+    #[test]
+    fn local_unitaries_need_no_cz() {
+        let u = Gate::H.matrix().kron(&Gate::T.matrix());
+        let c = synthesize_two_qubit(&u).unwrap();
+        assert_eq!(c.gate_counts().cz, 0);
+        assert!(c.len() <= 2);
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &u);
+        assert!(d < 1e-9);
+    }
+
+    #[test]
+    fn random_two_qubit_unitaries_synthesize() {
+        use geyser_circuit::Circuit;
+        for seed in 0..10u64 {
+            let mut c = Circuit::new(2);
+            for i in 0..6 {
+                let t = 0.41 * (seed as f64 + 1.0) + 0.13 * i as f64;
+                c.ry(t, i % 2);
+                c.rz(1.7 * t, (i + 1) % 2);
+                c.cz(0, 1);
+            }
+            let u = circuit_unitary(&c);
+            assert_synthesis(&u, 6);
+        }
+    }
+
+    #[test]
+    fn rejects_non_two_qubit_input() {
+        assert!(synthesize_two_qubit(&CMatrix::identity(8)).is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Makhlin local-equivalence invariants of two-qubit gates.
+//!
+//! Two two-qubit unitaries are *locally equivalent* — interchangeable
+//! up to single-qubit gates — iff their Makhlin invariants
+//! `(G₁, G₂)` coincide. The invariants are computed in the magic
+//! basis: with `m = (M†UM)ᵀ(M†UM)` and `U` normalized to `SU(4)`,
+//!
+//! ```text
+//! G₁ = tr²(m) / 16,      G₂ = (tr²(m) − tr(m²)) / 4.
+//! ```
+//!
+//! Used to classify blocks by entangling power (e.g. all `CX`-class
+//! gates share `(0, 1)`) and as a fast local-equivalence test in the
+//! synthesis tests.
+
+use geyser_num::{CMatrix, Complex};
+
+/// The Makhlin invariant pair `(G₁, G₂)` of a 4×4 unitary
+/// (`G₂` is always real for unitary input).
+///
+/// Returns `None` if `u` is not a 4×4 unitary.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// use geyser_synth::makhlin_invariants;
+/// // CX and CZ are locally equivalent: identical invariants.
+/// let a = makhlin_invariants(&Gate::CX.matrix()).unwrap();
+/// let b = makhlin_invariants(&Gate::CZ.matrix()).unwrap();
+/// assert!((a.0 - b.0).norm() < 1e-10);
+/// assert!((a.1 - b.1).abs() < 1e-10);
+/// ```
+pub fn makhlin_invariants(u: &CMatrix) -> Option<(Complex, f64)> {
+    if u.rows() != 4 || u.cols() != 4 || !u.is_unitary(1e-8) {
+        return None;
+    }
+    // Magic basis (same convention as the KAK module).
+    let s = 1.0 / f64::sqrt(2.0);
+    let z = Complex::ZERO;
+    let r = Complex::from_real(s);
+    let i = Complex::new(0.0, s);
+    let magic = CMatrix::from_rows(&[&[r, z, z, i], &[z, i, r, z], &[z, i, -r, z], &[r, z, z, -i]]);
+
+    // Normalize to SU(4).
+    let det = crate::kak::det4_public(u);
+    let alpha = det.arg() / 4.0;
+    let u_special = u.scale(Complex::cis(-alpha));
+
+    let v = magic.dagger().matmul(&u_special).matmul(&magic);
+    let m = v.transpose().matmul(&v);
+    let tr = m.trace();
+    let tr_m2 = m.matmul(&m).trace();
+    let g1 = tr * tr / 16.0;
+    let g2 = ((tr * tr - tr_m2) / 4.0).re;
+    Some((g1, g2))
+}
+
+/// Returns `true` if two 4×4 unitaries are equal up to single-qubit
+/// gates on either side (same Makhlin invariants).
+///
+/// Returns `false` when either input is not a 4×4 unitary.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// use geyser_synth::locally_equivalent;
+/// assert!(locally_equivalent(&Gate::CX.matrix(), &Gate::CZ.matrix()));
+/// assert!(!locally_equivalent(&Gate::CX.matrix(), &Gate::Swap.matrix()));
+/// ```
+pub fn locally_equivalent(u1: &CMatrix, u2: &CMatrix) -> bool {
+    match (makhlin_invariants(u1), makhlin_invariants(u2)) {
+        (Some((a1, a2)), Some((b1, b2))) => (a1 - b1).norm() < 1e-7 && (a2 - b2).abs() < 1e-7,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_circuit::{Circuit, Gate};
+    use geyser_sim::circuit_unitary;
+
+    #[test]
+    fn identity_class_invariants() {
+        let (g1, g2) = makhlin_invariants(&CMatrix::identity(4)).unwrap();
+        assert!((g1 - Complex::ONE).norm() < 1e-10, "G1 = {g1}");
+        assert!((g2 - 3.0).abs() < 1e-10, "G2 = {g2}");
+        // Local gates share the identity's invariants.
+        let local = Gate::H.matrix().kron(&Gate::T.matrix());
+        assert!(locally_equivalent(&local, &CMatrix::identity(4)));
+    }
+
+    #[test]
+    fn cnot_class_invariants() {
+        let (g1, g2) = makhlin_invariants(&Gate::CX.matrix()).unwrap();
+        assert!(g1.norm() < 1e-10, "G1 = {g1}");
+        assert!((g2 - 1.0).abs() < 1e-10, "G2 = {g2}");
+    }
+
+    #[test]
+    fn swap_class_invariants() {
+        let (g1, g2) = makhlin_invariants(&Gate::Swap.matrix()).unwrap();
+        assert!((g1 + Complex::ONE).norm() < 1e-10, "G1 = {g1}");
+        assert!((g2 + 3.0).abs() < 1e-10, "G2 = {g2}");
+    }
+
+    #[test]
+    fn invariance_under_local_dressing() {
+        let core = Gate::CPhase(0.77).matrix();
+        let mut c = Circuit::new(2);
+        c.ry(0.4, 0).rz(1.2, 1);
+        let left = circuit_unitary(&c);
+        let mut d = Circuit::new(2);
+        d.h(0).t(1).rx(0.9, 0);
+        let right = circuit_unitary(&d);
+        let dressed = left.matmul(&core).matmul(&right);
+        assert!(locally_equivalent(&core, &dressed));
+    }
+
+    #[test]
+    fn distinct_interaction_strengths_are_inequivalent() {
+        let a = Gate::CPhase(0.5).matrix();
+        let b = Gate::CPhase(1.0).matrix();
+        assert!(!locally_equivalent(&a, &b));
+        // But CP(θ) and CP(−θ) are the same class (two sign flips).
+        let c = Gate::CPhase(-0.5).matrix();
+        assert!(locally_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn global_phase_does_not_matter() {
+        let u = Gate::CX.matrix();
+        let phased = u.scale(Complex::cis(0.9));
+        assert!(locally_equivalent(&u, &phased));
+    }
+
+    #[test]
+    fn rejects_non_unitary() {
+        let mut m = CMatrix::identity(4);
+        m[(0, 0)] = Complex::from_real(3.0);
+        assert!(makhlin_invariants(&m).is_none());
+        assert!(!locally_equivalent(&m, &CMatrix::identity(4)));
+    }
+}

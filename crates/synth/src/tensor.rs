@@ -1,0 +1,185 @@
+//! Factoring tensor-product unitaries into their factors.
+
+use geyser_num::{CMatrix, Complex};
+
+/// Splits a matrix known to be (numerically) a tensor product
+/// `A ⊗ B` with `A` of dimension `dim_a × dim_a` into factors.
+///
+/// The split carries the usual gauge freedom `(A·e^{iγ}, B·e^{−iγ})`;
+/// the returned pair satisfies `A ⊗ B ≈ m` exactly (phase included).
+///
+/// Returns `None` when the dimensions do not divide, or `m` deviates
+/// from a tensor product by more than `tol` (entry-wise, after
+/// reconstruction).
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// use geyser_synth::split_tensor_product_dims;
+/// // 2 ⊗ 4 split of T ⊗ CZ.
+/// let m = Gate::T.matrix().kron(&Gate::CZ.matrix());
+/// let (a, b) = split_tensor_product_dims(&m, 2, 1e-10).expect("splits");
+/// assert_eq!(b.rows(), 4);
+/// assert!(a.kron(&b).approx_eq(&m, 1e-10));
+/// ```
+pub fn split_tensor_product_dims(
+    m: &CMatrix,
+    dim_a: usize,
+    tol: f64,
+) -> Option<(CMatrix, CMatrix)> {
+    if !m.is_square() || dim_a == 0 || !m.rows().is_multiple_of(dim_a) {
+        return None;
+    }
+    let dim_b = m.rows() / dim_a;
+    // Blocks: m[(dim_b·i + j, dim_b·k + l)] = A[(i,k)] · B[(j,l)].
+    let block = |i: usize, k: usize| {
+        CMatrix::from_fn(dim_b, dim_b, |j, l| m[(dim_b * i + j, dim_b * k + l)])
+    };
+    // Anchor on the block with the largest Frobenius norm.
+    let mut best = (0usize, 0usize);
+    let mut best_norm = -1.0f64;
+    for i in 0..dim_a {
+        for k in 0..dim_a {
+            let n = block(i, k).frobenius_norm();
+            if n > best_norm {
+                best_norm = n;
+                best = (i, k);
+            }
+        }
+    }
+    if best_norm < tol {
+        return None;
+    }
+    // For unitary A ⊗ B each nonzero block is A[(i,k)]·B with B
+    // unitary, so ‖block‖_F = |A[(i,k)]|·√dim_b.
+    let anchor = block(best.0, best.1);
+    let b = anchor.scale(Complex::from_real((dim_b as f64).sqrt() / best_norm));
+    let b_dag = b.dagger();
+    let a = CMatrix::from_fn(dim_a, dim_a, |i, k| {
+        b_dag.matmul(&block(i, k)).trace() / dim_b as f64
+    });
+    let back = a.kron(&b);
+    if back.approx_eq(m, tol) {
+        Some((a, b))
+    } else {
+        None
+    }
+}
+
+/// Splits a 4×4 matrix known to be (numerically) a tensor product
+/// `A ⊗ B` into 2×2 unitary factors.
+///
+/// Shorthand for [`split_tensor_product_dims`] with `dim_a = 2`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Gate;
+/// use geyser_synth::split_tensor_product;
+/// let m = Gate::H.matrix().kron(&Gate::T.matrix());
+/// let (a, b) = split_tensor_product(&m, 1e-10).expect("tensor product");
+/// assert!(a.kron(&b).approx_eq(&m, 1e-10));
+/// ```
+pub fn split_tensor_product(m: &CMatrix, tol: f64) -> Option<(CMatrix, CMatrix)> {
+    if m.rows() != 4 || m.cols() != 4 {
+        return None;
+    }
+    split_tensor_product_dims(m, 2, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_circuit::Gate;
+
+    #[test]
+    fn splits_standard_gate_products() {
+        for (ga, gb) in [
+            (Gate::H, Gate::T),
+            (Gate::X, Gate::Z),
+            (Gate::RY(0.7), Gate::RZ(-1.2)),
+            (Gate::S, Gate::H),
+        ] {
+            let m = ga.matrix().kron(&gb.matrix());
+            let (a, b) = split_tensor_product(&m, 1e-10).expect("product splits");
+            assert!(a.kron(&b).approx_eq(&m, 1e-10));
+            assert!(a.is_unitary(1e-9));
+            assert!(b.is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn preserves_global_phase() {
+        let m = Gate::H
+            .matrix()
+            .kron(&Gate::T.matrix())
+            .scale(Complex::cis(0.9));
+        let (a, b) = split_tensor_product(&m, 1e-10).expect("phased product splits");
+        assert!(a.kron(&b).approx_eq(&m, 1e-10));
+    }
+
+    #[test]
+    fn handles_blocks_with_zeros() {
+        // Z ⊗ X has zero off-diagonal A-blocks.
+        let m = Gate::Z.matrix().kron(&Gate::X.matrix());
+        let (a, b) = split_tensor_product(&m, 1e-10).expect("splits");
+        assert!(a.kron(&b).approx_eq(&m, 1e-10));
+    }
+
+    #[test]
+    fn rejects_entangling_unitaries() {
+        assert!(split_tensor_product(&Gate::CX.matrix(), 1e-8).is_none());
+        assert!(split_tensor_product(&Gate::CZ.matrix(), 1e-8).is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_dimensions() {
+        assert!(split_tensor_product(&CMatrix::identity(2), 1e-8).is_none());
+        assert!(split_tensor_product(&CMatrix::identity(8), 1e-8).is_none());
+    }
+
+    #[test]
+    fn identity_splits_into_identities() {
+        let (a, b) = split_tensor_product(&CMatrix::identity(4), 1e-10).unwrap();
+        assert!(a.kron(&b).approx_eq(&CMatrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn splits_2x4_products() {
+        // 1q ⊗ 2q-entangling products (the composition fast-path case).
+        for (ga, m2) in [
+            (Gate::T, Gate::CZ.matrix()),
+            (Gate::H, Gate::CX.matrix()),
+            (Gate::RY(0.4), Gate::CPhase(0.9).matrix()),
+        ] {
+            let m = ga.matrix().kron(&m2);
+            let (a, b) = split_tensor_product_dims(&m, 2, 1e-9).expect("2x4 splits");
+            assert_eq!(a.rows(), 2);
+            assert_eq!(b.rows(), 4);
+            assert!(a.kron(&b).approx_eq(&m, 1e-9));
+        }
+    }
+
+    #[test]
+    fn splits_4x2_products() {
+        let m = Gate::CX.matrix().kron(&Gate::T.matrix());
+        let (a, b) = split_tensor_product_dims(&m, 4, 1e-9).expect("4x2 splits");
+        assert_eq!(a.rows(), 4);
+        assert_eq!(b.rows(), 2);
+        assert!(a.kron(&b).approx_eq(&m, 1e-9));
+    }
+
+    #[test]
+    fn dims_variant_rejects_genuinely_tripartite_entanglement() {
+        let ccz = Gate::CCZ.matrix();
+        assert!(split_tensor_product_dims(&ccz, 2, 1e-8).is_none());
+        assert!(split_tensor_product_dims(&ccz, 4, 1e-8).is_none());
+    }
+
+    #[test]
+    fn dims_variant_rejects_bad_divisors() {
+        assert!(split_tensor_product_dims(&CMatrix::identity(4), 3, 1e-8).is_none());
+        assert!(split_tensor_product_dims(&CMatrix::identity(4), 0, 1e-8).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: KAK decomposition and synthesis over random
+//! two-qubit unitaries.
+
+use geyser_circuit::Circuit;
+use geyser_num::hilbert_schmidt_distance;
+use geyser_sim::circuit_unitary;
+use geyser_synth::{kak_decompose, split_tensor_product, synthesize_two_qubit};
+use proptest::prelude::*;
+
+/// Strategy: a Haar-ish random 2-qubit unitary built from a random
+/// circuit of rotations and entanglers.
+fn random_unitary() -> impl Strategy<Value = geyser_num::CMatrix> {
+    proptest::collection::vec(
+        (
+            0.0f64..std::f64::consts::TAU,
+            0.0f64..std::f64::consts::TAU,
+            0..2usize,
+            proptest::bool::ANY,
+        ),
+        1..8,
+    )
+    .prop_map(|layers| {
+        let mut c = Circuit::new(2);
+        for (ry, rz, q, entangle) in layers {
+            c.ry(ry, q);
+            c.rz(rz, 1 - q);
+            if entangle {
+                c.cz(0, 1);
+            }
+        }
+        circuit_unitary(&c)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn kak_reconstruction_is_exact(u in random_unitary()) {
+        let kak = kak_decompose(&u).expect("random unitaries decompose");
+        let back = kak.to_matrix();
+        prop_assert!(back.approx_eq(&u, 1e-6), "reconstruction drifted");
+        prop_assert!(kak.a0.is_unitary(1e-7));
+        prop_assert!(kak.a1.is_unitary(1e-7));
+        prop_assert!(kak.b0.is_unitary(1e-7));
+        prop_assert!(kak.b1.is_unitary(1e-7));
+    }
+
+    #[test]
+    fn synthesis_is_equivalent_and_bounded(u in random_unitary()) {
+        let c = synthesize_two_qubit(&u).expect("synthesis succeeds");
+        prop_assert!(c.is_native_basis());
+        prop_assert!(c.gate_counts().cz <= 6);
+        let d = hilbert_schmidt_distance(&circuit_unitary(&c), &u);
+        prop_assert!(d < 1e-6, "HSD = {d}");
+    }
+
+    #[test]
+    fn synthesis_fuses_single_qubit_runs(u in random_unitary()) {
+        // Between any two CZ gates there can be at most one U3 per
+        // qubit (the builder fuses runs).
+        let c = synthesize_two_qubit(&u).expect("synthesis succeeds");
+        let mut u3_since_cz = [0usize; 2];
+        for op in c.iter() {
+            if op.arity() == 2 {
+                u3_since_cz = [0, 0];
+            } else {
+                let q = op.qubits()[0];
+                u3_since_cz[q] += 1;
+                prop_assert!(u3_since_cz[q] <= 1, "unfused U3 run on q{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn tensor_split_roundtrips(
+        t1 in 0.0f64..std::f64::consts::PI,
+        p1 in 0.0f64..std::f64::consts::TAU,
+        l1 in 0.0f64..std::f64::consts::TAU,
+        t2 in 0.0f64..std::f64::consts::PI,
+        p2 in 0.0f64..std::f64::consts::TAU,
+        l2 in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let a = geyser_circuit::Gate::U3 { theta: t1, phi: p1, lambda: l1 }.matrix();
+        let b = geyser_circuit::Gate::U3 { theta: t2, phi: p2, lambda: l2 }.matrix();
+        let m = a.kron(&b);
+        let (fa, fb) = split_tensor_product(&m, 1e-8).expect("products split");
+        prop_assert!(fa.kron(&fb).approx_eq(&m, 1e-8));
+    }
+}

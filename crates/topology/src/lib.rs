@@ -1,0 +1,41 @@
+//! Neutral-atom lattice topologies, interaction radii, and restriction
+//! zones.
+//!
+//! Neutral-atom machines arrange atoms with optical tweezers in any
+//! desired pattern (paper Sec. 3.2); Geyser selects a **triangular
+//! grid** so that three mutually-adjacent atoms form equilateral
+//! triangles — the natural home of a native CCZ gate — while keeping
+//! restriction zones minimal (a 3-qubit gate restricts at most nine
+//! neighbouring atoms vs twelve on a square grid, paper Fig. 7).
+//!
+//! This crate models:
+//!
+//! * [`Lattice`] — triangular and square atom grids with physical
+//!   coordinates and Rydberg-radius adjacency,
+//! * restriction zones ([`Lattice::restriction_zone`]) — the set of
+//!   non-engaged atoms blocked while a multi-qubit gate executes
+//!   (paper Fig. 4),
+//! * hop distances and shortest paths for SWAP routing,
+//! * triangle enumeration for circuit blocking.
+//!
+//! # Example
+//!
+//! ```
+//! use geyser_topology::Lattice;
+//!
+//! let lat = Lattice::triangular(4, 4);
+//! // A 3-qubit gate on a triangle restricts at most 9 neighbours.
+//! let tri = lat.triangles()[0];
+//! assert!(lat.restriction_zone(&tri).len() <= 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lattice;
+mod path;
+mod render;
+
+pub use lattice::{Lattice, LatticeKind};
+pub use path::PathMatrix;
+pub use render::render_occupancy;

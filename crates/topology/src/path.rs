@@ -1,0 +1,161 @@
+//! All-pairs hop distances and shortest paths for SWAP routing.
+
+use std::collections::VecDeque;
+
+use crate::Lattice;
+
+/// Precomputed all-pairs BFS over a lattice's adjacency graph.
+///
+/// Hop distance is the routing metric: bringing two qubits together
+/// for a two-qubit gate costs one SWAP per hop beyond adjacency.
+///
+/// # Example
+///
+/// ```
+/// use geyser_topology::{Lattice, PathMatrix};
+/// let lat = Lattice::square(3, 3);
+/// let pm = PathMatrix::new(&lat);
+/// // Corner to opposite corner of a 3×3 grid: 4 hops.
+/// assert_eq!(pm.hops(0, 8), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathMatrix {
+    n: usize,
+    /// `dist[a * n + b]` = hop count, `usize::MAX` if disconnected.
+    dist: Vec<usize>,
+    /// `next[a * n + b]` = first hop on a shortest path a→b.
+    next: Vec<usize>,
+}
+
+impl PathMatrix {
+    /// Runs BFS from every node of `lattice`.
+    pub fn new(lattice: &Lattice) -> Self {
+        let n = lattice.num_nodes();
+        let mut dist = vec![usize::MAX; n * n];
+        let mut next = vec![usize::MAX; n * n];
+        for src in 0..n {
+            dist[src * n + src] = 0;
+            next[src * n + src] = src;
+            let mut queue = VecDeque::from([src]);
+            while let Some(u) = queue.pop_front() {
+                for &v in lattice.neighbors(u) {
+                    if dist[src * n + v] == usize::MAX {
+                        dist[src * n + v] = dist[src * n + u] + 1;
+                        // First hop toward v: if u is the source, the
+                        // first hop is v itself; otherwise inherit.
+                        next[src * n + v] = if u == src { v } else { next[src * n + u] };
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        PathMatrix { n, dist, next }
+    }
+
+    /// Hop distance between two nodes (0 for identical nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or the nodes are
+    /// disconnected (cannot happen for the grid constructors).
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        assert!(a < self.n && b < self.n, "node out of range");
+        let d = self.dist[a * self.n + b];
+        assert_ne!(d, usize::MAX, "nodes {a} and {b} are disconnected");
+        d
+    }
+
+    /// A shortest node path from `a` to `b`, inclusive of both ends.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PathMatrix::hops`].
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = vec![a];
+        let mut cur = a;
+        let _ = self.hops(a, b); // validates connectivity
+        while cur != b {
+            cur = self.next[cur * self.n + b];
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Number of nodes the matrix was built over.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_nodes_are_one_hop() {
+        let lat = Lattice::triangular(3, 3);
+        let pm = PathMatrix::new(&lat);
+        for e in lat.edges() {
+            assert_eq!(pm.hops(e[0], e[1]), 1);
+        }
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let lat = Lattice::square(3, 3);
+        let pm = PathMatrix::new(&lat);
+        for v in 0..lat.num_nodes() {
+            assert_eq!(pm.hops(v, v), 0);
+            assert_eq!(pm.shortest_path(v, v), vec![v]);
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric() {
+        let lat = Lattice::triangular(4, 5);
+        let pm = PathMatrix::new(&lat);
+        for a in 0..lat.num_nodes() {
+            for b in 0..lat.num_nodes() {
+                assert_eq!(pm.hops(a, b), pm.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn square_grid_manhattan_distance() {
+        let lat = Lattice::square(4, 4);
+        let pm = PathMatrix::new(&lat);
+        // (0,0) -> (3,3): Manhattan distance 6.
+        assert_eq!(pm.hops(0, 15), 6);
+    }
+
+    #[test]
+    fn paths_are_valid_walks_of_right_length() {
+        let lat = Lattice::triangular(4, 4);
+        let pm = PathMatrix::new(&lat);
+        for a in 0..lat.num_nodes() {
+            for b in 0..lat.num_nodes() {
+                let path = pm.shortest_path(a, b);
+                assert_eq!(path.len(), pm.hops(a, b) + 1);
+                assert_eq!(path[0], a);
+                assert_eq!(*path.last().unwrap(), b);
+                for w in path.windows(2) {
+                    assert!(lat.are_adjacent(w[0], w[1]), "invalid step {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_hops() {
+        let lat = Lattice::square(4, 4);
+        let pm = PathMatrix::new(&lat);
+        for a in 0..16 {
+            for b in 0..16 {
+                for c in 0..16 {
+                    assert!(pm.hops(a, c) <= pm.hops(a, b) + pm.hops(b, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Text rendering of lattice occupancy — the paper's Fig. 4 view:
+//! active atoms, their restriction zones, and free atoms.
+
+use crate::Lattice;
+
+/// Cell glyphs used by [`render_occupancy`].
+const ACTIVE: char = '●';
+const RESTRICTED: char = '■';
+const FREE: char = '·';
+
+/// Renders the lattice with the given engaged atom groups as an
+/// ASCII/Unicode diagram: `●` engaged, `■` inside a restriction zone,
+/// `·` free — the visual of paper Fig. 4.
+///
+/// Each inner slice of `engaged_groups` is one concurrently-executing
+/// operation; zones are computed per multi-qubit group.
+///
+/// # Panics
+///
+/// Panics if any engaged node is out of range.
+///
+/// # Example
+///
+/// ```
+/// use geyser_topology::{render_occupancy, Lattice};
+/// let lat = Lattice::triangular(3, 3);
+/// let picture = render_occupancy(&lat, &[&[0, 1]]);
+/// assert!(picture.contains('●'));
+/// assert!(picture.contains('■'));
+/// ```
+pub fn render_occupancy(lattice: &Lattice, engaged_groups: &[&[usize]]) -> String {
+    let n = lattice.num_nodes();
+    let mut state = vec![FREE; n];
+    for group in engaged_groups {
+        if group.len() > 1 {
+            for z in lattice.restriction_zone(group) {
+                if state[z] == FREE {
+                    state[z] = RESTRICTED;
+                }
+            }
+        }
+    }
+    // Engaged marks win over restricted ones.
+    for group in engaged_groups {
+        for &q in *group {
+            assert!(q < n, "engaged node {q} out of range");
+            state[q] = ACTIVE;
+        }
+    }
+
+    let mut out = String::new();
+    for r in 0..lattice.rows() {
+        // Offset odd triangular rows to suggest the geometry.
+        let (x0, _) = lattice.position(r * lattice.cols());
+        out.push_str(&" ".repeat((x0 * 2.0).round() as usize));
+        for c in 0..lattice.cols() {
+            let v = r * lattice.cols() + c;
+            out.push(state[v]);
+            if c + 1 < lattice.cols() {
+                out.push_str("   ");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_engaged_restricted_and_free() {
+        let lat = Lattice::triangular(4, 4);
+        let tri = lat.triangles()[0];
+        let picture = render_occupancy(&lat, &[&tri]);
+        let actives = picture.matches(ACTIVE).count();
+        let restricted = picture.matches(RESTRICTED).count();
+        let free = picture.matches(FREE).count();
+        assert_eq!(actives, 3);
+        assert_eq!(restricted, lat.restriction_zone(&tri).len());
+        assert_eq!(actives + restricted + free, lat.num_nodes());
+    }
+
+    #[test]
+    fn single_qubit_ops_cast_no_zone() {
+        let lat = Lattice::triangular(3, 3);
+        let picture = render_occupancy(&lat, &[&[4]]);
+        assert_eq!(picture.matches(ACTIVE).count(), 1);
+        assert_eq!(picture.matches(RESTRICTED).count(), 0);
+    }
+
+    #[test]
+    fn multiple_groups_merge_zones() {
+        let lat = Lattice::triangular(3, 6);
+        let picture = render_occupancy(&lat, &[&[0, 1], &[16, 17]]);
+        assert_eq!(picture.matches(ACTIVE).count(), 4);
+        let z1 = lat.restriction_zone(&[0, 1]).len();
+        let z2 = lat.restriction_zone(&[16, 17]).len();
+        assert_eq!(picture.matches(RESTRICTED).count(), z1 + z2);
+    }
+
+    #[test]
+    fn row_count_matches_lattice() {
+        let lat = Lattice::square(3, 5);
+        let picture = render_occupancy(&lat, &[]);
+        assert_eq!(picture.lines().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let lat = Lattice::square(2, 2);
+        let _ = render_occupancy(&lat, &[&[9]]);
+    }
+}

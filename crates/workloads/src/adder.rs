@@ -1,0 +1,173 @@
+//! Cuccaro ripple-carry adder (quant-ph/0410184, paper ref. [9]).
+
+use geyser_circuit::Circuit;
+
+/// Number of addend bits hosted by an `m`-qubit adder register.
+///
+/// Register layout: `cin, a₀, b₀, a₁, b₁, …` plus a trailing `cout`
+/// when `m` is even. Odd `m` gives a modular adder without carry-out.
+fn bits_for(m: usize) -> (usize, bool) {
+    assert!(m >= 4, "adder needs at least 4 qubits");
+    if m.is_multiple_of(2) {
+        ((m - 2) / 2, true)
+    } else {
+        ((m - 1) / 2, false)
+    }
+}
+
+/// Builds a Cuccaro ripple-carry adder on `num_qubits` total qubits
+/// with addends preloaded via X gates: computes `b ← a + b (+ cout)`.
+///
+/// Qubit layout is `cin, a₀, b₀, a₁, b₁, …[, cout]` — 4 qubits give
+/// the paper's 1-bit adder, 9 qubits the 4-bit modular adder.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 4` or an input exceeds the addend width.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::adder_with_inputs;
+/// let c = adder_with_inputs(4, 1, 1); // 1 + 1 on the 1-bit adder
+/// assert_eq!(c.num_qubits(), 4);
+/// ```
+pub fn adder_with_inputs(num_qubits: usize, a: u64, b: u64) -> Circuit {
+    let (bits, has_cout) = bits_for(num_qubits);
+    assert!(a < (1 << bits), "input a out of range for {bits}-bit adder");
+    assert!(b < (1 << bits), "input b out of range for {bits}-bit adder");
+
+    let mut c = Circuit::new(num_qubits);
+    let a_q = |i: usize| 1 + 2 * i; // a_i qubit index
+    let b_q = |i: usize| 2 + 2 * i; // b_i qubit index
+    let cin = 0usize;
+    let cout = num_qubits - 1;
+
+    // Input preparation.
+    for i in 0..bits {
+        if (a >> i) & 1 == 1 {
+            c.x(a_q(i));
+        }
+        if (b >> i) & 1 == 1 {
+            c.x(b_q(i));
+        }
+    }
+
+    // MAJ(c, b, a): computes the majority into a.
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    // UMA(c, b, a): un-majority and add.
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    // Forward MAJ chain.
+    maj(&mut c, cin, b_q(0), a_q(0));
+    for i in 1..bits {
+        maj(&mut c, a_q(i - 1), b_q(i), a_q(i));
+    }
+    // Carry out.
+    if has_cout {
+        c.cx(a_q(bits - 1), cout);
+    }
+    // Backward UMA chain.
+    for i in (1..bits).rev() {
+        uma(&mut c, a_q(i - 1), b_q(i), a_q(i));
+    }
+    uma(&mut c, cin, b_q(0), a_q(0));
+    c
+}
+
+/// The default benchmark adder: inputs chosen to exercise the full
+/// carry chain (`a = all-ones`, `b = 1`).
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 4`.
+pub fn adder(num_qubits: usize) -> Circuit {
+    let (bits, _) = bits_for(num_qubits);
+    adder_with_inputs(num_qubits, (1 << bits) - 1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_sim::ideal_distribution;
+
+    /// Decodes the output state: returns (sum bits from b register,
+    /// cout bit) of the most probable basis state.
+    fn run_adder(m: usize, a: u64, b: u64) -> (u64, u64) {
+        let c = adder_with_inputs(m, a, b);
+        let dist = ideal_distribution(&c);
+        let state = dist
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .unwrap()
+            .0;
+        // Classical circuit: the top state should have probability 1.
+        assert!(dist[state] > 0.999, "output not classical");
+        let n = c.num_qubits();
+        let bit = |q: usize| ((state >> (n - 1 - q)) & 1) as u64;
+        let (bits, has_cout) = super::bits_for(m);
+        let mut sum = 0u64;
+        for i in 0..bits {
+            sum |= bit(2 + 2 * i) << i;
+        }
+        let cout = if has_cout { bit(n - 1) } else { 0 };
+        (sum, cout)
+    }
+
+    #[test]
+    fn one_bit_adder_truth_table() {
+        // 4 qubits: 1-bit adder with carry out.
+        assert_eq!(run_adder(4, 0, 0), (0, 0));
+        assert_eq!(run_adder(4, 1, 0), (1, 0));
+        assert_eq!(run_adder(4, 0, 1), (1, 0));
+        assert_eq!(run_adder(4, 1, 1), (0, 1)); // 1+1 = 10₂
+    }
+
+    #[test]
+    fn two_bit_modular_adder() {
+        // 5 qubits: 2-bit adder, no carry out (mod 4).
+        assert_eq!(run_adder(5, 1, 2), (3, 0));
+        assert_eq!(run_adder(5, 3, 3), (2, 0)); // 6 mod 4
+        assert_eq!(run_adder(5, 2, 2), (0, 0)); // 4 mod 4
+    }
+
+    #[test]
+    fn four_bit_adder_with_carry_chain() {
+        // 9 qubits: 4-bit modular adder.
+        assert_eq!(run_adder(9, 15, 1), (0, 0)); // full ripple, mod 16
+        assert_eq!(run_adder(9, 5, 9), (14, 0));
+        // 10 qubits: 4-bit adder with cout.
+        assert_eq!(run_adder(10, 15, 1), (0, 1));
+        assert_eq!(run_adder(10, 7, 8), (15, 0));
+    }
+
+    #[test]
+    fn default_adder_sizes() {
+        for m in [4, 5, 9] {
+            let c = adder(m);
+            assert_eq!(c.num_qubits(), m);
+            assert!(c.iter().any(|op| op.arity() == 3), "has Toffolis");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 qubits")]
+    fn too_small_panics() {
+        let _ = adder(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_input_panics() {
+        let _ = adder_with_inputs(4, 2, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Quantum-advantage-style random circuit (paper ref. [3]).
+
+use geyser_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a supremacy-experiment-style random circuit: `cycles`
+/// rounds, each applying a random single-qubit gate from
+/// {√X, √Y, √W} to every qubit followed by a staggered pattern of CZ
+/// gates on a linearized qubit chain (patterns rotate per cycle so
+/// every pair of neighbours interacts).
+///
+/// These circuits have *short* entangling structure — the paper notes
+/// the 9-qubit Advantage benchmark cannot form long blocks, making it
+/// the case where Geyser degenerates to OptiMap (Sec. 5).
+///
+/// Deterministic for a fixed `(n, cycles, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `cycles == 0`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::advantage;
+/// let c = advantage(9, 8, 1);
+/// assert_eq!(c.num_qubits(), 9);
+/// ```
+pub fn advantage(n: usize, cycles: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "advantage circuit needs at least two qubits");
+    assert!(cycles > 0, "advantage circuit needs at least one cycle");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    let half = std::f64::consts::FRAC_PI_2;
+    for cycle in 0..cycles {
+        for q in 0..n {
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    c.rx(half, q); // √X
+                }
+                1 => {
+                    c.ry(half, q); // √Y
+                }
+                _ => {
+                    // √W: rotation about (X+Y)/√2 by π/2 =
+                    // U3(π/2, -π/4·… ) — expressed via RZ conjugation.
+                    c.rz(-std::f64::consts::FRAC_PI_4, q);
+                    c.rx(half, q);
+                    c.rz(std::f64::consts::FRAC_PI_4, q);
+                }
+            }
+        }
+        // Staggered CZ pattern: even or odd chain pairs.
+        let offset = cycle % 2;
+        let mut q = offset;
+        while q + 1 < n {
+            c.cz(q, q + 1);
+            q += 2;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_sim::ideal_distribution;
+
+    #[test]
+    fn structure_per_cycle() {
+        let c = advantage(9, 8, 0);
+        let counts = c.gate_counts();
+        // Each cycle touches every qubit with ≥1 one-qubit gate.
+        assert!(counts.u3 >= 9 * 8);
+        // Staggered pairs: 4 CZs per even cycle, 4 per odd on 9 qubits.
+        assert_eq!(counts.cz, 8 * 4);
+    }
+
+    #[test]
+    fn output_distribution_approaches_porter_thomas_spread() {
+        // A random circuit should spread probability widely.
+        let dist = ideal_distribution(&advantage(6, 10, 3));
+        let support = dist.iter().filter(|&&p| p > 1e-6).count();
+        assert!(support > 32, "support = {support}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(advantage(5, 4, 9).ops(), advantage(5, 4, 9).ops());
+        assert_ne!(advantage(5, 4, 9).ops(), advantage(5, 4, 10).ops());
+    }
+
+    #[test]
+    fn alternating_cycles_cover_all_neighbors() {
+        let c = advantage(4, 2, 0);
+        let mut pairs = std::collections::BTreeSet::new();
+        for op in c.iter().filter(|op| op.arity() == 2) {
+            let mut q: Vec<usize> = op.qubits().to_vec();
+            q.sort_unstable();
+            pairs.insert((q[0], q[1]));
+        }
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(2, 3)));
+        assert!(pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_cycles_panics() {
+        let _ = advantage(4, 0, 0);
+    }
+}

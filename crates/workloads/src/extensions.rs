@@ -1,0 +1,248 @@
+//! Extension workloads beyond the paper's Table 1 — standard NISQ
+//! kernels used by the examples and as additional compiler stressors.
+
+use geyser_circuit::Circuit;
+
+/// GHZ state preparation: `(|0…0⟩ + |1…1⟩)/√2`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::ghz;
+/// let c = ghz(4);
+/// assert_eq!(c.len(), 4); // one H + three CX
+/// ```
+pub fn ghz(n: usize) -> Circuit {
+    assert!(n > 0, "GHZ needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for i in 1..n {
+        c.cx(i - 1, i);
+    }
+    c
+}
+
+/// Controlled-RY built from the CX + RY identity.
+fn cry(c: &mut Circuit, theta: f64, ctrl: usize, target: usize) {
+    c.ry(theta / 2.0, target);
+    c.cx(ctrl, target);
+    c.ry(-theta / 2.0, target);
+    c.cx(ctrl, target);
+}
+
+/// W-state preparation: the equal superposition of all single-
+/// excitation basis states `Σᵢ |0…1ᵢ…0⟩ / √n` via the standard linear
+/// chain of controlled rotations.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::w_state;
+/// let c = w_state(3);
+/// assert_eq!(c.num_qubits(), 3);
+/// ```
+pub fn w_state(n: usize) -> Circuit {
+    assert!(n > 0, "W state needs at least one qubit");
+    let mut c = Circuit::new(n);
+    c.x(0);
+    for i in 0..n.saturating_sub(1) {
+        let remaining = (n - i) as f64;
+        let theta = 2.0 * (1.0 / remaining).sqrt().acos();
+        cry(&mut c, theta, i, i + 1);
+        c.cx(i + 1, i);
+    }
+    c
+}
+
+/// Bernstein–Vazirani: recovers an `n`-bit secret with one oracle
+/// query. Register layout: `n` data qubits then one ancilla; the
+/// measured data register equals `secret` with certainty.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `secret >= 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::bernstein_vazirani;
+/// let c = bernstein_vazirani(4, 0b1011);
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+pub fn bernstein_vazirani(n: usize, secret: u64) -> Circuit {
+    assert!(n > 0, "BV needs at least one data qubit");
+    assert!(secret < (1u64 << n), "secret out of range");
+    let mut c = Circuit::new(n + 1);
+    let ancilla = n;
+    // Ancilla in |−⟩.
+    c.x(ancilla);
+    c.h(ancilla);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Oracle: f(x) = s·x — one CX per set secret bit (data qubit q
+    // holds secret bit n-1-q under the big-endian readout).
+    for q in 0..n {
+        if (secret >> (n - 1 - q)) & 1 == 1 {
+            c.cx(q, ancilla);
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// Grover search on 2 or 3 qubits for a single marked basis state,
+/// using the native CZ/CCZ as the phase oracle.
+///
+/// `iterations` defaults to the optimal `⌊π/4·√N⌋` when `None`.
+///
+/// # Panics
+///
+/// Panics if `n ∉ {2, 3}` or `marked >= 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::grover;
+/// let c = grover(3, 0b101, None);
+/// assert_eq!(c.num_qubits(), 3);
+/// ```
+pub fn grover(n: usize, marked: u64, iterations: Option<usize>) -> Circuit {
+    assert!(n == 2 || n == 3, "grover implemented for 2 or 3 qubits");
+    assert!(marked < (1u64 << n), "marked state out of range");
+    let dim = 1u64 << n;
+    let iters = iterations
+        .unwrap_or_else(|| (std::f64::consts::FRAC_PI_4 * (dim as f64).sqrt()).floor() as usize)
+        .max(1);
+
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    // Phase flip of |pattern⟩: X-conjugate the all-ones controlled-Z.
+    let phase_flip = |c: &mut Circuit, pattern: u64| {
+        for q in 0..n {
+            if (pattern >> (n - 1 - q)) & 1 == 0 {
+                c.x(q);
+            }
+        }
+        if n == 2 {
+            c.cz(0, 1);
+        } else {
+            c.ccz(0, 1, 2);
+        }
+        for q in 0..n {
+            if (pattern >> (n - 1 - q)) & 1 == 0 {
+                c.x(q);
+            }
+        }
+    };
+    for _ in 0..iters {
+        // Oracle.
+        phase_flip(&mut c, marked);
+        // Diffusion: H wall, phase flip of |0…0⟩, H wall.
+        for q in 0..n {
+            c.h(q);
+        }
+        phase_flip(&mut c, 0);
+        for q in 0..n {
+            c.h(q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_sim::ideal_distribution;
+
+    #[test]
+    fn ghz_distribution_is_two_peaked() {
+        let dist = ideal_distribution(&ghz(4));
+        assert!((dist[0] - 0.5).abs() < 1e-12);
+        assert!((dist[15] - 0.5).abs() < 1e-12);
+        assert!(dist[1..15].iter().all(|&p| p < 1e-12));
+    }
+
+    #[test]
+    fn w_state_is_uniform_over_single_excitations() {
+        for n in 2..=5 {
+            let dist = ideal_distribution(&w_state(n));
+            for (state, &p) in dist.iter().enumerate() {
+                let ones = (state as u32).count_ones();
+                if ones == 1 {
+                    assert!(
+                        (p - 1.0 / n as f64).abs() < 1e-10,
+                        "n={n} state={state:b} p={p}"
+                    );
+                } else {
+                    assert!(p < 1e-10, "n={n} state={state:b} leaked p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernstein_vazirani_recovers_secret() {
+        for secret in [0b000u64, 0b101, 0b111, 0b010] {
+            let n = 3;
+            let c = bernstein_vazirani(n, secret);
+            let dist = ideal_distribution(&c);
+            // Data register (first n qubits) must read `secret`; the
+            // ancilla (last qubit) stays in |−⟩ = uniform over 0/1.
+            let mut data_mass = 0.0;
+            for (state, &p) in dist.iter().enumerate() {
+                let data = (state >> 1) as u64;
+                if data == secret {
+                    data_mass += p;
+                }
+            }
+            assert!(data_mass > 0.999, "secret {secret:b}: mass {data_mass}");
+        }
+    }
+
+    #[test]
+    fn grover_amplifies_marked_state() {
+        for (n, marked) in [(2usize, 0b10u64), (3, 0b101), (3, 0b000)] {
+            let c = grover(n, marked, None);
+            let dist = ideal_distribution(&c);
+            let p = dist[marked as usize];
+            // 2 qubits: exact after 1 iteration; 3 qubits: ~94.5%
+            // after 2 iterations.
+            assert!(p > 0.9, "n={n} marked={marked:b}: p = {p}");
+        }
+    }
+
+    #[test]
+    fn grover_respects_iteration_override() {
+        let one = grover(3, 0b111, Some(1));
+        let two = grover(3, 0b111, Some(2));
+        assert!(two.len() > one.len());
+        let p1 = ideal_distribution(&one)[7];
+        let p2 = ideal_distribution(&two)[7];
+        assert!(p2 > p1, "more iterations should amplify ({p1} → {p2})");
+    }
+
+    #[test]
+    #[should_panic(expected = "secret out of range")]
+    fn bv_rejects_oversized_secret() {
+        let _ = bernstein_vazirani(2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 or 3 qubits")]
+    fn grover_rejects_large_n() {
+        let _ = grover(4, 0, None);
+    }
+}

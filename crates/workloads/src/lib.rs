@@ -1,0 +1,50 @@
+//! Benchmark circuit generators for the Geyser evaluation.
+//!
+//! The paper's benchmark suite (Table 1) covers seven algorithm
+//! families spanning a wide range of circuit characteristics:
+//!
+//! | Family | Source | Qubits in paper |
+//! |---|---|---|
+//! | Adder | Cuccaro ripple-carry addition | 4, 9 |
+//! | VQE | hardware-efficient variational ansatz | 4 |
+//! | QAOA | MaxCut alternating-operator ansatz | 5 |
+//! | QFT | quantum Fourier transform | 5, 10 |
+//! | Multiplier | Fourier-basis multiply-accumulate | 5, 10 |
+//! | Advantage | supremacy-style random circuit | 9 |
+//! | Heisenberg | Trotterized spin-chain evolution | 16 |
+//!
+//! All generators are deterministic given their seed and emit logical
+//! circuits (1-, 2-, and 3-qubit gates); the mapping stage lowers and
+//! routes them. [`suite`] reproduces the paper's ten Table-1 rows.
+//!
+//! # Example
+//!
+//! ```
+//! use geyser_workloads::qft;
+//! let c = qft(5);
+//! assert_eq!(c.num_qubits(), 5);
+//! assert!(!c.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adder;
+mod advantage;
+mod extensions;
+mod heisenberg;
+mod multiplier;
+mod qaoa;
+mod qft;
+mod suite;
+mod vqe;
+
+pub use adder::{adder, adder_with_inputs};
+pub use advantage::advantage;
+pub use extensions::{bernstein_vazirani, ghz, grover, w_state};
+pub use heisenberg::heisenberg;
+pub use multiplier::{multiplier, multiplier_with_inputs};
+pub use qaoa::qaoa;
+pub use qft::{inverse_qft, qft, qft_readout, qft_with_input};
+pub use suite::{suite, WorkloadSpec};
+pub use vqe::vqe;

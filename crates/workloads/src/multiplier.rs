@@ -1,0 +1,172 @@
+//! Fourier-basis multiply-accumulate circuit (paper ref. [16]).
+//!
+//! Computes `p ← a·b mod 2^{n_p}` by rotating the product register in
+//! the Fourier basis with doubly-controlled phases — the standard
+//! compact quantum multiplier: QFT(p), then for every addend-bit pair
+//! `(a_i, b_j)` a controlled-controlled phase of `2π·2^{i+j}/2^{n_p}`,
+//! then inverse QFT(p).
+
+use geyser_circuit::Circuit;
+
+use crate::qft::{apply_inverse_qft_ops, apply_qft_ops};
+
+/// Register split `(n_a, n_b, n_p)` for an `m`-qubit multiplier.
+fn split(m: usize) -> (usize, usize, usize) {
+    assert!(m >= 4, "multiplier needs at least 4 qubits");
+    // Keep the product register about half the machine, operands
+    // splitting the rest (matches the compact benchmark circuits).
+    let np = m.div_ceil(2);
+    let na = (m - np) / 2;
+    let nb = m - np - na;
+    (na.max(1), nb.max(1), m - na.max(1) - nb.max(1))
+}
+
+/// Builds the multiplier with operand values preloaded via X gates.
+///
+/// Qubit layout: `a` bits, then `b` bits, then the product register.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 4` or an operand exceeds its register.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::multiplier_with_inputs;
+/// let c = multiplier_with_inputs(5, 1, 1);
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+pub fn multiplier_with_inputs(num_qubits: usize, a: u64, b: u64) -> Circuit {
+    let (na, nb, np) = split(num_qubits);
+    assert!(a < (1 << na), "operand a out of range for {na} bits");
+    assert!(b < (1 << nb), "operand b out of range for {nb} bits");
+
+    let mut c = Circuit::new(num_qubits);
+    let a_q = |i: usize| i; // a_i (little-endian bit i)
+    let b_q = |j: usize| na + j;
+    // Product register qubits, little-endian: p_k.
+    let p_base = na + nb;
+
+    for i in 0..na {
+        if (a >> i) & 1 == 1 {
+            c.x(a_q(i));
+        }
+    }
+    for j in 0..nb {
+        if (b >> j) & 1 == 1 {
+            c.x(b_q(j));
+        }
+    }
+
+    let p_qubits: Vec<usize> = (0..np).map(|k| p_base + k).collect();
+    apply_qft_ops(&mut c, &p_qubits);
+
+    // Doubly-controlled phase rotations: p gains a·b in Fourier space.
+    // Controlled-controlled P(θ) built from CP and CX:
+    //   CCP(θ) = CP(θ/2)(b,t) · CX(a,b) · CP(−θ/2)(b,t) · CX(a,b) · CP(θ/2)(a,t)
+    for i in 0..na {
+        for j in 0..nb {
+            let weight = i + j; // contributes 2^{i+j}
+            for (k, &pt) in p_qubits.iter().enumerate() {
+                // After the swap-free QFT, register qubit k carries the
+                // phase 2π·p/2^{np−k}; adding a·b means adding
+                // 2π·2^{i+j}/2^{np−k} — skip full rotations.
+                let denom = np - k;
+                if weight >= denom {
+                    continue; // multiple of 2π
+                }
+                let theta = std::f64::consts::TAU * (1 << weight) as f64 / (1u64 << denom) as f64;
+                let (ctrl_a, ctrl_b) = (a_q(i), b_q(j));
+                c.cp(theta / 2.0, ctrl_b, pt);
+                c.cx(ctrl_a, ctrl_b);
+                c.cp(-theta / 2.0, ctrl_b, pt);
+                c.cx(ctrl_a, ctrl_b);
+                c.cp(theta / 2.0, ctrl_a, pt);
+            }
+        }
+    }
+
+    apply_inverse_qft_ops(&mut c, &p_qubits);
+    c
+}
+
+/// Default benchmark multiplier with operands exercising every
+/// partial product (`a = all-ones`, `b = all-ones`).
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 4`.
+pub fn multiplier(num_qubits: usize) -> Circuit {
+    let (na, nb, _) = split(num_qubits);
+    multiplier_with_inputs(num_qubits, (1 << na) - 1, (1 << nb) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_sim::ideal_distribution;
+
+    fn run_multiplier(m: usize, a: u64, b: u64) -> u64 {
+        let c = multiplier_with_inputs(m, a, b);
+        let dist = ideal_distribution(&c);
+        let state = dist
+            .iter()
+            .enumerate()
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .unwrap()
+            .0;
+        assert!(
+            dist[state] > 0.99,
+            "output not classical: p = {}",
+            dist[state]
+        );
+        let n = c.num_qubits();
+        let (na, nb, np) = super::split(m);
+        let bit = |q: usize| ((state >> (n - 1 - q)) & 1) as u64;
+        let mut p = 0u64;
+        for k in 0..np {
+            // Fourier register is big-endian over [p_base..]: qubit
+            // p_base+k is Fourier bit k; after inverse QFT the value's
+            // bit (np-1-k) sits on qubit p_base+k.
+            p |= bit(na + nb + k) << (np - 1 - k);
+        }
+        p
+    }
+
+    #[test]
+    fn small_products() {
+        // 5 qubits: split (1, 1, 3): 1-bit × 1-bit into 3-bit product.
+        assert_eq!(run_multiplier(5, 1, 1), 1);
+        assert_eq!(run_multiplier(5, 1, 0), 0);
+        assert_eq!(run_multiplier(5, 0, 1), 0);
+    }
+
+    #[test]
+    fn multi_bit_products() {
+        // 8 qubits: split (2, 2, 4).
+        assert_eq!(run_multiplier(8, 2, 3), 6);
+        assert_eq!(run_multiplier(8, 3, 3), 9);
+        assert_eq!(run_multiplier(8, 2, 2), 4);
+    }
+
+    #[test]
+    fn ten_qubit_benchmark_product() {
+        // 10 qubits: split (2, 3, 5): 3 × 7 = 21.
+        assert_eq!(run_multiplier(10, 3, 7), 21);
+    }
+
+    #[test]
+    fn default_sizes() {
+        for m in [5, 10] {
+            let c = multiplier(m);
+            assert_eq!(c.num_qubits(), m);
+            assert!(c.len() > 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_operand_panics() {
+        let _ = multiplier_with_inputs(5, 2, 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! QAOA MaxCut ansatz (paper ref. [12]).
+
+use geyser_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a `p`-layer QAOA MaxCut circuit on a seeded random graph.
+///
+/// Structure: Hadamard wall, then `p` alternations of the cost
+/// unitary (one `CX·RZ(2γ)·CX` phase-separator per edge) and the
+/// mixer (`RX(2β)` on every qubit). Edge set: a ring plus random
+/// chords at ~50% density, giving the dense-but-sparse interaction
+/// pattern typical of MaxCut instances.
+///
+/// Deterministic for a fixed `(n, p, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p == 0`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::qaoa;
+/// let c = qaoa(5, 3, 42);
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+pub fn qaoa(n: usize, p: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "QAOA needs at least two qubits");
+    assert!(p > 0, "QAOA needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Ring + random chords.
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    if n == 2 {
+        edges.truncate(1);
+    }
+    for a in 0..n {
+        for b in (a + 2)..n {
+            if (a, b) != (0, n - 1) && rng.gen::<f64>() < 0.5 {
+                edges.push((a, b));
+            }
+        }
+    }
+
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _layer in 0..p {
+        let gamma: f64 = rng.gen::<f64>() * std::f64::consts::PI;
+        let beta: f64 = rng.gen::<f64>() * std::f64::consts::FRAC_PI_2;
+        for &(a, b) in &edges {
+            c.cx(a, b);
+            c.rz(2.0 * gamma, b);
+            c.cx(a, b);
+        }
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_sim::ideal_distribution;
+
+    #[test]
+    fn structure_counts() {
+        let n = 5;
+        let p = 3;
+        let c = qaoa(n, p, 1);
+        // Hadamard wall + p mixers.
+        let one_q = c.iter().filter(|op| op.arity() == 1).count();
+        assert!(one_q >= n + p * n);
+        // Each edge term contributes exactly two CX per layer.
+        let two_q = c.iter().filter(|op| op.arity() == 2).count();
+        assert_eq!(two_q % (2 * p), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(qaoa(5, 2, 7).ops(), qaoa(5, 2, 7).ops());
+        assert_ne!(qaoa(5, 2, 7).ops(), qaoa(5, 2, 8).ops());
+    }
+
+    #[test]
+    fn output_is_normalized_and_nontrivial() {
+        let dist = ideal_distribution(&qaoa(4, 2, 3));
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The ansatz must not leave the state in |0000⟩.
+        assert!(dist[0] < 0.9);
+    }
+
+    #[test]
+    fn two_qubit_instance() {
+        let c = qaoa(2, 1, 0);
+        assert_eq!(c.num_qubits(), 2);
+        assert!(c.iter().any(|op| op.arity() == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        let _ = qaoa(4, 0, 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Quantum Fourier transform (paper ref. [30]).
+
+use geyser_circuit::Circuit;
+
+/// Appends the swap-free QFT gate sequence on the given qubit list
+/// (`qubits[0]` = most significant value bit). After these gates,
+/// register qubit `k` carries the phase `2π·x / 2^{n−k}` of input
+/// value `x`.
+pub(crate) fn apply_qft_ops(c: &mut Circuit, qubits: &[usize]) {
+    let n = qubits.len();
+    for i in 0..n {
+        c.h(qubits[i]);
+        for j in (i + 1)..n {
+            let theta = std::f64::consts::PI / (1u64 << (j - i)) as f64;
+            c.cp(theta, qubits[j], qubits[i]);
+        }
+    }
+}
+
+/// Appends the exact inverse of [`apply_qft_ops`].
+pub(crate) fn apply_inverse_qft_ops(c: &mut Circuit, qubits: &[usize]) {
+    let n = qubits.len();
+    for i in (0..n).rev() {
+        for j in ((i + 1)..n).rev() {
+            let theta = -std::f64::consts::PI / (1u64 << (j - i)) as f64;
+            c.cp(theta, qubits[j], qubits[i]);
+        }
+        c.h(qubits[i]);
+    }
+}
+
+/// Builds the full `n`-qubit QFT including the final bit-reversal
+/// SWAP network (the standard benchmark form).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::qft;
+/// let c = qft(5);
+/// assert_eq!(c.num_qubits(), 5);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    let mut c = Circuit::new(n);
+    let qubits: Vec<usize> = (0..n).collect();
+    apply_qft_ops(&mut c, &qubits);
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+/// Builds the inverse of [`qft`].
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn inverse_qft(n: usize) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    let mut c = Circuit::new(n);
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    let qubits: Vec<usize> = (0..n).collect();
+    apply_inverse_qft_ops(&mut c, &qubits);
+    c
+}
+
+/// The QFT *readout* benchmark: prepares the Fourier phase state of
+/// `value` with one Hadamard + phase rotation per qubit, then applies
+/// the inverse QFT, so the ideal output is the sharp basis state
+/// `|value⟩`.
+///
+/// This is the form a compilation benchmark needs: a bare QFT's ideal
+/// output is uniform in magnitude, which stochastic Pauli noise leaves
+/// (nearly) uniform — its TVD is blind to errors. The readout form's
+/// peaked output makes every lost pulse visible, while costing the
+/// same O(n²) controlled-phase cascade as the forward transform.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `value >= 2^n`.
+///
+/// # Example
+///
+/// ```
+/// use geyser_sim::ideal_distribution;
+/// use geyser_workloads::qft_readout;
+/// let dist = ideal_distribution(&qft_readout(4, 11));
+/// assert!((dist[11] - 1.0).abs() < 1e-9);
+/// ```
+pub fn qft_readout(n: usize, value: u64) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    assert!(value < (1u64 << n), "input value out of range");
+    let mut c = Circuit::new(n);
+    // Phase state matching the swap-free QFT convention: register
+    // qubit k carries phase 2π·value/2^{n−k}.
+    for k in 0..n {
+        c.h(k);
+        let denom = (1u64 << (n - k)) as f64;
+        c.p(std::f64::consts::TAU * value as f64 / denom, k);
+    }
+    let qubits: Vec<usize> = (0..n).collect();
+    apply_inverse_qft_ops(&mut c, &qubits);
+    c
+}
+
+/// QFT applied to a non-trivial computational basis input: X gates
+/// prepare `|value⟩`, then the QFT runs (the textbook forward
+/// transform; see [`qft_readout`] for the noise-sensitive benchmark
+/// form).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `value >= 2^n`.
+pub fn qft_with_input(n: usize, value: u64) -> Circuit {
+    assert!(n > 0, "QFT needs at least one qubit");
+    assert!(value < (1u64 << n), "input value out of range");
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        // qubits[0] is the MSB.
+        if (value >> (n - 1 - q)) & 1 == 1 {
+            c.x(q);
+        }
+    }
+    let qubits: Vec<usize> = (0..n).collect();
+    apply_qft_ops(&mut c, &qubits);
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_num::{hilbert_schmidt_distance, CMatrix, Complex};
+    use geyser_sim::{circuit_unitary, ideal_distribution, total_variation_distance};
+
+    /// The textbook QFT matrix: `F[j,k] = ω^{jk}/√N`.
+    fn dft_matrix(n: usize) -> CMatrix {
+        let dim = 1usize << n;
+        let norm = 1.0 / (dim as f64).sqrt();
+        CMatrix::from_fn(dim, dim, |j, k| {
+            Complex::from_polar(
+                norm,
+                std::f64::consts::TAU * (j as f64) * (k as f64) / dim as f64,
+            )
+        })
+    }
+
+    #[test]
+    fn qft_matches_dft_matrix() {
+        for n in 1..=4 {
+            let u = circuit_unitary(&qft(n));
+            let d = hilbert_schmidt_distance(&u, &dft_matrix(n));
+            assert!(d < 1e-10, "n = {n}, HSD = {d}");
+        }
+    }
+
+    #[test]
+    fn inverse_qft_inverts_qft() {
+        for n in 1..=4 {
+            let mut c = qft(n);
+            c.extend_from(&inverse_qft(n));
+            let u = circuit_unitary(&c);
+            let d = hilbert_schmidt_distance(&u, &CMatrix::identity(1 << n));
+            assert!(d < 1e-10, "n = {n}, HSD = {d}");
+        }
+    }
+
+    #[test]
+    fn qft_of_zero_is_uniform() {
+        let dist = ideal_distribution(&qft(3));
+        let uniform = vec![1.0 / 8.0; 8];
+        assert!(total_variation_distance(&dist, &uniform) < 1e-10);
+    }
+
+    #[test]
+    fn qft_output_amplitudes_are_uniform_for_any_basis_input() {
+        let dist = ideal_distribution(&qft_with_input(3, 5));
+        for &p in &dist {
+            assert!((p - 0.125).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn roundtrip_recovers_basis_state() {
+        // QFT then IQFT on |v⟩ returns |v⟩.
+        let n = 4;
+        let v = 11u64;
+        let mut c = qft_with_input(n, v);
+        c.extend_from(&inverse_qft(n));
+        let dist = ideal_distribution(&c);
+        assert!((dist[v as usize] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_input_value_panics() {
+        let _ = qft_with_input(2, 4);
+    }
+
+    #[test]
+    fn readout_recovers_encoded_value() {
+        for n in 2..=5 {
+            for value in [0u64, 1, (1 << n) - 1, (1 << n) / 2] {
+                let dist = ideal_distribution(&qft_readout(n, value));
+                assert!(
+                    (dist[value as usize] - 1.0).abs() < 1e-9,
+                    "n={n} v={value}: p = {}",
+                    dist[value as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn readout_gate_budget_matches_forward_qft_scale() {
+        // Same O(n²) controlled-phase cascade as the forward QFT.
+        let readout = qft_readout(5, 21);
+        let forward = qft(5);
+        let r2 = readout.iter().filter(|op| op.arity() == 2).count();
+        let f2 = forward.iter().filter(|op| op.arity() == 2).count();
+        assert!(r2 <= f2, "readout 2q count {r2} > forward {f2}");
+        assert!(r2 >= f2 / 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! The Table-1 benchmark registry.
+
+use geyser_circuit::Circuit;
+
+use crate::{adder, advantage, heisenberg, multiplier, qaoa, qft_readout, vqe};
+
+/// One row of the paper's benchmark table: a named, sized workload
+/// with a deterministic generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Row identifier, e.g. `"qft-5"`.
+    pub name: &'static str,
+    /// Algorithm family, e.g. `"QFT"`.
+    pub family: &'static str,
+    /// Logical qubit count.
+    pub num_qubits: usize,
+}
+
+impl WorkloadSpec {
+    /// Generates the workload circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal registry inconsistency.
+    pub fn build(&self) -> Circuit {
+        build_named(self.name)
+    }
+}
+
+/// The ten benchmark configurations of the paper's Table 1, in the
+/// paper's order.
+///
+/// # Example
+///
+/// ```
+/// use geyser_workloads::suite;
+/// let rows = suite();
+/// assert_eq!(rows.len(), 10);
+/// assert_eq!(rows[0].name, "adder-4");
+/// assert_eq!(rows[9].num_qubits, 16);
+/// ```
+pub fn suite() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec {
+            name: "adder-4",
+            family: "Adder",
+            num_qubits: 4,
+        },
+        WorkloadSpec {
+            name: "vqe-4",
+            family: "VQE",
+            num_qubits: 4,
+        },
+        WorkloadSpec {
+            name: "qaoa-5",
+            family: "QAOA",
+            num_qubits: 5,
+        },
+        WorkloadSpec {
+            name: "qft-5",
+            family: "QFT",
+            num_qubits: 5,
+        },
+        WorkloadSpec {
+            name: "multiplier-5",
+            family: "Multiplier",
+            num_qubits: 5,
+        },
+        WorkloadSpec {
+            name: "adder-9",
+            family: "Adder",
+            num_qubits: 9,
+        },
+        WorkloadSpec {
+            name: "advantage-9",
+            family: "Advantage",
+            num_qubits: 9,
+        },
+        WorkloadSpec {
+            name: "qft-10",
+            family: "QFT",
+            num_qubits: 10,
+        },
+        WorkloadSpec {
+            name: "multiplier-10",
+            family: "Multiplier",
+            num_qubits: 10,
+        },
+        WorkloadSpec {
+            name: "heisenberg-16",
+            family: "Heisenberg",
+            num_qubits: 16,
+        },
+    ]
+}
+
+/// Builds a suite workload by name.
+///
+/// # Panics
+///
+/// Panics if the name is not one of the [`suite`] rows.
+fn build_named(name: &str) -> Circuit {
+    match name {
+        "adder-4" => adder(4),
+        "vqe-4" => vqe(4, 24, 4),
+        "qaoa-5" => qaoa(5, 3, 5),
+        "qft-5" => qft_readout(5, 0b10110),
+        "multiplier-5" => multiplier(5),
+        "adder-9" => adder(9),
+        "advantage-9" => advantage(9, 8, 9),
+        "qft-10" => qft_readout(10, 0b1011001101),
+        "multiplier-10" => multiplier(10),
+        // The paper's Heisenberg-16 runs ~37 Trotter steps; the suite
+        // default uses 8 to keep full-pipeline runs tractable. Figure
+        // binaries expose a --steps override for the paper scale.
+        "heisenberg-16" => heisenberg(16, 8, 0.1),
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rows_build_with_declared_qubit_counts() {
+        for spec in suite() {
+            let c = spec.build();
+            assert_eq!(c.num_qubits(), spec.num_qubits, "{}", spec.name);
+            assert!(!c.is_empty(), "{} generated empty circuit", spec.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let rows = suite();
+        let mut names: Vec<&str> = rows.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rows.len());
+    }
+
+    #[test]
+    fn qubit_counts_match_table1() {
+        let got: Vec<usize> = suite().iter().map(|r| r.num_qubits).collect();
+        assert_eq!(got, vec![4, 4, 5, 5, 5, 9, 9, 10, 10, 16]);
+    }
+
+    #[test]
+    fn generators_only_emit_small_arity_gates() {
+        for spec in suite() {
+            let c = spec.build();
+            assert!(
+                c.iter().all(|op| op.arity() <= 3),
+                "{} emits >3-qubit gates",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        let _ = build_named("does-not-exist");
+    }
+}

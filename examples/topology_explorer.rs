@@ -1,0 +1,93 @@
+//! Topology explorer: renders the lattices the paper compares
+//! (Fig. 7) and quantifies their restriction-zone pressure —
+//! why Geyser picks the triangular arrangement.
+//!
+//! Run with: `cargo run --release --example topology_explorer`
+
+use geyser_topology::{Lattice, PathMatrix};
+
+fn describe(name: &str, lattice: &Lattice) {
+    println!("=== {name} ({} nodes) ===", lattice.num_nodes());
+
+    // ASCII sketch of atom positions.
+    for r in 0..lattice.rows() {
+        let indent = {
+            let (x0, _) = lattice.position(r * lattice.cols());
+            " ".repeat((x0 * 2.0).round() as usize)
+        };
+        let row: Vec<String> = (0..lattice.cols())
+            .map(|c| format!("{:>2}", r * lattice.cols() + c))
+            .collect();
+        println!("  {indent}{}", row.join("  "));
+    }
+
+    let degrees: Vec<usize> = (0..lattice.num_nodes())
+        .map(|v| lattice.neighbors(v).len())
+        .collect();
+    println!(
+        "  degree: min {} / max {}",
+        degrees.iter().min().unwrap(),
+        degrees.iter().max().unwrap()
+    );
+    println!("  triangles (CCZ sites): {}", lattice.triangles().len());
+
+    // Worst-case restriction zones (paper Fig. 4 / Fig. 7 numbers).
+    let worst_2q = lattice
+        .edges()
+        .iter()
+        .map(|e| lattice.restriction_zone(e).len())
+        .max()
+        .unwrap_or(0);
+    println!("  2q gate restricts up to {worst_2q} atoms");
+    if let Some(worst_3q) = lattice
+        .triangles()
+        .iter()
+        .map(|t| lattice.restriction_zone(t).len())
+        .max()
+    {
+        println!("  3q gate restricts up to {worst_3q} atoms");
+    }
+
+    let pm = PathMatrix::new(lattice);
+    let diameter = (0..lattice.num_nodes())
+        .flat_map(|a| (0..lattice.num_nodes()).map(move |b| (a, b)))
+        .map(|(a, b)| pm.hops(a, b))
+        .max()
+        .unwrap();
+    println!("  routing diameter: {diameter} hops\n");
+}
+
+fn main() {
+    describe(
+        "triangular 4x4 (Geyser's choice)",
+        &Lattice::triangular(4, 4),
+    );
+    describe(
+        "square 4x4 (superconducting layout)",
+        &Lattice::square(4, 4),
+    );
+    describe(
+        "square 4x4 with diagonal radius (paper Fig. 7b)",
+        &Lattice::square_diagonal(4, 4),
+    );
+    println!("The triangular grid hosts many 3-qubit triangles with the");
+    println!("smallest restriction zones — the geometric argument behind");
+    println!("Geyser's topology choice (paper Sec. 3.2).\n");
+
+    // Recreate the paper's Fig. 4 snapshot: concurrent one-, two-, and
+    // three-qubit operations with their restriction zones.
+    let lat = Lattice::triangular(6, 6);
+    let tri = *lat
+        .triangles()
+        .iter()
+        .find(|t| t.iter().all(|&q| (14..22).contains(&q)))
+        .expect("interior triangle exists");
+    println!("=== paper Fig. 4 snapshot ===");
+    println!("● engaged   ■ restricted   · free\n");
+    print!(
+        "{}",
+        geyser_topology::render_occupancy(&lat, &[&[0, 1], &tri, &[30], &[35]])
+    );
+    println!("\nA 2q gate freezes up to 8 neighbours, a 3q gate up to 9;");
+    println!("1q gates cast no zone (Raman transitions are atom-internal).");
+}

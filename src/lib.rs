@@ -1,0 +1,2 @@
+//! Root package: hosts workspace-level integration tests and examples.
+pub use geyser;

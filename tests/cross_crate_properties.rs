@@ -1,0 +1,98 @@
+//! Workspace-level property tests spanning multiple crates: random
+//! programs flow through the full pipeline and must come out
+//! semantically intact.
+
+use geyser::{compile, ideal_logical_distribution, PipelineConfig, Technique};
+use geyser_blocking::{block_circuit, BlockingConfig};
+use geyser_circuit::{Circuit, Gate, Operation};
+use geyser_map::{map_circuit, optimize_to_fixpoint, to_native_basis, MappingOptions};
+use geyser_num::hilbert_schmidt_distance;
+use geyser_sim::{circuit_unitary, ideal_distribution, total_variation_distance};
+use geyser_topology::Lattice;
+use proptest::prelude::*;
+
+/// Strategy: a random logical circuit on `n` qubits.
+fn random_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0..n).prop_map(|q| (Gate::H, vec![q])),
+        (0..n, 0.0..std::f64::consts::TAU).prop_map(|(q, t)| (Gate::RZ(t), vec![q])),
+        (0..n, 0.0..std::f64::consts::TAU).prop_map(|(q, t)| (Gate::RY(t), vec![q])),
+        (0..n).prop_map(|q| (Gate::T, vec![q])),
+        (0..n, 0..n).prop_filter_map("distinct", move |(a, b)| {
+            (a != b).then_some((Gate::CX, vec![a, b]))
+        }),
+        (0..n, 0..n).prop_filter_map("distinct", move |(a, b)| {
+            (a != b).then_some((Gate::CZ, vec![a, b]))
+        }),
+    ];
+    proptest::collection::vec(gate, 1..max_len).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (g, qs) in gates {
+            c.push(Operation::new(g, qs));
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn optimization_passes_preserve_unitary(c in random_circuit(4, 30)) {
+        let native = to_native_basis(&c);
+        let optimized = optimize_to_fixpoint(&native);
+        let d = hilbert_schmidt_distance(&circuit_unitary(&native), &circuit_unitary(&optimized));
+        prop_assert!(d < 1e-8, "passes changed semantics: HSD = {d}");
+        prop_assert!(optimized.total_pulses() <= native.total_pulses());
+    }
+
+    #[test]
+    fn blocking_covers_each_op_once(c in random_circuit(6, 40)) {
+        let lat = Lattice::triangular_for(6);
+        let mapped = map_circuit(&c, &lat, &MappingOptions::optimized());
+        let blocked = block_circuit(mapped.circuit(), &lat, &BlockingConfig::default());
+        let mut seen = vec![false; mapped.circuit().len()];
+        for block in blocked.blocks() {
+            for &i in block.op_indices() {
+                prop_assert!(!seen[i], "op {i} in two blocks");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "op missing from blocks");
+    }
+
+    #[test]
+    fn blocking_reassembly_preserves_unitary(c in random_circuit(5, 25)) {
+        let lat = Lattice::triangular_for(5);
+        let mapped = map_circuit(&c, &lat, &MappingOptions::optimized());
+        let blocked = block_circuit(mapped.circuit(), &lat, &BlockingConfig::default());
+        let d = hilbert_schmidt_distance(
+            &circuit_unitary(mapped.circuit()),
+            &circuit_unitary(&blocked.reassemble()),
+        );
+        prop_assert!(d < 1e-8, "reassembly changed semantics: HSD = {d}");
+    }
+
+    #[test]
+    fn exact_pipeline_preserves_distributions(c in random_circuit(4, 20)) {
+        for t in [Technique::Baseline, Technique::OptiMap, Technique::Superconducting] {
+            let compiled = compile(&c, t, &PipelineConfig::fast());
+            let tvd = total_variation_distance(
+                &ideal_distribution(&c),
+                &ideal_logical_distribution(&compiled),
+            );
+            prop_assert!(tvd < 1e-8, "{t}: TVD = {tvd}");
+        }
+    }
+
+    #[test]
+    fn mapped_two_qubit_gates_are_always_adjacent(c in random_circuit(5, 25)) {
+        let lat = Lattice::triangular_for(5);
+        let mapped = map_circuit(&c, &lat, &MappingOptions::optimized());
+        for op in mapped.circuit().iter() {
+            if op.arity() == 2 {
+                prop_assert!(lat.are_adjacent(op.qubits()[0], op.qubits()[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! End-to-end semantic equivalence: every compilation technique must
+//! preserve each program's ideal output distribution (exactly for
+//! Baseline/OptiMap/Superconducting, within the composition HSD budget
+//! for Geyser).
+
+use geyser::{compile, ideal_logical_distribution, PipelineConfig, Technique};
+use geyser_circuit::Circuit;
+use geyser_sim::{ideal_distribution, total_variation_distance};
+use geyser_workloads::{adder_with_inputs, multiplier_with_inputs, qaoa, qft_with_input, vqe};
+
+fn assert_equivalent(program: &Circuit, technique: Technique, tol: f64) {
+    let compiled = compile(program, technique, &PipelineConfig::fast());
+    let want = ideal_distribution(program);
+    let got = ideal_logical_distribution(&compiled);
+    let tvd = total_variation_distance(&want, &got);
+    assert!(
+        tvd <= tol,
+        "{technique} corrupted the program: TVD = {tvd:.3e} (tol {tol:.1e})"
+    );
+}
+
+#[test]
+fn exact_techniques_preserve_adder_output() {
+    let program = adder_with_inputs(5, 2, 3);
+    for t in [
+        Technique::Baseline,
+        Technique::OptiMap,
+        Technique::Superconducting,
+    ] {
+        assert_equivalent(&program, t, 1e-9);
+    }
+}
+
+#[test]
+fn geyser_preserves_adder_output_within_budget() {
+    // The paper's Sec. 6 bound: ideal-output TVD < 1e-2.
+    assert_equivalent(&adder_with_inputs(5, 2, 3), Technique::Geyser, 1e-2);
+}
+
+#[test]
+fn exact_techniques_preserve_qft_output() {
+    let program = qft_with_input(5, 0b10110);
+    for t in [
+        Technique::Baseline,
+        Technique::OptiMap,
+        Technique::Superconducting,
+    ] {
+        assert_equivalent(&program, t, 1e-9);
+    }
+}
+
+#[test]
+fn geyser_preserves_qft_output_within_budget() {
+    assert_equivalent(&qft_with_input(5, 0b10110), Technique::Geyser, 1e-2);
+}
+
+#[test]
+fn geyser_preserves_qaoa_output_within_budget() {
+    assert_equivalent(&qaoa(5, 2, 3), Technique::Geyser, 1e-2);
+}
+
+#[test]
+fn geyser_preserves_vqe_output_within_budget() {
+    assert_equivalent(&vqe(4, 6, 1), Technique::Geyser, 1e-2);
+}
+
+#[test]
+fn geyser_preserves_multiplier_output_within_budget() {
+    assert_equivalent(&multiplier_with_inputs(5, 1, 1), Technique::Geyser, 1e-2);
+}
+
+#[test]
+fn adder_still_adds_after_geyser_compilation() {
+    // Functional check: the most probable output of the compiled
+    // noiseless circuit is the correct sum.
+    let program = adder_with_inputs(4, 1, 1); // 1 + 1 = 10₂
+    let compiled = compile(&program, Technique::Geyser, &PipelineConfig::fast());
+    let dist = ideal_logical_distribution(&compiled);
+    let best = dist
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap()
+        .0;
+    // Register: cin a0 b0 cout. Cuccaro restores the a operand, so
+    // 1 + 1 ends as a0 = 1, b0 (sum bit) = 0, cout = 1 → |0101⟩.
+    assert_eq!(best, 0b0101, "dist = {dist:?}");
+    assert!(dist[best] > 0.95);
+}

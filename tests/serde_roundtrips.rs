@@ -1,0 +1,67 @@
+//! Serde round-trips for the workspace's public data types — circuits,
+//! lattices, noise models, and observables all persist losslessly as
+//! JSON (the interchange format the result cache and experiment logs
+//! rely on).
+
+use geyser_circuit::Circuit;
+use geyser_sim::{NoiseModel, Observable, Pauli, PauliString};
+use geyser_topology::Lattice;
+use geyser_workloads::{qaoa, qft_readout};
+
+fn roundtrip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let body = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&body).expect("deserializes")
+}
+
+#[test]
+fn circuits_roundtrip() {
+    for c in [qaoa(5, 2, 3), qft_readout(4, 9)] {
+        let back: Circuit = roundtrip(&c);
+        assert_eq!(back, c);
+        assert_eq!(back.total_pulses(), c.total_pulses());
+    }
+}
+
+#[test]
+fn parameterized_gates_keep_exact_angles() {
+    let mut c = Circuit::new(2);
+    c.u3(0.123456789012345, -std::f64::consts::PI, 1e-14, 0)
+        .cp(2.718281828459045, 0, 1);
+    let back: Circuit = roundtrip(&c);
+    assert_eq!(back.ops(), c.ops());
+}
+
+#[test]
+fn lattices_roundtrip_with_adjacency() {
+    for lat in [
+        Lattice::triangular(3, 4),
+        Lattice::square(2, 5),
+        Lattice::square_diagonal(3, 3),
+    ] {
+        let back: Lattice = roundtrip(&lat);
+        assert_eq!(back, lat);
+        assert_eq!(back.triangles(), lat.triangles());
+        assert_eq!(back.edges(), lat.edges());
+    }
+}
+
+#[test]
+fn noise_models_roundtrip() {
+    let nm = NoiseModel::symmetric(0.0035).with_per_operation_granularity();
+    let back: NoiseModel = roundtrip(&nm);
+    assert_eq!(back, nm);
+}
+
+#[test]
+fn observables_roundtrip() {
+    let obs = Observable::new(vec![
+        PauliString::identity(1.5),
+        PauliString::new(-0.5, vec![(0, Pauli::X), (2, Pauli::Z)]),
+        PauliString::new(0.25, vec![(1, Pauli::Y)]),
+    ]);
+    let back: Observable = roundtrip(&obs);
+    assert_eq!(back, obs);
+}
