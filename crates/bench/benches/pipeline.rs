@@ -1,39 +1,36 @@
 //! End-to-end pipeline benches: full compile time per technique on
 //! representative workloads, plus the noisy-simulation engine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geyser::{compile, PipelineConfig, Technique};
+use geyser_bench::timing::bench_sampled;
 use geyser_sim::{sample_noisy_distribution, NoiseModel};
 use geyser_workloads::{adder, qaoa};
 
-fn bench_compile_techniques(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10);
+fn bench_compile_techniques() {
     let program = adder(4);
     let cfg = PipelineConfig::fast();
     for t in [Technique::Baseline, Technique::OptiMap, Technique::Geyser] {
-        group.bench_with_input(BenchmarkId::new("adder-4", t.label()), &t, |b, &t| {
-            b.iter(|| compile(&program, t, &cfg))
+        bench_sampled("compile", &format!("adder-4/{}", t.label()), 10, || {
+            compile(&program, t, &cfg)
         });
     }
-    group.finish();
 }
 
-fn bench_noisy_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noisy_simulation");
-    group.sample_size(10);
+fn bench_noisy_simulation() {
     let program = qaoa(5, 2, 1);
     let compiled = compile(&program, Technique::OptiMap, &PipelineConfig::fast());
     let noise = NoiseModel::symmetric(0.001);
     for trajectories in [10usize, 50] {
-        group.bench_with_input(
-            BenchmarkId::new("qaoa-5", trajectories),
-            &trajectories,
-            |b, &n| b.iter(|| sample_noisy_distribution(compiled.mapped().circuit(), &noise, n, 7)),
+        bench_sampled(
+            "noisy_simulation",
+            &format!("qaoa-5/{trajectories}"),
+            10,
+            || sample_noisy_distribution(compiled.mapped().circuit(), &noise, trajectories, 7),
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_compile_techniques, bench_noisy_simulation);
-criterion_main!(benches);
+fn main() {
+    bench_compile_techniques();
+    bench_noisy_simulation();
+}

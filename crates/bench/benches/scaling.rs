@@ -1,32 +1,37 @@
 //! Scalability benches (paper Sec. 6): blocking scales ~O(c²) and
-//! composition ~O(c) in the number of circuit operations. Criterion
-//! measures wall-clock of each stage over a QFT size sweep.
+//! composition ~O(c) in the number of circuit operations. Wall-clock
+//! of each stage is measured over a QFT size sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geyser_bench::timing::bench_sampled;
 use geyser_blocking::{block_circuit, BlockingConfig};
 use geyser_compose::{compose_blocked_circuit, CompositionConfig};
 use geyser_map::{map_circuit, MappingOptions};
 use geyser_topology::Lattice;
 use geyser_workloads::qft_with_input;
 
-fn bench_blocking_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("blocking_scaling");
+fn bench_mapping_scaling() {
+    for n in [4usize, 8, 12, 16] {
+        let program = qft_with_input(n, (1 << (n - 1)) as u64);
+        let lattice = Lattice::triangular_for(n);
+        bench_sampled("mapping_scaling", &format!("qft/{n}q"), 20, || {
+            map_circuit(&program, &lattice, &MappingOptions::optimized())
+        });
+    }
+}
+
+fn bench_blocking_scaling() {
     for n in [4usize, 6, 8, 10] {
         let program = qft_with_input(n, (1 << n) - 1);
         let lattice = Lattice::triangular_for(n);
         let mapped = map_circuit(&program, &lattice, &MappingOptions::optimized());
-        group.bench_with_input(
-            BenchmarkId::new("qft", format!("{n}q/{}ops", mapped.circuit().len())),
-            &n,
-            |b, _| b.iter(|| block_circuit(mapped.circuit(), &lattice, &BlockingConfig::default())),
-        );
+        let label = format!("qft/{n}q/{}ops", mapped.circuit().len());
+        bench_sampled("blocking_scaling", &label, 20, || {
+            block_circuit(mapped.circuit(), &lattice, &BlockingConfig::default())
+        });
     }
-    group.finish();
 }
 
-fn bench_composition_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("composition_scaling");
-    group.sample_size(10);
+fn bench_composition_scaling() {
     for n in [4usize, 6, 8] {
         let program = qft_with_input(n, (1 << n) - 1);
         let lattice = Lattice::triangular_for(n);
@@ -35,31 +40,15 @@ fn bench_composition_scaling(c: &mut Criterion) {
         // The smoke-budget composition isolates the per-block scaling
         // from the (configurable) annealing depth.
         let cfg = CompositionConfig::fast();
-        group.bench_with_input(
-            BenchmarkId::new("qft", format!("{n}q/{}blocks", blocked.num_blocks())),
-            &n,
-            |b, _| b.iter(|| compose_blocked_circuit(&blocked, &cfg)),
-        );
-    }
-    group.finish();
-}
-
-fn bench_mapping_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mapping_scaling");
-    for n in [4usize, 8, 12, 16] {
-        let program = qft_with_input(n, (1 << (n - 1)) as u64);
-        let lattice = Lattice::triangular_for(n);
-        group.bench_with_input(BenchmarkId::new("qft", format!("{n}q")), &n, |b, _| {
-            b.iter(|| map_circuit(&program, &lattice, &MappingOptions::optimized()))
+        let label = format!("qft/{n}q/{}blocks", blocked.num_blocks());
+        bench_sampled("composition_scaling", &label, 10, || {
+            compose_blocked_circuit(&blocked, &cfg)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_mapping_scaling,
-    bench_blocking_scaling,
-    bench_composition_scaling
-);
-criterion_main!(benches);
+fn main() {
+    bench_mapping_scaling();
+    bench_blocking_scaling();
+    bench_composition_scaling();
+}

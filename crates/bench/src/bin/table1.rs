@@ -2,15 +2,23 @@
 //! qubits, U3/CZ gate counts, total pulses, and depth pulses.
 
 use geyser::{compile, Technique};
-use geyser_bench::{maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_bench::{
+    collect_reports, maybe_write_json, maybe_write_reports, metrics, print_rows, Cli, Row,
+};
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for spec in cli.selected_workloads(false) {
         let program = cli.build(&spec);
         let compiled = compile(&program, Technique::Baseline, &cfg);
+        collect_reports(
+            spec.name,
+            std::slice::from_ref(&(Technique::Baseline, compiled.clone())),
+            &mut reports,
+        );
         let counts = compiled.gate_counts();
         rows.push(Row {
             workload: spec.name.to_string(),
@@ -26,4 +34,5 @@ fn main() {
     }
     print_rows("Table 1: Baseline benchmark characteristics", &rows);
     maybe_write_json(&cli, &rows);
+    maybe_write_reports(&cli, &reports);
 }

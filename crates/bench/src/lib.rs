@@ -15,16 +15,19 @@
 //! * `--include-large` — include the 16-qubit Heisenberg in TVD runs
 //! * `--steps N` — Trotter steps for Heisenberg (paper scale: 37)
 //! * `--json PATH` — also dump rows as JSON
+//! * `--report PATH` — dump per-pass compile reports as JSON
+//!   (bypasses the compile cache so every run is instrumented)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+pub mod timing;
 
 use std::collections::BTreeMap;
 
 pub use cache::compile_cached;
-use geyser::{CompiledCircuit, PipelineConfig, Technique};
+use geyser::{compile, CompileReport, CompiledCircuit, PipelineConfig, Technique};
 use geyser_circuit::Circuit;
 use geyser_workloads::{heisenberg, suite, WorkloadSpec};
 use serde::Serialize;
@@ -48,6 +51,8 @@ pub struct Cli {
     pub steps: Option<usize>,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional per-pass compile-report output path.
+    pub report: Option<String>,
 }
 
 impl Default for Cli {
@@ -61,6 +66,7 @@ impl Default for Cli {
             include_large: false,
             steps: None,
             json: None,
+            report: None,
         }
     }
 }
@@ -92,6 +98,7 @@ impl Cli {
                 "--seed" => cli.seed = value("--seed").parse().expect("integer"),
                 "--steps" => cli.steps = Some(value("--steps").parse().expect("integer")),
                 "--json" => cli.json = Some(value("--json")),
+                "--report" => cli.report = Some(value("--report")),
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
         }
@@ -156,6 +163,10 @@ pub struct Row {
 /// Compiles one workload with every requested technique, going
 /// through the on-disk cache so repeated figure runs pay for each
 /// compilation once.
+///
+/// With `--report` the cache is bypassed: cache hits reassemble
+/// circuits from parts and carry no per-pass instrumentation, so every
+/// compilation runs fresh through the pass manager instead.
 pub fn compile_techniques(
     cli: &Cli,
     name: &str,
@@ -166,8 +177,58 @@ pub fn compile_techniques(
     let tag = cli.config_tag();
     techniques
         .iter()
-        .map(|&t| (t, compile_cached(name, program, t, cfg, &tag)))
+        .map(|&t| {
+            let compiled = if cli.report.is_some() {
+                compile(program, t, cfg)
+            } else {
+                compile_cached(name, program, t, cfg, &tag)
+            };
+            (t, compiled)
+        })
         .collect()
+}
+
+/// One (workload × technique) per-pass compile report.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReportRow {
+    /// Workload name.
+    pub workload: String,
+    /// Technique label.
+    pub technique: String,
+    /// The pass manager's instrumentation record.
+    pub report: CompileReport,
+}
+
+/// Collects the compile reports of one workload's compilations into
+/// `out` (circuits without a report — cache hits — are skipped).
+pub fn collect_reports(
+    name: &str,
+    compiled: &[(Technique, CompiledCircuit)],
+    out: &mut Vec<ReportRow>,
+) {
+    for (t, c) in compiled {
+        if let Some(report) = c.report() {
+            out.push(ReportRow {
+                workload: name.to_string(),
+                technique: t.label().to_string(),
+                report: report.clone(),
+            });
+        }
+    }
+}
+
+/// Writes collected compile reports to the `--report` path if one was
+/// given.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn maybe_write_reports(cli: &Cli, rows: &[ReportRow]) {
+    if let Some(path) = &cli.report {
+        let body = serde_json::to_string_pretty(rows).expect("reports serialize");
+        std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
+    }
 }
 
 /// Renders rows as an aligned text table on stdout.

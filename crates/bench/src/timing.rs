@@ -1,0 +1,57 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! Replaces criterion (unavailable offline) for the `benches/`
+//! targets: one warm-up call, `samples` timed iterations, and a
+//! `min / median / max` report on stdout. The medians are stable
+//! enough to track the paper's scaling claims (Sec. 6) across
+//! commits; for rigorous statistics rerun with more samples.
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `samples` iterations (after one warm-up call) and
+/// prints a `min / median / max` line under the `group/label` name.
+/// Returns the median.
+pub fn bench_sampled<T>(
+    group: &str,
+    label: &str,
+    samples: usize,
+    mut f: impl FnMut() -> T,
+) -> Duration {
+    assert!(samples > 0, "need at least one sample");
+    std::hint::black_box(f());
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{group}/{label:<24} min {:>12?}   median {:>12?}   max {:>12?}   ({samples} samples)",
+        times[0],
+        median,
+        times[times.len() - 1]
+    );
+    median
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_plausible_medians() {
+        let median = bench_sampled("test", "spin", 5, || {
+            std::hint::black_box((0..1000u64).sum::<u64>())
+        });
+        assert!(median < Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panic() {
+        bench_sampled("test", "none", 0, || ());
+    }
+}

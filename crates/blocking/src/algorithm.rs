@@ -3,7 +3,7 @@
 use geyser_circuit::Circuit;
 use geyser_topology::Lattice;
 
-use crate::{Block, BlockedCircuit, Round};
+use crate::{Block, BlockError, BlockedCircuit, Round};
 
 /// Configuration for [`block_circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,11 +136,35 @@ pub fn block_circuit(
     lattice: &Lattice,
     config: &BlockingConfig,
 ) -> BlockedCircuit {
-    assert_eq!(
-        circuit.num_qubits(),
-        lattice.num_nodes(),
-        "circuit must be over lattice nodes"
-    );
+    try_block_circuit(circuit, lattice, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`block_circuit`]: returns
+/// [`BlockError::RegisterMismatch`] instead of panicking when the
+/// circuit is not expressed over the lattice's node space.
+///
+/// # Example
+///
+/// ```
+/// use geyser_blocking::{try_block_circuit, BlockError, BlockingConfig};
+/// use geyser_circuit::Circuit;
+/// use geyser_topology::Lattice;
+/// let lat = Lattice::triangular(2, 2); // 4 nodes
+/// let c = Circuit::new(3); // not over the node space
+/// let err = try_block_circuit(&c, &lat, &BlockingConfig::default());
+/// assert!(matches!(err, Err(BlockError::RegisterMismatch { .. })));
+/// ```
+pub fn try_block_circuit(
+    circuit: &Circuit,
+    lattice: &Lattice,
+    config: &BlockingConfig,
+) -> Result<BlockedCircuit, BlockError> {
+    if circuit.num_qubits() != lattice.num_nodes() {
+        return Err(BlockError::RegisterMismatch {
+            circuit_qubits: circuit.num_qubits(),
+            lattice_nodes: lattice.num_nodes(),
+        });
+    }
     let triangles = lattice.triangles();
     let mut frontier = Frontier::new(circuit);
     let mut rounds = Vec::new();
@@ -185,6 +209,9 @@ pub fn block_circuit(
                         .all(|&q| frontier.next_on(q) == Some(i))
                 })
                 .min()
+                // invariant: an unexhausted frontier always exposes at
+                // least one op whose operands all sit at their
+                // frontiers (the earliest unblocked op qualifies).
                 .expect("frontier not exhausted implies a ready op exists");
             let op = &circuit.ops()[idx];
             let block = Block::new(op.qubits().to_vec(), vec![idx], false);
@@ -233,7 +260,7 @@ pub fn block_circuit(
         rounds.push(Round::new(blocks));
     }
 
-    BlockedCircuit::new(circuit.clone(), rounds)
+    Ok(BlockedCircuit::new(circuit.clone(), rounds))
 }
 
 #[cfg(test)]

@@ -1,0 +1,33 @@
+//! Typed errors for the blocking stage.
+
+use std::fmt;
+
+/// Why a circuit could not be blocked over a lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BlockError {
+    /// The circuit is not expressed over the lattice's node space.
+    RegisterMismatch {
+        /// Qubit count of the circuit.
+        circuit_qubits: usize,
+        /// Node count of the lattice.
+        lattice_nodes: usize,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::RegisterMismatch {
+                circuit_qubits,
+                lattice_nodes,
+            } => write!(
+                f,
+                "circuit must be over lattice nodes: circuit has \
+                 {circuit_qubits} qubits, lattice has {lattice_nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}

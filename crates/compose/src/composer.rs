@@ -12,7 +12,7 @@ use geyser_sim::circuit_unitary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Ansatz, Entangler};
+use crate::{Ansatz, ComposeError, Entangler};
 
 /// Configuration for block composition.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -128,7 +128,35 @@ fn is_identity_up_to_phase(u: &CMatrix, tol: f64) -> bool {
 ///
 /// Panics if the block is not a 3-qubit circuit.
 pub fn compose_block(block: &Circuit, config: &CompositionConfig) -> CompositionResult {
-    assert_eq!(block.num_qubits(), 3, "composition targets 3-qubit blocks");
+    try_compose_block(block, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`compose_block`]: returns
+/// [`ComposeError::NotThreeQubit`] instead of panicking when the block
+/// is not a 3-qubit circuit.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_compose::{try_compose_block, ComposeError, CompositionConfig};
+/// let block = Circuit::new(2);
+/// let err = try_compose_block(&block, &CompositionConfig::fast());
+/// assert!(matches!(err, Err(ComposeError::NotThreeQubit { qubits: 2 })));
+/// ```
+pub fn try_compose_block(
+    block: &Circuit,
+    config: &CompositionConfig,
+) -> Result<CompositionResult, ComposeError> {
+    if block.num_qubits() != 3 {
+        return Err(ComposeError::NotThreeQubit {
+            qubits: block.num_qubits(),
+        });
+    }
+    Ok(compose_block_inner(block, config))
+}
+
+fn compose_block_inner(block: &Circuit, config: &CompositionConfig) -> CompositionResult {
     let original_pulses = block.total_pulses();
     let keep_original = || CompositionResult {
         circuit: block.clone(),
@@ -431,6 +459,19 @@ pub fn compose_blocked_circuit(
     blocked: &BlockedCircuit,
     config: &CompositionConfig,
 ) -> ComposedCircuit {
+    try_compose_blocked_circuit(blocked, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`compose_blocked_circuit`].
+///
+/// Cannot currently fail — triangle blocks are 3-qubit by construction
+/// and non-triangle blocks pass through untouched — but carries the
+/// typed-error signature so pipeline drivers compose uniformly over
+/// fallible stages.
+pub fn try_compose_blocked_circuit(
+    blocked: &BlockedCircuit,
+    config: &CompositionConfig,
+) -> Result<ComposedCircuit, ComposeError> {
     let source = blocked.source();
     let blocks: Vec<_> = blocked.blocks().collect();
     let num_blocks = blocks.len();
@@ -459,12 +500,18 @@ pub fn compose_blocked_circuit(
                 } else {
                     None
                 };
+                // invariant: lock holders only assign a Vec slot and
+                // cannot panic, so the mutex is never poisoned.
                 results.lock().expect("no panics hold the lock")[i] = result;
             });
         }
     })
+    // invariant: workers run panic-free numeric code; a panic here is a
+    // compiler bug, not a user-input failure.
     .expect("composition worker panicked");
 
+    // invariant: the scope joined every worker above, so the mutex has
+    // no other holders.
     let results = results.into_inner().expect("scope joined all workers");
 
     // Reassemble with substitutions.
@@ -497,10 +544,10 @@ pub fn compose_blocked_circuit(
             }
         }
     }
-    ComposedCircuit {
+    Ok(ComposedCircuit {
         circuit: out,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]

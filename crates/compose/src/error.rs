@@ -1,0 +1,28 @@
+//! Typed errors for the composition stage.
+
+use std::fmt;
+
+/// Why a block could not be composed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ComposeError {
+    /// Composition targets 3-qubit triangle blocks; the given block
+    /// has a different register size.
+    NotThreeQubit {
+        /// Qubit count of the offending block.
+        qubits: usize,
+    },
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::NotThreeQubit { qubits } => write!(
+                f,
+                "composition targets 3-qubit blocks, got a {qubits}-qubit block"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}

@@ -35,11 +35,13 @@
 
 mod ansatz;
 mod composer;
+mod error;
 mod quad;
 
 pub use ansatz::{Ansatz, Entangler};
 pub use composer::{
-    compose_block, compose_blocked_circuit, ComposedCircuit, CompositionConfig, CompositionResult,
-    CompositionStats,
+    compose_block, compose_blocked_circuit, try_compose_block, try_compose_blocked_circuit,
+    ComposedCircuit, CompositionConfig, CompositionResult, CompositionStats,
 };
+pub use error::ComposeError;
 pub use quad::{try_compose_quad, QuadAnsatz, QuadAttempt, PULSES_CCCZ, QUAD_ENTANGLER_CHOICES};

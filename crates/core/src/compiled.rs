@@ -4,7 +4,7 @@ use geyser_circuit::GateCounts;
 use geyser_compose::CompositionStats;
 use geyser_map::MappedCircuit;
 
-use crate::Technique;
+use crate::{CompileReport, Technique};
 
 /// A program compiled for a specific architecture/technique, with all
 /// the metrics the paper reports.
@@ -13,6 +13,7 @@ pub struct CompiledCircuit {
     technique: Technique,
     mapped: MappedCircuit,
     composition: Option<CompositionStats>,
+    report: Option<CompileReport>,
 }
 
 impl CompiledCircuit {
@@ -25,6 +26,21 @@ impl CompiledCircuit {
             technique,
             mapped,
             composition,
+            report: None,
+        }
+    }
+
+    pub(crate) fn with_report(
+        technique: Technique,
+        mapped: MappedCircuit,
+        composition: Option<CompositionStats>,
+        report: CompileReport,
+    ) -> Self {
+        CompiledCircuit {
+            technique,
+            mapped,
+            composition,
+            report: Some(report),
         }
     }
 
@@ -52,6 +68,15 @@ impl CompiledCircuit {
     /// Composition statistics (present only for [`Technique::Geyser`]).
     pub fn composition_stats(&self) -> Option<&CompositionStats> {
         self.composition.as_ref()
+    }
+
+    /// Per-pass instrumentation from the pipeline run.
+    ///
+    /// Present whenever the circuit came out of a
+    /// [`crate::PassManager`] (including [`crate::compile`]); absent
+    /// for circuits reassembled from parts, e.g. cache hits.
+    pub fn report(&self) -> Option<&CompileReport> {
+        self.report.as_ref()
     }
 
     /// Total physical pulses (paper Fig. 12, lower is better).

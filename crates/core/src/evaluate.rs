@@ -5,7 +5,7 @@ use geyser_sim::{
     ideal_distribution, sample_noisy_distribution, total_variation_distance, NoiseModel,
 };
 
-use crate::CompiledCircuit;
+use crate::{CompileError, CompiledCircuit};
 
 /// Result of a noisy-execution evaluation of one compiled circuit.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,11 +87,43 @@ pub fn evaluate_tvd(
     trajectories: usize,
     seed: u64,
 ) -> TvdReport {
-    assert_eq!(
-        program.num_qubits(),
-        compiled.mapped().num_logical(),
-        "program / compiled register mismatch"
-    );
+    try_evaluate_tvd(compiled, program, noise, trajectories, seed).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`evaluate_tvd`]: returns
+/// [`CompileError::RegisterMismatch`] or
+/// [`CompileError::NoTrajectories`] instead of panicking on invalid
+/// inputs.
+///
+/// # Example
+///
+/// ```
+/// use geyser::{compile, try_evaluate_tvd, CompileError, PipelineConfig, Technique};
+/// use geyser_circuit::Circuit;
+/// use geyser_sim::NoiseModel;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let compiled = compile(&c, Technique::OptiMap, &PipelineConfig::fast());
+/// let err = try_evaluate_tvd(&compiled, &c, &NoiseModel::noiseless(), 0, 0);
+/// assert!(matches!(err, Err(CompileError::NoTrajectories)));
+/// ```
+pub fn try_evaluate_tvd(
+    compiled: &CompiledCircuit,
+    program: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+) -> Result<TvdReport, CompileError> {
+    if program.num_qubits() != compiled.mapped().num_logical() {
+        return Err(CompileError::RegisterMismatch {
+            program_qubits: program.num_qubits(),
+            compiled_qubits: compiled.mapped().num_logical(),
+        });
+    }
+    if trajectories == 0 {
+        return Err(CompileError::NoTrajectories);
+    }
     let ideal = ideal_distribution(program);
 
     let compiled_ideal = ideal_logical_distribution(compiled);
@@ -102,11 +134,11 @@ pub fn evaluate_tvd(
     let noisy = compiled.mapped().logical_distribution(&noisy_nodes);
     let tvd_to_ideal = total_variation_distance(&ideal, &noisy);
 
-    TvdReport {
+    Ok(TvdReport {
         tvd_to_ideal,
         compilation_tvd,
         trajectories,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -39,15 +39,23 @@
 
 mod compiled;
 mod config;
+mod error;
 mod evaluate;
+mod pass;
+pub mod passes;
+mod report;
 mod technique;
 
 pub use compiled::CompiledCircuit;
 pub use config::PipelineConfig;
+pub use error::CompileError;
 pub use evaluate::{
-    estimated_success_probability, evaluate_tvd, ideal_logical_distribution, TvdReport,
+    estimated_success_probability, evaluate_tvd, ideal_logical_distribution, try_evaluate_tvd,
+    TvdReport,
 };
-pub use technique::{compile, Technique};
+pub use pass::{CompileContext, Pass, PassManager};
+pub use report::{CompileReport, PassReport};
+pub use technique::{compile, try_compile, Technique};
 
 // Re-export the component crates so downstream users need only one
 // dependency.

@@ -1,0 +1,334 @@
+//! The pass-manager pipeline driver.
+//!
+//! A compilation is a sequence of [`Pass`]es run over a shared
+//! [`CompileContext`] by a [`PassManager`]. Each technique of the
+//! paper is a declarative pass list (see [`crate::Technique::pass_list`]);
+//! the manager times every pass, snapshots circuit metrics around it,
+//! and assembles the [`CompileReport`] that ships with the final
+//! [`CompiledCircuit`].
+
+use std::time::Instant;
+
+use geyser_blocking::BlockedCircuit;
+use geyser_circuit::Circuit;
+use geyser_compose::CompositionStats;
+use geyser_map::MappedCircuit;
+use geyser_sim::{ideal_distribution, total_variation_distance};
+use geyser_topology::Lattice;
+
+use crate::report::{CompileReport, PassReport};
+use crate::{CompileError, CompiledCircuit, PipelineConfig, Technique};
+
+/// Largest physical register (lattice nodes) the debug-mode
+/// distribution spot check will statevector-simulate.
+const SPOT_CHECK_MAX_NODES: usize = 8;
+
+/// Mutable state threaded through a pass pipeline.
+///
+/// Starts with just the logical program and configuration; passes fill
+/// in the lattice, the mapped circuit, and the composition artifacts
+/// as the pipeline advances.
+#[derive(Debug)]
+pub struct CompileContext<'a> {
+    program: &'a Circuit,
+    config: &'a PipelineConfig,
+    technique: Technique,
+    lattice: Option<Lattice>,
+    mapped: Option<MappedCircuit>,
+    blocked: Option<BlockedCircuit>,
+    composed: Option<Circuit>,
+    composition: Option<CompositionStats>,
+}
+
+impl<'a> CompileContext<'a> {
+    /// Fresh context for one compilation run.
+    pub fn new(program: &'a Circuit, technique: Technique, config: &'a PipelineConfig) -> Self {
+        CompileContext {
+            program,
+            config,
+            technique,
+            lattice: None,
+            mapped: None,
+            blocked: None,
+            composed: None,
+            composition: None,
+        }
+    }
+
+    /// The logical input program.
+    pub fn program(&self) -> &Circuit {
+        self.program
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        self.config
+    }
+
+    /// The technique this pipeline implements.
+    pub fn technique(&self) -> Technique {
+        self.technique
+    }
+
+    /// The allocated lattice, if a lattice pass has run.
+    pub fn lattice(&self) -> Option<&Lattice> {
+        self.lattice.as_ref()
+    }
+
+    /// Installs the lattice.
+    pub fn set_lattice(&mut self, lattice: Lattice) {
+        self.lattice = Some(lattice);
+    }
+
+    /// The mapped circuit, if the mapping pass has run.
+    pub fn mapped(&self) -> Option<&MappedCircuit> {
+        self.mapped.as_ref()
+    }
+
+    /// Installs (or replaces) the mapped circuit.
+    pub fn set_mapped(&mut self, mapped: MappedCircuit) {
+        self.mapped = Some(mapped);
+    }
+
+    /// The blocked circuit, if the blocking pass has run.
+    pub fn blocked(&self) -> Option<&BlockedCircuit> {
+        self.blocked.as_ref()
+    }
+
+    /// Installs the blocked circuit.
+    pub fn set_blocked(&mut self, blocked: BlockedCircuit) {
+        self.blocked = Some(blocked);
+    }
+
+    /// The composed physical circuit awaiting seam cleanup, if the
+    /// composition pass has run and cleanup has not consumed it yet.
+    pub fn composed(&self) -> Option<&Circuit> {
+        self.composed.as_ref()
+    }
+
+    /// Installs the composition output.
+    pub fn set_composed(&mut self, circuit: Circuit, stats: CompositionStats) {
+        self.composed = Some(circuit);
+        self.composition = Some(stats);
+    }
+
+    /// Removes and returns the composed circuit (seam cleanup).
+    pub fn take_composed(&mut self) -> Option<Circuit> {
+        self.composed.take()
+    }
+
+    /// Composition statistics, if composition has run.
+    pub fn composition_stats(&self) -> Option<&CompositionStats> {
+        self.composition.as_ref()
+    }
+
+    /// The pipeline's current best view of the circuit: the composed
+    /// circuit if one is pending cleanup, else the mapped physical
+    /// circuit, else the logical program.
+    pub fn current_circuit(&self) -> &Circuit {
+        if let Some(c) = &self.composed {
+            c
+        } else if let Some(m) = &self.mapped {
+            m.circuit()
+        } else {
+            self.program
+        }
+    }
+
+    fn into_compiled(self, report: CompileReport) -> Result<CompiledCircuit, CompileError> {
+        let mapped = self.mapped.ok_or(CompileError::MissingStage {
+            pass: "finalize",
+            requires: "map",
+        })?;
+        Ok(CompiledCircuit::with_report(
+            self.technique,
+            mapped,
+            self.composition,
+            report,
+        ))
+    }
+}
+
+/// One step of a compilation pipeline.
+///
+/// Passes mutate the [`CompileContext`] — installing the lattice, the
+/// mapped circuit, composition results — and report failures as
+/// [`CompileError`]s. The built-in passes live in [`crate::passes`];
+/// external code can implement the trait to splice custom stages into
+/// a [`PassManager`].
+pub trait Pass {
+    /// Stable, kebab-case pass name used in reports and errors.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass over the shared context.
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError>;
+}
+
+/// Runs an ordered list of [`Pass`]es and instruments every step.
+///
+/// # Example
+///
+/// ```
+/// use geyser::{PassManager, PipelineConfig, Technique};
+/// use geyser_circuit::Circuit;
+///
+/// let mut program = Circuit::new(2);
+/// program.h(0).cx(0, 1);
+/// let pm = PassManager::for_technique(Technique::OptiMap);
+/// let compiled = pm
+///     .run(&program, &PipelineConfig::fast())
+///     .expect("pipeline succeeds");
+/// let report = compiled.report().expect("pass manager attaches a report");
+/// assert_eq!(report.passes.len(), 2); // allocate-lattice, map
+/// ```
+pub struct PassManager {
+    technique: Technique,
+    passes: Vec<Box<dyn Pass>>,
+    debug_invariants: bool,
+}
+
+impl PassManager {
+    /// A manager over an explicit pass list, labelled with the
+    /// technique the list implements.
+    pub fn new(technique: Technique, passes: Vec<Box<dyn Pass>>) -> Self {
+        PassManager {
+            technique,
+            passes,
+            debug_invariants: false,
+        }
+    }
+
+    /// The declarative pipeline for one of the paper's techniques —
+    /// equivalent to what [`crate::compile`] runs.
+    pub fn for_technique(technique: Technique) -> Self {
+        Self::new(technique, technique.pass_list())
+    }
+
+    /// Enables (or disables) inter-pass invariant checking: after each
+    /// pass the manager verifies the physical circuit stays in the
+    /// native basis, the logical register is preserved, and — for
+    /// small circuits — that the output distribution still matches the
+    /// program's (a unitary-equivalence spot check via `geyser-sim`).
+    pub fn with_debug_invariants(mut self, on: bool) -> Self {
+        self.debug_invariants = on;
+        self
+    }
+
+    /// Appends a pass to the end of the list.
+    pub fn push(&mut self, pass: Box<dyn Pass>) {
+        self.passes.push(pass);
+    }
+
+    /// Names of the scheduled passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the pipeline over a program.
+    ///
+    /// On success the returned [`CompiledCircuit`] carries a
+    /// [`CompileReport`] with one entry per pass.
+    pub fn run(
+        &self,
+        program: &Circuit,
+        config: &PipelineConfig,
+    ) -> Result<CompiledCircuit, CompileError> {
+        if program.num_qubits() == 0 {
+            return Err(CompileError::EmptyProgram);
+        }
+        let mut ctx = CompileContext::new(program, self.technique, config);
+        let mut report = CompileReport::new(self.technique.label());
+        for pass in &self.passes {
+            let (pulses_before, gates_before, depth_before) = snapshot(&ctx);
+            let blocks_before = ctx.composition_stats().map(|s| s.blocks_composed as u64);
+            let start = Instant::now();
+            pass.run(&mut ctx)?;
+            let seconds = start.elapsed().as_secs_f64();
+            let (pulses_after, gates_after, depth_after) = snapshot(&ctx);
+            let blocks_after = ctx.composition_stats().map(|s| s.blocks_composed as u64);
+            report.passes.push(PassReport {
+                name: pass.name().to_string(),
+                seconds,
+                pulses_before,
+                pulses_after,
+                gates_before,
+                gates_after,
+                depth_before,
+                depth_after,
+                blocks_composed: match (blocks_before, blocks_after) {
+                    (None, Some(after)) => Some(after),
+                    (Some(before), Some(after)) if after != before => Some(after - before),
+                    _ => None,
+                },
+            });
+            if self.debug_invariants {
+                check_invariants(&ctx, pass.name())?;
+            }
+        }
+        ctx.into_compiled(report)
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("technique", &self.technique)
+            .field("passes", &self.pass_names())
+            .field("debug_invariants", &self.debug_invariants)
+            .finish()
+    }
+}
+
+/// (total pulses, gate count, depth pulses) of the context's current
+/// circuit.
+fn snapshot(ctx: &CompileContext<'_>) -> (u64, u64, u64) {
+    let c = ctx.current_circuit();
+    (c.total_pulses(), c.len() as u64, c.depth_pulses())
+}
+
+/// Inter-pass invariant checks (debug mode).
+fn check_invariants(ctx: &CompileContext<'_>, pass: &str) -> Result<(), CompileError> {
+    let Some(mapped) = ctx.mapped() else {
+        return Ok(()); // pre-mapping stages carry no physical circuit
+    };
+    if mapped.num_logical() != ctx.program().num_qubits() {
+        return Err(CompileError::InvariantViolation {
+            pass: pass.to_string(),
+            detail: format!(
+                "logical register changed: program has {} qubits, mapped circuit tracks {}",
+                ctx.program().num_qubits(),
+                mapped.num_logical()
+            ),
+        });
+    }
+    let current = ctx.current_circuit();
+    if !current.is_native_basis() {
+        return Err(CompileError::InvariantViolation {
+            pass: pass.to_string(),
+            detail: "physical circuit left the native {U3, CZ, CCZ} basis".to_string(),
+        });
+    }
+    // Unitary-equivalence spot check on small circuits: the compiled
+    // output distribution (marginalized onto the logical register)
+    // must match the program's ideal distribution. Composition is
+    // approximate (per-block HSD <= epsilon), so the tolerance widens
+    // once composed blocks are in play.
+    let nodes = current.num_qubits();
+    if nodes <= SPOT_CHECK_MAX_NODES && nodes == mapped.lattice().num_nodes() {
+        let got = mapped.logical_distribution(&ideal_distribution(current));
+        let want = ideal_distribution(ctx.program());
+        let tvd = total_variation_distance(&want, &got);
+        let tol = if ctx.composition_stats().is_some() {
+            5e-2
+        } else {
+            1e-6
+        };
+        if tvd > tol {
+            return Err(CompileError::InvariantViolation {
+                pass: pass.to_string(),
+                detail: format!("output distribution diverged from program: TVD = {tvd:.3e}"),
+            });
+        }
+    }
+    Ok(())
+}

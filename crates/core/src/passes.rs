@@ -1,0 +1,182 @@
+//! Built-in passes: the paper's pipeline stages wrapped as [`Pass`]es.
+//!
+//! Each pass is a thin adapter over its home crate's fallible entry
+//! point (`geyser_map::try_map_circuit`,
+//! `geyser_blocking::try_block_circuit`,
+//! `geyser_compose::try_compose_blocked_circuit`); the algorithms
+//! themselves live in those crates.
+
+use geyser_blocking::try_block_circuit;
+use geyser_compose::try_compose_blocked_circuit;
+use geyser_map::{optimize_to_fixpoint, try_map_circuit, MappingOptions};
+use geyser_topology::Lattice;
+
+use crate::pass::{CompileContext, Pass};
+use crate::CompileError;
+
+/// Lattice geometry selected by [`AllocateLatticePass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatticeKind {
+    /// Triangular neutral-atom lattice (paper Fig. 4).
+    Triangular,
+    /// Square lattice — the superconducting comparison's layout.
+    Square,
+}
+
+/// Allocates the physical lattice sized for the program.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocateLatticePass {
+    /// Which geometry to allocate.
+    pub kind: LatticeKind,
+}
+
+impl AllocateLatticePass {
+    /// Triangular lattice (all neutral-atom techniques).
+    pub fn triangular() -> Self {
+        AllocateLatticePass {
+            kind: LatticeKind::Triangular,
+        }
+    }
+
+    /// Square lattice (the superconducting comparison).
+    pub fn square() -> Self {
+        AllocateLatticePass {
+            kind: LatticeKind::Square,
+        }
+    }
+}
+
+impl Pass for AllocateLatticePass {
+    fn name(&self) -> &'static str {
+        "allocate-lattice"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        let n = ctx.program().num_qubits();
+        let lattice = match self.kind {
+            LatticeKind::Triangular => Lattice::triangular_for(n),
+            LatticeKind::Square => Lattice::square_for(n),
+        };
+        ctx.set_lattice(lattice);
+        Ok(())
+    }
+}
+
+/// Maps the logical program onto the allocated lattice: lowering,
+/// layout, SWAP routing, native-basis translation, and (for the
+/// optimized options) the OptiMap passes.
+#[derive(Debug, Clone, Copy)]
+pub struct MapPass {
+    /// Mapping options (baseline vs optimized).
+    pub options: MappingOptions,
+}
+
+impl MapPass {
+    /// Baseline mapping: no optimization passes.
+    pub fn baseline() -> Self {
+        MapPass {
+            options: MappingOptions::baseline(),
+        }
+    }
+
+    /// OptiMap mapping: smart layout plus optimization to fixpoint.
+    pub fn optimized() -> Self {
+        MapPass {
+            options: MappingOptions::optimized(),
+        }
+    }
+}
+
+impl Pass for MapPass {
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        let lattice = ctx.lattice().ok_or(CompileError::MissingStage {
+            pass: "map",
+            requires: "allocate-lattice",
+        })?;
+        let mapped = try_map_circuit(ctx.program(), lattice, &self.options)?;
+        ctx.set_mapped(mapped);
+        Ok(())
+    }
+}
+
+/// Partitions the mapped circuit into rounds of triangle blocks
+/// (paper Algorithm 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockPass;
+
+impl Pass for BlockPass {
+    fn name(&self) -> &'static str {
+        "block"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        let mapped = ctx.mapped().ok_or(CompileError::MissingStage {
+            pass: "block",
+            requires: "map",
+        })?;
+        let lattice = ctx.lattice().ok_or(CompileError::MissingStage {
+            pass: "block",
+            requires: "allocate-lattice",
+        })?;
+        let blocked = try_block_circuit(mapped.circuit(), lattice, &ctx.config().blocking)?;
+        ctx.set_blocked(blocked);
+        Ok(())
+    }
+}
+
+/// Re-synthesizes every eligible block with annealed U3 + CZ/CCZ
+/// layers (paper Algorithm 2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComposePass;
+
+impl Pass for ComposePass {
+    fn name(&self) -> &'static str {
+        "compose"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        let blocked = ctx.blocked().ok_or(CompileError::MissingStage {
+            pass: "compose",
+            requires: "block",
+        })?;
+        let composed = try_compose_blocked_circuit(blocked, &ctx.config().composition)?;
+        ctx.set_composed(composed.circuit, composed.stats);
+        Ok(())
+    }
+}
+
+/// Final cleanup after composition: block substitution can expose new
+/// single-qubit fusion opportunities at block seams; re-optimizing to
+/// fixpoint never increases pulses. Installs the cleaned circuit as
+/// the mapped result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeamCleanupPass;
+
+impl Pass for SeamCleanupPass {
+    fn name(&self) -> &'static str {
+        "seam-cleanup"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        if ctx.mapped().is_none() {
+            return Err(CompileError::MissingStage {
+                pass: "seam-cleanup",
+                requires: "map",
+            });
+        }
+        let composed = ctx.take_composed().ok_or(CompileError::MissingStage {
+            pass: "seam-cleanup",
+            requires: "compose",
+        })?;
+        let cleaned = optimize_to_fixpoint(&composed);
+        // invariant: the composed circuit spans the same node space as
+        // the mapped circuit, so with_circuit cannot panic.
+        let mapped = ctx.mapped().expect("checked above").with_circuit(cleaned);
+        ctx.set_mapped(mapped);
+        Ok(())
+    }
+}

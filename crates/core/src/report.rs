@@ -1,0 +1,141 @@
+//! Per-run instrumentation: what each pass did and what it cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Measurements for one pass execution.
+///
+/// The before/after columns snapshot the pipeline's *current* circuit
+/// around the pass: the logical program before mapping, the mapped
+/// physical circuit afterwards, and the composed circuit between
+/// composition and seam cleanup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PassReport {
+    /// Pass name (see [`crate::Pass::name`]).
+    pub name: String,
+    /// Wall-clock seconds spent inside the pass.
+    pub seconds: f64,
+    /// Physical pulses before the pass ran.
+    pub pulses_before: u64,
+    /// Physical pulses after the pass ran.
+    pub pulses_after: u64,
+    /// Gate count before the pass ran.
+    pub gates_before: u64,
+    /// Gate count after the pass ran.
+    pub gates_after: u64,
+    /// Critical-path pulse depth before the pass ran.
+    pub depth_before: u64,
+    /// Critical-path pulse depth after the pass ran.
+    pub depth_after: u64,
+    /// Blocks rewritten by this pass (composition only).
+    pub blocks_composed: Option<u64>,
+}
+
+impl PassReport {
+    /// Signed pulse change introduced by the pass (negative = saved).
+    pub fn pulse_delta(&self) -> i64 {
+        self.pulses_after as i64 - self.pulses_before as i64
+    }
+}
+
+/// The full instrumentation record of one [`crate::PassManager`] run.
+///
+/// Serializable to JSON for the evaluation binaries (`--report PATH`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileReport {
+    /// Label of the technique the pass list implements.
+    pub technique: String,
+    /// Per-pass measurements in execution order.
+    pub passes: Vec<PassReport>,
+}
+
+impl CompileReport {
+    /// Starts an empty report for a technique.
+    pub fn new(technique: &str) -> Self {
+        CompileReport {
+            technique: technique.to_string(),
+            passes: Vec::new(),
+        }
+    }
+
+    /// Total wall-clock seconds across all passes.
+    pub fn total_seconds(&self) -> f64 {
+        self.passes.iter().map(|p| p.seconds).sum()
+    }
+
+    /// Signed pulse change across the whole pipeline, from the first
+    /// pass's input to the last pass's output.
+    pub fn pulse_delta(&self) -> i64 {
+        match (self.passes.first(), self.passes.last()) {
+            (Some(first), Some(last)) => last.pulses_after as i64 - first.pulses_before as i64,
+            _ => 0,
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization fails (cannot happen for this type).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CompileReport {
+        CompileReport {
+            technique: "Geyser".into(),
+            passes: vec![
+                PassReport {
+                    name: "map".into(),
+                    seconds: 0.25,
+                    pulses_before: 100,
+                    pulses_after: 80,
+                    gates_before: 60,
+                    gates_after: 50,
+                    depth_before: 40,
+                    depth_after: 30,
+                    blocks_composed: None,
+                },
+                PassReport {
+                    name: "compose".into(),
+                    seconds: 0.75,
+                    pulses_before: 80,
+                    pulses_after: 60,
+                    gates_before: 50,
+                    gates_after: 40,
+                    depth_before: 30,
+                    depth_after: 25,
+                    blocks_composed: Some(4),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_passes() {
+        let r = sample();
+        assert!((r.total_seconds() - 1.0).abs() < 1e-12);
+        assert_eq!(r.pulse_delta(), -40);
+        assert_eq!(r.passes[1].pulse_delta(), -20);
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let r = sample();
+        let json = r.to_json();
+        assert!(json.contains("\"technique\""));
+        let back: CompileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn empty_report_has_zero_delta() {
+        let r = CompileReport::new("Baseline");
+        assert_eq!(r.pulse_delta(), 0);
+        assert_eq!(r.total_seconds(), 0.0);
+    }
+}

@@ -2,13 +2,10 @@
 
 use std::fmt;
 
-use geyser_blocking::block_circuit;
 use geyser_circuit::Circuit;
-use geyser_compose::compose_blocked_circuit;
-use geyser_map::{map_circuit, optimize_to_fixpoint, MappingOptions};
-use geyser_topology::Lattice;
 
-use crate::{CompiledCircuit, PipelineConfig};
+use crate::passes::{AllocateLatticePass, BlockPass, ComposePass, MapPass, SeamCleanupPass};
+use crate::{CompileError, CompiledCircuit, Pass, PassManager, PipelineConfig};
 
 /// A compilation technique from the paper's evaluation (Sec. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +48,32 @@ impl Technique {
             Technique::Superconducting => "SC",
         }
     }
+
+    /// The declarative pass list implementing this technique — the
+    /// pipeline [`crate::compile`] runs, spelled out as data.
+    pub fn pass_list(self) -> Vec<Box<dyn Pass>> {
+        match self {
+            Technique::Baseline => vec![
+                Box::new(AllocateLatticePass::triangular()),
+                Box::new(MapPass::baseline()),
+            ],
+            Technique::OptiMap => vec![
+                Box::new(AllocateLatticePass::triangular()),
+                Box::new(MapPass::optimized()),
+            ],
+            Technique::Geyser => vec![
+                Box::new(AllocateLatticePass::triangular()),
+                Box::new(MapPass::optimized()),
+                Box::new(BlockPass),
+                Box::new(ComposePass),
+                Box::new(SeamCleanupPass),
+            ],
+            Technique::Superconducting => vec![
+                Box::new(AllocateLatticePass::square()),
+                Box::new(MapPass::optimized()),
+            ],
+        }
+    }
 }
 
 impl fmt::Display for Technique {
@@ -80,35 +103,28 @@ pub fn compile(
     technique: Technique,
     config: &PipelineConfig,
 ) -> CompiledCircuit {
-    assert!(program.num_qubits() > 0, "program must have qubits");
-    match technique {
-        Technique::Baseline => {
-            let lattice = Lattice::triangular_for(program.num_qubits());
-            let mapped = map_circuit(program, &lattice, &MappingOptions::baseline());
-            CompiledCircuit::new(technique, mapped, None)
-        }
-        Technique::OptiMap => {
-            let lattice = Lattice::triangular_for(program.num_qubits());
-            let mapped = map_circuit(program, &lattice, &MappingOptions::optimized());
-            CompiledCircuit::new(technique, mapped, None)
-        }
-        Technique::Geyser => {
-            let lattice = Lattice::triangular_for(program.num_qubits());
-            let mapped = map_circuit(program, &lattice, &MappingOptions::optimized());
-            let blocked = block_circuit(mapped.circuit(), &lattice, &config.blocking);
-            let composed = compose_blocked_circuit(&blocked, &config.composition);
-            // Composition can expose new 1q-fusion opportunities at
-            // block seams; a final cleanup never increases pulses.
-            let cleaned = optimize_to_fixpoint(&composed.circuit);
-            let final_mapped = mapped.with_circuit(cleaned);
-            CompiledCircuit::new(technique, final_mapped, Some(composed.stats))
-        }
-        Technique::Superconducting => {
-            let lattice = Lattice::square_for(program.num_qubits());
-            let mapped = map_circuit(program, &lattice, &MappingOptions::optimized());
-            CompiledCircuit::new(technique, mapped, None)
-        }
-    }
+    try_compile(program, technique, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`compile`]: runs the technique's pass list
+/// through a [`PassManager`] and returns a typed [`CompileError`]
+/// instead of panicking.
+///
+/// # Example
+///
+/// ```
+/// use geyser::{try_compile, CompileError, PipelineConfig, Technique};
+/// use geyser_circuit::Circuit;
+/// let empty = Circuit::new(0);
+/// let err = try_compile(&empty, Technique::Baseline, &PipelineConfig::fast());
+/// assert!(matches!(err, Err(CompileError::EmptyProgram)));
+/// ```
+pub fn try_compile(
+    program: &Circuit,
+    technique: Technique,
+    config: &PipelineConfig,
+) -> Result<CompiledCircuit, CompileError> {
+    PassManager::for_technique(technique).run(program, config)
 }
 
 #[cfg(test)]

@@ -38,6 +38,8 @@ fn emit_native(out: &mut Circuit, op: &Operation) {
             out.push(op.clone());
         }
         ref g if g.is_single_qubit() => {
+            // invariant: Gate::matrix() of a 1q gate is unitary by
+            // construction, so the ZYZ decomposition cannot fail.
             let d = zyz_angles(&g.matrix()).expect("1q gate matrices are unitary");
             out.u3(d.theta, d.phi, d.lambda, op.qubits()[0]);
         }
@@ -81,6 +83,8 @@ fn emit_cx_native(out: &mut Circuit, c: usize, t: usize) {
 }
 
 fn emit_u3_of(out: &mut Circuit, gate: Gate, q: usize) {
+    // invariant: only called with fixed 1q gates whose matrices are
+    // unitary by construction.
     let d = zyz_angles(&gate.matrix()).expect("1q gate matrices are unitary");
     out.u3(d.theta, d.phi, d.lambda, q);
 }

@@ -1,0 +1,46 @@
+//! Typed errors for the mapping stage.
+
+use std::fmt;
+
+/// Why a circuit could not be mapped onto a lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The lattice has fewer nodes than the program has qubits.
+    LatticeTooSmall {
+        /// Logical qubits in the program.
+        qubits: usize,
+        /// Nodes available on the lattice.
+        nodes: usize,
+    },
+    /// A physical circuit was paired with a lattice of a different
+    /// node count (see [`crate::MappedCircuit::try_from_parts`]).
+    NodeSpaceMismatch {
+        /// Qubit count of the physical circuit.
+        circuit_qubits: usize,
+        /// Node count of the lattice.
+        lattice_nodes: usize,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::LatticeTooSmall { qubits, nodes } => write!(
+                f,
+                "lattice too small: {qubits} logical qubits need at least \
+                 {qubits} nodes, lattice has {nodes}"
+            ),
+            MapError::NodeSpaceMismatch {
+                circuit_qubits,
+                lattice_nodes,
+            } => write!(
+                f,
+                "circuit must be over lattice nodes: circuit has \
+                 {circuit_qubits} qubits, lattice has {lattice_nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}

@@ -113,6 +113,9 @@ impl Layout {
                     };
                     da.total_cmp(&db)
                 })
+                // invariant: callers validate lattice capacity before
+                // layout construction, so the node iterator is never
+                // empty here.
                 .expect("lattice is non-empty")
         };
 
@@ -142,6 +145,9 @@ impl Layout {
                         }
                         cost
                     })
+                    // invariant: num_logical <= num_nodes is checked on
+                    // entry, so at least one untaken node remains for
+                    // every qubit placed.
                     .expect("lattice has free nodes")
             };
             node_of[q] = best;

@@ -5,7 +5,7 @@ use geyser_topology::Lattice;
 
 use crate::{
     lower_to_two_qubit, optimize_to_fixpoint, route, to_native_basis, zone_aware_depth_pulses,
-    Layout,
+    Layout, MapError,
 };
 
 /// Options controlling [`map_circuit`].
@@ -87,6 +87,33 @@ impl MappedCircuit {
             num_logical,
             swaps_inserted,
         }
+    }
+
+    /// Fallible form of [`MappedCircuit::from_parts`]: returns
+    /// [`MapError::NodeSpaceMismatch`] instead of panicking when the
+    /// circuit is not over the lattice's node space.
+    pub fn try_from_parts(
+        circuit: Circuit,
+        lattice: Lattice,
+        initial_layout: Layout,
+        final_layout: Layout,
+        num_logical: usize,
+        swaps_inserted: usize,
+    ) -> Result<Self, MapError> {
+        if circuit.num_qubits() != lattice.num_nodes() {
+            return Err(MapError::NodeSpaceMismatch {
+                circuit_qubits: circuit.num_qubits(),
+                lattice_nodes: lattice.num_nodes(),
+            });
+        }
+        Ok(Self::from_parts(
+            circuit,
+            lattice,
+            initial_layout,
+            final_layout,
+            num_logical,
+            swaps_inserted,
+        ))
     }
 
     /// The physical circuit over lattice nodes.
@@ -222,6 +249,37 @@ pub fn map_circuit(
     lattice: &Lattice,
     options: &MappingOptions,
 ) -> MappedCircuit {
+    try_map_circuit(logical, lattice, options).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`map_circuit`]: returns
+/// [`MapError::LatticeTooSmall`] instead of panicking when the lattice
+/// cannot host the program.
+///
+/// # Example
+///
+/// ```
+/// use geyser_circuit::Circuit;
+/// use geyser_map::{try_map_circuit, MapError, MappingOptions};
+/// use geyser_topology::Lattice;
+///
+/// let mut c = Circuit::new(6);
+/// c.h(0).cx(0, 5);
+/// let tiny = Lattice::triangular(1, 2); // 2 nodes for 6 qubits
+/// let err = try_map_circuit(&c, &tiny, &MappingOptions::baseline());
+/// assert!(matches!(err, Err(MapError::LatticeTooSmall { .. })));
+/// ```
+pub fn try_map_circuit(
+    logical: &Circuit,
+    lattice: &Lattice,
+    options: &MappingOptions,
+) -> Result<MappedCircuit, MapError> {
+    if lattice.num_nodes() < logical.num_qubits() {
+        return Err(MapError::LatticeTooSmall {
+            qubits: logical.num_qubits(),
+            nodes: lattice.num_nodes(),
+        });
+    }
     let lowered = lower_to_two_qubit(logical);
     let layout = if options.smart_layout {
         Layout::interaction_aware(&lowered, lattice)
@@ -235,14 +293,14 @@ pub fn map_circuit(
     } else {
         native
     };
-    MappedCircuit {
+    Ok(MappedCircuit {
         circuit: final_circuit,
         lattice: lattice.clone(),
         initial_layout: routed.initial_layout,
         final_layout: routed.final_layout,
         num_logical: logical.num_qubits(),
         swaps_inserted: routed.swaps_inserted,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,136 +1,212 @@
 //! Property-based tests for the numerical substrate.
+//!
+//! Runs each property over a fixed set of seeds (proptest is not
+//! available offline); failures reproduce exactly by seed.
 
 use geyser_num::{
     c64, frobenius_distance, hilbert_schmidt_distance, zyz_angles, CMatrix, Complex,
     ZyzDecomposition,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A strategy producing finite complex numbers with moderate magnitude.
-fn complex() -> impl Strategy<Value = Complex> {
-    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(re, im)| c64(re, im))
+const CASES: u64 = 64;
+
+fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x7f4a_7c15))
 }
 
-/// A strategy producing random single-qubit unitaries via U3 angles.
-fn unitary2() -> impl Strategy<Value = CMatrix> {
-    (
-        0.0f64..std::f64::consts::PI,
-        0.0f64..std::f64::consts::TAU,
-        0.0f64..std::f64::consts::TAU,
-        0.0f64..std::f64::consts::TAU,
-    )
-        .prop_map(|(theta, phi, lambda, alpha)| {
-            ZyzDecomposition {
-                alpha,
-                theta,
-                phi,
-                lambda,
-            }
-            .to_matrix()
-        })
+/// A finite complex number with moderate magnitude.
+fn complex(rng: &mut StdRng) -> Complex {
+    c64(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0))
 }
 
-proptest! {
-    #[test]
-    fn complex_mul_is_commutative(a in complex(), b in complex()) {
-        prop_assert!((a * b - b * a).norm() < 1e-9);
+/// A random single-qubit unitary via U3 angles plus global phase.
+fn unitary2(rng: &mut StdRng) -> CMatrix {
+    ZyzDecomposition {
+        alpha: rng.gen_range(0.0..std::f64::consts::TAU),
+        theta: rng.gen_range(0.0..std::f64::consts::PI),
+        phi: rng.gen_range(0.0..std::f64::consts::TAU),
+        lambda: rng.gen_range(0.0..std::f64::consts::TAU),
     }
+    .to_matrix()
+}
 
-    #[test]
-    fn complex_mul_is_associative(a in complex(), b in complex(), c in complex()) {
-        prop_assert!(((a * b) * c - a * (b * c)).norm() < 1e-6);
+#[test]
+fn complex_mul_is_commutative() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b) = (complex(&mut rng), complex(&mut rng));
+        assert!((a * b - b * a).norm() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn complex_distributive(a in complex(), b in complex(), c in complex()) {
-        prop_assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-7);
+#[test]
+fn complex_mul_is_associative() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b, c) = (complex(&mut rng), complex(&mut rng), complex(&mut rng));
+        assert!(((a * b) * c - a * (b * c)).norm() < 1e-6, "seed {seed}");
     }
+}
 
-    #[test]
-    fn conj_is_involution(a in complex()) {
-        prop_assert_eq!(a.conj().conj(), a);
+#[test]
+fn complex_distributive() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b, c) = (complex(&mut rng), complex(&mut rng), complex(&mut rng));
+        assert!((a * (b + c) - (a * b + a * c)).norm() < 1e-7, "seed {seed}");
     }
+}
 
-    #[test]
-    fn norm_is_multiplicative(a in complex(), b in complex()) {
-        prop_assert!(((a * b).norm() - a.norm() * b.norm()).abs() < 1e-7);
+#[test]
+fn conj_is_involution() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let a = complex(&mut rng);
+        assert_eq!(a.conj().conj(), a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn polar_roundtrip(r in 0.01f64..10.0, theta in -3.0f64..3.0) {
+#[test]
+fn norm_is_multiplicative() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b) = (complex(&mut rng), complex(&mut rng));
+        assert!(
+            ((a * b).norm() - a.norm() * b.norm()).abs() < 1e-7,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn polar_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let r = rng.gen_range(0.01f64..10.0);
+        let theta = rng.gen_range(-3.0f64..3.0);
         let z = Complex::from_polar(r, theta);
-        prop_assert!((z.norm() - r).abs() < 1e-9);
-        prop_assert!((z.arg() - theta).abs() < 1e-9);
+        assert!((z.norm() - r).abs() < 1e-9, "seed {seed}");
+        assert!((z.arg() - theta).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn u3_form_is_always_unitary(u in unitary2()) {
-        prop_assert!(u.is_unitary(1e-10));
+#[test]
+fn u3_form_is_always_unitary() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        assert!(unitary2(&mut rng).is_unitary(1e-10), "seed {seed}");
     }
+}
 
-    #[test]
-    fn zyz_roundtrip_is_exact(u in unitary2()) {
+#[test]
+fn zyz_roundtrip_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let u = unitary2(&mut rng);
         let d = zyz_angles(&u).expect("unitary by construction");
-        prop_assert!(d.to_matrix().approx_eq(&u, 1e-8));
+        assert!(d.to_matrix().approx_eq(&u, 1e-8), "seed {seed}");
     }
+}
 
-    #[test]
-    fn product_of_unitaries_is_unitary(a in unitary2(), b in unitary2()) {
-        prop_assert!(a.matmul(&b).is_unitary(1e-9));
+#[test]
+fn product_of_unitaries_is_unitary() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b) = (unitary2(&mut rng), unitary2(&mut rng));
+        assert!(a.matmul(&b).is_unitary(1e-9), "seed {seed}");
     }
+}
 
-    #[test]
-    fn kron_of_unitaries_is_unitary(a in unitary2(), b in unitary2()) {
-        prop_assert!(a.kron(&b).is_unitary(1e-9));
+#[test]
+fn kron_of_unitaries_is_unitary() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b) = (unitary2(&mut rng), unitary2(&mut rng));
+        assert!(a.kron(&b).is_unitary(1e-9), "seed {seed}");
     }
+}
 
-    #[test]
-    fn kron_mixed_product(a in unitary2(), b in unitary2(), c in unitary2(), d in unitary2()) {
+#[test]
+fn kron_mixed_product() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b) = (unitary2(&mut rng), unitary2(&mut rng));
+        let (c, d) = (unitary2(&mut rng), unitary2(&mut rng));
         let lhs = a.kron(&b).matmul(&c.kron(&d));
         let rhs = a.matmul(&c).kron(&b.matmul(&d));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-8));
+        assert!(lhs.approx_eq(&rhs, 1e-8), "seed {seed}");
     }
+}
 
-    #[test]
-    fn hsd_is_symmetric_and_bounded(a in unitary2(), b in unitary2()) {
+#[test]
+fn hsd_is_symmetric_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b) = (unitary2(&mut rng), unitary2(&mut rng));
         let dab = hilbert_schmidt_distance(&a, &b);
         let dba = hilbert_schmidt_distance(&b, &a);
-        prop_assert!((dab - dba).abs() < 1e-10);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab));
+        assert!((dab - dba).abs() < 1e-10, "seed {seed}");
+        assert!((0.0..=1.0 + 1e-12).contains(&dab), "seed {seed}");
     }
+}
 
-    #[test]
-    fn hsd_zero_iff_phase_equal(u in unitary2(), alpha in 0.0f64..std::f64::consts::TAU) {
+#[test]
+fn hsd_zero_iff_phase_equal() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let u = unitary2(&mut rng);
+        let alpha = rng.gen_range(0.0..std::f64::consts::TAU);
         let phased = u.scale(Complex::cis(alpha));
-        prop_assert!(hilbert_schmidt_distance(&u, &phased) < 1e-10);
+        assert!(hilbert_schmidt_distance(&u, &phased) < 1e-10, "seed {seed}");
     }
+}
 
-    #[test]
-    fn hsd_invariant_under_global_unitary(a in unitary2(), b in unitary2(), v in unitary2()) {
+#[test]
+fn hsd_invariant_under_global_unitary() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b, v) = (unitary2(&mut rng), unitary2(&mut rng), unitary2(&mut rng));
         // HSD(VA, VB) = HSD(A, B): Tr((VA)†VB) = Tr(A†V†VB) = Tr(A†B).
         let lhs = hilbert_schmidt_distance(&v.matmul(&a), &v.matmul(&b));
         let rhs = hilbert_schmidt_distance(&a, &b);
-        prop_assert!((lhs - rhs).abs() < 1e-9);
+        assert!((lhs - rhs).abs() < 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn frobenius_triangle_inequality(a in unitary2(), b in unitary2(), c in unitary2()) {
+#[test]
+fn frobenius_triangle_inequality() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, b, c) = (unitary2(&mut rng), unitary2(&mut rng), unitary2(&mut rng));
         let ab = frobenius_distance(&a, &b);
         let bc = frobenius_distance(&b, &c);
         let ac = frobenius_distance(&a, &c);
-        prop_assert!(ac <= ab + bc + 1e-9);
+        assert!(ac <= ab + bc + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn dagger_inverts_unitary(u in unitary2()) {
+#[test]
+fn dagger_inverts_unitary() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let u = unitary2(&mut rng);
         let prod = u.matmul(&u.dagger());
-        prop_assert!(prod.approx_eq(&CMatrix::identity(2), 1e-9));
+        assert!(prod.approx_eq(&CMatrix::identity(2), 1e-9), "seed {seed}");
     }
+}
 
-    #[test]
-    fn trace_is_similarity_invariant(a in unitary2(), v in unitary2()) {
+#[test]
+fn trace_is_similarity_invariant() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let (a, v) = (unitary2(&mut rng), unitary2(&mut rng));
         // Tr(V A V†) = Tr(A)
         let conjugated = v.matmul(&a).matmul(&v.dagger());
-        prop_assert!((conjugated.trace() - a.trace()).norm() < 1e-8);
+        assert!(
+            (conjugated.trace() - a.trace()).norm() < 1e-8,
+            "seed {seed}"
+        );
     }
 }

@@ -1,62 +1,76 @@
 //! Property tests: KAK decomposition and synthesis over random
 //! two-qubit unitaries.
+//!
+//! Runs each property over a fixed set of seeds (proptest is not
+//! available offline); failures reproduce exactly by seed.
 
 use geyser_circuit::Circuit;
 use geyser_num::hilbert_schmidt_distance;
 use geyser_sim::circuit_unitary;
 use geyser_synth::{kak_decompose, split_tensor_product, synthesize_two_qubit};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a Haar-ish random 2-qubit unitary built from a random
-/// circuit of rotations and entanglers.
-fn random_unitary() -> impl Strategy<Value = geyser_num::CMatrix> {
-    proptest::collection::vec(
-        (
-            0.0f64..std::f64::consts::TAU,
-            0.0f64..std::f64::consts::TAU,
-            0..2usize,
-            proptest::bool::ANY,
-        ),
-        1..8,
-    )
-    .prop_map(|layers| {
-        let mut c = Circuit::new(2);
-        for (ry, rz, q, entangle) in layers {
-            c.ry(ry, q);
-            c.rz(rz, 1 - q);
-            if entangle {
-                c.cz(0, 1);
-            }
-        }
-        circuit_unitary(&c)
-    })
+const CASES: u64 = 40;
+
+fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x2545_f491))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+/// A Haar-ish random 2-qubit unitary built from a random circuit of
+/// rotations and entanglers.
+fn random_unitary(rng: &mut StdRng) -> geyser_num::CMatrix {
+    let layers = 1 + rng.gen_range(0..7usize);
+    let mut c = Circuit::new(2);
+    for _ in 0..layers {
+        let ry = rng.gen_range(0.0..std::f64::consts::TAU);
+        let rz = rng.gen_range(0.0..std::f64::consts::TAU);
+        let q = rng.gen_range(0..2usize);
+        c.ry(ry, q);
+        c.rz(rz, 1 - q);
+        if rng.gen_bool(0.5) {
+            c.cz(0, 1);
+        }
+    }
+    circuit_unitary(&c)
+}
 
-    #[test]
-    fn kak_reconstruction_is_exact(u in random_unitary()) {
+#[test]
+fn kak_reconstruction_is_exact() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let u = random_unitary(&mut rng);
         let kak = kak_decompose(&u).expect("random unitaries decompose");
         let back = kak.to_matrix();
-        prop_assert!(back.approx_eq(&u, 1e-6), "reconstruction drifted");
-        prop_assert!(kak.a0.is_unitary(1e-7));
-        prop_assert!(kak.a1.is_unitary(1e-7));
-        prop_assert!(kak.b0.is_unitary(1e-7));
-        prop_assert!(kak.b1.is_unitary(1e-7));
+        assert!(
+            back.approx_eq(&u, 1e-6),
+            "seed {seed}: reconstruction drifted"
+        );
+        assert!(kak.a0.is_unitary(1e-7), "seed {seed}");
+        assert!(kak.a1.is_unitary(1e-7), "seed {seed}");
+        assert!(kak.b0.is_unitary(1e-7), "seed {seed}");
+        assert!(kak.b1.is_unitary(1e-7), "seed {seed}");
     }
+}
 
-    #[test]
-    fn synthesis_is_equivalent_and_bounded(u in random_unitary()) {
+#[test]
+fn synthesis_is_equivalent_and_bounded() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let u = random_unitary(&mut rng);
         let c = synthesize_two_qubit(&u).expect("synthesis succeeds");
-        prop_assert!(c.is_native_basis());
-        prop_assert!(c.gate_counts().cz <= 6);
+        assert!(c.is_native_basis(), "seed {seed}");
+        assert!(c.gate_counts().cz <= 6, "seed {seed}");
         let d = hilbert_schmidt_distance(&circuit_unitary(&c), &u);
-        prop_assert!(d < 1e-6, "HSD = {d}");
+        assert!(d < 1e-6, "seed {seed}: HSD = {d}");
     }
+}
 
-    #[test]
-    fn synthesis_fuses_single_qubit_runs(u in random_unitary()) {
+#[test]
+fn synthesis_fuses_single_qubit_runs() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let u = random_unitary(&mut rng);
         // Between any two CZ gates there can be at most one U3 per
         // qubit (the builder fuses runs).
         let c = synthesize_two_qubit(&u).expect("synthesis succeeds");
@@ -67,24 +81,30 @@ proptest! {
             } else {
                 let q = op.qubits()[0];
                 u3_since_cz[q] += 1;
-                prop_assert!(u3_since_cz[q] <= 1, "unfused U3 run on q{q}");
+                assert!(u3_since_cz[q] <= 1, "seed {seed}: unfused U3 run on q{q}");
             }
         }
     }
+}
 
-    #[test]
-    fn tensor_split_roundtrips(
-        t1 in 0.0f64..std::f64::consts::PI,
-        p1 in 0.0f64..std::f64::consts::TAU,
-        l1 in 0.0f64..std::f64::consts::TAU,
-        t2 in 0.0f64..std::f64::consts::PI,
-        p2 in 0.0f64..std::f64::consts::TAU,
-        l2 in 0.0f64..std::f64::consts::TAU,
-    ) {
-        let a = geyser_circuit::Gate::U3 { theta: t1, phi: p1, lambda: l1 }.matrix();
-        let b = geyser_circuit::Gate::U3 { theta: t2, phi: p2, lambda: l2 }.matrix();
+#[test]
+fn tensor_split_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let a = geyser_circuit::Gate::U3 {
+            theta: rng.gen_range(0.0..std::f64::consts::PI),
+            phi: rng.gen_range(0.0..std::f64::consts::TAU),
+            lambda: rng.gen_range(0.0..std::f64::consts::TAU),
+        }
+        .matrix();
+        let b = geyser_circuit::Gate::U3 {
+            theta: rng.gen_range(0.0..std::f64::consts::PI),
+            phi: rng.gen_range(0.0..std::f64::consts::TAU),
+            lambda: rng.gen_range(0.0..std::f64::consts::TAU),
+        }
+        .matrix();
         let m = a.kron(&b);
         let (fa, fb) = split_tensor_product(&m, 1e-8).expect("products split");
-        prop_assert!(fa.kron(&fb).approx_eq(&m, 1e-8));
+        assert!(fa.kron(&fb).approx_eq(&m, 1e-8), "seed {seed}");
     }
 }

@@ -1,6 +1,10 @@
 //! Workspace-level property tests spanning multiple crates: random
 //! programs flow through the full pipeline and must come out
 //! semantically intact.
+//!
+//! Uses a seeded random-circuit generator in place of proptest (not
+//! available offline): each property runs over a fixed set of seeds,
+//! so failures are exactly reproducible by seed.
 
 use geyser::{compile, ideal_logical_distribution, PipelineConfig, Technique};
 use geyser_blocking::{block_circuit, BlockingConfig};
@@ -9,60 +13,86 @@ use geyser_map::{map_circuit, optimize_to_fixpoint, to_native_basis, MappingOpti
 use geyser_num::hilbert_schmidt_distance;
 use geyser_sim::{circuit_unitary, ideal_distribution, total_variation_distance};
 use geyser_topology::Lattice;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random logical circuit on `n` qubits.
-fn random_circuit(n: usize, max_len: usize) -> impl Strategy<Value = Circuit> {
-    let gate = prop_oneof![
-        (0..n).prop_map(|q| (Gate::H, vec![q])),
-        (0..n, 0.0..std::f64::consts::TAU).prop_map(|(q, t)| (Gate::RZ(t), vec![q])),
-        (0..n, 0.0..std::f64::consts::TAU).prop_map(|(q, t)| (Gate::RY(t), vec![q])),
-        (0..n).prop_map(|q| (Gate::T, vec![q])),
-        (0..n, 0..n).prop_filter_map("distinct", move |(a, b)| {
-            (a != b).then_some((Gate::CX, vec![a, b]))
-        }),
-        (0..n, 0..n).prop_filter_map("distinct", move |(a, b)| {
-            (a != b).then_some((Gate::CZ, vec![a, b]))
-        }),
-    ];
-    proptest::collection::vec(gate, 1..max_len).prop_map(move |gates| {
-        let mut c = Circuit::new(n);
-        for (g, qs) in gates {
-            c.push(Operation::new(g, qs));
+const CASES: u64 = 24;
+
+/// A random logical circuit on `n` qubits with `1..max_len` gates.
+fn random_circuit(n: usize, max_len: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(n as u64));
+    let len = 1 + rng.gen_range(0..max_len - 1);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..6u8) {
+            0 => {
+                c.push(Operation::new(Gate::H, vec![q]));
+            }
+            1 => {
+                let t = rng.gen_range(0.0..std::f64::consts::TAU);
+                c.push(Operation::new(Gate::RZ(t), vec![q]));
+            }
+            2 => {
+                let t = rng.gen_range(0.0..std::f64::consts::TAU);
+                c.push(Operation::new(Gate::RY(t), vec![q]));
+            }
+            3 => {
+                c.push(Operation::new(Gate::T, vec![q]));
+            }
+            kind => {
+                let mut p = rng.gen_range(0..n);
+                if p == q {
+                    p = (p + 1) % n;
+                }
+                let gate = if kind == 4 { Gate::CX } else { Gate::CZ };
+                c.push(Operation::new(gate, vec![q, p]));
+            }
         }
-        c
-    })
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn optimization_passes_preserve_unitary(c in random_circuit(4, 30)) {
+#[test]
+fn optimization_passes_preserve_unitary() {
+    for seed in 0..CASES {
+        let c = random_circuit(4, 30, seed);
         let native = to_native_basis(&c);
         let optimized = optimize_to_fixpoint(&native);
         let d = hilbert_schmidt_distance(&circuit_unitary(&native), &circuit_unitary(&optimized));
-        prop_assert!(d < 1e-8, "passes changed semantics: HSD = {d}");
-        prop_assert!(optimized.total_pulses() <= native.total_pulses());
+        assert!(d < 1e-8, "seed {seed}: passes changed semantics, HSD = {d}");
+        assert!(
+            optimized.total_pulses() <= native.total_pulses(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn blocking_covers_each_op_once(c in random_circuit(6, 40)) {
+#[test]
+fn blocking_covers_each_op_once() {
+    for seed in 0..CASES {
+        let c = random_circuit(6, 40, seed);
         let lat = Lattice::triangular_for(6);
         let mapped = map_circuit(&c, &lat, &MappingOptions::optimized());
         let blocked = block_circuit(mapped.circuit(), &lat, &BlockingConfig::default());
         let mut seen = vec![false; mapped.circuit().len()];
         for block in blocked.blocks() {
             for &i in block.op_indices() {
-                prop_assert!(!seen[i], "op {i} in two blocks");
+                assert!(!seen[i], "seed {seed}: op {i} in two blocks");
                 seen[i] = true;
             }
         }
-        prop_assert!(seen.iter().all(|&s| s), "op missing from blocks");
+        assert!(
+            seen.iter().all(|&s| s),
+            "seed {seed}: op missing from blocks"
+        );
     }
+}
 
-    #[test]
-    fn blocking_reassembly_preserves_unitary(c in random_circuit(5, 25)) {
+#[test]
+fn blocking_reassembly_preserves_unitary() {
+    for seed in 0..CASES {
+        let c = random_circuit(5, 25, seed);
         let lat = Lattice::triangular_for(5);
         let mapped = map_circuit(&c, &lat, &MappingOptions::optimized());
         let blocked = block_circuit(mapped.circuit(), &lat, &BlockingConfig::default());
@@ -70,28 +100,44 @@ proptest! {
             &circuit_unitary(mapped.circuit()),
             &circuit_unitary(&blocked.reassemble()),
         );
-        prop_assert!(d < 1e-8, "reassembly changed semantics: HSD = {d}");
+        assert!(
+            d < 1e-8,
+            "seed {seed}: reassembly changed semantics, HSD = {d}"
+        );
     }
+}
 
-    #[test]
-    fn exact_pipeline_preserves_distributions(c in random_circuit(4, 20)) {
-        for t in [Technique::Baseline, Technique::OptiMap, Technique::Superconducting] {
+#[test]
+fn exact_pipeline_preserves_distributions() {
+    for seed in 0..CASES {
+        let c = random_circuit(4, 20, seed);
+        for t in [
+            Technique::Baseline,
+            Technique::OptiMap,
+            Technique::Superconducting,
+        ] {
             let compiled = compile(&c, t, &PipelineConfig::fast());
             let tvd = total_variation_distance(
                 &ideal_distribution(&c),
                 &ideal_logical_distribution(&compiled),
             );
-            prop_assert!(tvd < 1e-8, "{t}: TVD = {tvd}");
+            assert!(tvd < 1e-8, "seed {seed}, {t}: TVD = {tvd}");
         }
     }
+}
 
-    #[test]
-    fn mapped_two_qubit_gates_are_always_adjacent(c in random_circuit(5, 25)) {
+#[test]
+fn mapped_two_qubit_gates_are_always_adjacent() {
+    for seed in 0..CASES {
+        let c = random_circuit(5, 25, seed);
         let lat = Lattice::triangular_for(5);
         let mapped = map_circuit(&c, &lat, &MappingOptions::optimized());
         for op in mapped.circuit().iter() {
             if op.arity() == 2 {
-                prop_assert!(lat.are_adjacent(op.qubits()[0], op.qubits()[1]));
+                assert!(
+                    lat.are_adjacent(op.qubits()[0], op.qubits()[1]),
+                    "seed {seed}: non-adjacent 2q op"
+                );
             }
         }
     }

@@ -29,7 +29,7 @@ fn circuits_roundtrip() {
 fn parameterized_gates_keep_exact_angles() {
     let mut c = Circuit::new(2);
     c.u3(0.123456789012345, -std::f64::consts::PI, 1e-14, 0)
-        .cp(2.718281828459045, 0, 1);
+        .cp(std::f64::consts::E, 0, 1);
     let back: Circuit = roundtrip(&c);
     assert_eq!(back.ops(), c.ops());
 }

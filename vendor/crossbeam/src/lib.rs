@@ -1,0 +1,81 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the one API this workspace
+//! uses — implemented as a thin adapter over `std::thread::scope`
+//! (stable since Rust 1.63), preserving crossbeam's closure and
+//! `Result` signatures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API compatible with `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of a scope: `Err` carries a worker panic payload.
+    ///
+    /// With the std backend a worker panic propagates out of
+    /// [`scope`] directly rather than surfacing as `Err`, which is
+    /// strictly stricter than crossbeam's contract — callers that
+    /// `.expect()` the result behave identically.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope
+        /// (crossbeam-style) so workers can spawn further workers.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from
+    /// the enclosing stack frame; all workers are joined before the
+    /// call returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("no worker panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

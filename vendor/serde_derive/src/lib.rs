@@ -1,0 +1,377 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! the shapes this workspace uses — structs with named fields and
+//! enums mixing unit, tuple, and struct variants — by hand-parsing the
+//! item's token stream (no `syn`/`quote`; the build environment has no
+//! registry access). Generics and `#[serde(...)]` attributes are not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => serialize_struct(&item.name, fields),
+        Shape::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    body.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => deserialize_struct(&item.name, fields),
+        Shape::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    body.parse().expect("generated Deserialize impl parses")
+}
+
+// ---- item model ------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named fields.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---- parsing ---------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic types ({name})");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("vendored serde derive needs a braced {keyword} body, found {other:?}"),
+    };
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("cannot derive serde impls for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+type Peekable = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips any number of outer attributes and an optional visibility.
+fn skip_attrs_and_vis(tokens: &mut Peekable) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("malformed attribute, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next(); // pub(crate) / pub(super) scope
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes a type (or any token run) up to a top-level comma,
+/// tracking `<...>` nesting so commas inside generics don't split.
+fn skip_until_comma(tokens: &mut Peekable) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_until_comma(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_items(g.stream());
+                tokens.next();
+                VariantFields::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream());
+                tokens.next();
+                VariantFields::Named(named)
+            }
+            _ => VariantFields::Unit,
+        };
+        match tokens.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("expected `,` after variant, found {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Counts comma-separated items at the top level of a token stream
+/// (angle-bracket aware), ignoring a trailing comma.
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut tokens = stream.into_iter().peekable();
+    let mut count = 0;
+    while tokens.peek().is_some() {
+        skip_until_comma(&mut tokens);
+        count += 1;
+    }
+    count
+}
+
+// ---- code generation -------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(::std::vec![{}])\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[String]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.get_field(\"{f}\")?)?"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let _ = value;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})\n\
+             }}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => format!(
+                    "{name}::{vname} => \
+                     ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                ),
+                VariantFields::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vname}\"), \
+                     ::serde::Serialize::to_value(f0))]),"
+                ),
+                VariantFields::Tuple(n) => {
+                    let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Seq(::std::vec![{}]))]),",
+                        binders.join(", "),
+                        items.join(", ")
+                    )
+                }
+                VariantFields::Named(fields) => {
+                    let binders = fields.join(", ");
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}))"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vname} {{ {binders} }} => ::serde::Value::Map(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Value::Map(::std::vec![{}]))]),",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(payload)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match payload {{\n\
+                             ::serde::Value::Seq(items) if items.len() == {n} => \
+                                 ::std::result::Result::Ok({name}::{vname}({})),\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(\
+                                 ::std::format!(\"variant {name}::{vname} expects a \
+                                 {n}-element sequence, found {{}}\", other.kind()))),\n\
+                         }},",
+                        items.join(", ")
+                    ))
+                }
+                VariantFields::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 payload.get_field(\"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                        entries.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error::new(\
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error::new(\
+                         ::std::format!(\"cannot read {name} from {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n"),
+    )
+}
