@@ -23,6 +23,8 @@ struct CachedStats {
     blocks_composed: usize,
     pulses_before: u64,
     pulses_after: u64,
+    blocks_fell_back: usize,
+    blocks_failed: usize,
     max_accepted_hsd: f64,
 }
 
@@ -97,6 +99,8 @@ fn to_cached(compiled: &CompiledCircuit) -> CachedCompile {
             blocks_composed: s.blocks_composed,
             pulses_before: s.pulses_before,
             pulses_after: s.pulses_after,
+            blocks_fell_back: s.blocks_fell_back,
+            blocks_failed: s.blocks_failed,
             max_accepted_hsd: s.max_accepted_hsd,
         }),
     }
@@ -117,12 +121,16 @@ fn from_cached(cached: CachedCompile, technique: Technique) -> Option<CompiledCi
         cached.num_logical,
         cached.swaps,
     );
+    // Entries written before the robustness fields existed fail to
+    // deserialize upstream and degrade to a fresh compile, by design.
     let stats = cached.stats.map(|s| CompositionStats {
         blocks_total: s.blocks_total,
         blocks_eligible: s.blocks_eligible,
         blocks_composed: s.blocks_composed,
         pulses_before: s.pulses_before,
         pulses_after: s.pulses_after,
+        blocks_fell_back: s.blocks_fell_back,
+        blocks_failed: s.blocks_failed,
         max_accepted_hsd: s.max_accepted_hsd,
     });
     Some(CompiledCircuit::from_parts(technique, mapped, stats))

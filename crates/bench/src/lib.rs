@@ -16,7 +16,14 @@
 //! * `--steps N` — Trotter steps for Heisenberg (paper scale: 37)
 //! * `--json PATH` — also dump rows as JSON
 //! * `--report PATH` — dump per-pass compile reports as JSON
-//!   (bypasses the compile cache so every run is instrumented)
+//!   (bypasses the compile cache so every run is instrumented; the
+//!   reports include budget consumption and per-run fallback counts)
+//! * `--budget-ms N` — wall-clock budget per compilation; on expiry
+//!   the pipeline degrades gracefully (blocks fall back, remaining
+//!   passes are skipped and recorded) instead of running unbounded
+//! * `--inject SPEC` — deterministic fault injection for robustness
+//!   runs (bypasses the cache); see [`geyser::FaultInjector::parse`]
+//!   for the spec syntax, e.g. `--inject compose-corrupt:0,sim-nan:3`
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,7 +34,9 @@ pub mod timing;
 use std::collections::BTreeMap;
 
 pub use cache::compile_cached;
-use geyser::{compile, CompileReport, CompiledCircuit, PipelineConfig, Technique};
+use geyser::{
+    compile, CompileReport, CompiledCircuit, FaultInjector, PassManager, PipelineConfig, Technique,
+};
 use geyser_circuit::Circuit;
 use geyser_workloads::{heisenberg, suite, WorkloadSpec};
 use serde::Serialize;
@@ -53,6 +62,10 @@ pub struct Cli {
     pub json: Option<String>,
     /// Optional per-pass compile-report output path.
     pub report: Option<String>,
+    /// Wall-clock budget per compilation in milliseconds.
+    pub budget_ms: Option<u64>,
+    /// Raw fault-injection spec (`--inject`).
+    pub inject: Option<String>,
 }
 
 impl Default for Cli {
@@ -67,6 +80,8 @@ impl Default for Cli {
             steps: None,
             json: None,
             report: None,
+            budget_ms: None,
+            inject: None,
         }
     }
 }
@@ -99,6 +114,10 @@ impl Cli {
                 "--steps" => cli.steps = Some(value("--steps").parse().expect("integer")),
                 "--json" => cli.json = Some(value("--json")),
                 "--report" => cli.report = Some(value("--report")),
+                "--budget-ms" => {
+                    cli.budget_ms = Some(value("--budget-ms").parse().expect("integer"))
+                }
+                "--inject" => cli.inject = Some(value("--inject")),
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
         }
@@ -112,7 +131,23 @@ impl Cli {
         } else {
             PipelineConfig::paper()
         };
-        base.with_seed(self.seed)
+        let base = base.with_seed(self.seed);
+        match self.budget_ms {
+            Some(ms) => base.with_budget_ms(ms),
+            None => base,
+        }
+    }
+
+    /// The fault plan implied by `--inject` (empty without the flag).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on a malformed spec.
+    pub fn fault_injector(&self) -> FaultInjector {
+        match &self.inject {
+            Some(spec) => FaultInjector::parse(spec).unwrap_or_else(|e| panic!("--inject: {e}")),
+            None => FaultInjector::none(),
+        }
     }
 
     /// Suite rows selected by the flags. TVD experiments pass
@@ -164,9 +199,12 @@ pub struct Row {
 /// through the on-disk cache so repeated figure runs pay for each
 /// compilation once.
 ///
-/// With `--report` the cache is bypassed: cache hits reassemble
-/// circuits from parts and carry no per-pass instrumentation, so every
-/// compilation runs fresh through the pass manager instead.
+/// The cache is bypassed when any flag makes the run non-reusable:
+/// `--report` (cache hits carry no per-pass instrumentation),
+/// `--budget-ms` (a degraded result depends on machine speed), and
+/// `--inject` (deliberately faulty output must never be cached). Fault
+/// plans run through a [`PassManager`] so injected pass panics surface
+/// as typed errors.
 pub fn compile_techniques(
     cli: &Cli,
     name: &str,
@@ -175,10 +213,17 @@ pub fn compile_techniques(
     cfg: &PipelineConfig,
 ) -> Vec<(Technique, CompiledCircuit)> {
     let tag = cli.config_tag();
+    let faults = cli.fault_injector();
+    let bypass_cache = cli.report.is_some() || cli.budget_ms.is_some() || !faults.is_empty();
     techniques
         .iter()
         .map(|&t| {
-            let compiled = if cli.report.is_some() {
+            let compiled = if !faults.is_empty() {
+                PassManager::for_technique(t)
+                    .with_faults(faults.clone())
+                    .run(program, cfg)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            } else if bypass_cache {
                 compile(program, t, cfg)
             } else {
                 compile_cached(name, program, t, cfg, &tag)
@@ -329,5 +374,37 @@ mod tests {
         let m = metrics(&[("a", 1.0), ("b", 2.5)]);
         assert_eq!(m["a"], 1.0);
         assert_eq!(m["b"], 2.5);
+    }
+
+    #[test]
+    fn budget_flag_bounds_the_pipeline_config() {
+        let cli = Cli {
+            budget_ms: Some(250),
+            ..Cli::default()
+        };
+        assert!(cli.pipeline_config().budget.is_bounded());
+        assert!(!Cli::default().pipeline_config().budget.is_bounded());
+    }
+
+    #[test]
+    fn inject_flag_parses_to_a_fault_plan() {
+        let cli = Cli {
+            inject: Some("compose-corrupt:0,compose-timeout".into()),
+            ..Cli::default()
+        };
+        let plan = cli.fault_injector();
+        assert!(plan.force_compose_timeout);
+        assert_eq!(plan.compose.corrupt_blocks, vec![0]);
+        assert!(Cli::default().fault_injector().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "--inject")]
+    fn malformed_inject_spec_panics_with_usage() {
+        let cli = Cli {
+            inject: Some("frobnicate:7".into()),
+            ..Cli::default()
+        };
+        let _ = cli.fault_injector();
     }
 }

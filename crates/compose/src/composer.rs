@@ -1,13 +1,26 @@
 //! Algorithm 2: layer-growing composition with dual annealing, and
 //! parallel whole-circuit composition.
+//!
+//! # Failure model
+//!
+//! Block composition is a stochastic search that can time out, fail to
+//! converge, or (under fault injection / numerical trouble) produce an
+//! unhealthy candidate. Every per-block attempt therefore ends in a
+//! [`BlockOutcome`]: `Composed` on success, `FellBack` (with a
+//! [`FallbackReason`]) when the original blocked pulses are kept, or
+//! `Failed` when the worker panicked — the panic is isolated per block
+//! with `catch_unwind`, so one poisoned block never takes down the
+//! whole compilation. A circuit always composes; the outcomes record
+//! how much of it degraded.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use geyser_blocking::BlockedCircuit;
 use geyser_circuit::Circuit;
 use geyser_num::{hilbert_schmidt_distance, CMatrix};
-use geyser_optimize::{adam, dual_annealing, AdamConfig, Bounds, DualAnnealingConfig};
+use geyser_optimize::{adam, dual_annealing, AdamConfig, Bounds, Deadline, DualAnnealingConfig};
 use geyser_sim::circuit_unitary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -27,10 +40,17 @@ pub struct CompositionConfig {
     pub anneal_iters: usize,
     /// Independent annealing restarts per layer count.
     pub restarts: usize,
+    /// Reseeded retries of the whole layer search after
+    /// non-convergence, each with a halved annealing budget (backoff).
+    pub retry_attempts: usize,
     /// Base RNG seed (each block/restart derives its own).
     pub seed: u64,
     /// Worker threads for whole-circuit composition (0 = all cores).
     pub threads: usize,
+    /// Started wall-clock budget shared by all blocks: once expired,
+    /// remaining blocks fall back to their original pulses with
+    /// [`FallbackReason::BudgetExhausted`].
+    pub deadline: Deadline,
 }
 
 impl Default for CompositionConfig {
@@ -40,8 +60,10 @@ impl Default for CompositionConfig {
             max_layers: 3,
             anneal_iters: 220,
             restarts: 3,
+            retry_attempts: 1,
             seed: 0,
             threads: 0,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -54,8 +76,10 @@ impl CompositionConfig {
             max_layers: 2,
             anneal_iters: 60,
             restarts: 1,
+            retry_attempts: 0,
             seed: 0,
             threads: 1,
+            deadline: Deadline::none(),
         }
     }
 
@@ -64,6 +88,67 @@ impl CompositionConfig {
         self.seed = seed;
         self
     }
+
+    /// Returns a copy bounded by the given started deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// Why a block kept its original (uncomposed) pulses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The search met ε but no candidate needed fewer pulses than the
+    /// original (the normal Algorithm 2 rejection) — or the block was
+    /// too small for any ansatz to beat.
+    NotCheaper,
+    /// No candidate met ε within the annealing budget, even after
+    /// `retry_attempts` reseeded retries.
+    NonConvergence,
+    /// The wall-clock budget expired before or during the search.
+    BudgetExhausted,
+    /// A candidate met ε inside the optimizer but failed the final
+    /// re-verification against the block unitary (corrupted or
+    /// numerically unhealthy candidate).
+    EpsilonRejected,
+}
+
+impl FallbackReason {
+    /// Stable kebab-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FallbackReason::NotCheaper => "not-cheaper",
+            FallbackReason::NonConvergence => "non-convergence",
+            FallbackReason::BudgetExhausted => "budget-exhausted",
+            FallbackReason::EpsilonRejected => "epsilon-rejected",
+        }
+    }
+}
+
+/// Per-block outcome of whole-circuit composition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockOutcome {
+    /// The composed candidate replaced the original block.
+    Composed {
+        /// Ansatz layers of the accepted candidate (0 = exact path).
+        layers: usize,
+        /// Verified HSD between the candidate and the block unitary.
+        hsd: f64,
+    },
+    /// The original blocked pulses were kept.
+    FellBack {
+        /// Why composition did not win.
+        reason: FallbackReason,
+    },
+    /// The composition worker panicked; the original pulses were kept
+    /// and the panic payload recorded.
+    Failed {
+        /// Rendered panic payload.
+        detail: String,
+    },
+    /// The block was not eligible for composition (non-triangle).
+    Skipped,
 }
 
 /// Outcome of composing one block.
@@ -78,6 +163,34 @@ pub struct CompositionResult {
     pub composed: bool,
     /// Ansatz layers of the accepted candidate (0 if not composed).
     pub layers: usize,
+    /// How the attempt ended.
+    pub outcome: BlockOutcome,
+}
+
+/// Test/bench-only fault hooks for whole-circuit composition.
+///
+/// Injected faults must degrade gracefully: a corrupted candidate is
+/// caught by the final ε re-verification and falls back; a panicking
+/// worker is isolated per block and records [`BlockOutcome::Failed`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ComposeFaults {
+    /// Block indices whose accepted candidate is corrupted before the
+    /// final ε re-verification.
+    pub corrupt_blocks: Vec<usize>,
+    /// Block indices whose composition worker panics.
+    pub panic_blocks: Vec<usize>,
+}
+
+impl ComposeFaults {
+    /// No injected faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_empty(&self) -> bool {
+        self.corrupt_blocks.is_empty() && self.panic_blocks.is_empty()
+    }
 }
 
 /// Aggregate statistics of whole-circuit composition.
@@ -93,6 +206,12 @@ pub struct CompositionStats {
     pub pulses_before: u64,
     /// Pulses across all blocks after composition.
     pub pulses_after: u64,
+    /// Eligible blocks that kept their original pulses (timeout,
+    /// non-convergence, ε-rejection, or simply not cheaper).
+    pub blocks_fell_back: usize,
+    /// Eligible blocks whose worker panicked (isolated; original
+    /// pulses kept).
+    pub blocks_failed: usize,
     /// Largest HSD among accepted candidates (composition error bound).
     pub max_accepted_hsd: f64,
 }
@@ -104,6 +223,8 @@ pub struct ComposedCircuit {
     pub circuit: Circuit,
     /// Composition statistics.
     pub stats: CompositionStats,
+    /// Per-block outcome, indexed like the blocked circuit's blocks.
+    pub outcomes: Vec<BlockOutcome>,
 }
 
 /// Returns `true` if the unitary is the identity up to global phase.
@@ -153,73 +274,156 @@ pub fn try_compose_block(
             qubits: block.num_qubits(),
         });
     }
-    Ok(compose_block_inner(block, config))
+    Ok(compose_block_inner(block, config, false))
 }
 
-fn compose_block_inner(block: &Circuit, config: &CompositionConfig) -> CompositionResult {
+/// How one reseeded pass over the layer ladder ended.
+enum SearchVerdict {
+    Accepted(CompositionResult),
+    NotCheaper,
+    EpsilonRejected,
+    NonConvergence,
+    BudgetExhausted,
+}
+
+fn compose_block_inner(
+    block: &Circuit,
+    config: &CompositionConfig,
+    corrupt: bool,
+) -> CompositionResult {
     let original_pulses = block.total_pulses();
-    let keep_original = || CompositionResult {
+    let fall_back = |reason: FallbackReason| CompositionResult {
         circuit: block.clone(),
         hsd: 0.0,
         composed: false,
         layers: 0,
+        outcome: BlockOutcome::FellBack { reason },
     };
 
     if block.is_empty() {
-        return keep_original();
+        return fall_back(FallbackReason::NotCheaper);
+    }
+    if config.deadline.expired() {
+        return fall_back(FallbackReason::BudgetExhausted);
     }
     let target = circuit_unitary(block);
+    if !target.is_finite() {
+        // Numerically unhealthy block unitary: nothing downstream of it
+        // can be trusted, so keep the original pulses verbatim.
+        return fall_back(FallbackReason::EpsilonRejected);
+    }
 
     // Degenerate win: the block is the identity — drop it entirely.
     if is_identity_up_to_phase(&target, config.epsilon.min(1e-9)) && original_pulses > 0 {
+        let hsd = hilbert_schmidt_distance(&target, &CMatrix::identity(8));
         return CompositionResult {
             circuit: Circuit::new(3),
-            hsd: hilbert_schmidt_distance(&target, &CMatrix::identity(8)),
+            hsd,
             composed: true,
             layers: 0,
+            outcome: BlockOutcome::Composed { layers: 0, hsd },
         };
     }
 
     // Exact fast path: blocks whose unitary touches at most two of the
     // three qubits synthesize deterministically — single U3 via ZYZ or
     // a ≤6-CZ KAK circuit — with no annealing at all.
-    if let Some(exact) = exact_small_support_candidate(&target) {
+    if let Some(mut exact) = exact_small_support_candidate(&target) {
         if exact.total_pulses() < original_pulses {
+            if corrupt {
+                exact.t(0);
+            }
             let hsd = hilbert_schmidt_distance(&circuit_unitary(&exact), &target);
-            if hsd <= config.epsilon {
+            if hsd.is_finite() && hsd <= config.epsilon {
                 return CompositionResult {
                     circuit: exact,
                     hsd,
                     composed: true,
                     layers: 0,
+                    outcome: BlockOutcome::Composed { layers: 0, hsd },
                 };
             }
+            // Exact synthesis missed ε (corrupted or numerically off):
+            // fall through to the annealed search rather than trusting it.
         }
     }
 
+    // Annealed layer search with reseeded retries: each retry derives a
+    // fresh seed and halves the annealing budget (backoff), so a block
+    // that refuses to converge costs a bounded, shrinking amount.
+    let mut attempt_cfg = *config;
+    for attempt in 0..=config.retry_attempts {
+        if config.deadline.expired() {
+            return fall_back(FallbackReason::BudgetExhausted);
+        }
+        match search_all_layers(&target, &attempt_cfg, original_pulses, corrupt) {
+            SearchVerdict::Accepted(result) => return result,
+            SearchVerdict::NotCheaper => return fall_back(FallbackReason::NotCheaper),
+            SearchVerdict::EpsilonRejected => return fall_back(FallbackReason::EpsilonRejected),
+            SearchVerdict::BudgetExhausted => return fall_back(FallbackReason::BudgetExhausted),
+            SearchVerdict::NonConvergence => {
+                attempt_cfg.seed = attempt_cfg
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(attempt as u64);
+                attempt_cfg.anneal_iters = (attempt_cfg.anneal_iters / 2).max(16);
+            }
+        }
+    }
+    fall_back(FallbackReason::NonConvergence)
+}
+
+/// One pass over the layer ladder (Algorithm 2's outer loop) with the
+/// final candidate re-verification.
+fn search_all_layers(
+    target: &CMatrix,
+    config: &CompositionConfig,
+    original_pulses: u64,
+    corrupt: bool,
+) -> SearchVerdict {
     for layers in 1..=config.max_layers {
         let ansatz = Ansatz::new(layers);
         // Algorithm 2's loop guard: stop once even the cheapest
         // candidate of this depth cannot beat the original.
         if ansatz.min_pulses() >= original_pulses {
-            break;
+            return SearchVerdict::NotCheaper;
         }
-        if let Some((hsd, params)) = search_layer(&ansatz, &target, config, layers) {
-            let candidate = ansatz.to_circuit(&params);
-            if candidate.total_pulses() < original_pulses {
-                return CompositionResult {
-                    circuit: candidate,
-                    hsd,
-                    composed: true,
-                    layers,
-                };
+        match search_layer(&ansatz, target, config, layers) {
+            Some((_, params)) => {
+                let mut candidate = ansatz.to_circuit(&params);
+                if corrupt {
+                    candidate.t(0);
+                }
+                // Re-verify the emitted *circuit* against the block
+                // unitary: the optimizer's objective was the ansatz
+                // matrix, and the candidate may have been corrupted in
+                // between (fault injection) or decode unhealthily.
+                let verified = hilbert_schmidt_distance(&circuit_unitary(&candidate), target);
+                if !verified.is_finite() || verified > config.epsilon + 1e-9 {
+                    return SearchVerdict::EpsilonRejected;
+                }
+                if candidate.total_pulses() < original_pulses {
+                    return SearchVerdict::Accepted(CompositionResult {
+                        circuit: candidate,
+                        hsd: verified,
+                        composed: true,
+                        layers,
+                        outcome: BlockOutcome::Composed {
+                            layers,
+                            hsd: verified,
+                        },
+                    });
+                }
+                // Meeting ε at this depth but not cheaper: deeper
+                // ansätze only cost more pulses, so the original is
+                // final.
+                return SearchVerdict::NotCheaper;
             }
-            // Meeting ε at this depth but not cheaper: deeper ansätze
-            // only cost more pulses, so the original is final.
-            break;
+            None if config.deadline.expired() => return SearchVerdict::BudgetExhausted,
+            None => {}
         }
     }
-    keep_original()
+    SearchVerdict::NonConvergence
 }
 
 /// Searches one ansatz depth for parameters meeting `config.epsilon`.
@@ -245,14 +449,18 @@ fn search_layer(
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(layers as u64 * 131);
 
-    // Phase 1: global annealing.
+    // Phase 1: global annealing (bounded by the shared deadline).
     let da_cfg = DualAnnealingConfig::default()
         .with_seed(base_seed)
         .with_max_iters(config.anneal_iters)
-        .with_target(config.epsilon * 0.5);
+        .with_target(config.epsilon * 0.5)
+        .with_deadline(config.deadline);
     let global = dual_annealing(&objective, &bounds, &da_cfg);
     if global.fx <= config.epsilon {
         return Some((global.fx, global.x));
+    }
+    if config.deadline.expired() {
+        return None;
     }
 
     // Phase 2: gradient refinement of the annealing iterate.
@@ -260,7 +468,8 @@ fn search_layer(
         max_iters: 350,
         ..AdamConfig::default()
     }
-    .with_target(config.epsilon * 0.5);
+    .with_target(config.epsilon * 0.5)
+    .with_deadline(config.deadline);
     let refined = adam(&objective, &bounds, &global.x, &adam_cfg);
     let mut best = if refined.fx < global.fx {
         (refined.fx, refined.x)
@@ -314,6 +523,9 @@ fn search_layer(
     let starts = config.restarts.max(1);
     for combo in combos {
         for _ in 0..starts {
+            if config.deadline.expired() {
+                return None;
+            }
             let mut x0: Vec<f64> = (0..ansatz.num_params())
                 .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
                 .collect();
@@ -462,15 +674,36 @@ pub fn compose_blocked_circuit(
     try_compose_blocked_circuit(blocked, config).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Fallible form of [`compose_blocked_circuit`].
-///
-/// Cannot currently fail — triangle blocks are 3-qubit by construction
-/// and non-triangle blocks pass through untouched — but carries the
-/// typed-error signature so pipeline drivers compose uniformly over
-/// fallible stages.
+/// Fallible form of [`compose_blocked_circuit`] with no fault hooks.
 pub fn try_compose_blocked_circuit(
     blocked: &BlockedCircuit,
     config: &CompositionConfig,
+) -> Result<ComposedCircuit, ComposeError> {
+    try_compose_blocked_circuit_with_faults(blocked, config, &ComposeFaults::none())
+}
+
+/// Renders a `catch_unwind` payload as text.
+fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`try_compose_blocked_circuit`] with test/bench-only fault
+/// injection.
+///
+/// Each block's composition runs under `catch_unwind`: a panicking
+/// block (injected or real) records [`BlockOutcome::Failed`], keeps
+/// its original pulses, and never poisons the worker pool — the scope
+/// always joins cleanly and the remaining blocks compose normally.
+pub fn try_compose_blocked_circuit_with_faults(
+    blocked: &BlockedCircuit,
+    config: &CompositionConfig,
+    faults: &ComposeFaults,
 ) -> Result<ComposedCircuit, ComposeError> {
     let source = blocked.source();
     let blocks: Vec<_> = blocked.blocks().collect();
@@ -496,23 +729,51 @@ pub fn try_compose_blocked_circuit(
                 let result = if block.is_triangle() {
                     let local = block.subcircuit(source);
                     let cfg = config.with_seed(config.seed.wrapping_add(i as u64));
-                    Some(compose_block(&local, &cfg))
+                    let corrupt = faults.corrupt_blocks.contains(&i);
+                    let inject_panic = faults.panic_blocks.contains(&i);
+                    // Panic isolation: one block's panic (injected or a
+                    // genuine solver bug) must not take down the pool.
+                    let attempt = catch_unwind(AssertUnwindSafe(|| {
+                        if inject_panic {
+                            panic!("injected composition fault in block {i}");
+                        }
+                        compose_block_inner(&local, &cfg, corrupt)
+                    }));
+                    Some(match attempt {
+                        Ok(res) => res,
+                        Err(payload) => CompositionResult {
+                            circuit: local.clone(),
+                            hsd: 0.0,
+                            composed: false,
+                            layers: 0,
+                            outcome: BlockOutcome::Failed {
+                                detail: panic_payload_message(payload),
+                            },
+                        },
+                    })
                 } else {
                     None
                 };
-                // invariant: lock holders only assign a Vec slot and
-                // cannot panic, so the mutex is never poisoned.
-                results.lock().expect("no panics hold the lock")[i] = result;
+                // Lock holders only assign a Vec slot; recover the data
+                // even if another worker somehow poisoned the mutex.
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = result;
             });
         }
     })
-    // invariant: workers run panic-free numeric code; a panic here is a
-    // compiler bug, not a user-input failure.
-    .expect("composition worker panicked");
+    // Worker bodies are wrapped in catch_unwind above, so a scope-level
+    // panic means the pool infrastructure itself failed — surface it as
+    // a typed error rather than unwinding through the pipeline.
+    .map_err(|payload| ComposeError::WorkerPanicked {
+        detail: panic_payload_message(payload),
+    })?;
 
-    // invariant: the scope joined every worker above, so the mutex has
-    // no other holders.
-    let results = results.into_inner().expect("scope joined all workers");
+    // The scope joined every worker above; recover from poisoning the
+    // same way as the assignment sites.
+    let results = results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
 
     // Reassemble with substitutions.
     let mut out = Circuit::new(source.num_qubits());
@@ -520,16 +781,23 @@ pub fn try_compose_blocked_circuit(
         blocks_total: num_blocks,
         ..CompositionStats::default()
     };
+    let mut outcomes = Vec::with_capacity(num_blocks);
     for (block, result) in blocks.iter().zip(&results) {
         let before: u64 = block.pulses(source);
         stats.pulses_before += before;
         match result {
             Some(res) => {
                 stats.blocks_eligible += 1;
-                if res.composed {
-                    stats.blocks_composed += 1;
-                    stats.max_accepted_hsd = stats.max_accepted_hsd.max(res.hsd);
+                match &res.outcome {
+                    BlockOutcome::Composed { .. } => {
+                        stats.blocks_composed += 1;
+                        stats.max_accepted_hsd = stats.max_accepted_hsd.max(res.hsd);
+                    }
+                    BlockOutcome::FellBack { .. } => stats.blocks_fell_back += 1,
+                    BlockOutcome::Failed { .. } => stats.blocks_failed += 1,
+                    BlockOutcome::Skipped => {}
                 }
+                outcomes.push(res.outcome.clone());
                 stats.pulses_after += res.circuit.total_pulses();
                 let remapped = res
                     .circuit
@@ -537,6 +805,7 @@ pub fn try_compose_blocked_circuit(
                 out.extend_from(&remapped);
             }
             None => {
+                outcomes.push(BlockOutcome::Skipped);
                 stats.pulses_after += before;
                 for &i in block.op_indices() {
                     out.push(source.ops()[i].clone());
@@ -547,6 +816,7 @@ pub fn try_compose_blocked_circuit(
     Ok(ComposedCircuit {
         circuit: out,
         stats,
+        outcomes,
     })
 }
 
@@ -625,6 +895,7 @@ mod tests {
             restarts: 4,
             seed: 11,
             threads: 1,
+            ..CompositionConfig::default()
         };
         let res = compose_block(&block, &cfg);
         assert!(res.composed, "composition failed, hsd = {}", res.hsd);
@@ -759,5 +1030,113 @@ mod tests {
         let res = compose_block(&block, &CompositionConfig::fast());
         assert!(!res.composed);
         assert_eq!(res.circuit.ops(), block.ops());
+    }
+
+    /// A 4-qubit circuit whose blocking yields at least one eligible
+    /// triangle block, shared by the fault-injection tests.
+    fn blocked_fixture() -> (Circuit, BlockedCircuit) {
+        let lat = Lattice::triangular(2, 2);
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).h(1).cz(1, 2).h(2).cz(0, 2).h(0).cz(1, 2);
+        let blocked = block_circuit(&c, &lat, &BlockingConfig::default());
+        (c, blocked)
+    }
+
+    #[test]
+    fn outcomes_cover_every_block() {
+        let (_, blocked) = blocked_fixture();
+        let composed = compose_blocked_circuit(&blocked, &CompositionConfig::fast());
+        assert_eq!(composed.outcomes.len(), composed.stats.blocks_total);
+        assert_eq!(
+            composed.stats.blocks_eligible,
+            composed.stats.blocks_composed
+                + composed.stats.blocks_fell_back
+                + composed.stats.blocks_failed
+        );
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_keeps_original_pulses() {
+        let (c, blocked) = blocked_fixture();
+        let eligible: Vec<usize> = blocked
+            .blocks()
+            .enumerate()
+            .filter(|(_, b)| b.is_triangle())
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!eligible.is_empty(), "fixture must have a triangle block");
+        let faults = ComposeFaults {
+            panic_blocks: vec![eligible[0]],
+            ..ComposeFaults::none()
+        };
+        let composed =
+            try_compose_blocked_circuit_with_faults(&blocked, &CompositionConfig::fast(), &faults)
+                .expect("panic must be isolated per block, not surfaced");
+        assert_eq!(composed.stats.blocks_failed, 1);
+        match &composed.outcomes[eligible[0]] {
+            BlockOutcome::Failed { detail } => {
+                assert!(detail.contains("injected composition fault"), "{detail}");
+            }
+            other => panic!("expected Failed outcome, got {other:?}"),
+        }
+        // The degraded circuit still matches the source distribution.
+        let p1 = geyser_sim::ideal_distribution(&c);
+        let p2 = geyser_sim::ideal_distribution(&composed.circuit);
+        assert!(geyser_sim::total_variation_distance(&p1, &p2) < 1e-2);
+    }
+
+    #[test]
+    fn corrupted_candidate_is_caught_by_reverification() {
+        let (c, blocked) = blocked_fixture();
+        let all: Vec<usize> = (0..blocked.num_blocks()).collect();
+        let faults = ComposeFaults {
+            corrupt_blocks: all,
+            ..ComposeFaults::none()
+        };
+        let composed =
+            try_compose_blocked_circuit_with_faults(&blocked, &CompositionConfig::fast(), &faults)
+                .expect("corruption must degrade, not error");
+        // No corrupted candidate may slip through the ε re-check: every
+        // eligible block either legitimately fell back or had its
+        // corrupted winner rejected — so the output equals the source.
+        assert_eq!(composed.stats.blocks_composed, 0);
+        assert!(composed
+            .outcomes
+            .iter()
+            .all(|o| matches!(o, BlockOutcome::FellBack { .. } | BlockOutcome::Skipped)));
+        let p1 = geyser_sim::ideal_distribution(&c);
+        let p2 = geyser_sim::ideal_distribution(&composed.circuit);
+        assert!(geyser_sim::total_variation_distance(&p1, &p2) < 1e-9);
+    }
+
+    #[test]
+    fn expired_deadline_falls_back_budget_exhausted() {
+        let (c, blocked) = blocked_fixture();
+        let cfg = CompositionConfig::fast().with_deadline(Deadline::already_expired());
+        let composed = compose_blocked_circuit(&blocked, &cfg);
+        assert_eq!(composed.stats.blocks_composed, 0);
+        assert!(composed.stats.blocks_fell_back > 0);
+        assert!(composed.outcomes.iter().any(|o| matches!(
+            o,
+            BlockOutcome::FellBack {
+                reason: FallbackReason::BudgetExhausted
+            }
+        )));
+        // Budget exhaustion still yields a runnable, equivalent circuit.
+        assert_eq!(composed.stats.pulses_after, composed.stats.pulses_before);
+        let p1 = geyser_sim::ideal_distribution(&c);
+        let p2 = geyser_sim::ideal_distribution(&composed.circuit);
+        assert!(geyser_sim::total_variation_distance(&p1, &p2) < 1e-9);
+    }
+
+    #[test]
+    fn retry_backoff_is_deterministic() {
+        let (_, blocked) = blocked_fixture();
+        let mut cfg = CompositionConfig::fast();
+        cfg.retry_attempts = 2;
+        let a = compose_blocked_circuit(&blocked, &cfg);
+        let b = compose_blocked_circuit(&blocked, &cfg);
+        assert_eq!(a.circuit.ops(), b.circuit.ops());
+        assert_eq!(a.outcomes, b.outcomes);
     }
 }

@@ -12,6 +12,12 @@ pub enum ComposeError {
         /// Qubit count of the offending block.
         qubits: usize,
     },
+    /// The parallel composition pool itself panicked (per-block panics
+    /// are isolated and recorded as `BlockOutcome::Failed` instead).
+    WorkerPanicked {
+        /// Rendered panic payload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ComposeError {
@@ -21,6 +27,9 @@ impl fmt::Display for ComposeError {
                 f,
                 "composition targets 3-qubit blocks, got a {qubits}-qubit block"
             ),
+            ComposeError::WorkerPanicked { detail } => {
+                write!(f, "composition worker pool panicked: {detail}")
+            }
         }
     }
 }

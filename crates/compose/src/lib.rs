@@ -41,7 +41,9 @@ mod quad;
 pub use ansatz::{Ansatz, Entangler};
 pub use composer::{
     compose_block, compose_blocked_circuit, try_compose_block, try_compose_blocked_circuit,
-    ComposedCircuit, CompositionConfig, CompositionResult, CompositionStats,
+    try_compose_blocked_circuit_with_faults, BlockOutcome, ComposeFaults, ComposedCircuit,
+    CompositionConfig, CompositionResult, CompositionStats, FallbackReason,
 };
 pub use error::ComposeError;
+pub use geyser_optimize::Deadline;
 pub use quad::{try_compose_quad, QuadAnsatz, QuadAttempt, PULSES_CCCZ, QUAD_ENTANGLER_CHOICES};

@@ -1,0 +1,73 @@
+//! Wall-clock budgets for the compile pipeline.
+
+use geyser_optimize::Deadline;
+
+/// A wall-clock budget for one end-to-end compilation.
+///
+/// Unlimited by default. When bounded, [`crate::PassManager`] starts a
+/// [`Deadline`] at the top of the run and threads it through every
+/// pass: the composition stage checks it per block (and inside every
+/// annealing attempt), and the manager itself checks it between
+/// passes. When the budget expires the pipeline *degrades* rather than
+/// dying — remaining blocks fall back to their original pulses,
+/// remaining optional passes are skipped — and only errors with
+/// [`crate::CompileError::BudgetExceeded`] when no mapped circuit
+/// exists yet to degrade to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock milliseconds for the whole pipeline; `None` is
+    /// unlimited.
+    pub wall_ms: Option<u64>,
+}
+
+impl Budget {
+    /// No budget: the pipeline runs to completion.
+    pub fn unlimited() -> Self {
+        Budget { wall_ms: None }
+    }
+
+    /// A wall-clock budget in milliseconds.
+    pub fn wall_ms(ms: u64) -> Self {
+        Budget { wall_ms: Some(ms) }
+    }
+
+    /// Whether any limit is configured.
+    pub fn is_bounded(&self) -> bool {
+        self.wall_ms.is_some()
+    }
+
+    /// Starts the clock: returns the deadline every stage checks.
+    pub fn start(&self) -> Deadline {
+        match self.wall_ms {
+            Some(ms) => Deadline::after_ms(ms),
+            None => Deadline::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let d = Budget::unlimited().start();
+        assert!(!d.expired());
+        assert!(!d.is_bounded());
+        assert_eq!(d.remaining_ms(), None);
+    }
+
+    #[test]
+    fn bounded_budget_starts_a_live_deadline() {
+        let d = Budget::wall_ms(60_000).start();
+        assert!(d.is_bounded());
+        assert!(!d.expired());
+        assert!(d.remaining_ms().unwrap() > 0);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let d = Budget::wall_ms(0).start();
+        assert!(d.expired());
+    }
+}

@@ -3,6 +3,8 @@
 use geyser_blocking::BlockingConfig;
 use geyser_compose::CompositionConfig;
 
+use crate::Budget;
+
 /// Configuration shared by every compilation technique.
 ///
 /// The defaults reproduce the paper's settings; [`PipelineConfig::fast`]
@@ -15,6 +17,9 @@ pub struct PipelineConfig {
     pub composition: CompositionConfig,
     /// Master seed for all stochastic stages.
     pub seed: u64,
+    /// Wall-clock budget for the whole pipeline (unlimited by
+    /// default); see [`Budget`] for the degradation policy.
+    pub budget: Budget,
 }
 
 impl PipelineConfig {
@@ -24,6 +29,7 @@ impl PipelineConfig {
             blocking: BlockingConfig::default(),
             composition: CompositionConfig::default(),
             seed: 0,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -34,6 +40,7 @@ impl PipelineConfig {
             blocking: BlockingConfig::default(),
             composition: CompositionConfig::fast(),
             seed: 0,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -42,6 +49,12 @@ impl PipelineConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self.composition.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a wall-clock budget in milliseconds.
+    pub fn with_budget_ms(mut self, ms: u64) -> Self {
+        self.budget = Budget::wall_ms(ms);
         self
     }
 }

@@ -5,6 +5,7 @@ use std::fmt;
 use geyser_blocking::BlockError;
 use geyser_compose::ComposeError;
 use geyser_map::MapError;
+use geyser_sim::SimError;
 
 /// Why a compilation (or evaluation) could not complete.
 ///
@@ -46,6 +47,22 @@ pub enum CompileError {
     },
     /// An evaluation was requested with zero Monte-Carlo trajectories.
     NoTrajectories,
+    /// The wall-clock budget expired before the pipeline produced a
+    /// mapped circuit it could degrade to.
+    BudgetExceeded {
+        /// The pass the budget ran out in front of.
+        pass: String,
+    },
+    /// A pass panicked; the panic was contained by the manager and the
+    /// payload captured here.
+    PassPanicked {
+        /// The pass that panicked.
+        pass: String,
+        /// Rendered panic payload.
+        detail: String,
+    },
+    /// Simulation failed a numerical health check during evaluation.
+    Sim(SimError),
 }
 
 impl fmt::Display for CompileError {
@@ -73,6 +90,15 @@ impl fmt::Display for CompileError {
             CompileError::NoTrajectories => {
                 f.write_str("evaluation requires at least one trajectory")
             }
+            CompileError::BudgetExceeded { pass } => write!(
+                f,
+                "wall-clock budget exhausted before pass '{pass}' with no \
+                 mapped circuit to degrade to"
+            ),
+            CompileError::PassPanicked { pass, detail } => {
+                write!(f, "pass '{pass}' panicked: {detail}")
+            }
+            CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
     }
 }
@@ -83,6 +109,7 @@ impl std::error::Error for CompileError {
             CompileError::Map(e) => Some(e),
             CompileError::Block(e) => Some(e),
             CompileError::Compose(e) => Some(e),
+            CompileError::Sim(e) => Some(e),
             _ => None,
         }
     }
@@ -103,6 +130,12 @@ impl From<BlockError> for CompileError {
 impl From<ComposeError> for CompileError {
     fn from(e: ComposeError) -> Self {
         CompileError::Compose(e)
+    }
+}
+
+impl From<SimError> for CompileError {
+    fn from(e: SimError) -> Self {
+        CompileError::Sim(e)
     }
 }
 

@@ -2,7 +2,8 @@
 
 use geyser_circuit::Circuit;
 use geyser_sim::{
-    ideal_distribution, sample_noisy_distribution, total_variation_distance, NoiseModel,
+    ideal_distribution, total_variation_distance, try_ideal_distribution,
+    try_sample_noisy_distribution_with_faults, NoiseModel, SimFaults,
 };
 
 use crate::{CompileError, CompiledCircuit};
@@ -115,6 +116,29 @@ pub fn try_evaluate_tvd(
     trajectories: usize,
     seed: u64,
 ) -> Result<TvdReport, CompileError> {
+    try_evaluate_tvd_with_faults(
+        compiled,
+        program,
+        noise,
+        trajectories,
+        seed,
+        &SimFaults::none(),
+    )
+}
+
+/// [`try_evaluate_tvd`] with test/bench-only sampler fault injection
+/// (see [`crate::FaultInjector`]).
+///
+/// Numerical-health failures that survive the sampler's bounded
+/// rejection-and-resample surface as [`CompileError::Sim`].
+pub fn try_evaluate_tvd_with_faults(
+    compiled: &CompiledCircuit,
+    program: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    faults: &SimFaults,
+) -> Result<TvdReport, CompileError> {
     if program.num_qubits() != compiled.mapped().num_logical() {
         return Err(CompileError::RegisterMismatch {
             program_qubits: program.num_qubits(),
@@ -124,13 +148,18 @@ pub fn try_evaluate_tvd(
     if trajectories == 0 {
         return Err(CompileError::NoTrajectories);
     }
-    let ideal = ideal_distribution(program);
+    let ideal = try_ideal_distribution(program)?;
 
     let compiled_ideal = ideal_logical_distribution(compiled);
     let compilation_tvd = total_variation_distance(&ideal, &compiled_ideal);
 
-    let noisy_nodes =
-        sample_noisy_distribution(compiled.mapped().circuit(), noise, trajectories, seed);
+    let noisy_nodes = try_sample_noisy_distribution_with_faults(
+        compiled.mapped().circuit(),
+        noise,
+        trajectories,
+        seed,
+        faults,
+    )?;
     let noisy = compiled.mapped().logical_distribution(&noisy_nodes);
     let tvd_to_ideal = total_variation_distance(&ideal, &noisy);
 

@@ -1,0 +1,173 @@
+//! Deterministic, config-driven fault injection for robustness tests.
+//!
+//! A [`FaultInjector`] is a *plan*: which pass panics, which
+//! composition blocks are corrupted or killed, which Monte-Carlo
+//! trajectories go NaN, whether the composition deadline is forced to
+//! expire. The plan is plain data — building the same plan twice (or
+//! deriving it from the same seed via [`FaultInjector::sampled`])
+//! injects byte-identical faults, so every failure a fault test
+//! provokes is reproducible.
+//!
+//! Injection is wired behind explicit entry points
+//! ([`crate::PassManager::with_faults`]); the default pipeline carries
+//! an empty plan and pays no cost for the machinery.
+
+use geyser_compose::ComposeFaults;
+use geyser_sim::SimFaults;
+
+/// A deterministic fault plan for one compilation/evaluation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultInjector {
+    /// Passes (by [`crate::Pass::name`]) that panic on entry; the
+    /// manager must convert each to
+    /// [`crate::CompileError::PassPanicked`].
+    pub panic_passes: Vec<String>,
+    /// Forces the composition deadline to be already expired: every
+    /// eligible block must fall back with `budget-exhausted`.
+    pub force_compose_timeout: bool,
+    /// Composition-stage faults (corrupted candidates, per-block worker
+    /// panics).
+    pub compose: ComposeFaults,
+    /// Sampler faults (transient/persistent NaN trajectories).
+    pub sim: SimFaults,
+}
+
+impl FaultInjector {
+    /// An empty plan: no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.panic_passes.is_empty()
+            && !self.force_compose_timeout
+            && self.compose.is_empty()
+            && self.sim.is_empty()
+    }
+
+    /// Derives a one-of-each fault plan from a seed: one corrupted
+    /// composition block, one panicking block, and one transient NaN
+    /// trajectory, all chosen by splitmix64 draws. Used by randomized
+    /// robustness tests that want coverage across runs while each run
+    /// stays reproducible.
+    pub fn sampled(seed: u64, blocks: usize, trajectories: usize) -> Self {
+        let mut state = seed;
+        let mut draw = move |modulus: usize| -> usize {
+            // splitmix64 step — a fixed, dependency-free generator.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z % modulus.max(1) as u64) as usize
+        };
+        FaultInjector {
+            compose: ComposeFaults {
+                corrupt_blocks: vec![draw(blocks)],
+                panic_blocks: vec![draw(blocks)],
+            },
+            sim: SimFaults {
+                nan_trajectories: vec![draw(trajectories)],
+                ..SimFaults::none()
+            },
+            ..FaultInjector::none()
+        }
+    }
+
+    /// Parses a comma-separated fault spec, the `--inject` syntax of
+    /// the bench binaries:
+    ///
+    /// | token | fault |
+    /// |---|---|
+    /// | `pass-panic:<name>` | pass `<name>` panics on entry |
+    /// | `compose-timeout` | composition deadline forced expired |
+    /// | `compose-corrupt:<i>` | block `i`'s winning candidate corrupted |
+    /// | `compose-panic:<i>` | block `i`'s worker panics |
+    /// | `sim-nan:<t>` | trajectory `t` transiently NaN (recovers) |
+    /// | `sim-nan-persistent:<t>` | trajectory `t` NaN on every retry |
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use geyser::FaultInjector;
+    /// let f = FaultInjector::parse("compose-corrupt:0,sim-nan:3").unwrap();
+    /// assert_eq!(f.compose.corrupt_blocks, vec![0]);
+    /// assert_eq!(f.sim.nan_trajectories, vec![3]);
+    /// assert!(FaultInjector::parse("bogus").is_err());
+    /// ```
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultInjector::none();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, arg) = match token.split_once(':') {
+                Some((k, a)) => (k, Some(a)),
+                None => (token, None),
+            };
+            let index = |what: &str| -> Result<usize, String> {
+                arg.ok_or_else(|| format!("fault '{kind}' needs :<{what}>"))?
+                    .parse()
+                    .map_err(|_| format!("fault '{token}': bad {what} index"))
+            };
+            match kind {
+                "pass-panic" => plan.panic_passes.push(
+                    arg.ok_or_else(|| "fault 'pass-panic' needs :<pass-name>".to_string())?
+                        .to_string(),
+                ),
+                "compose-timeout" => plan.force_compose_timeout = true,
+                "compose-corrupt" => plan.compose.corrupt_blocks.push(index("block")?),
+                "compose-panic" => plan.compose.panic_blocks.push(index("block")?),
+                "sim-nan" => plan.sim.nan_trajectories.push(index("trajectory")?),
+                "sim-nan-persistent" => plan
+                    .sim
+                    .persistent_nan_trajectories
+                    .push(index("trajectory")?),
+                other => return Err(format!("unknown fault kind '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        assert!(FaultInjector::none().is_empty());
+        assert!(!FaultInjector::parse("compose-timeout").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_covers_every_kind() {
+        let plan = FaultInjector::parse(
+            "pass-panic:map, compose-timeout, compose-corrupt:1, compose-panic:2, \
+             sim-nan:3, sim-nan-persistent:4",
+        )
+        .unwrap();
+        assert_eq!(plan.panic_passes, vec!["map".to_string()]);
+        assert!(plan.force_compose_timeout);
+        assert_eq!(plan.compose.corrupt_blocks, vec![1]);
+        assert_eq!(plan.compose.panic_blocks, vec![2]);
+        assert_eq!(plan.sim.nan_trajectories, vec![3]);
+        assert_eq!(plan.sim.persistent_nan_trajectories, vec![4]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        assert!(FaultInjector::parse("warp-core-breach").is_err());
+        assert!(FaultInjector::parse("compose-corrupt").is_err());
+        assert!(FaultInjector::parse("sim-nan:many").is_err());
+        assert!(FaultInjector::parse("pass-panic").is_err());
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let a = FaultInjector::sampled(9, 7, 50);
+        let b = FaultInjector::sampled(9, 7, 50);
+        assert_eq!(a, b);
+        assert!(a.compose.corrupt_blocks[0] < 7);
+        assert!(a.compose.panic_blocks[0] < 7);
+        assert!(a.sim.nan_trajectories[0] < 50);
+    }
+}

@@ -37,22 +37,26 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod budget;
 mod compiled;
 mod config;
 mod error;
 mod evaluate;
+mod fault;
 mod pass;
 pub mod passes;
 mod report;
 mod technique;
 
+pub use budget::Budget;
 pub use compiled::CompiledCircuit;
 pub use config::PipelineConfig;
 pub use error::CompileError;
 pub use evaluate::{
     estimated_success_probability, evaluate_tvd, ideal_logical_distribution, try_evaluate_tvd,
-    TvdReport,
+    try_evaluate_tvd_with_faults, TvdReport,
 };
+pub use fault::FaultInjector;
 pub use pass::{CompileContext, Pass, PassManager};
 pub use report::{CompileReport, PassReport};
 pub use technique::{compile, try_compile, Technique};

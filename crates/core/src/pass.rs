@@ -7,17 +7,19 @@
 //! and assembles the [`CompileReport`] that ships with the final
 //! [`CompiledCircuit`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use geyser_blocking::BlockedCircuit;
 use geyser_circuit::Circuit;
 use geyser_compose::CompositionStats;
 use geyser_map::MappedCircuit;
+use geyser_optimize::Deadline;
 use geyser_sim::{ideal_distribution, total_variation_distance};
 use geyser_topology::Lattice;
 
 use crate::report::{CompileReport, PassReport};
-use crate::{CompileError, CompiledCircuit, PipelineConfig, Technique};
+use crate::{CompileError, CompiledCircuit, FaultInjector, PipelineConfig, Technique};
 
 /// Largest physical register (lattice nodes) the debug-mode
 /// distribution spot check will statevector-simulate.
@@ -33,6 +35,8 @@ pub struct CompileContext<'a> {
     program: &'a Circuit,
     config: &'a PipelineConfig,
     technique: Technique,
+    deadline: Deadline,
+    faults: FaultInjector,
     lattice: Option<Lattice>,
     mapped: Option<MappedCircuit>,
     blocked: Option<BlockedCircuit>,
@@ -47,12 +51,35 @@ impl<'a> CompileContext<'a> {
             program,
             config,
             technique,
+            deadline: Deadline::none(),
+            faults: FaultInjector::none(),
             lattice: None,
             mapped: None,
             blocked: None,
             composed: None,
             composition: None,
         }
+    }
+
+    /// The started wall-clock deadline every stage must check
+    /// (unbounded unless [`crate::Budget`] set one).
+    pub fn deadline(&self) -> Deadline {
+        self.deadline
+    }
+
+    /// Installs the run's deadline (done once by the manager).
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
+    }
+
+    /// The active fault-injection plan (empty in production runs).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Installs the fault plan (done once by the manager).
+    pub fn set_faults(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// The logical input program.
@@ -135,11 +162,17 @@ impl<'a> CompileContext<'a> {
         }
     }
 
-    fn into_compiled(self, report: CompileReport) -> Result<CompiledCircuit, CompileError> {
-        let mapped = self.mapped.ok_or(CompileError::MissingStage {
+    fn into_compiled(mut self, report: CompileReport) -> Result<CompiledCircuit, CompileError> {
+        let mut mapped = self.mapped.take().ok_or(CompileError::MissingStage {
             pass: "finalize",
             requires: "map",
         })?;
+        // Degraded finalize: if the budget expired between composition
+        // and seam cleanup, the composed circuit is still pending —
+        // install it so its pulse savings are not thrown away.
+        if let Some(composed) = self.composed.take() {
+            mapped = mapped.with_circuit(composed);
+        }
         Ok(CompiledCircuit::with_report(
             self.technique,
             mapped,
@@ -185,6 +218,7 @@ pub struct PassManager {
     technique: Technique,
     passes: Vec<Box<dyn Pass>>,
     debug_invariants: bool,
+    faults: FaultInjector,
 }
 
 impl PassManager {
@@ -195,6 +229,7 @@ impl PassManager {
             technique,
             passes,
             debug_invariants: false,
+            faults: FaultInjector::none(),
         }
     }
 
@@ -202,6 +237,15 @@ impl PassManager {
     /// equivalent to what [`crate::compile`] runs.
     pub fn for_technique(technique: Technique) -> Self {
         Self::new(technique, technique.pass_list())
+    }
+
+    /// Installs a fault-injection plan for robustness testing: the
+    /// named passes panic on entry (contained as
+    /// [`CompileError::PassPanicked`]), and compose/timeout faults are
+    /// threaded into the composition stage.
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Enables (or disables) inter-pass invariant checking: after each
@@ -228,6 +272,17 @@ impl PassManager {
     ///
     /// On success the returned [`CompiledCircuit`] carries a
     /// [`CompileReport`] with one entry per pass.
+    ///
+    /// # Robustness
+    ///
+    /// Every pass runs under `catch_unwind`: a panicking pass becomes
+    /// [`CompileError::PassPanicked`] instead of unwinding through the
+    /// caller. When the configured [`crate::Budget`] expires
+    /// mid-pipeline, remaining passes are *skipped* (recorded in
+    /// [`CompileReport::skipped_passes`]) and the best circuit built so
+    /// far is finalized; the run only fails with
+    /// [`CompileError::BudgetExceeded`] if the budget dies before a
+    /// mapped circuit exists to degrade to.
     pub fn run(
         &self,
         program: &Circuit,
@@ -237,12 +292,44 @@ impl PassManager {
             return Err(CompileError::EmptyProgram);
         }
         let mut ctx = CompileContext::new(program, self.technique, config);
+        ctx.set_deadline(config.budget.start());
+        ctx.set_faults(self.faults.clone());
         let mut report = CompileReport::new(self.technique.label());
         for pass in &self.passes {
+            if ctx.deadline().expired() {
+                if ctx.mapped().is_some() {
+                    // Graceful degradation: keep what compiled so far.
+                    report.budget_exhausted = true;
+                    report.skipped_passes.push(pass.name().to_string());
+                    continue;
+                }
+                return Err(CompileError::BudgetExceeded {
+                    pass: pass.name().to_string(),
+                });
+            }
             let (pulses_before, gates_before, depth_before) = snapshot(&ctx);
             let blocks_before = ctx.composition_stats().map(|s| s.blocks_composed as u64);
             let start = Instant::now();
-            pass.run(&mut ctx)?;
+            let inject_panic = self.faults.panic_passes.iter().any(|p| p == pass.name());
+            // Panic isolation: a pass that unwinds (injected or a
+            // genuine bug) is reported as a typed error; the context
+            // is dropped with the run, never reused.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if inject_panic {
+                    panic!("injected fault in pass '{}'", pass.name());
+                }
+                pass.run(&mut ctx)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => return Err(e),
+                Err(payload) => {
+                    return Err(CompileError::PassPanicked {
+                        pass: pass.name().to_string(),
+                        detail: panic_message(payload),
+                    })
+                }
+            }
             let seconds = start.elapsed().as_secs_f64();
             let (pulses_after, gates_after, depth_after) = snapshot(&ctx);
             let blocks_after = ctx.composition_stats().map(|s| s.blocks_composed as u64);
@@ -265,7 +352,23 @@ impl PassManager {
                 check_invariants(&ctx, pass.name())?;
             }
         }
+        report.budget_remaining_ms = ctx.deadline().remaining_ms();
+        if let Some(stats) = ctx.composition_stats() {
+            report.blocks_fell_back = stats.blocks_fell_back as u64;
+            report.blocks_failed = stats.blocks_failed as u64;
+        }
         ctx.into_compiled(report)
+    }
+}
+
+/// Renders a `catch_unwind` payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -7,8 +7,9 @@
 //! themselves live in those crates.
 
 use geyser_blocking::try_block_circuit;
-use geyser_compose::try_compose_blocked_circuit;
+use geyser_compose::try_compose_blocked_circuit_with_faults;
 use geyser_map::{optimize_to_fixpoint, try_map_circuit, MappingOptions};
+use geyser_optimize::Deadline;
 use geyser_topology::Lattice;
 
 use crate::pass::{CompileContext, Pass};
@@ -143,7 +144,17 @@ impl Pass for ComposePass {
             pass: "compose",
             requires: "block",
         })?;
-        let composed = try_compose_blocked_circuit(blocked, &ctx.config().composition)?;
+        // Thread the pipeline budget into the per-block search; a
+        // forced-timeout fault overrides it so every block must prove
+        // it degrades to `budget-exhausted` fallback.
+        let mut cfg = ctx.config().composition;
+        if ctx.faults().force_compose_timeout {
+            cfg = cfg.with_deadline(Deadline::already_expired());
+        } else if ctx.deadline().is_bounded() {
+            cfg = cfg.with_deadline(ctx.deadline());
+        }
+        let composed =
+            try_compose_blocked_circuit_with_faults(blocked, &cfg, &ctx.faults().compose)?;
         ctx.set_composed(composed.circuit, composed.stats);
         Ok(())
     }

@@ -46,6 +46,19 @@ pub struct CompileReport {
     pub technique: String,
     /// Per-pass measurements in execution order.
     pub passes: Vec<PassReport>,
+    /// Whether the wall-clock budget expired mid-pipeline (the run
+    /// then degraded instead of completing every pass).
+    pub budget_exhausted: bool,
+    /// Wall-clock milliseconds left on the budget when the pipeline
+    /// finished; `None` when the run was unbudgeted.
+    pub budget_remaining_ms: Option<u64>,
+    /// Passes skipped because the budget expired, in schedule order.
+    pub skipped_passes: Vec<String>,
+    /// Composition blocks that kept their original pulses (timeout,
+    /// non-convergence, ε-rejection, or not cheaper).
+    pub blocks_fell_back: u64,
+    /// Composition blocks whose isolated worker panicked.
+    pub blocks_failed: u64,
 }
 
 impl CompileReport {
@@ -54,6 +67,11 @@ impl CompileReport {
         CompileReport {
             technique: technique.to_string(),
             passes: Vec::new(),
+            budget_exhausted: false,
+            budget_remaining_ms: None,
+            skipped_passes: Vec::new(),
+            blocks_fell_back: 0,
+            blocks_failed: 0,
         }
     }
 
@@ -88,6 +106,11 @@ mod tests {
     fn sample() -> CompileReport {
         CompileReport {
             technique: "Geyser".into(),
+            budget_exhausted: false,
+            budget_remaining_ms: None,
+            skipped_passes: Vec::new(),
+            blocks_fell_back: 0,
+            blocks_failed: 0,
             passes: vec![
                 PassReport {
                     name: "map".into(),
@@ -137,5 +160,24 @@ mod tests {
         let r = CompileReport::new("Baseline");
         assert_eq!(r.pulse_delta(), 0);
         assert_eq!(r.total_seconds(), 0.0);
+        assert!(!r.budget_exhausted);
+        assert!(r.skipped_passes.is_empty());
+    }
+
+    #[test]
+    fn degraded_report_roundtrips_robustness_fields() {
+        let mut r = sample();
+        r.budget_exhausted = true;
+        r.budget_remaining_ms = Some(0);
+        r.skipped_passes = vec!["compose".into(), "seam-cleanup".into()];
+        r.blocks_fell_back = 3;
+        r.blocks_failed = 1;
+        let json = r.to_json();
+        assert!(json.contains("\"budget_exhausted\""));
+        assert!(json.contains("\"skipped_passes\""));
+        let back: CompileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.skipped_passes.len(), 2);
+        assert_eq!(back.budget_remaining_ms, Some(0));
     }
 }

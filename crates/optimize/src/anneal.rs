@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::special::ln_gamma;
-use crate::{nelder_mead, Bounds, NelderMeadConfig, OptimizeResult};
+use crate::{nelder_mead, Bounds, Deadline, NelderMeadConfig, OptimizeResult};
 
 /// Configuration for [`dual_annealing`].
 ///
@@ -37,6 +37,9 @@ pub struct DualAnnealingConfig {
     pub polish: bool,
     /// Stop early once the objective falls at or below this value.
     pub target: Option<f64>,
+    /// Wall-clock budget: the outer loop stops (returning the best
+    /// iterate so far) once this deadline expires.
+    pub deadline: Deadline,
 }
 
 impl Default for DualAnnealingConfig {
@@ -51,6 +54,7 @@ impl Default for DualAnnealingConfig {
             seed: 0,
             polish: true,
             target: None,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -71,6 +75,12 @@ impl DualAnnealingConfig {
     /// Returns a copy with an early-stop target objective value.
     pub fn with_target(mut self, target: f64) -> Self {
         self.target = Some(target);
+        self
+    }
+
+    /// Returns a copy bounded by the given wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -183,6 +193,9 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
     let mut step = 0usize;
 
     'outer: for _iter in 0..cfg.max_iters {
+        if cfg.deadline.expired() {
+            break 'outer;
+        }
         step += 1;
         let tv = cfg.initial_temp * t1 / (((1 + step) as f64).powf(cfg.qv - 1.0) - 1.0);
 
@@ -242,8 +255,9 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
         }
     }
 
-    // Local polish (the "dual" phase).
-    if cfg.polish {
+    // Local polish (the "dual" phase). Skipped on an expired deadline:
+    // the caller asked for whatever the budget bought.
+    if cfg.polish && !cfg.deadline.expired() {
         let nm_cfg = NelderMeadConfig {
             max_evaluations: (cfg.max_evaluations.saturating_sub(evaluations)).min(400 * dim),
             ..NelderMeadConfig::default()
@@ -357,6 +371,19 @@ mod tests {
         };
         let res = dual_annealing(&sphere, &bounds, &cfg);
         assert!(res.evaluations <= 501);
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_quickly() {
+        let bounds = Bounds::uniform(8, -5.0, 5.0);
+        let cfg = DualAnnealingConfig::default()
+            .with_seed(9)
+            .with_deadline(Deadline::already_expired());
+        let res = dual_annealing(&rastrigin, &bounds, &cfg);
+        // One initial evaluation, no chain moves, no polish.
+        assert_eq!(res.evaluations, 1);
+        assert!(res.fx.is_finite());
+        assert!(bounds.contains(&res.x));
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Wall-clock budgets for iterative searches.
+//!
+//! A [`Deadline`] is a *started* budget: an optional expiry instant
+//! that every annealing/descent loop (and, higher up the stack, every
+//! compilation pass and per-block composition attempt) polls between
+//! iterations. Unlike an iteration cap it bounds real time, which is
+//! what an evaluation harness actually cares about when a stochastic
+//! search refuses to converge.
+
+use std::time::{Duration, Instant};
+
+/// An optional wall-clock expiry shared across a pipeline run.
+///
+/// `Deadline::none()` never expires; [`Deadline::already_expired`]
+/// is expired from birth (used by fault injection to force the
+/// timeout-degradation paths without waiting).
+///
+/// # Example
+///
+/// ```
+/// use geyser_optimize::Deadline;
+/// assert!(!Deadline::none().expired());
+/// assert!(Deadline::already_expired().expired());
+/// assert!(!Deadline::after_ms(60_000).expired());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    expires: Option<Instant>,
+    forced: bool,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Self {
+        Deadline {
+            expires: None,
+            forced: false,
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    pub fn after_ms(ms: u64) -> Self {
+        Self::after(Duration::from_millis(ms))
+    }
+
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Self {
+        Deadline {
+            expires: Instant::now().checked_add(d),
+            forced: false,
+        }
+    }
+
+    /// A deadline that is expired from birth (fault injection /
+    /// forced-timeout testing).
+    pub fn already_expired() -> Self {
+        Deadline {
+            expires: None,
+            forced: true,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.forced || self.expires.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Milliseconds until expiry: `None` for an unlimited deadline,
+    /// `Some(0)` once expired.
+    pub fn remaining_ms(&self) -> Option<u64> {
+        if self.forced {
+            return Some(0);
+        }
+        self.expires
+            .map(|t| t.saturating_duration_since(Instant::now()).as_millis() as u64)
+    }
+
+    /// Whether this deadline can ever expire.
+    pub fn is_bounded(&self) -> bool {
+        self.forced || self.expires.is_some()
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(!d.expired());
+        assert_eq!(d.remaining_ms(), None);
+        assert!(!d.is_bounded());
+    }
+
+    #[test]
+    fn forced_deadline_is_expired_with_zero_remaining() {
+        let d = Deadline::already_expired();
+        assert!(d.expired());
+        assert_eq!(d.remaining_ms(), Some(0));
+        assert!(d.is_bounded());
+    }
+
+    #[test]
+    fn distant_deadline_not_expired() {
+        let d = Deadline::after_ms(120_000);
+        assert!(!d.expired());
+        assert!(d.remaining_ms().unwrap() > 100_000);
+    }
+
+    #[test]
+    fn zero_deadline_expires_immediately() {
+        let d = Deadline::after_ms(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining_ms(), Some(0));
+    }
+}

@@ -6,7 +6,7 @@
 //! local refiner — it is used here to polish dual-annealing iterates
 //! and as a multi-start local searcher in its own right.
 
-use crate::{Bounds, OptimizeResult};
+use crate::{Bounds, Deadline, OptimizeResult};
 
 /// Configuration for [`adam`].
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +27,9 @@ pub struct AdamConfig {
     /// 25-iteration window, the learning rate is halved; the run stops
     /// once the rate falls below `learning_rate / 1024`.
     pub stall_tol: f64,
+    /// Wall-clock budget: descent stops (returning the best iterate so
+    /// far) once this deadline expires.
+    pub deadline: Deadline,
 }
 
 impl Default for AdamConfig {
@@ -39,6 +42,7 @@ impl Default for AdamConfig {
             fd_step: 1e-5,
             target: None,
             stall_tol: 1e-12,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -47,6 +51,12 @@ impl AdamConfig {
     /// Returns a copy with an early-stop target.
     pub fn with_target(mut self, target: f64) -> Self {
         self.target = Some(target);
+        self
+    }
+
+    /// Returns a copy bounded by the given wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -94,6 +104,9 @@ pub fn adam<F: Fn(&[f64]) -> f64>(
     let mut lr = cfg.learning_rate;
 
     for t in 1..=cfg.max_iters {
+        if cfg.deadline.expired() {
+            break;
+        }
         // Central-difference gradient.
         let mut grad = vec![0.0; dim];
         for i in 0..dim {

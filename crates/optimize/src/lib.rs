@@ -30,12 +30,14 @@
 
 mod anneal;
 mod bounds;
+mod deadline;
 mod gradient;
 mod neldermead;
 mod special;
 
 pub use anneal::{dual_annealing, DualAnnealingConfig};
 pub use bounds::Bounds;
+pub use deadline::Deadline;
 pub use gradient::{adam, AdamConfig};
 pub use neldermead::{nelder_mead, NelderMeadConfig};
 

@@ -1,0 +1,60 @@
+//! Typed errors for numerical-health failures in simulation.
+
+use std::fmt;
+
+/// A numerical-health failure detected during simulation.
+///
+/// State-vector evolution under exact unitaries preserves the norm and
+/// never produces NaN/Inf; either symptom means the input matrices were
+/// corrupt or accumulated error grew pathological. These surface as
+/// typed errors so the pipeline can degrade (resample, fall back)
+/// instead of silently propagating garbage probabilities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A NaN or Inf amplitude appeared in the state vector.
+    NonFiniteAmplitude {
+        /// Index of the circuit operation after which the bad
+        /// amplitude was detected, when known.
+        step: Option<usize>,
+    },
+    /// The squared norm drifted from 1 beyond tolerance (unitarity
+    /// violation — the applied matrices were not unitary).
+    NormDrift {
+        /// Observed squared norm.
+        norm_sqr: f64,
+    },
+    /// A Monte-Carlo trajectory remained numerically unhealthy after
+    /// the bounded rejection-and-resample retries.
+    TrajectoryRejected {
+        /// Index of the offending trajectory.
+        trajectory: usize,
+        /// Resample attempts that were made before giving up.
+        retries: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NonFiniteAmplitude { step: Some(step) } => {
+                write!(f, "non-finite amplitude after operation {step}")
+            }
+            SimError::NonFiniteAmplitude { step: None } => {
+                write!(f, "non-finite amplitude in state vector")
+            }
+            SimError::NormDrift { norm_sqr } => {
+                write!(f, "state norm drifted from 1 (norm² = {norm_sqr})")
+            }
+            SimError::TrajectoryRejected {
+                trajectory,
+                retries,
+            } => write!(
+                f,
+                "trajectory {trajectory} still unhealthy after {retries} resamples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

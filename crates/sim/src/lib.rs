@@ -35,6 +35,7 @@
 
 mod channels;
 mod density;
+mod error;
 mod loss;
 mod noise;
 mod observable;
@@ -45,10 +46,15 @@ mod unitary;
 
 pub use channels::KrausChannel;
 pub use density::{exact_noisy_distribution, DensityMatrix};
+pub use error::SimError;
 pub use loss::{sample_with_atom_loss, AtomLossModel};
 pub use noise::{NoiseGranularity, NoiseModel};
 pub use observable::{Observable, Pauli, PauliString};
-pub use sampler::{ideal_distribution, sample_noisy_distribution, sampled_counts};
-pub use statevector::StateVector;
+pub use sampler::{
+    ideal_distribution, sample_noisy_distribution, sampled_counts, try_ideal_distribution,
+    try_sample_noisy_distribution, try_sample_noisy_distribution_with_faults, SimFaults,
+    MAX_TRAJECTORY_RETRIES,
+};
+pub use statevector::{StateVector, NORM_DRIFT_TOL};
 pub use tvd::total_variation_distance;
 pub use unitary::{circuit_unitary, embed_gate};

@@ -3,6 +3,12 @@
 use geyser_circuit::{Circuit, Operation};
 use geyser_num::{CMatrix, Complex};
 
+use crate::SimError;
+
+/// Tolerance on `|norm² − 1|` used by the health checks: far looser
+/// than per-gate float error, far tighter than any real corruption.
+pub const NORM_DRIFT_TOL: f64 = 1e-6;
+
 /// A pure quantum state over `n` qubits as `2^n` complex amplitudes.
 ///
 /// The basis-index convention is big-endian: **qubit 0 is the most
@@ -170,6 +176,52 @@ impl StateVector {
         for op in circuit.iter() {
             self.apply_operation(op);
         }
+    }
+
+    /// Applies every operation with a per-operation NaN/Inf guard and
+    /// a final unitarity-drift check ([`NORM_DRIFT_TOL`]).
+    ///
+    /// Unitary evolution cannot produce either symptom; an error means
+    /// a gate matrix was corrupt (or pathologically non-unitary) and
+    /// the state should not be trusted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit is declared over a different qubit count
+    /// (a programming error, unlike the numerical failures above).
+    pub fn try_apply_circuit(&mut self, circuit: &Circuit) -> Result<(), SimError> {
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "circuit qubit count mismatch"
+        );
+        for (step, op) in circuit.iter().enumerate() {
+            self.apply_operation(op);
+            if !self.is_finite() {
+                return Err(SimError::NonFiniteAmplitude { step: Some(step) });
+            }
+        }
+        self.check_health(NORM_DRIFT_TOL)
+    }
+
+    /// Returns `true` if every amplitude is finite (no NaN/Inf).
+    pub fn is_finite(&self) -> bool {
+        self.amps
+            .iter()
+            .all(|a| a.re.is_finite() && a.im.is_finite())
+    }
+
+    /// Verifies numerical health: all amplitudes finite and the
+    /// squared norm within `norm_tol` of 1.
+    pub fn check_health(&self, norm_tol: f64) -> Result<(), SimError> {
+        if !self.is_finite() {
+            return Err(SimError::NonFiniteAmplitude { step: None });
+        }
+        let norm_sqr = self.norm_sqr();
+        if (norm_sqr - 1.0).abs() > norm_tol {
+            return Err(SimError::NormDrift { norm_sqr });
+        }
+        Ok(())
     }
 
     /// Applies a Pauli-X error to one qubit (fast path for noise
@@ -363,5 +415,43 @@ mod tests {
     fn duplicate_gate_qubits_rejected() {
         let mut sv = StateVector::zero_state(2);
         sv.apply_matrix(&Gate::CZ.matrix(), &[0, 0]);
+    }
+
+    #[test]
+    fn healthy_circuit_passes_guards() {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1).t(2).ccz(0, 1, 2).h(1);
+        let mut sv = StateVector::zero_state(3);
+        sv.try_apply_circuit(&c).expect("healthy circuit");
+        assert!(sv.is_finite());
+        sv.check_health(crate::NORM_DRIFT_TOL).expect("healthy");
+    }
+
+    #[test]
+    fn nan_gate_matrix_is_detected_with_step_index() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_matrix(&Gate::H.matrix(), &[0]);
+        let mut bad = CMatrix::identity(2);
+        bad[(0, 0)] = Complex::new(f64::NAN, 0.0);
+        sv.apply_matrix(&bad, &[1]);
+        assert!(!sv.is_finite());
+        assert_eq!(
+            sv.check_health(crate::NORM_DRIFT_TOL),
+            Err(crate::SimError::NonFiniteAmplitude { step: None })
+        );
+    }
+
+    #[test]
+    fn non_unitary_matrix_trips_norm_drift() {
+        let mut sv = StateVector::zero_state(1);
+        // Scaling the identity by 2 is finite but quadruples the norm.
+        let bad = CMatrix::identity(2).scale(Complex::new(2.0, 0.0));
+        sv.apply_matrix(&bad, &[0]);
+        match sv.check_health(crate::NORM_DRIFT_TOL) {
+            Err(crate::SimError::NormDrift { norm_sqr }) => {
+                assert!((norm_sqr - 4.0).abs() < 1e-12)
+            }
+            other => panic!("expected NormDrift, got {other:?}"),
+        }
     }
 }

@@ -58,6 +58,7 @@ fn main() {
         restarts: 4,
         seed: 11,
         threads: 1,
+        ..CompositionConfig::default()
     };
     let result = compose_block(&block, &cfg);
 
