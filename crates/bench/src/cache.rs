@@ -25,6 +25,8 @@ struct CachedStats {
     pulses_after: u64,
     blocks_fell_back: usize,
     blocks_failed: usize,
+    blocks_cancelled: usize,
+    blocks_resumed: usize,
     max_accepted_hsd: f64,
 }
 
@@ -101,6 +103,8 @@ fn to_cached(compiled: &CompiledCircuit) -> CachedCompile {
             pulses_after: s.pulses_after,
             blocks_fell_back: s.blocks_fell_back,
             blocks_failed: s.blocks_failed,
+            blocks_cancelled: s.blocks_cancelled,
+            blocks_resumed: s.blocks_resumed,
             max_accepted_hsd: s.max_accepted_hsd,
         }),
     }
@@ -131,6 +135,8 @@ fn from_cached(cached: CachedCompile, technique: Technique) -> Option<CompiledCi
         pulses_after: s.pulses_after,
         blocks_fell_back: s.blocks_fell_back,
         blocks_failed: s.blocks_failed,
+        blocks_cancelled: s.blocks_cancelled,
+        blocks_resumed: s.blocks_resumed,
         max_accepted_hsd: s.max_accepted_hsd,
     });
     Some(CompiledCircuit::from_parts(technique, mapped, stats))
@@ -162,9 +168,20 @@ pub fn compile_cached(
     let compiled = compile(program, technique, cfg);
     let _ = std::fs::create_dir_all(".geyser-cache");
     if let Ok(body) = serde_json::to_string(&to_cached(&compiled)) {
-        let _ = std::fs::write(&path, body);
+        write_atomic(&path, &body);
     }
     compiled
+}
+
+/// Crash-safe cache write: the body lands in a `.tmp` sibling first
+/// and is renamed into place, so a kill mid-write leaves either the
+/// old entry or no entry — never a truncated JSON file that would
+/// poison later runs.
+fn write_atomic(path: &PathBuf, body: &str) {
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +225,21 @@ mod tests {
         b.h(2);
         assert_ne!(fingerprint(&a), fingerprint(&b));
         assert_eq!(fingerprint(&a), fingerprint(&sample_program()));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp_behind() {
+        let dir = std::env::temp_dir().join(format!("geyser-cache-atomic-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("entry.json");
+        std::fs::write(&path, "old").unwrap();
+        write_atomic(&path, "new");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

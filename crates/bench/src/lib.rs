@@ -24,6 +24,15 @@
 //! * `--inject SPEC` — deterministic fault injection for robustness
 //!   runs (bypasses the cache); see [`geyser::FaultInjector::parse`]
 //!   for the spec syntax, e.g. `--inject compose-corrupt:0,sim-nan:3`
+//! * `--jobs N` — run compilations through the supervised job runtime
+//!   with `N` worker threads (bounded queue, per-workload circuit
+//!   breaker, crash-safe composition checkpoints)
+//! * `--max-retries N` — retry retryable failures (pass panics,
+//!   budget expiry, simulation faults) up to `N` times with seeded
+//!   exponential backoff; implies the supervised runtime
+//! * `--resume` — restore matching composition checkpoints left by an
+//!   earlier killed run instead of recomposing finished blocks;
+//!   implies the supervised runtime
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +44,11 @@ use std::collections::BTreeMap;
 
 pub use cache::compile_cached;
 use geyser::{
-    compile, CompileReport, CompiledCircuit, FaultInjector, PassManager, PipelineConfig, Technique,
+    compile, CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, PassManager,
+    PipelineConfig, Technique,
 };
 use geyser_circuit::Circuit;
+use geyser_supervisor::{JobSpec, JobState, RetryPolicy, Supervisor, SupervisorConfig};
 use geyser_workloads::{heisenberg, suite, WorkloadSpec};
 use serde::Serialize;
 
@@ -66,6 +77,12 @@ pub struct Cli {
     pub budget_ms: Option<u64>,
     /// Raw fault-injection spec (`--inject`).
     pub inject: Option<String>,
+    /// Supervised-runtime worker threads (`--jobs`, default 1).
+    pub jobs: usize,
+    /// Retries per retryable failure (`--max-retries`, default 0).
+    pub max_retries: usize,
+    /// Restore crash-safe composition checkpoints (`--resume`).
+    pub resume: bool,
 }
 
 impl Default for Cli {
@@ -82,6 +99,9 @@ impl Default for Cli {
             report: None,
             budget_ms: None,
             inject: None,
+            jobs: 1,
+            max_retries: 0,
+            resume: false,
         }
     }
 }
@@ -117,7 +137,20 @@ impl Cli {
                 "--budget-ms" => {
                     cli.budget_ms = Some(value("--budget-ms").parse().expect("integer"))
                 }
-                "--inject" => cli.inject = Some(value("--inject")),
+                "--inject" => {
+                    let spec = value("--inject");
+                    // Validate at the CLI boundary so a typo fails
+                    // with a pointed message before any compilation.
+                    if let Err(e) = FaultInjector::parse(&spec) {
+                        exit_bad_inject(&e);
+                    }
+                    cli.inject = Some(spec);
+                }
+                "--jobs" => cli.jobs = value("--jobs").parse().expect("integer"),
+                "--max-retries" => {
+                    cli.max_retries = value("--max-retries").parse().expect("integer")
+                }
+                "--resume" => cli.resume = true,
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
         }
@@ -138,16 +171,28 @@ impl Cli {
         }
     }
 
-    /// The fault plan implied by `--inject` (empty without the flag).
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on a malformed spec.
-    pub fn fault_injector(&self) -> FaultInjector {
+    /// The fault plan implied by `--inject` (empty without the flag),
+    /// or the typed parse error for a malformed spec.
+    pub fn try_fault_injector(&self) -> Result<FaultInjector, FaultSpecError> {
         match &self.inject {
-            Some(spec) => FaultInjector::parse(spec).unwrap_or_else(|e| panic!("--inject: {e}")),
-            None => FaultInjector::none(),
+            Some(spec) => FaultInjector::parse(spec),
+            None => Ok(FaultInjector::none()),
         }
+    }
+
+    /// The fault plan implied by `--inject`, exiting the process with
+    /// a friendly usage message on a malformed spec (CLI entry path —
+    /// library callers wanting the error should use
+    /// [`Cli::try_fault_injector`]).
+    pub fn fault_injector(&self) -> FaultInjector {
+        self.try_fault_injector()
+            .unwrap_or_else(|e| exit_bad_inject(&e))
+    }
+
+    /// Whether any flag routes compilation through the supervised job
+    /// runtime instead of the plain in-process path.
+    pub fn supervised(&self) -> bool {
+        self.jobs > 1 || self.max_retries > 0 || self.resume
     }
 
     /// Suite rows selected by the flags. TVD experiments pass
@@ -184,6 +229,19 @@ impl Cli {
     }
 }
 
+/// Prints a pointed `--inject` diagnostic and exits with status 2,
+/// the conventional usage-error code.
+fn exit_bad_inject(err: &FaultSpecError) -> ! {
+    eprintln!("error: --inject: {err}");
+    eprintln!(
+        "usage: --inject SPEC where SPEC is comma-separated fault tokens, e.g.\n  \
+         pass-panic:compose, pass-panic-once:compose, hang-pass:block,\n  \
+         compose-corrupt:0, compose-timeout, sim-nan:3,\n  \
+         kill-after-block:2, checkpoint-corrupt"
+    );
+    std::process::exit(2);
+}
+
 /// One (workload × technique) measurement row.
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
@@ -205,6 +263,13 @@ pub struct Row {
 /// `--inject` (deliberately faulty output must never be cached). Fault
 /// plans run through a [`PassManager`] so injected pass panics surface
 /// as typed errors.
+///
+/// When any supervision flag is set (`--jobs`, `--max-retries`,
+/// `--resume`) every compilation is routed through the
+/// [`geyser_supervisor::Supervisor`] instead: jobs carry crash-safe
+/// composition checkpoints under `.geyser-cache/`, retryable failures
+/// back off and retry, and [`geyser::SupervisionStats`] land on each
+/// compile report. Supervised runs also bypass the cache.
 pub fn compile_techniques(
     cli: &Cli,
     name: &str,
@@ -214,6 +279,9 @@ pub fn compile_techniques(
 ) -> Vec<(Technique, CompiledCircuit)> {
     let tag = cli.config_tag();
     let faults = cli.fault_injector();
+    if cli.supervised() {
+        return compile_supervised(cli, name, program, techniques, cfg, &faults, &tag);
+    }
     let bypass_cache = cli.report.is_some() || cli.budget_ms.is_some() || !faults.is_empty();
     techniques
         .iter()
@@ -229,6 +297,86 @@ pub fn compile_techniques(
                 compile_cached(name, program, t, cfg, &tag)
             };
             (t, compiled)
+        })
+        .collect()
+}
+
+/// Where one job's crash-safe composition checkpoint lives. The
+/// checkpoint file itself binds to (circuit fingerprint, seed, block
+/// count), so a stale path collision degrades to a fresh start rather
+/// than splicing in foreign blocks.
+fn checkpoint_path(name: &str, technique: Technique, cfg_tag: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(".geyser-cache").join(format!(
+        "ckpt-{name}-{}-{cfg_tag}.json",
+        technique.label().to_lowercase()
+    ))
+}
+
+/// Compiles one workload's techniques as supervised jobs: bounded
+/// queue, `--jobs` workers, seeded retry backoff, per-workload circuit
+/// breaking, and crash-safe composition checkpoints.
+///
+/// A cancelled job (e.g. an injected `kill-after-block` fault) prints
+/// where its checkpoint survived and exits with status 3 so sweep
+/// scripts can distinguish "killed, resumable" from real failures;
+/// rerunning with `--resume` picks the checkpoint up bit-identically.
+fn compile_supervised(
+    cli: &Cli,
+    name: &str,
+    program: &Circuit,
+    techniques: &[Technique],
+    cfg: &PipelineConfig,
+    faults: &FaultInjector,
+    cfg_tag: &str,
+) -> Vec<(Technique, CompiledCircuit)> {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: cli.jobs.max(1),
+        queue_capacity: techniques.len().max(1),
+        retry: RetryPolicy {
+            seed: cli.seed,
+            ..RetryPolicy::with_retries(cli.max_retries)
+        },
+        ..SupervisorConfig::default()
+    });
+    let mut ids = Vec::new();
+    for &t in techniques {
+        let mut spec = JobSpec::new(name, t, program.clone(), *cfg);
+        spec.faults = faults.clone();
+        spec.checkpoint = Some(checkpoint_path(name, t, cfg_tag));
+        spec.resume = cli.resume;
+        let handle = supervisor
+            .submit(spec)
+            .unwrap_or_else(|e| panic!("submit {name}/{}: {e}", t.label()));
+        ids.push((t, handle.id));
+    }
+    let mut results = supervisor.shutdown();
+    ids.into_iter()
+        .map(|(t, id)| {
+            let pos = results
+                .iter()
+                .position(|r| r.id == id)
+                .expect("every submitted job reaches a terminal state");
+            let result = results.remove(pos);
+            match result.state {
+                JobState::Done => (t, result.compiled.expect("Done jobs carry a circuit")),
+                JobState::Cancelled => {
+                    eprintln!(
+                        "job '{name}' ({}) cancelled after {} attempt(s); \
+                         checkpoint kept under .geyser-cache/ — rerun with \
+                         --resume to continue where it stopped",
+                        t.label(),
+                        result.attempts
+                    );
+                    std::process::exit(3);
+                }
+                state => panic!(
+                    "job '{name}' ({}) ended {state:?}: {}",
+                    t.label(),
+                    result
+                        .error
+                        .map_or_else(|| "circuit breaker open".to_string(), |e| e.to_string())
+                ),
+            }
         })
         .collect()
 }
@@ -399,12 +547,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--inject")]
-    fn malformed_inject_spec_panics_with_usage() {
+    fn malformed_inject_spec_yields_typed_error_not_panic() {
         let cli = Cli {
             inject: Some("frobnicate:7".into()),
             ..Cli::default()
         };
-        let _ = cli.fault_injector();
+        let err = cli.try_fault_injector().unwrap_err();
+        assert!(matches!(err, FaultSpecError::UnknownKind { .. }));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_index_inject_spec_names_the_offending_token() {
+        let cli = Cli {
+            inject: Some("compose-corrupt:banana".into()),
+            ..Cli::default()
+        };
+        let err = cli.try_fault_injector().unwrap_err();
+        assert!(matches!(err, FaultSpecError::BadIndex { .. }));
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn supervision_flags_imply_the_supervised_path() {
+        assert!(!Cli::default().supervised());
+        for cli in [
+            Cli {
+                jobs: 2,
+                ..Cli::default()
+            },
+            Cli {
+                max_retries: 1,
+                ..Cli::default()
+            },
+            Cli {
+                resume: true,
+                ..Cli::default()
+            },
+        ] {
+            assert!(cli.supervised());
+        }
+    }
+
+    #[test]
+    fn supervised_compile_attaches_supervision_stats() {
+        let cli = Cli {
+            jobs: 2,
+            max_retries: 1,
+            ..Cli::default()
+        };
+        let mut program = Circuit::new(3);
+        program.h(0).cx(0, 1).cx(1, 2).t(2);
+        let cfg = PipelineConfig::fast();
+        let compiled = compile_techniques(
+            &cli,
+            "bench-sup-test",
+            &program,
+            &[Technique::Baseline, Technique::Geyser],
+            &cfg,
+        );
+        assert_eq!(compiled.len(), 2);
+        for (t, c) in &compiled {
+            let stats = c
+                .report()
+                .and_then(|r| r.supervision.as_ref())
+                .unwrap_or_else(|| panic!("{} run missing supervision stats", t.label()));
+            assert_eq!(stats.attempts, 1, "healthy jobs succeed first try");
+            assert_eq!(stats.retries, 0);
+            assert!(!stats.resumed_from_checkpoint);
+        }
     }
 }

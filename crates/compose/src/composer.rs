@@ -20,7 +20,9 @@ use std::sync::Mutex;
 use geyser_blocking::BlockedCircuit;
 use geyser_circuit::Circuit;
 use geyser_num::{hilbert_schmidt_distance, CMatrix};
-use geyser_optimize::{adam, dual_annealing, AdamConfig, Bounds, Deadline, DualAnnealingConfig};
+use geyser_optimize::{
+    adam, dual_annealing, AdamConfig, Bounds, CancelToken, Deadline, DualAnnealingConfig,
+};
 use geyser_sim::circuit_unitary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -112,6 +114,10 @@ pub enum FallbackReason {
     /// re-verification against the block unitary (corrupted or
     /// numerically unhealthy candidate).
     EpsilonRejected,
+    /// The job's cancellation token fired before or during the search;
+    /// the original pulses were kept so the run could terminate
+    /// promptly.
+    Cancelled,
 }
 
 impl FallbackReason {
@@ -122,6 +128,20 @@ impl FallbackReason {
             FallbackReason::NonConvergence => "non-convergence",
             FallbackReason::BudgetExhausted => "budget-exhausted",
             FallbackReason::EpsilonRejected => "epsilon-rejected",
+            FallbackReason::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parses a [`FallbackReason::label`] back to the reason (used by
+    /// checkpoint loaders).
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "not-cheaper" => Some(FallbackReason::NotCheaper),
+            "non-convergence" => Some(FallbackReason::NonConvergence),
+            "budget-exhausted" => Some(FallbackReason::BudgetExhausted),
+            "epsilon-rejected" => Some(FallbackReason::EpsilonRejected),
+            "cancelled" => Some(FallbackReason::Cancelled),
+            _ => None,
         }
     }
 }
@@ -212,6 +232,12 @@ pub struct CompositionStats {
     /// Eligible blocks whose worker panicked (isolated; original
     /// pulses kept).
     pub blocks_failed: usize,
+    /// Fallbacks (a subset of [`CompositionStats::blocks_fell_back`])
+    /// caused by a fired cancellation token.
+    pub blocks_cancelled: usize,
+    /// Blocks whose result was restored from a prior run (checkpoint
+    /// resume) instead of being recomposed.
+    pub blocks_resumed: usize,
     /// Largest HSD among accepted candidates (composition error bound).
     pub max_accepted_hsd: f64,
 }
@@ -274,7 +300,12 @@ pub fn try_compose_block(
             qubits: block.num_qubits(),
         });
     }
-    Ok(compose_block_inner(block, config, false))
+    Ok(compose_block_inner(
+        block,
+        config,
+        false,
+        &CancelToken::none(),
+    ))
 }
 
 /// How one reseeded pass over the layer ladder ended.
@@ -284,12 +315,14 @@ enum SearchVerdict {
     EpsilonRejected,
     NonConvergence,
     BudgetExhausted,
+    Cancelled,
 }
 
 fn compose_block_inner(
     block: &Circuit,
     config: &CompositionConfig,
     corrupt: bool,
+    cancel: &CancelToken,
 ) -> CompositionResult {
     let original_pulses = block.total_pulses();
     let fall_back = |reason: FallbackReason| CompositionResult {
@@ -302,6 +335,9 @@ fn compose_block_inner(
 
     if block.is_empty() {
         return fall_back(FallbackReason::NotCheaper);
+    }
+    if cancel.is_cancelled() {
+        return fall_back(FallbackReason::Cancelled);
     }
     if config.deadline.expired() {
         return fall_back(FallbackReason::BudgetExhausted);
@@ -353,14 +389,18 @@ fn compose_block_inner(
     // that refuses to converge costs a bounded, shrinking amount.
     let mut attempt_cfg = *config;
     for attempt in 0..=config.retry_attempts {
+        if cancel.is_cancelled() {
+            return fall_back(FallbackReason::Cancelled);
+        }
         if config.deadline.expired() {
             return fall_back(FallbackReason::BudgetExhausted);
         }
-        match search_all_layers(&target, &attempt_cfg, original_pulses, corrupt) {
+        match search_all_layers(&target, &attempt_cfg, original_pulses, corrupt, cancel) {
             SearchVerdict::Accepted(result) => return result,
             SearchVerdict::NotCheaper => return fall_back(FallbackReason::NotCheaper),
             SearchVerdict::EpsilonRejected => return fall_back(FallbackReason::EpsilonRejected),
             SearchVerdict::BudgetExhausted => return fall_back(FallbackReason::BudgetExhausted),
+            SearchVerdict::Cancelled => return fall_back(FallbackReason::Cancelled),
             SearchVerdict::NonConvergence => {
                 attempt_cfg.seed = attempt_cfg
                     .seed
@@ -380,6 +420,7 @@ fn search_all_layers(
     config: &CompositionConfig,
     original_pulses: u64,
     corrupt: bool,
+    cancel: &CancelToken,
 ) -> SearchVerdict {
     for layers in 1..=config.max_layers {
         let ansatz = Ansatz::new(layers);
@@ -388,7 +429,7 @@ fn search_all_layers(
         if ansatz.min_pulses() >= original_pulses {
             return SearchVerdict::NotCheaper;
         }
-        match search_layer(&ansatz, target, config, layers) {
+        match search_layer(&ansatz, target, config, layers, cancel) {
             Some((_, params)) => {
                 let mut candidate = ansatz.to_circuit(&params);
                 if corrupt {
@@ -419,6 +460,7 @@ fn search_all_layers(
                 // final.
                 return SearchVerdict::NotCheaper;
             }
+            None if cancel.is_cancelled() => return SearchVerdict::Cancelled,
             None if config.deadline.expired() => return SearchVerdict::BudgetExhausted,
             None => {}
         }
@@ -441,6 +483,7 @@ fn search_layer(
     target: &CMatrix,
     config: &CompositionConfig,
     layers: usize,
+    cancel: &CancelToken,
 ) -> Option<(f64, Vec<f64>)> {
     let bounds = Bounds::new(&ansatz.bounds());
     let objective = |params: &[f64]| hilbert_schmidt_distance(&ansatz.unitary(params), target);
@@ -454,8 +497,12 @@ fn search_layer(
         .with_seed(base_seed)
         .with_max_iters(config.anneal_iters)
         .with_target(config.epsilon * 0.5)
-        .with_deadline(config.deadline);
+        .with_deadline(config.deadline)
+        .with_cancel(cancel.clone());
     let global = dual_annealing(&objective, &bounds, &da_cfg);
+    if cancel.is_cancelled() {
+        return None;
+    }
     if global.fx <= config.epsilon {
         return Some((global.fx, global.x));
     }
@@ -469,7 +516,8 @@ fn search_layer(
         ..AdamConfig::default()
     }
     .with_target(config.epsilon * 0.5)
-    .with_deadline(config.deadline);
+    .with_deadline(config.deadline)
+    .with_cancel(cancel.clone());
     let refined = adam(&objective, &bounds, &global.x, &adam_cfg);
     let mut best = if refined.fx < global.fx {
         (refined.fx, refined.x)
@@ -523,7 +571,7 @@ fn search_layer(
     let starts = config.restarts.max(1);
     for combo in combos {
         for _ in 0..starts {
-            if config.deadline.expired() {
+            if config.deadline.expired() || cancel.is_cancelled() {
                 return None;
             }
             let mut x0: Vec<f64> = (0..ansatz.num_params())
@@ -682,6 +730,19 @@ pub fn try_compose_blocked_circuit(
     try_compose_blocked_circuit_with_faults(blocked, config, &ComposeFaults::none())
 }
 
+/// Callback invoked by the composition pool as each block finishes.
+///
+/// Runs on the worker thread that composed the block, so
+/// implementations must be `Sync`; checkpoint writers use it to
+/// persist per-block results as they land. Observers are *not*
+/// notified for resumed blocks (results injected via `prior`), and
+/// should ignore [`FallbackReason::Cancelled`] fallbacks — a cancelled
+/// block was never actually attempted.
+pub trait BlockObserver: Sync {
+    /// Called once per freshly composed (non-resumed) eligible block.
+    fn block_finished(&self, index: usize, result: &CompositionResult);
+}
+
 /// Renders a `catch_unwind` payload as text.
 fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -705,6 +766,32 @@ pub fn try_compose_blocked_circuit_with_faults(
     config: &CompositionConfig,
     faults: &ComposeFaults,
 ) -> Result<ComposedCircuit, ComposeError> {
+    try_compose_blocked_circuit_supervised(blocked, config, faults, &CancelToken::none(), &[], None)
+}
+
+/// The fully supervised composition entry point: fault injection plus
+/// cooperative cancellation, checkpoint resume, and per-block
+/// completion observation.
+///
+/// * `cancel` — polled before every block and inside every annealing
+///   chain move; once fired, remaining blocks fall back with
+///   [`FallbackReason::Cancelled`] and the pool drains promptly.
+/// * `prior` — per-block results from an earlier (interrupted) run,
+///   indexed like the blocked circuit's blocks; a `Some` slot is
+///   restored verbatim (counted in
+///   [`CompositionStats::blocks_resumed`]) instead of recomposed.
+///   Because every block derives its seed from `(config.seed, index)`,
+///   a resumed run is bit-identical to an uninterrupted one.
+/// * `observer` — notified on the worker thread as each fresh block
+///   finishes (checkpoint writers hook in here).
+pub fn try_compose_blocked_circuit_supervised(
+    blocked: &BlockedCircuit,
+    config: &CompositionConfig,
+    faults: &ComposeFaults,
+    cancel: &CancelToken,
+    prior: &[Option<CompositionResult>],
+    observer: Option<&dyn BlockObserver>,
+) -> Result<ComposedCircuit, ComposeError> {
     let source = blocked.source();
     let blocks: Vec<_> = blocked.blocks().collect();
     let num_blocks = blocks.len();
@@ -712,6 +799,7 @@ pub fn try_compose_blocked_circuit_with_faults(
     // Work queue over block indices; results slot per block.
     let results: Mutex<Vec<Option<CompositionResult>>> = Mutex::new(vec![None; num_blocks]);
     let next = AtomicUsize::new(0);
+    let resumed = AtomicUsize::new(0);
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -728,29 +816,40 @@ pub fn try_compose_blocked_circuit_with_faults(
                 let block = blocks[i];
                 let result = if block.is_triangle() {
                     let local = block.subcircuit(source);
-                    let cfg = config.with_seed(config.seed.wrapping_add(i as u64));
-                    let corrupt = faults.corrupt_blocks.contains(&i);
-                    let inject_panic = faults.panic_blocks.contains(&i);
-                    // Panic isolation: one block's panic (injected or a
-                    // genuine solver bug) must not take down the pool.
-                    let attempt = catch_unwind(AssertUnwindSafe(|| {
-                        if inject_panic {
-                            panic!("injected composition fault in block {i}");
-                        }
-                        compose_block_inner(&local, &cfg, corrupt)
-                    }));
-                    Some(match attempt {
-                        Ok(res) => res,
-                        Err(payload) => CompositionResult {
-                            circuit: local.clone(),
-                            hsd: 0.0,
-                            composed: false,
-                            layers: 0,
-                            outcome: BlockOutcome::Failed {
-                                detail: panic_payload_message(payload),
+                    if let Some(prev) = prior.get(i).and_then(|p| p.as_ref()) {
+                        // Checkpoint resume: restore the recorded result
+                        // without paying for the search again.
+                        resumed.fetch_add(1, Ordering::Relaxed);
+                        Some(prev.clone())
+                    } else {
+                        let cfg = config.with_seed(config.seed.wrapping_add(i as u64));
+                        let corrupt = faults.corrupt_blocks.contains(&i);
+                        let inject_panic = faults.panic_blocks.contains(&i);
+                        // Panic isolation: one block's panic (injected or a
+                        // genuine solver bug) must not take down the pool.
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            if inject_panic {
+                                panic!("injected composition fault in block {i}");
+                            }
+                            compose_block_inner(&local, &cfg, corrupt, cancel)
+                        }));
+                        let res = match attempt {
+                            Ok(res) => res,
+                            Err(payload) => CompositionResult {
+                                circuit: local.clone(),
+                                hsd: 0.0,
+                                composed: false,
+                                layers: 0,
+                                outcome: BlockOutcome::Failed {
+                                    detail: panic_payload_message(payload),
+                                },
                             },
-                        },
-                    })
+                        };
+                        if let Some(obs) = observer {
+                            obs.block_finished(i, &res);
+                        }
+                        Some(res)
+                    }
                 } else {
                     None
                 };
@@ -779,6 +878,7 @@ pub fn try_compose_blocked_circuit_with_faults(
     let mut out = Circuit::new(source.num_qubits());
     let mut stats = CompositionStats {
         blocks_total: num_blocks,
+        blocks_resumed: resumed.load(Ordering::Relaxed),
         ..CompositionStats::default()
     };
     let mut outcomes = Vec::with_capacity(num_blocks);
@@ -793,7 +893,12 @@ pub fn try_compose_blocked_circuit_with_faults(
                         stats.blocks_composed += 1;
                         stats.max_accepted_hsd = stats.max_accepted_hsd.max(res.hsd);
                     }
-                    BlockOutcome::FellBack { .. } => stats.blocks_fell_back += 1,
+                    BlockOutcome::FellBack { reason } => {
+                        stats.blocks_fell_back += 1;
+                        if *reason == FallbackReason::Cancelled {
+                            stats.blocks_cancelled += 1;
+                        }
+                    }
                     BlockOutcome::Failed { .. } => stats.blocks_failed += 1,
                     BlockOutcome::Skipped => {}
                 }
@@ -1138,5 +1243,132 @@ mod tests {
         let b = compose_blocked_circuit(&blocked, &cfg);
         assert_eq!(a.circuit.ops(), b.circuit.ops());
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    /// Test observer recording every fresh block completion.
+    struct Recorder {
+        seen: Mutex<Vec<(usize, CompositionResult)>>,
+    }
+
+    impl BlockObserver for Recorder {
+        fn block_finished(&self, index: usize, result: &CompositionResult) {
+            self.seen.lock().unwrap().push((index, result.clone()));
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_falls_back_every_block_as_cancelled() {
+        let (c, blocked) = blocked_fixture();
+        let token = CancelToken::new();
+        token.cancel();
+        let composed = try_compose_blocked_circuit_supervised(
+            &blocked,
+            &CompositionConfig::fast(),
+            &ComposeFaults::none(),
+            &token,
+            &[],
+            None,
+        )
+        .expect("cancellation degrades, it does not error");
+        assert_eq!(composed.stats.blocks_composed, 0);
+        assert!(composed.stats.blocks_cancelled > 0);
+        assert_eq!(
+            composed.stats.blocks_cancelled,
+            composed.stats.blocks_fell_back
+        );
+        assert!(composed.outcomes.iter().all(|o| matches!(
+            o,
+            BlockOutcome::FellBack {
+                reason: FallbackReason::Cancelled
+            } | BlockOutcome::Skipped
+        )));
+        // Cancelled composition still hands back the original circuit.
+        let p1 = geyser_sim::ideal_distribution(&c);
+        let p2 = geyser_sim::ideal_distribution(&composed.circuit);
+        assert!(geyser_sim::total_variation_distance(&p1, &p2) < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_every_eligible_block_exactly_once() {
+        let (_, blocked) = blocked_fixture();
+        let recorder = Recorder {
+            seen: Mutex::new(Vec::new()),
+        };
+        let composed = try_compose_blocked_circuit_supervised(
+            &blocked,
+            &CompositionConfig::fast(),
+            &ComposeFaults::none(),
+            &CancelToken::none(),
+            &[],
+            Some(&recorder),
+        )
+        .unwrap();
+        let mut seen = recorder.seen.into_inner().unwrap();
+        seen.sort_by_key(|(i, _)| *i);
+        assert_eq!(seen.len(), composed.stats.blocks_eligible);
+        let mut indices: Vec<usize> = seen.iter().map(|(i, _)| *i).collect();
+        indices.dedup();
+        assert_eq!(indices.len(), seen.len(), "duplicate notifications");
+    }
+
+    #[test]
+    fn resume_from_prior_results_is_bit_identical_and_skips_work() {
+        let (_, blocked) = blocked_fixture();
+        let cfg = CompositionConfig::fast().with_seed(7);
+        let recorder = Recorder {
+            seen: Mutex::new(Vec::new()),
+        };
+        let full = try_compose_blocked_circuit_supervised(
+            &blocked,
+            &cfg,
+            &ComposeFaults::none(),
+            &CancelToken::none(),
+            &[],
+            Some(&recorder),
+        )
+        .unwrap();
+        // Build a partial checkpoint: keep only the first recorded
+        // block, as if the run was killed after one completion.
+        let mut prior: Vec<Option<CompositionResult>> = vec![None; blocked.num_blocks()];
+        let seen = recorder.seen.into_inner().unwrap();
+        assert!(!seen.is_empty());
+        let (idx, res) = &seen[0];
+        prior[*idx] = Some(res.clone());
+
+        let resumed_recorder = Recorder {
+            seen: Mutex::new(Vec::new()),
+        };
+        let resumed = try_compose_blocked_circuit_supervised(
+            &blocked,
+            &cfg,
+            &ComposeFaults::none(),
+            &CancelToken::none(),
+            &prior,
+            Some(&resumed_recorder),
+        )
+        .unwrap();
+        // Same seed + per-block seeding ⇒ bit-identical to the
+        // uninterrupted run, with the checkpointed block restored.
+        assert_eq!(resumed.circuit.ops(), full.circuit.ops());
+        assert_eq!(resumed.outcomes, full.outcomes);
+        assert_eq!(resumed.stats.blocks_resumed, 1);
+        // The restored block must not be re-announced to the observer.
+        let resumed_seen = resumed_recorder.seen.into_inner().unwrap();
+        assert!(resumed_seen.iter().all(|(i, _)| i != idx));
+        assert_eq!(resumed_seen.len(), full.stats.blocks_eligible - 1);
+    }
+
+    #[test]
+    fn fallback_reason_labels_round_trip() {
+        for reason in [
+            FallbackReason::NotCheaper,
+            FallbackReason::NonConvergence,
+            FallbackReason::BudgetExhausted,
+            FallbackReason::EpsilonRejected,
+            FallbackReason::Cancelled,
+        ] {
+            assert_eq!(FallbackReason::from_label(reason.label()), Some(reason));
+        }
+        assert_eq!(FallbackReason::from_label("nonsense"), None);
     }
 }

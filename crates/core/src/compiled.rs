@@ -79,6 +79,12 @@ impl CompiledCircuit {
         self.report.as_ref()
     }
 
+    /// Mutable access to the pipeline report, used by supervisors to
+    /// attach [`crate::SupervisionStats`] after the run completes.
+    pub fn report_mut(&mut self) -> Option<&mut CompileReport> {
+        self.report.as_mut()
+    }
+
     /// Total physical pulses (paper Fig. 12, lower is better).
     pub fn total_pulses(&self) -> u64 {
         self.mapped.total_pulses()

@@ -61,8 +61,57 @@ pub enum CompileError {
         /// Rendered panic payload.
         detail: String,
     },
+    /// The job's cancellation token fired before the pipeline
+    /// completed; the run terminated promptly at a cancellation point.
+    Cancelled {
+        /// The pass the cancellation was observed in front of (or
+        /// inside).
+        pass: String,
+    },
     /// Simulation failed a numerical health check during evaluation.
     Sim(SimError),
+}
+
+/// Supervision class of a [`CompileError`]: what a retry loop should
+/// do with it.
+///
+/// * [`ErrorClass::Retryable`] — transient by nature (a contained
+///   panic, an exhausted budget, a numerically unhealthy trajectory):
+///   a reseeded or re-budgeted attempt can plausibly succeed.
+/// * [`ErrorClass::Fatal`] — deterministic given the same input
+///   (empty program, unmappable lattice, misordered passes): retrying
+///   burns budget without hope, and repeated fatals should trip a
+///   circuit breaker instead.
+/// * [`ErrorClass::Cancelled`] — not a failure at all: the caller
+///   asked the job to stop, and it must not be retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A fresh attempt can plausibly succeed.
+    Retryable,
+    /// Deterministic failure; retrying is pointless.
+    Fatal,
+    /// The caller cancelled the job; never retried.
+    Cancelled,
+}
+
+impl CompileError {
+    /// Classifies this error for retry/breaker decisions.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            CompileError::PassPanicked { .. }
+            | CompileError::BudgetExceeded { .. }
+            | CompileError::Sim(_) => ErrorClass::Retryable,
+            CompileError::Cancelled { .. } => ErrorClass::Cancelled,
+            CompileError::EmptyProgram
+            | CompileError::Map(_)
+            | CompileError::Block(_)
+            | CompileError::Compose(_)
+            | CompileError::MissingStage { .. }
+            | CompileError::InvariantViolation { .. }
+            | CompileError::RegisterMismatch { .. }
+            | CompileError::NoTrajectories => ErrorClass::Fatal,
+        }
+    }
 }
 
 impl fmt::Display for CompileError {
@@ -97,6 +146,9 @@ impl fmt::Display for CompileError {
             ),
             CompileError::PassPanicked { pass, detail } => {
                 write!(f, "pass '{pass}' panicked: {detail}")
+            }
+            CompileError::Cancelled { pass } => {
+                write!(f, "compilation cancelled at pass '{pass}'")
             }
             CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
         }
@@ -158,6 +210,43 @@ mod tests {
             compiled_qubits: 4,
         };
         assert!(e.to_string().contains("register mismatch"));
+    }
+
+    #[test]
+    fn classification_partitions_the_taxonomy() {
+        assert_eq!(
+            CompileError::PassPanicked {
+                pass: "map".into(),
+                detail: "boom".into()
+            }
+            .class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            CompileError::BudgetExceeded { pass: "map".into() }.class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(CompileError::EmptyProgram.class(), ErrorClass::Fatal);
+        assert_eq!(
+            CompileError::MissingStage {
+                pass: "compose",
+                requires: "block"
+            }
+            .class(),
+            ErrorClass::Fatal
+        );
+        assert_eq!(
+            CompileError::Cancelled { pass: "map".into() }.class(),
+            ErrorClass::Cancelled
+        );
+    }
+
+    #[test]
+    fn cancelled_display_names_the_pass() {
+        let e = CompileError::Cancelled {
+            pass: "compose".into(),
+        };
+        assert_eq!(e.to_string(), "compilation cancelled at pass 'compose'");
     }
 
     #[test]

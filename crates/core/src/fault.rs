@@ -12,6 +12,8 @@
 //! ([`crate::PassManager::with_faults`]); the default pipeline carries
 //! an empty plan and pays no cost for the machinery.
 
+use std::fmt;
+
 use geyser_compose::ComposeFaults;
 use geyser_sim::SimFaults;
 
@@ -22,6 +24,23 @@ pub struct FaultInjector {
     /// manager must convert each to
     /// [`crate::CompileError::PassPanicked`].
     pub panic_passes: Vec<String>,
+    /// Passes that panic on entry only on the first attempt of a
+    /// supervised job: the supervisor strips these from the plan after
+    /// attempt 0, so a retry succeeds. Exercises the
+    /// retry-then-recover path with a deterministic fault.
+    pub transient_panic_passes: Vec<String>,
+    /// Passes that hang on entry (sleep-loop) until the job's
+    /// cancellation token fires or the budget expires. Exercises the
+    /// supervisor's ability to free a stuck worker via cancellation.
+    pub hung_passes: Vec<String>,
+    /// Cancels the job's own token after this many *freshly composed*
+    /// blocks have been checkpointed — simulating a bench sweep killed
+    /// mid-composition. The run ends typed-`Cancelled` with a partial
+    /// checkpoint; a `--resume` run completes it bit-identically.
+    pub kill_after_block: Option<usize>,
+    /// Truncates the checkpoint file after writing it, so the next
+    /// resume must detect the corruption and start fresh.
+    pub corrupt_checkpoint: bool,
     /// Forces the composition deadline to be already expired: every
     /// eligible block must fall back with `budget-exhausted`.
     pub force_compose_timeout: bool,
@@ -32,6 +51,51 @@ pub struct FaultInjector {
     pub sim: SimFaults,
 }
 
+/// Why a `--inject` fault spec failed to parse.
+///
+/// Carries the offending token so CLI layers can print a pointed
+/// message instead of panicking on user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// The token's kind is not in the fault table.
+    UnknownKind {
+        /// The unrecognized kind.
+        kind: String,
+    },
+    /// The kind requires a `:<arg>` and none was given.
+    MissingArg {
+        /// The fault kind missing its argument.
+        kind: String,
+        /// What the argument should have been (e.g. `block`).
+        expected: &'static str,
+    },
+    /// The `:<arg>` was present but not a valid index.
+    BadIndex {
+        /// The full offending token.
+        token: String,
+        /// What the argument should have been.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSpecError::UnknownKind { kind } => {
+                write!(f, "unknown fault kind '{kind}'")
+            }
+            FaultSpecError::MissingArg { kind, expected } => {
+                write!(f, "fault '{kind}' needs :<{expected}>")
+            }
+            FaultSpecError::BadIndex { token, expected } => {
+                write!(f, "fault '{token}': bad {expected} index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 impl FaultInjector {
     /// An empty plan: no faults.
     pub fn none() -> Self {
@@ -41,6 +105,10 @@ impl FaultInjector {
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.panic_passes.is_empty()
+            && self.transient_panic_passes.is_empty()
+            && self.hung_passes.is_empty()
+            && self.kill_after_block.is_none()
+            && !self.corrupt_checkpoint
             && !self.force_compose_timeout
             && self.compose.is_empty()
             && self.sim.is_empty()
@@ -81,6 +149,10 @@ impl FaultInjector {
     /// | token | fault |
     /// |---|---|
     /// | `pass-panic:<name>` | pass `<name>` panics on entry |
+    /// | `pass-panic-once:<name>` | pass `<name>` panics only on attempt 0 of a supervised job |
+    /// | `hang-pass:<name>` | pass `<name>` hangs until cancelled or out of budget |
+    /// | `kill-after-block:<i>` | job self-cancels after `i` fresh blocks checkpoint |
+    /// | `checkpoint-corrupt` | checkpoint file truncated after writing |
     /// | `compose-timeout` | composition deadline forced expired |
     /// | `compose-corrupt:<i>` | block `i`'s winning candidate corrupted |
     /// | `compose-panic:<i>` | block `i`'s worker panics |
@@ -96,23 +168,36 @@ impl FaultInjector {
     /// assert_eq!(f.sim.nan_trajectories, vec![3]);
     /// assert!(FaultInjector::parse("bogus").is_err());
     /// ```
-    pub fn parse(spec: &str) -> Result<Self, String> {
+    pub fn parse(spec: &str) -> Result<Self, FaultSpecError> {
         let mut plan = FaultInjector::none();
         for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
             let (kind, arg) = match token.split_once(':') {
                 Some((k, a)) => (k, Some(a)),
                 None => (token, None),
             };
-            let index = |what: &str| -> Result<usize, String> {
-                arg.ok_or_else(|| format!("fault '{kind}' needs :<{what}>"))?
-                    .parse()
-                    .map_err(|_| format!("fault '{token}': bad {what} index"))
+            let index = |expected: &'static str| -> Result<usize, FaultSpecError> {
+                arg.ok_or(FaultSpecError::MissingArg {
+                    kind: kind.to_string(),
+                    expected,
+                })?
+                .parse()
+                .map_err(|_| FaultSpecError::BadIndex {
+                    token: token.to_string(),
+                    expected,
+                })
+            };
+            let name = |expected: &'static str| -> Result<String, FaultSpecError> {
+                arg.map(str::to_string).ok_or(FaultSpecError::MissingArg {
+                    kind: kind.to_string(),
+                    expected,
+                })
             };
             match kind {
-                "pass-panic" => plan.panic_passes.push(
-                    arg.ok_or_else(|| "fault 'pass-panic' needs :<pass-name>".to_string())?
-                        .to_string(),
-                ),
+                "pass-panic" => plan.panic_passes.push(name("pass-name")?),
+                "pass-panic-once" => plan.transient_panic_passes.push(name("pass-name")?),
+                "hang-pass" => plan.hung_passes.push(name("pass-name")?),
+                "kill-after-block" => plan.kill_after_block = Some(index("block")?),
+                "checkpoint-corrupt" => plan.corrupt_checkpoint = true,
                 "compose-timeout" => plan.force_compose_timeout = true,
                 "compose-corrupt" => plan.compose.corrupt_blocks.push(index("block")?),
                 "compose-panic" => plan.compose.panic_blocks.push(index("block")?),
@@ -121,7 +206,11 @@ impl FaultInjector {
                     .sim
                     .persistent_nan_trajectories
                     .push(index("trajectory")?),
-                other => return Err(format!("unknown fault kind '{other}'")),
+                other => {
+                    return Err(FaultSpecError::UnknownKind {
+                        kind: other.to_string(),
+                    })
+                }
             }
         }
         Ok(plan)
@@ -136,16 +225,31 @@ mod tests {
     fn empty_plan_is_empty() {
         assert!(FaultInjector::none().is_empty());
         assert!(!FaultInjector::parse("compose-timeout").unwrap().is_empty());
+        assert!(!FaultInjector::parse("hang-pass:map").unwrap().is_empty());
+        assert!(!FaultInjector::parse("kill-after-block:0")
+            .unwrap()
+            .is_empty());
+        assert!(!FaultInjector::parse("checkpoint-corrupt")
+            .unwrap()
+            .is_empty());
+        assert!(!FaultInjector::parse("pass-panic-once:map")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn parse_covers_every_kind() {
         let plan = FaultInjector::parse(
-            "pass-panic:map, compose-timeout, compose-corrupt:1, compose-panic:2, \
-             sim-nan:3, sim-nan-persistent:4",
+            "pass-panic:map, pass-panic-once:compose, hang-pass:block, \
+             kill-after-block:2, checkpoint-corrupt, compose-timeout, \
+             compose-corrupt:1, compose-panic:2, sim-nan:3, sim-nan-persistent:4",
         )
         .unwrap();
         assert_eq!(plan.panic_passes, vec!["map".to_string()]);
+        assert_eq!(plan.transient_panic_passes, vec!["compose".to_string()]);
+        assert_eq!(plan.hung_passes, vec!["block".to_string()]);
+        assert_eq!(plan.kill_after_block, Some(2));
+        assert!(plan.corrupt_checkpoint);
         assert!(plan.force_compose_timeout);
         assert_eq!(plan.compose.corrupt_blocks, vec![1]);
         assert_eq!(plan.compose.panic_blocks, vec![2]);
@@ -154,11 +258,40 @@ mod tests {
     }
 
     #[test]
-    fn parse_rejects_malformed_tokens() {
-        assert!(FaultInjector::parse("warp-core-breach").is_err());
-        assert!(FaultInjector::parse("compose-corrupt").is_err());
-        assert!(FaultInjector::parse("sim-nan:many").is_err());
+    fn parse_rejects_malformed_tokens_with_typed_errors() {
+        assert_eq!(
+            FaultInjector::parse("warp-core-breach"),
+            Err(FaultSpecError::UnknownKind {
+                kind: "warp-core-breach".to_string()
+            })
+        );
+        assert_eq!(
+            FaultInjector::parse("compose-corrupt"),
+            Err(FaultSpecError::MissingArg {
+                kind: "compose-corrupt".to_string(),
+                expected: "block"
+            })
+        );
+        assert_eq!(
+            FaultInjector::parse("sim-nan:many"),
+            Err(FaultSpecError::BadIndex {
+                token: "sim-nan:many".to_string(),
+                expected: "trajectory"
+            })
+        );
         assert!(FaultInjector::parse("pass-panic").is_err());
+        assert!(FaultInjector::parse("hang-pass").is_err());
+        assert!(FaultInjector::parse("kill-after-block:soon").is_err());
+    }
+
+    #[test]
+    fn spec_errors_render_pointed_messages() {
+        let e = FaultInjector::parse("sim-nan:many").unwrap_err();
+        assert_eq!(e.to_string(), "fault 'sim-nan:many': bad trajectory index");
+        let e = FaultInjector::parse("explode").unwrap_err();
+        assert_eq!(e.to_string(), "unknown fault kind 'explode'");
+        let e = FaultInjector::parse("hang-pass").unwrap_err();
+        assert_eq!(e.to_string(), "fault 'hang-pass' needs :<pass-name>");
     }
 
     #[test]

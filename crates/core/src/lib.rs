@@ -51,18 +51,20 @@ mod technique;
 pub use budget::Budget;
 pub use compiled::CompiledCircuit;
 pub use config::PipelineConfig;
-pub use error::CompileError;
+pub use error::{CompileError, ErrorClass};
 pub use evaluate::{
     estimated_success_probability, evaluate_tvd, ideal_logical_distribution, try_evaluate_tvd,
     try_evaluate_tvd_with_faults, TvdReport,
 };
-pub use fault::FaultInjector;
+pub use fault::{FaultInjector, FaultSpecError};
 pub use pass::{CompileContext, Pass, PassManager};
-pub use report::{CompileReport, PassReport};
+pub use report::{CompileReport, PassReport, SupervisionStats};
 pub use technique::{compile, try_compile, Technique};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
+pub use geyser_optimize::{CancelToken, Deadline};
+
 pub use geyser_blocking as blocking;
 pub use geyser_circuit as circuit;
 pub use geyser_compose as compose;

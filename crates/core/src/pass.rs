@@ -14,7 +14,7 @@ use geyser_blocking::BlockedCircuit;
 use geyser_circuit::Circuit;
 use geyser_compose::CompositionStats;
 use geyser_map::MappedCircuit;
-use geyser_optimize::Deadline;
+use geyser_optimize::{CancelToken, Deadline};
 use geyser_sim::{ideal_distribution, total_variation_distance};
 use geyser_topology::Lattice;
 
@@ -36,6 +36,7 @@ pub struct CompileContext<'a> {
     config: &'a PipelineConfig,
     technique: Technique,
     deadline: Deadline,
+    cancel: CancelToken,
     faults: FaultInjector,
     lattice: Option<Lattice>,
     mapped: Option<MappedCircuit>,
@@ -52,6 +53,7 @@ impl<'a> CompileContext<'a> {
             config,
             technique,
             deadline: Deadline::none(),
+            cancel: CancelToken::none(),
             faults: FaultInjector::none(),
             lattice: None,
             mapped: None,
@@ -70,6 +72,20 @@ impl<'a> CompileContext<'a> {
     /// Installs the run's deadline (done once by the manager).
     pub fn set_deadline(&mut self, deadline: Deadline) {
         self.deadline = deadline;
+    }
+
+    /// The job's cooperative cancellation token. Passes that run
+    /// long inner loops (annealing, per-block composition) must poll
+    /// it; a fired token ends the run with
+    /// [`CompileError::Cancelled`].
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Installs the run's cancellation token (done once by the
+    /// manager).
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
     }
 
     /// The active fault-injection plan (empty in production runs).
@@ -219,6 +235,7 @@ pub struct PassManager {
     passes: Vec<Box<dyn Pass>>,
     debug_invariants: bool,
     faults: FaultInjector,
+    cancel: CancelToken,
 }
 
 impl PassManager {
@@ -230,6 +247,7 @@ impl PassManager {
             passes,
             debug_invariants: false,
             faults: FaultInjector::none(),
+            cancel: CancelToken::none(),
         }
     }
 
@@ -245,6 +263,16 @@ impl PassManager {
     /// threaded into the composition stage.
     pub fn with_faults(mut self, faults: FaultInjector) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Installs a cooperative cancellation token. The manager checks
+    /// it before every pass (returning [`CompileError::Cancelled`]
+    /// once fired) and threads it into the context so long-running
+    /// passes — the annealer's chain moves, per-block composition —
+    /// observe it at much finer grain than the wall-clock budget.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -293,9 +321,17 @@ impl PassManager {
         }
         let mut ctx = CompileContext::new(program, self.technique, config);
         ctx.set_deadline(config.budget.start());
+        ctx.set_cancel(self.cancel.clone());
         ctx.set_faults(self.faults.clone());
         let mut report = CompileReport::new(self.technique.label());
         for pass in &self.passes {
+            // Cancellation wins over degradation: a cancelled job must
+            // stop producing output, not finalize a partial circuit.
+            if self.cancel.is_cancelled() {
+                return Err(CompileError::Cancelled {
+                    pass: pass.name().to_string(),
+                });
+            }
             if ctx.deadline().expired() {
                 if ctx.mapped().is_some() {
                     // Graceful degradation: keep what compiled so far.
@@ -307,10 +343,43 @@ impl PassManager {
                     pass: pass.name().to_string(),
                 });
             }
+            if self.faults.hung_passes.iter().any(|p| p == pass.name()) {
+                // Injected hang: the pass makes no progress, so the
+                // only exits are the job's cancel token or the
+                // wall-clock budget — exactly the paths a supervisor
+                // must be able to free a stuck worker through.
+                loop {
+                    if self.cancel.is_cancelled() {
+                        return Err(CompileError::Cancelled {
+                            pass: pass.name().to_string(),
+                        });
+                    }
+                    if ctx.deadline().expired() {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                if ctx.mapped().is_some() {
+                    report.budget_exhausted = true;
+                    report.skipped_passes.push(pass.name().to_string());
+                    continue;
+                }
+                return Err(CompileError::BudgetExceeded {
+                    pass: pass.name().to_string(),
+                });
+            }
             let (pulses_before, gates_before, depth_before) = snapshot(&ctx);
             let blocks_before = ctx.composition_stats().map(|s| s.blocks_composed as u64);
             let start = Instant::now();
-            let inject_panic = self.faults.panic_passes.iter().any(|p| p == pass.name());
+            // Transient panics fault identically to persistent ones
+            // here; the supervisor strips them from the plan after
+            // attempt 0 so a retry succeeds.
+            let inject_panic = self
+                .faults
+                .panic_passes
+                .iter()
+                .chain(self.faults.transient_panic_passes.iter())
+                .any(|p| p == pass.name());
             // Panic isolation: a pass that unwinds (injected or a
             // genuine bug) is reported as a typed error; the context
             // is dropped with the run, never reused.

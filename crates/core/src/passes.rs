@@ -7,7 +7,7 @@
 //! themselves live in those crates.
 
 use geyser_blocking::try_block_circuit;
-use geyser_compose::try_compose_blocked_circuit_with_faults;
+use geyser_compose::try_compose_blocked_circuit_supervised;
 use geyser_map::{optimize_to_fixpoint, try_map_circuit, MappingOptions};
 use geyser_optimize::Deadline;
 use geyser_topology::Lattice;
@@ -153,9 +153,23 @@ impl Pass for ComposePass {
         } else if ctx.deadline().is_bounded() {
             cfg = cfg.with_deadline(ctx.deadline());
         }
-        let composed =
-            try_compose_blocked_circuit_with_faults(blocked, &cfg, &ctx.faults().compose)?;
+        let composed = try_compose_blocked_circuit_supervised(
+            blocked,
+            &cfg,
+            &ctx.faults().compose,
+            ctx.cancel(),
+            &[],
+            None,
+        )?;
         ctx.set_composed(composed.circuit, composed.stats);
+        // A token that fired mid-composition left the remaining blocks
+        // uncomposed; surface the typed terminal state instead of
+        // finalizing a silently degraded circuit.
+        if ctx.cancel().is_cancelled() {
+            return Err(CompileError::Cancelled {
+                pass: "compose".to_string(),
+            });
+        }
         Ok(())
     }
 }

@@ -37,6 +37,30 @@ impl PassReport {
     }
 }
 
+/// How the supervisor ran this job: retry, backoff, queue, breaker,
+/// and checkpoint-resume accounting. Absent (`None`) for unsupervised
+/// runs, so plain pipeline reports are unchanged.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionStats {
+    /// Pipeline attempts consumed, including the final one (1 = no
+    /// retries were needed).
+    pub attempts: u64,
+    /// Attempts beyond the first (`attempts - 1`).
+    pub retries: u64,
+    /// Total milliseconds of retry backoff the job slept through.
+    pub backoff_ms: u64,
+    /// Jobs already waiting when this one was admitted to the queue.
+    pub queue_depth: u64,
+    /// The workload's circuit-breaker state when the job finished
+    /// (`closed`, `open`, or `half-open`).
+    pub breaker_state: String,
+    /// Composition blocks restored from a checkpoint instead of
+    /// recomposed.
+    pub blocks_resumed: u64,
+    /// Whether the run started from a crash-safe checkpoint at all.
+    pub resumed_from_checkpoint: bool,
+}
+
 /// The full instrumentation record of one [`crate::PassManager`] run.
 ///
 /// Serializable to JSON for the evaluation binaries (`--report PATH`).
@@ -59,6 +83,9 @@ pub struct CompileReport {
     pub blocks_fell_back: u64,
     /// Composition blocks whose isolated worker panicked.
     pub blocks_failed: u64,
+    /// Supervisor accounting (retries, backoff, breaker, resume);
+    /// `None` when the pipeline ran unsupervised.
+    pub supervision: Option<SupervisionStats>,
 }
 
 impl CompileReport {
@@ -72,6 +99,7 @@ impl CompileReport {
             skipped_passes: Vec::new(),
             blocks_fell_back: 0,
             blocks_failed: 0,
+            supervision: None,
         }
     }
 
@@ -111,6 +139,7 @@ mod tests {
             skipped_passes: Vec::new(),
             blocks_fell_back: 0,
             blocks_failed: 0,
+            supervision: None,
             passes: vec![
                 PassReport {
                     name: "map".into(),
@@ -179,5 +208,27 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.skipped_passes.len(), 2);
         assert_eq!(back.budget_remaining_ms, Some(0));
+    }
+
+    #[test]
+    fn supervision_stats_roundtrip() {
+        let mut r = sample();
+        r.supervision = Some(SupervisionStats {
+            attempts: 3,
+            retries: 2,
+            backoff_ms: 12,
+            queue_depth: 5,
+            breaker_state: "closed".into(),
+            blocks_resumed: 4,
+            resumed_from_checkpoint: true,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"supervision\""));
+        assert!(json.contains("\"breaker_state\""));
+        let back: CompileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let s = back.supervision.unwrap();
+        assert_eq!(s.retries, 2);
+        assert!(s.resumed_from_checkpoint);
     }
 }

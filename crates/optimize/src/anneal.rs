@@ -11,7 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::special::ln_gamma;
-use crate::{nelder_mead, Bounds, Deadline, NelderMeadConfig, OptimizeResult};
+use crate::{nelder_mead, Bounds, CancelToken, Deadline, NelderMeadConfig, OptimizeResult};
 
 /// Configuration for [`dual_annealing`].
 ///
@@ -40,6 +40,9 @@ pub struct DualAnnealingConfig {
     /// Wall-clock budget: the outer loop stops (returning the best
     /// iterate so far) once this deadline expires.
     pub deadline: Deadline,
+    /// Cooperative cancellation: polled every chain move, so a
+    /// supervisor's cancel is observed within one inner iteration.
+    pub cancel: CancelToken,
 }
 
 impl Default for DualAnnealingConfig {
@@ -55,6 +58,7 @@ impl Default for DualAnnealingConfig {
             polish: true,
             target: None,
             deadline: Deadline::none(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -81,6 +85,12 @@ impl DualAnnealingConfig {
     /// Returns a copy bounded by the given wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Returns a copy observing the given cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -193,7 +203,7 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
     let mut step = 0usize;
 
     'outer: for _iter in 0..cfg.max_iters {
-        if cfg.deadline.expired() {
+        if cfg.deadline.expired() || cfg.cancel.is_cancelled() {
             break 'outer;
         }
         step += 1;
@@ -210,6 +220,11 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
         // One annealing "chain": dim full-vector moves then dim
         // single-coordinate moves (as in SciPy's strategy chain).
         for j in 0..(2 * dim) {
+            // Cancellation must interrupt even a single long chain:
+            // poll per move, not only per temperature step.
+            if cfg.cancel.is_cancelled() {
+                break 'outer;
+            }
             let mut candidate = current.clone();
             if j < dim {
                 for (i, slot) in candidate.iter_mut().enumerate() {
@@ -255,9 +270,9 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
         }
     }
 
-    // Local polish (the "dual" phase). Skipped on an expired deadline:
-    // the caller asked for whatever the budget bought.
-    if cfg.polish && !cfg.deadline.expired() {
+    // Local polish (the "dual" phase). Skipped on an expired deadline
+    // or a cancelled run: the caller asked for whatever was bought.
+    if cfg.polish && !cfg.deadline.expired() && !cfg.cancel.is_cancelled() {
         let nm_cfg = NelderMeadConfig {
             max_evaluations: (cfg.max_evaluations.saturating_sub(evaluations)).min(400 * dim),
             ..NelderMeadConfig::default()
@@ -384,6 +399,48 @@ mod tests {
         assert_eq!(res.evaluations, 1);
         assert!(res.fx.is_finite());
         assert!(bounds.contains(&res.x));
+    }
+
+    #[test]
+    fn pre_cancelled_token_returns_best_so_far_quickly() {
+        let bounds = Bounds::uniform(8, -5.0, 5.0);
+        let token = CancelToken::new();
+        token.cancel();
+        let cfg = DualAnnealingConfig::default()
+            .with_seed(9)
+            .with_cancel(token);
+        let res = dual_annealing(&rastrigin, &bounds, &cfg);
+        // One initial evaluation, no chain moves, no polish.
+        assert_eq!(res.evaluations, 1);
+        assert!(res.fx.is_finite());
+        assert!(bounds.contains(&res.x));
+    }
+
+    #[test]
+    fn cancellation_is_observed_within_one_chain_move() {
+        // The objective itself fires the token after 100 evaluations:
+        // the annealer must stop within one further chain move (which
+        // costs exactly one evaluation).
+        let dim = 4usize;
+        let bounds = Bounds::uniform(dim, -5.0, 5.0);
+        let token = CancelToken::new();
+        let evals = std::sync::atomic::AtomicUsize::new(0);
+        let f = |x: &[f64]| {
+            if evals.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1 >= 100 {
+                token.cancel();
+            }
+            sphere(x)
+        };
+        let cfg = DualAnnealingConfig::default()
+            .with_seed(3)
+            .with_cancel(token.clone());
+        let res = dual_annealing(&f, &bounds, &cfg);
+        assert!(token.is_cancelled());
+        assert!(
+            res.evaluations <= 101,
+            "cancel observed late: {} evaluations",
+            res.evaluations
+        );
     }
 
     #[test]

@@ -120,4 +120,24 @@ mod tests {
         assert!(d.expired());
         assert_eq!(d.remaining_ms(), Some(0));
     }
+
+    #[test]
+    fn overflowing_deadline_saturates_to_unbounded() {
+        // `Instant + u64::MAX ms` overflows `checked_add`; the deadline
+        // saturates to "never expires" instead of wrapping into the
+        // past and killing the run immediately.
+        let d = Deadline::after_ms(u64::MAX);
+        assert!(!d.expired());
+        assert_eq!(d.remaining_ms(), None);
+    }
+
+    #[test]
+    fn remaining_ms_saturates_at_zero_after_expiry() {
+        let d = Deadline::after_ms(1);
+        std::thread::sleep(Duration::from_millis(5));
+        // Past expiry the remaining time clamps to zero, never
+        // underflows.
+        assert!(d.expired());
+        assert_eq!(d.remaining_ms(), Some(0));
+    }
 }

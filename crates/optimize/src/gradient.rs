@@ -6,7 +6,7 @@
 //! local refiner — it is used here to polish dual-annealing iterates
 //! and as a multi-start local searcher in its own right.
 
-use crate::{Bounds, Deadline, OptimizeResult};
+use crate::{Bounds, CancelToken, Deadline, OptimizeResult};
 
 /// Configuration for [`adam`].
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +30,8 @@ pub struct AdamConfig {
     /// Wall-clock budget: descent stops (returning the best iterate so
     /// far) once this deadline expires.
     pub deadline: Deadline,
+    /// Cooperative cancellation: polled every descent iteration.
+    pub cancel: CancelToken,
 }
 
 impl Default for AdamConfig {
@@ -43,6 +45,7 @@ impl Default for AdamConfig {
             target: None,
             stall_tol: 1e-12,
             deadline: Deadline::none(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -57,6 +60,12 @@ impl AdamConfig {
     /// Returns a copy bounded by the given wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Deadline) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Returns a copy observing the given cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 }
@@ -104,7 +113,7 @@ pub fn adam<F: Fn(&[f64]) -> f64>(
     let mut lr = cfg.learning_rate;
 
     for t in 1..=cfg.max_iters {
-        if cfg.deadline.expired() {
+        if cfg.deadline.expired() || cfg.cancel.is_cancelled() {
             break;
         }
         // Central-difference gradient.
@@ -207,6 +216,18 @@ mod tests {
         };
         let res = adam(&f, &bounds, &[-1.0, 1.0], &cfg);
         assert!(res.fx < 1e-3, "fx = {}", res.fx);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_after_initial_evaluation() {
+        let bounds = Bounds::uniform(3, -5.0, 5.0);
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cfg = AdamConfig::default().with_cancel(token);
+        let res = adam(&f, &bounds, &[3.0, 2.0, 1.0], &cfg);
+        assert_eq!(res.evaluations, 1);
+        assert!(res.fx.is_finite());
     }
 
     #[test]

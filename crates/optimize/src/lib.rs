@@ -30,6 +30,7 @@
 
 mod anneal;
 mod bounds;
+mod cancel;
 mod deadline;
 mod gradient;
 mod neldermead;
@@ -37,6 +38,7 @@ mod special;
 
 pub use anneal::{dual_annealing, DualAnnealingConfig};
 pub use bounds::Bounds;
+pub use cancel::CancelToken;
 pub use deadline::Deadline;
 pub use gradient::{adam, AdamConfig};
 pub use neldermead::{nelder_mead, NelderMeadConfig};

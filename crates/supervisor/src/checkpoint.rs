@@ -1,0 +1,438 @@
+//! Crash-safe checkpointing of per-block composition results.
+//!
+//! Composition dominates compile time, and its per-block results are
+//! independent (each block derives its seed from `(config.seed,
+//! block index)`), so they are the natural checkpoint grain: every
+//! freshly composed block is appended to a JSON checkpoint written
+//! with the classic temp-file + atomic-rename dance. A run killed at
+//! any instant leaves either the previous complete checkpoint or the
+//! new complete checkpoint on disk — never a torn file — and a
+//! `--resume` run restores the recorded blocks verbatim, finishing
+//! bit-identical to an uninterrupted run.
+//!
+//! A checkpoint is bound to its run by a fingerprint of the blocked
+//! circuit's source and the composition seed; a stale or corrupt file
+//! is detected at load time and the run starts fresh.
+
+use std::io::Read;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use geyser::CancelToken;
+use geyser_circuit::Circuit;
+use geyser_compose::{BlockObserver, BlockOutcome, CompositionResult, FallbackReason};
+use serde::{Deserialize, Serialize};
+
+/// On-disk format version; bumped on incompatible layout changes.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// One checkpointed block result — a serializable mirror of
+/// [`CompositionResult`] (the vendored serde derive has no attribute
+/// support, so enums are flattened into a `kind` + optional fields,
+/// the same idiom the bench cache uses).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CheckpointBlock {
+    index: usize,
+    circuit: Circuit,
+    hsd: f64,
+    composed: bool,
+    layers: usize,
+    /// `composed`, `fell-back`, or `failed`.
+    outcome_kind: String,
+    outcome_layers: usize,
+    outcome_hsd: f64,
+    /// [`FallbackReason::label`] when `outcome_kind == "fell-back"`.
+    outcome_reason: Option<String>,
+    /// Panic payload when `outcome_kind == "failed"`.
+    outcome_detail: Option<String>,
+}
+
+impl CheckpointBlock {
+    fn from_result(index: usize, res: &CompositionResult) -> Option<Self> {
+        let (kind, layers, hsd, reason, detail) = match &res.outcome {
+            BlockOutcome::Composed { layers, hsd } => ("composed", *layers, *hsd, None, None),
+            BlockOutcome::FellBack { reason } => {
+                ("fell-back", 0, 0.0, Some(reason.label().to_string()), None)
+            }
+            // Failed and Skipped blocks are not checkpointed: a resume
+            // should retry a panicked block, and skipped blocks carry
+            // no result at all.
+            BlockOutcome::Failed { .. } | BlockOutcome::Skipped => return None,
+        };
+        Some(CheckpointBlock {
+            index,
+            circuit: res.circuit.clone(),
+            hsd: res.hsd,
+            composed: res.composed,
+            layers: res.layers,
+            outcome_kind: kind.to_string(),
+            outcome_layers: layers,
+            outcome_hsd: hsd,
+            outcome_reason: reason,
+            outcome_detail: detail,
+        })
+    }
+
+    fn to_result(&self) -> Option<(usize, CompositionResult)> {
+        let outcome = match self.outcome_kind.as_str() {
+            "composed" => BlockOutcome::Composed {
+                layers: self.outcome_layers,
+                hsd: self.outcome_hsd,
+            },
+            "fell-back" => BlockOutcome::FellBack {
+                reason: FallbackReason::from_label(self.outcome_reason.as_deref()?)?,
+            },
+            "failed" => BlockOutcome::Failed {
+                detail: self.outcome_detail.clone()?,
+            },
+            _ => return None,
+        };
+        Some((
+            self.index,
+            CompositionResult {
+                circuit: self.circuit.clone(),
+                hsd: self.hsd,
+                composed: self.composed,
+                layers: self.layers,
+                outcome,
+            },
+        ))
+    }
+}
+
+/// A composition checkpoint: completed block results bound to one
+/// `(source circuit, seed)` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    version: u64,
+    fingerprint: u64,
+    seed: u64,
+    num_blocks: usize,
+    blocks: Vec<CheckpointBlock>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a run over `num_blocks` blocks of a
+    /// circuit with the given fingerprint and composition seed.
+    pub fn new(fingerprint: u64, seed: u64, num_blocks: usize) -> Self {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            seed,
+            num_blocks,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Completed block results recorded so far.
+    pub fn num_recorded(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether this checkpoint belongs to the `(fingerprint, seed,
+    /// num_blocks)` run — resuming someone else's checkpoint would
+    /// silently splice wrong circuits in.
+    pub fn matches(&self, fingerprint: u64, seed: u64, num_blocks: usize) -> bool {
+        self.version == CHECKPOINT_VERSION
+            && self.fingerprint == fingerprint
+            && self.seed == seed
+            && self.num_blocks == num_blocks
+    }
+
+    /// Expands the recorded blocks into the `prior` slice shape that
+    /// `try_compose_blocked_circuit_supervised` resumes from.
+    pub fn to_prior(&self) -> Vec<Option<CompositionResult>> {
+        let mut prior = vec![None; self.num_blocks];
+        for block in &self.blocks {
+            if let Some((index, result)) = block.to_result() {
+                if index < prior.len() {
+                    prior[index] = Some(result);
+                }
+            }
+        }
+        prior
+    }
+}
+
+/// Why a checkpoint could not be loaded.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read (missing counts here too).
+    Io(std::io::Error),
+    /// The file was read but is not a valid checkpoint — truncated by
+    /// a crash, injected corruption, or version skew.
+    Corrupt,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint unreadable: {e}"),
+            CheckpointError::Corrupt => f.write_str("checkpoint corrupt or truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// FNV-1a fingerprint of a circuit's debug form — the same scheme the
+/// bench cache uses to bind artifacts to their exact input.
+pub fn checkpoint_fingerprint(circuit: &Circuit) -> u64 {
+    let text = format!("{circuit:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Writes the checkpoint crash-safely: serialize to `<path>.tmp`,
+/// then atomically rename over `path`. A crash mid-write leaves the
+/// previous checkpoint intact; a crash between write and rename
+/// leaves a stray `.tmp` that the next write simply overwrites.
+pub fn write_checkpoint_atomic(path: &Path, checkpoint: &Checkpoint) -> std::io::Result<()> {
+    let body = serde_json::to_string(checkpoint)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, body)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads a checkpoint, distinguishing unreadable files from corrupt
+/// ones.
+pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
+    let mut body = String::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut body))
+        .map_err(CheckpointError::Io)?;
+    serde_json::from_str(&body).map_err(|_| CheckpointError::Corrupt)
+}
+
+/// The live checkpoint writer: a [`BlockObserver`] that persists the
+/// checkpoint after every fresh block and drives the injectable
+/// mid-run faults (`checkpoint-corrupt`, `kill-after-block`).
+pub(crate) struct CheckpointWriter {
+    path: std::path::PathBuf,
+    state: Mutex<Checkpoint>,
+    /// Truncate the file after each write (injected corruption).
+    corrupt: bool,
+    /// Cancel `cancel` once this many fresh blocks have checkpointed
+    /// (simulates the process dying mid-sweep).
+    kill_after: Option<usize>,
+    cancel: CancelToken,
+    fresh: AtomicUsize,
+}
+
+impl CheckpointWriter {
+    pub(crate) fn new(
+        path: std::path::PathBuf,
+        initial: Checkpoint,
+        corrupt: bool,
+        kill_after: Option<usize>,
+        cancel: CancelToken,
+    ) -> Self {
+        CheckpointWriter {
+            path,
+            state: Mutex::new(initial),
+            corrupt,
+            kill_after,
+            cancel,
+            fresh: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl BlockObserver for CheckpointWriter {
+    fn block_finished(&self, index: usize, result: &CompositionResult) {
+        // A cancelled fallback is not a completed block; persisting it
+        // would make the resume skip real work.
+        if matches!(
+            result.outcome,
+            BlockOutcome::FellBack {
+                reason: FallbackReason::Cancelled
+            }
+        ) {
+            return;
+        }
+        if let Some(block) = CheckpointBlock::from_result(index, result) {
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.blocks.push(block);
+            // Checkpoint IO failures must never fail the compilation:
+            // the checkpoint is an optimization for the next run.
+            let _ = write_checkpoint_atomic(&self.path, &state);
+            drop(state);
+            if self.corrupt {
+                if let Ok(body) = std::fs::read_to_string(&self.path) {
+                    let _ = std::fs::write(&self.path, &body[..body.len() / 2]);
+                }
+            }
+        }
+        let fresh = self.fresh.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(kill_at) = self.kill_after {
+            if fresh >= kill_at.max(1) {
+                self.cancel.cancel();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(composed: bool) -> CompositionResult {
+        let mut c = Circuit::new(3);
+        c.h(0).cz(0, 1);
+        CompositionResult {
+            circuit: c,
+            hsd: 1e-4,
+            composed,
+            layers: 2,
+            outcome: if composed {
+                BlockOutcome::Composed {
+                    layers: 2,
+                    hsd: 1e-4,
+                }
+            } else {
+                BlockOutcome::FellBack {
+                    reason: FallbackReason::NotCheaper,
+                }
+            },
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "geyser-ckpt-test-{}-{tag}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let path = temp_path("roundtrip");
+        let mut ckpt = Checkpoint::new(0xabcd, 7, 5);
+        ckpt.blocks
+            .push(CheckpointBlock::from_result(2, &sample_result(true)).unwrap());
+        ckpt.blocks
+            .push(CheckpointBlock::from_result(4, &sample_result(false)).unwrap());
+        write_checkpoint_atomic(&path, &ckpt).unwrap();
+        let back = load_checkpoint(&path).unwrap();
+        assert!(back.matches(0xabcd, 7, 5));
+        assert_eq!(back.num_recorded(), 2);
+        let prior = back.to_prior();
+        assert_eq!(prior.len(), 5);
+        assert!(prior[0].is_none() && prior[1].is_none() && prior[3].is_none());
+        let restored = prior[2].as_ref().unwrap();
+        assert!(restored.composed);
+        assert_eq!(restored.layers, 2);
+        assert_eq!(
+            prior[4].as_ref().unwrap().outcome,
+            BlockOutcome::FellBack {
+                reason: FallbackReason::NotCheaper
+            }
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_run_is_rejected() {
+        let ckpt = Checkpoint::new(1, 2, 3);
+        assert!(!ckpt.matches(999, 2, 3), "wrong fingerprint");
+        assert!(!ckpt.matches(1, 999, 3), "wrong seed");
+        assert!(!ckpt.matches(1, 2, 999), "wrong block count");
+        assert!(ckpt.matches(1, 2, 3));
+    }
+
+    #[test]
+    fn truncated_file_loads_as_corrupt() {
+        let path = temp_path("truncated");
+        let ckpt = Checkpoint::new(1, 2, 3);
+        write_checkpoint_atomic(&path, &ckpt).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corrupt() {
+        let path = temp_path("missing-never-written");
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let path = temp_path("atomic");
+        write_checkpoint_atomic(&path, &Checkpoint::new(5, 6, 7)).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("json.tmp").exists());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_circuits() {
+        let mut a = Circuit::new(3);
+        a.h(0);
+        let mut b = Circuit::new(3);
+        b.h(1);
+        assert_ne!(checkpoint_fingerprint(&a), checkpoint_fingerprint(&b));
+        let mut a2 = Circuit::new(3);
+        a2.h(0);
+        assert_eq!(checkpoint_fingerprint(&a), checkpoint_fingerprint(&a2));
+    }
+
+    #[test]
+    fn writer_records_fresh_blocks_and_fires_kill_switch() {
+        let path = temp_path("writer");
+        let token = CancelToken::new();
+        let writer = CheckpointWriter::new(
+            path.clone(),
+            Checkpoint::new(1, 2, 4),
+            false,
+            Some(2),
+            token.clone(),
+        );
+        writer.block_finished(0, &sample_result(true));
+        assert!(!token.is_cancelled(), "kill fires after 2 blocks, not 1");
+        writer.block_finished(1, &sample_result(true));
+        assert!(token.is_cancelled());
+        let back = load_checkpoint(&path).unwrap();
+        assert_eq!(back.num_recorded(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writer_skips_cancelled_fallbacks() {
+        let path = temp_path("writer-cancelled");
+        let writer = CheckpointWriter::new(
+            path.clone(),
+            Checkpoint::new(1, 2, 4),
+            false,
+            None,
+            CancelToken::none(),
+        );
+        let mut res = sample_result(false);
+        res.outcome = BlockOutcome::FellBack {
+            reason: FallbackReason::Cancelled,
+        };
+        writer.block_finished(0, &res);
+        assert!(!path.exists(), "cancelled fallback must not be persisted");
+    }
+}

@@ -1,0 +1,258 @@
+//! One supervised pipeline attempt: the stock pass list with the
+//! composition stage swapped for a checkpoint-aware twin.
+
+use std::path::PathBuf;
+
+use geyser::{
+    CancelToken, CompileContext, CompileError, CompiledCircuit, Deadline, FaultInjector, Pass,
+    PassManager, PipelineConfig, Technique,
+};
+use geyser_circuit::Circuit;
+use geyser_compose::try_compose_blocked_circuit_supervised;
+
+use crate::checkpoint::{checkpoint_fingerprint, load_checkpoint, Checkpoint, CheckpointWriter};
+
+/// How one supervised attempt should run.
+#[derive(Debug, Clone)]
+pub struct SupervisedCompileOptions {
+    /// Technique whose pass list to run.
+    pub technique: Technique,
+    /// Fault plan for this attempt (the supervisor strips transient
+    /// faults after attempt 0).
+    pub faults: FaultInjector,
+    /// The job's cancellation token.
+    pub cancel: CancelToken,
+    /// Composition checkpoint file; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Whether to restore a matching checkpoint before composing.
+    pub resume: bool,
+}
+
+impl SupervisedCompileOptions {
+    /// Plain supervised options: no faults, no checkpoint.
+    pub fn new(technique: Technique) -> Self {
+        SupervisedCompileOptions {
+            technique,
+            faults: FaultInjector::none(),
+            cancel: CancelToken::none(),
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+/// Drop-in replacement for the stock `compose` pass that persists
+/// per-block results to a crash-safe checkpoint as they land and, on
+/// resume, restores a matching checkpoint's blocks instead of
+/// recomposing them.
+///
+/// Registered under the same pass name (`compose`) so reports,
+/// invariant checks, and skip accounting are unchanged.
+#[derive(Debug, Clone)]
+pub struct CheckpointedComposePass {
+    path: PathBuf,
+    resume: bool,
+}
+
+impl CheckpointedComposePass {
+    /// A checkpointing compose pass writing to (and, if `resume`,
+    /// restoring from) `path`.
+    pub fn new(path: PathBuf, resume: bool) -> Self {
+        CheckpointedComposePass { path, resume }
+    }
+}
+
+impl Pass for CheckpointedComposePass {
+    fn name(&self) -> &'static str {
+        "compose"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        let blocked = ctx.blocked().ok_or(CompileError::MissingStage {
+            pass: "compose",
+            requires: "block",
+        })?;
+        // Same budget threading as the stock compose pass.
+        let mut cfg = ctx.config().composition;
+        if ctx.faults().force_compose_timeout {
+            cfg = cfg.with_deadline(Deadline::already_expired());
+        } else if ctx.deadline().is_bounded() {
+            cfg = cfg.with_deadline(ctx.deadline());
+        }
+
+        let fingerprint = checkpoint_fingerprint(blocked.source());
+        let num_blocks = blocked.num_blocks();
+        // A checkpoint binds to (source circuit, composition seed,
+        // block count); anything else is someone else's run and must
+        // not be spliced in. Corrupt or missing files degrade to a
+        // fresh start — resume is an optimization, never a
+        // correctness requirement.
+        let (initial, prior) = match load_checkpoint(&self.path) {
+            Ok(ckpt) if self.resume && ckpt.matches(fingerprint, cfg.seed, num_blocks) => {
+                let prior = ckpt.to_prior();
+                (ckpt, prior)
+            }
+            _ => (
+                Checkpoint::new(fingerprint, cfg.seed, num_blocks),
+                Vec::new(),
+            ),
+        };
+        let writer = CheckpointWriter::new(
+            self.path.clone(),
+            initial,
+            ctx.faults().corrupt_checkpoint,
+            ctx.faults().kill_after_block,
+            ctx.cancel().clone(),
+        );
+        let composed = try_compose_blocked_circuit_supervised(
+            blocked,
+            &cfg,
+            &ctx.faults().compose,
+            ctx.cancel(),
+            &prior,
+            Some(&writer),
+        )?;
+        ctx.set_composed(composed.circuit, composed.stats);
+        if ctx.cancel().is_cancelled() {
+            return Err(CompileError::Cancelled {
+                pass: "compose".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Runs one supervised pipeline attempt: the technique's stock pass
+/// list, with the `compose` pass replaced by
+/// [`CheckpointedComposePass`] when a checkpoint path is configured,
+/// under the attempt's fault plan and cancellation token.
+pub fn run_supervised_compile(
+    program: &Circuit,
+    config: &PipelineConfig,
+    opts: &SupervisedCompileOptions,
+) -> Result<CompiledCircuit, CompileError> {
+    let passes: Vec<Box<dyn Pass>> = opts
+        .technique
+        .pass_list()
+        .into_iter()
+        .map(|pass| match (&opts.checkpoint, pass.name()) {
+            (Some(path), "compose") => {
+                Box::new(CheckpointedComposePass::new(path.clone(), opts.resume)) as Box<dyn Pass>
+            }
+            _ => pass,
+        })
+        .collect();
+    PassManager::new(opts.technique, passes)
+        .with_faults(opts.faults.clone())
+        .with_cancel(opts.cancel.clone())
+        .run(program, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0).cz(0, 1).h(1).cz(1, 2).h(2).cz(0, 2).h(0).cz(1, 2);
+        c
+    }
+
+    fn temp_ckpt(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "geyser-supervised-compile-{}-{tag}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn plain_supervised_compile_matches_unsupervised() {
+        let cfg = PipelineConfig::fast();
+        let direct = geyser::try_compile(&program(), Technique::Geyser, &cfg).unwrap();
+        let supervised = run_supervised_compile(
+            &program(),
+            &cfg,
+            &SupervisedCompileOptions::new(Technique::Geyser),
+        )
+        .unwrap();
+        assert_eq!(
+            supervised.mapped().circuit().ops(),
+            direct.mapped().circuit().ops()
+        );
+    }
+
+    #[test]
+    fn kill_after_block_cancels_typed_and_leaves_partial_checkpoint() {
+        let path = temp_ckpt("kill");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PipelineConfig::fast();
+        let mut opts = SupervisedCompileOptions::new(Technique::Geyser);
+        opts.faults = geyser::FaultInjector::parse("kill-after-block:1").unwrap();
+        opts.cancel = CancelToken::new();
+        opts.checkpoint = Some(path.clone());
+        let err = run_supervised_compile(&program(), &cfg, &opts).unwrap_err();
+        assert!(
+            matches!(err, CompileError::Cancelled { .. }),
+            "expected typed Cancelled, got {err:?}"
+        );
+        let ckpt = load_checkpoint(&path).expect("partial checkpoint persisted");
+        assert!(ckpt.num_recorded() >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_after_kill_is_bit_identical_to_uninterrupted_run() {
+        let path = temp_ckpt("resume");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PipelineConfig::fast();
+
+        // Reference: one uninterrupted run.
+        let full = run_supervised_compile(
+            &program(),
+            &cfg,
+            &SupervisedCompileOptions::new(Technique::Geyser),
+        )
+        .unwrap();
+
+        // Run 1: killed after the first fresh block.
+        let mut killed = SupervisedCompileOptions::new(Technique::Geyser);
+        killed.faults = geyser::FaultInjector::parse("kill-after-block:1").unwrap();
+        killed.cancel = CancelToken::new();
+        killed.checkpoint = Some(path.clone());
+        run_supervised_compile(&program(), &cfg, &killed).unwrap_err();
+
+        // Run 2: resume from the partial checkpoint, no faults.
+        let mut resumed = SupervisedCompileOptions::new(Technique::Geyser);
+        resumed.cancel = CancelToken::new();
+        resumed.checkpoint = Some(path.clone());
+        resumed.resume = true;
+        let recovered = run_supervised_compile(&program(), &cfg, &resumed).unwrap();
+
+        assert_eq!(
+            recovered.mapped().circuit().ops(),
+            full.mapped().circuit().ops(),
+            "resumed run must be bit-identical to the uninterrupted run"
+        );
+        let stats = recovered.composition_stats().unwrap();
+        assert!(
+            stats.blocks_resumed >= 1,
+            "at least the checkpointed block must be restored"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_fresh_start() {
+        let path = temp_ckpt("corrupt");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "{ not a checkpoint").unwrap();
+        let cfg = PipelineConfig::fast();
+        let mut opts = SupervisedCompileOptions::new(Technique::Geyser);
+        opts.checkpoint = Some(path.clone());
+        opts.resume = true;
+        let compiled = run_supervised_compile(&program(), &cfg, &opts).unwrap();
+        let stats = compiled.composition_stats().unwrap();
+        assert_eq!(stats.blocks_resumed, 0, "nothing restorable from garbage");
+        let _ = std::fs::remove_file(&path);
+    }
+}

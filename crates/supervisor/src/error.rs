@@ -1,0 +1,54 @@
+//! Typed errors of the supervision runtime itself.
+
+use std::fmt;
+
+/// Why the supervisor refused a request.
+///
+/// These are *runtime* errors — queue and lifecycle conditions — as
+/// opposed to [`geyser::CompileError`], which reports what went wrong
+/// inside a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorError {
+    /// The bounded job queue is at capacity; the caller must back off
+    /// and resubmit (admission control, not silent buffering).
+    QueueFull {
+        /// The configured queue capacity that was hit.
+        capacity: usize,
+    },
+    /// The supervisor is draining for shutdown and accepts no new
+    /// jobs.
+    ShuttingDown,
+}
+
+impl fmt::Display for SupervisorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisorError::QueueFull { capacity } => {
+                write!(
+                    f,
+                    "job queue full (capacity {capacity}); back off and resubmit"
+                )
+            }
+            SupervisorError::ShuttingDown => {
+                f.write_str("supervisor is shutting down; no new jobs accepted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SupervisorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_condition() {
+        assert!(SupervisorError::QueueFull { capacity: 4 }
+            .to_string()
+            .contains("capacity 4"));
+        assert!(SupervisorError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+}

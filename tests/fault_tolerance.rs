@@ -7,8 +7,8 @@ use std::time::Duration;
 
 use geyser::passes::{AllocateLatticePass, BlockPass, ComposePass, MapPass, SeamCleanupPass};
 use geyser::{
-    evaluate_tvd, try_evaluate_tvd_with_faults, CompileContext, CompileError, FaultInjector, Pass,
-    PassManager, PipelineConfig, Technique,
+    evaluate_tvd, try_evaluate_tvd_with_faults, CancelToken, CompileContext, CompileError,
+    ErrorClass, FaultInjector, Pass, PassManager, PipelineConfig, Technique,
 };
 use geyser_sim::{NoiseModel, SimError, SimFaults, MAX_TRAJECTORY_RETRIES};
 use geyser_workloads::{ghz, qaoa};
@@ -191,6 +191,139 @@ fn mid_pipeline_budget_expiry_degrades_to_mapped_circuit() {
     assert!(compiled.total_pulses() > 0);
     let tvd = evaluate_tvd(&compiled, &program, &NoiseModel::noiseless(), 1, 0);
     assert!(tvd.compilation_tvd < 1e-9);
+}
+
+/// A stage that fires the run's cancel token mid-pipeline, standing
+/// in for an operator cancelling while a later stage is queued.
+struct CancelNowPass;
+
+impl Pass for CancelNowPass {
+    fn name(&self) -> &'static str {
+        "cancel-now"
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        ctx.cancel().cancel();
+        Ok(())
+    }
+}
+
+#[test]
+fn pre_cancelled_run_fails_typed_before_any_pass() {
+    let token = CancelToken::new();
+    token.cancel();
+    let err = PassManager::for_technique(Technique::Geyser)
+        .with_cancel(token)
+        .run(&ghz(4), &fast())
+        .expect_err("a cancelled job must not compile");
+    match err {
+        CompileError::Cancelled { ref pass } => assert_eq!(pass, "allocate-lattice"),
+        ref other => panic!("expected Cancelled at the first pass, got {other}"),
+    }
+    assert_eq!(err.class(), ErrorClass::Cancelled);
+}
+
+#[test]
+fn cancellation_mid_pipeline_stops_before_the_next_pass() {
+    // Cancel lands after mapping: the pipeline must stop at the next
+    // pass boundary with a typed error, not finalize the mapped
+    // circuit the way budget expiry would.
+    let passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(AllocateLatticePass::triangular()),
+        Box::new(MapPass::optimized()),
+        Box::new(CancelNowPass),
+        Box::new(BlockPass),
+        Box::new(ComposePass),
+        Box::new(SeamCleanupPass),
+    ];
+    let err = PassManager::new(Technique::Geyser, passes)
+        .with_cancel(CancelToken::new())
+        .run(&ghz(4), &fast())
+        .expect_err("cancelled mid-pipeline");
+    match err {
+        CompileError::Cancelled { pass } => assert_eq!(pass, "block"),
+        other => panic!("expected Cancelled at 'block', got {other}"),
+    }
+}
+
+#[test]
+fn cancellation_wins_over_budget_degradation() {
+    // With a mapped circuit in hand an expired budget would degrade
+    // gracefully — but if the job was also cancelled, cancellation
+    // must win: no partial output for a job nobody wants any more.
+    let passes: Vec<Box<dyn Pass>> = vec![
+        Box::new(AllocateLatticePass::triangular()),
+        Box::new(MapPass::optimized()),
+        Box::new(CancelNowPass),
+        Box::new(StallPass),
+        Box::new(BlockPass),
+        Box::new(ComposePass),
+        Box::new(SeamCleanupPass),
+    ];
+    let cfg = fast().with_budget_ms(40);
+    let err = PassManager::new(Technique::Geyser, passes)
+        .with_cancel(CancelToken::new())
+        .run(&ghz(4), &cfg)
+        .expect_err("cancelled and over budget");
+    assert!(
+        matches!(err, CompileError::Cancelled { .. }),
+        "cancellation must beat budget degradation, got {err:?}"
+    );
+}
+
+#[test]
+fn cancel_mid_compose_is_typed_and_leaves_no_poison() {
+    // The compose workers observe the token between blocks; a token
+    // fired from another thread mid-run either lands (typed Cancelled)
+    // or the run beats it — both must leave the process healthy.
+    let program = qaoa(4, 1, 1);
+    let token = CancelToken::new();
+    let trigger = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            token.cancel();
+        })
+    };
+    let outcome = PassManager::for_technique(Technique::Geyser)
+        .with_cancel(token.clone())
+        .run(&program, &fast());
+    trigger.join().unwrap();
+    if let Err(err) = outcome {
+        assert_eq!(err.class(), ErrorClass::Cancelled, "got {err:?}");
+    }
+    // The fired token is reused: a fresh run over the same shared
+    // machinery must fail typed, proving no lock was poisoned.
+    let err = PassManager::for_technique(Technique::Geyser)
+        .with_cancel(token)
+        .run(&program, &fast())
+        .expect_err("token is still cancelled");
+    assert_eq!(err.class(), ErrorClass::Cancelled);
+}
+
+#[test]
+fn cancel_frees_a_hung_pass_within_bounded_time() {
+    // hang-pass spins until cancelled; the cancel below is the only
+    // thing that can end this run.
+    let plan = FaultInjector::parse("hang-pass:block").unwrap();
+    let token = CancelToken::new();
+    let trigger = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+        })
+    };
+    let err = PassManager::for_technique(Technique::Geyser)
+        .with_faults(plan)
+        .with_cancel(token)
+        .run(&ghz(4), &fast())
+        .expect_err("a hung pass can only end cancelled");
+    trigger.join().unwrap();
+    match err {
+        CompileError::Cancelled { pass } => assert_eq!(pass, "block"),
+        other => panic!("expected Cancelled at the hung pass, got {other}"),
+    }
 }
 
 #[test]

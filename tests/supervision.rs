@@ -1,0 +1,376 @@
+//! End-to-end supervision: admission control on the bounded queue,
+//! retry classification, circuit breaking with half-open recovery,
+//! graceful shutdown, prompt cancellation of hung work, and
+//! crash-safe checkpoint/resume of killed sweeps.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use geyser::{CompileError, FaultInjector, PipelineConfig, Technique};
+use geyser_circuit::Circuit;
+use geyser_supervisor::{
+    run_supervised_compile, BreakerConfig, BreakerState, JobSpec, JobState, RetryPolicy,
+    SupervisedCompileOptions, Supervisor, SupervisorConfig, SupervisorError,
+};
+use geyser_workloads::ghz;
+
+fn fast() -> PipelineConfig {
+    PipelineConfig::fast()
+}
+
+/// Fast retries so exhaustion tests don't sit out real backoffs.
+fn quick_retry(max_retries: usize) -> RetryPolicy {
+    RetryPolicy {
+        max_retries,
+        base_backoff_ms: 1,
+        max_backoff_ms: 4,
+        seed: 7,
+    }
+}
+
+fn job(workload: &str, technique: Technique, faults: &str) -> JobSpec {
+    let mut spec = JobSpec::new(workload, technique, ghz(4), fast());
+    if !faults.is_empty() {
+        spec.faults = FaultInjector::parse(faults).unwrap();
+    }
+    spec
+}
+
+/// A program known to yield several eligible composition blocks under
+/// the fast config (the same shape the supervisor crate's own
+/// checkpoint tests use), so `kill-after-block:1` reliably fires
+/// mid-sweep with work left over for the resume.
+fn blocky() -> Circuit {
+    let mut c = Circuit::new(4);
+    c.h(0).cz(0, 1).h(1).cz(1, 2).h(2).cz(0, 2).h(0).cz(1, 2);
+    c
+}
+
+fn temp_ckpt(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "geyser-supervision-e2e-{}-{tag}.json",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn full_queue_rejects_submissions_and_cancel_frees_hung_jobs() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..SupervisorConfig::default()
+    });
+    // Job 1 hangs at its first pass and occupies the lone worker.
+    let h1 = supervisor
+        .submit(job("q", Technique::OptiMap, "hang-pass:allocate-lattice"))
+        .unwrap();
+    // Job 2 is accepted once the worker has dequeued job 1; until
+    // then the capacity-1 queue rejects it.
+    let h2 = loop {
+        match supervisor.submit(job("q", Technique::OptiMap, "hang-pass:allocate-lattice")) {
+            Ok(handle) => break handle,
+            Err(SupervisorError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 1);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    };
+    // Queue full again (job 2 waiting, worker busy): deterministic
+    // rejection.
+    let err = supervisor
+        .submit(job("q", Technique::OptiMap, ""))
+        .unwrap_err();
+    assert!(matches!(err, SupervisorError::QueueFull { capacity: 1 }));
+    assert!(supervisor.metrics().rejected >= 1);
+
+    h1.cancel.cancel();
+    h2.cancel.cancel();
+    let results = supervisor.shutdown();
+    assert_eq!(results.len(), 2);
+    for r in results {
+        assert_eq!(r.state, JobState::Cancelled);
+        assert!(matches!(r.error, Some(CompileError::Cancelled { .. })));
+    }
+}
+
+#[test]
+fn fatal_errors_fail_fast_without_retries() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(3),
+        ..SupervisorConfig::default()
+    });
+    let mut spec = job("fatal", Technique::Baseline, "");
+    spec.program = Circuit::new(0); // EmptyProgram is Fatal
+    supervisor.submit(spec).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].state, JobState::Failed);
+    assert_eq!(results[0].attempts, 1, "fatal errors must never retry");
+    assert!(matches!(results[0].error, Some(CompileError::EmptyProgram)));
+}
+
+#[test]
+fn retryable_failures_back_off_until_the_budget_is_exhausted() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(2),
+        ..SupervisorConfig::default()
+    });
+    supervisor
+        .submit(job("flappy", Technique::OptiMap, "pass-panic:map"))
+        .unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Failed);
+    assert_eq!(results[0].attempts, 3, "1 try + 2 retries");
+    assert!(matches!(
+        results[0].error,
+        Some(CompileError::PassPanicked { .. })
+    ));
+}
+
+#[test]
+fn transient_fault_succeeds_on_retry_with_stats_attached() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(1),
+        ..SupervisorConfig::default()
+    });
+    supervisor
+        .submit(job("transient", Technique::OptiMap, "pass-panic-once:map"))
+        .unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Done);
+    assert_eq!(results[0].attempts, 2);
+    let compiled = results[0].compiled.as_ref().unwrap();
+    let stats = compiled
+        .report()
+        .and_then(|r| r.supervision.as_ref())
+        .expect("supervision stats attached");
+    assert_eq!(stats.attempts, 2);
+    assert_eq!(stats.retries, 1);
+    assert_eq!(stats.breaker_state, "closed");
+}
+
+#[test]
+fn open_breaker_fails_jobs_fast_without_running_them() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ms: 60_000,
+        },
+        ..SupervisorConfig::default()
+    });
+    supervisor
+        .submit(job("sick", Technique::OptiMap, "pass-panic:map"))
+        .unwrap();
+    supervisor.wait_idle();
+    assert_eq!(supervisor.breaker_state("sick"), Some(BreakerState::Open));
+    // Same workload: bounced without consuming an attempt. Another
+    // workload: unaffected.
+    supervisor
+        .submit(job("sick", Technique::OptiMap, ""))
+        .unwrap();
+    supervisor
+        .submit(job("healthy", Technique::OptiMap, ""))
+        .unwrap();
+    supervisor.wait_idle();
+    let metrics = supervisor.metrics();
+    assert_eq!(metrics.broken, 1);
+    assert_eq!(metrics.breaker_trips, 1);
+    let results = supervisor.shutdown();
+    let bounced = results
+        .iter()
+        .find(|r| r.workload == "sick" && r.state == JobState::Broken)
+        .expect("second sick job bounced");
+    assert_eq!(bounced.attempts, 0, "broken jobs never run");
+    assert!(results
+        .iter()
+        .any(|r| r.workload == "healthy" && r.state == JobState::Done));
+}
+
+#[test]
+fn breaker_half_opens_after_cooldown_and_closes_on_probe_success() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ms: 0,
+        },
+        ..SupervisorConfig::default()
+    });
+    supervisor
+        .submit(job("recovering", Technique::OptiMap, "pass-panic:map"))
+        .unwrap();
+    supervisor.wait_idle();
+    assert_eq!(
+        supervisor.breaker_state("recovering"),
+        Some(BreakerState::Open)
+    );
+    // Zero cooldown: the next job is the half-open probe; it succeeds
+    // and closes the breaker.
+    supervisor
+        .submit(job("recovering", Technique::OptiMap, ""))
+        .unwrap();
+    supervisor.wait_idle();
+    assert_eq!(
+        supervisor.breaker_state("recovering"),
+        Some(BreakerState::Closed)
+    );
+    let results = supervisor.shutdown();
+    assert!(results
+        .iter()
+        .any(|r| r.state == JobState::Done && r.attempts == 1));
+}
+
+#[test]
+fn graceful_shutdown_drains_every_queued_job() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let ids: Vec<u64> = (0..3)
+        .map(|i| {
+            supervisor
+                .submit(job(&format!("drain-{i}"), Technique::Baseline, ""))
+                .unwrap()
+                .id
+        })
+        .collect();
+    // Shut down immediately: queued jobs must still run to completion.
+    let results = supervisor.shutdown();
+    assert_eq!(results.len(), 3);
+    for id in ids {
+        let r = results.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(r.state, JobState::Done);
+    }
+}
+
+#[test]
+fn hung_pass_is_freed_promptly_by_cancellation() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let handle = supervisor
+        .submit(job("stuck", Technique::OptiMap, "hang-pass:map"))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let fired = Instant::now();
+    handle.cancel.cancel();
+    supervisor.wait_idle();
+    assert!(
+        fired.elapsed() < Duration::from_secs(10),
+        "cancellation must free the hung worker promptly"
+    );
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Cancelled);
+    match results[0].error.as_ref().unwrap() {
+        CompileError::Cancelled { pass } => assert_eq!(pass, "map"),
+        other => panic!("expected Cancelled at the hung pass, got {other}"),
+    }
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identical_through_the_supervisor() {
+    let path = temp_ckpt("kill-resume");
+    let _ = std::fs::remove_file(&path);
+
+    // Reference: one uninterrupted supervised run.
+    let reference = run_supervised_compile(
+        &blocky(),
+        &fast(),
+        &SupervisedCompileOptions::new(Technique::Geyser),
+    )
+    .unwrap();
+
+    // Sweep 1: the injected kill fires after the first fresh block.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let mut killed = job("sweep", Technique::Geyser, "kill-after-block:1");
+    killed.program = blocky();
+    killed.checkpoint = Some(path.clone());
+    supervisor.submit(killed).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Cancelled);
+    assert!(path.exists(), "partial checkpoint survives the kill");
+
+    // Sweep 2: resume picks the checkpoint up and finishes the rest.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let mut resumed = job("sweep", Technique::Geyser, "");
+    resumed.program = blocky();
+    resumed.checkpoint = Some(path.clone());
+    resumed.resume = true;
+    supervisor.submit(resumed).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Done);
+    let recovered = results[0].compiled.as_ref().unwrap();
+    assert_eq!(
+        recovered.mapped().circuit().ops(),
+        reference.mapped().circuit().ops(),
+        "resumed sweep must be bit-identical to the uninterrupted run"
+    );
+    let stats = recovered
+        .report()
+        .and_then(|r| r.supervision.as_ref())
+        .unwrap();
+    assert!(
+        stats.blocks_resumed >= 1,
+        "restored blocks must be reported"
+    );
+    assert!(stats.resumed_from_checkpoint);
+    assert!(!path.exists(), "finished jobs clean their checkpoint up");
+}
+
+#[test]
+fn corrupt_checkpoint_degrades_to_a_fresh_start() {
+    let path = temp_ckpt("corrupt");
+    std::fs::write(&path, "definitely-not-json{{{").unwrap();
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let mut spec = job("garbled", Technique::Geyser, "");
+    spec.checkpoint = Some(path.clone());
+    spec.resume = true;
+    supervisor.submit(spec).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Done);
+    let stats = results[0]
+        .compiled
+        .as_ref()
+        .unwrap()
+        .report()
+        .and_then(|r| r.supervision.as_ref())
+        .unwrap();
+    assert_eq!(stats.blocks_resumed, 0, "garbage restores nothing");
+    assert!(!stats.resumed_from_checkpoint);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_checkpoint_corruption_still_lets_the_job_finish() {
+    // checkpoint-corrupt truncates the file after every write: the
+    // current run must be unaffected (it composes from memory), and a
+    // later resume just degrades to a fresh start.
+    let path = temp_ckpt("self-corrupting");
+    let _ = std::fs::remove_file(&path);
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let mut spec = job("torn-writes", Technique::Geyser, "checkpoint-corrupt");
+    spec.program = blocky();
+    spec.checkpoint = Some(path.clone());
+    supervisor.submit(spec).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Done);
+    let _ = std::fs::remove_file(&path);
+}
