@@ -1,0 +1,177 @@
+//! Regression replay of the quarantine corpus.
+//!
+//! Re-runs every minimized reproducer filed by `fuzz` under the exact
+//! pipeline config it was found with, and checks the outcome against
+//! the entry's recorded verdict:
+//!
+//! * Entries **with** an `inject` spec are expected failures — proof
+//!   that the harness still catches the seeded fault. Replay passes
+//!   only if the failure reproduces bit-identically (same kind, same
+//!   worst fidelity); a clean run means the detection path regressed.
+//! * Entries **without** an `inject` spec are genuine bugs. Replay
+//!   fails the build while they still reproduce, and reports them as
+//!   fixed (delete the entry) once the compiler stops miscompiling
+//!   them.
+//!
+//! Exit status: 0 = corpus green, 1 = regressions, 2 = corpus or
+//! usage error.
+
+use geyser::{FaultInjector, PassManager, PipelineConfig, Technique};
+use geyser_bench::Cli;
+use geyser_verify::{load_entries, QuarantineEntry, VerifyConfig};
+
+/// What one replayed reproducer did.
+enum Outcome {
+    /// Compiled and verified clean.
+    Clean,
+    /// Failed again: kind (`compile-error` / `miscompile`) and the
+    /// worst fidelity measured (`-1.0` for compile errors).
+    Failed {
+        kind: &'static str,
+        worst_fidelity: f64,
+    },
+}
+
+/// Rebuilds the pipeline config and run seed from a stored config tag
+/// (`s<seed>-<fast|paper>-st<steps|d>`).
+fn parse_config(tag: &str) -> Result<(PipelineConfig, u64), String> {
+    let mut seed = None;
+    let mut fast = None;
+    for token in tag.split('-') {
+        match token {
+            "fast" => fast = Some(true),
+            "paper" => fast = Some(false),
+            t if t.starts_with('s') && !t.starts_with("st") => {
+                seed = t[1..].parse::<u64>().ok();
+            }
+            _ => {}
+        }
+    }
+    match (seed, fast) {
+        (Some(seed), Some(true)) => Ok((PipelineConfig::fast().with_seed(seed), seed)),
+        (Some(seed), Some(false)) => Ok((PipelineConfig::paper().with_seed(seed), seed)),
+        _ => Err(format!("unparseable config tag '{tag}'")),
+    }
+}
+
+fn replay(entry: &QuarantineEntry) -> Result<Outcome, String> {
+    let circuit = entry.circuit()?;
+    let technique = Technique::ALL
+        .iter()
+        .copied()
+        .find(|t| t.label() == entry.technique)
+        .ok_or_else(|| format!("unknown technique '{}'", entry.technique))?;
+    let (cfg, run_seed) = parse_config(&entry.config)?;
+    let faults = match &entry.inject {
+        Some(spec) => FaultInjector::parse(spec).map_err(|e| e.to_string())?,
+        None => FaultInjector::none(),
+    };
+    let compiled = match PassManager::for_technique(technique)
+        .with_faults(faults)
+        .run(&circuit, &cfg)
+    {
+        Ok(c) => c,
+        Err(_) => {
+            return Ok(Outcome::Failed {
+                kind: "compile-error",
+                worst_fidelity: -1.0,
+            })
+        }
+    };
+    let vcfg = VerifyConfig::default().with_seed(run_seed);
+    let stats = geyser::verify_compiled(&circuit, &compiled, &vcfg);
+    if stats.equivalent {
+        Ok(Outcome::Clean)
+    } else {
+        Ok(Outcome::Failed {
+            kind: "miscompile",
+            worst_fidelity: stats.worst_fidelity,
+        })
+    }
+}
+
+/// The entry's failure kind: everything before the first `:`.
+fn recorded_kind(entry: &QuarantineEntry) -> &str {
+    entry.failure.split(':').next().unwrap_or("").trim()
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let dir = cli.quarantine_dir();
+    let entries = match load_entries(&dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("error: quarantine corpus {}/: {e}", dir.display());
+            std::process::exit(2);
+        }
+    };
+    if entries.is_empty() {
+        println!(
+            "replay: empty corpus at {}/ — nothing to check",
+            dir.display()
+        );
+        return;
+    }
+
+    let mut regressions = 0usize;
+    for entry in &entries {
+        let outcome = match replay(entry) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                eprintln!("error: entry {}: {e}", entry.id);
+                std::process::exit(2);
+            }
+        };
+        let expected_failure = entry.inject.is_some();
+        match outcome {
+            Outcome::Failed {
+                kind,
+                worst_fidelity,
+            } => {
+                let same_kind = kind == recorded_kind(entry);
+                // Bit-identical reproduction: the oracle is
+                // deterministic, so a drifting fidelity means the
+                // reproducer no longer exercises the recorded failure.
+                let same_verdict = same_kind && worst_fidelity == entry.worst_fidelity;
+                match (expected_failure, same_verdict) {
+                    (true, true) => println!("ok {}: injected failure reproduces", entry.id),
+                    (true, false) => {
+                        regressions += 1;
+                        println!(
+                            "REGRESSION {}: expected {} (fidelity {}), got {} (fidelity {})",
+                            entry.id, entry.failure, entry.worst_fidelity, kind, worst_fidelity
+                        );
+                    }
+                    (false, _) => {
+                        regressions += 1;
+                        println!(
+                            "REGRESSION {}: genuine bug still reproduces ({kind})",
+                            entry.id
+                        );
+                    }
+                }
+            }
+            Outcome::Clean if expected_failure => {
+                regressions += 1;
+                println!(
+                    "REGRESSION {}: injected fault '{}' no longer detected — \
+                     the oracle or fault plumbing regressed",
+                    entry.id,
+                    entry.inject.as_deref().unwrap_or("")
+                );
+            }
+            Outcome::Clean => println!(
+                "fixed {}: no longer reproduces — delete the entry to retire it",
+                entry.id
+            ),
+        }
+    }
+    println!(
+        "replay: {} entr{}, {regressions} regression(s)",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" }
+    );
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,9 +1,10 @@
 //! Table 1: benchmark characteristics of the Baseline circuits —
 //! qubits, U3/CZ gate counts, total pulses, and depth pulses.
 
-use geyser::{compile, Technique};
+use geyser::Technique;
 use geyser_bench::{
-    collect_reports, maybe_write_json, maybe_write_reports, metrics, print_rows, Cli, Row,
+    collect_reports, compile_techniques, maybe_write_json, maybe_write_reports, metrics,
+    print_rows, Cli, Row,
 };
 
 fn main() {
@@ -13,12 +14,9 @@ fn main() {
     let mut reports = Vec::new();
     for spec in cli.selected_workloads(false) {
         let program = cli.build(&spec);
-        let compiled = compile(&program, Technique::Baseline, &cfg);
-        collect_reports(
-            spec.name,
-            std::slice::from_ref(&(Technique::Baseline, compiled.clone())),
-            &mut reports,
-        );
+        let compiled = compile_techniques(&cli, spec.name, &program, &[Technique::Baseline], &cfg);
+        collect_reports(spec.name, &compiled, &mut reports);
+        let compiled = &compiled[0].1;
         let counts = compiled.gate_counts();
         rows.push(Row {
             workload: spec.name.to_string(),

@@ -9,11 +9,12 @@
 
 use std::path::PathBuf;
 
-use geyser::{compile, CompiledCircuit, PipelineConfig, Technique};
+use geyser::{compile, CompiledCircuit, PipelineConfig, Technique, VerificationStats};
 use geyser_circuit::Circuit;
 use geyser_compose::CompositionStats;
 use geyser_map::{Layout, MappedCircuit};
 use geyser_topology::{Lattice, LatticeKind};
+use geyser_verify::VerifyConfig;
 use serde::{Deserialize, Serialize};
 
 #[derive(Serialize, Deserialize)]
@@ -41,6 +42,11 @@ struct CachedCompile {
     num_logical: usize,
     swaps: usize,
     stats: Option<CachedStats>,
+    /// Equivalence-oracle verdict recorded when the entry was written
+    /// (or back-filled by a later `--verify` run). The oracle is
+    /// deterministic for a given seed and the seed is part of the
+    /// cache key, so a stored verdict can be replayed verbatim.
+    verification: Option<VerificationStats>,
 }
 
 /// FNV-1a fingerprint of a circuit's debug form — changes whenever the
@@ -79,7 +85,7 @@ fn lattice_kind_tag(kind: LatticeKind) -> &'static str {
     }
 }
 
-fn to_cached(compiled: &CompiledCircuit) -> CachedCompile {
+fn to_cached(compiled: &CompiledCircuit, verification: Option<VerificationStats>) -> CachedCompile {
     let mapped = compiled.mapped();
     let lattice = mapped.lattice();
     CachedCompile {
@@ -107,6 +113,7 @@ fn to_cached(compiled: &CompiledCircuit) -> CachedCompile {
             blocks_resumed: s.blocks_resumed,
             max_accepted_hsd: s.max_accepted_hsd,
         }),
+        verification,
     }
 }
 
@@ -156,21 +163,59 @@ pub fn compile_cached(
     cfg: &PipelineConfig,
     cfg_tag: &str,
 ) -> CompiledCircuit {
+    compile_cached_verified(name, program, technique, cfg, cfg_tag, None).0
+}
+
+/// [`compile_cached`] with an optional equivalence-oracle pass whose
+/// verdict travels with the cache entry.
+///
+/// * Cache hit with a stored verdict — the verdict is replayed without
+///   re-simulating (the oracle is deterministic for the seed encoded
+///   in `cfg_tag`).
+/// * Cache hit from a pre-verification run — the oracle runs now and
+///   the verdict is back-filled into the entry atomically.
+/// * Cache miss — compile, verify, store circuit and verdict together.
+///
+/// Without a `verify` config this is exactly [`compile_cached`]:
+/// stored verdicts are preserved but none are computed.
+pub fn compile_cached_verified(
+    name: &str,
+    program: &Circuit,
+    technique: Technique,
+    cfg: &PipelineConfig,
+    cfg_tag: &str,
+    verify: Option<&VerifyConfig>,
+) -> (CompiledCircuit, Option<VerificationStats>) {
     let fp = fingerprint(program);
     let path = cache_path(name, technique, cfg_tag, fp);
     if let Ok(body) = std::fs::read_to_string(&path) {
         if let Ok(cached) = serde_json::from_str::<CachedCompile>(&body) {
+            let stored = cached.verification.clone();
             if let Some(compiled) = from_cached(cached, technique) {
-                return compiled;
+                let stats = match (verify, stored) {
+                    (None, stored) => stored,
+                    (Some(_), Some(stats)) => Some(stats),
+                    (Some(vc), None) => {
+                        let stats = geyser::verify_compiled(program, &compiled, vc);
+                        store(&path, &compiled, Some(stats.clone()));
+                        Some(stats)
+                    }
+                };
+                return (compiled, stats);
             }
         }
     }
     let compiled = compile(program, technique, cfg);
+    let stats = verify.map(|vc| geyser::verify_compiled(program, &compiled, vc));
+    store(&path, &compiled, stats.clone());
+    (compiled, stats)
+}
+
+fn store(path: &PathBuf, compiled: &CompiledCircuit, verification: Option<VerificationStats>) {
     let _ = std::fs::create_dir_all(".geyser-cache");
-    if let Ok(body) = serde_json::to_string(&to_cached(&compiled)) {
-        write_atomic(&path, &body);
+    if let Ok(body) = serde_json::to_string(&to_cached(compiled, verification)) {
+        write_atomic(path, &body);
     }
-    compiled
 }
 
 /// Crash-safe cache write: the body lands in a `.tmp` sibling first
@@ -188,6 +233,10 @@ fn write_atomic(path: &PathBuf, body: &str) {
 mod tests {
     use super::*;
 
+    // Tests that relocate the process cwd (the cache root is relative)
+    // must not interleave.
+    static CWD_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn sample_program() -> Circuit {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2).t(2);
@@ -204,7 +253,7 @@ mod tests {
             Technique::Superconducting,
         ] {
             let direct = compile(&program, technique, &cfg);
-            let cached = to_cached(&direct);
+            let cached = to_cached(&direct, None);
             let body = serde_json::to_string(&cached).unwrap();
             let back: CachedCompile = serde_json::from_str(&body).unwrap();
             let rebuilt = from_cached(back, technique).expect("rebuild succeeds");
@@ -243,7 +292,60 @@ mod tests {
     }
 
     #[test]
+    fn verification_verdict_travels_with_the_cache_entry() {
+        let _cwd = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("geyser-cache-verify-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let vc = VerifyConfig::default().with_seed(3);
+
+        // Write an unverified entry first (pre-`--verify` run), then
+        // hit it with verification on: the verdict must be computed
+        // once and back-filled.
+        let (_, none) = compile_cached_verified(
+            "t",
+            &program,
+            Technique::Baseline,
+            &cfg,
+            "s3-fast-st-d",
+            None,
+        );
+        assert!(none.is_none());
+        let (_, first) = compile_cached_verified(
+            "t",
+            &program,
+            Technique::Baseline,
+            &cfg,
+            "s3-fast-st-d",
+            Some(&vc),
+        );
+        let first = first.expect("verdict computed on back-fill");
+        assert!(first.equivalent);
+
+        // Second verified hit replays the stored verdict bit for bit
+        // (same seconds field proves it was not re-measured).
+        let (_, second) = compile_cached_verified(
+            "t",
+            &program,
+            Technique::Baseline,
+            &cfg,
+            "s3-fast-st-d",
+            Some(&vc),
+        );
+        assert_eq!(second.as_ref(), Some(&first));
+
+        std::env::set_current_dir(old).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn cache_files_round_trip_through_disk() {
+        let _cwd = CWD_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join(format!("geyser-cache-test-{}", std::process::id()));
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();

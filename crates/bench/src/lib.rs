@@ -33,6 +33,14 @@
 //! * `--resume` — restore matching composition checkpoints left by an
 //!   earlier killed run instead of recomposing finished blocks;
 //!   implies the supervised runtime
+//! * `--verify` — run every compiled circuit through the equivalence
+//!   oracle (`geyser-verify`); the verdict lands on the compile report
+//!   (and in the results cache) and an inequivalent result aborts the
+//!   run with exit status 4
+//! * `--cases N` — fuzz-case count for the `fuzz` binary (default 16)
+//! * `--quarantine DIR` — where the `fuzz` binary files minimized
+//!   reproducers and the `replay` binary looks for them (default
+//!   `quarantine/`)
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,13 +50,14 @@ pub mod timing;
 
 use std::collections::BTreeMap;
 
-pub use cache::compile_cached;
+pub use cache::{compile_cached, compile_cached_verified};
 use geyser::{
     compile, CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, PassManager,
-    PipelineConfig, Technique,
+    PipelineConfig, Technique, VerificationStats,
 };
 use geyser_circuit::Circuit;
 use geyser_supervisor::{JobSpec, JobState, RetryPolicy, Supervisor, SupervisorConfig};
+use geyser_verify::VerifyConfig;
 use geyser_workloads::{heisenberg, suite, WorkloadSpec};
 use serde::Serialize;
 
@@ -83,6 +92,13 @@ pub struct Cli {
     pub max_retries: usize,
     /// Restore crash-safe composition checkpoints (`--resume`).
     pub resume: bool,
+    /// Run compiled circuits through the equivalence oracle
+    /// (`--verify`).
+    pub verify: bool,
+    /// Fuzz-case count for the `fuzz` binary (`--cases`).
+    pub cases: usize,
+    /// Quarantine-corpus directory override (`--quarantine`).
+    pub quarantine: Option<String>,
 }
 
 impl Default for Cli {
@@ -102,6 +118,9 @@ impl Default for Cli {
             jobs: 1,
             max_retries: 0,
             resume: false,
+            verify: false,
+            cases: 16,
+            quarantine: None,
         }
     }
 }
@@ -151,6 +170,9 @@ impl Cli {
                     cli.max_retries = value("--max-retries").parse().expect("integer")
                 }
                 "--resume" => cli.resume = true,
+                "--verify" => cli.verify = true,
+                "--cases" => cli.cases = value("--cases").parse().expect("integer"),
+                "--quarantine" => cli.quarantine = Some(value("--quarantine")),
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
         }
@@ -227,6 +249,19 @@ impl Cli {
             _ => spec.build(),
         }
     }
+
+    /// Oracle configuration implied by the flags, or `None` without
+    /// `--verify`. The oracle's probe seed follows `--seed` so probe
+    /// verdicts are reproducible and cacheable under the config tag.
+    pub fn verify_config(&self) -> Option<VerifyConfig> {
+        self.verify
+            .then(|| VerifyConfig::default().with_seed(self.seed))
+    }
+
+    /// Quarantine-corpus directory: `--quarantine` or `quarantine/`.
+    pub fn quarantine_dir(&self) -> std::path::PathBuf {
+        std::path::PathBuf::from(self.quarantine.as_deref().unwrap_or("quarantine"))
+    }
 }
 
 /// Prints a pointed `--inject` diagnostic and exits with status 2,
@@ -237,7 +272,7 @@ fn exit_bad_inject(err: &FaultSpecError) -> ! {
         "usage: --inject SPEC where SPEC is comma-separated fault tokens, e.g.\n  \
          pass-panic:compose, pass-panic-once:compose, hang-pass:block,\n  \
          compose-corrupt:0, compose-timeout, sim-nan:3,\n  \
-         kill-after-block:2, checkpoint-corrupt"
+         kill-after-block:2, checkpoint-corrupt, miscompile:0"
     );
     std::process::exit(2);
 }
@@ -270,6 +305,15 @@ pub struct Row {
 /// composition checkpoints under `.geyser-cache/`, retryable failures
 /// back off and retry, and [`geyser::SupervisionStats`] land on each
 /// compile report. Supervised runs also bypass the cache.
+///
+/// With `--verify`, every finalized circuit additionally runs through
+/// the `geyser-verify` equivalence oracle. The check runs *after*
+/// compilation on the circuit exactly as it shipped — this is the only
+/// vantage point that can catch an injected `miscompile:<i>` fault,
+/// which corrupts the output after every in-pipeline check. Verdicts
+/// land on the compile report (hence in `--report` JSON) and in the
+/// results cache; an inequivalent circuit aborts the process with exit
+/// status 4.
 pub fn compile_techniques(
     cli: &Cli,
     name: &str,
@@ -279,32 +323,71 @@ pub fn compile_techniques(
 ) -> Vec<(Technique, CompiledCircuit)> {
     let tag = cli.config_tag();
     let faults = cli.fault_injector();
-    if cli.supervised() {
-        return compile_supervised(cli, name, program, techniques, cfg, &faults, &tag);
+    let verify_cfg = cli.verify_config();
+    let mut compiled: Vec<(Technique, CompiledCircuit, Option<VerificationStats>)> = if cli
+        .supervised()
+    {
+        compile_supervised(cli, name, program, techniques, cfg, &faults, &tag)
+            .into_iter()
+            .map(|(t, c)| (t, c, None))
+            .collect()
+    } else {
+        let bypass_cache = cli.report.is_some() || cli.budget_ms.is_some() || !faults.is_empty();
+        techniques
+            .iter()
+            .map(|&t| {
+                if !faults.is_empty() {
+                    let c = PassManager::for_technique(t)
+                        .with_faults(faults.clone())
+                        .run(program, cfg)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (t, c, None)
+                } else if bypass_cache {
+                    (t, compile(program, t, cfg), None)
+                } else {
+                    let (c, stats) =
+                        compile_cached_verified(name, program, t, cfg, &tag, verify_cfg.as_ref());
+                    (t, c, stats)
+                }
+            })
+            .collect()
+    };
+    if let Some(vc) = &verify_cfg {
+        for (t, c, cached_verdict) in &mut compiled {
+            // Cache hits reuse the verdict persisted next to the
+            // circuit; every other path verifies the final artifact.
+            let stats = cached_verdict
+                .take()
+                .unwrap_or_else(|| geyser::verify_compiled(program, c, vc));
+            if let Some(report) = c.report_mut() {
+                report.verification = Some(stats.clone());
+            }
+            if !stats.equivalent {
+                exit_verification_failure(name, *t, &stats);
+            }
+        }
     }
-    let bypass_cache = cli.report.is_some() || cli.budget_ms.is_some() || !faults.is_empty();
-    techniques
-        .iter()
-        .map(|&t| {
-            let compiled = if !faults.is_empty() {
-                PassManager::for_technique(t)
-                    .with_faults(faults.clone())
-                    .run(program, cfg)
-                    .unwrap_or_else(|e| panic!("{e}"))
-            } else if bypass_cache {
-                compile(program, t, cfg)
-            } else {
-                compile_cached(name, program, t, cfg, &tag)
-            };
-            (t, compiled)
-        })
-        .collect()
+    compiled.into_iter().map(|(t, c, _)| (t, c)).collect()
+}
+
+/// Prints the oracle's verdict on an inequivalent compilation and
+/// exits with status 4 (2 = usage error, 3 = cancelled-but-resumable).
+fn exit_verification_failure(name: &str, technique: Technique, stats: &VerificationStats) -> ! {
+    eprintln!(
+        "error: '{name}' ({}) failed equivalence verification: \
+         method={} worst_fidelity={:.12} tolerance={:e}",
+        technique.label(),
+        stats.method,
+        stats.worst_fidelity,
+        stats.tolerance
+    );
+    std::process::exit(4);
 }
 
 /// Where one job's crash-safe composition checkpoint lives. The
 /// checkpoint file itself binds to (circuit fingerprint, seed, block
-/// count), so a stale path collision degrades to a fresh start rather
-/// than splicing in foreign blocks.
+/// count, composition-config hash), so a stale path collision degrades
+/// to a fresh start rather than splicing in foreign blocks.
 fn checkpoint_path(name: &str, technique: Technique, cfg_tag: &str) -> std::path::PathBuf {
     std::path::PathBuf::from(".geyser-cache").join(format!(
         "ckpt-{name}-{}-{cfg_tag}.json",
@@ -586,6 +669,58 @@ mod tests {
             },
         ] {
             assert!(cli.supervised());
+        }
+    }
+
+    #[test]
+    fn verify_flag_implies_an_oracle_config_following_the_seed() {
+        assert!(Cli::default().verify_config().is_none());
+        let cli = Cli {
+            verify: true,
+            seed: 9,
+            ..Cli::default()
+        };
+        assert_eq!(cli.verify_config().unwrap().seed, 9);
+    }
+
+    #[test]
+    fn quarantine_dir_defaults_and_overrides() {
+        assert_eq!(
+            Cli::default().quarantine_dir(),
+            std::path::Path::new("quarantine")
+        );
+        let cli = Cli {
+            quarantine: Some("corpus".into()),
+            ..Cli::default()
+        };
+        assert_eq!(cli.quarantine_dir(), std::path::Path::new("corpus"));
+    }
+
+    #[test]
+    fn verified_compile_attaches_oracle_stats_to_the_report() {
+        // `report: Some` routes around the on-disk cache, so this test
+        // leaves no .geyser-cache entries behind.
+        let cli = Cli {
+            verify: true,
+            report: Some("unused.json".into()),
+            ..Cli::default()
+        };
+        let mut program = Circuit::new(3);
+        program.h(0).cx(0, 1).cx(1, 2);
+        let cfg = PipelineConfig::fast();
+        let compiled = compile_techniques(
+            &cli,
+            "bench-verify-test",
+            &program,
+            &[Technique::Baseline, Technique::Geyser],
+            &cfg,
+        );
+        for (t, c) in &compiled {
+            let v = c
+                .report()
+                .and_then(|r| r.verification.as_ref())
+                .unwrap_or_else(|| panic!("{} run missing verification stats", t.label()));
+            assert!(v.equivalent, "{}: {v:?}", t.label());
         }
     }
 

@@ -24,6 +24,7 @@ use geyser_optimize::{
     adam, dual_annealing, AdamConfig, Bounds, CancelToken, Deadline, DualAnnealingConfig,
 };
 use geyser_sim::circuit_unitary;
+use geyser_verify::verify_block_candidate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -369,8 +370,11 @@ fn compose_block_inner(
             if corrupt {
                 exact.t(0);
             }
-            let hsd = hilbert_schmidt_distance(&circuit_unitary(&exact), &target);
-            if hsd.is_finite() && hsd <= config.epsilon {
+            // Shared oracle check (geyser-verify): the same acceptance
+            // rule `--verify` trusts, so the two can never disagree.
+            let check = verify_block_candidate(&exact, &target, config.epsilon);
+            if check.accepted {
+                let hsd = check.hsd;
                 return CompositionResult {
                     circuit: exact,
                     hsd,
@@ -436,13 +440,15 @@ fn search_all_layers(
                     candidate.t(0);
                 }
                 // Re-verify the emitted *circuit* against the block
-                // unitary: the optimizer's objective was the ansatz
-                // matrix, and the candidate may have been corrupted in
-                // between (fault injection) or decode unhealthily.
-                let verified = hilbert_schmidt_distance(&circuit_unitary(&candidate), target);
-                if !verified.is_finite() || verified > config.epsilon + 1e-9 {
+                // unitary with the shared geyser-verify oracle check:
+                // the optimizer's objective was the ansatz matrix, and
+                // the candidate may have been corrupted in between
+                // (fault injection) or decode unhealthily.
+                let check = verify_block_candidate(&candidate, target, config.epsilon);
+                if !check.accepted {
                     return SearchVerdict::EpsilonRejected;
                 }
+                let verified = check.hsd;
                 if candidate.total_pulses() < original_pulses {
                     return SearchVerdict::Accepted(CompositionResult {
                         circuit: candidate,

@@ -70,6 +70,14 @@ pub enum CompileError {
     },
     /// Simulation failed a numerical health check during evaluation.
     Sim(SimError),
+    /// The equivalence oracle rejected the compiled circuit: its
+    /// semantics diverged from the source program beyond tolerance.
+    VerificationFailed {
+        /// Oracle method that ran (`exact-unitary`, `state-probes`).
+        method: String,
+        /// What the oracle measured.
+        detail: String,
+    },
 }
 
 /// Supervision class of a [`CompileError`]: what a retry loop should
@@ -109,7 +117,8 @@ impl CompileError {
             | CompileError::MissingStage { .. }
             | CompileError::InvariantViolation { .. }
             | CompileError::RegisterMismatch { .. }
-            | CompileError::NoTrajectories => ErrorClass::Fatal,
+            | CompileError::NoTrajectories
+            | CompileError::VerificationFailed { .. } => ErrorClass::Fatal,
         }
     }
 }
@@ -151,6 +160,9 @@ impl fmt::Display for CompileError {
                 write!(f, "compilation cancelled at pass '{pass}'")
             }
             CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CompileError::VerificationFailed { method, detail } => {
+                write!(f, "equivalence verification ({method}) failed: {detail}")
+            }
         }
     }
 }
@@ -238,6 +250,14 @@ mod tests {
         assert_eq!(
             CompileError::Cancelled { pass: "map".into() }.class(),
             ErrorClass::Cancelled
+        );
+        assert_eq!(
+            CompileError::VerificationFailed {
+                method: "exact-unitary".into(),
+                detail: "fidelity 0.5".into()
+            }
+            .class(),
+            ErrorClass::Fatal
         );
     }
 

@@ -44,6 +44,11 @@ pub struct FaultInjector {
     /// Forces the composition deadline to be already expired: every
     /// eligible block must fall back with `budget-exhausted`.
     pub force_compose_timeout: bool,
+    /// Gate indices of the *final* compiled circuit to corrupt after
+    /// every internal check has run — a deliberate silent miscompile
+    /// that only an end-to-end equivalence oracle can catch. Indices
+    /// beyond the circuit inject nothing.
+    pub miscompile_gates: Vec<usize>,
     /// Composition-stage faults (corrupted candidates, per-block worker
     /// panics).
     pub compose: ComposeFaults,
@@ -110,6 +115,7 @@ impl FaultInjector {
             && self.kill_after_block.is_none()
             && !self.corrupt_checkpoint
             && !self.force_compose_timeout
+            && self.miscompile_gates.is_empty()
             && self.compose.is_empty()
             && self.sim.is_empty()
     }
@@ -154,6 +160,7 @@ impl FaultInjector {
     /// | `kill-after-block:<i>` | job self-cancels after `i` fresh blocks checkpoint |
     /// | `checkpoint-corrupt` | checkpoint file truncated after writing |
     /// | `compose-timeout` | composition deadline forced expired |
+    /// | `miscompile:<i>` | gate `i` of the final circuit silently corrupted |
     /// | `compose-corrupt:<i>` | block `i`'s winning candidate corrupted |
     /// | `compose-panic:<i>` | block `i`'s worker panics |
     /// | `sim-nan:<t>` | trajectory `t` transiently NaN (recovers) |
@@ -199,6 +206,7 @@ impl FaultInjector {
                 "kill-after-block" => plan.kill_after_block = Some(index("block")?),
                 "checkpoint-corrupt" => plan.corrupt_checkpoint = true,
                 "compose-timeout" => plan.force_compose_timeout = true,
+                "miscompile" => plan.miscompile_gates.push(index("gate")?),
                 "compose-corrupt" => plan.compose.corrupt_blocks.push(index("block")?),
                 "compose-panic" => plan.compose.panic_blocks.push(index("block")?),
                 "sim-nan" => plan.sim.nan_trajectories.push(index("trajectory")?),
@@ -235,6 +243,7 @@ mod tests {
         assert!(!FaultInjector::parse("pass-panic-once:map")
             .unwrap()
             .is_empty());
+        assert!(!FaultInjector::parse("miscompile:0").unwrap().is_empty());
     }
 
     #[test]
@@ -242,7 +251,8 @@ mod tests {
         let plan = FaultInjector::parse(
             "pass-panic:map, pass-panic-once:compose, hang-pass:block, \
              kill-after-block:2, checkpoint-corrupt, compose-timeout, \
-             compose-corrupt:1, compose-panic:2, sim-nan:3, sim-nan-persistent:4",
+             compose-corrupt:1, compose-panic:2, sim-nan:3, sim-nan-persistent:4, \
+             miscompile:5",
         )
         .unwrap();
         assert_eq!(plan.panic_passes, vec!["map".to_string()]);
@@ -255,6 +265,7 @@ mod tests {
         assert_eq!(plan.compose.panic_blocks, vec![2]);
         assert_eq!(plan.sim.nan_trajectories, vec![3]);
         assert_eq!(plan.sim.persistent_nan_trajectories, vec![4]);
+        assert_eq!(plan.miscompile_gates, vec![5]);
     }
 
     #[test]
@@ -282,6 +293,8 @@ mod tests {
         assert!(FaultInjector::parse("pass-panic").is_err());
         assert!(FaultInjector::parse("hang-pass").is_err());
         assert!(FaultInjector::parse("kill-after-block:soon").is_err());
+        assert!(FaultInjector::parse("miscompile").is_err());
+        assert!(FaultInjector::parse("miscompile:first").is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod pass;
 pub mod passes;
 mod report;
 mod technique;
+mod verify;
 
 pub use budget::Budget;
 pub use compiled::CompiledCircuit;
@@ -58,8 +59,9 @@ pub use evaluate::{
 };
 pub use fault::{FaultInjector, FaultSpecError};
 pub use pass::{CompileContext, Pass, PassManager};
-pub use report::{CompileReport, PassReport, SupervisionStats};
+pub use report::{CompileReport, PassReport, SupervisionStats, VerificationStats};
 pub use technique::{compile, try_compile, Technique};
+pub use verify::{verification_allowance, verification_stats, verify_compiled};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
@@ -74,4 +76,5 @@ pub use geyser_optimize as optimize;
 pub use geyser_sim as sim;
 pub use geyser_synth as synth;
 pub use geyser_topology as topology;
+pub use geyser_verify as verifier;
 pub use geyser_workloads as workloads;

@@ -18,7 +18,9 @@ use geyser_optimize::{CancelToken, Deadline};
 use geyser_sim::{ideal_distribution, total_variation_distance};
 use geyser_topology::Lattice;
 
-use crate::report::{CompileReport, PassReport};
+use geyser_circuit::{Gate, Operation};
+
+use crate::report::{CompileReport, PassReport, VerificationStats};
 use crate::{CompileError, CompiledCircuit, FaultInjector, PipelineConfig, Technique};
 
 /// Largest physical register (lattice nodes) the debug-mode
@@ -43,6 +45,7 @@ pub struct CompileContext<'a> {
     blocked: Option<BlockedCircuit>,
     composed: Option<Circuit>,
     composition: Option<CompositionStats>,
+    verification: Option<VerificationStats>,
 }
 
 impl<'a> CompileContext<'a> {
@@ -60,6 +63,7 @@ impl<'a> CompileContext<'a> {
             blocked: None,
             composed: None,
             composition: None,
+            verification: None,
         }
     }
 
@@ -165,6 +169,16 @@ impl<'a> CompileContext<'a> {
         self.composition.as_ref()
     }
 
+    /// The equivalence-oracle verdict, if a verify pass has run.
+    pub fn verification(&self) -> Option<&VerificationStats> {
+        self.verification.as_ref()
+    }
+
+    /// Installs the oracle verdict (the verify pass).
+    pub fn set_verification(&mut self, stats: VerificationStats) {
+        self.verification = Some(stats);
+    }
+
     /// The pipeline's current best view of the circuit: the composed
     /// circuit if one is pending cleanup, else the mapped physical
     /// circuit, else the logical program.
@@ -178,7 +192,7 @@ impl<'a> CompileContext<'a> {
         }
     }
 
-    fn into_compiled(mut self, report: CompileReport) -> Result<CompiledCircuit, CompileError> {
+    fn into_compiled(mut self, mut report: CompileReport) -> Result<CompiledCircuit, CompileError> {
         let mut mapped = self.mapped.take().ok_or(CompileError::MissingStage {
             pass: "finalize",
             requires: "map",
@@ -189,6 +203,14 @@ impl<'a> CompileContext<'a> {
         if let Some(composed) = self.composed.take() {
             mapped = mapped.with_circuit(composed);
         }
+        // Injected silent miscompile: corrupt the final circuit after
+        // every internal check has run, so nothing short of an
+        // end-to-end equivalence oracle can notice.
+        if !self.faults.miscompile_gates.is_empty() {
+            let corrupted = miscompile(mapped.circuit(), &self.faults.miscompile_gates);
+            mapped = mapped.with_circuit(corrupted);
+        }
+        report.verification = self.verification.take();
         Ok(CompiledCircuit::with_report(
             self.technique,
             mapped,
@@ -289,6 +311,17 @@ impl PassManager {
     /// Appends a pass to the end of the list.
     pub fn push(&mut self, pass: Box<dyn Pass>) {
         self.passes.push(pass);
+    }
+
+    /// Appends the equivalence-oracle [`crate::passes::VerifyPass`]:
+    /// after every other pass, the compiled circuit is checked against
+    /// the source program and the verdict is recorded on the report; a
+    /// failed check aborts the run with
+    /// [`CompileError::VerificationFailed`].
+    pub fn with_verification(mut self, cfg: geyser_verify::VerifyConfig) -> Self {
+        self.passes
+            .push(Box::new(crate::passes::VerifyPass::new(cfg)));
+        self
     }
 
     /// Names of the scheduled passes, in order.
@@ -449,6 +482,52 @@ impl std::fmt::Debug for PassManager {
             .field("debug_invariants", &self.debug_invariants)
             .finish()
     }
+}
+
+/// Deterministically corrupts the listed gate indices of a circuit:
+/// a `U3` gets its θ shifted by 0.25 rad; a `CZ`/`CCZ` gets a stray
+/// `U3(0.25, 0, 0)` inserted after it on its first qubit. Both stay in
+/// the native basis, so no structural check can object — only
+/// semantics change.
+fn miscompile(circuit: &Circuit, gates: &[usize]) -> Circuit {
+    let mut ops: Vec<Operation> = circuit.ops().to_vec();
+    let mut targets: Vec<usize> = gates.iter().copied().filter(|&i| i < ops.len()).collect();
+    targets.sort_unstable();
+    targets.dedup();
+    // Highest index first so insertions don't shift pending targets.
+    for &i in targets.iter().rev() {
+        match *ops[i].gate() {
+            Gate::U3 { theta, phi, lambda } => {
+                ops[i] = Operation::new(
+                    Gate::U3 {
+                        theta: theta + 0.25,
+                        phi,
+                        lambda,
+                    },
+                    ops[i].qubits().to_vec(),
+                );
+            }
+            _ => {
+                let q = ops[i].qubits()[0];
+                ops.insert(
+                    i + 1,
+                    Operation::new(
+                        Gate::U3 {
+                            theta: 0.25,
+                            phi: 0.0,
+                            lambda: 0.0,
+                        },
+                        vec![q],
+                    ),
+                );
+            }
+        }
+    }
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in ops {
+        out.push(op);
+    }
+    out
 }
 
 /// (total pulses, gate count, depth pulses) of the context's current

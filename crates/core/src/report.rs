@@ -61,6 +61,29 @@ pub struct SupervisionStats {
     pub resumed_from_checkpoint: bool,
 }
 
+/// What the equivalence oracle measured for one compiled circuit.
+///
+/// A serializable mirror of `geyser_verify::EquivalenceReport`, kept
+/// as plain data so reports and the results cache don't depend on the
+/// oracle's internal types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationStats {
+    /// Oracle tier that ran: `exact-unitary`, `state-probes`, or
+    /// `structural`.
+    pub method: String,
+    /// Basis columns (exact tier) or probe states evaluated.
+    pub probes: u64,
+    /// Smallest fidelity observed; `-1.0` when the structural tier
+    /// measured nothing.
+    pub worst_fidelity: f64,
+    /// Effective threshold: fidelity ≥ 1 − tolerance passes.
+    pub tolerance: f64,
+    /// Whether the compiled circuit passed the oracle.
+    pub equivalent: bool,
+    /// Oracle wall-clock seconds.
+    pub seconds: f64,
+}
+
 /// The full instrumentation record of one [`crate::PassManager`] run.
 ///
 /// Serializable to JSON for the evaluation binaries (`--report PATH`).
@@ -86,6 +109,9 @@ pub struct CompileReport {
     /// Supervisor accounting (retries, backoff, breaker, resume);
     /// `None` when the pipeline ran unsupervised.
     pub supervision: Option<SupervisionStats>,
+    /// Equivalence-oracle verdict for the compiled circuit; `None`
+    /// when verification was not requested.
+    pub verification: Option<VerificationStats>,
 }
 
 impl CompileReport {
@@ -100,6 +126,7 @@ impl CompileReport {
             blocks_fell_back: 0,
             blocks_failed: 0,
             supervision: None,
+            verification: None,
         }
     }
 
@@ -140,6 +167,7 @@ mod tests {
             blocks_fell_back: 0,
             blocks_failed: 0,
             supervision: None,
+            verification: None,
             passes: vec![
                 PassReport {
                     name: "map".into(),
@@ -208,6 +236,27 @@ mod tests {
         assert_eq!(back, r);
         assert_eq!(back.skipped_passes.len(), 2);
         assert_eq!(back.budget_remaining_ms, Some(0));
+    }
+
+    #[test]
+    fn verification_stats_roundtrip() {
+        let mut r = sample();
+        r.verification = Some(VerificationStats {
+            method: "exact-unitary".into(),
+            probes: 16,
+            worst_fidelity: 0.999999999,
+            tolerance: 1e-9,
+            equivalent: true,
+            seconds: 0.02,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"verification\""));
+        assert!(json.contains("\"worst_fidelity\""));
+        let back: CompileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let v = back.verification.unwrap();
+        assert_eq!(v.method, "exact-unitary");
+        assert!(v.equivalent);
     }
 
     #[test]

@@ -43,10 +43,19 @@ impl Deadline {
         Self::after(Duration::from_millis(ms))
     }
 
-    /// A deadline `d` from now.
+    /// A deadline `d` from now. Durations no run could ever reach
+    /// saturate to "never expires" — whether `Instant + d` overflows
+    /// `checked_add` is platform-dependent, so the cutoff is explicit
+    /// rather than left to the representation.
     pub fn after(d: Duration) -> Self {
+        const PRACTICALLY_UNBOUNDED: Duration = Duration::from_secs(100 * 365 * 24 * 60 * 60);
+        let expires = if d >= PRACTICALLY_UNBOUNDED {
+            None
+        } else {
+            Instant::now().checked_add(d)
+        };
         Deadline {
-            expires: Instant::now().checked_add(d),
+            expires,
             forced: false,
         }
     }
@@ -123,12 +132,13 @@ mod tests {
 
     #[test]
     fn overflowing_deadline_saturates_to_unbounded() {
-        // `Instant + u64::MAX ms` overflows `checked_add`; the deadline
-        // saturates to "never expires" instead of wrapping into the
-        // past and killing the run immediately.
+        // A deadline of `u64::MAX` ms saturates to "never expires"
+        // instead of wrapping into the past (or depending on whether
+        // the platform's `Instant` representation happens to overflow).
         let d = Deadline::after_ms(u64::MAX);
         assert!(!d.expired());
         assert_eq!(d.remaining_ms(), None);
+        assert!(!d.is_bounded());
     }
 
     #[test]

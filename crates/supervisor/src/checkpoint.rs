@@ -21,11 +21,14 @@ use std::sync::Mutex;
 
 use geyser::CancelToken;
 use geyser_circuit::Circuit;
-use geyser_compose::{BlockObserver, BlockOutcome, CompositionResult, FallbackReason};
+use geyser_compose::{
+    BlockObserver, BlockOutcome, CompositionConfig, CompositionResult, FallbackReason,
+};
 use serde::{Deserialize, Serialize};
 
 /// On-disk format version; bumped on incompatible layout changes.
-const CHECKPOINT_VERSION: u64 = 1;
+/// v2 added the composition-config hash to the run binding.
+const CHECKPOINT_VERSION: u64 = 2;
 
 /// One checkpointed block result — a serializable mirror of
 /// [`CompositionResult`] (the vendored serde derive has no attribute
@@ -109,18 +112,21 @@ pub struct Checkpoint {
     fingerprint: u64,
     seed: u64,
     num_blocks: usize,
+    config_hash: u64,
     blocks: Vec<CheckpointBlock>,
 }
 
 impl Checkpoint {
     /// An empty checkpoint for a run over `num_blocks` blocks of a
-    /// circuit with the given fingerprint and composition seed.
-    pub fn new(fingerprint: u64, seed: u64, num_blocks: usize) -> Self {
+    /// circuit with the given fingerprint, composition seed, and
+    /// composition-config hash (see [`composition_config_hash`]).
+    pub fn new(fingerprint: u64, seed: u64, num_blocks: usize, config_hash: u64) -> Self {
         Checkpoint {
             version: CHECKPOINT_VERSION,
             fingerprint,
             seed,
             num_blocks,
+            config_hash,
             blocks: Vec::new(),
         }
     }
@@ -131,13 +137,22 @@ impl Checkpoint {
     }
 
     /// Whether this checkpoint belongs to the `(fingerprint, seed,
-    /// num_blocks)` run — resuming someone else's checkpoint would
-    /// silently splice wrong circuits in.
-    pub fn matches(&self, fingerprint: u64, seed: u64, num_blocks: usize) -> bool {
+    /// num_blocks, config_hash)` run — resuming someone else's
+    /// checkpoint, or one composed under different search parameters
+    /// (a different ε, layer cap, or annealing budget), would silently
+    /// splice wrong or differently-converged circuits in.
+    pub fn matches(
+        &self,
+        fingerprint: u64,
+        seed: u64,
+        num_blocks: usize,
+        config_hash: u64,
+    ) -> bool {
         self.version == CHECKPOINT_VERSION
             && self.fingerprint == fingerprint
             && self.seed == seed
             && self.num_blocks == num_blocks
+            && self.config_hash == config_hash
     }
 
     /// Expands the recorded blocks into the `prior` slice shape that
@@ -180,6 +195,23 @@ impl std::error::Error for CheckpointError {}
 /// bench cache uses to bind artifacts to their exact input.
 pub fn checkpoint_fingerprint(circuit: &Circuit) -> u64 {
     let text = format!("{circuit:?}");
+    fnv1a(&text)
+}
+
+/// FNV-1a hash of the composition parameters that shape per-block
+/// results: ε, the layer cap, and the annealing budget (iterations,
+/// restarts, retries). The seed is bound separately; threads and the
+/// wall-clock deadline are excluded because they change scheduling,
+/// never a completed block's content.
+pub fn composition_config_hash(cfg: &CompositionConfig) -> u64 {
+    let text = format!(
+        "eps={:?}|layers={}|iters={}|restarts={}|retries={}",
+        cfg.epsilon, cfg.max_layers, cfg.anneal_iters, cfg.restarts, cfg.retry_attempts
+    );
+    fnv1a(&text)
+}
+
+fn fnv1a(text: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in text.bytes() {
         h ^= b as u64;
@@ -321,14 +353,14 @@ mod tests {
     #[test]
     fn roundtrips_through_disk() {
         let path = temp_path("roundtrip");
-        let mut ckpt = Checkpoint::new(0xabcd, 7, 5);
+        let mut ckpt = Checkpoint::new(0xabcd, 7, 5, 0xc0f6);
         ckpt.blocks
             .push(CheckpointBlock::from_result(2, &sample_result(true)).unwrap());
         ckpt.blocks
             .push(CheckpointBlock::from_result(4, &sample_result(false)).unwrap());
         write_checkpoint_atomic(&path, &ckpt).unwrap();
         let back = load_checkpoint(&path).unwrap();
-        assert!(back.matches(0xabcd, 7, 5));
+        assert!(back.matches(0xabcd, 7, 5, 0xc0f6));
         assert_eq!(back.num_recorded(), 2);
         let prior = back.to_prior();
         assert_eq!(prior.len(), 5);
@@ -347,17 +379,18 @@ mod tests {
 
     #[test]
     fn mismatched_run_is_rejected() {
-        let ckpt = Checkpoint::new(1, 2, 3);
-        assert!(!ckpt.matches(999, 2, 3), "wrong fingerprint");
-        assert!(!ckpt.matches(1, 999, 3), "wrong seed");
-        assert!(!ckpt.matches(1, 2, 999), "wrong block count");
-        assert!(ckpt.matches(1, 2, 3));
+        let ckpt = Checkpoint::new(1, 2, 3, 4);
+        assert!(!ckpt.matches(999, 2, 3, 4), "wrong fingerprint");
+        assert!(!ckpt.matches(1, 999, 3, 4), "wrong seed");
+        assert!(!ckpt.matches(1, 2, 999, 4), "wrong block count");
+        assert!(!ckpt.matches(1, 2, 3, 999), "wrong config hash");
+        assert!(ckpt.matches(1, 2, 3, 4));
     }
 
     #[test]
     fn truncated_file_loads_as_corrupt() {
         let path = temp_path("truncated");
-        let ckpt = Checkpoint::new(1, 2, 3);
+        let ckpt = Checkpoint::new(1, 2, 3, 4);
         write_checkpoint_atomic(&path, &ckpt).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &body[..body.len() / 2]).unwrap();
@@ -380,7 +413,7 @@ mod tests {
     #[test]
     fn atomic_write_leaves_no_tmp_behind() {
         let path = temp_path("atomic");
-        write_checkpoint_atomic(&path, &Checkpoint::new(5, 6, 7)).unwrap();
+        write_checkpoint_atomic(&path, &Checkpoint::new(5, 6, 7, 8)).unwrap();
         assert!(path.exists());
         assert!(!path.with_extension("json.tmp").exists());
         let _ = std::fs::remove_file(&path);
@@ -399,12 +432,44 @@ mod tests {
     }
 
     #[test]
+    fn config_hash_tracks_search_parameters_only() {
+        let base = CompositionConfig::default();
+        let mut eps = base;
+        eps.epsilon = base.epsilon / 10.0;
+        assert_ne!(
+            composition_config_hash(&base),
+            composition_config_hash(&eps)
+        );
+        let mut layers = base;
+        layers.max_layers += 1;
+        assert_ne!(
+            composition_config_hash(&base),
+            composition_config_hash(&layers)
+        );
+        let mut iters = base;
+        iters.anneal_iters += 1;
+        assert_ne!(
+            composition_config_hash(&base),
+            composition_config_hash(&iters)
+        );
+        // Seed is bound separately; threads and deadline affect
+        // scheduling, not block content — none may change the hash.
+        let mut sched = base;
+        sched.seed = 99;
+        sched.threads = 7;
+        assert_eq!(
+            composition_config_hash(&base),
+            composition_config_hash(&sched)
+        );
+    }
+
+    #[test]
     fn writer_records_fresh_blocks_and_fires_kill_switch() {
         let path = temp_path("writer");
         let token = CancelToken::new();
         let writer = CheckpointWriter::new(
             path.clone(),
-            Checkpoint::new(1, 2, 4),
+            Checkpoint::new(1, 2, 4, 0),
             false,
             Some(2),
             token.clone(),
@@ -423,7 +488,7 @@ mod tests {
         let path = temp_path("writer-cancelled");
         let writer = CheckpointWriter::new(
             path.clone(),
-            Checkpoint::new(1, 2, 4),
+            Checkpoint::new(1, 2, 4, 0),
             false,
             None,
             CancelToken::none(),

@@ -10,7 +10,9 @@ use geyser::{
 use geyser_circuit::Circuit;
 use geyser_compose::try_compose_blocked_circuit_supervised;
 
-use crate::checkpoint::{checkpoint_fingerprint, load_checkpoint, Checkpoint, CheckpointWriter};
+use crate::checkpoint::{
+    checkpoint_fingerprint, composition_config_hash, load_checkpoint, Checkpoint, CheckpointWriter,
+};
 
 /// How one supervised attempt should run.
 #[derive(Debug, Clone)]
@@ -82,18 +84,21 @@ impl Pass for CheckpointedComposePass {
 
         let fingerprint = checkpoint_fingerprint(blocked.source());
         let num_blocks = blocked.num_blocks();
+        let config_hash = composition_config_hash(&cfg);
         // A checkpoint binds to (source circuit, composition seed,
-        // block count); anything else is someone else's run and must
-        // not be spliced in. Corrupt or missing files degrade to a
-        // fresh start — resume is an optimization, never a
-        // correctness requirement.
+        // block count, composition-config hash); anything else is
+        // someone else's run and must not be spliced in. Corrupt or
+        // missing files degrade to a fresh start — resume is an
+        // optimization, never a correctness requirement.
         let (initial, prior) = match load_checkpoint(&self.path) {
-            Ok(ckpt) if self.resume && ckpt.matches(fingerprint, cfg.seed, num_blocks) => {
+            Ok(ckpt)
+                if self.resume && ckpt.matches(fingerprint, cfg.seed, num_blocks, config_hash) =>
+            {
                 let prior = ckpt.to_prior();
                 (ckpt, prior)
             }
             _ => (
-                Checkpoint::new(fingerprint, cfg.seed, num_blocks),
+                Checkpoint::new(fingerprint, cfg.seed, num_blocks, config_hash),
                 Vec::new(),
             ),
         };
@@ -238,6 +243,53 @@ mod tests {
             stats.blocks_resumed >= 1,
             "at least the checkpointed block must be restored"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_from_different_pipeline_config_is_rejected() {
+        let path = temp_ckpt("config-skew");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PipelineConfig::fast();
+
+        // Run 1: killed mid-composition, leaves a partial checkpoint.
+        let mut killed = SupervisedCompileOptions::new(Technique::Geyser);
+        killed.faults = geyser::FaultInjector::parse("kill-after-block:1").unwrap();
+        killed.cancel = CancelToken::new();
+        killed.checkpoint = Some(path.clone());
+        run_supervised_compile(&program(), &cfg, &killed).unwrap_err();
+        assert!(load_checkpoint(&path).unwrap().num_recorded() >= 1);
+
+        // Run 2: same circuit, same seed, same block count — but a
+        // different composition ε. The checkpoint's blocks were
+        // accepted under the old ε, so splicing them in would bypass
+        // the new acceptance rule; the resume must start fresh.
+        let mut skewed_cfg = cfg;
+        skewed_cfg.composition.epsilon = cfg.composition.epsilon / 10.0;
+        let mut resumed = SupervisedCompileOptions::new(Technique::Geyser);
+        resumed.cancel = CancelToken::new();
+        resumed.checkpoint = Some(path.clone());
+        resumed.resume = true;
+        let compiled = run_supervised_compile(&program(), &skewed_cfg, &resumed).unwrap();
+        let stats = compiled.composition_stats().unwrap();
+        assert_eq!(
+            stats.blocks_resumed, 0,
+            "stale-config checkpoint must be rejected, not spliced in"
+        );
+
+        // Run 3: matching config resumes normally.
+        let _ = std::fs::remove_file(&path);
+        let mut killed = SupervisedCompileOptions::new(Technique::Geyser);
+        killed.faults = geyser::FaultInjector::parse("kill-after-block:1").unwrap();
+        killed.cancel = CancelToken::new();
+        killed.checkpoint = Some(path.clone());
+        run_supervised_compile(&program(), &cfg, &killed).unwrap_err();
+        let mut resumed = SupervisedCompileOptions::new(Technique::Geyser);
+        resumed.cancel = CancelToken::new();
+        resumed.checkpoint = Some(path.clone());
+        resumed.resume = true;
+        let compiled = run_supervised_compile(&program(), &cfg, &resumed).unwrap();
+        assert!(compiled.composition_stats().unwrap().blocks_resumed >= 1);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,362 @@
+//! Seeded structured circuit fuzzer.
+//!
+//! Two generators alternate: fully random circuits drawn over the
+//! whole [`Gate`] enum, and mutations of the small paper benchmarks
+//! (gate insert/delete/swap, qubit permutations, parameter jitter).
+//! Every case derives its own RNG seed from the run seed with
+//! splitmix64, so a run is reproducible case-by-case: the same
+//! `(seed, index)` always yields the same circuit, regardless of how
+//! many cases the run generates.
+
+use geyser_circuit::{Circuit, Gate, Operation};
+use geyser_workloads::suite;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fuzzer knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuzzOptions {
+    /// Run seed; every case seed derives from it.
+    pub seed: u64,
+    /// Number of cases to generate.
+    pub cases: usize,
+    /// Random circuits use 2..=this many qubits; mutation bases are
+    /// benchmarks with at most this many qubits.
+    pub max_qubits: usize,
+    /// Upper bound on random-circuit length.
+    pub max_ops: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed: 0,
+            cases: 16,
+            max_qubits: 5,
+            max_ops: 24,
+        }
+    }
+}
+
+/// One generated fuzz case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Position in the run (0-based).
+    pub index: usize,
+    /// Stable identifier, e.g. `case-0003-mutate-adder-4`.
+    pub id: String,
+    /// `"random"` or the name of the mutated benchmark.
+    pub origin: String,
+    /// The case's derived RNG seed.
+    pub seed: u64,
+    /// The circuit to compile and verify.
+    pub circuit: Circuit,
+}
+
+/// splitmix64: the per-case seed derivation. Public so the bench
+/// harness can record the derived seed in quarantine metadata.
+pub fn derive_seed(run_seed: u64, index: u64) -> u64 {
+    let mut z = run_seed
+        .wrapping_add(1)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates the full deterministic case list for a run.
+pub fn generate_cases(opts: &FuzzOptions) -> Vec<FuzzCase> {
+    (0..opts.cases).map(|i| generate_case(opts, i)).collect()
+}
+
+/// Generates case `index` of a run (independently of other cases).
+pub fn generate_case(opts: &FuzzOptions, index: usize) -> FuzzCase {
+    let seed = derive_seed(opts.seed, index as u64);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bases: Vec<_> = suite()
+        .into_iter()
+        .filter(|w| w.num_qubits <= opts.max_qubits)
+        .collect();
+    // Even cases explore the raw gate grammar; odd cases stay close to
+    // realistic structure by perturbing a paper benchmark.
+    let (origin, circuit) = if index.is_multiple_of(2) || bases.is_empty() {
+        ("random".to_string(), random_circuit(&mut rng, opts))
+    } else {
+        let base = &bases[index / 2 % bases.len()];
+        (base.name.to_string(), mutate(&base.build(), &mut rng, opts))
+    };
+    FuzzCase {
+        index,
+        id: format!("case-{index:04}-{origin}"),
+        origin,
+        seed,
+        circuit,
+    }
+}
+
+fn random_circuit(rng: &mut StdRng, opts: &FuzzOptions) -> Circuit {
+    let n = rng.gen_range(2..opts.max_qubits.max(2) + 1);
+    let len = rng.gen_range(3..opts.max_ops.max(4) + 1);
+    let mut circuit = Circuit::new(n);
+    for _ in 0..len {
+        let op = random_op(rng, n);
+        circuit.push(op);
+    }
+    circuit
+}
+
+/// A random operation on a register of `n` qubits, drawn over the
+/// whole gate enum (native and logical basis alike).
+fn random_op(rng: &mut StdRng, n: usize) -> Operation {
+    let arity = match rng.gen_range(0..100u32) {
+        _ if n == 1 => 1,
+        x if x < 50 => 1,
+        x if x < 85 || n < 3 => 2,
+        _ => 3,
+    };
+    let gate = random_gate(rng, arity);
+    Operation::new(gate, distinct_qubits(rng, n, arity))
+}
+
+fn random_gate(rng: &mut StdRng, arity: usize) -> Gate {
+    let angle = |rng: &mut StdRng| rng.gen_range(-std::f64::consts::TAU..std::f64::consts::TAU);
+    match arity {
+        1 => match rng.gen_range(0..13u32) {
+            0 => Gate::H,
+            1 => Gate::X,
+            2 => Gate::Y,
+            3 => Gate::Z,
+            4 => Gate::S,
+            5 => Gate::Sdg,
+            6 => Gate::T,
+            7 => Gate::Tdg,
+            8 => Gate::RX(angle(rng)),
+            9 => Gate::RY(angle(rng)),
+            10 => Gate::RZ(angle(rng)),
+            11 => Gate::Phase(angle(rng)),
+            _ => Gate::U3 {
+                theta: angle(rng),
+                phi: angle(rng),
+                lambda: angle(rng),
+            },
+        },
+        2 => match rng.gen_range(0..4u32) {
+            0 => Gate::CZ,
+            1 => Gate::CX,
+            2 => Gate::CPhase(angle(rng)),
+            _ => Gate::Swap,
+        },
+        _ => {
+            if rng.gen_bool(0.5) {
+                Gate::CCZ
+            } else {
+                Gate::CCX
+            }
+        }
+    }
+}
+
+fn distinct_qubits(rng: &mut StdRng, n: usize, arity: usize) -> Vec<usize> {
+    let mut chosen: Vec<usize> = Vec::with_capacity(arity);
+    while chosen.len() < arity {
+        let q = rng.gen_range(0..n);
+        if !chosen.contains(&q) {
+            chosen.push(q);
+        }
+    }
+    chosen
+}
+
+/// Applies 1–3 structural mutations to a benchmark circuit.
+fn mutate(base: &Circuit, rng: &mut StdRng, _opts: &FuzzOptions) -> Circuit {
+    let mut circuit = base.clone();
+    let rounds = rng.gen_range(1..4usize);
+    for _ in 0..rounds {
+        circuit = mutate_once(&circuit, rng);
+    }
+    circuit
+}
+
+fn mutate_once(circuit: &Circuit, rng: &mut StdRng) -> Circuit {
+    let n = circuit.num_qubits();
+    let mut ops: Vec<Operation> = circuit.ops().to_vec();
+    match rng.gen_range(0..5u32) {
+        // Insert a random gate at a random position.
+        0 => {
+            let at = rng.gen_range(0..ops.len() + 1);
+            let op = random_op(rng, n);
+            ops.insert(at, op);
+        }
+        // Delete a random gate.
+        1 if !ops.is_empty() => {
+            let at = rng.gen_range(0..ops.len());
+            ops.remove(at);
+        }
+        // Swap two gate positions (reorders, possibly non-commuting).
+        2 if ops.len() >= 2 => {
+            let a = rng.gen_range(0..ops.len());
+            let b = rng.gen_range(0..ops.len());
+            ops.swap(a, b);
+        }
+        // Relabel qubits by a random permutation.
+        3 => {
+            let perm = random_permutation(rng, n);
+            return circuit.remapped(n, |q| perm[q]);
+        }
+        // Jitter one angle of a parametric gate (or insert if none).
+        4 => {
+            let parametric: Vec<usize> = ops
+                .iter()
+                .enumerate()
+                .filter(|(_, op)| jittered(op.gate(), 0.0).is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if parametric.is_empty() {
+                let at = rng.gen_range(0..ops.len() + 1);
+                let op = random_op(rng, n);
+                ops.insert(at, op);
+            } else {
+                let at = parametric[rng.gen_range(0..parametric.len())];
+                let delta = rng.gen_range(-0.1..0.1f64);
+                let gate = jittered(ops[at].gate(), delta).expect("parametric");
+                ops[at] = Operation::new(gate, ops[at].qubits().to_vec());
+            }
+        }
+        // Fallback for empty/singleton circuits hitting delete/swap.
+        _ => {
+            let at = rng.gen_range(0..ops.len() + 1);
+            let op = random_op(rng, n);
+            ops.insert(at, op);
+        }
+    }
+    rebuild(n, ops)
+}
+
+/// The gate with `delta` added to (one of) its angles, or `None` for
+/// non-parametric gates.
+fn jittered(gate: &Gate, delta: f64) -> Option<Gate> {
+    Some(match *gate {
+        Gate::RX(t) => Gate::RX(t + delta),
+        Gate::RY(t) => Gate::RY(t + delta),
+        Gate::RZ(t) => Gate::RZ(t + delta),
+        Gate::Phase(t) => Gate::Phase(t + delta),
+        Gate::CPhase(t) => Gate::CPhase(t + delta),
+        Gate::U3 { theta, phi, lambda } => Gate::U3 {
+            theta: theta + delta,
+            phi,
+            lambda,
+        },
+        _ => return None,
+    })
+}
+
+fn random_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i + 1);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Rebuilds a circuit from an operation list.
+pub fn rebuild(num_qubits: usize, ops: Vec<Operation>) -> Circuit {
+    let mut circuit = Circuit::new(num_qubits);
+    for op in ops {
+        circuit.push(op);
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_cases() {
+        let opts = FuzzOptions {
+            seed: 42,
+            cases: 12,
+            ..FuzzOptions::default()
+        };
+        let a = generate_cases(&opts);
+        let b = generate_cases(&opts);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.circuit.ops(), y.circuit.ops());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_cases(&FuzzOptions {
+            seed: 1,
+            cases: 8,
+            ..FuzzOptions::default()
+        });
+        let b = generate_cases(&FuzzOptions {
+            seed: 2,
+            cases: 8,
+            ..FuzzOptions::default()
+        });
+        let identical = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.circuit.ops() == y.circuit.ops())
+            .count();
+        assert!(identical < a.len(), "seeds must actually matter");
+    }
+
+    #[test]
+    fn case_generation_is_independent_of_run_length() {
+        let short = FuzzOptions {
+            seed: 7,
+            cases: 4,
+            ..FuzzOptions::default()
+        };
+        let long = FuzzOptions {
+            seed: 7,
+            cases: 16,
+            ..FuzzOptions::default()
+        };
+        let a = generate_cases(&short);
+        let b = generate_cases(&long);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.circuit.ops(), y.circuit.ops());
+        }
+    }
+
+    #[test]
+    fn cases_are_well_formed() {
+        let opts = FuzzOptions {
+            seed: 9,
+            cases: 20,
+            ..FuzzOptions::default()
+        };
+        for case in generate_cases(&opts) {
+            assert!(case.circuit.num_qubits() >= 2);
+            assert!(!case.circuit.is_empty(), "{}", case.id);
+            for op in case.circuit.ops() {
+                for &q in op.qubits() {
+                    assert!(q < case.circuit.num_qubits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_cases_reference_real_benchmarks() {
+        let opts = FuzzOptions {
+            seed: 3,
+            cases: 10,
+            ..FuzzOptions::default()
+        };
+        let cases = generate_cases(&opts);
+        assert!(cases.iter().any(|c| c.origin == "random"));
+        assert!(cases.iter().any(|c| c.origin != "random"));
+    }
+}

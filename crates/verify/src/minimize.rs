@@ -1,0 +1,155 @@
+//! Delta-debugging minimizer: shrinks a failing circuit to a
+//! local-minimum reproducer.
+//!
+//! Classic ddmin over the operation list: try removing contiguous
+//! chunks at decreasing granularity, keeping any removal after which
+//! the failure predicate still holds. The result is 1-minimal with
+//! respect to single-op removal — deleting any one remaining
+//! operation makes the failure disappear — which is what makes
+//! quarantined reproducers small enough to debug by eye.
+//!
+//! The minimizer is fully deterministic (no RNG): the same failing
+//! circuit and predicate always shrink to the same reproducer, which
+//! keeps quarantine corpora and their replays stable.
+
+use geyser_circuit::{Circuit, Operation};
+
+use crate::fuzz::rebuild;
+
+/// How the minimization went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Operations in the circuit handed in.
+    pub original_ops: usize,
+    /// Operations in the minimized reproducer.
+    pub minimized_ops: usize,
+    /// Predicate evaluations spent (each one is a compile+verify).
+    pub predicate_calls: usize,
+}
+
+/// Shrinks `circuit` while `still_failing` holds, returning the
+/// local-minimum reproducer and shrink statistics.
+///
+/// `still_failing` must return `true` for the input circuit itself;
+/// if it does not (a flaky failure), the circuit is returned
+/// unchanged with `minimized_ops == original_ops`.
+pub fn minimize<F>(circuit: &Circuit, mut still_failing: F) -> (Circuit, MinimizeStats)
+where
+    F: FnMut(&Circuit) -> bool,
+{
+    let n = circuit.num_qubits();
+    let original: Vec<Operation> = circuit.ops().to_vec();
+    let mut stats = MinimizeStats {
+        original_ops: original.len(),
+        minimized_ops: original.len(),
+        predicate_calls: 1,
+    };
+    if !still_failing(circuit) {
+        return (circuit.clone(), stats);
+    }
+
+    let mut current = original;
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(start..end);
+            stats.predicate_calls += 1;
+            if still_failing(&rebuild(n, candidate.clone())) {
+                current = candidate;
+                removed_any = true;
+                // The next chunk has shifted into `start`; retry there.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+            // Removals shift neighbours; sweep again until a full
+            // single-op pass removes nothing (1-minimality).
+        } else if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    stats.minimized_ops = current.len();
+    (rebuild(n, current), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser_circuit::Gate;
+
+    /// Predicate: "fails" iff the circuit still contains a T gate.
+    fn has_t(circuit: &Circuit) -> bool {
+        circuit.ops().iter().any(|op| *op.gate() == Gate::T)
+    }
+
+    #[test]
+    fn shrinks_to_single_culprit_op() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.h(q);
+        }
+        c.cx(0, 1).t(2).cz(1, 2).h(0).cx(1, 2).h(2);
+        let (min, stats) = minimize(&c, has_t);
+        assert_eq!(min.len(), 1, "{min:?}");
+        assert!(has_t(&min));
+        assert_eq!(stats.original_ops, c.len());
+        assert_eq!(stats.minimized_ops, 1);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Failure needs BOTH a T and an X: neither alone suffices.
+        let needs_both = |c: &Circuit| {
+            let has = |g: Gate| c.ops().iter().any(|op| *op.gate() == g);
+            has(Gate::T) && has(Gate::X)
+        };
+        let mut c = Circuit::new(2);
+        c.h(0).t(0).cz(0, 1).x(1).h(1).s(0).t(1);
+        let (min, _) = minimize(&c, needs_both);
+        assert!(needs_both(&min));
+        // Dropping any single remaining op must break the failure.
+        for skip in 0..min.len() {
+            let mut ops = min.ops().to_vec();
+            ops.remove(skip);
+            assert!(
+                !needs_both(&rebuild(2, ops)),
+                "op {skip} of {min:?} is removable — not 1-minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn non_reproducing_failure_returns_input_unchanged() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let (min, stats) = minimize(&c, |_| false);
+        assert_eq!(min.ops(), c.ops());
+        assert_eq!(stats.predicate_calls, 1);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let mut c = Circuit::new(3);
+        c.h(0).t(1).cx(0, 2).t(2).h(1).cz(0, 1).x(2);
+        let (a, _) = minimize(&c, has_t);
+        let (b, _) = minimize(&c, has_t);
+        assert_eq!(a.ops(), b.ops());
+    }
+
+    #[test]
+    fn always_failing_predicate_shrinks_to_empty() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(1);
+        let (min, _) = minimize(&c, |_| true);
+        assert!(min.is_empty());
+    }
+}

@@ -1,0 +1,550 @@
+//! The equivalence oracle: is a compiled circuit semantically
+//! equivalent to its source program?
+//!
+//! Two tiers, chosen by circuit size:
+//!
+//! * **Exact isometry** (small circuits): the compiled circuit acts on
+//!   lattice nodes, the source on logical qubits, so the object under
+//!   test is the isometry `V = (compiled) · embed_init` restricted to
+//!   the logical subspace. For every logical basis state `x` the
+//!   oracle simulates the compiled circuit on the embedded input and
+//!   accumulates `s = Σ_x ⟨embed_final(source·x) | compiled·embed_init(x)⟩
+//!   = Tr(V_expected† V_actual)`. `|s| / 2^n = 1` exactly when the two
+//!   isometries agree up to one global phase — per-column (relative)
+//!   phase errors strictly reduce `|s|`.
+//! * **State probes** (large circuits): `N` seeded random product
+//!   states are pushed through both sides; each probe's fidelity
+//!   `|⟨expected|actual⟩|²` must stay above threshold. Random
+//!   superposition inputs catch relative-phase and entanglement errors
+//!   that computational-basis checks (TVD spot checks) cannot see.
+//!
+//! Composition is approximate by design (per-block HSD ≤ ε), so the
+//! acceptance threshold for composed circuits is widened by a
+//! triangle-inequality allowance derived from the composition stats;
+//! exact pipelines (Baseline, OptiMap, SC) are held to the raw
+//! tolerance.
+
+use std::time::Instant;
+
+use geyser_circuit::Circuit;
+use geyser_map::MappedCircuit;
+use geyser_num::{hilbert_schmidt_distance, CMatrix, Complex};
+use geyser_sim::{circuit_unitary, StateVector};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Largest physical register the probe tier will statevector-simulate
+/// (memory: `2^22` amplitudes ≈ 64 MiB).
+const PROBE_MAX_NODES: usize = 22;
+
+/// Slack added to ε comparisons so a candidate sitting exactly on the
+/// boundary is not rejected by round-off (mirrors the composer's
+/// historical re-verification check).
+const EPSILON_SLACK: f64 = 1e-9;
+
+/// Oracle configuration: tier cut-offs, tolerances, probe seeding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerifyConfig {
+    /// Exact tier runs when the source has at most this many logical
+    /// qubits (cost: `2^n` simulations of the compiled circuit).
+    pub exact_max_qubits: usize,
+    /// ... and the compiled circuit at most this many lattice nodes.
+    pub exact_max_nodes: usize,
+    /// Random product-state probes for the probe tier.
+    pub probes: usize,
+    /// Exact-tier acceptance: fidelity ≥ 1 − this.
+    pub exact_tolerance: f64,
+    /// Probe-tier acceptance: per-probe fidelity ≥ 1 − this.
+    pub probe_tolerance: f64,
+    /// Seed for the probe-state generator.
+    pub seed: u64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            exact_max_qubits: 10,
+            exact_max_nodes: 13,
+            probes: 8,
+            exact_tolerance: 1e-9,
+            probe_tolerance: 1e-6,
+            seed: 0,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Returns a copy with the given probe seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Which comparison the oracle ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyMethod {
+    /// Full isometry comparison over every logical basis state.
+    ExactUnitary,
+    /// Seeded random product-state probing.
+    StateProbes,
+    /// The circuit was too large to simulate; only structural checks
+    /// (register size, node space) ran. Fidelity is not measured.
+    Structural,
+}
+
+impl VerifyMethod {
+    /// Stable kebab-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VerifyMethod::ExactUnitary => "exact-unitary",
+            VerifyMethod::StateProbes => "state-probes",
+            VerifyMethod::Structural => "structural",
+        }
+    }
+}
+
+/// The oracle's verdict on one (source, compiled) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EquivalenceReport {
+    /// Which tier ran.
+    pub method: VerifyMethod,
+    /// Basis columns (exact tier) or probe states evaluated.
+    pub probes: u64,
+    /// Smallest fidelity observed (`|s|/2^n` for the exact tier);
+    /// `-1.0` when the structural tier measured nothing.
+    pub worst_fidelity: f64,
+    /// Effective threshold used: fidelity ≥ 1 − tolerance passes.
+    pub tolerance: f64,
+    /// Whether the compiled circuit passed.
+    pub equivalent: bool,
+    /// Oracle wall-clock seconds.
+    pub seconds: f64,
+    /// Failure context (structural mismatches, NaN states).
+    pub detail: Option<String>,
+}
+
+/// How logical qubits sit inside the compiled circuit's register:
+/// logical qubit `q` enters at node `initial[q]` and is read out from
+/// node `final_[q]`; all other nodes start — and must end — in `|0⟩`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    logical: usize,
+    nodes: usize,
+    initial: Vec<usize>,
+    final_: Vec<usize>,
+}
+
+impl Embedding {
+    /// The embedding recorded by a mapped circuit's layouts.
+    pub fn from_mapped(mapped: &MappedCircuit) -> Self {
+        let n = mapped.num_logical();
+        Embedding {
+            logical: n,
+            nodes: mapped.circuit().num_qubits(),
+            initial: (0..n).map(|q| mapped.initial_layout().node_of(q)).collect(),
+            final_: (0..n).map(|q| mapped.final_layout().node_of(q)).collect(),
+        }
+    }
+
+    /// Identity embedding: compiled and source share a register.
+    pub fn identity(num_qubits: usize) -> Self {
+        Embedding {
+            logical: num_qubits,
+            nodes: num_qubits,
+            initial: (0..num_qubits).collect(),
+            final_: (0..num_qubits).collect(),
+        }
+    }
+
+    /// Basis index of the node register holding logical basis state
+    /// `x` at the given node assignment, idle nodes `|0⟩`. Bit
+    /// conventions follow `MappedCircuit::logical_distribution`:
+    /// qubit/node 0 is the most significant bit.
+    fn embed_index(&self, x: usize, assignment: &[usize]) -> usize {
+        let mut index = 0usize;
+        for (q, &node) in assignment.iter().enumerate().take(self.logical) {
+            if (x >> (self.logical - 1 - q)) & 1 == 1 {
+                index |= 1 << (self.nodes - 1 - node);
+            }
+        }
+        index
+    }
+
+    /// `⟨embed_final(expected) | actual⟩`: the overlap of the full
+    /// node-register state with the expected logical state embedded at
+    /// the final layout (idle nodes `|0⟩`). Any amplitude the compiled
+    /// circuit leaks outside that subspace reduces the overlap.
+    fn final_overlap(&self, expected: &StateVector, actual: &StateVector) -> Complex {
+        let amps = actual.amplitudes();
+        let exp = expected.amplitudes();
+        let mut overlap = Complex::ZERO;
+        for (y, e) in exp.iter().enumerate() {
+            overlap += amps[self.embed_index(y, &self.final_)].conj() * *e;
+        }
+        overlap
+    }
+}
+
+/// Verifies a mapped compilation against its source program.
+///
+/// `allowance` widens the tolerance for approximate (composed)
+/// pipelines — see [`composition_allowance`]; pass `0.0` for exact
+/// pipelines.
+pub fn verify_mapped(
+    source: &Circuit,
+    mapped: &MappedCircuit,
+    allowance: f64,
+    cfg: &VerifyConfig,
+) -> EquivalenceReport {
+    if mapped.num_logical() != source.num_qubits() {
+        return structural_failure(format!(
+            "register mismatch: program has {} qubits, compiled circuit tracks {}",
+            source.num_qubits(),
+            mapped.num_logical()
+        ));
+    }
+    verify_embedded(
+        source,
+        mapped.circuit(),
+        &Embedding::from_mapped(mapped),
+        allowance,
+        cfg,
+    )
+}
+
+/// Verifies two circuits over the same register (identity embedding) —
+/// the form unit tests and the minimizer use.
+pub fn verify_circuits(
+    source: &Circuit,
+    compiled: &Circuit,
+    cfg: &VerifyConfig,
+) -> EquivalenceReport {
+    if source.num_qubits() != compiled.num_qubits() {
+        return structural_failure(format!(
+            "register mismatch: source has {} qubits, compiled {}",
+            source.num_qubits(),
+            compiled.num_qubits()
+        ));
+    }
+    verify_embedded(
+        source,
+        compiled,
+        &Embedding::identity(source.num_qubits()),
+        0.0,
+        cfg,
+    )
+}
+
+/// The tier dispatcher both entry points share.
+pub fn verify_embedded(
+    source: &Circuit,
+    compiled: &Circuit,
+    embedding: &Embedding,
+    allowance: f64,
+    cfg: &VerifyConfig,
+) -> EquivalenceReport {
+    let start = Instant::now();
+    let n = embedding.logical;
+    let nodes = embedding.nodes;
+    if n <= cfg.exact_max_qubits && nodes <= cfg.exact_max_nodes {
+        let (fidelity, columns) = exact_isometry_fidelity(source, compiled, embedding);
+        return finish(
+            start,
+            VerifyMethod::ExactUnitary,
+            columns,
+            fidelity,
+            cfg.exact_tolerance + allowance,
+        );
+    }
+    if nodes <= PROBE_MAX_NODES {
+        let (worst, probes) = probe_fidelity(source, compiled, embedding, cfg);
+        return finish(
+            start,
+            VerifyMethod::StateProbes,
+            probes,
+            worst,
+            cfg.probe_tolerance + allowance,
+        );
+    }
+    // Too large to simulate at all: structural checks passed above, so
+    // record an unmeasured pass rather than blocking huge circuits.
+    EquivalenceReport {
+        method: VerifyMethod::Structural,
+        probes: 0,
+        worst_fidelity: -1.0,
+        tolerance: 0.0,
+        equivalent: true,
+        seconds: start.elapsed().as_secs_f64(),
+        detail: Some(format!(
+            "{nodes}-node register exceeds the {PROBE_MAX_NODES}-node simulation cap"
+        )),
+    }
+}
+
+fn finish(
+    start: Instant,
+    method: VerifyMethod,
+    probes: u64,
+    worst_fidelity: f64,
+    tolerance: f64,
+) -> EquivalenceReport {
+    let equivalent = worst_fidelity.is_finite() && worst_fidelity >= 1.0 - tolerance;
+    EquivalenceReport {
+        method,
+        probes,
+        worst_fidelity,
+        tolerance,
+        equivalent,
+        seconds: start.elapsed().as_secs_f64(),
+        detail: (!equivalent).then(|| {
+            format!(
+                "worst fidelity {worst_fidelity:.9} below threshold {:.9}",
+                1.0 - tolerance
+            )
+        }),
+    }
+}
+
+fn structural_failure(detail: String) -> EquivalenceReport {
+    EquivalenceReport {
+        method: VerifyMethod::Structural,
+        probes: 0,
+        worst_fidelity: -1.0,
+        tolerance: 0.0,
+        equivalent: false,
+        seconds: 0.0,
+        detail: Some(detail),
+    }
+}
+
+/// `(|Tr(V_expected† V_actual)| / 2^n, columns)` — exactly `1.0` when
+/// the compiled isometry equals the source up to one global phase.
+fn exact_isometry_fidelity(
+    source: &Circuit,
+    compiled: &Circuit,
+    embedding: &Embedding,
+) -> (f64, u64) {
+    let n = embedding.logical;
+    let dim = 1usize << n;
+    let mut s = Complex::ZERO;
+    for x in 0..dim {
+        let mut actual = StateVector::basis_state(
+            embedding.nodes,
+            embedding.embed_index(x, &embedding.initial),
+        );
+        actual.apply_circuit(compiled);
+        let mut expected = StateVector::basis_state(n, x);
+        expected.apply_circuit(source);
+        s += embedding.final_overlap(&expected, &actual);
+    }
+    (s.norm() / dim as f64, dim as u64)
+}
+
+/// Worst `|⟨expected|actual⟩|²` over seeded random product-state
+/// probes.
+fn probe_fidelity(
+    source: &Circuit,
+    compiled: &Circuit,
+    embedding: &Embedding,
+    cfg: &VerifyConfig,
+) -> (f64, u64) {
+    let n = embedding.logical;
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x5eed);
+    let mut worst = f64::INFINITY;
+    let probes = cfg.probes.max(1);
+    for _ in 0..probes {
+        let mut prep_logical = Circuit::new(n);
+        let mut prep_nodes = Circuit::new(embedding.nodes);
+        for q in 0..n {
+            let theta = rng.gen::<f64>() * std::f64::consts::PI;
+            let phi = rng.gen::<f64>() * std::f64::consts::TAU;
+            let lambda = rng.gen::<f64>() * std::f64::consts::TAU;
+            prep_logical.u3(theta, phi, lambda, q);
+            prep_nodes.u3(theta, phi, lambda, embedding.initial[q]);
+        }
+        let mut actual = StateVector::zero_state(embedding.nodes);
+        actual.apply_circuit(&prep_nodes);
+        actual.apply_circuit(compiled);
+        let mut expected = StateVector::zero_state(n);
+        expected.apply_circuit(&prep_logical);
+        expected.apply_circuit(source);
+        let fidelity = embedding.final_overlap(&expected, &actual).norm_sqr();
+        if !fidelity.is_finite() {
+            return (f64::NAN, probes as u64);
+        }
+        worst = worst.min(fidelity);
+    }
+    (worst, probes as u64)
+}
+
+/// Tolerance widening for composed circuits: each composed block
+/// replaced a unitary within HSD δ, i.e. Frobenius distance
+/// `√(2dδ)` (d = 8) up to phase, so the end-to-end state error is at
+/// most `Σ_b 4√δ_b ≤ 4·blocks·√δ_max` and the fidelity loss at most
+/// twice that. Exact pipelines (no composed blocks) get `0.0`.
+///
+/// This is the worst-case triangle-inequality bound; measured
+/// fidelities are typically orders of magnitude tighter, and the
+/// measured value is always recorded alongside the threshold.
+pub fn composition_allowance(blocks_composed: usize, max_accepted_hsd: f64) -> f64 {
+    if blocks_composed == 0 || !max_accepted_hsd.is_finite() {
+        return 0.0;
+    }
+    8.0 * blocks_composed as f64 * max_accepted_hsd.max(0.0).sqrt()
+}
+
+/// A composed block candidate checked against its target unitary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCheck {
+    /// Hilbert–Schmidt distance between the candidate circuit's
+    /// unitary and the target.
+    pub hsd: f64,
+    /// Whether the candidate is acceptable at the given ε.
+    pub accepted: bool,
+}
+
+/// Re-verifies a block candidate *circuit* against the block unitary —
+/// the shared check both the composer's acceptance path and the
+/// whole-circuit oracle trust, so they can never disagree. A
+/// non-finite distance (NaN-poisoned candidate) is always rejected.
+pub fn verify_block_candidate(candidate: &Circuit, target: &CMatrix, epsilon: f64) -> BlockCheck {
+    let hsd = hilbert_schmidt_distance(&circuit_unitary(candidate), target);
+    BlockCheck {
+        hsd,
+        accepted: hsd.is_finite() && hsd <= epsilon + EPSILON_SLACK,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> VerifyConfig {
+        VerifyConfig::default()
+    }
+
+    #[test]
+    fn identical_circuits_are_equivalent() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ccz(0, 1, 2).t(2);
+        let report = verify_circuits(&c, &c, &cfg());
+        assert!(report.equivalent, "{report:?}");
+        assert_eq!(report.method, VerifyMethod::ExactUnitary);
+        assert!(report.worst_fidelity > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn global_phase_difference_passes() {
+        // p(θ) = e^{iθ/2}·rz(θ): pure global phase apart.
+        let mut a = Circuit::new(2);
+        a.p(0.7, 0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.rz(0.7, 0).cx(0, 1);
+        let report = verify_circuits(&a, &b, &cfg());
+        assert!(report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn relative_phase_error_fails() {
+        // rz(θ) on only one branch of a superposition is a *relative*
+        // phase error that no distribution check can see.
+        let mut a = Circuit::new(1);
+        a.h(0);
+        let mut b = Circuit::new(1);
+        b.h(0).rz(0.3, 0);
+        let report = verify_circuits(&a, &b, &cfg());
+        assert!(!report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn corrupted_gate_fails() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).t(0).cx(0, 1);
+        let report = verify_circuits(&a, &b, &cfg());
+        assert!(!report.equivalent);
+        assert!(report.worst_fidelity < 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn register_mismatch_is_structural_failure() {
+        let a = Circuit::new(2);
+        let b = Circuit::new(3);
+        let report = verify_circuits(&a, &b, &cfg());
+        assert!(!report.equivalent);
+        assert_eq!(report.method, VerifyMethod::Structural);
+        assert!(report.detail.is_some());
+    }
+
+    #[test]
+    fn probe_tier_engages_above_exact_cutoff() {
+        let small_exact = VerifyConfig {
+            exact_max_qubits: 2,
+            exact_max_nodes: 2,
+            ..VerifyConfig::default()
+        };
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let report = verify_circuits(&c, &c, &small_exact);
+        assert_eq!(report.method, VerifyMethod::StateProbes);
+        assert!(report.equivalent, "{report:?}");
+        assert_eq!(report.probes, small_exact.probes as u64);
+    }
+
+    #[test]
+    fn probe_tier_catches_corruption() {
+        let small_exact = VerifyConfig {
+            exact_max_qubits: 2,
+            exact_max_nodes: 2,
+            ..VerifyConfig::default()
+        };
+        let mut a = Circuit::new(3);
+        a.h(0).cx(0, 1).cx(1, 2);
+        let mut b = Circuit::new(3);
+        b.h(0).cx(0, 1).rx(0.4, 2).cx(1, 2);
+        let report = verify_circuits(&a, &b, &small_exact);
+        assert!(!report.equivalent, "{report:?}");
+    }
+
+    #[test]
+    fn probe_tier_is_deterministic_per_seed() {
+        let vc = VerifyConfig {
+            exact_max_qubits: 1,
+            exact_max_nodes: 1,
+            ..VerifyConfig::default()
+        };
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).rz(1e-4, 1);
+        let r1 = verify_circuits(&a, &b, &vc);
+        let r2 = verify_circuits(&a, &b, &vc);
+        assert_eq!(r1.worst_fidelity.to_bits(), r2.worst_fidelity.to_bits());
+        let r3 = verify_circuits(&a, &b, &vc.with_seed(99));
+        assert_ne!(r1.worst_fidelity.to_bits(), r3.worst_fidelity.to_bits());
+    }
+
+    #[test]
+    fn allowance_is_zero_without_composed_blocks() {
+        assert_eq!(composition_allowance(0, 1e-3), 0.0);
+        assert!(composition_allowance(4, 1e-8) > 0.0);
+        assert!(composition_allowance(4, 1e-8) < 1e-2);
+    }
+
+    #[test]
+    fn block_candidate_check_matches_hsd_semantics() {
+        let mut candidate = Circuit::new(3);
+        candidate.h(0);
+        let target = circuit_unitary(&candidate);
+        let check = verify_block_candidate(&candidate, &target, 1e-3);
+        assert!(check.accepted);
+        assert!(check.hsd < 1e-12);
+        let mut corrupted = candidate.clone();
+        corrupted.t(0);
+        let check = verify_block_candidate(&corrupted, &target, 1e-3);
+        assert!(!check.accepted);
+        assert!(check.hsd > 1e-3);
+    }
+}

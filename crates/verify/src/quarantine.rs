@@ -1,0 +1,204 @@
+//! Quarantine corpus: failing reproducers persisted to disk.
+//!
+//! Each entry is one JSON file under the quarantine directory,
+//! `<id>.json`, holding the minimized reproducer as embedded QASM-lite
+//! plus everything needed to re-run it bit-identically: the fuzz-case
+//! seed, pipeline config tag, technique, injected fault spec (if the
+//! failure was seeded deliberately), and the oracle verdict that
+//! condemned it. Writes are atomic (`.tmp` + rename) so a crash
+//! mid-write can never leave a half-entry that poisons `replay`.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use geyser_circuit::{from_qasm, to_qasm, Circuit};
+use serde::{Deserialize, Serialize};
+
+/// One quarantined failure: metadata plus the minimized reproducer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineEntry {
+    /// Entry identifier; also the file stem.
+    pub id: String,
+    /// Fuzz-case id that produced the failure (e.g.
+    /// `case-0003-adder-4`), or a free-form origin for hand-filed
+    /// entries.
+    pub case_id: String,
+    /// Technique label whose pipeline failed (e.g. `Geyser`).
+    pub technique: String,
+    /// Pipeline config tag (e.g. `s7-fast-st1`) for reproduction.
+    pub config: String,
+    /// Derived RNG seed of the fuzz case.
+    pub seed: u64,
+    /// Fault spec injected when the failure was found, if any. Present
+    /// means the failure is *expected* — replay asserts it still
+    /// reproduces; absent means a genuine bug — replay fails the build
+    /// until the compiler is fixed.
+    pub inject: Option<String>,
+    /// Failure kind: `miscompile` (oracle rejected the output) or
+    /// `compile-error: <detail>`.
+    pub failure: String,
+    /// Oracle method label that condemned the circuit.
+    pub method: String,
+    /// Worst fidelity the oracle measured (`-1.0` if unmeasured, e.g.
+    /// for compile errors).
+    pub worst_fidelity: f64,
+    /// Fidelity tolerance in force at the time.
+    pub tolerance: f64,
+    /// Gate count before minimization.
+    pub original_ops: u64,
+    /// Gate count of the minimized reproducer.
+    pub minimized_ops: u64,
+    /// The minimized reproducer as QASM-lite. Angle formatting uses
+    /// shortest-roundtrip `f64` display, so parse → emit → parse is
+    /// bit-exact and replay sees the same circuit bit for bit.
+    pub qasm: String,
+}
+
+impl QuarantineEntry {
+    /// Parses the embedded reproducer.
+    pub fn circuit(&self) -> Result<Circuit, String> {
+        from_qasm(&self.qasm).map_err(|e| format!("quarantine entry {}: {e}", self.id))
+    }
+
+    /// Embeds a reproducer circuit as QASM-lite.
+    pub fn set_circuit(&mut self, circuit: &Circuit) {
+        self.qasm = to_qasm(circuit);
+    }
+}
+
+/// Path of an entry file inside `dir`.
+pub fn entry_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join(format!("{id}.json"))
+}
+
+/// Writes an entry atomically, creating the directory if needed.
+/// Returns the entry's final path.
+pub fn write_entry(dir: &Path, entry: &QuarantineEntry) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = entry_path(dir, &entry.id);
+    let body = serde_json::to_string_pretty(entry)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Loads every `*.json` entry in `dir`, sorted by file name so replay
+/// order is stable. A missing directory is an empty corpus; a corrupt
+/// entry is a hard error (replay must not silently skip a reproducer).
+pub fn load_entries(dir: &Path) -> io::Result<Vec<QuarantineEntry>> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(iter) => iter
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().map(|x| x == "json").unwrap_or(false))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let body = fs::read_to_string(&path)?;
+        let entry: QuarantineEntry = serde_json::from_str(&body).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("corrupt quarantine entry {}: {e}", path.display()),
+            )
+        })?;
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("geyser-quarantine-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample(id: &str) -> QuarantineEntry {
+        let mut circuit = Circuit::new(3);
+        circuit.h(0).u3(0.1, -2.5, 3.0, 1).cz(0, 1).ccz(0, 1, 2);
+        let mut entry = QuarantineEntry {
+            id: id.to_string(),
+            case_id: "case-0001-adder-4".to_string(),
+            technique: "Geyser".to_string(),
+            config: "s7-fast-st1".to_string(),
+            seed: 0xdead_beef,
+            inject: Some("miscompile:0".to_string()),
+            failure: "miscompile".to_string(),
+            method: "exact-unitary".to_string(),
+            worst_fidelity: 0.123456789,
+            tolerance: 1e-9,
+            original_ops: 40,
+            minimized_ops: 4,
+            qasm: String::new(),
+        };
+        entry.set_circuit(&circuit);
+        entry
+    }
+
+    #[test]
+    fn roundtrips_through_disk_bit_identically() {
+        let dir = temp_dir("roundtrip");
+        let entry = sample("q-0001");
+        write_entry(&dir, &entry).unwrap();
+        let loaded = load_entries(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0], entry);
+        // The embedded circuit survives parse → emit → parse exactly.
+        let circuit = loaded[0].circuit().unwrap();
+        assert_eq!(to_qasm(&circuit), loaded[0].qasm);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_load_sorted_by_id() {
+        let dir = temp_dir("sorted");
+        for id in ["q-0003", "q-0001", "q-0002"] {
+            write_entry(&dir, &sample(id)).unwrap();
+        }
+        let ids: Vec<String> = load_entries(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(ids, ["q-0001", "q-0002", "q-0003"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_empty_corpus() {
+        let dir = temp_dir("missing");
+        assert!(load_entries(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_entry_is_a_hard_error() {
+        let dir = temp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("bad.json"), "{ nope").unwrap();
+        assert!(load_entries(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writes_are_atomic_no_tmp_left_behind() {
+        let dir = temp_dir("atomic");
+        write_entry(&dir, &sample("q-0009")).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().map(|x| x == "tmp").unwrap_or(false))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
