@@ -2,19 +2,19 @@
 
 use geyser::Technique;
 use geyser_bench::{
-    collect_reports, compile_techniques, maybe_write_json, maybe_write_reports, metrics,
-    print_rows, Cli, Row,
+    collect_reports, compile_techniques, maybe_write_json, maybe_write_reports, maybe_write_trace,
+    metrics, print_rows, Cli, Row,
 };
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
+    let techniques = cli.effective_techniques(&Technique::NEUTRAL_ATOM);
     let mut rows = Vec::new();
     let mut reports = Vec::new();
     for spec in cli.selected_workloads(false) {
         let program = cli.build(&spec);
-        let compiled =
-            compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg);
+        let compiled = compile_techniques(&cli, spec.name, &program, &techniques, &cfg);
         collect_reports(spec.name, &compiled, &mut reports);
         let baseline = compiled[0].1.total_pulses() as f64;
         for (t, c) in &compiled {
@@ -31,4 +31,5 @@ fn main() {
     print_rows("Figure 12: total pulses (lower is better)", &rows);
     maybe_write_json(&cli, &rows);
     maybe_write_reports(&cli, &reports);
+    maybe_write_trace(&cli);
 }

@@ -2,16 +2,18 @@
 //! under Baseline, OptiMap, and Geyser.
 
 use geyser::Technique;
-use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_bench::{
+    compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
+};
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
+    let techniques = cli.effective_techniques(&Technique::NEUTRAL_ATOM);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(false) {
         let program = cli.build(&spec);
-        let compiled =
-            compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg);
+        let compiled = compile_techniques(&cli, spec.name, &program, &techniques, &cfg);
         let baseline = compiled[0].1.depth_pulses() as f64;
         for (t, c) in &compiled {
             rows.push(Row {
@@ -26,4 +28,5 @@ fn main() {
     }
     print_rows("Figure 13: critical-path pulses (lower is better)", &rows);
     maybe_write_json(&cli, &rows);
+    maybe_write_trace(&cli);
 }

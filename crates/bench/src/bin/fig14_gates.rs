@@ -2,16 +2,18 @@
 //! OptiMap, and Geyser. Only Geyser introduces CCZ gates.
 
 use geyser::Technique;
-use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_bench::{
+    compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
+};
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
+    let techniques = cli.effective_techniques(&Technique::NEUTRAL_ATOM);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(false) {
         let program = cli.build(&spec);
-        for (t, c) in compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg)
-        {
+        for (t, c) in compile_techniques(&cli, spec.name, &program, &techniques, &cfg) {
             let counts = c.gate_counts();
             rows.push(Row {
                 workload: spec.name.to_string(),
@@ -26,4 +28,5 @@ fn main() {
     }
     print_rows("Figure 14: gate counts by type", &rows);
     maybe_write_json(&cli, &rows);
+    maybe_write_trace(&cli);
 }

@@ -1,20 +1,31 @@
 //! Figure 15: TVD to the ideal output under the default 0.1% noise
 //! for Baseline, OptiMap, and Geyser.
 
-use geyser::{evaluate_tvd, Technique};
-use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
-use geyser_sim::NoiseModel;
+use geyser::{try_evaluate_tvd_traced, Technique};
+use geyser_bench::{
+    compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
+};
+use geyser_sim::{NoiseModel, SimFaults};
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
     let noise = NoiseModel::symmetric(cli.noise);
+    let techniques = cli.effective_techniques(&Technique::NEUTRAL_ATOM);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(true) {
         let program = cli.build(&spec);
-        for (t, c) in compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg)
-        {
-            let report = evaluate_tvd(&c, &program, &noise, cli.trajectories, cli.seed);
+        for (t, c) in compile_techniques(&cli, spec.name, &program, &techniques, &cfg) {
+            let report = try_evaluate_tvd_traced(
+                &c,
+                &program,
+                &noise,
+                cli.trajectories,
+                cli.seed,
+                &SimFaults::none(),
+                &cli.telemetry,
+            )
+            .unwrap_or_else(|e| panic!("{e}"));
             rows.push(Row {
                 workload: spec.name.to_string(),
                 technique: t.label().to_string(),
@@ -35,4 +46,5 @@ fn main() {
         &rows,
     );
     maybe_write_json(&cli, &rows);
+    maybe_write_trace(&cli);
 }

@@ -2,14 +2,16 @@
 //! lattice, no CCZ) versus neutral atoms with Geyser, same noise.
 
 use geyser::{evaluate_tvd, Technique};
-use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_bench::{
+    compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
+};
 use geyser_sim::NoiseModel;
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
     let noise = NoiseModel::symmetric(cli.noise);
-    let techniques = [Technique::Superconducting, Technique::Geyser];
+    let techniques = cli.effective_techniques(&[Technique::Superconducting, Technique::Geyser]);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(true) {
         let program = cli.build(&spec);
@@ -33,4 +35,5 @@ fn main() {
         &rows,
     );
     maybe_write_json(&cli, &rows);
+    maybe_write_trace(&cli);
 }

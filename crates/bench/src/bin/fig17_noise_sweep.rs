@@ -2,17 +2,19 @@
 //! error rates (plus the default 0.1% for reference).
 
 use geyser::{evaluate_tvd, Technique};
-use geyser_bench::{compile_techniques, maybe_write_json, metrics, print_rows, Cli, Row};
+use geyser_bench::{
+    compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
+};
 use geyser_sim::NoiseModel;
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
+    let techniques = cli.effective_techniques(&Technique::NEUTRAL_ATOM);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(true) {
         let program = cli.build(&spec);
-        let compiled =
-            compile_techniques(&cli, spec.name, &program, &Technique::NEUTRAL_ATOM, &cfg);
+        let compiled = compile_techniques(&cli, spec.name, &program, &techniques, &cfg);
         for rate in [0.0005, 0.001, 0.005] {
             let noise = NoiseModel::symmetric(rate);
             for (t, c) in &compiled {
@@ -30,4 +32,5 @@ fn main() {
         &rows,
     );
     maybe_write_json(&cli, &rows);
+    maybe_write_trace(&cli);
 }

@@ -18,7 +18,7 @@
 //! Exit status: 0 = no failures, 1 = failures found (and quarantined),
 //! 2 = usage error.
 
-use geyser::{FaultInjector, PassManager, PipelineConfig, Technique, VerificationStats};
+use geyser::{FaultInjector, PassManager, PipelineConfig, Technique, Telemetry, VerificationStats};
 use geyser_bench::Cli;
 use geyser_circuit::Circuit;
 use geyser_verify::{
@@ -45,16 +45,19 @@ impl Failure {
     }
 }
 
-/// Compile + verify one circuit under one technique.
+/// Compile + verify one circuit under one technique. Telemetry is
+/// observational only — a disabled handle gives identical outcomes.
 fn check(
     circuit: &Circuit,
     technique: Technique,
     cfg: &PipelineConfig,
     faults: &FaultInjector,
     vcfg: &VerifyConfig,
+    telemetry: &Telemetry,
 ) -> Result<(), Failure> {
     let compiled = match PassManager::for_technique(technique)
         .with_faults(faults.clone())
+        .with_telemetry(telemetry.clone())
         .run(circuit, cfg)
     {
         Ok(c) => c,
@@ -93,7 +96,14 @@ fn main() {
     for case in generate_cases(&opts) {
         for technique in Technique::ALL {
             checked += 1;
-            let failure = match check(&case.circuit, technique, &cfg, &faults, &vcfg) {
+            let failure = match check(
+                &case.circuit,
+                technique,
+                &cfg,
+                &faults,
+                &vcfg,
+                &Telemetry::disabled(),
+            ) {
                 Ok(()) => continue,
                 Err(f) => f,
             };
@@ -128,12 +138,18 @@ fn quarantine_failure(
     let kind = failure.kind();
     let (minimized, shrink) = minimize(
         &case.circuit,
-        |candidate| matches!(&check(candidate, technique, cfg, faults, vcfg), Err(f) if f.kind() == kind),
+        |candidate| matches!(&check(candidate, technique, cfg, faults, vcfg, &Telemetry::disabled()), Err(f) if f.kind() == kind),
     );
     // Re-verify the minimized reproducer so the entry's oracle fields
-    // describe exactly what `replay` will observe.
-    let final_failure = check(&minimized, technique, cfg, faults, vcfg)
+    // describe exactly what `replay` will observe — with telemetry on
+    // and the run timed, so the entry records what the reproducer
+    // costs and replay can spot cost regressions across versions.
+    let cost_telemetry = Telemetry::enabled();
+    let started = std::time::Instant::now();
+    let final_failure = check(&minimized, technique, cfg, faults, vcfg, &cost_telemetry)
         .expect_err("minimizer only returns circuits that still fail");
+    let compile_ms = started.elapsed().as_millis() as u64;
+    let anneal_evaluations = cost_telemetry.counter_value("compose.anneal_evaluations");
     let (failure_text, method, worst_fidelity, tolerance) = match &final_failure {
         Failure::CompileError(detail) => (
             format!("compile-error: {detail}"),
@@ -162,6 +178,8 @@ fn quarantine_failure(
         original_ops: shrink.original_ops as u64,
         minimized_ops: shrink.minimized_ops as u64,
         qasm: String::new(),
+        compile_ms: Some(compile_ms),
+        anneal_evaluations,
     };
     entry.set_circuit(&minimized);
     match write_entry(qdir, &entry) {

@@ -16,9 +16,19 @@
 //! Exit status: 0 = corpus green, 1 = regressions, 2 = corpus or
 //! usage error.
 
-use geyser::{FaultInjector, PassManager, PipelineConfig, Technique};
+use geyser::{FaultInjector, PassManager, PipelineConfig, Technique, Telemetry};
 use geyser_bench::Cli;
 use geyser_verify::{load_entries, QuarantineEntry, VerifyConfig};
+
+/// What replaying the reproducer cost this time, for comparison
+/// against the costs recorded when the entry was filed.
+struct ReplayCost {
+    /// Wall-clock milliseconds of this run's compile.
+    compile_ms: u64,
+    /// Annealer objective evaluations this run consumed (absent for
+    /// techniques that never compose).
+    anneal_evaluations: Option<u64>,
+}
 
 /// What one replayed reproducer did.
 enum Outcome {
@@ -54,39 +64,68 @@ fn parse_config(tag: &str) -> Result<(PipelineConfig, u64), String> {
     }
 }
 
-fn replay(entry: &QuarantineEntry) -> Result<Outcome, String> {
+fn replay(entry: &QuarantineEntry) -> Result<(Outcome, ReplayCost), String> {
     let circuit = entry.circuit()?;
-    let technique = Technique::ALL
-        .iter()
-        .copied()
-        .find(|t| t.label() == entry.technique)
+    let technique = Technique::from_label(&entry.technique)
         .ok_or_else(|| format!("unknown technique '{}'", entry.technique))?;
     let (cfg, run_seed) = parse_config(&entry.config)?;
     let faults = match &entry.inject {
         Some(spec) => FaultInjector::parse(spec).map_err(|e| e.to_string())?,
         None => FaultInjector::none(),
     };
-    let compiled = match PassManager::for_technique(technique)
+    // Telemetry is observational only, so timing this run cannot
+    // perturb the bit-identical-reproduction check below.
+    let telemetry = Telemetry::enabled();
+    let started = std::time::Instant::now();
+    let result = PassManager::for_technique(technique)
         .with_faults(faults)
-        .run(&circuit, &cfg)
-    {
+        .with_telemetry(telemetry.clone())
+        .run(&circuit, &cfg);
+    let cost = ReplayCost {
+        compile_ms: started.elapsed().as_millis() as u64,
+        anneal_evaluations: telemetry.counter_value("compose.anneal_evaluations"),
+    };
+    let compiled = match result {
         Ok(c) => c,
         Err(_) => {
-            return Ok(Outcome::Failed {
-                kind: "compile-error",
-                worst_fidelity: -1.0,
-            })
+            return Ok((
+                Outcome::Failed {
+                    kind: "compile-error",
+                    worst_fidelity: -1.0,
+                },
+                cost,
+            ))
         }
     };
     let vcfg = VerifyConfig::default().with_seed(run_seed);
     let stats = geyser::verify_compiled(&circuit, &compiled, &vcfg);
     if stats.equivalent {
-        Ok(Outcome::Clean)
+        Ok((Outcome::Clean, cost))
     } else {
-        Ok(Outcome::Failed {
-            kind: "miscompile",
-            worst_fidelity: stats.worst_fidelity,
-        })
+        Ok((
+            Outcome::Failed {
+                kind: "miscompile",
+                worst_fidelity: stats.worst_fidelity,
+            },
+            cost,
+        ))
+    }
+}
+
+/// Renders an optional recorded metric against its current value, so
+/// reproducer-cost drift is visible across compiler versions without
+/// being asserted (machine speed varies; only the trend matters).
+fn cost_line(entry: &QuarantineEntry, cost: &ReplayCost) -> String {
+    let ms = match entry.compile_ms {
+        Some(recorded) => format!("compile {} ms (filed at {recorded} ms)", cost.compile_ms),
+        None => format!("compile {} ms (no cost recorded)", cost.compile_ms),
+    };
+    match (cost.anneal_evaluations, entry.anneal_evaluations) {
+        (Some(now), Some(recorded)) => {
+            format!("{ms}, anneal evals {now} (filed at {recorded})")
+        }
+        (Some(now), None) => format!("{ms}, anneal evals {now}"),
+        (None, _) => ms,
     }
 }
 
@@ -115,7 +154,7 @@ fn main() {
 
     let mut regressions = 0usize;
     for entry in &entries {
-        let outcome = match replay(entry) {
+        let (outcome, cost) = match replay(entry) {
             Ok(outcome) => outcome,
             Err(e) => {
                 eprintln!("error: entry {}: {e}", entry.id);
@@ -165,6 +204,7 @@ fn main() {
                 entry.id
             ),
         }
+        println!("    {}", cost_line(entry, &cost));
     }
     println!(
         "replay: {} entr{}, {regressions} regression(s)",

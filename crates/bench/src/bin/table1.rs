@@ -3,18 +3,19 @@
 
 use geyser::Technique;
 use geyser_bench::{
-    collect_reports, compile_techniques, maybe_write_json, maybe_write_reports, metrics,
-    print_rows, Cli, Row,
+    collect_reports, compile_techniques, maybe_write_json, maybe_write_reports, maybe_write_trace,
+    metrics, print_rows, Cli, Row,
 };
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
+    let techniques = cli.effective_techniques(&[Technique::Baseline]);
     let mut rows = Vec::new();
     let mut reports = Vec::new();
     for spec in cli.selected_workloads(false) {
         let program = cli.build(&spec);
-        let compiled = compile_techniques(&cli, spec.name, &program, &[Technique::Baseline], &cfg);
+        let compiled = compile_techniques(&cli, spec.name, &program, &techniques, &cfg);
         collect_reports(spec.name, &compiled, &mut reports);
         let compiled = &compiled[0].1;
         let counts = compiled.gate_counts();
@@ -33,4 +34,5 @@ fn main() {
     print_rows("Table 1: Baseline benchmark characteristics", &rows);
     maybe_write_json(&cli, &rows);
     maybe_write_reports(&cli, &reports);
+    maybe_write_trace(&cli);
 }

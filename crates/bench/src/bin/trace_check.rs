@@ -1,0 +1,57 @@
+//! Validates a Chrome trace-event file emitted by `--trace`.
+//!
+//! Usage: `trace_check <trace.json> [min_categories]`
+//!
+//! Checks that the file is parseable trace-event JSON with balanced,
+//! properly nested begin/end events on every thread, and (optionally)
+//! that spans from at least `min_categories` distinct crates appear —
+//! CI uses this to prove instrumentation reaches the whole pipeline.
+//! Exits 0 on success, 1 on a malformed or too-narrow trace, 2 on
+//! usage errors.
+
+use geyser_telemetry::validate_chrome_trace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args.next().unwrap_or_else(|| {
+        eprintln!("usage: trace_check <trace.json> [min_categories]");
+        std::process::exit(2);
+    });
+    let min_categories: usize = args
+        .next()
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: min_categories must be an integer, got '{s}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(1);
+
+    let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match validate_chrome_trace(&body) {
+        Ok(summary) => {
+            println!(
+                "{path}: {} events, {} complete spans, categories: {}",
+                summary.events,
+                summary.complete_spans,
+                summary.categories.join(", ")
+            );
+            if summary.categories.len() < min_categories {
+                eprintln!(
+                    "error: expected spans from at least {min_categories} \
+                     crates, found {}: {}",
+                    summary.categories.len(),
+                    summary.categories.join(", ")
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

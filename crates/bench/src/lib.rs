@@ -41,6 +41,15 @@
 //! * `--quarantine DIR` — where the `fuzz` binary files minimized
 //!   reproducers and the `replay` binary looks for them (default
 //!   `quarantine/`)
+//! * `--trace PATH` — record hierarchical telemetry spans across the
+//!   whole pipeline and write them as a Chrome trace-event JSON file
+//!   (load in `chrome://tracing` or Perfetto); implies the supervised
+//!   runtime so job-lifecycle spans appear, and adds the Geyser
+//!   technique to binaries that would not otherwise compose, so
+//!   annealer spans always reach the trace
+//! * `--techniques a,b` — compile an explicit technique list
+//!   (labels per [`Technique::label`], case-insensitive) instead of
+//!   the binary's default comparison points
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,10 +59,10 @@ pub mod timing;
 
 use std::collections::BTreeMap;
 
-pub use cache::{compile_cached, compile_cached_verified};
+pub use cache::{compile_cached, compile_cached_verified, compile_cached_verified_traced};
 use geyser::{
-    compile, CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, PassManager,
-    PipelineConfig, Technique, VerificationStats,
+    CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, MetricsSnapshot, PassManager,
+    PipelineConfig, Technique, Telemetry, VerificationStats,
 };
 use geyser_circuit::Circuit;
 use geyser_supervisor::{JobSpec, JobState, RetryPolicy, Supervisor, SupervisorConfig};
@@ -99,6 +108,15 @@ pub struct Cli {
     pub cases: usize,
     /// Quarantine-corpus directory override (`--quarantine`).
     pub quarantine: Option<String>,
+    /// Chrome trace-event output path (`--trace`).
+    pub trace: Option<String>,
+    /// Explicit technique override (`--techniques`).
+    pub techniques: Option<Vec<Technique>>,
+    /// The run's telemetry handle: disabled by default, enabled by
+    /// [`Cli::parse`] when `--trace` or `--report` is given. Cloning
+    /// shares the same buffers, so spans recorded anywhere in the
+    /// pipeline land in this handle's exporters.
+    pub telemetry: Telemetry,
 }
 
 impl Default for Cli {
@@ -121,6 +139,9 @@ impl Default for Cli {
             verify: false,
             cases: 16,
             quarantine: None,
+            trace: None,
+            techniques: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -173,8 +194,28 @@ impl Cli {
                 "--verify" => cli.verify = true,
                 "--cases" => cli.cases = value("--cases").parse().expect("integer"),
                 "--quarantine" => cli.quarantine = Some(value("--quarantine")),
+                "--trace" => cli.trace = Some(value("--trace")),
+                "--techniques" => {
+                    cli.techniques = Some(
+                        value("--techniques")
+                            .split(',')
+                            .map(|s| {
+                                Technique::from_label(s.trim()).unwrap_or_else(|| {
+                                    panic!(
+                                        "unknown technique '{}'; expected one of \
+                                         Baseline, OptiMap, Geyser, SC",
+                                        s.trim()
+                                    )
+                                })
+                            })
+                            .collect(),
+                    );
+                }
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
+        }
+        if cli.trace.is_some() || cli.report.is_some() {
+            cli.telemetry = Telemetry::enabled();
         }
         cli
     }
@@ -212,9 +253,27 @@ impl Cli {
     }
 
     /// Whether any flag routes compilation through the supervised job
-    /// runtime instead of the plain in-process path.
+    /// runtime instead of the plain in-process path. `--trace` implies
+    /// supervision so the job-lifecycle spans land in the trace.
     pub fn supervised(&self) -> bool {
-        self.jobs > 1 || self.max_retries > 0 || self.resume
+        self.jobs > 1 || self.max_retries > 0 || self.resume || self.trace.is_some()
+    }
+
+    /// The techniques a binary should compile: the explicit
+    /// `--techniques` override when given, otherwise the binary's
+    /// default list — extended with [`Technique::Geyser`] under
+    /// `--trace` so composition/annealer spans always reach the trace.
+    /// Order is preserved, so a binary's `compiled[0]` stays its first
+    /// default technique.
+    pub fn effective_techniques(&self, default: &[Technique]) -> Vec<Technique> {
+        if let Some(explicit) = &self.techniques {
+            return explicit.clone();
+        }
+        let mut list = default.to_vec();
+        if self.trace.is_some() && !list.contains(&Technique::Geyser) {
+            list.push(Technique::Geyser);
+        }
+        list
     }
 
     /// Suite rows selected by the flags. TVD experiments pass
@@ -339,14 +398,26 @@ pub fn compile_techniques(
                 if !faults.is_empty() {
                     let c = PassManager::for_technique(t)
                         .with_faults(faults.clone())
+                        .with_telemetry(cli.telemetry.clone())
                         .run(program, cfg)
                         .unwrap_or_else(|e| panic!("{e}"));
                     (t, c, None)
                 } else if bypass_cache {
-                    (t, compile(program, t, cfg), None)
+                    let c = PassManager::for_technique(t)
+                        .with_telemetry(cli.telemetry.clone())
+                        .run(program, cfg)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    (t, c, None)
                 } else {
-                    let (c, stats) =
-                        compile_cached_verified(name, program, t, cfg, &tag, verify_cfg.as_ref());
+                    let (c, stats) = compile_cached_verified_traced(
+                        name,
+                        program,
+                        t,
+                        cfg,
+                        &tag,
+                        verify_cfg.as_ref(),
+                        &cli.telemetry,
+                    );
                     (t, c, stats)
                 }
             })
@@ -412,15 +483,18 @@ fn compile_supervised(
     faults: &FaultInjector,
     cfg_tag: &str,
 ) -> Vec<(Technique, CompiledCircuit)> {
-    let supervisor = Supervisor::start(SupervisorConfig {
-        workers: cli.jobs.max(1),
-        queue_capacity: techniques.len().max(1),
-        retry: RetryPolicy {
-            seed: cli.seed,
-            ..RetryPolicy::with_retries(cli.max_retries)
+    let supervisor = Supervisor::start_with_telemetry(
+        SupervisorConfig {
+            workers: cli.jobs.max(1),
+            queue_capacity: techniques.len().max(1),
+            retry: RetryPolicy {
+                seed: cli.seed,
+                ..RetryPolicy::with_retries(cli.max_retries)
+            },
+            ..SupervisorConfig::default()
         },
-        ..SupervisorConfig::default()
-    });
+        cli.telemetry.clone(),
+    );
     let mut ids = Vec::new();
     for &t in techniques {
         let mut spec = JobSpec::new(name, t, program.clone(), *cfg);
@@ -476,7 +550,9 @@ pub struct ReportRow {
 }
 
 /// Collects the compile reports of one workload's compilations into
-/// `out` (circuits without a report — cache hits — are skipped).
+/// `out`. Cache replays contribute a report too (empty pass list,
+/// explicit `supervision`/`verification` keys), so the output schema
+/// is stable whether a circuit was compiled or replayed.
 pub fn collect_reports(
     name: &str,
     compiled: &[(Technique, CompiledCircuit)],
@@ -493,17 +569,66 @@ pub fn collect_reports(
     }
 }
 
-/// Writes collected compile reports to the `--report` path if one was
-/// given.
+/// The `--report` artifact: per-pass compile reports plus the run's
+/// telemetry metrics snapshot (`null` when telemetry never enabled,
+/// which cannot happen through [`Cli::parse`] since `--report` enables
+/// it).
+#[derive(Debug, Clone, Serialize)]
+pub struct ReportDocument {
+    /// Per-(workload × technique) compile reports.
+    pub rows: Vec<ReportRow>,
+    /// Counters, gauges, and histograms accumulated across the run.
+    pub metrics: Option<MetricsSnapshot>,
+}
+
+/// Serializes a report-shaped value as pretty-printed JSON — the one
+/// serializer behind `--json`, `--report`, and the metrics dump, so
+/// every artifact shares a single format.
+///
+/// # Panics
+///
+/// Panics if serialization fails (cannot happen for the harness's
+/// report types).
+pub fn report_json<T: Serialize + ?Sized>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report values serialize")
+}
+
+/// Writes an artifact body to `path` and announces it on stdout.
+fn write_artifact(path: &str, body: &str) {
+    std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("(wrote {path})");
+}
+
+/// Writes collected compile reports (with the run's metrics snapshot
+/// folded in) to the `--report` path if one was given.
 ///
 /// # Panics
 ///
 /// Panics if the file cannot be written.
 pub fn maybe_write_reports(cli: &Cli, rows: &[ReportRow]) {
     if let Some(path) = &cli.report {
-        let body = serde_json::to_string_pretty(rows).expect("reports serialize");
-        std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        println!("(wrote {path})");
+        let doc = ReportDocument {
+            rows: rows.to_vec(),
+            metrics: cli.telemetry.metrics_snapshot(),
+        };
+        write_artifact(path, &report_json(&doc));
+    }
+}
+
+/// Writes the run's telemetry spans as a Chrome trace-event JSON file
+/// to the `--trace` path if one was given (load the file in
+/// `chrome://tracing` or Perfetto).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn maybe_write_trace(cli: &Cli) {
+    if let Some(path) = &cli.trace {
+        let body = cli
+            .telemetry
+            .chrome_trace_json()
+            .expect("--trace enables telemetry");
+        write_artifact(path, &body);
     }
 }
 
@@ -541,9 +666,7 @@ pub fn print_rows(title: &str, rows: &[Row]) {
 /// Panics if the file cannot be written.
 pub fn maybe_write_json(cli: &Cli, rows: &[Row]) {
     if let Some(path) = &cli.json {
-        let body = serde_json::to_string_pretty(rows).expect("rows serialize");
-        std::fs::write(path, body).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-        println!("(wrote {path})");
+        write_artifact(path, &report_json(rows));
     }
 }
 
@@ -694,6 +817,60 @@ mod tests {
             ..Cli::default()
         };
         assert_eq!(cli.quarantine_dir(), std::path::Path::new("corpus"));
+    }
+
+    #[test]
+    fn trace_flag_implies_supervision_and_appends_geyser() {
+        let cli = Cli {
+            trace: Some("t.json".into()),
+            telemetry: Telemetry::enabled(),
+            ..Cli::default()
+        };
+        assert!(cli.supervised());
+        assert_eq!(
+            cli.effective_techniques(&[Technique::Baseline]),
+            vec![Technique::Baseline, Technique::Geyser],
+            "tracing appends Geyser after the binary's defaults"
+        );
+        // Already-composing defaults gain nothing (no duplicate).
+        assert_eq!(cli.effective_techniques(&Technique::NEUTRAL_ATOM).len(), 3);
+        // Without --trace the defaults pass through untouched.
+        assert_eq!(
+            Cli::default().effective_techniques(&[Technique::Baseline]),
+            vec![Technique::Baseline]
+        );
+    }
+
+    #[test]
+    fn explicit_techniques_override_beats_the_trace_extension() {
+        let cli = Cli {
+            trace: Some("t.json".into()),
+            techniques: Some(vec![Technique::Superconducting]),
+            ..Cli::default()
+        };
+        assert_eq!(
+            cli.effective_techniques(&[Technique::Baseline]),
+            vec![Technique::Superconducting]
+        );
+    }
+
+    #[test]
+    fn report_document_serializes_explicit_null_keys() {
+        // The JSON schema must be stable: keys that are conceptually
+        // absent serialize as explicit nulls, never disappear.
+        let doc = ReportDocument {
+            rows: vec![ReportRow {
+                workload: "w".into(),
+                technique: "Baseline".into(),
+                report: CompileReport::new("Baseline"),
+            }],
+            metrics: None,
+        };
+        let json = report_json(&doc);
+        assert!(json.contains("\"rows\""));
+        assert!(json.contains("\"metrics\": null"));
+        assert!(json.contains("\"supervision\": null"));
+        assert!(json.contains("\"verification\": null"));
     }
 
     #[test]

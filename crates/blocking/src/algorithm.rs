@@ -1,6 +1,7 @@
 //! The blocking algorithm (paper Algorithm 1).
 
 use geyser_circuit::Circuit;
+use geyser_telemetry::Telemetry;
 use geyser_topology::Lattice;
 
 use crate::{Block, BlockError, BlockedCircuit, Round};
@@ -159,6 +160,19 @@ pub fn try_block_circuit(
     lattice: &Lattice,
     config: &BlockingConfig,
 ) -> Result<BlockedCircuit, BlockError> {
+    try_block_circuit_traced(circuit, lattice, config, &Telemetry::disabled())
+}
+
+/// [`try_block_circuit`] with telemetry: opens a span per round of the
+/// block-family search (category `blocking`) and counts the rounds and
+/// blocks produced. A disabled handle makes this identical to the
+/// untraced form.
+pub fn try_block_circuit_traced(
+    circuit: &Circuit,
+    lattice: &Lattice,
+    config: &BlockingConfig,
+    telemetry: &Telemetry,
+) -> Result<BlockedCircuit, BlockError> {
     if circuit.num_qubits() != lattice.num_nodes() {
         return Err(BlockError::RegisterMismatch {
             circuit_qubits: circuit.num_qubits(),
@@ -181,6 +195,7 @@ pub fn try_block_circuit(
     };
 
     while !frontier.exhausted() {
+        let mut round_span = telemetry.span("blocking", "blocking.round");
         // T: every triangle able to absorb at least one frontier op.
         let mut candidates: Vec<Candidate> = triangles
             .iter()
@@ -218,9 +233,12 @@ pub fn try_block_circuit(
             for &q in op.qubits() {
                 frontier.ptr[q] += 1;
             }
+            round_span.attr("passthrough", true);
+            telemetry.counter_add("blocking.passthrough_blocks", 1);
             rounds.push(Round::new(vec![block]));
             continue;
         }
+        round_span.attr("candidates", candidates.len());
 
         // Block-family search: seed with each candidate, then greedily
         // add zone-compatible candidates by descending score
@@ -257,8 +275,11 @@ pub fn try_block_circuit(
                 frontier.ptr[q] += delta;
             }
         }
+        round_span.attr("blocks", blocks.len());
+        telemetry.counter_add("blocking.triangle_blocks", blocks.len() as u64);
         rounds.push(Round::new(blocks));
     }
+    telemetry.counter_add("blocking.rounds", rounds.len() as u64);
 
     Ok(BlockedCircuit::new(circuit.clone(), rounds))
 }

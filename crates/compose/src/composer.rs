@@ -24,6 +24,7 @@ use geyser_optimize::{
     adam, dual_annealing, AdamConfig, Bounds, CancelToken, Deadline, DualAnnealingConfig,
 };
 use geyser_sim::circuit_unitary;
+use geyser_telemetry::Telemetry;
 use geyser_verify::verify_block_candidate;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -306,6 +307,7 @@ pub fn try_compose_block(
         config,
         false,
         &CancelToken::none(),
+        &Telemetry::disabled(),
     ))
 }
 
@@ -324,6 +326,7 @@ fn compose_block_inner(
     config: &CompositionConfig,
     corrupt: bool,
     cancel: &CancelToken,
+    telemetry: &Telemetry,
 ) -> CompositionResult {
     let original_pulses = block.total_pulses();
     let fall_back = |reason: FallbackReason| CompositionResult {
@@ -399,13 +402,21 @@ fn compose_block_inner(
         if config.deadline.expired() {
             return fall_back(FallbackReason::BudgetExhausted);
         }
-        match search_all_layers(&target, &attempt_cfg, original_pulses, corrupt, cancel) {
+        match search_all_layers(
+            &target,
+            &attempt_cfg,
+            original_pulses,
+            corrupt,
+            cancel,
+            telemetry,
+        ) {
             SearchVerdict::Accepted(result) => return result,
             SearchVerdict::NotCheaper => return fall_back(FallbackReason::NotCheaper),
             SearchVerdict::EpsilonRejected => return fall_back(FallbackReason::EpsilonRejected),
             SearchVerdict::BudgetExhausted => return fall_back(FallbackReason::BudgetExhausted),
             SearchVerdict::Cancelled => return fall_back(FallbackReason::Cancelled),
             SearchVerdict::NonConvergence => {
+                telemetry.counter_add("compose.retries", 1);
                 attempt_cfg.seed = attempt_cfg
                     .seed
                     .wrapping_add(0x9e37_79b9_7f4a_7c15)
@@ -425,6 +436,7 @@ fn search_all_layers(
     original_pulses: u64,
     corrupt: bool,
     cancel: &CancelToken,
+    telemetry: &Telemetry,
 ) -> SearchVerdict {
     for layers in 1..=config.max_layers {
         let ansatz = Ansatz::new(layers);
@@ -433,7 +445,7 @@ fn search_all_layers(
         if ansatz.min_pulses() >= original_pulses {
             return SearchVerdict::NotCheaper;
         }
-        match search_layer(&ansatz, target, config, layers, cancel) {
+        match search_layer(&ansatz, target, config, layers, cancel, telemetry) {
             Some((_, params)) => {
                 let mut candidate = ansatz.to_circuit(&params);
                 if corrupt {
@@ -490,6 +502,7 @@ fn search_layer(
     config: &CompositionConfig,
     layers: usize,
     cancel: &CancelToken,
+    telemetry: &Telemetry,
 ) -> Option<(f64, Vec<f64>)> {
     let bounds = Bounds::new(&ansatz.bounds());
     let objective = |params: &[f64]| hilbert_schmidt_distance(&ansatz.unitary(params), target);
@@ -506,6 +519,11 @@ fn search_layer(
         .with_deadline(config.deadline)
         .with_cancel(cancel.clone());
     let global = dual_annealing(&objective, &bounds, &da_cfg);
+    telemetry.counter_add("compose.anneal_evaluations", global.evaluations as u64);
+    if global.evaluations > 0 {
+        let permille = (global.accepted as u64).saturating_mul(1000) / global.evaluations as u64;
+        telemetry.histogram_record("compose.acceptance_permille", permille);
+    }
     if cancel.is_cancelled() {
         return None;
     }
@@ -772,7 +790,15 @@ pub fn try_compose_blocked_circuit_with_faults(
     config: &CompositionConfig,
     faults: &ComposeFaults,
 ) -> Result<ComposedCircuit, ComposeError> {
-    try_compose_blocked_circuit_supervised(blocked, config, faults, &CancelToken::none(), &[], None)
+    try_compose_blocked_circuit_supervised(
+        blocked,
+        config,
+        faults,
+        &CancelToken::none(),
+        &[],
+        None,
+        &Telemetry::disabled(),
+    )
 }
 
 /// The fully supervised composition entry point: fault injection plus
@@ -790,6 +816,11 @@ pub fn try_compose_blocked_circuit_with_faults(
 ///   a resumed run is bit-identical to an uninterrupted one.
 /// * `observer` — notified on the worker thread as each fresh block
 ///   finishes (checkpoint writers hook in here).
+/// * `telemetry` — records a `compose.block` span per fresh block plus
+///   annealer counters and the acceptance-rate histogram. Timings are
+///   observational only: results are bit-identical with telemetry
+///   enabled or disabled.
+#[allow(clippy::too_many_arguments)]
 pub fn try_compose_blocked_circuit_supervised(
     blocked: &BlockedCircuit,
     config: &CompositionConfig,
@@ -797,6 +828,7 @@ pub fn try_compose_blocked_circuit_supervised(
     cancel: &CancelToken,
     prior: &[Option<CompositionResult>],
     observer: Option<&dyn BlockObserver>,
+    telemetry: &Telemetry,
 ) -> Result<ComposedCircuit, ComposeError> {
     let source = blocked.source();
     let blocks: Vec<_> = blocked.blocks().collect();
@@ -826,18 +858,21 @@ pub fn try_compose_blocked_circuit_supervised(
                         // Checkpoint resume: restore the recorded result
                         // without paying for the search again.
                         resumed.fetch_add(1, Ordering::Relaxed);
+                        telemetry.counter_add("compose.blocks_resumed", 1);
                         Some(prev.clone())
                     } else {
                         let cfg = config.with_seed(config.seed.wrapping_add(i as u64));
                         let corrupt = faults.corrupt_blocks.contains(&i);
                         let inject_panic = faults.panic_blocks.contains(&i);
+                        let mut span = telemetry.span("compose", "compose.block");
+                        span.attr("index", i);
                         // Panic isolation: one block's panic (injected or a
                         // genuine solver bug) must not take down the pool.
                         let attempt = catch_unwind(AssertUnwindSafe(|| {
                             if inject_panic {
                                 panic!("injected composition fault in block {i}");
                             }
-                            compose_block_inner(&local, &cfg, corrupt, cancel)
+                            compose_block_inner(&local, &cfg, corrupt, cancel, telemetry)
                         }));
                         let res = match attempt {
                             Ok(res) => res,
@@ -851,6 +886,23 @@ pub fn try_compose_blocked_circuit_supervised(
                                 },
                             },
                         };
+                        match &res.outcome {
+                            BlockOutcome::Composed { layers, .. } => {
+                                span.attr("outcome", "composed");
+                                span.attr("layers", layers);
+                                telemetry.counter_add("compose.blocks_composed", 1);
+                            }
+                            BlockOutcome::FellBack { reason } => {
+                                span.attr("outcome", reason.label());
+                                telemetry.counter_add("compose.blocks_fell_back", 1);
+                            }
+                            BlockOutcome::Failed { .. } => {
+                                span.attr("outcome", "failed");
+                                telemetry.counter_add("compose.blocks_failed", 1);
+                            }
+                            BlockOutcome::Skipped => {}
+                        }
+                        drop(span);
                         if let Some(obs) = observer {
                             obs.block_finished(i, &res);
                         }
@@ -1274,6 +1326,7 @@ mod tests {
             &token,
             &[],
             None,
+            &Telemetry::disabled(),
         )
         .expect("cancellation degrades, it does not error");
         assert_eq!(composed.stats.blocks_composed, 0);
@@ -1307,6 +1360,7 @@ mod tests {
             &CancelToken::none(),
             &[],
             Some(&recorder),
+            &Telemetry::disabled(),
         )
         .unwrap();
         let mut seen = recorder.seen.into_inner().unwrap();
@@ -1331,6 +1385,7 @@ mod tests {
             &CancelToken::none(),
             &[],
             Some(&recorder),
+            &Telemetry::disabled(),
         )
         .unwrap();
         // Build a partial checkpoint: keep only the first recorded
@@ -1351,6 +1406,7 @@ mod tests {
             &CancelToken::none(),
             &prior,
             Some(&resumed_recorder),
+            &Telemetry::disabled(),
         )
         .unwrap();
         // Same seed + per-block seeding ⇒ bit-identical to the

@@ -70,11 +70,24 @@ impl CompiledCircuit {
         self.composition.as_ref()
     }
 
+    /// Attaches a pipeline report after the fact.
+    ///
+    /// Result caches use this to give replayed circuits the same
+    /// report *shape* as fresh compiles — explicit
+    /// `supervision`/`verification` keys (serialized as `null` when
+    /// absent) instead of a missing report — so downstream JSON
+    /// consumers see a stable schema whether a circuit was compiled or
+    /// replayed.
+    pub fn attach_report(&mut self, report: CompileReport) {
+        self.report = Some(report);
+    }
+
     /// Per-pass instrumentation from the pipeline run.
     ///
     /// Present whenever the circuit came out of a
-    /// [`crate::PassManager`] (including [`crate::compile`]); absent
-    /// for circuits reassembled from parts, e.g. cache hits.
+    /// [`crate::PassManager`] (including [`crate::compile`]), and for
+    /// circuits a cache replayed with [`CompiledCircuit::attach_report`]
+    /// (their `passes` list is empty — no pass ran in this process).
     pub fn report(&self) -> Option<&CompileReport> {
         self.report.as_ref()
     }

@@ -3,8 +3,9 @@
 use geyser_circuit::Circuit;
 use geyser_sim::{
     ideal_distribution, total_variation_distance, try_ideal_distribution,
-    try_sample_noisy_distribution_with_faults, NoiseModel, SimFaults,
+    try_sample_noisy_distribution_traced, NoiseModel, SimFaults,
 };
+use geyser_telemetry::Telemetry;
 
 use crate::{CompileError, CompiledCircuit};
 
@@ -139,6 +140,30 @@ pub fn try_evaluate_tvd_with_faults(
     seed: u64,
     faults: &SimFaults,
 ) -> Result<TvdReport, CompileError> {
+    try_evaluate_tvd_traced(
+        compiled,
+        program,
+        noise,
+        trajectories,
+        seed,
+        faults,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`try_evaluate_tvd_with_faults`] recording sampler telemetry
+/// (`sim.sample` span, trajectory/resample counters). Observational
+/// only: results are bit-identical with telemetry enabled or disabled.
+#[allow(clippy::too_many_arguments)]
+pub fn try_evaluate_tvd_traced(
+    compiled: &CompiledCircuit,
+    program: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    faults: &SimFaults,
+    telemetry: &Telemetry,
+) -> Result<TvdReport, CompileError> {
     if program.num_qubits() != compiled.mapped().num_logical() {
         return Err(CompileError::RegisterMismatch {
             program_qubits: program.num_qubits(),
@@ -153,12 +178,13 @@ pub fn try_evaluate_tvd_with_faults(
     let compiled_ideal = ideal_logical_distribution(compiled);
     let compilation_tvd = total_variation_distance(&ideal, &compiled_ideal);
 
-    let noisy_nodes = try_sample_noisy_distribution_with_faults(
+    let noisy_nodes = try_sample_noisy_distribution_traced(
         compiled.mapped().circuit(),
         noise,
         trajectories,
         seed,
         faults,
+        telemetry,
     )?;
     let noisy = compiled.mapped().logical_distribution(&noisy_nodes);
     let tvd_to_ideal = total_variation_distance(&ideal, &noisy);

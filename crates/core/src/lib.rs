@@ -55,7 +55,7 @@ pub use config::PipelineConfig;
 pub use error::{CompileError, ErrorClass};
 pub use evaluate::{
     estimated_success_probability, evaluate_tvd, ideal_logical_distribution, try_evaluate_tvd,
-    try_evaluate_tvd_with_faults, TvdReport,
+    try_evaluate_tvd_traced, try_evaluate_tvd_with_faults, TvdReport,
 };
 pub use fault::{FaultInjector, FaultSpecError};
 pub use pass::{CompileContext, Pass, PassManager};
@@ -66,6 +66,7 @@ pub use verify::{verification_allowance, verification_stats, verify_compiled};
 // Re-export the component crates so downstream users need only one
 // dependency.
 pub use geyser_optimize::{CancelToken, Deadline};
+pub use geyser_telemetry::{MetricsSnapshot, Telemetry};
 
 pub use geyser_blocking as blocking;
 pub use geyser_circuit as circuit;

@@ -16,6 +16,7 @@ use geyser_compose::CompositionStats;
 use geyser_map::MappedCircuit;
 use geyser_optimize::{CancelToken, Deadline};
 use geyser_sim::{ideal_distribution, total_variation_distance};
+use geyser_telemetry::Telemetry;
 use geyser_topology::Lattice;
 
 use geyser_circuit::{Gate, Operation};
@@ -40,6 +41,7 @@ pub struct CompileContext<'a> {
     deadline: Deadline,
     cancel: CancelToken,
     faults: FaultInjector,
+    telemetry: Telemetry,
     lattice: Option<Lattice>,
     mapped: Option<MappedCircuit>,
     blocked: Option<BlockedCircuit>,
@@ -58,6 +60,7 @@ impl<'a> CompileContext<'a> {
             deadline: Deadline::none(),
             cancel: CancelToken::none(),
             faults: FaultInjector::none(),
+            telemetry: Telemetry::disabled(),
             lattice: None,
             mapped: None,
             blocked: None,
@@ -90,6 +93,19 @@ impl<'a> CompileContext<'a> {
     /// manager).
     pub fn set_cancel(&mut self, cancel: CancelToken) {
         self.cancel = cancel;
+    }
+
+    /// The run's telemetry handle (disabled unless the manager
+    /// installed a recording one). Passes open spans and bump metrics
+    /// through it; timings are recorded but never read back, so
+    /// compilation stays bit-identical with telemetry on or off.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Installs the run's telemetry handle (done once by the manager).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// The active fault-injection plan (empty in production runs).
@@ -258,6 +274,7 @@ pub struct PassManager {
     debug_invariants: bool,
     faults: FaultInjector,
     cancel: CancelToken,
+    telemetry: Telemetry,
 }
 
 impl PassManager {
@@ -270,6 +287,7 @@ impl PassManager {
             debug_invariants: false,
             faults: FaultInjector::none(),
             cancel: CancelToken::none(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -295,6 +313,16 @@ impl PassManager {
     /// observe it at much finer grain than the wall-clock budget.
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Installs a telemetry handle: the manager opens a span per pass
+    /// (category `core`) and threads the handle into the context so
+    /// the mapper, blocker, composer, and verifier can instrument
+    /// their own stages. The default disabled handle makes every
+    /// instrumentation point a no-op.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -356,6 +384,9 @@ impl PassManager {
         ctx.set_deadline(config.budget.start());
         ctx.set_cancel(self.cancel.clone());
         ctx.set_faults(self.faults.clone());
+        ctx.set_telemetry(self.telemetry.clone());
+        let mut pipeline_span = self.telemetry.span("core", "pipeline");
+        pipeline_span.attr("technique", self.technique.label());
         let mut report = CompileReport::new(self.technique.label());
         for pass in &self.passes {
             // Cancellation wins over degradation: a cancelled job must
@@ -370,6 +401,7 @@ impl PassManager {
                     // Graceful degradation: keep what compiled so far.
                     report.budget_exhausted = true;
                     report.skipped_passes.push(pass.name().to_string());
+                    self.telemetry.counter_add("core.passes_skipped", 1);
                     continue;
                 }
                 return Err(CompileError::BudgetExceeded {
@@ -415,7 +447,11 @@ impl PassManager {
                 .any(|p| p == pass.name());
             // Panic isolation: a pass that unwinds (injected or a
             // genuine bug) is reported as a typed error; the context
-            // is dropped with the run, never reused.
+            // is dropped with the run, never reused. The pass span is
+            // closed by its guard on every path out of the
+            // `catch_unwind` — including the unwinding one — so a
+            // panicking pass never leaves an open span behind.
+            let mut pass_span = self.telemetry.span("core", pass.name());
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 if inject_panic {
                     panic!("injected fault in pass '{}'", pass.name());
@@ -426,12 +462,15 @@ impl PassManager {
                 Ok(Ok(())) => {}
                 Ok(Err(e)) => return Err(e),
                 Err(payload) => {
+                    pass_span.attr("panicked", true);
                     return Err(CompileError::PassPanicked {
                         pass: pass.name().to_string(),
                         detail: panic_message(payload),
-                    })
+                    });
                 }
             }
+            drop(pass_span);
+            self.telemetry.counter_add("core.passes_run", 1);
             let seconds = start.elapsed().as_secs_f64();
             let (pulses_after, gates_after, depth_after) = snapshot(&ctx);
             let blocks_after = ctx.composition_stats().map(|s| s.blocks_composed as u64);

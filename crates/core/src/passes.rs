@@ -6,9 +6,9 @@
 //! `geyser_compose::try_compose_blocked_circuit`); the algorithms
 //! themselves live in those crates.
 
-use geyser_blocking::try_block_circuit;
+use geyser_blocking::try_block_circuit_traced;
 use geyser_compose::try_compose_blocked_circuit_supervised;
-use geyser_map::{optimize_to_fixpoint, try_map_circuit, MappingOptions};
+use geyser_map::{optimize_to_fixpoint, try_map_circuit_traced, MappingOptions};
 use geyser_optimize::Deadline;
 use geyser_topology::Lattice;
 
@@ -101,7 +101,8 @@ impl Pass for MapPass {
             pass: "map",
             requires: "allocate-lattice",
         })?;
-        let mapped = try_map_circuit(ctx.program(), lattice, &self.options)?;
+        let mapped =
+            try_map_circuit_traced(ctx.program(), lattice, &self.options, ctx.telemetry())?;
         ctx.set_mapped(mapped);
         Ok(())
     }
@@ -126,7 +127,12 @@ impl Pass for BlockPass {
             pass: "block",
             requires: "allocate-lattice",
         })?;
-        let blocked = try_block_circuit(mapped.circuit(), lattice, &ctx.config().blocking)?;
+        let blocked = try_block_circuit_traced(
+            mapped.circuit(),
+            lattice,
+            &ctx.config().blocking,
+            ctx.telemetry(),
+        )?;
         ctx.set_blocked(blocked);
         Ok(())
     }
@@ -163,6 +169,7 @@ impl Pass for ComposePass {
             ctx.cancel(),
             &[],
             None,
+            ctx.telemetry(),
         )?;
         ctx.set_composed(composed.circuit, composed.stats);
         // A token that fired mid-composition left the remaining blocks

@@ -49,6 +49,21 @@ impl Technique {
         }
     }
 
+    /// Parses a display label back to its technique
+    /// (case-insensitive; `"SC"` and `"Superconducting"` both name the
+    /// superconducting comparison point). The inverse of
+    /// [`Technique::label`], used by the evaluation binaries'
+    /// `--techniques` flag.
+    pub fn from_label(label: &str) -> Option<Technique> {
+        match label.to_ascii_lowercase().as_str() {
+            "baseline" => Some(Technique::Baseline),
+            "optimap" => Some(Technique::OptiMap),
+            "geyser" => Some(Technique::Geyser),
+            "sc" | "superconducting" => Some(Technique::Superconducting),
+            _ => None,
+        }
+    }
+
     /// The declarative pass list implementing this technique — the
     /// pipeline [`crate::compile`] runs, spelled out as data.
     pub fn pass_list(self) -> Vec<Box<dyn Pass>> {
@@ -200,5 +215,18 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(Technique::Baseline.label(), "Baseline");
         assert_eq!(Technique::Geyser.to_string(), "Geyser");
+    }
+
+    #[test]
+    fn from_label_inverts_label() {
+        for t in Technique::ALL {
+            assert_eq!(Technique::from_label(t.label()), Some(t));
+            assert_eq!(Technique::from_label(&t.label().to_lowercase()), Some(t));
+        }
+        assert_eq!(
+            Technique::from_label("superconducting"),
+            Some(Technique::Superconducting)
+        );
+        assert_eq!(Technique::from_label("warp-drive"), None);
     }
 }

@@ -1,6 +1,7 @@
 //! The end-to-end mapping pipeline and its result type.
 
 use geyser_circuit::{Circuit, GateCounts};
+use geyser_telemetry::Telemetry;
 use geyser_topology::Lattice;
 
 use crate::{
@@ -274,21 +275,52 @@ pub fn try_map_circuit(
     lattice: &Lattice,
     options: &MappingOptions,
 ) -> Result<MappedCircuit, MapError> {
+    try_map_circuit_traced(logical, lattice, options, &Telemetry::disabled())
+}
+
+/// [`try_map_circuit`] with telemetry: opens a span per mapping stage
+/// (category `map`) and counts routed SWAP insertions under
+/// `map.swaps_inserted`. A disabled handle makes this identical to the
+/// untraced form — instrumentation never feeds back into mapping
+/// decisions.
+pub fn try_map_circuit_traced(
+    logical: &Circuit,
+    lattice: &Lattice,
+    options: &MappingOptions,
+    telemetry: &Telemetry,
+) -> Result<MappedCircuit, MapError> {
     if lattice.num_nodes() < logical.num_qubits() {
         return Err(MapError::LatticeTooSmall {
             qubits: logical.num_qubits(),
             nodes: lattice.num_nodes(),
         });
     }
-    let lowered = lower_to_two_qubit(logical);
-    let layout = if options.smart_layout {
-        Layout::interaction_aware(&lowered, lattice)
-    } else {
-        Layout::trivial(lowered.num_qubits(), lattice)
+    let lowered = {
+        let _span = telemetry.span("map", "map.lower");
+        lower_to_two_qubit(logical)
     };
-    let routed = route(&lowered, lattice, &layout);
-    let native = to_native_basis(&routed.circuit);
+    let layout = {
+        let mut span = telemetry.span("map", "map.layout");
+        span.attr("smart", options.smart_layout);
+        if options.smart_layout {
+            Layout::interaction_aware(&lowered, lattice)
+        } else {
+            Layout::trivial(lowered.num_qubits(), lattice)
+        }
+    };
+    let routed = {
+        let mut span = telemetry.span("map", "map.route");
+        let routed = route(&lowered, lattice, &layout);
+        span.attr("swaps", routed.swaps_inserted);
+        routed
+    };
+    telemetry.counter_add("map.swaps_inserted", routed.swaps_inserted as u64);
+    let native = {
+        let _span = telemetry.span("map", "map.native_basis");
+        to_native_basis(&routed.circuit)
+    };
     let final_circuit = if options.optimize {
+        let _span = telemetry.span("map", "map.optimize");
         optimize_to_fixpoint(&native)
     } else {
         native

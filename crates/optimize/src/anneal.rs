@@ -188,6 +188,7 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
     };
 
     let mut evaluations = 0usize;
+    let mut accepted = 0usize;
     let eval = |x: &[f64], evals: &mut usize| -> f64 {
         *evals += 1;
         f(x)
@@ -252,6 +253,7 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
                 }
             };
             if accept {
+                accepted += 1;
                 current = candidate;
                 current_f = cand_f;
                 if current_f < best_f {
@@ -289,6 +291,7 @@ pub fn dual_annealing<F: Fn(&[f64]) -> f64>(
         x: best,
         fx: best_f,
         evaluations,
+        accepted,
     }
 }
 

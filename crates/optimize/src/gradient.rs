@@ -167,6 +167,7 @@ pub fn adam<F: Fn(&[f64]) -> f64>(
         x: best_x,
         fx: best_f,
         evaluations,
+        accepted: 0,
     }
 }
 

@@ -52,4 +52,7 @@ pub struct OptimizeResult {
     pub fx: f64,
     /// Number of objective evaluations performed.
     pub evaluations: usize,
+    /// Accepted Metropolis moves ([`dual_annealing`] only; optimizers
+    /// without an acceptance step report 0).
+    pub accepted: usize,
 }

@@ -152,7 +152,12 @@ pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
 
     simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
     let (x, fx) = simplex.swap_remove(0);
-    OptimizeResult { x, fx, evaluations }
+    OptimizeResult {
+        x,
+        fx,
+        evaluations,
+        accepted: 0,
+    }
 }
 
 #[cfg(test)]

@@ -52,8 +52,8 @@ pub use noise::{NoiseGranularity, NoiseModel};
 pub use observable::{Observable, Pauli, PauliString};
 pub use sampler::{
     ideal_distribution, sample_noisy_distribution, sampled_counts, try_ideal_distribution,
-    try_sample_noisy_distribution, try_sample_noisy_distribution_with_faults, SimFaults,
-    MAX_TRAJECTORY_RETRIES,
+    try_sample_noisy_distribution, try_sample_noisy_distribution_traced,
+    try_sample_noisy_distribution_with_faults, SimFaults, MAX_TRAJECTORY_RETRIES,
 };
 pub use statevector::{StateVector, NORM_DRIFT_TOL};
 pub use tvd::total_variation_distance;

@@ -13,6 +13,7 @@
 
 use geyser_circuit::Circuit;
 use geyser_num::{CMatrix, Complex};
+use geyser_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -174,6 +175,32 @@ pub fn try_sample_noisy_distribution_with_faults(
     seed: u64,
     faults: &SimFaults,
 ) -> Result<Vec<f64>, SimError> {
+    try_sample_noisy_distribution_traced(
+        circuit,
+        noise,
+        trajectories,
+        seed,
+        faults,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`try_sample_noisy_distribution_with_faults`] recording a
+/// `sim.sample` span plus `sim.trajectories` / `sim.resamples`
+/// counters on `telemetry`. Results are bit-identical with telemetry
+/// enabled or disabled — the handle is observational only.
+///
+/// # Panics
+///
+/// Panics if `trajectories == 0`.
+pub fn try_sample_noisy_distribution_traced(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    trajectories: usize,
+    seed: u64,
+    faults: &SimFaults,
+    telemetry: &Telemetry,
+) -> Result<Vec<f64>, SimError> {
     assert!(trajectories > 0, "need at least one trajectory");
     let n = circuit.num_qubits();
     let dim = 1usize << n;
@@ -182,6 +209,8 @@ pub fn try_sample_noisy_distribution_with_faults(
         return try_ideal_distribution(circuit);
     }
 
+    let mut span = telemetry.span("sim", "sim.sample");
+    span.attr("trajectories", trajectories);
     let mut accum = vec![0.0f64; dim];
     let mut rng = StdRng::seed_from_u64(seed);
     for t in 0..trajectories {
@@ -197,6 +226,7 @@ pub fn try_sample_noisy_distribution_with_faults(
                 });
             }
             retries += 1;
+            telemetry.counter_add("sim.resamples", 1);
             // Derived stream: keeps the primary RNG untouched so later
             // trajectories draw the same errors they always did.
             let retry_seed = seed
@@ -209,6 +239,7 @@ pub fn try_sample_noisy_distribution_with_faults(
             *a += p;
         }
     }
+    telemetry.counter_add("sim.trajectories", trajectories as u64);
     let inv = 1.0 / trajectories as f64;
     for a in &mut accum {
         *a *= inv;

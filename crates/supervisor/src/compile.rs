@@ -5,7 +5,7 @@ use std::path::PathBuf;
 
 use geyser::{
     CancelToken, CompileContext, CompileError, CompiledCircuit, Deadline, FaultInjector, Pass,
-    PassManager, PipelineConfig, Technique,
+    PassManager, PipelineConfig, Technique, Telemetry,
 };
 use geyser_circuit::Circuit;
 use geyser_compose::try_compose_blocked_circuit_supervised;
@@ -28,6 +28,9 @@ pub struct SupervisedCompileOptions {
     pub checkpoint: Option<PathBuf>,
     /// Whether to restore a matching checkpoint before composing.
     pub resume: bool,
+    /// Telemetry handle threaded through the pass manager (disabled by
+    /// default; observational only).
+    pub telemetry: Telemetry,
 }
 
 impl SupervisedCompileOptions {
@@ -39,6 +42,7 @@ impl SupervisedCompileOptions {
             cancel: CancelToken::none(),
             checkpoint: None,
             resume: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -116,6 +120,7 @@ impl Pass for CheckpointedComposePass {
             ctx.cancel(),
             &prior,
             Some(&writer),
+            ctx.telemetry(),
         )?;
         ctx.set_composed(composed.circuit, composed.stats);
         if ctx.cancel().is_cancelled() {
@@ -150,6 +155,7 @@ pub fn run_supervised_compile(
     PassManager::new(opts.technique, passes)
         .with_faults(opts.faults.clone())
         .with_cancel(opts.cancel.clone())
+        .with_telemetry(opts.telemetry.clone())
         .run(program, config)
 }
 

@@ -74,6 +74,19 @@ pub enum JobState {
 }
 
 impl JobState {
+    /// Stable lowercase label (telemetry span attributes and logs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Retrying => "retrying",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+            JobState::Broken => "broken",
+        }
+    }
+
     /// Whether this state ends the job.
     pub fn is_terminal(&self) -> bool {
         matches!(

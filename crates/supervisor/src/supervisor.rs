@@ -7,7 +7,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use geyser::{CancelToken, CompileError, ErrorClass, SupervisionStats};
+use geyser::{CancelToken, CompileError, ErrorClass, SupervisionStats, Telemetry};
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::compile::{run_supervised_compile, SupervisedCompileOptions};
@@ -70,6 +70,7 @@ struct QueuedJob {
     spec: JobSpec,
     cancel: CancelToken,
     queue_depth: u64,
+    enqueued: std::time::Instant,
 }
 
 struct QueueState {
@@ -80,6 +81,7 @@ struct QueueState {
 
 struct Shared {
     config: SupervisorConfig,
+    telemetry: Telemetry,
     state: Mutex<QueueState>,
     job_available: Condvar,
     idle: Condvar,
@@ -128,8 +130,19 @@ pub struct Supervisor {
 impl Supervisor {
     /// Starts the worker pool.
     pub fn start(config: SupervisorConfig) -> Self {
+        Self::start_with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Starts the worker pool with a telemetry handle: every job gets
+    /// a `supervisor.job` span (queue wait, attempts, outcome), the
+    /// compile attempts nest the pipeline's pass spans beneath it, and
+    /// the queue depth is tracked as a gauge. Timings are
+    /// observational only — results are identical with telemetry
+    /// enabled or disabled.
+    pub fn start_with_telemetry(config: SupervisorConfig, telemetry: Telemetry) -> Self {
         let shared = Arc::new(Shared {
             config,
+            telemetry,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 shutting_down: false,
@@ -171,6 +184,7 @@ impl Supervisor {
         }
         if state.queue.len() >= self.shared.config.queue_capacity {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.telemetry.counter_add("supervisor.rejected", 1);
             return Err(SupervisorError::QueueFull {
                 capacity: self.shared.config.queue_capacity,
             });
@@ -183,11 +197,16 @@ impl Supervisor {
             spec,
             cancel: cancel.clone(),
             queue_depth,
+            enqueued: std::time::Instant::now(),
         });
         self.shared
             .queue_high_water
             .fetch_max(state.queue.len() as u64, Ordering::Relaxed);
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.counter_add("supervisor.submitted", 1);
+        self.shared
+            .telemetry
+            .gauge_set("supervisor.queue_depth", state.queue.len() as i64);
         drop(state);
         self.shared.job_available.notify_one();
         Ok(JobHandle { id, cancel })
@@ -255,6 +274,9 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     state.in_flight += 1;
+                    shared
+                        .telemetry
+                        .gauge_set("supervisor.queue_depth", state.queue.len() as i64);
                     break job;
                 }
                 if state.shutting_down {
@@ -294,6 +316,14 @@ fn cancel_aware_sleep(ms: u64, cancel: &CancelToken) -> bool {
 }
 
 fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
+    let queue_wait_ms = job.enqueued.elapsed().as_millis() as u64;
+    shared
+        .telemetry
+        .histogram_record("supervisor.queue_wait_ms", queue_wait_ms);
+    let mut job_span = shared.telemetry.span("supervisor", "supervisor.job");
+    job_span.attr("id", job.id);
+    job_span.attr("workload", &job.spec.workload);
+    job_span.attr("queue_wait_ms", queue_wait_ms);
     // Breaker admission: an open workload fails fast without
     // consuming an attempt.
     {
@@ -302,6 +332,7 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
             .entry(job.spec.workload.clone())
             .or_insert_with(|| CircuitBreaker::new(shared.config.breaker));
         if !breaker.admit() {
+            job_span.attr("outcome", "broken");
             return JobResult {
                 id: job.id,
                 workload: job.spec.workload,
@@ -331,13 +362,19 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
             // Later attempts of this very job resume their own
             // checkpoint even when the submission didn't ask to.
             resume: job.spec.resume || (attempts > 1 && job.spec.checkpoint.is_some()),
+            telemetry: shared.telemetry.clone(),
         };
-        match run_supervised_compile(&job.spec.program, &job.spec.config, &opts) {
+        let mut attempt_span = shared.telemetry.span("supervisor", "supervisor.compile");
+        attempt_span.attr("attempt", attempts);
+        let attempt_result = run_supervised_compile(&job.spec.program, &job.spec.config, &opts);
+        drop(attempt_span);
+        match attempt_result {
             Ok(compiled) => break Ok(compiled),
             Err(e) => match e.class() {
                 ErrorClass::Cancelled => break Err((JobState::Cancelled, e)),
                 ErrorClass::Retryable if attempts <= retry.max_retries as u64 => {
                     shared.retries.fetch_add(1, Ordering::Relaxed);
+                    shared.telemetry.counter_add("supervisor.retries", 1);
                     let ms = retry.backoff_ms(job.id, (attempts - 1) as usize);
                     backoff_total += ms;
                     if cancel_aware_sleep(ms, &job.cancel) {
@@ -370,6 +407,11 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
         breaker.state().label().to_string()
     };
 
+    job_span.attr("attempts", attempts);
+    match &outcome {
+        Ok(_) => job_span.attr("outcome", "done"),
+        Err((state, _)) => job_span.attr("outcome", state.label()),
+    }
     match outcome {
         Ok(mut compiled) => {
             let blocks_resumed = compiled

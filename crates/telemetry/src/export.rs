@@ -1,0 +1,244 @@
+//! Chrome trace-event export and validation.
+//!
+//! The exporter emits the JSON-array form of the trace-event format:
+//! one `B` (begin) and one `E` (end) event per recorded span, ordered
+//! by the recorder's global open/close sequence. Because every thread
+//! opens and closes its spans in stack order, sequence order yields a
+//! balanced, properly nested `B`/`E` stream per thread id — the
+//! property [`validate_chrome_trace`] checks. Timestamps are
+//! microseconds, the unit `chrome://tracing` and Perfetto expect.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::SpanRecord;
+
+/// Local wrapper so a hand-built [`Value`] tree can flow through
+/// `serde_json::to_string` (the vendored `Value` has no `Serialize`
+/// impl of its own).
+struct RawValue(Value);
+
+impl Serialize for RawValue {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+fn str_value(s: &str) -> Value {
+    Value::Str(s.to_string())
+}
+
+fn micros(ns: u64) -> Value {
+    Value::F64(ns as f64 / 1000.0)
+}
+
+/// Renders span records as a Chrome trace-event JSON array.
+pub(crate) fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    // (sequence, is-begin, record): sorting by sequence reproduces the
+    // original open/close order, which is balanced per thread.
+    let mut events: Vec<(u64, bool, &SpanRecord)> = Vec::with_capacity(records.len() * 2);
+    for record in records {
+        events.push((record.open_seq, true, record));
+        events.push((record.close_seq, false, record));
+    }
+    events.sort_by_key(|&(seq, _, _)| seq);
+
+    let rendered: Vec<Value> = events
+        .iter()
+        .map(|&(_, begin, record)| {
+            let mut fields = vec![
+                ("name".to_string(), str_value(record.name)),
+                ("cat".to_string(), str_value(record.cat)),
+                ("ph".to_string(), str_value(if begin { "B" } else { "E" })),
+                ("pid".to_string(), Value::I64(1)),
+                ("tid".to_string(), Value::I64(record.tid as i64)),
+                (
+                    "ts".to_string(),
+                    micros(if begin {
+                        record.start_ns
+                    } else {
+                        record.start_ns + record.dur_ns
+                    }),
+                ),
+            ];
+            if begin {
+                let mut args = vec![("span_id".to_string(), Value::I64(record.id as i64))];
+                if let Some(parent) = record.parent {
+                    args.push(("parent".to_string(), Value::I64(parent as i64)));
+                }
+                for (key, value) in &record.attrs {
+                    args.push((key.to_string(), str_value(value)));
+                }
+                fields.push(("args".to_string(), Value::Map(args)));
+            }
+            Value::Map(fields)
+        })
+        .collect();
+    serde_json::to_string(&RawValue(Value::Seq(rendered))).expect("trace serialization")
+}
+
+/// One event of a Chrome trace-event JSON array, as read back by
+/// [`validate_chrome_trace`]. Extra keys (such as `args`) are ignored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Span name.
+    pub name: String,
+    /// Span category (originating crate).
+    pub cat: String,
+    /// Phase: `B` (begin) or `E` (end).
+    pub ph: String,
+    /// Timestamp in microseconds.
+    pub ts: f64,
+    /// Process id.
+    pub pid: u64,
+    /// Thread id.
+    pub tid: u64,
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in the file.
+    pub events: usize,
+    /// Complete (begin+end) spans.
+    pub complete_spans: usize,
+    /// Distinct categories seen, sorted.
+    pub categories: Vec<String>,
+}
+
+/// Checks that `json` is a parseable Chrome trace-event array whose
+/// `B`/`E` events are balanced and properly nested per thread id
+/// (every `E` closes the innermost open span of the same name; nothing
+/// is left open at the end).
+pub fn validate_chrome_trace(json: &str) -> Result<TraceSummary, String> {
+    let events: Vec<ChromeEvent> =
+        serde_json::from_str(json).map_err(|e| format!("trace is not parseable JSON: {e}"))?;
+    let mut open: BTreeMap<u64, Vec<&ChromeEvent>> = BTreeMap::new();
+    let mut categories = BTreeSet::new();
+    let mut complete_spans = 0usize;
+    for event in &events {
+        match event.ph.as_str() {
+            "B" => {
+                categories.insert(event.cat.clone());
+                open.entry(event.tid).or_default().push(event);
+            }
+            "E" => {
+                let begin = open
+                    .get_mut(&event.tid)
+                    .and_then(|stack| stack.pop())
+                    .ok_or_else(|| {
+                        format!(
+                            "unbalanced trace: E `{}` on tid {} closes nothing",
+                            event.name, event.tid
+                        )
+                    })?;
+                if begin.name != event.name {
+                    return Err(format!(
+                        "mismatched nesting on tid {}: E `{}` closes B `{}`",
+                        event.tid, event.name, begin.name
+                    ));
+                }
+                complete_spans += 1;
+            }
+            other => return Err(format!("unsupported event phase `{other}`")),
+        }
+    }
+    for (tid, stack) in &open {
+        if let Some(top) = stack.last() {
+            return Err(format!(
+                "unbalanced trace: span `{}` on tid {tid} never ends",
+                top.name
+            ));
+        }
+    }
+    Ok(TraceSummary {
+        events: events.len(),
+        complete_spans,
+        categories: categories.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    fn sample_trace() -> String {
+        let tel = Telemetry::enabled();
+        {
+            let mut pass = tel.span("core", "pass:map");
+            pass.attr("index", 0);
+            {
+                let _route = tel.span("map", "map.route");
+            }
+            let _basis = tel.span("map", "map.native_basis");
+        }
+        {
+            let _compose = tel.span("compose", "compose.block");
+        }
+        tel.chrome_trace_json().unwrap()
+    }
+
+    #[test]
+    fn exported_trace_validates() {
+        let json = sample_trace();
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.complete_spans, 4);
+        assert_eq!(summary.events, 8);
+        assert_eq!(summary.categories, ["compose", "core", "map"]);
+    }
+
+    #[test]
+    fn trace_survives_a_panicking_span() {
+        let tel = Telemetry::enabled();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = tel.span("core", "pass:compose");
+            let _inner = tel.span("compose", "compose.block");
+            panic!("injected");
+        }));
+        assert!(result.is_err());
+        let json = tel.chrome_trace_json().unwrap();
+        let summary = validate_chrome_trace(&json).unwrap();
+        assert_eq!(summary.complete_spans, 2);
+    }
+
+    #[test]
+    fn multi_thread_trace_balances_per_tid() {
+        let tel = Telemetry::enabled();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let tel = tel.clone();
+                scope.spawn(move || {
+                    let _outer = tel.span("compose", "compose.block");
+                    let _inner = tel.span("compose", "compose.layer");
+                });
+            }
+        });
+        let summary = validate_chrome_trace(&tel.chrome_trace_json().unwrap()).unwrap();
+        assert_eq!(summary.complete_spans, 8);
+    }
+
+    #[test]
+    fn unbalanced_traces_are_rejected() {
+        let lone_end = r#"[{"name":"x","cat":"core","ph":"E","ts":1.0,"pid":1,"tid":1}]"#;
+        assert!(validate_chrome_trace(lone_end).is_err());
+        let lone_begin = r#"[{"name":"x","cat":"core","ph":"B","ts":1.0,"pid":1,"tid":1}]"#;
+        assert!(validate_chrome_trace(lone_begin).is_err());
+        let crossed = r#"[
+            {"name":"a","cat":"core","ph":"B","ts":1.0,"pid":1,"tid":1},
+            {"name":"b","cat":"core","ph":"B","ts":2.0,"pid":1,"tid":1},
+            {"name":"a","cat":"core","ph":"E","ts":3.0,"pid":1,"tid":1},
+            {"name":"b","cat":"core","ph":"E","ts":4.0,"pid":1,"tid":1}
+        ]"#;
+        assert!(validate_chrome_trace(crossed).is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let summary = validate_chrome_trace("[]").unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.complete_spans, 0);
+    }
+}

@@ -13,10 +13,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use geyser_circuit::{from_qasm, to_qasm, Circuit};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// One quarantined failure: metadata plus the minimized reproducer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct QuarantineEntry {
     /// Entry identifier; also the file stem.
     pub id: String,
@@ -53,6 +53,46 @@ pub struct QuarantineEntry {
     /// shortest-roundtrip `f64` display, so parse → emit → parse is
     /// bit-exact and replay sees the same circuit bit for bit.
     pub qasm: String,
+    /// Wall-clock milliseconds the minimized reproducer's compile took
+    /// when the entry was filed — lets replay runs spot
+    /// reproducer-cost regressions across compiler versions. `None`
+    /// for entries written before cost tracking existed.
+    pub compile_ms: Option<u64>,
+    /// Annealer objective evaluations the reproducer's composition
+    /// consumed when the entry was filed. `None` for pre-cost-tracking
+    /// entries or techniques that never compose.
+    pub anneal_evaluations: Option<u64>,
+}
+
+// Hand-written so corpora filed before the cost-metadata fields
+// existed still load (the derive rejects missing fields): absent
+// `compile_ms`/`anneal_evaluations` keys deserialize as `None`.
+impl Deserialize for QuarantineEntry {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        fn optional<T: Deserialize>(value: &Value, name: &str) -> Result<Option<T>, Error> {
+            match value.get_field(name) {
+                Ok(v) => Deserialize::from_value(v),
+                Err(_) => Ok(None),
+            }
+        }
+        Ok(QuarantineEntry {
+            id: Deserialize::from_value(value.get_field("id")?)?,
+            case_id: Deserialize::from_value(value.get_field("case_id")?)?,
+            technique: Deserialize::from_value(value.get_field("technique")?)?,
+            config: Deserialize::from_value(value.get_field("config")?)?,
+            seed: Deserialize::from_value(value.get_field("seed")?)?,
+            inject: Deserialize::from_value(value.get_field("inject")?)?,
+            failure: Deserialize::from_value(value.get_field("failure")?)?,
+            method: Deserialize::from_value(value.get_field("method")?)?,
+            worst_fidelity: Deserialize::from_value(value.get_field("worst_fidelity")?)?,
+            tolerance: Deserialize::from_value(value.get_field("tolerance")?)?,
+            original_ops: Deserialize::from_value(value.get_field("original_ops")?)?,
+            minimized_ops: Deserialize::from_value(value.get_field("minimized_ops")?)?,
+            qasm: Deserialize::from_value(value.get_field("qasm")?)?,
+            compile_ms: optional(value, "compile_ms")?,
+            anneal_evaluations: optional(value, "anneal_evaluations")?,
+        })
+    }
 }
 
 impl QuarantineEntry {
@@ -140,6 +180,8 @@ mod tests {
             original_ops: 40,
             minimized_ops: 4,
             qasm: String::new(),
+            compile_ms: Some(12),
+            anneal_evaluations: Some(4800),
         };
         entry.set_circuit(&circuit);
         entry
@@ -172,6 +214,32 @@ mod tests {
             .collect();
         assert_eq!(ids, ["q-0001", "q-0002", "q-0003"]);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_without_cost_metadata_still_load() {
+        // Corpora filed before compile_ms/anneal_evaluations existed
+        // must keep loading, with the cost fields absent.
+        struct Raw(Value);
+        impl serde::Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let entry = sample("q-oldfmt");
+        let Value::Map(fields) = serde::Serialize::to_value(&entry) else {
+            panic!("entries serialize as maps");
+        };
+        let pruned: Vec<(String, Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "compile_ms" && k != "anneal_evaluations")
+            .collect();
+        let body = serde_json::to_string(&Raw(Value::Map(pruned))).unwrap();
+        let loaded: QuarantineEntry = serde_json::from_str(&body).unwrap();
+        assert_eq!(loaded.compile_ms, None);
+        assert_eq!(loaded.anneal_evaluations, None);
+        assert_eq!(loaded.qasm, entry.qasm);
+        assert_eq!(loaded.seed, entry.seed);
     }
 
     #[test]
