@@ -11,7 +11,6 @@ use geyser::{evaluate_tvd, Technique};
 use geyser_bench::{compile_cached, maybe_write_json, metrics, print_rows, Cli, Row};
 use geyser_blocking::{block_circuit, BlockingConfig};
 use geyser_map::{map_circuit, MappingOptions};
-use geyser_sim::NoiseModel;
 use geyser_topology::Lattice;
 
 fn main() {
@@ -25,8 +24,14 @@ fn main() {
         let lattice = Lattice::triangular_for(program.num_qubits());
         let mapped = map_circuit(&program, &lattice, &MappingOptions::optimized());
         for (label, pulse_aware) in [("pulse-aware", true), ("gate-aware", false)] {
-            let blocked =
-                block_circuit(mapped.circuit(), &lattice, &BlockingConfig { pulse_aware });
+            let blocked = block_circuit(
+                mapped.circuit(),
+                &lattice,
+                &BlockingConfig {
+                    pulse_aware,
+                    ..BlockingConfig::default()
+                },
+            );
             rows.push(Row {
                 workload: spec.name.to_string(),
                 technique: label.to_string(),
@@ -54,7 +59,7 @@ fn main() {
             &cfg,
             &cli.config_tag(),
         );
-        let per_pulse = NoiseModel::symmetric(cli.noise);
+        let per_pulse = cli.noise_model();
         let per_op = per_pulse.with_per_operation_granularity();
         for (label, noise) in [("per-pulse", per_pulse), ("per-op", per_op)] {
             let report = evaluate_tvd(&compiled, &program, &noise, cli.trajectories, cli.seed);

@@ -6,13 +6,21 @@
 use geyser::Technique;
 use geyser_bench::{compile_cached, maybe_write_json, metrics, print_rows, Cli, Row};
 use geyser_sim::{
-    ideal_distribution, sample_with_atom_loss, total_variation_distance, AtomLossModel, NoiseModel,
+    ideal_distribution, sample_with_atom_loss, total_variation_distance, AtomLossModel,
 };
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
-    let noise = NoiseModel::symmetric(cli.noise);
+    let noise = cli.noise_model();
+    // The sweep grid always includes the hardware spec's own atom-loss
+    // probability so scenario files exercise their stated machine.
+    let mut loss_rates = vec![0.0, 0.001, 0.005, 0.02];
+    let spec_loss = cli.hardware_spec().atom_loss;
+    if spec_loss > 0.0 && !loss_rates.contains(&spec_loss) {
+        loss_rates.push(spec_loss);
+        loss_rates.sort_by(f64::total_cmp);
+    }
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(true).into_iter().take(5) {
         let program = cli.build(&spec);
@@ -24,7 +32,7 @@ fn main() {
             &cli.config_tag(),
         );
         let ideal = ideal_distribution(&program);
-        for loss_rate in [0.0, 0.001, 0.005, 0.02] {
+        for &loss_rate in &loss_rates {
             let dist = sample_with_atom_loss(
                 compiled.mapped().circuit(),
                 &noise,
@@ -43,7 +51,7 @@ fn main() {
     print_rows(
         &format!(
             "Sec. 6: Geyser TVD under atom loss @ {:.2}% gate noise",
-            cli.noise * 100.0
+            noise.bit_flip * 100.0
         ),
         &rows,
     );

@@ -5,12 +5,12 @@ use geyser::{try_evaluate_tvd_traced, Technique};
 use geyser_bench::{
     compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
 };
-use geyser_sim::{NoiseModel, SimFaults};
+use geyser_sim::SimFaults;
 
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
-    let noise = NoiseModel::symmetric(cli.noise);
+    let noise = cli.noise_model();
     let techniques = cli.effective_techniques(&Technique::NEUTRAL_ATOM);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(true) {
@@ -40,7 +40,7 @@ fn main() {
     print_rows(
         &format!(
             "Figure 15: TVD to ideal output @ {:.2}% noise ({} trajectories)",
-            cli.noise * 100.0,
+            noise.bit_flip * 100.0,
             cli.trajectories
         ),
         &rows,

@@ -5,12 +5,10 @@ use geyser::{evaluate_tvd, Technique};
 use geyser_bench::{
     compile_techniques, maybe_write_json, maybe_write_trace, metrics, print_rows, Cli, Row,
 };
-use geyser_sim::NoiseModel;
-
 fn main() {
     let cli = Cli::parse();
     let cfg = cli.pipeline_config();
-    let noise = NoiseModel::symmetric(cli.noise);
+    let noise = cli.noise_model();
     let techniques = cli.effective_techniques(&[Technique::Superconducting, Technique::Geyser]);
     let mut rows = Vec::new();
     for spec in cli.selected_workloads(true) {
@@ -30,7 +28,7 @@ fn main() {
     print_rows(
         &format!(
             "Figure 16: superconducting vs neutral-atom Geyser @ {:.2}% noise",
-            cli.noise * 100.0
+            noise.bit_flip * 100.0
         ),
         &rows,
     );

@@ -87,6 +87,10 @@ fn main() {
     let opts = FuzzOptions {
         seed: cli.seed,
         cases: cli.cases,
+        // Hardware scenarios are part of the fuzzed surface: each case
+        // carries a mutated spec (recorded in its quarantine entry so
+        // replay reproduces hardware-dependent failures exactly).
+        mutate_hardware: true,
         ..FuzzOptions::default()
     };
     let qdir = cli.quarantine_dir();
@@ -94,12 +98,16 @@ fn main() {
     let mut checked = 0usize;
     let mut failures = 0usize;
     for case in generate_cases(&opts) {
+        let case_cfg = match &case.hardware {
+            Some(spec) => cfg.clone().with_hardware(spec.clone()),
+            None => cfg.clone(),
+        };
         for technique in Technique::ALL {
             checked += 1;
             let failure = match check(
                 &case.circuit,
                 technique,
-                &cfg,
+                &case_cfg,
                 &faults,
                 &vcfg,
                 &Telemetry::disabled(),
@@ -109,7 +117,7 @@ fn main() {
             };
             failures += 1;
             quarantine_failure(
-                &cli, &cfg, &faults, &vcfg, &case, technique, &failure, &qdir,
+                &cli, &case_cfg, &faults, &vcfg, &case, technique, &failure, &qdir,
             );
         }
     }
@@ -180,6 +188,7 @@ fn quarantine_failure(
         qasm: String::new(),
         compile_ms: Some(compile_ms),
         anneal_evaluations,
+        hardware: case.hardware.clone(),
     };
     entry.set_circuit(&minimized);
     match write_entry(qdir, &entry) {

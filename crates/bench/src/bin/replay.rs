@@ -68,7 +68,12 @@ fn replay(entry: &QuarantineEntry) -> Result<(Outcome, ReplayCost), String> {
     let circuit = entry.circuit()?;
     let technique = Technique::from_label(&entry.technique)
         .ok_or_else(|| format!("unknown technique '{}'", entry.technique))?;
-    let (cfg, run_seed) = parse_config(&entry.config)?;
+    let (mut cfg, run_seed) = parse_config(&entry.config)?;
+    // Entries filed under a fuzzed hardware scenario replay on that
+    // exact machine; pre-hardware entries keep the paper default.
+    if let Some(spec) = &entry.hardware {
+        cfg = cfg.with_hardware(spec.clone());
+    }
     let faults = match &entry.inject {
         Some(spec) => FaultInjector::parse(spec).map_err(|e| e.to_string())?,
         None => FaultInjector::none(),

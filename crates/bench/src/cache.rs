@@ -34,11 +34,26 @@ struct CachedStats {
     max_accepted_hsd: f64,
 }
 
+/// On-disk schema version. Bumped to 2 when entries started binding to
+/// a hardware-spec digest; version-1 entries (and anything older,
+/// which lacks the field entirely and fails deserialization) degrade
+/// to a cache miss instead of silently replaying results compiled for
+/// a different machine.
+const CACHE_VERSION: u64 = 2;
+
 #[derive(Serialize, Deserialize)]
 struct CachedCompile {
+    version: u64,
+    /// Digest of the [`geyser::HardwareSpec`] the entry was compiled
+    /// for; a mismatch at load time is a miss, never a replay.
+    hardware_digest: u64,
     lattice_kind: String,
     rows: usize,
     cols: usize,
+    /// Atom spacing the lattice was built with (spec geometry).
+    spacing: f64,
+    /// Interaction radius the lattice was built with (spec geometry).
+    radius: f64,
     circuit: Circuit,
     initial_node_of: Vec<usize>,
     final_node_of: Vec<usize>,
@@ -71,13 +86,20 @@ fn cache_path(name: &str, technique: Technique, cfg_tag: &str, fp: u64) -> PathB
     ))
 }
 
-fn rebuild_lattice(kind: &str, rows: usize, cols: usize) -> Option<Lattice> {
-    match kind {
-        "triangular" => Some(Lattice::triangular(rows, cols)),
-        "square" => Some(Lattice::square(rows, cols)),
-        "square_diagonal" => Some(Lattice::square_diagonal(rows, cols)),
-        _ => None,
-    }
+fn rebuild_lattice(
+    kind: &str,
+    rows: usize,
+    cols: usize,
+    spacing: f64,
+    radius: f64,
+) -> Option<Lattice> {
+    let kind = match kind {
+        "triangular" => LatticeKind::Triangular,
+        "square" => LatticeKind::Square,
+        "square_diagonal" => LatticeKind::SquareDiagonal,
+        _ => return None,
+    };
+    Some(Lattice::with_geometry(kind, rows, cols, spacing, radius))
 }
 
 fn lattice_kind_tag(kind: LatticeKind) -> &'static str {
@@ -88,13 +110,21 @@ fn lattice_kind_tag(kind: LatticeKind) -> &'static str {
     }
 }
 
-fn to_cached(compiled: &CompiledCircuit, verification: Option<VerificationStats>) -> CachedCompile {
+fn to_cached(
+    compiled: &CompiledCircuit,
+    verification: Option<VerificationStats>,
+    cfg: &PipelineConfig,
+) -> CachedCompile {
     let mapped = compiled.mapped();
     let lattice = mapped.lattice();
     CachedCompile {
+        version: CACHE_VERSION,
+        hardware_digest: cfg.hardware.digest(),
         lattice_kind: lattice_kind_tag(lattice.kind()).to_string(),
         rows: lattice.rows(),
         cols: lattice.cols(),
+        spacing: cfg.hardware.lattice.spacing,
+        radius: cfg.hardware.lattice.radius_for(lattice.kind()),
         circuit: mapped.circuit().clone(),
         initial_node_of: (0..mapped.num_logical())
             .map(|q| mapped.initial_layout().node_of(q))
@@ -120,8 +150,21 @@ fn to_cached(compiled: &CompiledCircuit, verification: Option<VerificationStats>
     }
 }
 
-fn from_cached(cached: CachedCompile, technique: Technique) -> Option<CompiledCircuit> {
-    let lattice = rebuild_lattice(&cached.lattice_kind, cached.rows, cached.cols)?;
+fn from_cached(
+    cached: CachedCompile,
+    technique: Technique,
+    expected_digest: u64,
+) -> Option<CompiledCircuit> {
+    if cached.version != CACHE_VERSION || cached.hardware_digest != expected_digest {
+        return None;
+    }
+    let lattice = rebuild_lattice(
+        &cached.lattice_kind,
+        cached.rows,
+        cached.cols,
+        cached.spacing,
+        cached.radius,
+    )?;
     if cached.circuit.num_qubits() != lattice.num_nodes() {
         return None;
     }
@@ -233,14 +276,14 @@ pub fn compile_cached_verified_traced(
     if let Ok(body) = std::fs::read_to_string(&path) {
         if let Ok(cached) = serde_json::from_str::<CachedCompile>(&body) {
             let stored = cached.verification.clone();
-            if let Some(compiled) = from_cached(cached, technique) {
+            if let Some(compiled) = from_cached(cached, technique, cfg.hardware.digest()) {
                 telemetry.counter_add("bench.cache_hits", 1);
                 let stats = match (verify, stored) {
                     (None, stored) => stored,
                     (Some(_), Some(stats)) => Some(stats),
                     (Some(vc), None) => {
                         let stats = geyser::verify_compiled(program, &compiled, vc);
-                        store(&path, &compiled, Some(stats.clone()));
+                        store(&path, &compiled, Some(stats.clone()), cfg);
                         Some(stats)
                     }
                 };
@@ -251,13 +294,18 @@ pub fn compile_cached_verified_traced(
     telemetry.counter_add("bench.cache_misses", 1);
     let compiled = compile(program, technique, cfg);
     let stats = verify.map(|vc| geyser::verify_compiled(program, &compiled, vc));
-    store(&path, &compiled, stats.clone());
+    store(&path, &compiled, stats.clone(), cfg);
     (compiled, stats)
 }
 
-fn store(path: &PathBuf, compiled: &CompiledCircuit, verification: Option<VerificationStats>) {
+fn store(
+    path: &PathBuf,
+    compiled: &CompiledCircuit,
+    verification: Option<VerificationStats>,
+    cfg: &PipelineConfig,
+) {
     let _ = std::fs::create_dir_all(".geyser-cache");
-    if let Ok(body) = serde_json::to_string(&to_cached(compiled, verification)) {
+    if let Ok(body) = serde_json::to_string(&to_cached(compiled, verification, cfg)) {
         write_atomic(path, &body);
     }
 }
@@ -297,10 +345,11 @@ mod tests {
             Technique::Superconducting,
         ] {
             let direct = compile(&program, technique, &cfg);
-            let cached = to_cached(&direct, None);
+            let cached = to_cached(&direct, None, &cfg);
             let body = serde_json::to_string(&cached).unwrap();
             let back: CachedCompile = serde_json::from_str(&body).unwrap();
-            let rebuilt = from_cached(back, technique).expect("rebuild succeeds");
+            let rebuilt =
+                from_cached(back, technique, cfg.hardware.digest()).expect("rebuild succeeds");
             assert_eq!(rebuilt.total_pulses(), direct.total_pulses());
             assert_eq!(rebuilt.depth_pulses(), direct.depth_pulses());
             assert_eq!(rebuilt.gate_counts(), direct.gate_counts());
@@ -309,6 +358,66 @@ mod tests {
                 direct.composition_stats().is_some()
             );
         }
+    }
+
+    #[test]
+    fn entry_for_a_different_hardware_spec_is_a_miss() {
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let direct = compile(&program, Technique::Baseline, &cfg);
+        let cached = to_cached(&direct, None, &cfg);
+        let other = geyser::HardwareSpec::near_term();
+        assert!(
+            from_cached(cached, Technique::Baseline, other.digest()).is_none(),
+            "a digest mismatch must never replay a foreign compilation"
+        );
+    }
+
+    #[test]
+    fn stale_version_entry_is_a_miss() {
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let direct = compile(&program, Technique::Baseline, &cfg);
+        let mut cached = to_cached(&direct, None, &cfg);
+        cached.version = CACHE_VERSION - 1;
+        assert!(from_cached(cached, Technique::Baseline, cfg.hardware.digest()).is_none());
+    }
+
+    #[test]
+    fn pre_versioning_entry_fails_to_deserialize() {
+        // Entries written before the schema carried `version` /
+        // `hardware_digest` / geometry fields look like this. They
+        // must fail to parse (→ cache miss upstream), never replay.
+        #[derive(Serialize)]
+        struct LegacyCachedCompile {
+            lattice_kind: String,
+            rows: usize,
+            cols: usize,
+            circuit: Circuit,
+            initial_node_of: Vec<usize>,
+            final_node_of: Vec<usize>,
+            num_logical: usize,
+            swaps: usize,
+            stats: Option<CachedStats>,
+            verification: Option<VerificationStats>,
+        }
+        let legacy = LegacyCachedCompile {
+            lattice_kind: "triangular".into(),
+            rows: 2,
+            cols: 2,
+            circuit: sample_program(),
+            initial_node_of: vec![0, 1, 2],
+            final_node_of: vec![0, 1, 2],
+            num_logical: 3,
+            swaps: 0,
+            stats: None,
+            verification: None,
+        };
+        let body = serde_json::to_string(&legacy).unwrap();
+        assert!(
+            serde_json::from_str::<CachedCompile>(&body).is_err(),
+            "legacy entries lacking the hardware digest must be invalidated"
+        );
     }
 
     #[test]

@@ -50,6 +50,14 @@
 //! * `--techniques a,b` — compile an explicit technique list
 //!   (labels per [`Technique::label`], case-insensitive) instead of
 //!   the binary's default comparison points
+//! * `--hardware PATH` — load a serialized [`geyser::HardwareSpec`]
+//!   scenario (JSON) and compile for that machine instead of the
+//!   paper's; the spec's digest becomes part of the results-cache and
+//!   checkpoint keys, and its noise model drives noisy simulation
+//!   unless `--noise` overrides it
+//! * `--specs a,b,c` — hardware-scenario grid for the `sweep` binary:
+//!   each element is a builtin preset name (`paper`,
+//!   `square-diagonal`, `near-term`) or a path to a spec JSON file
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,10 +69,11 @@ use std::collections::BTreeMap;
 
 pub use cache::{compile_cached, compile_cached_verified, compile_cached_verified_traced};
 use geyser::{
-    CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, MetricsSnapshot, PassManager,
-    PipelineConfig, Technique, Telemetry, VerificationStats,
+    CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, HardwareSpec, MetricsSnapshot,
+    PassManager, PipelineConfig, Technique, Telemetry, VerificationStats,
 };
 use geyser_circuit::Circuit;
+use geyser_sim::NoiseModel;
 use geyser_supervisor::{JobSpec, JobState, RetryPolicy, Supervisor, SupervisorConfig};
 use geyser_verify::VerifyConfig;
 use geyser_workloads::{heisenberg, suite, WorkloadSpec};
@@ -112,6 +121,15 @@ pub struct Cli {
     pub trace: Option<String>,
     /// Explicit technique override (`--techniques`).
     pub techniques: Option<Vec<Technique>>,
+    /// Hardware scenario loaded from `--hardware PATH`; `None`
+    /// compiles for the paper machine ([`HardwareSpec::paper`]).
+    pub hardware: Option<HardwareSpec>,
+    /// Whether `--noise` was given explicitly, in which case it beats
+    /// the hardware spec's noise model in [`Cli::noise_model`].
+    pub noise_explicit: bool,
+    /// Hardware-scenario grid for the `sweep` binary (`--specs`):
+    /// builtin preset names or spec-JSON paths.
+    pub specs: Vec<String>,
     /// The run's telemetry handle: disabled by default, enabled by
     /// [`Cli::parse`] when `--trace` or `--report` is given. Cloning
     /// shares the same buffers, so spans recorded anywhere in the
@@ -141,6 +159,9 @@ impl Default for Cli {
             quarantine: None,
             trace: None,
             techniques: None,
+            hardware: None,
+            noise_explicit: false,
+            specs: Vec::new(),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -169,7 +190,10 @@ impl Cli {
                 "--trajectories" => {
                     cli.trajectories = value("--trajectories").parse().expect("integer")
                 }
-                "--noise" => cli.noise = value("--noise").parse().expect("float"),
+                "--noise" => {
+                    cli.noise = value("--noise").parse().expect("float");
+                    cli.noise_explicit = true;
+                }
                 "--seed" => cli.seed = value("--seed").parse().expect("integer"),
                 "--steps" => cli.steps = Some(value("--steps").parse().expect("integer")),
                 "--json" => cli.json = Some(value("--json")),
@@ -211,6 +235,23 @@ impl Cli {
                             .collect(),
                     );
                 }
+                "--hardware" => {
+                    let path = value("--hardware");
+                    match HardwareSpec::load(std::path::Path::new(&path)) {
+                        Ok(spec) => cli.hardware = Some(spec),
+                        Err(e) => {
+                            eprintln!("error: --hardware: {e}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+                "--specs" => {
+                    cli.specs = value("--specs")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect();
+                }
                 other => panic!("unknown flag {other}; see crate docs for usage"),
             }
         }
@@ -220,17 +261,37 @@ impl Cli {
         cli
     }
 
-    /// The pipeline configuration implied by the flags.
+    /// The pipeline configuration implied by the flags, compiling for
+    /// [`Cli::hardware_spec`]'s machine.
     pub fn pipeline_config(&self) -> PipelineConfig {
         let base = if self.fast {
             PipelineConfig::fast()
         } else {
             PipelineConfig::paper()
         };
-        let base = base.with_seed(self.seed);
+        let base = base
+            .with_seed(self.seed)
+            .with_hardware(self.hardware_spec());
         match self.budget_ms {
             Some(ms) => base.with_budget_ms(ms),
             None => base,
+        }
+    }
+
+    /// The hardware scenario the run compiles for: the `--hardware`
+    /// spec when one was loaded, otherwise the paper machine.
+    pub fn hardware_spec(&self) -> HardwareSpec {
+        self.hardware.clone().unwrap_or_else(HardwareSpec::paper)
+    }
+
+    /// The noise model noisy-simulation binaries should use: the
+    /// hardware spec's model when `--hardware` was given, overridden
+    /// by an explicit `--noise R` (symmetric per-pulse at rate `R`,
+    /// the historical behavior and the default without a spec).
+    pub fn noise_model(&self) -> NoiseModel {
+        match &self.hardware {
+            Some(spec) if !self.noise_explicit => spec.noise,
+            _ => NoiseModel::symmetric(self.noise),
         }
     }
 
@@ -290,14 +351,17 @@ impl Cli {
     }
 
     /// Tag encoding every flag that affects compilation output, used
-    /// as part of the on-disk cache key.
+    /// as part of the on-disk cache and checkpoint keys. Includes the
+    /// hardware spec's content digest, so results compiled for
+    /// different machines can never collide on disk.
     pub fn config_tag(&self) -> String {
         format!(
-            "s{}-{}-st{}",
+            "s{}-{}-st{}-h{:016x}",
             self.seed,
             if self.fast { "fast" } else { "paper" },
             self.steps
-                .map_or_else(|| "d".to_string(), |s| s.to_string())
+                .map_or_else(|| "d".to_string(), |s| s.to_string()),
+            self.hardware_spec().digest()
         )
     }
 
@@ -320,6 +384,33 @@ impl Cli {
     /// Quarantine-corpus directory: `--quarantine` or `quarantine/`.
     pub fn quarantine_dir(&self) -> std::path::PathBuf {
         std::path::PathBuf::from(self.quarantine.as_deref().unwrap_or("quarantine"))
+    }
+
+    /// Resolves the `--specs` grid for the `sweep` binary. Each
+    /// element names a builtin preset (`paper`, `square-diagonal`,
+    /// `near-term`) or is a path to a spec JSON file; without the
+    /// flag the grid defaults to `paper` + `near-term`. A bad name or
+    /// file exits with usage status 2.
+    pub fn hardware_grid(&self) -> Vec<HardwareSpec> {
+        if self.specs.is_empty() {
+            return vec![HardwareSpec::paper(), HardwareSpec::near_term()];
+        }
+        self.specs
+            .iter()
+            .map(|token| match token.as_str() {
+                "paper" => HardwareSpec::paper(),
+                "square-diagonal" => HardwareSpec::square_diagonal(),
+                "near-term" => HardwareSpec::near_term(),
+                path => HardwareSpec::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+                    eprintln!(
+                        "error: --specs: '{path}' is neither a builtin preset \
+                         (paper, square-diagonal, near-term) nor a loadable \
+                         spec file: {e}"
+                    );
+                    std::process::exit(2);
+                }),
+            })
+            .collect()
     }
 }
 
@@ -497,7 +588,7 @@ fn compile_supervised(
     );
     let mut ids = Vec::new();
     for &t in techniques {
-        let mut spec = JobSpec::new(name, t, program.clone(), *cfg);
+        let mut spec = JobSpec::new(name, t, program.clone(), cfg.clone());
         spec.faults = faults.clone();
         spec.checkpoint = Some(checkpoint_path(name, t, cfg_tag));
         spec.resume = cli.resume;
@@ -852,6 +943,70 @@ mod tests {
             cli.effective_techniques(&[Technique::Baseline]),
             vec![Technique::Superconducting]
         );
+    }
+
+    #[test]
+    fn config_tag_separates_hardware_scenarios() {
+        let paper = Cli::default();
+        let near = Cli {
+            hardware: Some(HardwareSpec::near_term()),
+            ..Cli::default()
+        };
+        assert_ne!(paper.config_tag(), near.config_tag());
+        assert!(paper
+            .config_tag()
+            .ends_with(&format!("h{:016x}", HardwareSpec::paper().digest())));
+    }
+
+    #[test]
+    fn pipeline_config_carries_the_loaded_spec() {
+        let cli = Cli {
+            hardware: Some(HardwareSpec::square_diagonal()),
+            ..Cli::default()
+        };
+        assert_eq!(
+            cli.pipeline_config().hardware.digest(),
+            HardwareSpec::square_diagonal().digest()
+        );
+        assert!(Cli::default().pipeline_config().hardware.is_paper());
+    }
+
+    #[test]
+    fn noise_model_follows_the_spec_unless_overridden() {
+        let mut spec = HardwareSpec::paper();
+        spec.noise = NoiseModel::symmetric(0.02);
+        let from_spec = Cli {
+            hardware: Some(spec.clone()),
+            ..Cli::default()
+        };
+        assert_eq!(from_spec.noise_model(), NoiseModel::symmetric(0.02));
+        // An explicit --noise beats the spec (historical behavior).
+        let overridden = Cli {
+            hardware: Some(spec),
+            noise: 0.005,
+            noise_explicit: true,
+            ..Cli::default()
+        };
+        assert_eq!(overridden.noise_model(), NoiseModel::symmetric(0.005));
+        // Without a spec the flag's default applies as before.
+        assert_eq!(
+            Cli::default().noise_model(),
+            NoiseModel::symmetric(Cli::default().noise)
+        );
+    }
+
+    #[test]
+    fn hardware_grid_defaults_and_resolves_builtins() {
+        let grid = Cli::default().hardware_grid();
+        assert_eq!(grid.len(), 2);
+        assert!(grid[0].is_paper());
+        let cli = Cli {
+            specs: vec!["square-diagonal".into(), "paper".into()],
+            ..Cli::default()
+        };
+        let grid = cli.hardware_grid();
+        assert_eq!(grid[0].digest(), HardwareSpec::square_diagonal().digest());
+        assert!(grid[1].is_paper());
     }
 
     #[test]

@@ -13,11 +13,18 @@ pub struct BlockingConfig {
     /// When `false`, blocks are scored by operation count — the
     /// gate-centric baseline used in the ablation study.
     pub pulse_aware: bool,
+    /// Hardware cap on blocks pulsed simultaneously in one round:
+    /// the family search stops growing a round at this many blocks.
+    /// `None` (the paper's assumption) leaves parallelism unlimited.
+    pub max_blocks_per_round: Option<usize>,
 }
 
 impl Default for BlockingConfig {
     fn default() -> Self {
-        BlockingConfig { pulse_aware: true }
+        BlockingConfig {
+            pulse_aware: true,
+            max_blocks_per_round: None,
+        }
     }
 }
 
@@ -242,13 +249,18 @@ pub fn try_block_circuit_traced(
 
         // Block-family search: seed with each candidate, then greedily
         // add zone-compatible candidates by descending score
-        // (paper Fig. 8's family construction).
+        // (paper Fig. 8's family construction), up to the hardware's
+        // simultaneous-pulse cap.
+        let cap = config.max_blocks_per_round.unwrap_or(usize::MAX).max(1);
         let mut best_family: Vec<usize> = Vec::new();
         let mut best_score = 0u64;
         for seed in 0..candidates.len() {
             let mut family = vec![seed];
             let mut family_score = candidates[seed].3;
             for (j, cand) in candidates.iter().enumerate() {
+                if family.len() >= cap {
+                    break;
+                }
                 if j == seed {
                     continue;
                 }
@@ -384,13 +396,46 @@ mod tests {
             c.h(i);
         }
         for cfg in [
-            BlockingConfig { pulse_aware: true },
-            BlockingConfig { pulse_aware: false },
+            BlockingConfig {
+                pulse_aware: true,
+                ..BlockingConfig::default()
+            },
+            BlockingConfig {
+                pulse_aware: false,
+                ..BlockingConfig::default()
+            },
         ] {
             let blocked = block_circuit(&c, &lat, &cfg);
             assert_partition_valid(&blocked);
             assert_rounds_zone_compatible(&blocked, &lat);
         }
+    }
+
+    #[test]
+    fn round_cap_limits_simultaneous_blocks() {
+        // A wide layer that unlimited blocking packs into multi-block
+        // rounds must serialize under a cap of one block per round,
+        // while still covering the circuit exactly.
+        let lat = Lattice::triangular(3, 6);
+        let mut c = Circuit::new(18);
+        for q in 0..18 {
+            c.h(q);
+        }
+        let unlimited = block_circuit(&c, &lat, &BlockingConfig::default());
+        assert!(
+            unlimited.rounds().iter().any(|r| r.blocks().len() > 1),
+            "test premise: unlimited blocking parallelizes"
+        );
+        let capped_cfg = BlockingConfig {
+            max_blocks_per_round: Some(1),
+            ..BlockingConfig::default()
+        };
+        let capped = block_circuit(&c, &lat, &capped_cfg);
+        assert_partition_valid(&capped);
+        for round in capped.rounds() {
+            assert!(round.blocks().len() <= 1);
+        }
+        assert!(capped.rounds().len() > unlimited.rounds().len());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use geyser_blocking::BlockingConfig;
 use geyser_compose::CompositionConfig;
+use geyser_hardware::HardwareSpec;
 
 use crate::Budget;
 
@@ -9,7 +10,9 @@ use crate::Budget;
 ///
 /// The defaults reproduce the paper's settings; [`PipelineConfig::fast`]
 /// shrinks the composition search budget for tests and smoke runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Owning a [`HardwareSpec`] makes the struct non-`Copy`: pass it by
+/// reference or `clone()` explicitly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Circuit-blocking options (Algorithm 1).
     pub blocking: BlockingConfig,
@@ -20,6 +23,10 @@ pub struct PipelineConfig {
     /// Wall-clock budget for the whole pipeline (unlimited by
     /// default); see [`Budget`] for the degradation policy.
     pub budget: Budget,
+    /// The hardware scenario the pipeline compiles for: lattice
+    /// geometry, simultaneous-pulse limits, and the noise model.
+    /// Defaults to [`HardwareSpec::paper`].
+    pub hardware: HardwareSpec,
 }
 
 impl PipelineConfig {
@@ -30,6 +37,7 @@ impl PipelineConfig {
             composition: CompositionConfig::default(),
             seed: 0,
             budget: Budget::unlimited(),
+            hardware: HardwareSpec::paper(),
         }
     }
 
@@ -41,6 +49,7 @@ impl PipelineConfig {
             composition: CompositionConfig::fast(),
             seed: 0,
             budget: Budget::unlimited(),
+            hardware: HardwareSpec::paper(),
         }
     }
 
@@ -55,6 +64,12 @@ impl PipelineConfig {
     /// Returns a copy with a wall-clock budget in milliseconds.
     pub fn with_budget_ms(mut self, ms: u64) -> Self {
         self.budget = Budget::wall_ms(ms);
+        self
+    }
+
+    /// Returns a copy compiling for the given hardware scenario.
+    pub fn with_hardware(mut self, hardware: HardwareSpec) -> Self {
+        self.hardware = hardware;
         self
     }
 }
@@ -82,5 +97,19 @@ mod tests {
         let cfg = PipelineConfig::paper().with_seed(42);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.composition.seed, 42);
+    }
+
+    #[test]
+    fn hardware_defaults_to_the_paper_machine() {
+        assert!(PipelineConfig::paper().hardware.is_paper());
+        assert!(PipelineConfig::fast().hardware.is_paper());
+    }
+
+    #[test]
+    fn with_hardware_swaps_the_scenario() {
+        let spec = HardwareSpec::near_term();
+        let cfg = PipelineConfig::fast().with_hardware(spec.clone());
+        assert_eq!(cfg.hardware, spec);
+        assert_ne!(cfg.hardware.digest(), HardwareSpec::paper().digest());
     }
 }

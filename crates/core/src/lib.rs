@@ -65,12 +65,14 @@ pub use verify::{verification_allowance, verification_stats, verify_compiled};
 
 // Re-export the component crates so downstream users need only one
 // dependency.
+pub use geyser_hardware::{HardwareSpec, HardwareSpecError, LatticeSpec};
 pub use geyser_optimize::{CancelToken, Deadline};
 pub use geyser_telemetry::{MetricsSnapshot, Telemetry};
 
 pub use geyser_blocking as blocking;
 pub use geyser_circuit as circuit;
 pub use geyser_compose as compose;
+pub use geyser_hardware as hardware;
 pub use geyser_map as map;
 pub use geyser_num as num;
 pub use geyser_optimize as optimize;

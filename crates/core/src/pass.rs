@@ -388,6 +388,7 @@ impl PassManager {
         let mut pipeline_span = self.telemetry.span("core", "pipeline");
         pipeline_span.attr("technique", self.technique.label());
         let mut report = CompileReport::new(self.technique.label());
+        report.hardware_digest = config.hardware.digest();
         for pass in &self.passes {
             // Cancellation wins over degradation: a cancelled job must
             // stop producing output, not finalize a partial circuit.

@@ -10,42 +10,50 @@ use geyser_blocking::try_block_circuit_traced;
 use geyser_compose::try_compose_blocked_circuit_supervised;
 use geyser_map::{optimize_to_fixpoint, try_map_circuit_traced, MappingOptions};
 use geyser_optimize::Deadline;
-use geyser_topology::Lattice;
 
 use geyser_verify::VerifyConfig;
+
+pub use geyser_topology::LatticeKind;
 
 use crate::pass::{CompileContext, Pass};
 use crate::verify::{verification_allowance, verification_stats};
 use crate::CompileError;
 
-/// Lattice geometry selected by [`AllocateLatticePass`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum LatticeKind {
-    /// Triangular neutral-atom lattice (paper Fig. 4).
-    Triangular,
-    /// Square lattice — the superconducting comparison's layout.
-    Square,
-}
-
 /// Allocates the physical lattice sized for the program.
+///
+/// Geometry — family, dimensions, spacing, interaction radius — comes
+/// from the pipeline's [`geyser_hardware::HardwareSpec`]; a technique
+/// may pin the lattice *family* (the superconducting comparison always
+/// runs on a square grid) while spacing and radius still follow the
+/// spec.
 #[derive(Debug, Clone, Copy)]
 pub struct AllocateLatticePass {
-    /// Which geometry to allocate.
-    pub kind: LatticeKind,
+    /// Lattice family forced by the technique, or `None` to use the
+    /// hardware spec's family.
+    pub kind_override: Option<LatticeKind>,
 }
 
 impl AllocateLatticePass {
-    /// Triangular lattice (all neutral-atom techniques).
-    pub fn triangular() -> Self {
+    /// Allocates whatever family the hardware spec declares (all
+    /// neutral-atom techniques).
+    pub fn from_spec() -> Self {
         AllocateLatticePass {
-            kind: LatticeKind::Triangular,
+            kind_override: None,
         }
     }
 
-    /// Square lattice (the superconducting comparison).
+    /// Forces a triangular lattice regardless of the spec (pipeline
+    /// tests that hand-build pass lists).
+    pub fn triangular() -> Self {
+        AllocateLatticePass {
+            kind_override: Some(LatticeKind::Triangular),
+        }
+    }
+
+    /// Forces a square lattice (the superconducting comparison).
     pub fn square() -> Self {
         AllocateLatticePass {
-            kind: LatticeKind::Square,
+            kind_override: Some(LatticeKind::Square),
         }
     }
 }
@@ -57,10 +65,7 @@ impl Pass for AllocateLatticePass {
 
     fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
         let n = ctx.program().num_qubits();
-        let lattice = match self.kind {
-            LatticeKind::Triangular => Lattice::triangular_for(n),
-            LatticeKind::Square => Lattice::square_for(n),
-        };
+        let lattice = ctx.config().hardware.build_lattice(n, self.kind_override);
         ctx.set_lattice(lattice);
         Ok(())
     }
@@ -127,12 +132,15 @@ impl Pass for BlockPass {
             pass: "block",
             requires: "allocate-lattice",
         })?;
-        let blocked = try_block_circuit_traced(
-            mapped.circuit(),
-            lattice,
-            &ctx.config().blocking,
-            ctx.telemetry(),
-        )?;
+        // The hardware's simultaneous-pulse cap folds into the
+        // blocking options unless the caller already set a tighter
+        // explicit cap.
+        let mut blocking = ctx.config().blocking;
+        if blocking.max_blocks_per_round.is_none() {
+            blocking.max_blocks_per_round = ctx.config().hardware.parallel_block_limit();
+        }
+        let blocked =
+            try_block_circuit_traced(mapped.circuit(), lattice, &blocking, ctx.telemetry())?;
         ctx.set_blocked(blocked);
         Ok(())
     }

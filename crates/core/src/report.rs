@@ -91,6 +91,10 @@ pub struct VerificationStats {
 pub struct CompileReport {
     /// Label of the technique the pass list implements.
     pub technique: String,
+    /// Content digest of the [`geyser_hardware::HardwareSpec`] the
+    /// pipeline compiled for (see `HardwareSpec::digest`); `0` when a
+    /// report was built outside a pass-manager run.
+    pub hardware_digest: u64,
     /// Per-pass measurements in execution order.
     pub passes: Vec<PassReport>,
     /// Whether the wall-clock budget expired mid-pipeline (the run
@@ -119,6 +123,7 @@ impl CompileReport {
     pub fn new(technique: &str) -> Self {
         CompileReport {
             technique: technique.to_string(),
+            hardware_digest: 0,
             passes: Vec::new(),
             budget_exhausted: false,
             budget_remaining_ms: None,
@@ -161,6 +166,7 @@ mod tests {
     fn sample() -> CompileReport {
         CompileReport {
             technique: "Geyser".into(),
+            hardware_digest: 0x7925_376e_27ff_4848,
             budget_exhausted: false,
             budget_remaining_ms: None,
             skipped_passes: Vec::new(),

@@ -69,15 +69,15 @@ impl Technique {
     pub fn pass_list(self) -> Vec<Box<dyn Pass>> {
         match self {
             Technique::Baseline => vec![
-                Box::new(AllocateLatticePass::triangular()),
+                Box::new(AllocateLatticePass::from_spec()),
                 Box::new(MapPass::baseline()),
             ],
             Technique::OptiMap => vec![
-                Box::new(AllocateLatticePass::triangular()),
+                Box::new(AllocateLatticePass::from_spec()),
                 Box::new(MapPass::optimized()),
             ],
             Technique::Geyser => vec![
-                Box::new(AllocateLatticePass::triangular()),
+                Box::new(AllocateLatticePass::from_spec()),
                 Box::new(MapPass::optimized()),
                 Box::new(BlockPass),
                 Box::new(ComposePass),

@@ -27,8 +27,12 @@ use geyser_compose::{
 use serde::{Deserialize, Serialize};
 
 /// On-disk format version; bumped on incompatible layout changes.
-/// v2 added the composition-config hash to the run binding.
-const CHECKPOINT_VERSION: u64 = 2;
+/// v2 added the composition-config hash to the run binding; v3 added
+/// the hardware-spec digest, so checkpoints written under one hardware
+/// scenario can never resume a run compiling for another (pre-v3
+/// files also fail deserialization — the field is required — and are
+/// treated as absent, never silently replayed).
+const CHECKPOINT_VERSION: u64 = 3;
 
 /// One checkpointed block result — a serializable mirror of
 /// [`CompositionResult`] (the vendored serde derive has no attribute
@@ -113,20 +117,29 @@ pub struct Checkpoint {
     seed: u64,
     num_blocks: usize,
     config_hash: u64,
+    hardware_digest: u64,
     blocks: Vec<CheckpointBlock>,
 }
 
 impl Checkpoint {
     /// An empty checkpoint for a run over `num_blocks` blocks of a
-    /// circuit with the given fingerprint, composition seed, and
-    /// composition-config hash (see [`composition_config_hash`]).
-    pub fn new(fingerprint: u64, seed: u64, num_blocks: usize, config_hash: u64) -> Self {
+    /// circuit with the given fingerprint, composition seed,
+    /// composition-config hash (see [`composition_config_hash`]), and
+    /// hardware-spec digest (`HardwareSpec::digest`).
+    pub fn new(
+        fingerprint: u64,
+        seed: u64,
+        num_blocks: usize,
+        config_hash: u64,
+        hardware_digest: u64,
+    ) -> Self {
         Checkpoint {
             version: CHECKPOINT_VERSION,
             fingerprint,
             seed,
             num_blocks,
             config_hash,
+            hardware_digest,
             blocks: Vec::new(),
         }
     }
@@ -137,22 +150,25 @@ impl Checkpoint {
     }
 
     /// Whether this checkpoint belongs to the `(fingerprint, seed,
-    /// num_blocks, config_hash)` run — resuming someone else's
-    /// checkpoint, or one composed under different search parameters
-    /// (a different ε, layer cap, or annealing budget), would silently
-    /// splice wrong or differently-converged circuits in.
+    /// num_blocks, config_hash, hardware_digest)` run — resuming
+    /// someone else's checkpoint, one composed under different search
+    /// parameters (a different ε, layer cap, or annealing budget), or
+    /// one compiled for different hardware would silently splice wrong
+    /// or differently-converged circuits in.
     pub fn matches(
         &self,
         fingerprint: u64,
         seed: u64,
         num_blocks: usize,
         config_hash: u64,
+        hardware_digest: u64,
     ) -> bool {
         self.version == CHECKPOINT_VERSION
             && self.fingerprint == fingerprint
             && self.seed == seed
             && self.num_blocks == num_blocks
             && self.config_hash == config_hash
+            && self.hardware_digest == hardware_digest
     }
 
     /// Expands the recorded blocks into the `prior` slice shape that
@@ -353,14 +369,14 @@ mod tests {
     #[test]
     fn roundtrips_through_disk() {
         let path = temp_path("roundtrip");
-        let mut ckpt = Checkpoint::new(0xabcd, 7, 5, 0xc0f6);
+        let mut ckpt = Checkpoint::new(0xabcd, 7, 5, 0xc0f6, 0x11);
         ckpt.blocks
             .push(CheckpointBlock::from_result(2, &sample_result(true)).unwrap());
         ckpt.blocks
             .push(CheckpointBlock::from_result(4, &sample_result(false)).unwrap());
         write_checkpoint_atomic(&path, &ckpt).unwrap();
         let back = load_checkpoint(&path).unwrap();
-        assert!(back.matches(0xabcd, 7, 5, 0xc0f6));
+        assert!(back.matches(0xabcd, 7, 5, 0xc0f6, 0x11));
         assert_eq!(back.num_recorded(), 2);
         let prior = back.to_prior();
         assert_eq!(prior.len(), 5);
@@ -379,21 +395,60 @@ mod tests {
 
     #[test]
     fn mismatched_run_is_rejected() {
-        let ckpt = Checkpoint::new(1, 2, 3, 4);
-        assert!(!ckpt.matches(999, 2, 3, 4), "wrong fingerprint");
-        assert!(!ckpt.matches(1, 999, 3, 4), "wrong seed");
-        assert!(!ckpt.matches(1, 2, 999, 4), "wrong block count");
-        assert!(!ckpt.matches(1, 2, 3, 999), "wrong config hash");
-        assert!(ckpt.matches(1, 2, 3, 4));
+        let ckpt = Checkpoint::new(1, 2, 3, 4, 5);
+        assert!(!ckpt.matches(999, 2, 3, 4, 5), "wrong fingerprint");
+        assert!(!ckpt.matches(1, 999, 3, 4, 5), "wrong seed");
+        assert!(!ckpt.matches(1, 2, 999, 4, 5), "wrong block count");
+        assert!(!ckpt.matches(1, 2, 3, 999, 5), "wrong config hash");
+        assert!(!ckpt.matches(1, 2, 3, 4, 999), "wrong hardware digest");
+        assert!(ckpt.matches(1, 2, 3, 4, 5));
     }
 
     #[test]
     fn truncated_file_loads_as_corrupt() {
         let path = temp_path("truncated");
-        let ckpt = Checkpoint::new(1, 2, 3, 4);
+        let ckpt = Checkpoint::new(1, 2, 3, 4, 5);
         write_checkpoint_atomic(&path, &ckpt).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&path),
+            Err(CheckpointError::Corrupt)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_v3_checkpoint_without_hardware_digest_is_invalidated() {
+        // v2 files carry no hardware_digest; the field is required on
+        // deserialize, so legacy checkpoints load as Corrupt and the
+        // run starts fresh instead of silently replaying blocks
+        // composed under an unknown hardware model.
+        struct Raw(Value);
+        impl serde::Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        use serde::Value;
+        let path = temp_path("pre-v3");
+        let ckpt = Checkpoint::new(1, 2, 3, 4, 5);
+        let Value::Map(fields) = serde::Serialize::to_value(&ckpt) else {
+            panic!("checkpoints serialize as maps");
+        };
+        let pruned: Vec<(String, Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "hardware_digest")
+            .map(|(k, v)| {
+                if k == "version" {
+                    (k, Value::U64(2))
+                } else {
+                    (k, v)
+                }
+            })
+            .collect();
+        let body = serde_json::to_string(&Raw(Value::Map(pruned))).unwrap();
+        std::fs::write(&path, body).unwrap();
         assert!(matches!(
             load_checkpoint(&path),
             Err(CheckpointError::Corrupt)
@@ -413,7 +468,7 @@ mod tests {
     #[test]
     fn atomic_write_leaves_no_tmp_behind() {
         let path = temp_path("atomic");
-        write_checkpoint_atomic(&path, &Checkpoint::new(5, 6, 7, 8)).unwrap();
+        write_checkpoint_atomic(&path, &Checkpoint::new(5, 6, 7, 8, 9)).unwrap();
         assert!(path.exists());
         assert!(!path.with_extension("json.tmp").exists());
         let _ = std::fs::remove_file(&path);
@@ -469,7 +524,7 @@ mod tests {
         let token = CancelToken::new();
         let writer = CheckpointWriter::new(
             path.clone(),
-            Checkpoint::new(1, 2, 4, 0),
+            Checkpoint::new(1, 2, 4, 0, 0),
             false,
             Some(2),
             token.clone(),
@@ -488,7 +543,7 @@ mod tests {
         let path = temp_path("writer-cancelled");
         let writer = CheckpointWriter::new(
             path.clone(),
-            Checkpoint::new(1, 2, 4, 0),
+            Checkpoint::new(1, 2, 4, 0, 0),
             false,
             None,
             CancelToken::none(),

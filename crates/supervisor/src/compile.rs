@@ -89,20 +89,34 @@ impl Pass for CheckpointedComposePass {
         let fingerprint = checkpoint_fingerprint(blocked.source());
         let num_blocks = blocked.num_blocks();
         let config_hash = composition_config_hash(&cfg);
+        let hardware_digest = ctx.config().hardware.digest();
         // A checkpoint binds to (source circuit, composition seed,
-        // block count, composition-config hash); anything else is
-        // someone else's run and must not be spliced in. Corrupt or
-        // missing files degrade to a fresh start — resume is an
-        // optimization, never a correctness requirement.
+        // block count, composition-config hash, hardware digest);
+        // anything else is someone else's run and must not be spliced
+        // in. Corrupt or missing files degrade to a fresh start —
+        // resume is an optimization, never a correctness requirement.
         let (initial, prior) = match load_checkpoint(&self.path) {
             Ok(ckpt)
-                if self.resume && ckpt.matches(fingerprint, cfg.seed, num_blocks, config_hash) =>
+                if self.resume
+                    && ckpt.matches(
+                        fingerprint,
+                        cfg.seed,
+                        num_blocks,
+                        config_hash,
+                        hardware_digest,
+                    ) =>
             {
                 let prior = ckpt.to_prior();
                 (ckpt, prior)
             }
             _ => (
-                Checkpoint::new(fingerprint, cfg.seed, num_blocks, config_hash),
+                Checkpoint::new(
+                    fingerprint,
+                    cfg.seed,
+                    num_blocks,
+                    config_hash,
+                    hardware_digest,
+                ),
                 Vec::new(),
             ),
         };
@@ -270,7 +284,7 @@ mod tests {
         // different composition ε. The checkpoint's blocks were
         // accepted under the old ε, so splicing them in would bypass
         // the new acceptance rule; the resume must start fresh.
-        let mut skewed_cfg = cfg;
+        let mut skewed_cfg = cfg.clone();
         skewed_cfg.composition.epsilon = cfg.composition.epsilon / 10.0;
         let mut resumed = SupervisedCompileOptions::new(Technique::Geyser);
         resumed.cancel = CancelToken::new();
@@ -296,6 +310,38 @@ mod tests {
         resumed.resume = true;
         let compiled = run_supervised_compile(&program(), &cfg, &resumed).unwrap();
         assert!(compiled.composition_stats().unwrap().blocks_resumed >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_from_different_hardware_spec_is_rejected() {
+        let path = temp_ckpt("hardware-skew");
+        let _ = std::fs::remove_file(&path);
+        let cfg = PipelineConfig::fast();
+
+        // Run 1: compiled for the paper machine, killed mid-composition.
+        let mut killed = SupervisedCompileOptions::new(Technique::Geyser);
+        killed.faults = geyser::FaultInjector::parse("kill-after-block:1").unwrap();
+        killed.cancel = CancelToken::new();
+        killed.checkpoint = Some(path.clone());
+        run_supervised_compile(&program(), &cfg, &killed).unwrap_err();
+        assert!(load_checkpoint(&path).unwrap().num_recorded() >= 1);
+
+        // Run 2: identical pipeline knobs but a different hardware
+        // scenario. Same circuit, seed, and composition config — only
+        // the spec digest differs, and that alone must force a fresh
+        // start.
+        let skewed_cfg = cfg.clone().with_hardware(geyser::HardwareSpec::near_term());
+        let mut resumed = SupervisedCompileOptions::new(Technique::Geyser);
+        resumed.cancel = CancelToken::new();
+        resumed.checkpoint = Some(path.clone());
+        resumed.resume = true;
+        let compiled = run_supervised_compile(&program(), &skewed_cfg, &resumed).unwrap();
+        let stats = compiled.composition_stats().unwrap();
+        assert_eq!(
+            stats.blocks_resumed, 0,
+            "cross-hardware checkpoint must be rejected, not spliced in"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

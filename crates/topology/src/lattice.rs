@@ -58,17 +58,7 @@ impl Lattice {
     ///
     /// Panics if `rows == 0 || cols == 0`.
     pub fn triangular(rows: usize, cols: usize) -> Self {
-        let positions = (0..rows)
-            .flat_map(|r| {
-                (0..cols).map(move |c| {
-                    let x = c as f64 * Self::SPACING
-                        + if r % 2 == 1 { Self::SPACING / 2.0 } else { 0.0 };
-                    let y = r as f64 * Self::SPACING * 3f64.sqrt() / 2.0;
-                    (x, y)
-                })
-            })
-            .collect();
-        Self::from_positions(LatticeKind::Triangular, rows, cols, positions, 1.01)
+        Self::with_geometry(LatticeKind::Triangular, rows, cols, Self::SPACING, 1.01)
     }
 
     /// Builds a square grid with perpendicular adjacency only.
@@ -77,8 +67,7 @@ impl Lattice {
     ///
     /// Panics if `rows == 0 || cols == 0`.
     pub fn square(rows: usize, cols: usize) -> Self {
-        let positions = Self::square_positions(rows, cols);
-        Self::from_positions(LatticeKind::Square, rows, cols, positions, 1.01)
+        Self::with_geometry(LatticeKind::Square, rows, cols, Self::SPACING, 1.01)
     }
 
     /// Builds a square grid whose interaction radius reaches diagonal
@@ -88,14 +77,63 @@ impl Lattice {
     ///
     /// Panics if `rows == 0 || cols == 0`.
     pub fn square_diagonal(rows: usize, cols: usize) -> Self {
-        let positions = Self::square_positions(rows, cols);
-        Self::from_positions(
+        Self::with_geometry(
             LatticeKind::SquareDiagonal,
             rows,
             cols,
-            positions,
+            Self::SPACING,
             std::f64::consts::SQRT_2 * 1.01,
         )
+    }
+
+    /// Builds a lattice of any family with explicit geometry: atom
+    /// `spacing` between grid neighbours and an absolute interaction
+    /// `radius`. The paper's layouts correspond to spacing 1.0 with
+    /// radius `1.01·spacing` (triangular, square) or `√2·1.01·spacing`
+    /// (diagonal square).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows == 0 || cols == 0`, or if `spacing`/`radius`
+    /// are not positive finite numbers.
+    pub fn with_geometry(
+        kind: LatticeKind,
+        rows: usize,
+        cols: usize,
+        spacing: f64,
+        radius: f64,
+    ) -> Self {
+        assert!(
+            spacing.is_finite() && spacing > 0.0,
+            "atom spacing must be positive and finite"
+        );
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "interaction radius must be positive and finite"
+        );
+        let positions = match kind {
+            LatticeKind::Triangular => (0..rows)
+                .flat_map(|r| {
+                    (0..cols).map(move |c| {
+                        let x = c as f64 * spacing + if r % 2 == 1 { spacing / 2.0 } else { 0.0 };
+                        let y = r as f64 * spacing * 3f64.sqrt() / 2.0;
+                        (x, y)
+                    })
+                })
+                .collect(),
+            LatticeKind::Square | LatticeKind::SquareDiagonal => (0..rows)
+                .flat_map(|r| (0..cols).map(move |c| (c as f64 * spacing, r as f64 * spacing)))
+                .collect(),
+        };
+        Self::from_positions(kind, rows, cols, positions, radius)
+    }
+
+    /// Sizes a lattice of any family just large enough to host
+    /// `num_qubits` atoms (the [`Lattice::grid_dims`] policy), built
+    /// with explicit geometry as in [`Lattice::with_geometry`].
+    pub fn sized_for(kind: LatticeKind, num_qubits: usize, spacing: f64, radius: f64) -> Self {
+        let (r, c) = Self::grid_dims(num_qubits);
+        Self::with_geometry(kind, r, c, spacing, radius)
     }
 
     /// Chooses a lattice just large enough to host `num_qubits` atoms,
@@ -111,19 +149,17 @@ impl Lattice {
         Self::square(r, c)
     }
 
-    fn grid_dims(num_qubits: usize) -> (usize, usize) {
+    /// The near-square `(rows, cols)` grid sizing policy used by the
+    /// `*_for` constructors: `cols = ⌈√n⌉`, `rows = ⌈n / cols⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits == 0`.
+    pub fn grid_dims(num_qubits: usize) -> (usize, usize) {
         assert!(num_qubits > 0, "need at least one qubit");
         let c = (num_qubits as f64).sqrt().ceil() as usize;
         let r = num_qubits.div_ceil(c);
         (r.max(1), c.max(1))
-    }
-
-    fn square_positions(rows: usize, cols: usize) -> Vec<(f64, f64)> {
-        (0..rows)
-            .flat_map(|r| {
-                (0..cols).map(move |c| (c as f64 * Self::SPACING, r as f64 * Self::SPACING))
-            })
-            .collect()
     }
 
     fn from_positions(
@@ -490,6 +526,43 @@ mod tests {
             assert!(Lattice::triangular_for(n).num_nodes() >= n);
             assert!(Lattice::square_for(n).num_nodes() >= n);
         }
+    }
+
+    #[test]
+    fn with_geometry_reproduces_paper_constructors_bit_identically() {
+        assert_eq!(
+            Lattice::with_geometry(LatticeKind::Triangular, 4, 5, 1.0, 1.01),
+            Lattice::triangular(4, 5)
+        );
+        assert_eq!(
+            Lattice::with_geometry(LatticeKind::Square, 4, 5, 1.0, 1.01),
+            Lattice::square(4, 5)
+        );
+        assert_eq!(
+            Lattice::with_geometry(
+                LatticeKind::SquareDiagonal,
+                3,
+                3,
+                1.0,
+                std::f64::consts::SQRT_2 * 1.01,
+            ),
+            Lattice::square_diagonal(3, 3)
+        );
+        for n in 1..20 {
+            assert_eq!(
+                Lattice::sized_for(LatticeKind::Triangular, n, 1.0, 1.01),
+                Lattice::triangular_for(n)
+            );
+        }
+    }
+
+    #[test]
+    fn wider_radius_reaches_diagonal_neighbors() {
+        // Radius 1.5 on a plain square grid reaches the √2 diagonal,
+        // so the perpendicular-only family gains triangles.
+        let lat = Lattice::with_geometry(LatticeKind::Square, 3, 3, 1.0, 1.5);
+        assert!(lat.are_adjacent(0, 4));
+        assert!(!lat.triangles().is_empty());
     }
 
     #[test]

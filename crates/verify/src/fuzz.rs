@@ -9,6 +9,8 @@
 //! many cases the run generates.
 
 use geyser_circuit::{Circuit, Gate, Operation};
+use geyser_hardware::HardwareSpec;
+use geyser_topology::LatticeKind;
 use geyser_workloads::suite;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,6 +27,12 @@ pub struct FuzzOptions {
     pub max_qubits: usize,
     /// Upper bound on random-circuit length.
     pub max_ops: usize,
+    /// Attach a mutated [`HardwareSpec`] to every case (lattice kind
+    /// and size, interaction radius, noise rates, parallelism cap),
+    /// so hardware-dependent failures are exercised and reproducible.
+    /// Off by default: circuit generation is unchanged either way —
+    /// the spec is drawn from the case RNG *after* the circuit.
+    pub mutate_hardware: bool,
 }
 
 impl Default for FuzzOptions {
@@ -34,6 +42,7 @@ impl Default for FuzzOptions {
             cases: 16,
             max_qubits: 5,
             max_ops: 24,
+            mutate_hardware: false,
         }
     }
 }
@@ -51,6 +60,10 @@ pub struct FuzzCase {
     pub seed: u64,
     /// The circuit to compile and verify.
     pub circuit: Circuit,
+    /// The hardware scenario to compile for, when
+    /// [`FuzzOptions::mutate_hardware`] is set; `None` means the paper
+    /// machine.
+    pub hardware: Option<HardwareSpec>,
 }
 
 /// splitmix64: the per-case seed derivation. Public so the bench
@@ -86,13 +99,50 @@ pub fn generate_case(opts: &FuzzOptions, index: usize) -> FuzzCase {
         let base = &bases[index / 2 % bases.len()];
         (base.name.to_string(), mutate(&base.build(), &mut rng, opts))
     };
+    // Drawn after the circuit so turning hardware mutation on never
+    // changes which circuits a (seed, index) pair produces.
+    let hardware = opts
+        .mutate_hardware
+        .then(|| mutated_spec(&mut rng, opts, index));
     FuzzCase {
         index,
         id: format!("case-{index:04}-{origin}"),
         origin,
         seed,
         circuit,
+        hardware,
     }
+}
+
+/// A randomized hardware scenario: lattice kind, (sometimes) explicit
+/// dimensions, interaction-radius factor, noise rates, atom loss, and
+/// the parallel-block cap all vary; everything stays inside
+/// [`HardwareSpec::validate`]'s envelope and large enough to host any
+/// circuit the run can generate.
+fn mutated_spec(rng: &mut StdRng, opts: &FuzzOptions, index: usize) -> HardwareSpec {
+    let mut spec = HardwareSpec::paper();
+    spec.name = format!("fuzz-spec-{index:04}");
+    spec.lattice.kind = match rng.gen_range(0..3u32) {
+        0 => LatticeKind::Triangular,
+        1 => LatticeKind::Square,
+        _ => LatticeKind::SquareDiagonal,
+    };
+    // Half the specs pin explicit dimensions (only when they can hold
+    // the largest circuit the run may draw); the rest keep auto-size.
+    let rows = rng.gen_range(3..6usize);
+    let cols = rng.gen_range(3..6usize);
+    if rng.gen_bool(0.5) && rows * cols >= opts.max_qubits {
+        spec.lattice.rows = rows;
+        spec.lattice.cols = cols;
+    }
+    // Never below 1.01: a sub-spacing radius would disconnect the
+    // lattice and make mapping impossible by construction.
+    spec.lattice.radius_factor = rng.gen_range(1.01..1.7);
+    spec.noise.bit_flip = rng.gen_range(0.0..0.01);
+    spec.noise.phase_flip = rng.gen_range(0.0..0.01);
+    spec.atom_loss = rng.gen_range(0.0..0.005);
+    spec.max_parallel_blocks = rng.gen_range(0..5usize);
+    spec
 }
 
 fn random_circuit(rng: &mut StdRng, opts: &FuzzOptions) -> Circuit {
@@ -345,6 +395,58 @@ mod tests {
                     assert!(q < case.circuit.num_qubits());
                 }
             }
+        }
+    }
+
+    #[test]
+    fn hardware_mutation_is_off_by_default_and_deterministic() {
+        let plain = generate_cases(&FuzzOptions {
+            seed: 11,
+            cases: 8,
+            ..FuzzOptions::default()
+        });
+        assert!(plain.iter().all(|c| c.hardware.is_none()));
+        let opts = FuzzOptions {
+            seed: 11,
+            cases: 8,
+            mutate_hardware: true,
+            ..FuzzOptions::default()
+        };
+        let a = generate_cases(&opts);
+        let b = generate_cases(&opts);
+        for ((x, y), p) in a.iter().zip(&b).zip(&plain) {
+            let sx = x.hardware.as_ref().expect("spec attached");
+            let sy = y.hardware.as_ref().expect("spec attached");
+            assert_eq!(sx.digest(), sy.digest(), "{}", x.id);
+            // The spec is drawn after the circuit, so enabling it
+            // must not change which circuit the case carries.
+            assert_eq!(x.circuit.ops(), p.circuit.ops(), "{}", x.id);
+        }
+        let distinct: std::collections::HashSet<u64> = a
+            .iter()
+            .filter_map(|c| c.hardware.as_ref().map(|s| s.digest()))
+            .collect();
+        assert!(distinct.len() > 1, "mutation must actually vary specs");
+    }
+
+    #[test]
+    fn mutated_specs_are_valid_and_host_their_circuits() {
+        let opts = FuzzOptions {
+            seed: 5,
+            cases: 24,
+            mutate_hardware: true,
+            ..FuzzOptions::default()
+        };
+        for case in generate_cases(&opts) {
+            let spec = case.hardware.as_ref().expect("spec attached");
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+            let lattice = spec.build_lattice(case.circuit.num_qubits(), None);
+            assert!(
+                lattice.num_nodes() >= case.circuit.num_qubits(),
+                "{}: lattice too small",
+                case.id
+            );
         }
     }
 

@@ -13,6 +13,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use geyser_circuit::{from_qasm, to_qasm, Circuit};
+use geyser_hardware::HardwareSpec;
 use serde::{Deserialize, Error, Serialize, Value};
 
 /// One quarantined failure: metadata plus the minimized reproducer.
@@ -62,11 +63,17 @@ pub struct QuarantineEntry {
     /// consumed when the entry was filed. `None` for pre-cost-tracking
     /// entries or techniques that never compose.
     pub anneal_evaluations: Option<u64>,
+    /// The full hardware scenario the failure was found on, so replay
+    /// reproduces hardware-dependent failures on the same machine.
+    /// `None` (and for entries filed before hardware fuzzing existed)
+    /// means the paper machine.
+    pub hardware: Option<HardwareSpec>,
 }
 
-// Hand-written so corpora filed before the cost-metadata fields
-// existed still load (the derive rejects missing fields): absent
-// `compile_ms`/`anneal_evaluations` keys deserialize as `None`.
+// Hand-written so corpora filed before the cost-metadata and
+// hardware-spec fields existed still load (the derive rejects missing
+// fields): absent `compile_ms`/`anneal_evaluations`/`hardware` keys
+// deserialize as `None`.
 impl Deserialize for QuarantineEntry {
     fn from_value(value: &Value) -> Result<Self, Error> {
         fn optional<T: Deserialize>(value: &Value, name: &str) -> Result<Option<T>, Error> {
@@ -91,6 +98,7 @@ impl Deserialize for QuarantineEntry {
             qasm: Deserialize::from_value(value.get_field("qasm")?)?,
             compile_ms: optional(value, "compile_ms")?,
             anneal_evaluations: optional(value, "anneal_evaluations")?,
+            hardware: optional(value, "hardware")?,
         })
     }
 }
@@ -182,6 +190,7 @@ mod tests {
             qasm: String::new(),
             compile_ms: Some(12),
             anneal_evaluations: Some(4800),
+            hardware: Some(HardwareSpec::near_term()),
         };
         entry.set_circuit(&circuit);
         entry
@@ -240,6 +249,45 @@ mod tests {
         assert_eq!(loaded.anneal_evaluations, None);
         assert_eq!(loaded.qasm, entry.qasm);
         assert_eq!(loaded.seed, entry.seed);
+    }
+
+    #[test]
+    fn entries_without_hardware_spec_still_load() {
+        // Corpora filed before hardware fuzzing existed carry no
+        // `hardware` key; they must load with `None` (paper machine).
+        struct Raw(Value);
+        impl serde::Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let entry = sample("q-prehw");
+        let Value::Map(fields) = serde::Serialize::to_value(&entry) else {
+            panic!("entries serialize as maps");
+        };
+        let pruned: Vec<(String, Value)> = fields
+            .into_iter()
+            .filter(|(k, _)| k != "hardware")
+            .collect();
+        let body = serde_json::to_string(&Raw(Value::Map(pruned))).unwrap();
+        let loaded: QuarantineEntry = serde_json::from_str(&body).unwrap();
+        assert_eq!(loaded.hardware, None);
+        assert_eq!(loaded.seed, entry.seed);
+    }
+
+    #[test]
+    fn recorded_hardware_spec_roundtrips_with_its_digest() {
+        let dir = temp_dir("hardware");
+        let entry = sample("q-hw");
+        write_entry(&dir, &entry).unwrap();
+        let loaded = load_entries(&dir).unwrap();
+        let spec = loaded[0].hardware.as_ref().expect("spec recorded");
+        assert_eq!(
+            spec.digest(),
+            HardwareSpec::near_term().digest(),
+            "replay must see the exact machine the failure was found on"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -70,6 +70,57 @@ fn geyser_preserves_multiplier_output_within_budget() {
 }
 
 #[test]
+fn explicit_paper_spec_is_bit_identical_to_the_default_pipeline() {
+    // The refactor's core promise: threading HardwareSpec::paper()
+    // through every layer reproduces the historical hard-coded
+    // behavior exactly — same ops, pulses, and depth per technique.
+    let program = adder_with_inputs(5, 2, 3);
+    let implicit = PipelineConfig::fast();
+    let explicit = PipelineConfig::fast().with_hardware(geyser::HardwareSpec::paper());
+    for t in [
+        Technique::Baseline,
+        Technique::OptiMap,
+        Technique::Geyser,
+        Technique::Superconducting,
+    ] {
+        let a = compile(&program, t, &implicit);
+        let b = compile(&program, t, &explicit);
+        assert_eq!(
+            a.mapped().circuit().ops(),
+            b.mapped().circuit().ops(),
+            "{t}: explicit paper spec diverged from the default"
+        );
+        assert_eq!(a.total_pulses(), b.total_pulses(), "{t}");
+        assert_eq!(a.depth_pulses(), b.depth_pulses(), "{t}");
+    }
+}
+
+#[test]
+fn non_default_specs_still_compile_equivalent_circuits() {
+    // Scenario files change the machine, not the math: compilation on
+    // a square-diagonal lattice or the noisy near-term preset must
+    // still preserve program semantics for the exact techniques.
+    let program = qft_with_input(4, 0b1011);
+    for spec in [
+        geyser::HardwareSpec::square_diagonal(),
+        geyser::HardwareSpec::near_term(),
+    ] {
+        let cfg = PipelineConfig::fast().with_hardware(spec.clone());
+        for t in [Technique::Baseline, Technique::OptiMap] {
+            let compiled = compile(&program, t, &cfg);
+            let want = ideal_distribution(&program);
+            let got = ideal_logical_distribution(&compiled);
+            let tvd = total_variation_distance(&want, &got);
+            assert!(
+                tvd <= 1e-9,
+                "{t} on '{}' corrupted the program: TVD = {tvd:.3e}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
 fn adder_still_adds_after_geyser_compilation() {
     // Functional check: the most probable output of the compiled
     // noiseless circuit is the correct sum.

@@ -65,3 +65,63 @@ fn observables_roundtrip() {
     let back: Observable = roundtrip(&obs);
     assert_eq!(back, obs);
 }
+
+#[test]
+fn hardware_specs_roundtrip_preserving_digests() {
+    for spec in [
+        geyser::HardwareSpec::paper(),
+        geyser::HardwareSpec::square_diagonal(),
+        geyser::HardwareSpec::near_term(),
+    ] {
+        let back: geyser::HardwareSpec = roundtrip(&spec);
+        assert_eq!(back, spec);
+        assert_eq!(back.digest(), spec.digest());
+    }
+}
+
+#[test]
+fn golden_hardware_spec_json_stays_parseable() {
+    // A scenario file as shipped in examples/hardware/. This literal
+    // is the on-disk contract: it must keep parsing to the paper
+    // machine (same pinned digest) across releases, or every saved
+    // spec file in the wild silently changes meaning.
+    let golden = r#"{
+        "name": "paper",
+        "lattice": {
+            "kind": "Triangular",
+            "rows": 0,
+            "cols": 0,
+            "spacing": 1.0,
+            "radius_factor": 1.01
+        },
+        "max_parallel_blocks": 0,
+        "noise": {
+            "bit_flip": 0.001,
+            "phase_flip": 0.001,
+            "granularity": "PerPulse"
+        },
+        "atom_loss": 0.0
+    }"#;
+    let spec = geyser::HardwareSpec::from_json(golden).expect("golden spec parses");
+    assert_eq!(spec, geyser::HardwareSpec::paper());
+    assert_eq!(spec.digest(), 0x7925_376e_27ff_4848);
+    assert!(spec.is_paper());
+    // And the emitter round-trips its own output.
+    let re: geyser::HardwareSpec =
+        geyser::HardwareSpec::from_json(&spec.to_json_pretty()).expect("emitted JSON parses");
+    assert_eq!(re.digest(), spec.digest());
+}
+
+#[test]
+fn shipped_example_scenarios_load_and_validate() {
+    // The scenario files under examples/hardware/ are user-facing
+    // documentation; they must keep loading as the schema evolves.
+    let near = geyser::HardwareSpec::load(std::path::Path::new("examples/hardware/near-term.json"))
+        .expect("near-term example loads");
+    assert_eq!(near.digest(), geyser::HardwareSpec::near_term().digest());
+    let wide =
+        geyser::HardwareSpec::load(std::path::Path::new("examples/hardware/wide-square.json"))
+            .expect("wide-square example loads");
+    assert!(!wide.is_paper());
+    assert_ne!(wide.digest(), near.digest());
+}

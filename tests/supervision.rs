@@ -330,6 +330,59 @@ fn killed_sweep_resumes_bit_identical_through_the_supervisor() {
 }
 
 #[test]
+fn checkpoint_from_a_different_hardware_spec_restores_nothing() {
+    // A checkpoint written while compiling for one machine must never
+    // splice its blocks into a compilation for another: the binding
+    // carries the HardwareSpec digest, so a cross-spec resume degrades
+    // to a fresh start (and still finishes cleanly).
+    let path = temp_ckpt("cross-spec");
+    let _ = std::fs::remove_file(&path);
+
+    // Killed sweep under the paper machine leaves a partial checkpoint.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let mut killed = job("cross-spec", Technique::Geyser, "kill-after-block:1");
+    killed.program = blocky();
+    killed.checkpoint = Some(path.clone());
+    supervisor.submit(killed).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Cancelled);
+    assert!(path.exists(), "partial checkpoint survives the kill");
+
+    // Resume the same workload compiled for a different machine.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        ..SupervisorConfig::default()
+    });
+    let mut resumed = JobSpec::new(
+        "cross-spec",
+        Technique::Geyser,
+        blocky(),
+        fast().with_hardware(geyser::HardwareSpec::near_term()),
+    );
+    resumed.checkpoint = Some(path.clone());
+    resumed.resume = true;
+    supervisor.submit(resumed).unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Done);
+    let stats = results[0]
+        .compiled
+        .as_ref()
+        .unwrap()
+        .report()
+        .and_then(|r| r.supervision.as_ref())
+        .unwrap();
+    assert_eq!(
+        stats.blocks_resumed, 0,
+        "foreign-machine checkpoints must be rejected wholesale"
+    );
+    assert!(!stats.resumed_from_checkpoint);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn corrupt_checkpoint_degrades_to_a_fresh_start() {
     let path = temp_ckpt("corrupt");
     std::fs::write(&path, "definitely-not-json{{{").unwrap();
