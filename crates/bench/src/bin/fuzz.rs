@@ -19,7 +19,7 @@
 //! 2 = usage error.
 
 use geyser::{FaultInjector, PassManager, PipelineConfig, Technique, Telemetry, VerificationStats};
-use geyser_bench::Cli;
+use geyser_bench::{exit_codes, Cli};
 use geyser_circuit::Circuit;
 use geyser_verify::{
     generate_cases, minimize, quarantine::write_entry, FuzzCase, FuzzOptions, QuarantineEntry,
@@ -127,7 +127,7 @@ fn main() {
     );
     if failures > 0 {
         println!("reproducers quarantined under {}/", qdir.display());
-        std::process::exit(1);
+        std::process::exit(exit_codes::FAILURES);
     }
 }
 
@@ -203,7 +203,7 @@ fn quarantine_failure(
         ),
         Err(e) => {
             eprintln!("error: cannot write quarantine entry {}: {e}", entry.id);
-            std::process::exit(2);
+            std::process::exit(exit_codes::USAGE);
         }
     }
 }

@@ -1,0 +1,283 @@
+//! `fsck` for the on-disk stores: scans a store directory, verifies
+//! every record's frame (length prefix + FNV checksum) and payload
+//! schema, quarantines anything corrupt to a `.corrupt-<digest>`
+//! sidecar, and reports what it found.
+//!
+//! Usage: `repair [--store DIR] [--prune] [--json PATH]`
+//!
+//! * `--store DIR` — directory to scan (default `.geyser-cache`, the
+//!   shared home of the bench results cache and composition
+//!   checkpoints).
+//! * `--prune` — additionally delete reclaimable debris: quarantine
+//!   sidecars, stale `.tmp` files from interrupted writes, and cache
+//!   entries whose schema version is stale (guaranteed misses).
+//! * `--json PATH` — write the scan report as JSON.
+//!
+//! Classification mirrors the loaders exactly: `ckpt-*` files go
+//! through the checkpoint loader, everything else `.json` through the
+//! cache frame + schema check, so `repair` can never disagree with
+//! the pipeline about what is loadable. Corrupt files are moved
+//! aside with the same structured warning (path + digest) and
+//! `store_corrupt_total` accounting the runtime uses.
+//!
+//! Exits 0 when every surviving file is healthy or safely
+//! quarantined, [`exit_codes::FAILURES`] when a corrupt file could
+//! not be moved aside (it would still poison the next run), and
+//! [`exit_codes::USAGE`] on bad arguments.
+
+use std::path::{Path, PathBuf};
+
+use geyser::store::{is_corrupt_sidecar, quarantine_corrupt, read_record_file, StoreReadError};
+use geyser::Telemetry;
+use geyser_bench::{classify_cache_payload, exit_codes, report_json, CachePayloadStatus};
+use geyser_supervisor::{load_checkpoint_quarantining, CheckpointError};
+use serde::Serialize;
+
+/// What the scan decided about one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+enum FileStatus {
+    /// Frame and payload verified.
+    Healthy,
+    /// Parses, but its schema version guarantees a cache miss.
+    StaleVersion,
+    /// A `.corrupt-<digest>` sidecar from an earlier quarantine.
+    Sidecar,
+    /// A stray `.tmp` from an interrupted atomic write.
+    StaleTmp,
+    /// Corrupt and moved aside by this scan.
+    Quarantined,
+    /// Corrupt but the quarantine rename failed; still in place.
+    QuarantineFailed,
+    /// Unreadable (permissions, vanished mid-scan).
+    Unreadable,
+    /// Not a store file; left alone.
+    Unknown,
+}
+
+impl FileStatus {
+    fn label(self) -> &'static str {
+        match self {
+            FileStatus::Healthy => "healthy",
+            FileStatus::StaleVersion => "stale-version",
+            FileStatus::Sidecar => "sidecar",
+            FileStatus::StaleTmp => "stale-tmp",
+            FileStatus::Quarantined => "quarantined",
+            FileStatus::QuarantineFailed => "quarantine-failed",
+            FileStatus::Unreadable => "unreadable",
+            FileStatus::Unknown => "unknown",
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct FileReport {
+    path: String,
+    status: FileStatus,
+    /// Whether `--prune` deleted the file.
+    pruned: bool,
+}
+
+#[derive(Serialize)]
+struct RepairReport {
+    store: String,
+    scanned: usize,
+    healthy: usize,
+    quarantined: usize,
+    quarantine_failed: usize,
+    pruned: usize,
+    /// Final `store_corrupt_total` counter value for this scan.
+    store_corrupt_total: u64,
+    files: Vec<FileReport>,
+}
+
+struct Args {
+    store: PathBuf,
+    prune: bool,
+    json: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repair [--store DIR] [--prune] [--json PATH]");
+    std::process::exit(exit_codes::USAGE);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        store: PathBuf::from(".geyser-cache"),
+        prune: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--store" => match it.next() {
+                Some(dir) => args.store = PathBuf::from(dir),
+                None => usage(),
+            },
+            "--prune" => args.prune = true,
+            "--json" => match it.next() {
+                Some(path) => args.json = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag '{other}'");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+/// Classifies one store file, quarantining corruption exactly like
+/// the pipeline's own loaders would.
+fn scan_file(path: &Path, telemetry: &Telemetry) -> FileStatus {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if is_corrupt_sidecar(path) {
+        return FileStatus::Sidecar;
+    }
+    if name.ends_with(".tmp") {
+        return FileStatus::StaleTmp;
+    }
+    if !name.ends_with(".json") {
+        return FileStatus::Unknown;
+    }
+    if name.starts_with("ckpt-") {
+        // Composition checkpoint: the loader verifies the frame,
+        // parses the JSON, checks the schema version, and quarantines
+        // on any corruption.
+        return match load_checkpoint_quarantining(path, telemetry) {
+            Ok(_) => FileStatus::Healthy,
+            Err(CheckpointError::Corrupt { .. }) => {
+                if path.exists() {
+                    FileStatus::QuarantineFailed
+                } else {
+                    FileStatus::Quarantined
+                }
+            }
+            Err(CheckpointError::Io(_)) => FileStatus::Unreadable,
+        };
+    }
+    // Results-cache entry: frame first, then the cache schema.
+    match read_record_file(path) {
+        Ok(payload) => match classify_cache_payload(payload.text()) {
+            CachePayloadStatus::Current => FileStatus::Healthy,
+            CachePayloadStatus::StaleVersion => FileStatus::StaleVersion,
+            CachePayloadStatus::Malformed => {
+                let bytes = std::fs::read(path).unwrap_or_default();
+                quarantine_corrupt(
+                    path,
+                    &bytes,
+                    "cache JSON does not parse",
+                    "cache",
+                    telemetry,
+                );
+                if path.exists() {
+                    FileStatus::QuarantineFailed
+                } else {
+                    FileStatus::Quarantined
+                }
+            }
+        },
+        Err(StoreReadError::Corrupt(_)) => {
+            let bytes = std::fs::read(path).unwrap_or_default();
+            quarantine_corrupt(path, &bytes, "record frame corrupt", "cache", telemetry);
+            if path.exists() {
+                FileStatus::QuarantineFailed
+            } else {
+                FileStatus::Quarantined
+            }
+        }
+        Err(StoreReadError::Io(_)) => FileStatus::Unreadable,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let telemetry = Telemetry::enabled();
+
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&args.store) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_file())
+            .collect(),
+        Err(e) => {
+            eprintln!("error: cannot scan {}: {e}", args.store.display());
+            std::process::exit(exit_codes::USAGE);
+        }
+    };
+    paths.sort();
+
+    let mut files = Vec::new();
+    for path in &paths {
+        let status = scan_file(path, &telemetry);
+        // Debris is only reclaimed on request: sidecars are evidence,
+        // stale .tmp files are harmless, stale-version entries are
+        // merely guaranteed misses.
+        let reclaimable = matches!(
+            status,
+            FileStatus::Sidecar | FileStatus::StaleTmp | FileStatus::StaleVersion
+        );
+        let pruned = args.prune && reclaimable && std::fs::remove_file(path).is_ok();
+        // Quarantine renames the file, so report the original name.
+        let rel = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        println!(
+            "{rel}: {}{}",
+            status.label(),
+            if pruned { " (pruned)" } else { "" }
+        );
+        files.push(FileReport {
+            path: rel,
+            status,
+            pruned,
+        });
+    }
+
+    let report = RepairReport {
+        store: args.store.display().to_string(),
+        scanned: files.len(),
+        healthy: files
+            .iter()
+            .filter(|f| f.status == FileStatus::Healthy)
+            .count(),
+        quarantined: files
+            .iter()
+            .filter(|f| f.status == FileStatus::Quarantined)
+            .count(),
+        quarantine_failed: files
+            .iter()
+            .filter(|f| f.status == FileStatus::QuarantineFailed)
+            .count(),
+        pruned: files.iter().filter(|f| f.pruned).count(),
+        store_corrupt_total: telemetry
+            .counter_value(geyser::store::STORE_CORRUPT_COUNTER)
+            .unwrap_or(0),
+        files,
+    };
+    println!(
+        "repair: {} — {} file(s), {} healthy, {} quarantined, {} pruned",
+        report.store, report.scanned, report.healthy, report.quarantined, report.pruned
+    );
+
+    if let Some(path) = &args.json {
+        std::fs::write(path, report_json(&report)).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(exit_codes::FAILURES);
+        });
+        println!("(wrote {})", path.display());
+    }
+
+    if report.quarantine_failed > 0 {
+        eprintln!(
+            "error: {} corrupt file(s) could not be quarantined and remain in place",
+            report.quarantine_failed
+        );
+        std::process::exit(exit_codes::FAILURES);
+    }
+}

@@ -17,7 +17,7 @@
 //! usage error.
 
 use geyser::{FaultInjector, PassManager, PipelineConfig, Technique, Telemetry};
-use geyser_bench::Cli;
+use geyser_bench::{exit_codes, Cli};
 use geyser_verify::{load_entries, QuarantineEntry, VerifyConfig};
 
 /// What replaying the reproducer cost this time, for comparison
@@ -146,7 +146,7 @@ fn main() {
         Ok(entries) => entries,
         Err(e) => {
             eprintln!("error: quarantine corpus {}/: {e}", dir.display());
-            std::process::exit(2);
+            std::process::exit(exit_codes::USAGE);
         }
     };
     if entries.is_empty() {
@@ -163,7 +163,7 @@ fn main() {
             Ok(outcome) => outcome,
             Err(e) => {
                 eprintln!("error: entry {}: {e}", entry.id);
-                std::process::exit(2);
+                std::process::exit(exit_codes::USAGE);
             }
         };
         let expected_failure = entry.inject.is_some();
@@ -217,6 +217,6 @@ fn main() {
         if entries.len() == 1 { "y" } else { "ies" }
     );
     if regressions > 0 {
-        std::process::exit(1);
+        std::process::exit(exit_codes::FAILURES);
     }
 }

@@ -9,27 +9,28 @@
 //! Exits 0 on success, 1 on a malformed or too-narrow trace, 2 on
 //! usage errors.
 
+use geyser_bench::exit_codes;
 use geyser_telemetry::validate_chrome_trace;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let path = args.next().unwrap_or_else(|| {
         eprintln!("usage: trace_check <trace.json> [min_categories]");
-        std::process::exit(2);
+        std::process::exit(exit_codes::USAGE);
     });
     let min_categories: usize = args
         .next()
         .map(|s| {
             s.parse().unwrap_or_else(|_| {
                 eprintln!("error: min_categories must be an integer, got '{s}'");
-                std::process::exit(2);
+                std::process::exit(exit_codes::USAGE);
             })
         })
         .unwrap_or(1);
 
     let body = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(exit_codes::FAILURES);
     });
     match validate_chrome_trace(&body) {
         Ok(summary) => {
@@ -46,12 +47,12 @@ fn main() {
                     summary.categories.len(),
                     summary.categories.join(", ")
                 );
-                std::process::exit(1);
+                std::process::exit(exit_codes::FAILURES);
             }
         }
         Err(e) => {
             eprintln!("error: {path}: {e}");
-            std::process::exit(1);
+            std::process::exit(exit_codes::FAILURES);
         }
     }
 }

@@ -9,6 +9,9 @@
 
 use std::path::PathBuf;
 
+use geyser::store::{
+    quarantine_corrupt, read_record_file_quarantining, write_record_atomic, StoreReadError,
+};
 use geyser::{
     compile, CompileReport, CompiledCircuit, PipelineConfig, Technique, Telemetry,
     VerificationStats,
@@ -65,6 +68,28 @@ struct CachedCompile {
     /// deterministic for a given seed and the seed is part of the
     /// cache key, so a stored verdict can be replayed verbatim.
     verification: Option<VerificationStats>,
+}
+
+/// How a frame-valid cache payload classifies for the `repair`
+/// scanner, which cannot see the private [`CachedCompile`] schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CachePayloadStatus {
+    /// Parses and carries the current schema version.
+    Current,
+    /// Parses but was written by an older schema — a guaranteed cache
+    /// miss that `repair --prune` may reclaim.
+    StaleVersion,
+    /// Frame verified but the payload is not a cache entry at all.
+    Malformed,
+}
+
+/// Classifies a frame-valid payload against the cache entry schema.
+pub fn classify_cache_payload(payload: &str) -> CachePayloadStatus {
+    match serde_json::from_str::<CachedCompile>(payload) {
+        Ok(entry) if entry.version == CACHE_VERSION => CachePayloadStatus::Current,
+        Ok(_) => CachePayloadStatus::StaleVersion,
+        Err(_) => CachePayloadStatus::Malformed,
+    }
 }
 
 /// FNV-1a fingerprint of a circuit's debug form — changes whenever the
@@ -273,23 +298,41 @@ pub fn compile_cached_verified_traced(
 ) -> (CompiledCircuit, Option<VerificationStats>) {
     let fp = fingerprint(program);
     let path = cache_path(name, technique, cfg_tag, fp);
-    if let Ok(body) = std::fs::read_to_string(&path) {
-        if let Ok(cached) = serde_json::from_str::<CachedCompile>(&body) {
-            let stored = cached.verification.clone();
-            if let Some(compiled) = from_cached(cached, technique, cfg.hardware.digest()) {
-                telemetry.counter_add("bench.cache_hits", 1);
-                let stats = match (verify, stored) {
-                    (None, stored) => stored,
-                    (Some(_), Some(stats)) => Some(stats),
-                    (Some(vc), None) => {
-                        let stats = geyser::verify_compiled(program, &compiled, vc);
-                        store(&path, &compiled, Some(stats.clone()), cfg);
-                        Some(stats)
-                    }
-                };
-                return (compiled, stats);
+    // Frame corruption (torn write, bit rot) is quarantined to a
+    // `.corrupt-<digest>` sidecar with a structured warning and a
+    // `store_corrupt_total` bump inside the record reader; a framed
+    // payload that then fails the schema is quarantined here. Both
+    // degrade to a miss, but never silently.
+    match read_record_file_quarantining(&path, "cache", telemetry) {
+        Ok(payload) => match serde_json::from_str::<CachedCompile>(payload.text()) {
+            Ok(cached) => {
+                let stored = cached.verification.clone();
+                if let Some(compiled) = from_cached(cached, technique, cfg.hardware.digest()) {
+                    telemetry.counter_add("bench.cache_hits", 1);
+                    let stats = match (verify, stored) {
+                        (None, stored) => stored,
+                        (Some(_), Some(stats)) => Some(stats),
+                        (Some(vc), None) => {
+                            let stats = geyser::verify_compiled(program, &compiled, vc);
+                            store(&path, &compiled, Some(stats.clone()), cfg);
+                            Some(stats)
+                        }
+                    };
+                    return (compiled, stats);
+                }
             }
-        }
+            Err(_) => {
+                let bytes = std::fs::read(&path).unwrap_or_default();
+                quarantine_corrupt(
+                    &path,
+                    &bytes,
+                    "cache entry JSON does not parse",
+                    "cache",
+                    telemetry,
+                );
+            }
+        },
+        Err(StoreReadError::Io(_)) | Err(StoreReadError::Corrupt(_)) => {}
     }
     telemetry.counter_add("bench.cache_misses", 1);
     let compiled = compile(program, technique, cfg);
@@ -299,7 +342,7 @@ pub fn compile_cached_verified_traced(
 }
 
 fn store(
-    path: &PathBuf,
+    path: &std::path::Path,
     compiled: &CompiledCircuit,
     verification: Option<VerificationStats>,
     cfg: &PipelineConfig,
@@ -310,15 +353,13 @@ fn store(
     }
 }
 
-/// Crash-safe cache write: the body lands in a `.tmp` sibling first
-/// and is renamed into place, so a kill mid-write leaves either the
-/// old entry or no entry — never a truncated JSON file that would
-/// poison later runs.
-fn write_atomic(path: &PathBuf, body: &str) {
-    let tmp = path.with_extension("json.tmp");
-    if std::fs::write(&tmp, body).is_ok() {
-        let _ = std::fs::rename(&tmp, path);
-    }
+/// Crash-safe cache write: the body is framed with a length prefix and
+/// FNV checksum (see [`geyser::store`]), lands in a `.tmp` sibling
+/// first, and is renamed into place — a kill mid-write leaves either
+/// the old entry or no entry, and a torn file fails the frame check on
+/// load instead of poisoning later runs.
+fn write_atomic(path: &std::path::Path, body: &str) {
+    let _ = write_record_atomic(path, body);
 }
 
 #[cfg(test)]
@@ -436,11 +477,68 @@ mod tests {
         let path = dir.join("entry.json");
         std::fs::write(&path, "old").unwrap();
         write_atomic(&path, "new");
-        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        let decoded = geyser::store::read_record_file(&path).unwrap();
+        assert!(decoded.is_framed(), "cache entries are framed records");
+        assert_eq!(decoded.text(), "new");
         assert!(
             !path.with_extension("json.tmp").exists(),
             "temp file must be renamed away"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_cache_entry_is_quarantined_and_recompiled() {
+        let _cwd = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("geyser-cache-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let telemetry = Telemetry::enabled();
+        let (first, _) = compile_cached_verified_traced(
+            "t",
+            &program,
+            Technique::OptiMap,
+            &cfg,
+            "torn",
+            None,
+            &telemetry,
+        );
+        let path = cache_path("t", Technique::OptiMap, "torn", fingerprint(&program));
+        // Tear the committed entry the way a mid-write kill would.
+        let body = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+
+        let (second, _) = compile_cached_verified_traced(
+            "t",
+            &program,
+            Technique::OptiMap,
+            &cfg,
+            "torn",
+            None,
+            &telemetry,
+        );
+        assert_eq!(first.total_pulses(), second.total_pulses());
+        assert_eq!(
+            telemetry.counter_value(geyser::store::STORE_CORRUPT_COUNTER),
+            Some(1),
+            "corruption must be observable, not a silent miss"
+        );
+        assert_eq!(telemetry.counter_value("bench.cache_misses"), Some(2));
+        let sidecars: Vec<_> = std::fs::read_dir(".geyser-cache")
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| geyser::store::is_corrupt_sidecar(&e.path()))
+            .collect();
+        assert_eq!(sidecars.len(), 1, "torn entry must be quarantined aside");
+        // The recompile rewrote a healthy framed entry in place.
+        assert!(geyser::store::read_record_file(&path).is_ok());
+
+        std::env::set_current_dir(old).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

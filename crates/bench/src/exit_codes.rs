@@ -1,0 +1,52 @@
+//! Process exit codes shared by every bench binary.
+//!
+//! The harness grew its exit-status conventions one binary at a time;
+//! this module is the single authority so sweep scripts and CI can
+//! branch on numbers that mean the same thing everywhere:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | [`FAILURES`] | run completed but found failures (fuzz counterexamples, replay regressions, trace-check defects) |
+//! | [`USAGE`] | malformed invocation: unknown flag, bad `--inject` spec, unloadable `--hardware`/`--specs` file |
+//! | [`CANCELLED_RESUMABLE`] | a job was cancelled mid-run but left a resumable checkpoint; rerun with `--resume` |
+//! | [`VERIFICATION_FAILED`] | a compiled circuit failed the equivalence oracle under `--verify` |
+//! | [`CHAOS_INVARIANT`] | a chaos campaign caught the runtime breaking a global invariant |
+
+/// The run completed but found failures (fuzz counterexamples, replay
+/// regressions, trace defects).
+pub const FAILURES: i32 = 1;
+
+/// Malformed invocation: unknown flag, bad fault spec, unloadable
+/// hardware scenario.
+pub const USAGE: i32 = 2;
+
+/// A job was cancelled but its checkpoint survived; rerun with
+/// `--resume` to continue bit-identically.
+pub const CANCELLED_RESUMABLE: i32 = 3;
+
+/// A compiled circuit failed the equivalence oracle under `--verify`.
+pub const VERIFICATION_FAILED: i32 = 4;
+
+/// A chaos campaign caught a violated runtime invariant (see
+/// `geyser_verify::invariants`).
+pub const CHAOS_INVARIANT: i32 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let codes = [
+            FAILURES,
+            USAGE,
+            CANCELLED_RESUMABLE,
+            VERIFICATION_FAILED,
+            CHAOS_INVARIANT,
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            assert_eq!(*a, i as i32 + 1, "codes are consecutive from 1");
+        }
+    }
+}

@@ -58,23 +58,37 @@
 //! * `--specs a,b,c` — hardware-scenario grid for the `sweep` binary:
 //!   each element is a builtin preset name (`paper`,
 //!   `square-diagonal`, `near-term`) or a path to a spec JSON file
+//! * `--campaigns N` — campaign count for the `chaos` binary
+//!   (default 8)
+//! * `--watchdog-ms N` — arm the supervisor's hung-worker watchdog:
+//!   workers whose heartbeat goes stale for `N` ms are preempted and
+//!   the attempt is retyped as a retryable `WorkerHung` error;
+//!   implies the supervised runtime
+//!
+//! Exit codes are unified in [`exit_codes`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cache;
+pub mod exit_codes;
 pub mod timing;
 
 use std::collections::BTreeMap;
 
-pub use cache::{compile_cached, compile_cached_verified, compile_cached_verified_traced};
+pub use cache::{
+    classify_cache_payload, compile_cached, compile_cached_verified,
+    compile_cached_verified_traced, CachePayloadStatus,
+};
 use geyser::{
     CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, HardwareSpec, MetricsSnapshot,
     PassManager, PipelineConfig, Technique, Telemetry, VerificationStats,
 };
 use geyser_circuit::Circuit;
 use geyser_sim::NoiseModel;
-use geyser_supervisor::{JobSpec, JobState, RetryPolicy, Supervisor, SupervisorConfig};
+use geyser_supervisor::{
+    JobSpec, JobState, RetryPolicy, Supervisor, SupervisorConfig, WatchdogConfig,
+};
 use geyser_verify::VerifyConfig;
 use geyser_workloads::{heisenberg, suite, WorkloadSpec};
 use serde::Serialize;
@@ -130,6 +144,14 @@ pub struct Cli {
     /// Hardware-scenario grid for the `sweep` binary (`--specs`):
     /// builtin preset names or spec-JSON paths.
     pub specs: Vec<String>,
+    /// Campaign count for the `chaos` binary (`--campaigns`).
+    pub campaigns: usize,
+    /// Hung-worker watchdog timeout in milliseconds (`--watchdog-ms`);
+    /// enables the supervisor's heartbeat watchdog, which preempts
+    /// workers whose heartbeat goes stale and retypes the preemption
+    /// as a retryable `WorkerHung` error. Implies the supervised
+    /// runtime.
+    pub watchdog_ms: Option<u64>,
     /// The run's telemetry handle: disabled by default, enabled by
     /// [`Cli::parse`] when `--trace` or `--report` is given. Cloning
     /// shares the same buffers, so spans recorded anywhere in the
@@ -162,6 +184,8 @@ impl Default for Cli {
             hardware: None,
             noise_explicit: false,
             specs: Vec::new(),
+            campaigns: 8,
+            watchdog_ms: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -241,9 +265,13 @@ impl Cli {
                         Ok(spec) => cli.hardware = Some(spec),
                         Err(e) => {
                             eprintln!("error: --hardware: {e}");
-                            std::process::exit(2);
+                            std::process::exit(exit_codes::USAGE);
                         }
                     }
+                }
+                "--campaigns" => cli.campaigns = value("--campaigns").parse().expect("integer"),
+                "--watchdog-ms" => {
+                    cli.watchdog_ms = Some(value("--watchdog-ms").parse().expect("integer"))
                 }
                 "--specs" => {
                     cli.specs = value("--specs")
@@ -252,7 +280,10 @@ impl Cli {
                         .filter(|s| !s.is_empty())
                         .collect();
                 }
-                other => panic!("unknown flag {other}; see crate docs for usage"),
+                other => {
+                    eprintln!("error: unknown flag '{other}'; see crate docs for usage");
+                    std::process::exit(exit_codes::USAGE);
+                }
             }
         }
         if cli.trace.is_some() || cli.report.is_some() {
@@ -317,7 +348,11 @@ impl Cli {
     /// runtime instead of the plain in-process path. `--trace` implies
     /// supervision so the job-lifecycle spans land in the trace.
     pub fn supervised(&self) -> bool {
-        self.jobs > 1 || self.max_retries > 0 || self.resume || self.trace.is_some()
+        self.jobs > 1
+            || self.max_retries > 0
+            || self.resume
+            || self.trace.is_some()
+            || self.watchdog_ms.is_some()
     }
 
     /// The techniques a binary should compile: the explicit
@@ -407,7 +442,7 @@ impl Cli {
                          (paper, square-diagonal, near-term) nor a loadable \
                          spec file: {e}"
                     );
-                    std::process::exit(2);
+                    std::process::exit(exit_codes::USAGE);
                 }),
             })
             .collect()
@@ -424,7 +459,7 @@ fn exit_bad_inject(err: &FaultSpecError) -> ! {
          compose-corrupt:0, compose-timeout, sim-nan:3,\n  \
          kill-after-block:2, checkpoint-corrupt, miscompile:0"
     );
-    std::process::exit(2);
+    std::process::exit(exit_codes::USAGE);
 }
 
 /// One (workload × technique) measurement row.
@@ -533,7 +568,7 @@ pub fn compile_techniques(
 }
 
 /// Prints the oracle's verdict on an inequivalent compilation and
-/// exits with status 4 (2 = usage error, 3 = cancelled-but-resumable).
+/// exits with [`exit_codes::VERIFICATION_FAILED`].
 fn exit_verification_failure(name: &str, technique: Technique, stats: &VerificationStats) -> ! {
     eprintln!(
         "error: '{name}' ({}) failed equivalence verification: \
@@ -543,7 +578,7 @@ fn exit_verification_failure(name: &str, technique: Technique, stats: &Verificat
         stats.worst_fidelity,
         stats.tolerance
     );
-    std::process::exit(4);
+    std::process::exit(exit_codes::VERIFICATION_FAILED);
 }
 
 /// Where one job's crash-safe composition checkpoint lives. The
@@ -582,6 +617,10 @@ fn compile_supervised(
                 seed: cli.seed,
                 ..RetryPolicy::with_retries(cli.max_retries)
             },
+            watchdog: cli.watchdog_ms.map(|ms| WatchdogConfig {
+                hang_timeout_ms: ms,
+                ..WatchdogConfig::default()
+            }),
             ..SupervisorConfig::default()
         },
         cli.telemetry.clone(),
@@ -615,7 +654,7 @@ fn compile_supervised(
                         t.label(),
                         result.attempts
                     );
-                    std::process::exit(3);
+                    std::process::exit(exit_codes::CANCELLED_RESUMABLE);
                 }
                 state => panic!(
                     "job '{name}' ({}) ended {state:?}: {}",
@@ -879,6 +918,10 @@ mod tests {
             },
             Cli {
                 resume: true,
+                ..Cli::default()
+            },
+            Cli {
+                watchdog_ms: Some(400),
                 ..Cli::default()
             },
         ] {

@@ -68,6 +68,18 @@ pub enum CompileError {
         /// inside).
         pass: String,
     },
+    /// The supervisor's watchdog preempted the attempt because the
+    /// worker stopped heartbeating: the pipeline was stuck inside a
+    /// pass past the hang timeout. Unlike [`CompileError::Cancelled`]
+    /// this is an involuntary stop and is retryable — a fresh attempt
+    /// (with transient hang faults stripped) can plausibly succeed.
+    WorkerHung {
+        /// The pass the worker was stuck in when preempted.
+        pass: String,
+        /// How long the heartbeat had been stale when the watchdog
+        /// fired, in milliseconds.
+        stalled_ms: u64,
+    },
     /// Simulation failed a numerical health check during evaluation.
     Sim(SimError),
     /// The equivalence oracle rejected the compiled circuit: its
@@ -108,6 +120,7 @@ impl CompileError {
         match self {
             CompileError::PassPanicked { .. }
             | CompileError::BudgetExceeded { .. }
+            | CompileError::WorkerHung { .. }
             | CompileError::Sim(_) => ErrorClass::Retryable,
             CompileError::Cancelled { .. } => ErrorClass::Cancelled,
             CompileError::EmptyProgram
@@ -159,6 +172,11 @@ impl fmt::Display for CompileError {
             CompileError::Cancelled { pass } => {
                 write!(f, "compilation cancelled at pass '{pass}'")
             }
+            CompileError::WorkerHung { pass, stalled_ms } => write!(
+                f,
+                "worker hung in pass '{pass}' (no heartbeat for {stalled_ms} ms); \
+                 preempted by watchdog"
+            ),
             CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
             CompileError::VerificationFailed { method, detail } => {
                 write!(f, "equivalence verification ({method}) failed: {detail}")
@@ -236,6 +254,14 @@ mod tests {
         );
         assert_eq!(
             CompileError::BudgetExceeded { pass: "map".into() }.class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            CompileError::WorkerHung {
+                pass: "compose".into(),
+                stalled_ms: 250
+            }
+            .class(),
             ErrorClass::Retryable
         );
         assert_eq!(CompileError::EmptyProgram.class(), ErrorClass::Fatal);

@@ -149,6 +149,48 @@ impl FaultInjector {
         }
     }
 
+    /// Renders the plan back into `--inject` syntax, the inverse of
+    /// [`FaultInjector::parse`]. Chaos campaigns use this to report
+    /// exactly which fault composition each campaign ran, in a form
+    /// that can be replayed verbatim with `--inject`.
+    pub fn spec(&self) -> String {
+        let mut tokens: Vec<String> = Vec::new();
+        for p in &self.panic_passes {
+            tokens.push(format!("pass-panic:{p}"));
+        }
+        for p in &self.transient_panic_passes {
+            tokens.push(format!("pass-panic-once:{p}"));
+        }
+        for p in &self.hung_passes {
+            tokens.push(format!("hang-pass:{p}"));
+        }
+        if let Some(i) = self.kill_after_block {
+            tokens.push(format!("kill-after-block:{i}"));
+        }
+        if self.corrupt_checkpoint {
+            tokens.push("checkpoint-corrupt".to_string());
+        }
+        if self.force_compose_timeout {
+            tokens.push("compose-timeout".to_string());
+        }
+        for g in &self.miscompile_gates {
+            tokens.push(format!("miscompile:{g}"));
+        }
+        for b in &self.compose.corrupt_blocks {
+            tokens.push(format!("compose-corrupt:{b}"));
+        }
+        for b in &self.compose.panic_blocks {
+            tokens.push(format!("compose-panic:{b}"));
+        }
+        for t in &self.sim.nan_trajectories {
+            tokens.push(format!("sim-nan:{t}"));
+        }
+        for t in &self.sim.persistent_nan_trajectories {
+            tokens.push(format!("sim-nan-persistent:{t}"));
+        }
+        tokens.join(",")
+    }
+
     /// Parses a comma-separated fault spec, the `--inject` syntax of
     /// the bench binaries:
     ///
@@ -305,6 +347,18 @@ mod tests {
         assert_eq!(e.to_string(), "unknown fault kind 'explode'");
         let e = FaultInjector::parse("hang-pass").unwrap_err();
         assert_eq!(e.to_string(), "fault 'hang-pass' needs :<pass-name>");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_parse() {
+        let spec = "pass-panic:map,pass-panic-once:compose,hang-pass:block,\
+                    kill-after-block:2,checkpoint-corrupt,compose-timeout,\
+                    miscompile:5,compose-corrupt:1,compose-panic:2,sim-nan:3,\
+                    sim-nan-persistent:4";
+        let plan = FaultInjector::parse(spec).unwrap();
+        assert_eq!(plan.spec(), spec);
+        assert_eq!(FaultInjector::parse(&plan.spec()).unwrap(), plan);
+        assert_eq!(FaultInjector::none().spec(), "");
     }
 
     #[test]

@@ -46,6 +46,7 @@ mod fault;
 mod pass;
 pub mod passes;
 mod report;
+pub mod store;
 mod technique;
 mod verify;
 
@@ -60,6 +61,10 @@ pub use evaluate::{
 pub use fault::{FaultInjector, FaultSpecError};
 pub use pass::{CompileContext, Pass, PassManager};
 pub use report::{CompileReport, PassReport, SupervisionStats, VerificationStats};
+pub use store::{
+    decode_record, encode_record, read_record_file, read_record_file_quarantining,
+    write_record_atomic, RecordError, RecordPayload, StoreCorruption, StoreReadError,
+};
 pub use technique::{compile, try_compile, Technique};
 pub use verify::{verification_allowance, verification_stats, verify_compiled};
 

@@ -59,6 +59,9 @@ pub struct SupervisionStats {
     pub blocks_resumed: u64,
     /// Whether the run started from a crash-safe checkpoint at all.
     pub resumed_from_checkpoint: bool,
+    /// Attempts the watchdog preempted because the worker's heartbeat
+    /// went stale (each surfaces as a retryable `WorkerHung`).
+    pub hang_preemptions: u64,
 }
 
 /// What the equivalence oracle measured for one compiled circuit.
@@ -276,6 +279,7 @@ mod tests {
             breaker_state: "closed".into(),
             blocks_resumed: 4,
             resumed_from_checkpoint: true,
+            hang_preemptions: 1,
         });
         let json = r.to_json();
         assert!(json.contains("\"supervision\""));
@@ -285,5 +289,6 @@ mod tests {
         let s = back.supervision.unwrap();
         assert_eq!(s.retries, 2);
         assert!(s.resumed_from_checkpoint);
+        assert_eq!(s.hang_preemptions, 1);
     }
 }

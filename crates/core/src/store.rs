@@ -1,0 +1,481 @@
+//! Crash-tolerant on-disk record framing shared by every persistent
+//! store (the bench compile cache and the supervisor's composition
+//! checkpoints).
+//!
+//! Atomic temp-file + rename writes protect against a crash *between*
+//! writes, but say nothing about a file that was torn by a mid-write
+//! kill on a non-atomic filesystem, hit by a stray partial copy, or
+//! bit-flipped at rest. This module frames every record with an ASCII
+//! header carrying the payload length and an FNV-1a checksum:
+//!
+//! ```text
+//! GEYSREC1 <length:016x> <fnv1a:016x>\n<payload bytes>
+//! ```
+//!
+//! Loading verifies the frame before any JSON parsing happens, so a
+//! torn or corrupted file surfaces as a typed [`RecordError`] — never
+//! a panic, and never a silently replayed half-record. Corrupt files
+//! are **quarantined** in place: renamed to a
+//! `<name>.corrupt-<digest>` sidecar (the digest is the FNV-1a hash
+//! of the corrupt bytes, so repeated corruption of the same content
+//! dedupes), a structured warning is logged, and the
+//! `store_corrupt_total` telemetry counter is bumped so corruption is
+//! observable instead of degrading into an unexplained cache miss.
+//!
+//! Files written before this framing existed (plain JSON, no header)
+//! decode as [`RecordPayload::Legacy`]; callers parse them as before
+//! so an upgrade never invalidates a healthy store, and the next
+//! write rewrites the file framed.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use geyser_telemetry::Telemetry;
+
+/// Magic prefix of a framed record file.
+pub const RECORD_MAGIC: &str = "GEYSREC1";
+
+/// Telemetry counter bumped once per corrupt store file detected.
+pub const STORE_CORRUPT_COUNTER: &str = "store_corrupt_total";
+
+/// Header layout: magic + space + 16 hex length + space + 16 hex
+/// checksum + newline.
+const HEADER_LEN: usize = RECORD_MAGIC.len() + 1 + 16 + 1 + 16 + 1;
+
+/// FNV-1a over raw bytes — the same scheme the cache and checkpoint
+/// fingerprints use, applied to file contents.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Why a framed record failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The payload length disagrees with the header — the classic
+    /// signature of a write torn by a crash.
+    Torn {
+        /// Bytes the header promised.
+        expected: usize,
+        /// Bytes actually present after the header.
+        actual: usize,
+    },
+    /// The payload checksum disagrees with the header — bit rot or
+    /// in-place tampering of a complete-looking file.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        actual: u64,
+    },
+    /// The header parses but the payload is not valid UTF-8.
+    BadPayload,
+    /// The header itself is malformed (magic present but the length
+    /// or checksum fields are not hex) — a torn header.
+    BadHeader,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Torn { expected, actual } => {
+                write!(
+                    f,
+                    "torn record: header promises {expected} payload bytes, file has {actual}"
+                )
+            }
+            RecordError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: header {expected:016x}, payload {actual:016x}"
+            ),
+            RecordError::BadPayload => f.write_str("payload is not valid UTF-8"),
+            RecordError::BadHeader => f.write_str("torn or malformed record header"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// A successfully decoded record file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordPayload {
+    /// A framed record whose length and checksum both verified.
+    Framed(String),
+    /// A pre-framing file (no magic): returned verbatim for the
+    /// caller to parse, preserving stores written by older versions.
+    Legacy(String),
+}
+
+impl RecordPayload {
+    /// The payload text regardless of framing.
+    pub fn text(&self) -> &str {
+        match self {
+            RecordPayload::Framed(s) | RecordPayload::Legacy(s) => s,
+        }
+    }
+
+    /// Whether the payload came from a verified frame.
+    pub fn is_framed(&self) -> bool {
+        matches!(self, RecordPayload::Framed(_))
+    }
+}
+
+/// Frames a payload for storage.
+pub fn encode_record(payload: &str) -> String {
+    format!(
+        "{RECORD_MAGIC} {:016x} {:016x}\n{payload}",
+        payload.len(),
+        fnv1a_bytes(payload.as_bytes())
+    )
+}
+
+/// Decodes a record file's bytes, verifying length and checksum.
+///
+/// Bytes that do not start with [`RECORD_MAGIC`] are treated as a
+/// legacy (pre-framing) file and returned verbatim when they are
+/// UTF-8; the caller decides whether they parse.
+pub fn decode_record(bytes: &[u8]) -> Result<RecordPayload, RecordError> {
+    if !bytes.starts_with(RECORD_MAGIC.as_bytes()) {
+        return match String::from_utf8(bytes.to_vec()) {
+            Ok(text) => Ok(RecordPayload::Legacy(text)),
+            Err(_) => Err(RecordError::BadPayload),
+        };
+    }
+    if bytes.len() < HEADER_LEN || bytes[HEADER_LEN - 1] != b'\n' {
+        return Err(RecordError::BadHeader);
+    }
+    let header =
+        std::str::from_utf8(&bytes[..HEADER_LEN - 1]).map_err(|_| RecordError::BadHeader)?;
+    let mut fields = header.split(' ');
+    let _magic = fields.next();
+    let expected_len = fields
+        .next()
+        .and_then(|s| usize::from_str_radix(s, 16).ok())
+        .ok_or(RecordError::BadHeader)?;
+    let expected_sum = fields
+        .next()
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or(RecordError::BadHeader)?;
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != expected_len {
+        return Err(RecordError::Torn {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    let actual_sum = fnv1a_bytes(payload);
+    if actual_sum != expected_sum {
+        return Err(RecordError::ChecksumMismatch {
+            expected: expected_sum,
+            actual: actual_sum,
+        });
+    }
+    String::from_utf8(payload.to_vec())
+        .map(RecordPayload::Framed)
+        .map_err(|_| RecordError::BadPayload)
+}
+
+/// Why a record file could not be loaded.
+#[derive(Debug)]
+pub enum StoreReadError {
+    /// The file could not be read at all (missing counts here).
+    Io(std::io::Error),
+    /// The file was read but its frame or payload is corrupt.
+    Corrupt(StoreCorruption),
+}
+
+impl std::fmt::Display for StoreReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreReadError::Io(e) => write!(f, "store file unreadable: {e}"),
+            StoreReadError::Corrupt(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreReadError {}
+
+/// A typed description of one corrupt store file, including where the
+/// bytes were quarantined (when quarantine succeeded).
+#[derive(Debug, Clone)]
+pub struct StoreCorruption {
+    /// The store file that failed to load.
+    pub path: PathBuf,
+    /// FNV-1a digest of the corrupt bytes (the sidecar suffix).
+    pub digest: u64,
+    /// What exactly was wrong (torn, checksum, unparseable, ...).
+    pub reason: String,
+    /// The `<name>.corrupt-<digest>` sidecar the file was renamed to,
+    /// or `None` when quarantine was skipped or the rename failed.
+    pub quarantined: Option<PathBuf>,
+}
+
+impl std::fmt::Display for StoreCorruption {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "store file corrupt: path={} digest={:016x} reason={}",
+            self.path.display(),
+            self.digest,
+            self.reason
+        )?;
+        match &self.quarantined {
+            Some(q) => write!(f, " quarantined={}", q.display()),
+            None => write!(f, " quarantined=no"),
+        }
+    }
+}
+
+/// The sidecar path a corrupt file is renamed to:
+/// `<file-name>.corrupt-<digest:016x>` next to the original.
+pub fn corrupt_sidecar_path(path: &Path, digest: u64) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "store".to_string());
+    path.with_file_name(format!("{name}.corrupt-{digest:016x}"))
+}
+
+/// Whether a file name marks an already-quarantined sidecar.
+pub fn is_corrupt_sidecar(path: &Path) -> bool {
+    path.file_name()
+        .map(|n| n.to_string_lossy().contains(".corrupt-"))
+        .unwrap_or(false)
+}
+
+/// Quarantines a corrupt store file: renames it to its
+/// [`corrupt_sidecar_path`], logs a structured warning naming the
+/// path and digest, and bumps [`STORE_CORRUPT_COUNTER`]. Returns the
+/// typed corruption record; the original path no longer exists on
+/// success, so the next write starts clean.
+///
+/// Quarantine must never fail the caller: a failed rename (e.g. a
+/// read-only filesystem) leaves the file in place and is reported in
+/// the returned record.
+pub fn quarantine_corrupt(
+    path: &Path,
+    bytes: &[u8],
+    reason: &str,
+    label: &str,
+    telemetry: &Telemetry,
+) -> StoreCorruption {
+    let digest = fnv1a_bytes(bytes);
+    let sidecar = corrupt_sidecar_path(path, digest);
+    let quarantined = std::fs::rename(path, &sidecar).is_ok().then_some(sidecar);
+    telemetry.counter_add(STORE_CORRUPT_COUNTER, 1);
+    let corruption = StoreCorruption {
+        path: path.to_path_buf(),
+        digest,
+        reason: reason.to_string(),
+        quarantined,
+    };
+    eprintln!("warning: {label} {corruption}");
+    corruption
+}
+
+/// Writes a framed record crash-safely: encode, write `<path>.tmp`,
+/// atomically rename over `path`. A kill mid-write leaves the
+/// previous record intact; a kill between write and rename leaves a
+/// stray `.tmp` the next write overwrites.
+pub fn write_record_atomic(path: &Path, payload: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, encode_record(payload))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads and decodes a record file **without** quarantining — for
+/// scanners (`repair`, the chaos store audit) that must observe
+/// corruption in place.
+pub fn read_record_file(path: &Path) -> Result<RecordPayload, StoreReadError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(StoreReadError::Io)?;
+    decode_record(&bytes).map_err(|e| {
+        StoreReadError::Corrupt(StoreCorruption {
+            path: path.to_path_buf(),
+            digest: fnv1a_bytes(&bytes),
+            reason: e.to_string(),
+            quarantined: None,
+        })
+    })
+}
+
+/// Reads and decodes a record file, quarantining it on frame
+/// corruption. `label` names the store kind in the warning line
+/// (`cache` / `checkpoint`). Frame-valid payloads that later fail
+/// JSON parsing should be handed back to [`quarantine_corrupt`] by
+/// the caller — only the caller knows the schema.
+pub fn read_record_file_quarantining(
+    path: &Path,
+    label: &str,
+    telemetry: &Telemetry,
+) -> Result<RecordPayload, StoreReadError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(StoreReadError::Io)?;
+    match decode_record(&bytes) {
+        Ok(payload) => Ok(payload),
+        Err(e) => Err(StoreReadError::Corrupt(quarantine_corrupt(
+            path,
+            &bytes,
+            &e.to_string(),
+            label,
+            telemetry,
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "geyser-store-test-{}-{tag}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let body = r#"{"answer": 42}"#;
+        let framed = encode_record(body);
+        assert!(framed.starts_with(RECORD_MAGIC));
+        assert_eq!(
+            decode_record(framed.as_bytes()).unwrap(),
+            RecordPayload::Framed(body.to_string())
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_in_the_payload_is_torn() {
+        let framed = encode_record(&"x".repeat(256));
+        for keep in [
+            HEADER_LEN,
+            HEADER_LEN + 1,
+            framed.len() - 100,
+            framed.len() - 1,
+        ] {
+            assert!(
+                matches!(
+                    decode_record(&framed.as_bytes()[..keep]),
+                    Err(RecordError::Torn { .. })
+                ),
+                "truncation to {keep} bytes must read as torn"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_inside_the_header_is_bad_header() {
+        let framed = encode_record("payload");
+        assert_eq!(
+            decode_record(&framed.as_bytes()[..HEADER_LEN - 5]),
+            Err(RecordError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn bit_flip_is_a_checksum_mismatch() {
+        let framed = encode_record(r#"{"blocks": [1, 2, 3]}"#);
+        let mut bytes = framed.into_bytes();
+        let flip_at = HEADER_LEN + 5;
+        bytes[flip_at] ^= 0x01;
+        assert!(matches!(
+            decode_record(&bytes),
+            Err(RecordError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn appended_garbage_is_torn_not_silently_accepted() {
+        let mut framed = encode_record("payload");
+        framed.push_str("tail");
+        assert!(matches!(
+            decode_record(framed.as_bytes()),
+            Err(RecordError::Torn { .. })
+        ));
+    }
+
+    #[test]
+    fn unframed_files_pass_through_as_legacy() {
+        let decoded = decode_record(br#"{"version": 3}"#).unwrap();
+        assert!(!decoded.is_framed());
+        assert_eq!(decoded.text(), r#"{"version": 3}"#);
+    }
+
+    #[test]
+    fn write_and_read_roundtrip_through_disk() {
+        let path = temp_path("roundtrip");
+        write_record_atomic(&path, "body").unwrap();
+        assert!(!path.with_extension("json.tmp").exists());
+        let back = read_record_file(&path).unwrap();
+        assert_eq!(back, RecordPayload::Framed("body".to_string()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_not_corrupt() {
+        assert!(matches!(
+            read_record_file(&temp_path("never-written")),
+            Err(StoreReadError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn quarantine_renames_warns_and_counts() {
+        let path = temp_path("quarantine");
+        std::fs::write(&path, "garbage").unwrap();
+        let telemetry = Telemetry::enabled();
+        let corruption = quarantine_corrupt(&path, b"garbage", "torn", "test", &telemetry);
+        assert!(!path.exists(), "corrupt file must be renamed away");
+        let sidecar = corruption.quarantined.expect("rename succeeds");
+        assert!(sidecar.exists());
+        assert!(sidecar
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .contains(".corrupt-"));
+        assert_eq!(corruption.digest, fnv1a_bytes(b"garbage"));
+        assert_eq!(telemetry.counter_value(STORE_CORRUPT_COUNTER), Some(1));
+        let _ = std::fs::remove_file(&sidecar);
+    }
+
+    #[test]
+    fn quarantining_reader_files_torn_records_as_sidecars() {
+        let path = temp_path("reader-quarantine");
+        write_record_atomic(&path, &"y".repeat(64)).unwrap();
+        let body = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        let telemetry = Telemetry::enabled();
+        let err = read_record_file_quarantining(&path, "test", &telemetry).unwrap_err();
+        let StoreReadError::Corrupt(c) = err else {
+            panic!("torn file must be Corrupt");
+        };
+        assert!(!path.exists());
+        assert!(c.reason.contains("torn"));
+        assert_eq!(telemetry.counter_value(STORE_CORRUPT_COUNTER), Some(1));
+        let _ = std::fs::remove_file(c.quarantined.unwrap());
+    }
+
+    #[test]
+    fn sidecar_names_are_recognized() {
+        let sidecar = corrupt_sidecar_path(Path::new("/tmp/entry.json"), 0xabcd);
+        assert!(is_corrupt_sidecar(&sidecar));
+        assert!(!is_corrupt_sidecar(Path::new("/tmp/entry.json")));
+        assert!(sidecar
+            .to_string_lossy()
+            .ends_with(".corrupt-000000000000abcd"));
+    }
+}

@@ -14,12 +14,15 @@
 //! circuit's source and the composition seed; a stale or corrupt file
 //! is detected at load time and the run starts fresh.
 
-use std::io::Read;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use geyser::CancelToken;
+use geyser::store::{
+    fnv1a_bytes, quarantine_corrupt, read_record_file, read_record_file_quarantining,
+    write_record_atomic, StoreReadError,
+};
+use geyser::{CancelToken, Telemetry};
 use geyser_circuit::Circuit;
 use geyser_compose::{
     BlockObserver, BlockOutcome, CompositionConfig, CompositionResult, FallbackReason,
@@ -191,16 +194,26 @@ impl Checkpoint {
 pub enum CheckpointError {
     /// The file could not be read (missing counts here too).
     Io(std::io::Error),
-    /// The file was read but is not a valid checkpoint — truncated by
-    /// a crash, injected corruption, or version skew.
-    Corrupt,
+    /// The file was read but is not a valid checkpoint — torn by a
+    /// crash, checksum-corrupted, injected corruption, or version
+    /// skew.
+    Corrupt {
+        /// FNV-1a digest of the corrupt bytes (matches the quarantine
+        /// sidecar suffix).
+        digest: u64,
+        /// What exactly was wrong (torn, checksum mismatch, JSON does
+        /// not parse, ...).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::Io(e) => write!(f, "checkpoint unreadable: {e}"),
-            CheckpointError::Corrupt => f.write_str("checkpoint corrupt or truncated"),
+            CheckpointError::Corrupt { digest, reason } => {
+                write!(f, "checkpoint corrupt (digest {digest:016x}): {reason}")
+            }
         }
     }
 }
@@ -236,31 +249,72 @@ fn fnv1a(text: &str) -> u64 {
     h
 }
 
-/// Writes the checkpoint crash-safely: serialize to `<path>.tmp`,
-/// then atomically rename over `path`. A crash mid-write leaves the
-/// previous checkpoint intact; a crash between write and rename
-/// leaves a stray `.tmp` that the next write simply overwrites.
+/// Writes the checkpoint crash-safely as a framed record (length
+/// prefix + FNV checksum, see [`geyser::store`]): serialize to
+/// `<path>.tmp`, then atomically rename over `path`. A crash
+/// mid-write leaves the previous checkpoint intact; a crash between
+/// write and rename leaves a stray `.tmp` that the next write simply
+/// overwrites; a torn rename target fails the frame check on load.
 pub fn write_checkpoint_atomic(path: &Path, checkpoint: &Checkpoint) -> std::io::Result<()> {
     let body = serde_json::to_string(checkpoint)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            std::fs::create_dir_all(parent)?;
-        }
-    }
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, body)?;
-    std::fs::rename(&tmp, path)
+    write_record_atomic(path, &body)
+}
+
+fn parse_checkpoint(payload: &str) -> Result<Checkpoint, CheckpointError> {
+    serde_json::from_str(payload).map_err(|_| CheckpointError::Corrupt {
+        digest: fnv1a_bytes(payload.as_bytes()),
+        reason: "checkpoint JSON does not parse or has version skew".to_string(),
+    })
 }
 
 /// Loads a checkpoint, distinguishing unreadable files from corrupt
-/// ones.
+/// ones; the frame's length and checksum are verified before any JSON
+/// parsing. Unframed (pre-framing) files still parse as legacy JSON.
+/// The file is left in place — see [`load_checkpoint_quarantining`]
+/// for the variant the supervised pipeline uses.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, CheckpointError> {
-    let mut body = String::new();
-    std::fs::File::open(path)
-        .and_then(|mut f| f.read_to_string(&mut body))
-        .map_err(CheckpointError::Io)?;
-    serde_json::from_str(&body).map_err(|_| CheckpointError::Corrupt)
+    match read_record_file(path) {
+        Ok(payload) => parse_checkpoint(payload.text()),
+        Err(StoreReadError::Io(e)) => Err(CheckpointError::Io(e)),
+        Err(StoreReadError::Corrupt(c)) => Err(CheckpointError::Corrupt {
+            digest: c.digest,
+            reason: c.reason,
+        }),
+    }
+}
+
+/// Loads a checkpoint like [`load_checkpoint`], but quarantines a
+/// corrupt file to a `.corrupt-<digest>` sidecar (logging a structured
+/// warning and bumping the `store_corrupt_total` counter) so the next
+/// write starts clean and corruption is observable, never a silent
+/// fresh start.
+pub fn load_checkpoint_quarantining(
+    path: &Path,
+    telemetry: &Telemetry,
+) -> Result<Checkpoint, CheckpointError> {
+    match read_record_file_quarantining(path, "checkpoint", telemetry) {
+        Ok(payload) => match parse_checkpoint(payload.text()) {
+            Ok(ckpt) => Ok(ckpt),
+            Err(CheckpointError::Corrupt { reason, .. }) => {
+                // The frame verified (or the file predates framing) but
+                // the payload is not a checkpoint: quarantine the file
+                // bytes as-is.
+                let bytes = std::fs::read(path).unwrap_or_default();
+                let c = quarantine_corrupt(path, &bytes, &reason, "checkpoint", telemetry);
+                Err(CheckpointError::Corrupt {
+                    digest: c.digest,
+                    reason: c.reason,
+                })
+            }
+            Err(e) => Err(e),
+        },
+        Err(StoreReadError::Io(e)) => Err(CheckpointError::Io(e)),
+        Err(StoreReadError::Corrupt(c)) => Err(CheckpointError::Corrupt {
+            digest: c.digest,
+            reason: c.reason,
+        }),
+    }
 }
 
 /// The live checkpoint writer: a [`BlockObserver`] that persists the
@@ -276,6 +330,9 @@ pub(crate) struct CheckpointWriter {
     kill_after: Option<usize>,
     cancel: CancelToken,
     fresh: AtomicUsize,
+    /// Beaten after every block so a long composition stays visibly
+    /// alive to the watchdog.
+    heartbeat: Option<crate::watchdog::Heartbeat>,
 }
 
 impl CheckpointWriter {
@@ -285,6 +342,7 @@ impl CheckpointWriter {
         corrupt: bool,
         kill_after: Option<usize>,
         cancel: CancelToken,
+        heartbeat: Option<crate::watchdog::Heartbeat>,
     ) -> Self {
         CheckpointWriter {
             path,
@@ -293,12 +351,16 @@ impl CheckpointWriter {
             kill_after,
             cancel,
             fresh: AtomicUsize::new(0),
+            heartbeat,
         }
     }
 }
 
 impl BlockObserver for CheckpointWriter {
     fn block_finished(&self, index: usize, result: &CompositionResult) {
+        if let Some(hb) = &self.heartbeat {
+            hb.beat("compose");
+        }
         // A cancelled fallback is not a completed block; persisting it
         // would make the resume skip real work.
         if matches!(
@@ -411,11 +473,54 @@ mod tests {
         write_checkpoint_atomic(&path, &ckpt).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &body[..body.len() / 2]).unwrap();
-        assert!(matches!(
-            load_checkpoint(&path),
-            Err(CheckpointError::Corrupt)
-        ));
+        let err = load_checkpoint(&path).unwrap_err();
+        let CheckpointError::Corrupt { reason, .. } = err else {
+            panic!("truncated checkpoint must load as Corrupt");
+        };
+        assert!(reason.contains("torn"), "reason was: {reason}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flipped_file_loads_as_checksum_corrupt() {
+        let path = temp_path("bit-flip");
+        write_checkpoint_atomic(&path, &Checkpoint::new(1, 2, 3, 4, 5)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        let err = load_checkpoint(&path).unwrap_err();
+        let CheckpointError::Corrupt { reason, .. } = err else {
+            panic!("bit-flipped checkpoint must load as Corrupt");
+        };
+        assert!(reason.contains("checksum"), "reason was: {reason}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn quarantining_load_moves_corrupt_file_aside() {
+        let path = temp_path("quarantine");
+        write_checkpoint_atomic(&path, &Checkpoint::new(1, 2, 3, 4, 5)).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &body[..body.len() / 2]).unwrap();
+        let telemetry = geyser::Telemetry::enabled();
+        let err = load_checkpoint_quarantining(&path, &telemetry).unwrap_err();
+        let CheckpointError::Corrupt { digest, .. } = err else {
+            panic!("torn checkpoint must be Corrupt");
+        };
+        assert!(!path.exists(), "corrupt checkpoint must be quarantined");
+        let sidecar = geyser::store::corrupt_sidecar_path(&path, digest);
+        assert!(sidecar.exists(), "sidecar must hold the corrupt bytes");
+        assert_eq!(
+            telemetry.counter_value(geyser::store::STORE_CORRUPT_COUNTER),
+            Some(1)
+        );
+        // The store is clean again: the next load is a plain miss.
+        assert!(matches!(
+            load_checkpoint_quarantining(&path, &telemetry),
+            Err(CheckpointError::Io(_))
+        ));
+        let _ = std::fs::remove_file(&sidecar);
     }
 
     #[test]
@@ -451,7 +556,7 @@ mod tests {
         std::fs::write(&path, body).unwrap();
         assert!(matches!(
             load_checkpoint(&path),
-            Err(CheckpointError::Corrupt)
+            Err(CheckpointError::Corrupt { .. })
         ));
         let _ = std::fs::remove_file(&path);
     }
@@ -528,6 +633,7 @@ mod tests {
             false,
             Some(2),
             token.clone(),
+            None,
         );
         writer.block_finished(0, &sample_result(true));
         assert!(!token.is_cancelled(), "kill fires after 2 blocks, not 1");
@@ -547,6 +653,7 @@ mod tests {
             false,
             None,
             CancelToken::none(),
+            None,
         );
         let mut res = sample_result(false);
         res.outcome = BlockOutcome::FellBack {

@@ -11,8 +11,10 @@ use geyser_circuit::Circuit;
 use geyser_compose::try_compose_blocked_circuit_supervised;
 
 use crate::checkpoint::{
-    checkpoint_fingerprint, composition_config_hash, load_checkpoint, Checkpoint, CheckpointWriter,
+    checkpoint_fingerprint, composition_config_hash, load_checkpoint_quarantining, Checkpoint,
+    CheckpointWriter,
 };
+use crate::watchdog::Heartbeat;
 
 /// How one supervised attempt should run.
 #[derive(Debug, Clone)]
@@ -31,6 +33,10 @@ pub struct SupervisedCompileOptions {
     /// Telemetry handle threaded through the pass manager (disabled by
     /// default; observational only).
     pub telemetry: Telemetry,
+    /// Liveness beacon for the watchdog: beaten at every pass boundary
+    /// and after every composed block. `None` when the attempt is not
+    /// under watch.
+    pub heartbeat: Option<Heartbeat>,
 }
 
 impl SupervisedCompileOptions {
@@ -43,7 +49,30 @@ impl SupervisedCompileOptions {
             checkpoint: None,
             resume: false,
             telemetry: Telemetry::disabled(),
+            heartbeat: None,
         }
+    }
+}
+
+/// Decorates a pass with heartbeat reporting: beats on entry and exit
+/// under the inner pass's name, so the watchdog sees staleness only
+/// when a pass is genuinely stuck *inside* its body (injected hangs
+/// trigger before entry, which is exactly a stuck worker).
+struct HeartbeatPass {
+    inner: Box<dyn Pass>,
+    heartbeat: Heartbeat,
+}
+
+impl Pass for HeartbeatPass {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn run(&self, ctx: &mut CompileContext<'_>) -> Result<(), CompileError> {
+        self.heartbeat.beat(self.inner.name());
+        let result = self.inner.run(ctx);
+        self.heartbeat.beat(self.inner.name());
+        result
     }
 }
 
@@ -58,13 +87,25 @@ impl SupervisedCompileOptions {
 pub struct CheckpointedComposePass {
     path: PathBuf,
     resume: bool,
+    heartbeat: Option<Heartbeat>,
 }
 
 impl CheckpointedComposePass {
     /// A checkpointing compose pass writing to (and, if `resume`,
     /// restoring from) `path`.
     pub fn new(path: PathBuf, resume: bool) -> Self {
-        CheckpointedComposePass { path, resume }
+        CheckpointedComposePass {
+            path,
+            resume,
+            heartbeat: None,
+        }
+    }
+
+    /// Beats `heartbeat` after every composed block, keeping a long
+    /// composition visibly alive to the watchdog.
+    pub fn with_heartbeat(mut self, heartbeat: Heartbeat) -> Self {
+        self.heartbeat = Some(heartbeat);
+        self
     }
 }
 
@@ -93,9 +134,10 @@ impl Pass for CheckpointedComposePass {
         // A checkpoint binds to (source circuit, composition seed,
         // block count, composition-config hash, hardware digest);
         // anything else is someone else's run and must not be spliced
-        // in. Corrupt or missing files degrade to a fresh start —
-        // resume is an optimization, never a correctness requirement.
-        let (initial, prior) = match load_checkpoint(&self.path) {
+        // in. Corrupt files are quarantined to a `.corrupt-<digest>`
+        // sidecar and the run starts fresh — resume is an
+        // optimization, never a correctness requirement.
+        let (initial, prior) = match load_checkpoint_quarantining(&self.path, ctx.telemetry()) {
             Ok(ckpt)
                 if self.resume
                     && ckpt.matches(
@@ -126,6 +168,7 @@ impl Pass for CheckpointedComposePass {
             ctx.faults().corrupt_checkpoint,
             ctx.faults().kill_after_block,
             ctx.cancel().clone(),
+            self.heartbeat.clone(),
         );
         let composed = try_compose_blocked_circuit_supervised(
             blocked,
@@ -161,9 +204,20 @@ pub fn run_supervised_compile(
         .into_iter()
         .map(|pass| match (&opts.checkpoint, pass.name()) {
             (Some(path), "compose") => {
-                Box::new(CheckpointedComposePass::new(path.clone(), opts.resume)) as Box<dyn Pass>
+                let mut compose = CheckpointedComposePass::new(path.clone(), opts.resume);
+                if let Some(hb) = &opts.heartbeat {
+                    compose = compose.with_heartbeat(hb.clone());
+                }
+                Box::new(compose) as Box<dyn Pass>
             }
             _ => pass,
+        })
+        .map(|pass| match &opts.heartbeat {
+            Some(hb) => Box::new(HeartbeatPass {
+                inner: pass,
+                heartbeat: hb.clone(),
+            }) as Box<dyn Pass>,
+            None => pass,
         })
         .collect();
     PassManager::new(opts.technique, passes)
@@ -176,6 +230,7 @@ pub fn run_supervised_compile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::checkpoint::load_checkpoint;
 
     fn program() -> Circuit {
         let mut c = Circuit::new(4);

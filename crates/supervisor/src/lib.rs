@@ -48,15 +48,18 @@ mod error;
 mod job;
 mod retry;
 mod supervisor;
+mod watchdog;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{
-    checkpoint_fingerprint, load_checkpoint, write_checkpoint_atomic, Checkpoint, CheckpointError,
+    checkpoint_fingerprint, load_checkpoint, load_checkpoint_quarantining, write_checkpoint_atomic,
+    Checkpoint, CheckpointError,
 };
 pub use compile::{run_supervised_compile, CheckpointedComposePass, SupervisedCompileOptions};
 pub use error::SupervisorError;
 pub use job::{JobHandle, JobResult, JobSpec, JobState};
 pub use retry::RetryPolicy;
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorMetrics};
+pub use watchdog::{Heartbeat, WatchdogConfig};
 
 pub use geyser::{CancelToken, ErrorClass};

@@ -14,6 +14,7 @@ use crate::compile::{run_supervised_compile, SupervisedCompileOptions};
 use crate::error::SupervisorError;
 use crate::job::{JobHandle, JobResult, JobSpec, JobState};
 use crate::retry::RetryPolicy;
+use crate::watchdog::{Heartbeat, Watchdog, WatchdogConfig};
 
 /// Sizing and policy knobs for one [`Supervisor`].
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +28,10 @@ pub struct SupervisorConfig {
     pub retry: RetryPolicy,
     /// Per-workload circuit-breaker thresholds.
     pub breaker: BreakerConfig,
+    /// Hung-worker watchdog; `None` disables heartbeat monitoring and
+    /// attempts run directly under the job's own token (the pre-
+    /// watchdog behavior).
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -36,6 +41,7 @@ impl Default for SupervisorConfig {
             queue_capacity: 64,
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
+            watchdog: None,
         }
     }
 }
@@ -59,6 +65,8 @@ pub struct SupervisorMetrics {
     pub broken: u64,
     /// Jobs that restored at least one block from a checkpoint.
     pub resumed: u64,
+    /// Attempts the watchdog preempted for a stale heartbeat.
+    pub hung: u64,
     /// Deepest the queue ever got.
     pub queue_high_water: u64,
     /// Circuit-breaker trips across all workloads.
@@ -82,6 +90,7 @@ struct QueueState {
 struct Shared {
     config: SupervisorConfig,
     telemetry: Telemetry,
+    watchdog: Option<Watchdog>,
     state: Mutex<QueueState>,
     job_available: Condvar,
     idle: Condvar,
@@ -96,6 +105,7 @@ struct Shared {
     failed: AtomicU64,
     broken: AtomicU64,
     resumed: AtomicU64,
+    hung: AtomicU64,
     queue_high_water: AtomicU64,
 }
 
@@ -140,9 +150,13 @@ impl Supervisor {
     /// observational only — results are identical with telemetry
     /// enabled or disabled.
     pub fn start_with_telemetry(config: SupervisorConfig, telemetry: Telemetry) -> Self {
+        let watchdog = config
+            .watchdog
+            .map(|wd| Watchdog::start(wd, telemetry.clone()));
         let shared = Arc::new(Shared {
             config,
             telemetry,
+            watchdog,
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
                 shutting_down: false,
@@ -161,6 +175,7 @@ impl Supervisor {
             failed: AtomicU64::new(0),
             broken: AtomicU64::new(0),
             resumed: AtomicU64::new(0),
+            hung: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
@@ -249,6 +264,7 @@ impl Supervisor {
             failed: self.shared.failed.load(Ordering::Relaxed),
             broken: self.shared.broken.load(Ordering::Relaxed),
             resumed: self.shared.resumed.load(Ordering::Relaxed),
+            hung: self.shared.hung.load(Ordering::Relaxed),
             queue_high_water: self.shared.queue_high_water.load(Ordering::Relaxed),
             breaker_trips,
         }
@@ -262,6 +278,9 @@ impl Supervisor {
         self.shared.job_available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(wd) = &self.shared.watchdog {
+            wd.stop();
         }
         self.take_results()
     }
@@ -347,6 +366,7 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
     let retry = shared.config.retry;
     let mut attempts: u64 = 0;
     let mut backoff_total: u64 = 0;
+    let mut hang_preemptions: u64 = 0;
     let outcome = loop {
         attempts += 1;
         let mut faults = job.spec.faults.clone();
@@ -354,20 +374,60 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
             // Transient faults exist to fail exactly one attempt.
             faults.transient_panic_passes.clear();
         }
+        if hang_preemptions > 0 {
+            // The watchdog already preempted an injected hang; strip
+            // it so the rescheduled attempt can make progress (a real
+            // hang would simply be preempted again until retries run
+            // out).
+            faults.hung_passes.clear();
+        }
+        // Under a watchdog each attempt runs on a private token so a
+        // preemption kills only this attempt, never the job; the
+        // watchdog propagates job-level cancels into it.
+        let (attempt_cancel, heartbeat, watch) = match &shared.watchdog {
+            Some(wd) => {
+                let heartbeat = Heartbeat::new();
+                let attempt_cancel = CancelToken::new();
+                let guard = wd.watch(
+                    job.cancel.clone(),
+                    attempt_cancel.clone(),
+                    heartbeat.clone(),
+                );
+                (attempt_cancel, Some(heartbeat), Some(guard))
+            }
+            None => (job.cancel.clone(), None, None),
+        };
         let opts = SupervisedCompileOptions {
             technique: job.spec.technique,
             faults,
-            cancel: job.cancel.clone(),
+            cancel: attempt_cancel,
             checkpoint: job.spec.checkpoint.clone(),
             // Later attempts of this very job resume their own
             // checkpoint even when the submission didn't ask to.
             resume: job.spec.resume || (attempts > 1 && job.spec.checkpoint.is_some()),
             telemetry: shared.telemetry.clone(),
+            heartbeat,
         };
         let mut attempt_span = shared.telemetry.span("supervisor", "supervisor.compile");
         attempt_span.attr("attempt", attempts);
         let attempt_result = run_supervised_compile(&job.spec.program, &job.spec.config, &opts);
         drop(attempt_span);
+        // A Cancelled attempt whose *job* token never fired but whose
+        // watch was preempted is a hang, not a cancellation: retype it
+        // so the retry machinery reschedules it.
+        let attempt_result = match (attempt_result, watch) {
+            (Err(CompileError::Cancelled { pass }), Some(guard))
+                if guard.hung() && !job.cancel.is_cancelled() =>
+            {
+                hang_preemptions += 1;
+                shared.hung.fetch_add(1, Ordering::Relaxed);
+                Err(CompileError::WorkerHung {
+                    pass,
+                    stalled_ms: guard.stalled_ms(),
+                })
+            }
+            (result, _) => result,
+        };
         match attempt_result {
             Ok(compiled) => break Ok(compiled),
             Err(e) => match e.class() {
@@ -429,6 +489,7 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
                     breaker_state,
                     blocks_resumed,
                     resumed_from_checkpoint: blocks_resumed > 0,
+                    hang_preemptions,
                 });
             }
             // The job finished; its checkpoint has served its purpose.

@@ -1,0 +1,390 @@
+//! Hung-worker detection: heartbeats, a background watchdog thread,
+//! and typed preemption.
+//!
+//! A worker that panics is contained by the pass manager and a worker
+//! that overruns its budget is degraded by the deadline checks — but a
+//! worker stuck in a non-terminating loop holds its thread (and its
+//! queue slot) forever, invisible to both mechanisms. The watchdog
+//! closes that gap:
+//!
+//! 1. Every supervised attempt carries a [`Heartbeat`] the pipeline
+//!    beats at each pass boundary and after every composed block.
+//! 2. A single watchdog thread polls all registered attempts. When a
+//!    heartbeat goes stale past [`WatchdogConfig::hang_timeout_ms`],
+//!    it marks the attempt preempted and fires the attempt's private
+//!    `CancelToken` — the same cooperative cancellation path user
+//!    cancels use, so the worker unwinds at its next cancellation
+//!    point.
+//! 3. The supervisor sees the attempt end `Cancelled`, notices the
+//!    preemption mark (and that the *job's* token never fired), and
+//!    reclassifies the error as the retryable
+//!    [`geyser::CompileError::WorkerHung`] so the existing
+//!    retry/backoff machinery reschedules the job.
+//!
+//! The watchdog also propagates the job-level token into the attempt
+//! token, so user cancellation keeps working unchanged when attempts
+//! run under their own tokens.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use geyser::{CancelToken, Telemetry};
+
+/// When the watchdog declares a worker hung and how often it looks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// A heartbeat older than this is a hang; the attempt is
+    /// preempted.
+    pub hang_timeout_ms: u64,
+    /// Poll period of the watchdog thread. Bounds both hang-detection
+    /// latency (timeout + one poll) and job-cancel propagation
+    /// latency.
+    pub poll_interval_ms: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            hang_timeout_ms: 500,
+            poll_interval_ms: 5,
+        }
+    }
+}
+
+/// A cheaply clonable liveness beacon shared between one compile
+/// attempt (which beats it) and the watchdog (which reads it).
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    inner: Arc<HeartbeatInner>,
+}
+
+#[derive(Debug)]
+struct HeartbeatInner {
+    epoch: Instant,
+    last_beat_ms: AtomicU64,
+    stage: Mutex<String>,
+}
+
+impl Default for Heartbeat {
+    fn default() -> Self {
+        Heartbeat::new()
+    }
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat, considered beaten at creation time.
+    pub fn new() -> Self {
+        Heartbeat {
+            inner: Arc::new(HeartbeatInner {
+                epoch: Instant::now(),
+                last_beat_ms: AtomicU64::new(0),
+                stage: Mutex::new(String::from("start")),
+            }),
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.inner.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Records liveness, naming the stage the worker is in.
+    pub fn beat(&self, stage: &str) {
+        self.inner
+            .last_beat_ms
+            .store(self.now_ms(), Ordering::Release);
+        let mut s = self
+            .inner
+            .stage
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if *s != stage {
+            s.clear();
+            s.push_str(stage);
+        }
+    }
+
+    /// Milliseconds since the last beat.
+    pub fn stalled_ms(&self) -> u64 {
+        self.now_ms()
+            .saturating_sub(self.inner.last_beat_ms.load(Ordering::Acquire))
+    }
+
+    /// The stage named by the most recent beat.
+    pub fn stage(&self) -> String {
+        self.inner
+            .stage
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Set by the watchdog when it preempts an attempt; read by the
+/// supervisor to reclassify the resulting `Cancelled` as `WorkerHung`.
+#[derive(Debug, Default)]
+struct Preemption {
+    hung: AtomicBool,
+    stalled_ms: AtomicU64,
+}
+
+struct Entry {
+    id: u64,
+    job_cancel: CancelToken,
+    attempt_cancel: CancelToken,
+    heartbeat: Heartbeat,
+    preemption: Arc<Preemption>,
+}
+
+struct WatchShared {
+    config: WatchdogConfig,
+    telemetry: Telemetry,
+    entries: Mutex<Vec<Entry>>,
+    shutdown: AtomicBool,
+}
+
+impl WatchShared {
+    fn poll_once(&self) {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut max_age: u64 = 0;
+        for entry in entries.iter() {
+            // Job-level cancellation propagates to the attempt token
+            // so user cancels keep working when attempts run under
+            // private tokens.
+            if entry.job_cancel.is_cancelled() && !entry.attempt_cancel.is_cancelled() {
+                entry.attempt_cancel.cancel();
+            }
+            let stalled = entry.heartbeat.stalled_ms();
+            max_age = max_age.max(stalled);
+            if stalled >= self.config.hang_timeout_ms
+                && !entry.preemption.hung.swap(true, Ordering::SeqCst)
+            {
+                entry.preemption.stalled_ms.store(stalled, Ordering::SeqCst);
+                entry.attempt_cancel.cancel();
+                self.telemetry.counter_add("supervisor.hang_preemptions", 1);
+            }
+        }
+        self.telemetry
+            .gauge_set("supervisor.heartbeat_age_ms", max_age as i64);
+    }
+}
+
+/// The background watchdog: one thread per supervisor, polling every
+/// registered in-flight attempt.
+pub(crate) struct Watchdog {
+    shared: Arc<WatchShared>,
+    next_id: AtomicU64,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    pub(crate) fn start(config: WatchdogConfig, telemetry: Telemetry) -> Self {
+        let shared = Arc::new(WatchShared {
+            config,
+            telemetry,
+            entries: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("geyser-watchdog".to_string())
+            .spawn(move || {
+                while !thread_shared.shutdown.load(Ordering::SeqCst) {
+                    thread_shared.poll_once();
+                    std::thread::sleep(Duration::from_millis(
+                        thread_shared.config.poll_interval_ms.max(1),
+                    ));
+                }
+            })
+            .expect("watchdog thread spawns");
+        Watchdog {
+            shared,
+            next_id: AtomicU64::new(0),
+            handle: Some(handle),
+        }
+    }
+
+    /// Puts one attempt under watch; the returned guard deregisters it
+    /// on drop. A job token that is already cancelled propagates
+    /// immediately (not a poll later), so pre-cancelled jobs stay
+    /// deterministically cancelled.
+    pub(crate) fn watch(
+        &self,
+        job_cancel: CancelToken,
+        attempt_cancel: CancelToken,
+        heartbeat: Heartbeat,
+    ) -> WatchGuard {
+        if job_cancel.is_cancelled() {
+            attempt_cancel.cancel();
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let preemption = Arc::new(Preemption::default());
+        self.shared
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Entry {
+                id,
+                job_cancel,
+                attempt_cancel,
+                heartbeat,
+                preemption: Arc::clone(&preemption),
+            });
+        WatchGuard {
+            shared: Arc::clone(&self.shared),
+            id,
+            preemption,
+        }
+    }
+
+    /// Signals the watchdog thread to exit (it does so within one poll
+    /// interval; `Drop` joins it).
+    pub(crate) fn stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Keeps one attempt registered with the watchdog; dropping it
+/// deregisters. Exposes whether (and for how long) the watchdog
+/// preempted the attempt.
+pub(crate) struct WatchGuard {
+    shared: Arc<WatchShared>,
+    id: u64,
+    preemption: Arc<Preemption>,
+}
+
+impl WatchGuard {
+    /// Whether the watchdog preempted this attempt for a stale
+    /// heartbeat.
+    pub(crate) fn hung(&self) -> bool {
+        self.preemption.hung.load(Ordering::SeqCst)
+    }
+
+    /// How stale the heartbeat was at preemption time (0 if not
+    /// preempted).
+    pub(crate) fn stalled_ms(&self) -> u64 {
+        self.preemption.stalled_ms.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        self.shared
+            .entries
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|e| e.id != self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> WatchdogConfig {
+        WatchdogConfig {
+            hang_timeout_ms: 40,
+            poll_interval_ms: 2,
+        }
+    }
+
+    #[test]
+    fn heartbeat_tracks_staleness_and_stage() {
+        let hb = Heartbeat::new();
+        hb.beat("map");
+        assert_eq!(hb.stage(), "map");
+        assert!(hb.stalled_ms() < 40);
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(hb.stalled_ms() >= 25);
+        hb.beat("compose");
+        assert!(hb.stalled_ms() < 25);
+        assert_eq!(hb.stage(), "compose");
+    }
+
+    #[test]
+    fn stale_heartbeat_is_preempted_within_the_timeout() {
+        let telemetry = Telemetry::enabled();
+        let wd = Watchdog::start(fast_config(), telemetry.clone());
+        let attempt = CancelToken::new();
+        let hb = Heartbeat::new();
+        let guard = wd.watch(CancelToken::new(), attempt.clone(), hb.clone());
+        let deadline = Instant::now() + Duration::from_millis(2_000);
+        while !guard.hung() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(guard.hung(), "stale heartbeat must be preempted");
+        assert!(attempt.is_cancelled(), "preemption fires the attempt token");
+        assert!(guard.stalled_ms() >= fast_config().hang_timeout_ms);
+        assert_eq!(
+            telemetry.counter_value("supervisor.hang_preemptions"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn beating_heartbeat_is_left_alone() {
+        let wd = Watchdog::start(fast_config(), Telemetry::disabled());
+        let attempt = CancelToken::new();
+        let hb = Heartbeat::new();
+        let guard = wd.watch(CancelToken::new(), attempt.clone(), hb.clone());
+        for _ in 0..30 {
+            hb.beat("compose");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(!guard.hung(), "a live worker must not be preempted");
+        assert!(!attempt.is_cancelled());
+    }
+
+    #[test]
+    fn job_cancel_propagates_to_the_attempt_token() {
+        let wd = Watchdog::start(fast_config(), Telemetry::disabled());
+        let job = CancelToken::new();
+        let attempt = CancelToken::new();
+        let hb = Heartbeat::new();
+        let guard = wd.watch(job.clone(), attempt.clone(), hb.clone());
+        job.cancel();
+        let deadline = Instant::now() + Duration::from_millis(2_000);
+        while !attempt.is_cancelled() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(attempt.is_cancelled(), "job cancel must reach the attempt");
+        // A propagated cancel is NOT a hang: keep beating to prove it.
+        hb.beat("compose");
+        assert!(!guard.hung());
+    }
+
+    #[test]
+    fn pre_cancelled_job_propagates_at_registration() {
+        let wd = Watchdog::start(fast_config(), Telemetry::disabled());
+        let job = CancelToken::new();
+        job.cancel();
+        let attempt = CancelToken::new();
+        let _guard = wd.watch(job, attempt.clone(), Heartbeat::new());
+        assert!(
+            attempt.is_cancelled(),
+            "already-cancelled job must cancel the attempt synchronously"
+        );
+    }
+
+    #[test]
+    fn dropping_the_guard_deregisters() {
+        let wd = Watchdog::start(fast_config(), Telemetry::disabled());
+        let attempt = CancelToken::new();
+        let guard = wd.watch(CancelToken::new(), attempt.clone(), Heartbeat::new());
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            !attempt.is_cancelled(),
+            "a deregistered attempt must never be preempted"
+        );
+    }
+}

@@ -1,7 +1,8 @@
 //! End-to-end supervision: admission control on the bounded queue,
 //! retry classification, circuit breaking with half-open recovery,
-//! graceful shutdown, prompt cancellation of hung work, and
-//! crash-safe checkpoint/resume of killed sweeps.
+//! graceful shutdown, prompt cancellation of hung work, watchdog
+//! preemption of hung workers, and crash-safe checkpoint/resume of
+//! killed sweeps.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -10,7 +11,7 @@ use geyser::{CompileError, FaultInjector, PipelineConfig, Technique};
 use geyser_circuit::Circuit;
 use geyser_supervisor::{
     run_supervised_compile, BreakerConfig, BreakerState, JobSpec, JobState, RetryPolicy,
-    SupervisedCompileOptions, Supervisor, SupervisorConfig, SupervisorError,
+    SupervisedCompileOptions, Supervisor, SupervisorConfig, SupervisorError, WatchdogConfig,
 };
 use geyser_workloads::ghz;
 
@@ -271,6 +272,112 @@ fn hung_pass_is_freed_promptly_by_cancellation() {
         CompileError::Cancelled { pass } => assert_eq!(pass, "map"),
         other => panic!("expected Cancelled at the hung pass, got {other}"),
     }
+}
+
+#[test]
+fn watchdog_preempts_hung_worker_and_retry_is_bit_identical() {
+    // Reference: the same compile with no faults and no supervisor.
+    let reference = run_supervised_compile(
+        &ghz(4),
+        &fast(),
+        &SupervisedCompileOptions::new(Technique::OptiMap),
+    )
+    .unwrap();
+
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(1),
+        watchdog: Some(WatchdogConfig {
+            hang_timeout_ms: 100,
+            poll_interval_ms: 10,
+        }),
+        ..SupervisorConfig::default()
+    });
+    let submitted = Instant::now();
+    supervisor
+        .submit(job("hung-once", Technique::OptiMap, "hang-pass:map"))
+        .unwrap();
+    supervisor.wait_idle();
+    // The injected hang never returns on its own: finishing at all
+    // proves the watchdog preempted it, and finishing quickly proves
+    // detection latency is timeout + poll, not shutdown.
+    assert!(
+        submitted.elapsed() < Duration::from_secs(30),
+        "watchdog must preempt the hung attempt promptly"
+    );
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Done);
+    assert_eq!(
+        results[0].attempts, 2,
+        "one preempted attempt + one clean retry"
+    );
+    let compiled = results[0].compiled.as_ref().unwrap();
+    assert_eq!(
+        compiled.mapped().circuit().ops(),
+        reference.mapped().circuit().ops(),
+        "the retried compile must be bit-identical to the uninjected run"
+    );
+    let stats = compiled
+        .report()
+        .and_then(|r| r.supervision.as_ref())
+        .expect("supervision stats attached");
+    assert_eq!(stats.hang_preemptions, 1);
+    assert_eq!(stats.retries, 1);
+}
+
+#[test]
+fn watchdog_exhaustion_surfaces_a_typed_worker_hung_error() {
+    // With the retry budget at zero, the preempted attempt is
+    // terminal and must carry the typed WorkerHung error (not a
+    // generic cancellation).
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(0),
+        watchdog: Some(WatchdogConfig {
+            hang_timeout_ms: 100,
+            poll_interval_ms: 10,
+        }),
+        ..SupervisorConfig::default()
+    });
+    supervisor
+        .submit(job("hung-forever", Technique::OptiMap, "hang-pass:map"))
+        .unwrap();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Failed);
+    assert_eq!(results[0].attempts, 1);
+    match results[0].error.as_ref().unwrap() {
+        CompileError::WorkerHung { pass, stalled_ms } => {
+            assert_eq!(pass, "map");
+            assert!(*stalled_ms >= 100, "stall must cover the timeout");
+        }
+        other => panic!("expected WorkerHung, got {other}"),
+    }
+}
+
+#[test]
+fn user_cancellation_wins_over_hang_preemption() {
+    // A job the user cancels while it happens to be hung must report
+    // Cancelled, not WorkerHung: the user's intent is the outer truth.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(3),
+        watchdog: Some(WatchdogConfig {
+            hang_timeout_ms: 50_000,
+            poll_interval_ms: 10,
+        }),
+        ..SupervisorConfig::default()
+    });
+    let handle = supervisor
+        .submit(job("user-stop", Technique::OptiMap, "hang-pass:map"))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    handle.cancel.cancel();
+    let results = supervisor.shutdown();
+    assert_eq!(results[0].state, JobState::Cancelled);
+    assert!(
+        matches!(results[0].error, Some(CompileError::Cancelled { .. })),
+        "user cancellation must not be re-typed as a hang"
+    );
 }
 
 #[test]
