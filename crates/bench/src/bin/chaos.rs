@@ -20,6 +20,17 @@
 //! 5. every surviving store file parses or was quarantined to a
 //!    `.corrupt-<digest>` sidecar.
 //!
+//! After the fault campaigns, a compact **serve leg** replays a seeded
+//! overload storm against the supervisor's service layer (admission
+//! control, tenant fairness, single-flight dedup, load shedding) and
+//! holds it to four more invariants:
+//!
+//! 6. every submission resolves to a recognized terminal outcome;
+//! 7. every shed carries a typed rejection reason;
+//! 8. sampled dedup-served results are bit-identical to solo compiles;
+//! 9. no bystander tenant's p99 exceeds 3× its fair-share baseline
+//!    while another tenant floods.
+//!
 //! The whole run is a pure function of `--seed`: the same seed and
 //! campaign count replay the same schedules, job outcomes, and
 //! scorecard. An extra `--inject SPEC` is composed into every
@@ -35,6 +46,7 @@ use std::path::{Path, PathBuf};
 
 use geyser::store::is_corrupt_sidecar;
 use geyser::{verify_compiled, FaultInjector, Technique, Telemetry};
+use geyser_bench::serve::{run_serve, ServeScorecard};
 use geyser_bench::{exit_codes, report_json, Cli};
 use geyser_circuit::Circuit;
 use geyser_supervisor::{
@@ -149,6 +161,8 @@ struct CampaignCard {
 struct Scorecard {
     seed: u64,
     campaigns: Vec<CampaignCard>,
+    /// The service-layer overload leg (invariants 6–9).
+    serve: ServeScorecard,
     total_jobs: u64,
     hang_preemptions: u64,
     store_corrupt_total: u64,
@@ -417,10 +431,32 @@ fn main() {
         campaigns.push(card);
     }
 
+    // Service-layer leg: one compact seeded overload storm against the
+    // admission/fairness/dedup layer. A single cheap workload keeps
+    // the compile memo small — the leg stresses the service state
+    // machine, not the pipeline.
+    let mut serve_cli = cli.clone();
+    serve_cli.seed = splitmix64(cli.seed ^ 0xc0ff_ee00_c0ff_ee00);
+    serve_cli.arrivals = 240;
+    serve_cli.tenants = 3;
+    serve_cli.workloads = vec!["vqe-4".into()];
+    let serve = run_serve(&serve_cli);
+    println!(
+        "serve leg: seed={:016x} arrivals={} shed={} degraded={} dedup={} violations={}",
+        serve.seed,
+        serve.arrivals,
+        serve.service.shed,
+        serve.service.degraded,
+        serve.service.dedup_attached,
+        serve.violations.len()
+    );
+
     let total_jobs: u64 = campaigns.iter().map(|c| c.submitted).sum();
-    let violations_total: usize = campaigns.iter().map(|c| c.violations.len()).sum();
+    let violations_total: usize =
+        campaigns.iter().map(|c| c.violations.len()).sum::<usize>() + serve.violations.len();
     let scorecard = Scorecard {
         seed: cli.seed,
+        serve,
         total_jobs,
         hang_preemptions: cli
             .telemetry
@@ -460,6 +496,9 @@ fn main() {
                     card.index, card.seed, card.inject
                 );
             }
+        }
+        for v in &scorecard.serve.violations {
+            eprintln!("error: serve leg (seed {:016x}): {v}", scorecard.serve.seed);
         }
         std::process::exit(exit_codes::CHAOS_INVARIANT);
     }

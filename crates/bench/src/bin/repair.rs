@@ -11,6 +11,10 @@
 //! * `--prune` — additionally delete reclaimable debris: quarantine
 //!   sidecars, stale `.tmp` files from interrupted writes, and cache
 //!   entries whose schema version is stale (guaranteed misses).
+//!   Sidecars the scan *keeps* — every sidecar without `--prune`, plus
+//!   any whose removal failed — are reported with their on-disk size
+//!   and age, so operators can see how much quarantine evidence is
+//!   accumulating before deciding to reclaim it.
 //! * `--json PATH` — write the scan report as JSON.
 //!
 //! Classification mirrors the loaders exactly: `ckpt-*` files go
@@ -75,6 +79,13 @@ struct FileReport {
     status: FileStatus,
     /// Whether `--prune` deleted the file.
     pruned: bool,
+    /// On-disk size, reported for quarantine sidecars (`null`
+    /// otherwise).
+    bytes: Option<u64>,
+    /// Seconds since last modification, reported for quarantine
+    /// sidecars (`null` otherwise) — how long the evidence has been
+    /// sitting there.
+    age_secs: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -85,6 +96,13 @@ struct RepairReport {
     quarantined: usize,
     quarantine_failed: usize,
     pruned: usize,
+    /// Quarantine sidecars still on disk after this scan (evidence
+    /// kept, not pruned).
+    sidecars_kept: usize,
+    /// Total bytes those kept sidecars occupy.
+    sidecar_bytes_total: u64,
+    /// Age in seconds of the oldest kept sidecar (0 when none).
+    sidecar_oldest_age_secs: u64,
     /// Final `store_corrupt_total` counter value for this scan.
     store_corrupt_total: u64,
     files: Vec<FileReport>,
@@ -127,6 +145,22 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// Size and age (seconds since last modification) of a quarantine
+/// sidecar. Either is `None` when the filesystem withholds it — a
+/// vanished file or a platform without mtime support degrades to an
+/// unsized, age-unknown entry rather than a scan failure.
+fn sidecar_stats(path: &Path) -> (Option<u64>, Option<u64>) {
+    let Ok(meta) = std::fs::metadata(path) else {
+        return (None, None);
+    };
+    let age_secs = meta
+        .modified()
+        .ok()
+        .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+        .map(|age| age.as_secs());
+    (Some(meta.len()), age_secs)
 }
 
 /// Classifies one store file, quarantining corruption exactly like
@@ -214,6 +248,14 @@ fn main() {
     let mut files = Vec::new();
     for path in &paths {
         let status = scan_file(path, &telemetry);
+        // Quarantine evidence is sized and aged *before* any prune so
+        // the report can say what was reclaimed vs. what is still
+        // accumulating on disk.
+        let (bytes, age_secs) = if status == FileStatus::Sidecar {
+            sidecar_stats(path)
+        } else {
+            (None, None)
+        };
         // Debris is only reclaimed on request: sidecars are evidence,
         // stale .tmp files are harmless, stale-version entries are
         // merely guaranteed misses.
@@ -227,17 +269,36 @@ fn main() {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.display().to_string());
-        println!(
-            "{rel}: {}{}",
-            status.label(),
-            if pruned { " (pruned)" } else { "" }
-        );
+        match (status, bytes, age_secs, pruned) {
+            (FileStatus::Sidecar, Some(b), Some(age), false) => {
+                println!("{rel}: {} (kept, {b} bytes, {age}s old)", status.label());
+            }
+            _ => println!(
+                "{rel}: {}{}",
+                status.label(),
+                if pruned { " (pruned)" } else { "" }
+            ),
+        }
         files.push(FileReport {
             path: rel,
             status,
             pruned,
+            bytes,
+            age_secs,
         });
     }
+
+    let kept_sidecars: Vec<&FileReport> = files
+        .iter()
+        .filter(|f| f.status == FileStatus::Sidecar && !f.pruned)
+        .collect();
+    let sidecar_bytes_total = kept_sidecars.iter().filter_map(|f| f.bytes).sum::<u64>();
+    let sidecar_oldest_age_secs = kept_sidecars
+        .iter()
+        .filter_map(|f| f.age_secs)
+        .max()
+        .unwrap_or(0);
+    let sidecars_kept = kept_sidecars.len();
 
     let report = RepairReport {
         store: args.store.display().to_string(),
@@ -255,6 +316,9 @@ fn main() {
             .filter(|f| f.status == FileStatus::QuarantineFailed)
             .count(),
         pruned: files.iter().filter(|f| f.pruned).count(),
+        sidecars_kept,
+        sidecar_bytes_total,
+        sidecar_oldest_age_secs,
         store_corrupt_total: telemetry
             .counter_value(geyser::store::STORE_CORRUPT_COUNTER)
             .unwrap_or(0),
@@ -264,6 +328,12 @@ fn main() {
         "repair: {} — {} file(s), {} healthy, {} quarantined, {} pruned",
         report.store, report.scanned, report.healthy, report.quarantined, report.pruned
     );
+    if report.sidecars_kept > 0 {
+        println!(
+            "repair: keeping {} quarantine sidecar(s), {} byte(s) total, oldest {}s",
+            report.sidecars_kept, report.sidecar_bytes_total, report.sidecar_oldest_age_secs
+        );
+    }
 
     if let Some(path) = &args.json {
         std::fs::write(path, report_json(&report)).unwrap_or_else(|e| {

@@ -1,0 +1,106 @@
+//! Overload-resilience scorecard for the compile service layer.
+//!
+//! Usage: `serve --seed S [--arrivals N] [--tenants T] [--fast]
+//! [--jobs W] [--json PATH]`
+//!
+//! Replays a seeded open-loop arrival schedule — `--arrivals`
+//! submissions from `--tenants` tenants, with a storm phase in which
+//! tenant 0 floods — against the supervisor's service layer in virtual
+//! time, then prints a per-tenant scorecard: p50/p99 latency, shed
+//! counts by typed reason, degraded-tier admissions, and single-flight
+//! dedup hits. `--json PATH` writes the full scorecard, which is
+//! byte-identical for a given seed on any machine.
+//!
+//! The four service-layer invariants from
+//! [`geyser_verify::invariants`] are machine-checked over the drained
+//! campaign:
+//!
+//! 6. every submission resolves to a recognized terminal outcome;
+//! 7. every shed carries a typed rejection reason (and only sheds do);
+//! 8. sampled dedup-served results are bit-identical to solo compiles;
+//! 9. no bystander tenant's p99 exceeds 3× its fair-share baseline
+//!    while tenant 0 floods.
+//!
+//! Exits 0 when every invariant held, or prints each violation and
+//! exits [`exit_codes::CHAOS_INVARIANT`].
+
+use geyser_bench::{exit_codes, report_json, serve::run_serve, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    if cli.tenants < 2 {
+        eprintln!("error: --tenants must be at least 2 (tenant 0 floods, the rest watch)");
+        std::process::exit(exit_codes::USAGE);
+    }
+    if cli.arrivals == 0 {
+        eprintln!("error: --arrivals must be at least 1");
+        std::process::exit(exit_codes::USAGE);
+    }
+    let card = run_serve(&cli);
+
+    println!(
+        "serve: seed {} — {} arrival(s), {} tenant(s), makespan {}ms, \
+         {} unique compile(s), mean cost {}ms",
+        card.seed,
+        card.arrivals,
+        card.tenants,
+        card.makespan_ms,
+        card.unique_compiles,
+        card.mean_cost_ms
+    );
+    println!(
+        "service: admitted={} shed={} (full={} throttled={} deadline={} stale={}) \
+         degraded={} dedup: attached={} broadcasts={} reelections={}",
+        card.service.admitted,
+        card.service.shed,
+        card.service.shed_queue_full,
+        card.service.shed_throttled,
+        card.service.shed_deadline,
+        card.service.shed_stale,
+        card.service.degraded,
+        card.service.dedup_attached,
+        card.service.dedup_broadcasts,
+        card.service.dedup_reelections
+    );
+    println!(
+        "{:<10} {:>5} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>9}",
+        "tenant",
+        "flood",
+        "submitted",
+        "done",
+        "rejected",
+        "degr",
+        "dedup",
+        "p50",
+        "p99",
+        "storm-p99"
+    );
+    for t in &card.tenant_cards {
+        println!(
+            "{:<10} {:>5} {:>9} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>9}",
+            t.tenant,
+            if t.flooding { "yes" } else { "no" },
+            t.submitted,
+            t.completed,
+            t.rejected,
+            t.degraded,
+            t.deduped,
+            t.p50_ms,
+            t.p99_ms,
+            t.storm_p99_ms
+        );
+    }
+
+    if let Some(path) = &cli.json {
+        std::fs::write(path, report_json(&card))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("(wrote {path})");
+    }
+
+    if !card.violations.is_empty() {
+        for v in &card.violations {
+            eprintln!("error: {v}");
+        }
+        std::process::exit(exit_codes::CHAOS_INVARIANT);
+    }
+}

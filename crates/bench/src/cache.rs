@@ -70,6 +70,12 @@ struct CachedCompile {
     verification: Option<VerificationStats>,
 }
 
+/// Telemetry counter bumped when a cache entry parses but cannot be
+/// replayed — stale schema version or a foreign hardware digest.
+/// Distinct from `bench.cache_misses` (which also counts cold misses)
+/// so version skew after an upgrade is visible as such.
+pub const CACHE_VERSION_MISS_COUNTER: &str = "bench.cache_version_miss_total";
+
 /// How a frame-valid cache payload classifies for the `repair`
 /// scanner, which cannot see the private [`CachedCompile`] schema.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -320,6 +326,12 @@ pub fn compile_cached_verified_traced(
                     };
                     return (compiled, stats);
                 }
+                // Parsed, but unusable in this process: schema version
+                // or hardware-digest skew. Counted apart from cold
+                // misses so operators can tell "cache was empty" from
+                // "cache was full of entries a version bump orphaned"
+                // — the latter is reclaimable with `repair --prune`.
+                telemetry.counter_add(CACHE_VERSION_MISS_COUNTER, 1);
             }
             Err(_) => {
                 let bytes = std::fs::read(&path).unwrap_or_default();
@@ -637,6 +649,79 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"supervision\": null"));
         assert!(json.contains("\"verification\": null"));
+
+        std::env::set_current_dir(old).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_skew_is_counted_apart_from_cold_misses() {
+        let _cwd = CWD_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("geyser-cache-skew-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let telemetry = Telemetry::enabled();
+        let (first, _) = compile_cached_verified_traced(
+            "t",
+            &program,
+            Technique::OptiMap,
+            &cfg,
+            "skew",
+            None,
+            &telemetry,
+        );
+        // Cold miss: nothing on disk yet, and no version miss.
+        assert_eq!(telemetry.counter_value("bench.cache_misses"), Some(1));
+        assert_eq!(telemetry.counter_value(CACHE_VERSION_MISS_COUNTER), None);
+
+        // Rewrite the committed entry as if an older binary had
+        // written it: same well-formed payload, previous schema
+        // version.
+        let path = cache_path("t", Technique::OptiMap, "skew", fingerprint(&program));
+        let payload = geyser::store::read_record_file(&path).unwrap();
+        let mut entry: CachedCompile = serde_json::from_str(payload.text()).unwrap();
+        entry.version = CACHE_VERSION - 1;
+        write_atomic(&path, &serde_json::to_string(&entry).unwrap());
+
+        let (second, _) = compile_cached_verified_traced(
+            "t",
+            &program,
+            Technique::OptiMap,
+            &cfg,
+            "skew",
+            None,
+            &telemetry,
+        );
+        assert_eq!(first.total_pulses(), second.total_pulses());
+        assert_eq!(
+            telemetry.counter_value(CACHE_VERSION_MISS_COUNTER),
+            Some(1),
+            "a parsed-but-stale entry must be visible as version skew"
+        );
+        assert_eq!(
+            telemetry.counter_value("bench.cache_misses"),
+            Some(2),
+            "version skew still degrades to a miss"
+        );
+
+        // The recompile rewrote a current-version entry: clean hit,
+        // no further version misses.
+        let (_, _) = compile_cached_verified_traced(
+            "t",
+            &program,
+            Technique::OptiMap,
+            &cfg,
+            "skew",
+            None,
+            &telemetry,
+        );
+        assert_eq!(telemetry.counter_value("bench.cache_hits"), Some(1));
+        assert_eq!(telemetry.counter_value(CACHE_VERSION_MISS_COUNTER), Some(1));
 
         std::env::set_current_dir(old).unwrap();
         let _ = std::fs::remove_dir_all(&dir);

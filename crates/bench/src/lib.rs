@@ -60,6 +60,10 @@
 //!   `square-diagonal`, `near-term`) or a path to a spec JSON file
 //! * `--campaigns N` — campaign count for the `chaos` binary
 //!   (default 8)
+//! * `--arrivals N` — submission count for the `serve` binary's
+//!   seeded open-loop schedule (default 2000)
+//! * `--tenants N` — tenant count for the `serve` binary; tenant 0
+//!   floods during the storm phase (default 4, minimum 2)
 //! * `--watchdog-ms N` — arm the supervisor's hung-worker watchdog:
 //!   workers whose heartbeat goes stale for `N` ms are preempted and
 //!   the attempt is retyped as a retryable `WorkerHung` error;
@@ -72,13 +76,14 @@
 
 mod cache;
 pub mod exit_codes;
+pub mod serve;
 pub mod timing;
 
 use std::collections::BTreeMap;
 
 pub use cache::{
     classify_cache_payload, compile_cached, compile_cached_verified,
-    compile_cached_verified_traced, CachePayloadStatus,
+    compile_cached_verified_traced, CachePayloadStatus, CACHE_VERSION_MISS_COUNTER,
 };
 use geyser::{
     CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, HardwareSpec, MetricsSnapshot,
@@ -146,6 +151,11 @@ pub struct Cli {
     pub specs: Vec<String>,
     /// Campaign count for the `chaos` binary (`--campaigns`).
     pub campaigns: usize,
+    /// Submission count for the `serve` binary (`--arrivals`).
+    pub arrivals: usize,
+    /// Tenant count for the `serve` binary (`--tenants`); tenant 0 is
+    /// the storm-phase flooder.
+    pub tenants: usize,
     /// Hung-worker watchdog timeout in milliseconds (`--watchdog-ms`);
     /// enables the supervisor's heartbeat watchdog, which preempts
     /// workers whose heartbeat goes stale and retypes the preemption
@@ -185,6 +195,8 @@ impl Default for Cli {
             noise_explicit: false,
             specs: Vec::new(),
             campaigns: 8,
+            arrivals: 2_000,
+            tenants: 4,
             watchdog_ms: None,
             telemetry: Telemetry::disabled(),
         }
@@ -270,6 +282,8 @@ impl Cli {
                     }
                 }
                 "--campaigns" => cli.campaigns = value("--campaigns").parse().expect("integer"),
+                "--arrivals" => cli.arrivals = value("--arrivals").parse().expect("integer"),
+                "--tenants" => cli.tenants = value("--tenants").parse().expect("integer"),
                 "--watchdog-ms" => {
                     cli.watchdog_ms = Some(value("--watchdog-ms").parse().expect("integer"))
                 }

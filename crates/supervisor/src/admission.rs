@@ -1,0 +1,222 @@
+//! Admission control: cost estimation, deadline feasibility, and
+//! typed load shedding.
+//!
+//! The service layer never drops work silently. Every job that is not
+//! admitted gets a typed [`RejectReason`] explaining exactly which
+//! control shed it, and the rejection is surfaced as a terminal job
+//! outcome so callers can distinguish "the system chose not to run
+//! this" from "this ran and failed".
+//!
+//! Admission decisions need a forecast of how long a job will take and
+//! how long it will wait. Both come from the [`CostModel`]: a rolling
+//! exponentially-weighted moving average of per-technique compile cost
+//! (in abstract cost units ≈ milliseconds), updated after every
+//! completed compile. The estimate is deliberately cheap and coarse —
+//! it exists to make *shedding* decisions, not billing-grade
+//! accounting.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Why the service refused to run a job. Every variant is a terminal,
+/// typed outcome — never a silent drop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The global queue was at capacity and the job had no deadline
+    /// slack worth displacing anything for.
+    QueueFull {
+        /// Configured queue capacity at rejection time.
+        capacity: usize,
+    },
+    /// The job's tenant exhausted its token-bucket compile budget
+    /// while the system was backlogged.
+    TenantThrottled {
+        /// Tenant that ran out of budget.
+        tenant: String,
+    },
+    /// The estimated queue delay already exceeded the job's deadline
+    /// at admission time, so running it would waste a worker.
+    DeadlineUnmeetable {
+        /// Estimated milliseconds until a worker would start the job.
+        estimated_wait_ms: u64,
+        /// The job's declared deadline, ms from submission.
+        deadline_ms: u64,
+    },
+    /// The job's deadline expired while it sat in the queue
+    /// (CoDel-style aging shed it at dequeue instead of burning a
+    /// worker on already-dead work).
+    StaleInQueue {
+        /// Milliseconds the job spent queued before being shed.
+        waited_ms: u64,
+    },
+    /// The service was shutting down when the job arrived.
+    ShuttingDown,
+}
+
+impl RejectReason {
+    /// Stable machine-readable label for scorecards and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::QueueFull { .. } => "queue-full",
+            RejectReason::TenantThrottled { .. } => "tenant-throttled",
+            RejectReason::DeadlineUnmeetable { .. } => "deadline-unmeetable",
+            RejectReason::StaleInQueue { .. } => "stale-in-queue",
+            RejectReason::ShuttingDown => "shutting-down",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            RejectReason::TenantThrottled { tenant } => {
+                write!(f, "tenant '{tenant}' exhausted its compile budget")
+            }
+            RejectReason::DeadlineUnmeetable {
+                estimated_wait_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "estimated wait {estimated_wait_ms}ms exceeds deadline {deadline_ms}ms"
+            ),
+            RejectReason::StaleInQueue { waited_ms } => {
+                write!(f, "deadline expired after {waited_ms}ms in queue")
+            }
+            RejectReason::ShuttingDown => f.write_str("service shutting down"),
+        }
+    }
+}
+
+/// Rolling per-technique compile-cost estimator.
+///
+/// Keeps one EWMA per technique label with weight 1/8 (`avg ←
+/// (7·avg + sample) / 8`), integer arithmetic throughout so estimates
+/// are bit-deterministic across platforms. Before the first
+/// observation of a technique the model answers with `default_cost`.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Estimate returned for techniques never observed.
+    default_cost: u64,
+    /// EWMA per technique, in cost units (BTreeMap for deterministic
+    /// iteration in debug output).
+    avg: BTreeMap<String, u64>,
+}
+
+impl CostModel {
+    /// A model that answers `default_cost` until it has observations.
+    pub fn new(default_cost: u64) -> Self {
+        CostModel {
+            default_cost: default_cost.max(1),
+            avg: BTreeMap::new(),
+        }
+    }
+
+    /// Records one completed compile's measured cost.
+    pub fn observe(&mut self, technique: &str, cost: u64) {
+        let cost = cost.max(1);
+        match self.avg.get_mut(technique) {
+            Some(avg) => *avg = (avg.saturating_mul(7).saturating_add(cost)) / 8,
+            None => {
+                self.avg.insert(technique.to_string(), cost);
+            }
+        }
+    }
+
+    /// Current cost estimate for one job of this technique.
+    pub fn estimate(&self, technique: &str) -> u64 {
+        self.avg
+            .get(technique)
+            .copied()
+            .unwrap_or(self.default_cost)
+            .max(1)
+    }
+
+    /// Estimated milliseconds until a newly-admitted job would start,
+    /// given the work currently queued ahead of it and the worker
+    /// count: total queued cost spread across `workers` lanes.
+    pub fn estimated_wait_ms(&self, queued_cost: u64, workers: usize) -> u64 {
+        queued_cost / workers.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reject_reasons_have_stable_labels() {
+        assert_eq!(
+            RejectReason::QueueFull { capacity: 4 }.label(),
+            "queue-full"
+        );
+        assert_eq!(
+            RejectReason::TenantThrottled {
+                tenant: "acme".into()
+            }
+            .label(),
+            "tenant-throttled"
+        );
+        assert_eq!(
+            RejectReason::DeadlineUnmeetable {
+                estimated_wait_ms: 900,
+                deadline_ms: 100
+            }
+            .label(),
+            "deadline-unmeetable"
+        );
+        assert_eq!(
+            RejectReason::StaleInQueue { waited_ms: 50 }.label(),
+            "stale-in-queue"
+        );
+        assert_eq!(RejectReason::ShuttingDown.label(), "shutting-down");
+    }
+
+    #[test]
+    fn reject_reasons_roundtrip_as_json() {
+        let r = RejectReason::DeadlineUnmeetable {
+            estimated_wait_ms: 700,
+            deadline_ms: 250,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RejectReason = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(r.to_string().contains("700ms"));
+    }
+
+    #[test]
+    fn cost_model_defaults_then_tracks() {
+        let mut m = CostModel::new(500);
+        assert_eq!(m.estimate("Geyser"), 500);
+        m.observe("Geyser", 800);
+        // First sample seeds the average directly.
+        assert_eq!(m.estimate("Geyser"), 800);
+        m.observe("Geyser", 0); // clamped to 1
+        assert_eq!(m.estimate("Geyser"), (800 * 7 + 1) / 8);
+        // Other techniques stay on the default.
+        assert_eq!(m.estimate("Baseline"), 500);
+    }
+
+    #[test]
+    fn ewma_converges_toward_steady_state() {
+        let mut m = CostModel::new(100);
+        for _ in 0..64 {
+            m.observe("Geyser", 1000);
+        }
+        let est = m.estimate("Geyser");
+        assert!(
+            (990..=1000).contains(&est),
+            "EWMA should converge near 1000, got {est}"
+        );
+    }
+
+    #[test]
+    fn wait_estimate_divides_across_workers() {
+        let m = CostModel::new(100);
+        assert_eq!(m.estimated_wait_ms(1000, 4), 250);
+        assert_eq!(m.estimated_wait_ms(1000, 0), 1000);
+    }
+}

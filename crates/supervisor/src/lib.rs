@@ -25,7 +25,14 @@
 //!   to per-block seeding, finishes bit-identical to an uninterrupted
 //!   run;
 //! * **graceful shutdown** — in-flight and queued jobs drain before
-//!   the workers exit.
+//!   the workers exit;
+//! * an optional **overload-resilience service layer**
+//!   ([`ServiceCore`], enabled via [`SupervisorConfig::service`]) —
+//!   per-tenant token-bucket admission and deficit-round-robin
+//!   dispatch, single-flight deduplication of identical in-flight
+//!   compiles (with leader re-election on failure), deadline-aware
+//!   load shedding with typed [`RejectReason`]s, and a degraded
+//!   compile tier under sustained overload.
 //!
 //! The job state machine:
 //!
@@ -36,20 +43,26 @@
 //!               ├────▶ Cancelled (token fired)
 //!               ├────▶ Failed    (fatal, or retries exhausted)
 //! Queued ─────────────▶ Broken   (workload breaker open)
+//! submit ─────────────▶ Rejected (service layer shed, typed reason)
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod breaker;
 mod checkpoint;
 mod compile;
 mod error;
 mod job;
 mod retry;
+mod service;
+mod singleflight;
 mod supervisor;
+mod tenant;
 mod watchdog;
 
+pub use admission::{CostModel, RejectReason};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use checkpoint::{
     checkpoint_fingerprint, load_checkpoint, load_checkpoint_quarantining, write_checkpoint_atomic,
@@ -59,7 +72,13 @@ pub use compile::{run_supervised_compile, CheckpointedComposePass, SupervisedCom
 pub use error::SupervisorError;
 pub use job::{JobHandle, JobResult, JobSpec, JobState};
 pub use retry::RetryPolicy;
+pub use service::{
+    degrade_config, Admission, AttachedInfo, Completion, Dispatch, FlightTicket, PendingJob,
+    ServiceConfig, ServiceCore, ServiceMetrics,
+};
+pub use singleflight::{FlightResolution, FlightRole, JobKey, SingleFlight};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorMetrics};
+pub use tenant::{DrrQueue, TenantId, TokenBucket};
 pub use watchdog::{Heartbeat, WatchdogConfig};
 
 pub use geyser::{CancelToken, ErrorClass};

@@ -1,0 +1,803 @@
+//! The overload-resilience service core: admission, fairness, dedup,
+//! shedding, and degradation in one synchronous state machine.
+//!
+//! [`ServiceCore`] is deliberately *passive*: it owns no threads and
+//! reads no clocks. Every entry point takes an explicit `now_ms`, so
+//! the same logic runs in two very different hosts:
+//!
+//! * the threaded [`crate::Supervisor`] calls it under its queue lock
+//!   with wall-clock milliseconds — the production shape;
+//! * the `serve` bench harness calls it from a discrete-event loop
+//!   with *virtual* milliseconds, which makes whole overload storms a
+//!   pure function of the seed (byte-identical scorecards, CI-diffable).
+//!
+//! The admission path, in order:
+//!
+//! 1. **shutdown** — a draining service sheds with
+//!    [`RejectReason::ShuttingDown`];
+//! 2. **single-flight dedup** — an identical in-flight compile absorbs
+//!    the job as a follower (no queue slot, no compile);
+//! 3. **capacity** — a full queue sheds with
+//!    [`RejectReason::QueueFull`];
+//! 4. **tenant budget** — a backlogged system sheds jobs whose tenant
+//!    has drained its token bucket
+//!    ([`RejectReason::TenantThrottled`]);
+//! 5. **deadline feasibility** — if the EWMA-estimated queue delay
+//!    already exceeds the job's deadline, it is shed *now*
+//!    ([`RejectReason::DeadlineUnmeetable`]) instead of dying in the
+//!    queue;
+//! 6. **degradation** — when the estimated delay crosses the overload
+//!    threshold, the job is admitted but downgraded to the cheaper
+//!    degraded configuration ([`degrade_config`]) and its report is
+//!    marked `degraded`.
+//!
+//! Dequeue applies CoDel-style aging: a job whose deadline expired
+//! while queued is shed with [`RejectReason::StaleInQueue`] rather
+//! than wasting a worker on already-dead work. Every shed is a typed,
+//! terminal outcome — the service never drops a submission silently.
+
+use std::collections::BTreeMap;
+
+use geyser::{CancelToken, PipelineConfig};
+
+use crate::admission::{CostModel, RejectReason};
+use crate::job::JobSpec;
+use crate::singleflight::{FlightResolution, FlightRole, JobKey, SingleFlight};
+use crate::tenant::{DrrQueue, TenantId, TokenBucket};
+
+/// Policy knobs for the service layer.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Queued jobs beyond this are shed (`queue-full`). Followers
+    /// attached by dedup consume no slots.
+    pub queue_capacity: usize,
+    /// Worker lanes assumed by the queue-delay estimate (match the
+    /// supervisor's worker count).
+    pub workers: usize,
+    /// Cost-model prior: estimated cost of a technique never observed,
+    /// in cost units (≈ ms).
+    pub default_cost: u64,
+    /// Token-bucket burst per tenant, in cost units.
+    pub tenant_burst: u64,
+    /// Token-bucket refill per tenant, in cost units per second.
+    pub tenant_rate_per_sec: u64,
+    /// Deficit-round-robin quantum, in cost units per tenant per
+    /// scheduling round.
+    pub drr_quantum: u64,
+    /// Estimated queue delay (ms) beyond which admitted jobs are
+    /// downgraded to the degraded configuration; `0` disables
+    /// degradation.
+    pub degrade_wait_ms: u64,
+    /// Whether single-flight deduplication is enabled (jobs must also
+    /// opt in via [`JobSpec::dedup`]).
+    pub dedup: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 256,
+            workers: 2,
+            default_cost: 200,
+            tenant_burst: 4_000,
+            tenant_rate_per_sec: 1_000,
+            drr_quantum: 400,
+            degrade_wait_ms: 2_000,
+            dedup: true,
+        }
+    }
+}
+
+/// Counters describing everything the service layer has decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceMetrics {
+    /// Jobs admitted into the queue (leaders; followers not counted).
+    pub admitted: u64,
+    /// Jobs shed with a typed rejection, all reasons combined.
+    pub shed: u64,
+    /// Sheds for a full queue.
+    pub shed_queue_full: u64,
+    /// Sheds for an exhausted tenant budget.
+    pub shed_throttled: u64,
+    /// Sheds for an unmeetable deadline at admission.
+    pub shed_deadline: u64,
+    /// Sheds for a deadline that expired while queued.
+    pub shed_stale: u64,
+    /// Jobs admitted in the degraded tier.
+    pub degraded: u64,
+    /// Jobs absorbed as dedup followers.
+    pub dedup_attached: u64,
+    /// Flights resolved by broadcasting a leader's result.
+    pub dedup_broadcasts: u64,
+    /// Leader re-elections after a leader failure.
+    pub dedup_reelections: u64,
+}
+
+/// One admitted job waiting for (or holding) a worker.
+#[derive(Debug)]
+pub struct PendingJob {
+    /// Supervisor job id.
+    pub id: u64,
+    /// The submitted spec (config already reflects any degradation
+    /// decided at admission — see [`PendingJob::degraded`]).
+    pub spec: JobSpec,
+    /// The job's cancellation token.
+    pub cancel: CancelToken,
+    /// Dedup key when this job leads a flight; `None` when dedup was
+    /// off for it.
+    pub key: Option<JobKey>,
+    /// Admission timestamp (the host's ms domain).
+    pub enqueued_ms: u64,
+    /// Scheduler cost estimate charged for this job.
+    pub cost: u64,
+    /// Whether admission downgraded this job to the degraded tier.
+    pub degraded: bool,
+    /// Jobs already queued when this one was admitted.
+    pub queue_depth: u64,
+}
+
+impl PendingJob {
+    /// The completion ticket the worker must hand back to
+    /// [`ServiceCore::complete`] after running this job.
+    pub fn ticket(&self) -> FlightTicket {
+        FlightTicket {
+            id: self.id,
+            key: self.key.clone(),
+            cost: self.cost,
+            technique: self.spec.technique.label(),
+        }
+    }
+}
+
+/// What a worker retains about a dispatched job so the service can
+/// settle accounting and flights when it completes.
+#[derive(Debug, Clone)]
+pub struct FlightTicket {
+    /// The job's id.
+    pub id: u64,
+    /// The job's dedup key, if it led a flight.
+    pub key: Option<JobKey>,
+    /// The cost the scheduler charged at dispatch.
+    pub cost: u64,
+    /// Technique label for cost-model feedback.
+    pub technique: &'static str,
+}
+
+/// One dedup follower awaiting its flight's result.
+#[derive(Debug)]
+struct AttachedJob {
+    spec: JobSpec,
+    cancel: CancelToken,
+    enqueued_ms: u64,
+}
+
+/// Identity of a follower receiving a broadcast result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttachedInfo {
+    /// The follower's job id.
+    pub id: u64,
+    /// The follower's workload label.
+    pub workload: String,
+    /// The tenant the follower is billed to.
+    pub tenant: TenantId,
+}
+
+/// Outcome of one admission attempt.
+#[derive(Debug)]
+pub enum Admission {
+    /// The job was queued; `degraded` reflects the overload tier.
+    Queued {
+        /// Whether the job was downgraded at admission.
+        degraded: bool,
+    },
+    /// The job attached to an identical in-flight compile and will be
+    /// served by its broadcast — no compile of its own.
+    Attached {
+        /// Job id of the flight's current leader.
+        leader: u64,
+    },
+    /// The job was shed; the spec is handed back so the caller can
+    /// record a typed terminal result. Boxed so the rare shed path
+    /// does not inflate every admission result.
+    Shed {
+        /// The rejected submission.
+        spec: Box<JobSpec>,
+        /// Why it was shed.
+        reason: RejectReason,
+    },
+}
+
+/// What [`ServiceCore::next`] handed the worker.
+#[derive(Debug)]
+pub enum Dispatch {
+    /// Run this job now.
+    Run(PendingJob),
+    /// This job went stale in the queue; record the typed rejection
+    /// and call [`ServiceCore::next`] again. Any flight it led has
+    /// already been re-elected internally.
+    Shed {
+        /// The shed job.
+        job: PendingJob,
+        /// Always [`RejectReason::StaleInQueue`] today.
+        reason: RejectReason,
+    },
+}
+
+/// Flight fallout of one completed job.
+#[derive(Debug, Default)]
+pub struct Completion {
+    /// Followers to receive a clone of the (successful) result.
+    pub broadcast: Vec<AttachedInfo>,
+    /// Id of the follower promoted to leader after a failure; its job
+    /// was re-enqueued internally and will come back out of
+    /// [`ServiceCore::next`].
+    pub reelected: Option<u64>,
+}
+
+/// The synchronous service state machine. See the module docs for the
+/// decision pipeline; hosts drive it via [`ServiceCore::submit`],
+/// [`ServiceCore::next`], and [`ServiceCore::complete`].
+#[derive(Debug)]
+pub struct ServiceCore {
+    config: ServiceConfig,
+    cost_model: CostModel,
+    queue: DrrQueue<PendingJob>,
+    /// Sum of cost estimates currently queued.
+    queued_cost: u64,
+    /// Sum of cost estimates currently running.
+    running_cost: u64,
+    running: usize,
+    buckets: BTreeMap<TenantId, TokenBucket>,
+    flights: SingleFlight,
+    attached: BTreeMap<u64, AttachedJob>,
+    shutting_down: bool,
+    metrics: ServiceMetrics,
+}
+
+impl ServiceCore {
+    /// An empty service with the given policy.
+    pub fn new(config: ServiceConfig) -> Self {
+        ServiceCore {
+            cost_model: CostModel::new(config.default_cost),
+            queue: DrrQueue::new(config.drr_quantum),
+            queued_cost: 0,
+            running_cost: 0,
+            running: 0,
+            buckets: BTreeMap::new(),
+            flights: SingleFlight::new(),
+            attached: BTreeMap::new(),
+            shutting_down: false,
+            metrics: ServiceMetrics::default(),
+            config,
+        }
+    }
+
+    /// The policy this service runs.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Point-in-time counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let mut m = self.metrics;
+        m.dedup_broadcasts = self.flights.broadcasts();
+        m.dedup_reelections = self.flights.reelections();
+        m
+    }
+
+    /// Estimated ms a job admitted now would wait for a worker.
+    pub fn estimated_wait_ms(&self) -> u64 {
+        self.cost_model
+            .estimated_wait_ms(self.queued_cost + self.running_cost, self.config.workers)
+    }
+
+    /// Jobs currently queued (followers not included).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is queued, running, or awaiting a broadcast.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.running == 0 && self.attached.is_empty()
+    }
+
+    /// Stops admitting; subsequent submissions shed `shutting-down`.
+    pub fn begin_shutdown(&mut self) {
+        self.shutting_down = true;
+    }
+
+    /// Runs the admission pipeline for one submission.
+    pub fn submit(
+        &mut self,
+        id: u64,
+        spec: JobSpec,
+        cancel: CancelToken,
+        now_ms: u64,
+    ) -> Admission {
+        if self.shutting_down {
+            return Admission::Shed {
+                spec: Box::new(spec),
+                reason: RejectReason::ShuttingDown,
+            };
+        }
+
+        // Dedup first: followers cost nothing, so they attach even
+        // when every other control would shed.
+        let key = if self.config.dedup && spec.dedup {
+            let key = JobKey::derive(
+                &spec.program,
+                &spec.config.hardware,
+                spec.technique,
+                spec.config.seed,
+            );
+            match self.flights.join(key.clone(), id) {
+                FlightRole::Follower { leader } => {
+                    self.metrics.dedup_attached += 1;
+                    self.attached.insert(
+                        id,
+                        AttachedJob {
+                            spec,
+                            cancel,
+                            enqueued_ms: now_ms,
+                        },
+                    );
+                    return Admission::Attached { leader };
+                }
+                FlightRole::Leader => Some(key),
+            }
+        } else {
+            None
+        };
+
+        // A leader shed below must also close the flight it just
+        // opened, or later duplicates would attach to a ghost.
+        let shed = |this: &mut Self, spec: JobSpec, reason: RejectReason| {
+            if let Some(k) = &key {
+                this.flights.resolve(k, id, false);
+            }
+            this.metrics.shed += 1;
+            match &reason {
+                RejectReason::QueueFull { .. } => this.metrics.shed_queue_full += 1,
+                RejectReason::TenantThrottled { .. } => this.metrics.shed_throttled += 1,
+                RejectReason::DeadlineUnmeetable { .. } => this.metrics.shed_deadline += 1,
+                RejectReason::StaleInQueue { .. } => this.metrics.shed_stale += 1,
+                RejectReason::ShuttingDown => {}
+            }
+            Admission::Shed {
+                spec: Box::new(spec),
+                reason,
+            }
+        };
+
+        if self.queue.len() >= self.config.queue_capacity {
+            let capacity = self.config.queue_capacity;
+            return shed(self, spec, RejectReason::QueueFull { capacity });
+        }
+
+        let cost = self.cost_model.estimate(spec.technique.label());
+
+        // Tenant budget: the bucket is always charged when it can pay;
+        // an empty bucket only sheds when there is an actual backlog —
+        // an idle system serves everyone.
+        let backlogged = !self.queue.is_empty();
+        let bucket = self.buckets.entry(spec.tenant.clone()).or_insert_with(|| {
+            TokenBucket::new(
+                self.config.tenant_burst,
+                self.config.tenant_rate_per_sec,
+                now_ms,
+            )
+        });
+        let paid = bucket.try_take(cost, now_ms);
+        if !paid && backlogged {
+            let tenant = spec.tenant.to_string();
+            return shed(self, spec, RejectReason::TenantThrottled { tenant });
+        }
+
+        let estimated_wait_ms = self.estimated_wait_ms();
+        if let Some(deadline_ms) = spec.deadline_ms {
+            if estimated_wait_ms > deadline_ms {
+                return shed(
+                    self,
+                    spec,
+                    RejectReason::DeadlineUnmeetable {
+                        estimated_wait_ms,
+                        deadline_ms,
+                    },
+                );
+            }
+        }
+
+        let degraded =
+            self.config.degrade_wait_ms > 0 && estimated_wait_ms >= self.config.degrade_wait_ms;
+        if degraded {
+            self.metrics.degraded += 1;
+        }
+        self.metrics.admitted += 1;
+        let queue_depth = self.queue.len() as u64;
+        let tenant = spec.tenant.clone();
+        self.queue.enqueue(
+            &tenant,
+            PendingJob {
+                id,
+                spec,
+                cancel,
+                key,
+                enqueued_ms: now_ms,
+                cost,
+                degraded,
+                queue_depth,
+            },
+            cost,
+        );
+        self.queued_cost += cost;
+        Admission::Queued { degraded }
+    }
+
+    /// Picks the next job under deficit round robin. A stale job
+    /// (deadline expired while queued) comes back as
+    /// [`Dispatch::Shed`]; the caller records the rejection and calls
+    /// again. `None` when the queue is empty.
+    pub fn next(&mut self, now_ms: u64) -> Option<Dispatch> {
+        let (_tenant, job) = self.queue.dequeue()?;
+        self.queued_cost = self.queued_cost.saturating_sub(job.cost);
+        let waited_ms = now_ms.saturating_sub(job.enqueued_ms);
+        if let Some(deadline_ms) = job.spec.deadline_ms {
+            if waited_ms > deadline_ms {
+                // CoDel-style aging: dead work never reaches a worker.
+                // A flight led by the shed job re-elects internally.
+                if let Some(key) = &job.key {
+                    self.settle_flight_failure(key, job.id, now_ms);
+                }
+                self.metrics.shed += 1;
+                self.metrics.shed_stale += 1;
+                return Some(Dispatch::Shed {
+                    job,
+                    reason: RejectReason::StaleInQueue { waited_ms },
+                });
+            }
+        }
+        self.running += 1;
+        self.running_cost += job.cost;
+        Some(Dispatch::Run(job))
+    }
+
+    /// Settles accounting and flight state for a finished job. Feeds
+    /// the measured cost back into the EWMA (when nonzero), broadcasts
+    /// a success to the flight's followers, and re-elects a follower
+    /// after a failure.
+    pub fn complete(
+        &mut self,
+        ticket: &FlightTicket,
+        succeeded: bool,
+        measured_cost: u64,
+        now_ms: u64,
+    ) -> Completion {
+        self.running = self.running.saturating_sub(1);
+        self.running_cost = self.running_cost.saturating_sub(ticket.cost);
+        if measured_cost > 0 {
+            self.cost_model.observe(ticket.technique, measured_cost);
+        }
+        let Some(key) = &ticket.key else {
+            return Completion::default();
+        };
+        if succeeded {
+            match self.flights.resolve(key, ticket.id, true) {
+                FlightResolution::Broadcast { followers } => Completion {
+                    broadcast: followers
+                        .into_iter()
+                        .filter_map(|fid| self.take_attached_info(fid))
+                        .collect(),
+                    reelected: None,
+                },
+                _ => Completion::default(),
+            }
+        } else {
+            Completion {
+                broadcast: Vec::new(),
+                reelected: self.settle_flight_failure(key, ticket.id, now_ms),
+            }
+        }
+    }
+
+    /// Handles a leader failure: promotes the first follower (its job
+    /// re-enters the queue) and returns the promoted id.
+    fn settle_flight_failure(&mut self, key: &JobKey, id: u64, now_ms: u64) -> Option<u64> {
+        match self.flights.resolve(key, id, false) {
+            FlightResolution::Reelected { new_leader, .. } => {
+                let attached = self
+                    .attached
+                    .remove(&new_leader)
+                    .expect("promoted follower is attached");
+                let cost = self.cost_model.estimate(attached.spec.technique.label());
+                let tenant = attached.spec.tenant.clone();
+                let queue_depth = self.queue.len() as u64;
+                self.queue.enqueue(
+                    &tenant,
+                    PendingJob {
+                        id: new_leader,
+                        spec: attached.spec,
+                        cancel: attached.cancel,
+                        key: Some(key.clone()),
+                        enqueued_ms: attached.enqueued_ms.min(now_ms),
+                        cost,
+                        degraded: false,
+                        queue_depth,
+                    },
+                    cost,
+                );
+                self.queued_cost += cost;
+                Some(new_leader)
+            }
+            _ => None,
+        }
+    }
+
+    fn take_attached_info(&mut self, id: u64) -> Option<AttachedInfo> {
+        self.attached.remove(&id).map(|a| AttachedInfo {
+            id,
+            workload: a.spec.workload.clone(),
+            tenant: a.spec.tenant.clone(),
+        })
+    }
+}
+
+/// The degraded-tier configuration: the same pipeline with the
+/// composition search budget clamped hard (shallower ansatz search,
+/// quartered annealing, single restart, no reseeded retries). The
+/// clamp is on *iteration* budgets, not wall clocks, so a degraded
+/// compile is still a pure function of its seed.
+pub fn degrade_config(config: &PipelineConfig) -> PipelineConfig {
+    let mut cfg = config.clone();
+    cfg.composition.max_layers = cfg.composition.max_layers.clamp(1, 2);
+    cfg.composition.anneal_iters = (cfg.composition.anneal_iters / 4).max(8);
+    cfg.composition.restarts = 1;
+    cfg.composition.retry_attempts = 0;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geyser::Technique;
+    use geyser_circuit::Circuit;
+
+    fn spec(workload: &str, tenant: &str) -> JobSpec {
+        let mut program = Circuit::new(2);
+        program.h(0).cx(0, 1);
+        JobSpec::new(
+            workload,
+            Technique::OptiMap,
+            program,
+            PipelineConfig::fast(),
+        )
+        .with_tenant(tenant)
+    }
+
+    fn core(capacity: usize) -> ServiceCore {
+        ServiceCore::new(ServiceConfig {
+            queue_capacity: capacity,
+            workers: 1,
+            default_cost: 100,
+            tenant_burst: 1_000,
+            tenant_rate_per_sec: 100,
+            drr_quantum: 200,
+            degrade_wait_ms: 0,
+            dedup: true,
+        })
+    }
+
+    #[test]
+    fn full_queue_sheds_with_queue_full() {
+        let mut c = core(1);
+        assert!(matches!(
+            c.submit(0, spec("a", "t"), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+        match c.submit(1, spec("b", "t"), CancelToken::new(), 0) {
+            Admission::Shed { reason, spec } => {
+                assert_eq!(reason.label(), "queue-full");
+                assert_eq!(spec.workload, "b");
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(c.metrics().shed_queue_full, 1);
+    }
+
+    #[test]
+    fn backlogged_tenant_out_of_tokens_is_throttled() {
+        let mut c = ServiceCore::new(ServiceConfig {
+            queue_capacity: 100,
+            workers: 1,
+            default_cost: 100,
+            tenant_burst: 150, // one job's worth
+            tenant_rate_per_sec: 0,
+            drr_quantum: 200,
+            degrade_wait_ms: 0,
+            dedup: false,
+        });
+        assert!(matches!(
+            c.submit(0, spec("a", "hog"), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+        // Backlog exists, bucket drained → throttled.
+        match c.submit(1, spec("b", "hog"), CancelToken::new(), 0) {
+            Admission::Shed { reason, .. } => assert_eq!(reason.label(), "tenant-throttled"),
+            other => panic!("expected throttle, got {other:?}"),
+        }
+        // A different tenant still gets in.
+        assert!(matches!(
+            c.submit(2, spec("c", "quiet"), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn idle_system_never_throttles() {
+        let mut c = ServiceCore::new(ServiceConfig {
+            tenant_burst: 0,
+            tenant_rate_per_sec: 0,
+            ..core(10).config
+        });
+        // Bucket can never pay, but the queue is empty → admit.
+        assert!(matches!(
+            c.submit(0, spec("a", "t"), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn unmeetable_deadline_sheds_at_admission() {
+        let mut c = core(100);
+        // Fill the queue with enough estimated work that the wait
+        // estimate exceeds a tight deadline.
+        for i in 0..5 {
+            assert!(matches!(
+                c.submit(i, spec("w", "t"), CancelToken::new(), 0),
+                Admission::Queued { .. }
+            ));
+        }
+        let tight = spec("late", "t").with_deadline_ms(1);
+        match c.submit(99, tight, CancelToken::new(), 0) {
+            Admission::Shed { reason, .. } => {
+                assert_eq!(reason.label(), "deadline-unmeetable");
+            }
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_job_is_shed_at_dequeue_not_run() {
+        let mut c = core(100);
+        let d = spec("stale", "t").with_deadline_ms(50);
+        assert!(matches!(
+            c.submit(0, d, CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+        // Virtual time jumps past the deadline before a worker frees.
+        match c.next(1_000) {
+            Some(Dispatch::Shed { job, reason }) => {
+                assert_eq!(job.id, 0);
+                assert_eq!(reason.label(), "stale-in-queue");
+            }
+            other => panic!("expected stale shed, got {other:?}"),
+        }
+        assert!(c.next(1_000).is_none());
+        assert_eq!(c.metrics().shed_stale, 1);
+    }
+
+    #[test]
+    fn duplicates_attach_and_broadcast_on_success() {
+        let mut c = core(100);
+        let mk = || spec("dup", "t").with_dedup(true);
+        assert!(matches!(
+            c.submit(0, mk(), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+        match c.submit(1, mk(), CancelToken::new(), 0) {
+            Admission::Attached { leader } => assert_eq!(leader, 0),
+            other => panic!("expected attach, got {other:?}"),
+        }
+        let Some(Dispatch::Run(job)) = c.next(0) else {
+            panic!("leader should dispatch")
+        };
+        let done = c.complete(&job.ticket(), true, 120, 10);
+        assert_eq!(done.broadcast.len(), 1);
+        assert_eq!(done.broadcast[0].id, 1);
+        assert!(done.reelected.is_none());
+        assert!(c.is_quiescent());
+        assert_eq!(c.metrics().dedup_attached, 1);
+    }
+
+    #[test]
+    fn failed_leader_promotes_follower_into_the_queue() {
+        let mut c = core(100);
+        let mk = || spec("dup", "t").with_dedup(true);
+        c.submit(0, mk(), CancelToken::new(), 0);
+        c.submit(1, mk(), CancelToken::new(), 0);
+        c.submit(2, mk(), CancelToken::new(), 0);
+        let Some(Dispatch::Run(job)) = c.next(0) else {
+            panic!("leader dispatches")
+        };
+        let done = c.complete(&job.ticket(), false, 0, 5);
+        assert_eq!(done.reelected, Some(1));
+        assert!(done.broadcast.is_empty());
+        // The promoted follower compiles and serves the last one.
+        let Some(Dispatch::Run(promoted)) = c.next(5) else {
+            panic!("promoted follower dispatches")
+        };
+        assert_eq!(promoted.id, 1);
+        let done = c.complete(&promoted.ticket(), true, 100, 20);
+        assert_eq!(done.broadcast.len(), 1);
+        assert_eq!(done.broadcast[0].id, 2);
+        assert!(c.is_quiescent());
+        assert_eq!(c.metrics().dedup_reelections, 1);
+    }
+
+    #[test]
+    fn shed_leader_closes_its_flight() {
+        let mut c = core(1);
+        let mk = |w: &str| spec(w, "t").with_dedup(true);
+        // Occupy the only slot with a *different* key so the next
+        // leader is shed by capacity.
+        c.submit(0, spec("filler", "t"), CancelToken::new(), 0);
+        match c.submit(1, mk("dup"), CancelToken::new(), 0) {
+            Admission::Shed { reason, .. } => assert_eq!(reason.label(), "queue-full"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // Had the flight leaked, this would attach to a ghost leader;
+        // it must instead shed on capacity as a fresh leader.
+        match c.submit(2, mk("dup"), CancelToken::new(), 0) {
+            Admission::Shed { reason, .. } => assert_eq!(reason.label(), "queue-full"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_degrades_admitted_jobs() {
+        let mut c = ServiceCore::new(ServiceConfig {
+            queue_capacity: 100,
+            workers: 1,
+            default_cost: 100,
+            tenant_burst: 100_000,
+            tenant_rate_per_sec: 100_000,
+            drr_quantum: 200,
+            degrade_wait_ms: 300,
+            dedup: false,
+        });
+        let mut saw_degraded = false;
+        for i in 0..6 {
+            match c.submit(i, spec("w", "t"), CancelToken::new(), 0) {
+                Admission::Queued { degraded } => saw_degraded |= degraded,
+                other => panic!("expected queued, got {other:?}"),
+            }
+        }
+        assert!(
+            saw_degraded,
+            "estimated wait crosses 300ms by the fourth job"
+        );
+        assert!(c.metrics().degraded > 0);
+    }
+
+    #[test]
+    fn degrade_config_clamps_composition_only() {
+        let cfg = PipelineConfig::paper();
+        let d = degrade_config(&cfg);
+        assert!(d.composition.anneal_iters < cfg.composition.anneal_iters);
+        assert!(d.composition.max_layers <= 2);
+        assert_eq!(d.composition.restarts, 1);
+        assert_eq!(d.composition.retry_attempts, 0);
+        assert_eq!(d.seed, cfg.seed);
+        assert_eq!(d.hardware, cfg.hardware);
+        assert!(d.composition.anneal_iters >= 8);
+    }
+
+    #[test]
+    fn shutdown_sheds_new_submissions() {
+        let mut c = core(10);
+        c.begin_shutdown();
+        match c.submit(0, spec("a", "t"), CancelToken::new(), 0) {
+            Admission::Shed { reason, .. } => assert_eq!(reason.label(), "shutting-down"),
+            other => panic!("expected shed, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Single-flight deduplication: identical in-flight compiles run once.
+//!
+//! Two jobs are *identical* when they would provably produce the same
+//! compiled circuit: same circuit fingerprint, same hardware digest,
+//! same technique, same seed (the pipeline is deterministic in those
+//! four). When a job arrives while an identical one is already
+//! admitted, it **attaches** to that flight as a follower instead of
+//! queueing a redundant compile; when the flight's leader finishes,
+//! the result is broadcast to every follower.
+//!
+//! The subtle case is a failing leader. A panicked, hung, or cancelled
+//! leader must not take its followers down with it — they were real
+//! submissions that never got their compile. On leader failure the
+//! flight **re-elects**: the first follower is promoted to leader and
+//! compiles for the remaining attachees, repeating until the flight
+//! succeeds or runs out of members. Followers can also detach
+//! individually (their own cancel token fired) without disturbing the
+//! flight.
+//!
+//! This module tracks membership only — job ids in, job ids out. The
+//! service layer owns the specs and results and performs the actual
+//! re-dispatch and broadcast.
+
+use std::collections::HashMap;
+
+use geyser::{HardwareSpec, Technique};
+use geyser_circuit::Circuit;
+
+use crate::checkpoint::checkpoint_fingerprint;
+
+/// Identity of a compile for dedup purposes: jobs with equal keys are
+/// guaranteed to produce identical circuits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    /// Fingerprint of the logical program
+    /// ([`crate::checkpoint_fingerprint`]).
+    pub fingerprint: u64,
+    /// Digest of the hardware scenario compiled for.
+    pub hardware_digest: u64,
+    /// Technique label.
+    pub technique: &'static str,
+    /// Master seed of the pipeline configuration.
+    pub seed: u64,
+}
+
+impl JobKey {
+    /// Derives the key for one (program, hardware, technique, seed)
+    /// combination.
+    pub fn derive(
+        program: &Circuit,
+        hardware: &HardwareSpec,
+        technique: Technique,
+        seed: u64,
+    ) -> Self {
+        JobKey {
+            fingerprint: checkpoint_fingerprint(program),
+            hardware_digest: hardware.digest(),
+            technique: technique.label(),
+            seed,
+        }
+    }
+}
+
+/// What a job became when it joined the dedup layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// First of its key: this job compiles.
+    Leader,
+    /// Attached to an in-flight compile led by `leader`.
+    Follower {
+        /// Job id of the current flight leader.
+        leader: u64,
+    },
+}
+
+/// How a flight resolved when its leader finished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightResolution {
+    /// The finishing job led no flight (dedup disabled or key never
+    /// shared).
+    Solo,
+    /// Leader succeeded: broadcast its result to these follower ids
+    /// (possibly empty). The flight is closed.
+    Broadcast {
+        /// Followers awaiting the shared result, attach order.
+        followers: Vec<u64>,
+    },
+    /// Leader failed but followers remain: `new_leader` was promoted
+    /// and must now compile for the rest of the flight.
+    Reelected {
+        /// The promoted follower's job id.
+        new_leader: u64,
+        /// Followers still attached after the promotion.
+        remaining: Vec<u64>,
+    },
+    /// Leader failed and no followers remained; the flight is closed.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Flight {
+    leader: u64,
+    followers: Vec<u64>,
+}
+
+/// The dedup table: one [`Flight`] per in-flight [`JobKey`].
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    flights: HashMap<JobKey, Flight>,
+    /// Flights completed by broadcast (metric).
+    broadcasts: u64,
+    /// Leader promotions after a leader failure (metric).
+    reelections: u64,
+}
+
+impl SingleFlight {
+    /// An empty dedup table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Joins `id` to the flight for `key`, creating the flight (with
+    /// `id` as leader) when none is in progress.
+    pub fn join(&mut self, key: JobKey, id: u64) -> FlightRole {
+        match self.flights.get_mut(&key) {
+            Some(flight) => {
+                flight.followers.push(id);
+                FlightRole::Follower {
+                    leader: flight.leader,
+                }
+            }
+            None => {
+                self.flights.insert(
+                    key,
+                    Flight {
+                        leader: id,
+                        followers: Vec::new(),
+                    },
+                );
+                FlightRole::Leader
+            }
+        }
+    }
+
+    /// Resolves a finished leader. `succeeded` decides between
+    /// broadcast and re-election; a non-leader or unknown key resolves
+    /// [`FlightResolution::Solo`].
+    pub fn resolve(&mut self, key: &JobKey, id: u64, succeeded: bool) -> FlightResolution {
+        match self.flights.get_mut(key) {
+            Some(flight) if flight.leader == id => {
+                if succeeded {
+                    let flight = self.flights.remove(key).expect("flight exists");
+                    if !flight.followers.is_empty() {
+                        self.broadcasts += 1;
+                    }
+                    FlightResolution::Broadcast {
+                        followers: flight.followers,
+                    }
+                } else if flight.followers.is_empty() {
+                    self.flights.remove(key);
+                    FlightResolution::Closed
+                } else {
+                    let new_leader = flight.followers.remove(0);
+                    flight.leader = new_leader;
+                    self.reelections += 1;
+                    FlightResolution::Reelected {
+                        new_leader,
+                        remaining: flight.followers.clone(),
+                    }
+                }
+            }
+            _ => FlightResolution::Solo,
+        }
+    }
+
+    /// Detaches one follower (its own cancel fired) without touching
+    /// the rest of the flight. Returns whether it was attached.
+    pub fn detach(&mut self, key: &JobKey, id: u64) -> bool {
+        if let Some(flight) = self.flights.get_mut(key) {
+            if let Some(pos) = flight.followers.iter().position(|f| *f == id) {
+                flight.followers.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any flight is currently in progress.
+    pub fn is_empty(&self) -> bool {
+        self.flights.is_empty()
+    }
+
+    /// Flights resolved by broadcasting a leader's success.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Leader promotions performed after leader failures.
+    pub fn reelections(&self) -> u64 {
+        self.reelections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> JobKey {
+        JobKey {
+            fingerprint: 0xfeed,
+            hardware_digest: 0xbeef,
+            technique: "Geyser",
+            seed,
+        }
+    }
+
+    #[test]
+    fn identical_programs_share_a_key_and_seeds_split_it() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1);
+        let hw = HardwareSpec::paper();
+        let ka = JobKey::derive(&a, &hw, Technique::Geyser, 7);
+        let kb = JobKey::derive(&b, &hw, Technique::Geyser, 7);
+        assert_eq!(ka, kb);
+        let kc = JobKey::derive(&a, &hw, Technique::Geyser, 8);
+        assert_ne!(ka, kc);
+        let kd = JobKey::derive(&a, &hw, Technique::OptiMap, 7);
+        assert_ne!(ka, kd);
+    }
+
+    #[test]
+    fn first_leads_rest_follow_success_broadcasts() {
+        let mut sf = SingleFlight::new();
+        assert_eq!(sf.join(key(0), 1), FlightRole::Leader);
+        assert_eq!(sf.join(key(0), 2), FlightRole::Follower { leader: 1 });
+        assert_eq!(sf.join(key(0), 3), FlightRole::Follower { leader: 1 });
+        // A different key starts its own flight.
+        assert_eq!(sf.join(key(9), 4), FlightRole::Leader);
+        assert_eq!(
+            sf.resolve(&key(0), 1, true),
+            FlightResolution::Broadcast {
+                followers: vec![2, 3]
+            }
+        );
+        assert_eq!(sf.broadcasts(), 1);
+        assert!(!sf.is_empty(), "the other flight is still open");
+    }
+
+    #[test]
+    fn failed_leader_reelects_until_exhausted() {
+        let mut sf = SingleFlight::new();
+        sf.join(key(0), 1);
+        sf.join(key(0), 2);
+        sf.join(key(0), 3);
+        assert_eq!(
+            sf.resolve(&key(0), 1, false),
+            FlightResolution::Reelected {
+                new_leader: 2,
+                remaining: vec![3]
+            }
+        );
+        assert_eq!(sf.reelections(), 1);
+        // The new leader succeeds for the survivor.
+        assert_eq!(
+            sf.resolve(&key(0), 2, true),
+            FlightResolution::Broadcast { followers: vec![3] }
+        );
+        assert!(sf.is_empty());
+    }
+
+    #[test]
+    fn lone_failed_leader_closes_the_flight() {
+        let mut sf = SingleFlight::new();
+        sf.join(key(0), 1);
+        assert_eq!(sf.resolve(&key(0), 1, false), FlightResolution::Closed);
+        assert!(sf.is_empty());
+        // Next arrival starts fresh.
+        assert_eq!(sf.join(key(0), 2), FlightRole::Leader);
+    }
+
+    #[test]
+    fn detach_removes_only_that_follower() {
+        let mut sf = SingleFlight::new();
+        sf.join(key(0), 1);
+        sf.join(key(0), 2);
+        sf.join(key(0), 3);
+        assert!(sf.detach(&key(0), 2));
+        assert!(!sf.detach(&key(0), 2), "already detached");
+        assert_eq!(
+            sf.resolve(&key(0), 1, true),
+            FlightResolution::Broadcast { followers: vec![3] }
+        );
+    }
+
+    #[test]
+    fn non_leader_resolution_is_solo() {
+        let mut sf = SingleFlight::new();
+        sf.join(key(0), 1);
+        sf.join(key(0), 2);
+        // A follower finishing (e.g. cancelled out-of-band) is Solo —
+        // it never led the flight.
+        assert_eq!(sf.resolve(&key(0), 2, false), FlightResolution::Solo);
+        // An unknown key is Solo too.
+        assert_eq!(sf.resolve(&key(5), 9, true), FlightResolution::Solo);
+    }
+}

@@ -14,6 +14,9 @@ use crate::compile::{run_supervised_compile, SupervisedCompileOptions};
 use crate::error::SupervisorError;
 use crate::job::{JobHandle, JobResult, JobSpec, JobState};
 use crate::retry::RetryPolicy;
+use crate::service::{
+    degrade_config, Admission, Dispatch, ServiceConfig, ServiceCore, ServiceMetrics,
+};
 use crate::watchdog::{Heartbeat, Watchdog, WatchdogConfig};
 
 /// Sizing and policy knobs for one [`Supervisor`].
@@ -32,6 +35,13 @@ pub struct SupervisorConfig {
     /// attempts run directly under the job's own token (the pre-
     /// watchdog behavior).
     pub watchdog: Option<WatchdogConfig>,
+    /// Overload-resilience service layer (admission control, tenant
+    /// fairness, single-flight dedup, deadline shedding, degradation).
+    /// `None` keeps the classic bounded-queue behavior, where a full
+    /// queue is a [`SupervisorError::QueueFull`] at `submit`. With a
+    /// service, `submit` always accepts and shed jobs resolve as
+    /// typed [`JobState::Rejected`] terminal results instead.
+    pub service: Option<ServiceConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -42,6 +52,7 @@ impl Default for SupervisorConfig {
             retry: RetryPolicy::default(),
             breaker: BreakerConfig::default(),
             watchdog: None,
+            service: None,
         }
     }
 }
@@ -71,6 +82,12 @@ pub struct SupervisorMetrics {
     pub queue_high_water: u64,
     /// Circuit-breaker trips across all workloads.
     pub breaker_trips: u64,
+    /// Jobs shed by the service layer with a typed rejection.
+    pub shed: u64,
+    /// Results served by single-flight deduplication.
+    pub deduped: u64,
+    /// Jobs admitted in the degraded overload tier.
+    pub degraded: u64,
 }
 
 struct QueuedJob {
@@ -79,6 +96,9 @@ struct QueuedJob {
     cancel: CancelToken,
     queue_depth: u64,
     enqueued: std::time::Instant,
+    /// Whether the service layer admitted this job in the degraded
+    /// overload tier (always false without a service layer).
+    degraded: bool,
 }
 
 struct QueueState {
@@ -96,6 +116,11 @@ struct Shared {
     idle: Condvar,
     breakers: Mutex<HashMap<String, CircuitBreaker>>,
     results: Mutex<Vec<JobResult>>,
+    /// The service layer, present when `config.service` is. Lock
+    /// order: `state` before `service` before `results`.
+    service: Option<Mutex<ServiceCore>>,
+    /// Wall-clock anchor for the service layer's ms domain.
+    start: std::time::Instant,
     next_id: AtomicU64,
     submitted: AtomicU64,
     rejected: AtomicU64,
@@ -107,6 +132,17 @@ struct Shared {
     resumed: AtomicU64,
     hung: AtomicU64,
     queue_high_water: AtomicU64,
+    shed: AtomicU64,
+    deduped: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl Shared {
+    /// Milliseconds since this supervisor started — the wall-clock
+    /// `now_ms` domain fed to the service layer.
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
 }
 
 fn recover<'a, T>(
@@ -153,6 +189,11 @@ impl Supervisor {
         let watchdog = config
             .watchdog
             .map(|wd| Watchdog::start(wd, telemetry.clone()));
+        let service = config.service.map(|mut sc| {
+            // The wait estimator must match the real worker count.
+            sc.workers = config.workers.max(1);
+            Mutex::new(ServiceCore::new(sc))
+        });
         let shared = Arc::new(Shared {
             config,
             telemetry,
@@ -166,6 +207,8 @@ impl Supervisor {
             idle: Condvar::new(),
             breakers: Mutex::new(HashMap::new()),
             results: Mutex::new(Vec::new()),
+            service,
+            start: std::time::Instant::now(),
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -177,6 +220,9 @@ impl Supervisor {
             resumed: AtomicU64::new(0),
             hung: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -190,12 +236,22 @@ impl Supervisor {
         Supervisor { shared, workers }
     }
 
-    /// Submits a job, applying admission control: a full queue or a
-    /// draining supervisor rejects instead of buffering.
+    /// Submits a job, applying admission control.
+    ///
+    /// Without a service layer, a full queue or a draining supervisor
+    /// rejects with an `Err` instead of buffering. With one
+    /// ([`SupervisorConfig::service`]), every submission is accepted
+    /// and resolves to a terminal [`JobResult`] — jobs the service
+    /// sheds come back as [`JobState::Rejected`] with a typed
+    /// [`crate::RejectReason`], and duplicates of an in-flight compile
+    /// attach to it instead of compiling again.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SupervisorError> {
         let mut state = recover(self.shared.state.lock());
         if state.shutting_down {
             return Err(SupervisorError::ShuttingDown);
+        }
+        if let Some(service) = &self.shared.service {
+            return Ok(self.submit_serviced(service, spec));
         }
         if state.queue.len() >= self.shared.config.queue_capacity {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
@@ -213,6 +269,7 @@ impl Supervisor {
             cancel: cancel.clone(),
             queue_depth,
             enqueued: std::time::Instant::now(),
+            degraded: false,
         });
         self.shared
             .queue_high_water
@@ -227,10 +284,69 @@ impl Supervisor {
         Ok(JobHandle { id, cancel })
     }
 
-    /// Blocks until no job is queued or running.
+    /// Service-layer admission: runs the decision pipeline and turns
+    /// sheds into typed terminal results. Caller holds the state lock.
+    fn submit_serviced(&self, service: &Mutex<ServiceCore>, spec: JobSpec) -> JobHandle {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let now_ms = self.shared.now_ms();
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.telemetry.counter_add("supervisor.submitted", 1);
+        let admission = {
+            let mut service = recover(service.lock());
+            let admission = service.submit(id, spec, cancel.clone(), now_ms);
+            self.shared
+                .queue_high_water
+                .fetch_max(service.queue_len() as u64, Ordering::Relaxed);
+            self.shared
+                .telemetry
+                .gauge_set("supervisor.queue_depth", service.queue_len() as i64);
+            admission
+        };
+        match admission {
+            Admission::Queued { degraded } => {
+                if degraded {
+                    self.shared.degraded.fetch_add(1, Ordering::Relaxed);
+                    self.shared.telemetry.counter_add("supervisor.degraded", 1);
+                }
+                self.shared.job_available.notify_one();
+            }
+            Admission::Attached { .. } => {
+                self.shared.telemetry.counter_add("supervisor.deduped", 1);
+            }
+            Admission::Shed { spec, reason } => {
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.telemetry.counter_add("supervisor.shed", 1);
+                self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                recover(self.shared.results.lock()).push(JobResult {
+                    id,
+                    workload: spec.workload,
+                    state: JobState::Rejected,
+                    compiled: None,
+                    error: None,
+                    attempts: 0,
+                    rejection: Some(reason),
+                    deduped: false,
+                });
+                self.shared.idle.notify_all();
+            }
+        }
+        JobHandle { id, cancel }
+    }
+
+    /// Blocks until no job is queued, running, or awaiting a dedup
+    /// broadcast.
     pub fn wait_idle(&self) {
         let mut state = recover(self.shared.state.lock());
-        while !(state.queue.is_empty() && state.in_flight == 0) {
+        loop {
+            let service_busy = self
+                .shared
+                .service
+                .as_ref()
+                .is_some_and(|s| !recover(s.lock()).is_quiescent());
+            if state.queue.is_empty() && state.in_flight == 0 && !service_busy {
+                return;
+            }
             state = recover(self.shared.idle.wait(state));
         }
     }
@@ -267,7 +383,19 @@ impl Supervisor {
             hung: self.shared.hung.load(Ordering::Relaxed),
             queue_high_water: self.shared.queue_high_water.load(Ordering::Relaxed),
             breaker_trips,
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            deduped: self.shared.deduped.load(Ordering::Relaxed),
+            degraded: self.shared.degraded.load(Ordering::Relaxed),
         }
+    }
+
+    /// The service layer's own counters (sheds by reason, dedup
+    /// broadcasts, re-elections); `None` without a service layer.
+    pub fn service_metrics(&self) -> Option<ServiceMetrics> {
+        self.shared
+            .service
+            .as_ref()
+            .map(|s| recover(s.lock()).metrics())
     }
 
     /// Graceful shutdown: stops accepting submissions, lets the
@@ -275,6 +403,9 @@ impl Supervisor {
     /// returns all unclaimed results.
     pub fn shutdown(mut self) -> Vec<JobResult> {
         recover(self.shared.state.lock()).shutting_down = true;
+        if let Some(service) = &self.shared.service {
+            recover(service.lock()).begin_shutdown();
+        }
         self.shared.job_available.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -287,6 +418,13 @@ impl Supervisor {
 }
 
 fn worker_loop(shared: &Shared) {
+    match &shared.service {
+        Some(service) => worker_loop_serviced(shared, service),
+        None => worker_loop_classic(shared),
+    }
+}
+
+fn worker_loop_classic(shared: &Shared) {
     loop {
         let job = {
             let mut state = recover(shared.state.lock());
@@ -304,21 +442,138 @@ fn worker_loop(shared: &Shared) {
                 state = recover(shared.job_available.wait(state));
             }
         };
-        let result = run_job(shared, job);
+        let queue_wait_ms = job.enqueued.elapsed().as_millis() as u64;
+        let result = run_job(shared, job, queue_wait_ms);
         {
             let mut state = recover(shared.state.lock());
             state.in_flight -= 1;
         }
-        match result.state {
-            JobState::Cancelled => shared.cancelled.fetch_add(1, Ordering::Relaxed),
-            JobState::Failed => shared.failed.fetch_add(1, Ordering::Relaxed),
-            JobState::Broken => shared.broken.fetch_add(1, Ordering::Relaxed),
-            _ => 0,
-        };
+        count_terminal(shared, result.state);
         shared.completed.fetch_add(1, Ordering::Relaxed);
         recover(shared.results.lock()).push(result);
         shared.idle.notify_all();
     }
+}
+
+/// The service-layer worker loop: dispatch comes from the
+/// [`ServiceCore`] scheduler (deficit round robin with stale
+/// shedding), and completions settle flights — broadcasting a
+/// leader's success to its dedup followers or re-electing one after a
+/// failure.
+fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
+    loop {
+        // Dispatch: the state lock serializes the condvar wait; the
+        // service lock (nested, consistent order) runs the scheduler.
+        let pending = {
+            let mut state = recover(shared.state.lock());
+            loop {
+                let now_ms = shared.now_ms();
+                let dispatch = recover(service.lock()).next(now_ms);
+                match dispatch {
+                    Some(Dispatch::Run(job)) => {
+                        state.in_flight += 1;
+                        break job;
+                    }
+                    Some(Dispatch::Shed { job, reason }) => {
+                        // Stale in queue: typed terminal rejection,
+                        // then keep scheduling.
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        shared.telemetry.counter_add("supervisor.shed", 1);
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                        recover(shared.results.lock()).push(JobResult {
+                            id: job.id,
+                            workload: job.spec.workload,
+                            state: JobState::Rejected,
+                            compiled: None,
+                            error: None,
+                            attempts: 0,
+                            rejection: Some(reason),
+                            deduped: false,
+                        });
+                        shared.idle.notify_all();
+                        continue;
+                    }
+                    None => {
+                        if state.shutting_down {
+                            return;
+                        }
+                        state = recover(shared.job_available.wait(state));
+                    }
+                }
+            }
+        };
+        let ticket = pending.ticket();
+        let queue_wait_ms = shared.now_ms().saturating_sub(pending.enqueued_ms);
+        let job = QueuedJob {
+            id: pending.id,
+            spec: pending.spec,
+            cancel: pending.cancel,
+            queue_depth: pending.queue_depth,
+            enqueued: std::time::Instant::now(),
+            degraded: pending.degraded,
+        };
+        let started = std::time::Instant::now();
+        let result = run_job(shared, job, queue_wait_ms);
+        let measured_cost = started.elapsed().as_millis() as u64;
+
+        // Settle the flight. Lock order: service before results, and
+        // never service while holding state (submit holds state →
+        // service).
+        let completion = recover(service.lock()).complete(
+            &ticket,
+            result.state == JobState::Done,
+            measured_cost,
+            shared.now_ms(),
+        );
+        let mut settled = Vec::with_capacity(1 + completion.broadcast.len());
+        if let Some(compiled) = result.compiled.as_ref() {
+            for info in &completion.broadcast {
+                let mut shared_result = compiled.clone();
+                if let Some(sup) = shared_result
+                    .report_mut()
+                    .and_then(|r| r.supervision.as_mut())
+                {
+                    sup.tenant = info.tenant.to_string();
+                    sup.deduped = true;
+                }
+                shared.deduped.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.counter_add("supervisor.deduped", 1);
+                settled.push(JobResult {
+                    id: info.id,
+                    workload: info.workload.clone(),
+                    state: JobState::Done,
+                    compiled: Some(shared_result),
+                    error: None,
+                    attempts: 0,
+                    rejection: None,
+                    deduped: true,
+                });
+            }
+        }
+        settled.insert(0, result);
+        for result in settled {
+            count_terminal(shared, result.state);
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            recover(shared.results.lock()).push(result);
+        }
+        {
+            let mut state = recover(shared.state.lock());
+            state.in_flight -= 1;
+        }
+        if completion.reelected.is_some() {
+            shared.job_available.notify_one();
+        }
+        shared.idle.notify_all();
+    }
+}
+
+fn count_terminal(shared: &Shared, state: JobState) {
+    match state {
+        JobState::Cancelled => shared.cancelled.fetch_add(1, Ordering::Relaxed),
+        JobState::Failed => shared.failed.fetch_add(1, Ordering::Relaxed),
+        JobState::Broken => shared.broken.fetch_add(1, Ordering::Relaxed),
+        _ => 0,
+    };
 }
 
 /// Sleeps `ms` in 1 ms slices, returning early (true) if the token
@@ -334,8 +589,7 @@ fn cancel_aware_sleep(ms: u64, cancel: &CancelToken) -> bool {
     cancel.is_cancelled()
 }
 
-fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
-    let queue_wait_ms = job.enqueued.elapsed().as_millis() as u64;
+fn run_job(shared: &Shared, job: QueuedJob, queue_wait_ms: u64) -> JobResult {
     shared
         .telemetry
         .histogram_record("supervisor.queue_wait_ms", queue_wait_ms);
@@ -359,9 +613,19 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
                 compiled: None,
                 error: None,
                 attempts: 0,
+                rejection: None,
+                deduped: false,
             };
         }
     }
+
+    // Overload degradation: a job admitted in the degraded tier runs
+    // with the clamped composition search (still seed-deterministic).
+    let config = if job.degraded {
+        degrade_config(&job.spec.config)
+    } else {
+        job.spec.config.clone()
+    };
 
     let retry = shared.config.retry;
     let mut attempts: u64 = 0;
@@ -410,7 +674,7 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
         };
         let mut attempt_span = shared.telemetry.span("supervisor", "supervisor.compile");
         attempt_span.attr("attempt", attempts);
-        let attempt_result = run_supervised_compile(&job.spec.program, &job.spec.config, &opts);
+        let attempt_result = run_supervised_compile(&job.spec.program, &config, &opts);
         drop(attempt_span);
         // A Cancelled attempt whose *job* token never fired but whose
         // watch was preempted is a hang, not a cancellation: retype it
@@ -490,6 +754,9 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
                     blocks_resumed,
                     resumed_from_checkpoint: blocks_resumed > 0,
                     hang_preemptions,
+                    tenant: job.spec.tenant.to_string(),
+                    degraded: job.degraded,
+                    deduped: false,
                 });
             }
             // The job finished; its checkpoint has served its purpose.
@@ -503,6 +770,8 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
                 compiled: Some(compiled),
                 error: None,
                 attempts,
+                rejection: None,
+                deduped: false,
             }
         }
         Err((state, error)) => JobResult {
@@ -512,6 +781,8 @@ fn run_job(shared: &Shared, job: QueuedJob) -> JobResult {
             compiled: None,
             error: Some(error),
             attempts,
+            rejection: None,
+            deduped: false,
         },
     }
 }

@@ -22,6 +22,22 @@
 //! 5. [`ChaosInvariant::StoreParsesOrQuarantined`] — every surviving
 //!    store file either parses or was quarantined to a
 //!    `.corrupt-<digest>` sidecar; no corrupt file was left in place.
+//!
+//! Campaigns that drive the supervisor's *service layer* (admission
+//! control, tenant fairness, single-flight dedup, load shedding) hold
+//! it to four more promises, checked by [`check_serve_campaign`]:
+//!
+//! 6. [`ChaosInvariant::SubmissionResolved`] — every submission
+//!    (admitted or not) reached a recognized terminal outcome; the
+//!    service never dropped one silently.
+//! 7. [`ChaosInvariant::ShedTyped`] — every shed job carries a typed
+//!    rejection reason, and only shed jobs do.
+//! 8. [`ChaosInvariant::DedupBitIdentical`] — every result served by
+//!    single-flight deduplication is bit-identical to a solo compile
+//!    of the same job.
+//! 9. [`ChaosInvariant::NoTenantStarved`] — while one tenant floods,
+//!    no other tenant's p99 latency exceeds three times its fair-share
+//!    baseline.
 
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +57,19 @@ pub enum ChaosInvariant {
     /// Every store file parses or was quarantined; none was left
     /// corrupt in place.
     StoreParsesOrQuarantined,
+    /// Every submission to the service layer reached a recognized
+    /// terminal outcome (completed, degraded, rejected, or
+    /// cancelled) — never a silent drop.
+    SubmissionResolved,
+    /// Every shed job carries a typed rejection reason, and no
+    /// non-shed job does.
+    ShedTyped,
+    /// Every dedup-served result is bit-identical to a solo compile
+    /// of the same job.
+    DedupBitIdentical,
+    /// No tenant's p99 latency exceeded 3× its fair-share baseline
+    /// while another tenant flooded.
+    NoTenantStarved,
 }
 
 impl ChaosInvariant {
@@ -53,6 +82,10 @@ impl ChaosInvariant {
             ChaosInvariant::VerifiedEquivalent => "verified-equivalent",
             ChaosInvariant::ResumeBitIdentical => "resume-bit-identical",
             ChaosInvariant::StoreParsesOrQuarantined => "store-parses-or-quarantined",
+            ChaosInvariant::SubmissionResolved => "submission-resolved",
+            ChaosInvariant::ShedTyped => "shed-typed",
+            ChaosInvariant::DedupBitIdentical => "dedup-bit-identical",
+            ChaosInvariant::NoTenantStarved => "no-tenant-starved",
         }
     }
 }
@@ -216,6 +249,116 @@ pub fn check_campaign_jobs(submitted: u64, jobs: &[JobObservation]) -> Vec<Invar
     violations
 }
 
+/// What one submission to the service layer looked like after the
+/// campaign drained — a plain-data mirror of the serve scorecard's
+/// per-job record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeJobObservation {
+    /// Submission id.
+    pub id: u64,
+    /// Tenant the job was billed to.
+    pub tenant: String,
+    /// Terminal state label: `done`, `failed`, `cancelled`, `broken`,
+    /// or `rejected`.
+    pub state: String,
+    /// Whether the result carried a typed rejection reason.
+    pub has_rejection: bool,
+    /// Whether the result was served by single-flight dedup.
+    pub deduped: bool,
+    /// For sampled dedup results: whether the shared result matched a
+    /// solo compile of the same job bit for bit. `None` when the job
+    /// was not sampled (or not deduped).
+    pub dedup_bit_identical: Option<bool>,
+}
+
+/// Per-tenant latency profile for the starvation check: p99 of
+/// completed-job latency during the calm phase (the fair-share
+/// baseline) and during the storm phase, in the campaign's ms domain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TenantLatencyObservation {
+    /// Tenant label.
+    pub tenant: String,
+    /// Whether this tenant was the one flooding during the storm.
+    pub flooding: bool,
+    /// p99 completed-job latency before the storm (ms).
+    pub baseline_p99_ms: u64,
+    /// p99 completed-job latency during the storm (ms).
+    pub storm_p99_ms: u64,
+}
+
+/// Multiplier a well-behaved tenant's storm p99 may reach over its
+/// fair-share baseline before the starvation invariant trips.
+pub const STARVATION_P99_FACTOR: u64 = 3;
+
+/// Checks the service-layer invariants (6–9) over one serve
+/// campaign's drained results. `submitted` counts every submission,
+/// including ones shed at admission.
+pub fn check_serve_campaign(
+    submitted: u64,
+    jobs: &[ServeJobObservation],
+    tenants: &[TenantLatencyObservation],
+) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    if jobs.len() as u64 != submitted {
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::SubmissionResolved,
+            format!(
+                "{submitted} submissions but {} terminal outcomes",
+                jobs.len()
+            ),
+        ));
+    }
+    for job in jobs {
+        let tag = format!(
+            "job {} (tenant {}, state={})",
+            job.id, job.tenant, job.state
+        );
+        match job.state.as_str() {
+            "done" | "failed" | "cancelled" | "broken" | "rejected" => {}
+            other => violations.push(InvariantViolation::new(
+                ChaosInvariant::SubmissionResolved,
+                format!("job {} in unrecognized terminal state '{other}'", job.id),
+            )),
+        }
+        if job.state == "rejected" && !job.has_rejection {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::ShedTyped,
+                format!("{tag} was shed without a typed rejection reason"),
+            ));
+        }
+        if job.state != "rejected" && job.has_rejection {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::ShedTyped,
+                format!("{tag} carries a rejection reason but was not shed"),
+            ));
+        }
+        if job.dedup_bit_identical == Some(false) {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::DedupBitIdentical,
+                format!("{tag} dedup result differs from a solo compile"),
+            ));
+        }
+    }
+    for t in tenants {
+        if t.flooding {
+            continue;
+        }
+        // Sub-millisecond baselines are floored so quantization noise
+        // on a fast calm phase can't trip the check by itself.
+        let limit = STARVATION_P99_FACTOR * t.baseline_p99_ms.max(1);
+        if t.storm_p99_ms > limit {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::NoTenantStarved,
+                format!(
+                    "tenant {} p99 {}ms during the storm exceeds {}x its {}ms baseline",
+                    t.tenant, t.storm_p99_ms, STARVATION_P99_FACTOR, t.baseline_p99_ms
+                ),
+            ));
+        }
+    }
+    violations
+}
+
 /// Checks the store invariant (5) over a post-campaign scan of the
 /// store directory.
 pub fn check_store_scan(files: &[StoreFileObservation]) -> Vec<InvariantViolation> {
@@ -316,6 +459,119 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].invariant, "store-parses-or-quarantined");
         assert!(v[0].detail.contains("ckpt-ghz.json"));
+    }
+
+    fn resolved(id: u64, tenant: &str) -> ServeJobObservation {
+        ServeJobObservation {
+            id,
+            tenant: tenant.into(),
+            state: "done".into(),
+            has_rejection: false,
+            deduped: false,
+            dedup_bit_identical: None,
+        }
+    }
+
+    #[test]
+    fn clean_serve_campaign_has_no_violations() {
+        let jobs = vec![resolved(0, "a"), resolved(1, "b")];
+        let tenants = vec![
+            TenantLatencyObservation {
+                tenant: "a".into(),
+                flooding: false,
+                baseline_p99_ms: 100,
+                storm_p99_ms: 250,
+            },
+            TenantLatencyObservation {
+                tenant: "b".into(),
+                flooding: true,
+                baseline_p99_ms: 100,
+                storm_p99_ms: 9_000,
+            },
+        ];
+        assert!(check_serve_campaign(2, &jobs, &tenants).is_empty());
+    }
+
+    #[test]
+    fn unresolved_submission_is_flagged() {
+        let v = check_serve_campaign(3, &[resolved(0, "a"), resolved(1, "a")], &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "submission-resolved");
+        let mut weird = resolved(0, "a");
+        weird.state = "vaporized".into();
+        let v = check_serve_campaign(1, &[weird], &[]);
+        assert!(v.iter().any(|x| x.invariant == "submission-resolved"));
+    }
+
+    #[test]
+    fn untyped_or_misplaced_rejection_is_flagged() {
+        let mut untyped = resolved(0, "a");
+        untyped.state = "rejected".into();
+        let mut misplaced = resolved(1, "a");
+        misplaced.has_rejection = true;
+        let v = check_serve_campaign(2, &[untyped, misplaced], &[]);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.invariant == "shed-typed"));
+    }
+
+    #[test]
+    fn dedup_divergence_is_flagged() {
+        let mut diverged = resolved(0, "a");
+        diverged.deduped = true;
+        diverged.dedup_bit_identical = Some(false);
+        let mut fine = resolved(1, "a");
+        fine.deduped = true;
+        fine.dedup_bit_identical = Some(true);
+        let v = check_serve_campaign(2, &[diverged, fine], &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "dedup-bit-identical");
+    }
+
+    #[test]
+    fn starved_tenant_is_flagged_but_flooder_is_exempt() {
+        let tenants = vec![
+            TenantLatencyObservation {
+                tenant: "victim".into(),
+                flooding: false,
+                baseline_p99_ms: 100,
+                storm_p99_ms: 301,
+            },
+            TenantLatencyObservation {
+                tenant: "hog".into(),
+                flooding: true,
+                baseline_p99_ms: 100,
+                storm_p99_ms: 50_000,
+            },
+        ];
+        let v = check_serve_campaign(0, &[], &tenants);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "no-tenant-starved");
+        assert!(v[0].detail.contains("victim"));
+    }
+
+    #[test]
+    fn zero_baseline_is_floored_not_divided() {
+        let tenants = vec![TenantLatencyObservation {
+            tenant: "quick".into(),
+            flooding: false,
+            baseline_p99_ms: 0,
+            storm_p99_ms: 3,
+        }];
+        assert!(check_serve_campaign(0, &[], &tenants).is_empty());
+    }
+
+    #[test]
+    fn serve_labels_are_stable() {
+        assert_eq!(
+            ChaosInvariant::SubmissionResolved.label(),
+            "submission-resolved"
+        );
+        assert_eq!(ChaosInvariant::ShedTyped.label(), "shed-typed");
+        assert_eq!(
+            ChaosInvariant::DedupBitIdentical.label(),
+            "dedup-bit-identical"
+        );
+        assert_eq!(ChaosInvariant::NoTenantStarved.label(), "no-tenant-starved");
     }
 
     #[test]

@@ -28,8 +28,9 @@ pub mod quarantine;
 
 pub use fuzz::{derive_seed, generate_case, generate_cases, FuzzCase, FuzzOptions};
 pub use invariants::{
-    check_campaign_jobs, check_store_scan, ChaosInvariant, InvariantViolation, JobObservation,
-    StoreFileObservation, StoreFileStatus,
+    check_campaign_jobs, check_serve_campaign, check_store_scan, ChaosInvariant,
+    InvariantViolation, JobObservation, ServeJobObservation, StoreFileObservation, StoreFileStatus,
+    TenantLatencyObservation, STARVATION_P99_FACTOR,
 };
 pub use minimize::{minimize, MinimizeStats};
 pub use oracle::{

@@ -227,6 +227,117 @@ fn breaker_half_opens_after_cooldown_and_closes_on_probe_success() {
 }
 
 #[test]
+fn half_open_probe_is_exclusive_under_concurrent_submitters() {
+    // Once a breaker half-opens, exactly ONE probe may run; rivals
+    // racing it on other workers must bounce with the breaker-open
+    // fail-fast (Broken, zero attempts), and the probe's success must
+    // fully close the breaker for everyone after it.
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 4,
+        retry: quick_retry(1),
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ms: 0,
+        },
+        watchdog: Some(WatchdogConfig {
+            hang_timeout_ms: 2_000,
+            poll_interval_ms: 10,
+        }),
+        ..SupervisorConfig::default()
+    });
+
+    // Trip the breaker open.
+    supervisor
+        .submit(job("contended", Technique::OptiMap, "pass-panic:map"))
+        .unwrap();
+    supervisor.wait_idle();
+    assert_eq!(
+        supervisor.breaker_state("contended"),
+        Some(BreakerState::Open)
+    );
+
+    // The probe: admitted through the zero cooldown, then hangs at its
+    // first pass, pinning the breaker HalfOpen while the rivals below
+    // race it. The watchdog later preempts the hang and the clean
+    // retry succeeds — a successful probe, just a slow one.
+    let probe = supervisor
+        .submit(job("contended", Technique::OptiMap, "hang-pass:map"))
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while supervisor.breaker_state("contended") != Some(BreakerState::HalfOpen) {
+        assert!(
+            Instant::now() < deadline,
+            "probe never half-opened the breaker"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Three rival submitters race the in-flight probe from their own
+    // threads; three idle workers dequeue them against the HalfOpen
+    // breaker.
+    let rival_ids: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                s.spawn(|| {
+                    supervisor
+                        .submit(job("contended", Technique::OptiMap, ""))
+                        .unwrap()
+                        .id
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Every rival must bounce while the probe still holds the flight.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while supervisor.metrics().broken < 3 {
+        assert!(Instant::now() < deadline, "rivals were not bounced");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(
+        supervisor.breaker_state("contended"),
+        Some(BreakerState::HalfOpen),
+        "rivals must not perturb the in-flight probe"
+    );
+
+    // Probe completes (preempted hang + clean retry) and closes the
+    // breaker; the next submission runs normally.
+    supervisor.wait_idle();
+    assert_eq!(
+        supervisor.breaker_state("contended"),
+        Some(BreakerState::Closed),
+        "probe success must fully close the breaker"
+    );
+    let after = supervisor
+        .submit(job("contended", Technique::OptiMap, ""))
+        .unwrap();
+    assert_eq!(
+        supervisor.metrics().breaker_trips,
+        1,
+        "the probe's success must not re-trip"
+    );
+    let results = supervisor.shutdown();
+
+    let metrics_broken = results
+        .iter()
+        .filter(|r| r.state == JobState::Broken)
+        .collect::<Vec<_>>();
+    assert_eq!(metrics_broken.len(), 3, "exactly the rivals bounced");
+    for r in &metrics_broken {
+        assert!(rival_ids.contains(&r.id));
+        assert_eq!(r.attempts, 0, "bounced rivals must never run");
+    }
+    let probe_result = results.iter().find(|r| r.id == probe.id).unwrap();
+    assert_eq!(probe_result.state, JobState::Done);
+    assert_eq!(
+        probe_result.attempts, 2,
+        "one preempted hang + one clean retry"
+    );
+    let after_result = results.iter().find(|r| r.id == after.id).unwrap();
+    assert_eq!(after_result.state, JobState::Done);
+}
+
+#[test]
 fn graceful_shutdown_drains_every_queued_job() {
     let supervisor = Supervisor::start(SupervisorConfig {
         workers: 1,
