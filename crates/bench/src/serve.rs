@@ -156,10 +156,10 @@ pub struct TenantCard {
     pub p99_ms: u64,
     /// Fair-share baseline p99: the measured calm-phase p99, floored
     /// at what deficit round robin entitles a tenant to under full
-    /// contention (own service time plus one rotation of every other
-    /// tenant's quantum across the lanes). The floor keeps a
-    /// near-idle calm phase from shrinking the starvation budget to
-    /// "zero queueing allowed".
+    /// contention (one worst-case service of its own plus one
+    /// worst-case job per other tenant, spread over the lanes). The
+    /// floor keeps a near-idle calm phase from shrinking the
+    /// starvation budget to "zero queueing allowed".
     pub baseline_p99_ms: u64,
     /// p99 latency of jobs that arrived during the storm phase.
     pub storm_p99_ms: u64,
@@ -376,6 +376,7 @@ pub fn run_serve(cli: &Cli) -> ServeScorecard {
     let mut memo: BTreeMap<(Combo, bool), CompiledCircuit> = BTreeMap::new();
     let mut cost_sum = 0u64;
     let mut cost_n = 0u64;
+    let mut max_cost_ms = 0u64;
     for workload in 0..programs.len() {
         for technique in 0..TECHNIQUES.len() {
             for variant in 0..SEED_VARIANTS {
@@ -385,12 +386,15 @@ pub fn run_serve(cli: &Cli) -> ServeScorecard {
                     variant,
                 };
                 let c = memo_compile(&mut memo, combo, false, &programs, &configs);
-                cost_sum += service_cost_ms(c);
+                let cost = service_cost_ms(c);
+                cost_sum += cost;
                 cost_n += 1;
+                max_cost_ms = max_cost_ms.max(cost);
             }
         }
     }
     let mean_cost_ms = (cost_sum / cost_n).max(1);
+    let max_cost_ms = max_cost_ms.max(1);
 
     let workers = if cli.jobs > 1 { cli.jobs } else { 2 };
     let tenants = cli.tenants;
@@ -408,7 +412,7 @@ pub fn run_serve(cli: &Cli) -> ServeScorecard {
         // second — takes over and sheds the rest.
         tenant_burst: mean_cost_ms * 12,
         tenant_rate_per_sec: (workers as u64 * 1_000 / tenants as u64).max(1),
-        drr_quantum: mean_cost_ms * 2,
+        drr_quantum: mean_cost_ms,
         degrade_wait_ms: mean_cost_ms * 4,
         dedup: true,
     };
@@ -451,7 +455,14 @@ pub fn run_serve(cli: &Cli) -> ServeScorecard {
                         duration_ms,
                     });
                 }
-                Some(Dispatch::Shed { job, reason }) => {
+                Some(Dispatch::Shed {
+                    job,
+                    reason,
+                    cancelled,
+                }) => {
+                    // The harness never fires cancel tokens, so no
+                    // follower can have detached as cancelled.
+                    debug_assert!(cancelled.is_empty(), "serve submits no cancellations");
                     outcomes.insert(
                         job.id,
                         Outcome::Rejected {
@@ -481,6 +492,7 @@ pub fn run_serve(cli: &Cli) -> ServeScorecard {
             let lane = running.remove(pos);
             now = lane.finish_ms;
             let done = core.complete(&lane.ticket, true, lane.duration_ms, now);
+            debug_assert!(done.cancelled.is_empty(), "serve submits no cancellations");
             let m = meta[&lane.id].clone();
             outcomes.insert(
                 lane.id,
@@ -654,10 +666,14 @@ pub fn run_serve(cli: &Cli) -> ServeScorecard {
         };
         jobs.push(obs);
     }
-    // The fair-share latency a tenant signs up for under contention:
-    // its own service plus one DRR rotation of the other tenants'
-    // quanta (2×mean each) spread over the worker lanes.
-    let fair_share_ms = mean_cost_ms * (workers as u64 + 2 * (tenants as u64 - 1)) / workers as u64;
+    // The fair-share latency a tenant signs up for under contention.
+    // DRR's service bound is governed by the *largest* job in the mix,
+    // not the mean: a rotation hands every other tenant the chance to
+    // dispatch one whole job once its deficit covers it, and a
+    // worst-case job can already occupy each lane when you arrive. So
+    // the entitlement is one max-cost service of your own plus one
+    // max-cost job per other tenant, spread over the worker lanes.
+    let fair_share_ms = max_cost_ms * (workers as u64 + (tenants as u64 - 1)) / workers as u64;
     let mut tenant_latencies = Vec::with_capacity(tenants);
     for (t, card) in cards.iter_mut().enumerate() {
         for lat in [&mut all_lat[t], &mut calm_lat[t], &mut storm_lat[t]] {

@@ -19,13 +19,14 @@
 //!    the job as a follower (no queue slot, no compile);
 //! 3. **capacity** — a full queue sheds with
 //!    [`RejectReason::QueueFull`];
-//! 4. **tenant budget** — a backlogged system sheds jobs whose tenant
-//!    has drained its token bucket
-//!    ([`RejectReason::TenantThrottled`]);
-//! 5. **deadline feasibility** — if the EWMA-estimated queue delay
+//! 4. **deadline feasibility** — if the EWMA-estimated queue delay
 //!    already exceeds the job's deadline, it is shed *now*
 //!    ([`RejectReason::DeadlineUnmeetable`]) instead of dying in the
-//!    queue;
+//!    queue — and before the tenant budget is touched, so a doomed
+//!    job never burns its tenant's tokens;
+//! 5. **tenant budget** — a backlogged system sheds jobs whose tenant
+//!    has drained its token bucket
+//!    ([`RejectReason::TenantThrottled`]);
 //! 6. **degradation** — when the estimated delay crosses the overload
 //!    threshold, the job is admitted but downgraded to the cheaper
 //!    degraded configuration ([`degrade_config`]) and its report is
@@ -169,6 +170,9 @@ struct AttachedJob {
     spec: JobSpec,
     cancel: CancelToken,
     enqueued_ms: u64,
+    /// The flight this follower attached to, so a fired cancel token
+    /// can detach it without scanning every flight.
+    key: JobKey,
 }
 
 /// Identity of a follower receiving a broadcast result.
@@ -220,6 +224,10 @@ pub enum Dispatch {
         job: PendingJob,
         /// Always [`RejectReason::StaleInQueue`] today.
         reason: RejectReason,
+        /// Followers of the shed job's flight whose own cancel token
+        /// fired while attached; they were detached instead of being
+        /// promoted and must resolve as cancelled.
+        cancelled: Vec<AttachedInfo>,
     },
 }
 
@@ -232,6 +240,10 @@ pub struct Completion {
     /// was re-enqueued internally and will come back out of
     /// [`ServiceCore::next`].
     pub reelected: Option<u64>,
+    /// Followers whose own cancel token fired while attached: they
+    /// were detached from the flight (never broadcast to, never
+    /// promoted) and must resolve as cancelled terminal results.
+    pub cancelled: Vec<AttachedInfo>,
 }
 
 /// The synchronous service state machine. See the module docs for the
@@ -339,6 +351,7 @@ impl ServiceCore {
                             spec,
                             cancel,
                             enqueued_ms: now_ms,
+                            key,
                         },
                     );
                     return Admission::Attached { leader };
@@ -376,6 +389,24 @@ impl ServiceCore {
 
         let cost = self.cost_model.estimate(spec.technique.label());
 
+        // Deadline feasibility before the tenant budget: a job shed
+        // as unmeetable never runs, so it must not burn its tenant's
+        // tokens — under backlog a tight-deadline submitter would
+        // otherwise be throttled sooner than its fair share.
+        let estimated_wait_ms = self.estimated_wait_ms();
+        if let Some(deadline_ms) = spec.deadline_ms {
+            if estimated_wait_ms > deadline_ms {
+                return shed(
+                    self,
+                    spec,
+                    RejectReason::DeadlineUnmeetable {
+                        estimated_wait_ms,
+                        deadline_ms,
+                    },
+                );
+            }
+        }
+
         // Tenant budget: the bucket is always charged when it can pay;
         // an empty bucket only sheds when there is an actual backlog —
         // an idle system serves everyone.
@@ -391,20 +422,6 @@ impl ServiceCore {
         if !paid && backlogged {
             let tenant = spec.tenant.to_string();
             return shed(self, spec, RejectReason::TenantThrottled { tenant });
-        }
-
-        let estimated_wait_ms = self.estimated_wait_ms();
-        if let Some(deadline_ms) = spec.deadline_ms {
-            if estimated_wait_ms > deadline_ms {
-                return shed(
-                    self,
-                    spec,
-                    RejectReason::DeadlineUnmeetable {
-                        estimated_wait_ms,
-                        deadline_ms,
-                    },
-                );
-            }
         }
 
         let degraded =
@@ -444,15 +461,18 @@ impl ServiceCore {
         if let Some(deadline_ms) = job.spec.deadline_ms {
             if waited_ms > deadline_ms {
                 // CoDel-style aging: dead work never reaches a worker.
-                // A flight led by the shed job re-elects internally.
-                if let Some(key) = &job.key {
-                    self.settle_flight_failure(key, job.id, now_ms);
-                }
+                // A flight led by the shed job re-elects internally;
+                // followers cancelled in the meantime detach instead.
+                let cancelled = match &job.key {
+                    Some(key) => self.settle_flight_failure(key, job.id, now_ms).1,
+                    None => Vec::new(),
+                };
                 self.metrics.shed += 1;
                 self.metrics.shed_stale += 1;
                 return Some(Dispatch::Shed {
                     job,
                     reason: RejectReason::StaleInQueue { waited_ms },
+                    cancelled,
                 });
             }
         }
@@ -481,6 +501,10 @@ impl ServiceCore {
             return Completion::default();
         };
         if succeeded {
+            // Followers whose own token fired must not be handed the
+            // broadcast result as Done: detach them first so they
+            // resolve Cancelled like any other cancelled job.
+            let cancelled = self.detach_cancelled_followers(key);
             match self.flights.resolve(key, ticket.id, true) {
                 FlightResolution::Broadcast { followers } => Completion {
                     broadcast: followers
@@ -488,21 +512,55 @@ impl ServiceCore {
                         .filter_map(|fid| self.take_attached_info(fid))
                         .collect(),
                     reelected: None,
+                    cancelled,
                 },
-                _ => Completion::default(),
+                _ => Completion {
+                    cancelled,
+                    ..Completion::default()
+                },
             }
         } else {
+            let (reelected, cancelled) = self.settle_flight_failure(key, ticket.id, now_ms);
             Completion {
                 broadcast: Vec::new(),
-                reelected: self.settle_flight_failure(key, ticket.id, now_ms),
+                reelected,
+                cancelled,
             }
         }
     }
 
-    /// Handles a leader failure: promotes the first follower (its job
-    /// re-enters the queue) and returns the promoted id.
-    fn settle_flight_failure(&mut self, key: &JobKey, id: u64, now_ms: u64) -> Option<u64> {
-        match self.flights.resolve(key, id, false) {
+    /// Detaches every follower of `key` whose own cancel token has
+    /// fired, returning their identities so the host can record
+    /// cancelled terminal results. Detached followers leave the flight
+    /// entirely: they receive no broadcast and cannot be promoted.
+    fn detach_cancelled_followers(&mut self, key: &JobKey) -> Vec<AttachedInfo> {
+        let fired: Vec<u64> = self
+            .attached
+            .iter()
+            .filter(|(_, a)| &a.key == key && a.cancel.is_cancelled())
+            .map(|(id, _)| *id)
+            .collect();
+        fired
+            .into_iter()
+            .map(|id| {
+                self.flights.detach(key, id);
+                self.take_attached_info(id)
+                    .expect("fired follower is attached")
+            })
+            .collect()
+    }
+
+    /// Handles a leader failure: detaches cancelled followers, then
+    /// promotes the first live one (its job re-enters the queue).
+    /// Returns the promoted id and the detached followers.
+    fn settle_flight_failure(
+        &mut self,
+        key: &JobKey,
+        id: u64,
+        now_ms: u64,
+    ) -> (Option<u64>, Vec<AttachedInfo>) {
+        let cancelled = self.detach_cancelled_followers(key);
+        let reelected = match self.flights.resolve(key, id, false) {
             FlightResolution::Reelected { new_leader, .. } => {
                 let attached = self
                     .attached
@@ -529,7 +587,8 @@ impl ServiceCore {
                 Some(new_leader)
             }
             _ => None,
-        }
+        };
+        (reelected, cancelled)
     }
 
     fn take_attached_info(&mut self, id: u64) -> Option<AttachedInfo> {
@@ -675,7 +734,7 @@ mod tests {
         ));
         // Virtual time jumps past the deadline before a worker frees.
         match c.next(1_000) {
-            Some(Dispatch::Shed { job, reason }) => {
+            Some(Dispatch::Shed { job, reason, .. }) => {
                 assert_eq!(job.id, 0);
                 assert_eq!(reason.label(), "stale-in-queue");
             }
@@ -683,6 +742,85 @@ mod tests {
         }
         assert!(c.next(1_000).is_none());
         assert_eq!(c.metrics().shed_stale, 1);
+    }
+
+    #[test]
+    fn deadline_shed_does_not_charge_the_tenant_bucket() {
+        let mut c = ServiceCore::new(ServiceConfig {
+            queue_capacity: 100,
+            workers: 1,
+            default_cost: 100,
+            tenant_burst: 250,
+            tenant_rate_per_sec: 0,
+            drr_quantum: 200,
+            degrade_wait_ms: 0,
+            dedup: false,
+        });
+        assert!(matches!(
+            c.submit(0, spec("a", "t"), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+        // A backlog makes the 1ms deadline unmeetable; the shed must
+        // leave the remaining 150 millitokens untouched.
+        match c.submit(1, spec("b", "t").with_deadline_ms(1), CancelToken::new(), 0) {
+            Admission::Shed { reason, .. } => {
+                assert_eq!(reason.label(), "deadline-unmeetable")
+            }
+            other => panic!("expected deadline shed, got {other:?}"),
+        }
+        assert!(matches!(
+            c.submit(2, spec("c", "t"), CancelToken::new(), 0),
+            Admission::Queued { .. }
+        ));
+    }
+
+    #[test]
+    fn cancelled_follower_resolves_cancelled_not_done() {
+        let mut c = core(100);
+        let mk = || spec("dup", "t").with_dedup(true);
+        let follower_token = CancelToken::new();
+        c.submit(0, mk(), CancelToken::new(), 0);
+        c.submit(1, mk(), follower_token.clone(), 0);
+        c.submit(2, mk(), CancelToken::new(), 0);
+        follower_token.cancel();
+        let Some(Dispatch::Run(job)) = c.next(0) else {
+            panic!("leader dispatches")
+        };
+        let done = c.complete(&job.ticket(), true, 120, 10);
+        assert_eq!(done.broadcast.len(), 1);
+        assert_eq!(done.broadcast[0].id, 2);
+        assert_eq!(done.cancelled.len(), 1);
+        assert_eq!(done.cancelled[0].id, 1);
+        assert!(done.reelected.is_none());
+        assert!(c.is_quiescent());
+    }
+
+    #[test]
+    fn cancelled_follower_is_never_promoted_to_leader() {
+        let mut c = core(100);
+        let mk = || spec("dup", "t").with_dedup(true);
+        let follower_token = CancelToken::new();
+        c.submit(0, mk(), CancelToken::new(), 0);
+        c.submit(1, mk(), follower_token.clone(), 0);
+        c.submit(2, mk(), CancelToken::new(), 0);
+        follower_token.cancel();
+        let Some(Dispatch::Run(job)) = c.next(0) else {
+            panic!("leader dispatches")
+        };
+        // The leader fails: promotion must skip the cancelled
+        // follower and pick the live one.
+        let done = c.complete(&job.ticket(), false, 0, 5);
+        assert_eq!(done.reelected, Some(2));
+        assert_eq!(done.cancelled.len(), 1);
+        assert_eq!(done.cancelled[0].id, 1);
+        let Some(Dispatch::Run(promoted)) = c.next(5) else {
+            panic!("promoted follower dispatches")
+        };
+        assert_eq!(promoted.id, 2);
+        let done = c.complete(&promoted.ticket(), true, 100, 20);
+        assert!(done.broadcast.is_empty());
+        assert!(done.cancelled.is_empty());
+        assert!(c.is_quiescent());
     }
 
     #[test]

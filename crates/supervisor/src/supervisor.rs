@@ -15,7 +15,7 @@ use crate::error::SupervisorError;
 use crate::job::{JobHandle, JobResult, JobSpec, JobState};
 use crate::retry::RetryPolicy;
 use crate::service::{
-    degrade_config, Admission, Dispatch, ServiceConfig, ServiceCore, ServiceMetrics,
+    degrade_config, Admission, AttachedInfo, Dispatch, ServiceConfig, ServiceCore, ServiceMetrics,
 };
 use crate::watchdog::{Heartbeat, Watchdog, WatchdogConfig};
 
@@ -312,7 +312,11 @@ impl Supervisor {
                 self.shared.job_available.notify_one();
             }
             Admission::Attached { .. } => {
-                self.shared.telemetry.counter_add("supervisor.deduped", 1);
+                // Counted (metrics and telemetry both) when the
+                // broadcast result is actually delivered, so the
+                // telemetry counter matches `SupervisorMetrics::deduped`
+                // and a follower later promoted to leader is never
+                // counted as dedup-served.
             }
             Admission::Shed { spec, reason } => {
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
@@ -474,9 +478,15 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
                         state.in_flight += 1;
                         break job;
                     }
-                    Some(Dispatch::Shed { job, reason }) => {
+                    Some(Dispatch::Shed {
+                        job,
+                        reason,
+                        cancelled,
+                    }) => {
                         // Stale in queue: typed terminal rejection,
-                        // then keep scheduling.
+                        // then keep scheduling. Followers of its
+                        // flight whose own token fired resolve
+                        // Cancelled alongside it.
                         shared.shed.fetch_add(1, Ordering::Relaxed);
                         shared.telemetry.counter_add("supervisor.shed", 1);
                         shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -490,6 +500,9 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
                             rejection: Some(reason),
                             deduped: false,
                         });
+                        for info in &cancelled {
+                            settle_cancelled_follower(shared, info);
+                        }
                         shared.idle.notify_all();
                         continue;
                     }
@@ -556,6 +569,9 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
             shared.completed.fetch_add(1, Ordering::Relaxed);
             recover(shared.results.lock()).push(result);
         }
+        for info in &completion.cancelled {
+            settle_cancelled_follower(shared, info);
+        }
         {
             let mut state = recover(shared.state.lock());
             state.in_flight -= 1;
@@ -565,6 +581,26 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
         }
         shared.idle.notify_all();
     }
+}
+
+/// Records the terminal result for a dedup follower whose own cancel
+/// token fired while attached: it detached from its flight and ends
+/// [`JobState::Cancelled`], never served the broadcast result.
+fn settle_cancelled_follower(shared: &Shared, info: &AttachedInfo) {
+    count_terminal(shared, JobState::Cancelled);
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    recover(shared.results.lock()).push(JobResult {
+        id: info.id,
+        workload: info.workload.clone(),
+        state: JobState::Cancelled,
+        compiled: None,
+        error: Some(CompileError::Cancelled {
+            pass: "dedup-attached".to_string(),
+        }),
+        attempts: 0,
+        rejection: None,
+        deduped: false,
+    });
 }
 
 fn count_terminal(shared: &Shared, state: JobState) {

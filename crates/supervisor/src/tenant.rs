@@ -199,43 +199,67 @@ impl<T> DrrQueue<T> {
     }
 
     /// Pops the next job under deficit round robin, returning it with
-    /// its tenant. `None` when every queue is empty.
+    /// its tenant. `None` when every queue is empty — a non-empty
+    /// queue always dispatches in one call.
     pub fn dequeue(&mut self) -> Option<(TenantId, T)> {
         if self.len == 0 {
             return None;
         }
-        // At most two sweeps: the first tops up deficits, the second
-        // is guaranteed to find a dispatchable head because quantum
-        // accrual is unbounded for backlogged tenants.
         let n = self.tenants.len();
-        for _ in 0..(2 * n) {
-            let idx = self.cursor % n;
-            let slot = &mut self.tenants[idx];
-            match slot.queue.front() {
-                Some(head) if head.cost <= slot.deficit => {
-                    let entry = slot.queue.pop_front().expect("head exists");
-                    slot.deficit -= entry.cost;
-                    // An emptied tenant forfeits its residual deficit
-                    // (classic DRR: no banking across idle periods).
-                    if slot.queue.is_empty() {
+        loop {
+            // One full rotation, topping up a quantum per visited
+            // backlogged tenant whose head is not yet affordable.
+            for _ in 0..n {
+                let idx = self.cursor % n;
+                let slot = &mut self.tenants[idx];
+                match slot.queue.front() {
+                    Some(head) if head.cost <= slot.deficit => {
+                        let entry = slot.queue.pop_front().expect("head exists");
+                        slot.deficit -= entry.cost;
+                        // An emptied tenant forfeits its residual deficit
+                        // (classic DRR: no banking across idle periods).
+                        if slot.queue.is_empty() {
+                            slot.deficit = 0;
+                            self.cursor += 1;
+                        }
+                        self.len -= 1;
+                        return Some((slot.tenant.clone(), entry.item));
+                    }
+                    Some(_) => {
+                        slot.deficit = slot.deficit.saturating_add(self.quantum);
+                        self.cursor += 1;
+                    }
+                    None => {
                         slot.deficit = 0;
                         self.cursor += 1;
                     }
-                    self.len -= 1;
-                    return Some((slot.tenant.clone(), entry.item));
                 }
-                Some(_) => {
-                    slot.deficit = slot.deficit.saturating_add(self.quantum);
-                    self.cursor += 1;
-                }
-                None => {
-                    slot.deficit = 0;
-                    self.cursor += 1;
+            }
+            // A whole rotation dispatched nothing: every head costs
+            // more than its tenant's deficit. Fast-forward the rounds
+            // a plain DRR would spin through — credit every
+            // backlogged tenant the same number of whole quanta, the
+            // minimum that makes some head affordable — and sweep
+            // again. The uniform credit keeps the dispatch order
+            // identical to stepping round by round, and the next
+            // rotation is guaranteed to dispatch.
+            let rounds = self
+                .tenants
+                .iter()
+                .filter_map(|slot| {
+                    let head = slot.queue.front()?;
+                    Some(head.cost.saturating_sub(slot.deficit).div_ceil(self.quantum))
+                })
+                .min()
+                .expect("len > 0 implies a backlogged tenant");
+            for slot in &mut self.tenants {
+                if !slot.queue.is_empty() {
+                    slot.deficit = slot
+                        .deficit
+                        .saturating_add(rounds.saturating_mul(self.quantum));
                 }
             }
         }
-        // Unreachable while len > 0, but never loop forever.
-        None
     }
 
     /// Removes and returns every queued job whose predicate matches
@@ -337,6 +361,28 @@ mod tests {
             small > big,
             "cheap jobs should dispatch more often per round: {first_eight:?}"
         );
+    }
+
+    #[test]
+    fn expensive_head_dispatches_in_one_call() {
+        // Regression: a head costing more than deficit + 2x quantum
+        // used to exhaust the bounded sweep and return None with the
+        // job still queued, parking workers forever.
+        let mut q = DrrQueue::new(400);
+        q.enqueue(&TenantId::from("t"), 7, 1_000);
+        assert_eq!(q.dequeue().unwrap().1, 7);
+        assert!(q.is_empty());
+
+        // Several tenants, all far pricier than one round's credit:
+        // the fast-forward must still serve the cheaper head first.
+        let mut q = DrrQueue::new(1);
+        q.enqueue(&TenantId::from("a"), 1, 1_000);
+        q.enqueue(&TenantId::from("b"), 2, 10_000);
+        let mut out = Vec::new();
+        while let Some((_, i)) = q.dequeue() {
+            out.push(i);
+        }
+        assert_eq!(out, vec![1, 2]);
     }
 
     #[test]

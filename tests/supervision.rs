@@ -11,7 +11,8 @@ use geyser::{CompileError, FaultInjector, PipelineConfig, Technique};
 use geyser_circuit::Circuit;
 use geyser_supervisor::{
     run_supervised_compile, BreakerConfig, BreakerState, JobSpec, JobState, RetryPolicy,
-    SupervisedCompileOptions, Supervisor, SupervisorConfig, SupervisorError, WatchdogConfig,
+    ServiceConfig, SupervisedCompileOptions, Supervisor, SupervisorConfig, SupervisorError,
+    WatchdogConfig,
 };
 use geyser_workloads::ghz;
 
@@ -358,6 +359,50 @@ fn graceful_shutdown_drains_every_queued_job() {
         let r = results.iter().find(|r| r.id == id).unwrap();
         assert_eq!(r.state, JobState::Done);
     }
+}
+
+#[test]
+fn cancelled_dedup_follower_resolves_cancelled_and_skips_promotion() {
+    let supervisor = Supervisor::start(SupervisorConfig {
+        workers: 1,
+        retry: quick_retry(0),
+        service: Some(ServiceConfig::default()),
+        ..SupervisorConfig::default()
+    });
+    // The leader hangs at its first pass, holding its flight open so
+    // the two identical submissions below deterministically attach.
+    let leader = supervisor
+        .submit(job("dup", Technique::OptiMap, "hang-pass:allocate-lattice").with_dedup(true))
+        .unwrap();
+    let follower_a = supervisor
+        .submit(job("dup", Technique::OptiMap, "").with_dedup(true))
+        .unwrap();
+    let follower_b = supervisor
+        .submit(job("dup", Technique::OptiMap, "").with_dedup(true))
+        .unwrap();
+    // Cancel one follower, then the hung leader. The flight must
+    // detach the cancelled follower (Cancelled, no broadcast, no
+    // promotion) and re-elect the live one, which compiles normally.
+    follower_a.cancel.cancel();
+    leader.cancel.cancel();
+    supervisor.wait_idle();
+    let results = supervisor.shutdown();
+    assert_eq!(results.len(), 3);
+    let by_id = |id: u64| results.iter().find(|r| r.id == id).unwrap();
+    assert_eq!(by_id(leader.id).state, JobState::Cancelled);
+    let detached = by_id(follower_a.id);
+    assert_eq!(detached.state, JobState::Cancelled);
+    assert!(matches!(
+        detached.error,
+        Some(CompileError::Cancelled { .. })
+    ));
+    assert!(!detached.deduped, "a detached follower was never served");
+    let promoted = by_id(follower_b.id);
+    assert_eq!(promoted.state, JobState::Done);
+    assert!(
+        !promoted.deduped,
+        "the promoted follower compiled for itself"
+    );
 }
 
 #[test]
