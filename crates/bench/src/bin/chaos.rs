@@ -31,6 +31,20 @@
 //! 9. no bystander tenant's p99 exceeds 3× its fair-share baseline
 //!    while another tenant floods.
 //!
+//! Then twelve **restart legs** kill a journaled serve incarnation at
+//! seeded points (`kill-mid-journal-append`, `torn-journal-tail`,
+//! `kill-mid-compaction`), recover from the surviving write-ahead
+//! journal, and diff the completed-job set against an uninjected
+//! reference, plus a **cache leg** that crashes a shared-cache
+//! compaction mid-commit and audits generation coherence:
+//!
+//! 10. no journal-acknowledged job is lost across a kill → recover;
+//! 11. recovery is exactly-once: settled outcomes replay from the
+//!     journal (bit-identical digests), never re-execute;
+//! 12. the shared cache's generation state is coherent at every
+//!     observable point — a crashed compaction leaves old or new,
+//!     never a mix.
+//!
 //! The whole run is a pure function of `--seed`: the same seed and
 //! campaign count replay the same schedules, job outcomes, and
 //! scorecard. An extra `--inject SPEC` is composed into every
@@ -42,25 +56,34 @@
 //! when every invariant held, or prints each violation and exits
 //! [`exit_codes::CHAOS_INVARIANT`].
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use geyser::store::is_corrupt_sidecar;
 use geyser::{verify_compiled, FaultInjector, Technique, Telemetry};
 use geyser_bench::serve::{run_serve, ServeScorecard};
-use geyser_bench::{exit_codes, report_json, Cli};
+use geyser_bench::{
+    exit_codes, report_json, scan_generation, Cli, SharedCache, CACHE_LOCK_STALE_MS,
+};
 use geyser_circuit::Circuit;
 use geyser_supervisor::{
-    load_checkpoint, run_supervised_compile, CheckpointError, JobSpec, JobState, RetryPolicy,
-    SupervisedCompileOptions, Supervisor, SupervisorConfig, WatchdogConfig,
+    load_checkpoint, load_journal_events, run_supervised_compile, CheckpointError, JobSpec,
+    JobState, RetryPolicy, SupervisedCompileOptions, Supervisor, SupervisorConfig, WatchdogConfig,
 };
 use geyser_verify::{
-    check_campaign_jobs, check_store_scan, InvariantViolation, JobObservation,
+    check_cache_generation, check_campaign_jobs, check_recovery, check_store_scan,
+    CacheGenerationObservation, InvariantViolation, JobObservation, RecoveryJobObservation,
     StoreFileObservation, StoreFileStatus, VerifyConfig,
 };
 use serde::Serialize;
 
 /// Where campaign workdirs (checkpoints, quarantine sidecars) live.
 const CHAOS_ROOT: &str = ".geyser-chaos";
+
+/// Fixed number of kill → recover restart campaigns. Each derives its
+/// own seed from the master seed, so the same `--seed` replays the
+/// same kills against the same schedules.
+const RESTART_CAMPAIGNS: usize = 12;
 
 /// One splitmix64 draw — the repo's standard dependency-free
 /// generator; chaining outputs yields the campaign seed stream.
@@ -156,6 +179,38 @@ struct CampaignCard {
     violations: Vec<InvariantViolation>,
 }
 
+/// One kill → recover restart campaign diffed against its uninjected
+/// reference (invariants 10–11: `no-acked-job-lost`,
+/// `recovery-exactly-once`).
+#[derive(Serialize)]
+struct RestartCard {
+    index: usize,
+    seed: u64,
+    /// The journal fault injected into the wounded incarnation.
+    inject: String,
+    /// Jobs the surviving journal acknowledged before the kill.
+    acked: u64,
+    /// Settled outcomes the recovery replayed verbatim.
+    recovered_settled: u64,
+    jobs: Vec<RecoveryJobObservation>,
+    violations: Vec<InvariantViolation>,
+}
+
+/// The shared-cache crash-coherence leg (invariant 12:
+/// `cache-generation-coherent`): a compaction killed mid-commit must
+/// leave the old generation the readable truth, and a later takeover
+/// must converge to a coherent new one.
+#[derive(Serialize)]
+struct CacheLegCard {
+    /// Generation committed by the post-crash takeover.
+    generation: u64,
+    /// Scan taken while the crashed compactor's staging is on disk.
+    mid_crash: CacheGenerationObservation,
+    /// Scan after a fresh process swept and compacted over it.
+    recovered: CacheGenerationObservation,
+    violations: Vec<InvariantViolation>,
+}
+
 /// The whole run's scorecard.
 #[derive(Serialize)]
 struct Scorecard {
@@ -163,6 +218,10 @@ struct Scorecard {
     campaigns: Vec<CampaignCard>,
     /// The service-layer overload leg (invariants 6–9).
     serve: ServeScorecard,
+    /// The kill → recover restart legs (invariants 10–11).
+    restart: Vec<RestartCard>,
+    /// The shared-cache crash-coherence leg (invariant 12).
+    cache: CacheLegCard,
     total_jobs: u64,
     hang_preemptions: u64,
     store_corrupt_total: u64,
@@ -401,6 +460,161 @@ fn run_campaign(
     }
 }
 
+/// Runs one restart campaign: an uninjected reference run, a journaled
+/// incarnation wounded by one of the three journal faults, and a
+/// `--recover` incarnation over the surviving journal, diffed job for
+/// job. `--no-shed` mode makes the completed set schedule-determined,
+/// so recovery must reproduce the reference's ids *and* digests
+/// exactly.
+fn run_restart_campaign(cli: &Cli, index: usize, master_seed: u64) -> RestartCard {
+    let seed = splitmix64(
+        master_seed ^ 0x6a09_e667_f3bc_c908 ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    );
+    let workdir = PathBuf::from(CHAOS_ROOT).join(format!("restart-{index}"));
+    let _ = std::fs::remove_dir_all(&workdir);
+    std::fs::create_dir_all(&workdir).expect("create restart workdir");
+    let journal = workdir.join("serve.journal");
+
+    let mut base = cli.clone();
+    base.seed = seed;
+    base.arrivals = 36;
+    base.tenants = 2;
+    base.workloads = vec!["vqe-4".into()];
+    base.no_shed = true;
+    base.journal = None;
+    base.recover = false;
+    base.inject = None;
+
+    let reference = run_serve(&base);
+
+    // Rotate through the three journal faults; the kill point is
+    // seeded so the 12 campaigns tear the log at a spread of depths.
+    let kill_at = 5 + (seed % 59) as usize;
+    let inject = match index % 3 {
+        0 => format!("kill-mid-journal-append:{kill_at}"),
+        1 => "torn-journal-tail".to_string(),
+        _ => "kill-mid-compaction".to_string(),
+    };
+    let mut wounded = base.clone();
+    wounded.journal = Some(journal.to_string_lossy().into_owned());
+    wounded.inject = Some(inject.clone());
+    let _ = run_serve(&wounded);
+
+    // What the crashed journal acknowledged, read through the same
+    // scanner recovery uses (torn tails tolerated, mid-file
+    // corruption is not).
+    let (events, _torn_bytes) =
+        load_journal_events(&journal).expect("a crashed journal must still scan");
+    let mut acked: BTreeSet<u64> = BTreeSet::new();
+    for ev in &events {
+        if ev.kind != "snapshot" && ev.id != u64::MAX {
+            acked.insert(ev.id);
+        }
+    }
+
+    let mut recovering = base.clone();
+    recovering.journal = wounded.journal.clone();
+    recovering.recover = true;
+    let recovered = run_serve(&recovering);
+
+    let ref_digests: BTreeMap<u64, u64> = reference
+        .completions
+        .iter()
+        .map(|c| (c.id, c.digest))
+        .collect();
+    let rec_digests: BTreeMap<u64, u64> = recovered
+        .completions
+        .iter()
+        .map(|c| (c.id, c.digest))
+        .collect();
+    let mut reruns: BTreeMap<u64, u64> = BTreeMap::new();
+    for id in &recovered.settled_reruns {
+        *reruns.entry(*id).or_insert(0) += 1;
+    }
+    let settled_ids: BTreeSet<u64> = recovered.jobs.iter().map(|j| j.id).collect();
+
+    let jobs: Vec<RecoveryJobObservation> = (0..reference.arrivals)
+        .map(|id| RecoveryJobObservation {
+            id,
+            acked: acked.contains(&id),
+            settled: settled_ids.contains(&id),
+            runs_after_settle: reruns.get(&id).copied().unwrap_or(0),
+            digest_matches_reference: rec_digests
+                .get(&id)
+                .map(|d| ref_digests.get(&id) == Some(d)),
+        })
+        .collect();
+
+    let mut violations = check_recovery(&jobs);
+    // The recovery incarnation is also held to the serve-layer
+    // invariants (completeness, typed sheds, dedup bit-identity).
+    violations.extend(recovered.violations.clone());
+    // The completed set must not merely be consistent — it must be
+    // the reference set. Any reference job missing from recovery is a
+    // lost job even if the journal never acknowledged it (no-shed
+    // schedules complete everything).
+    for id in ref_digests.keys() {
+        if !rec_digests.contains_key(id) {
+            violations.push(InvariantViolation::new(
+                geyser_verify::ChaosInvariant::NoAckedJobLost,
+                format!("job {id} completed in the reference but not after recovery"),
+            ));
+        }
+    }
+
+    RestartCard {
+        index,
+        seed,
+        inject,
+        acked: acked.len() as u64,
+        recovered_settled: recovered.recovered_settled,
+        jobs,
+        violations,
+    }
+}
+
+/// Runs the shared-cache crash-coherence leg: commit one generation,
+/// kill the next compaction mid-commit, audit the wreckage in place,
+/// then let a fresh process sweep, take over the stale lock, and
+/// commit — auditing again. Both scans must be coherent: the crash
+/// window exposes the *old* generation, never a mix.
+fn run_cache_leg(cli: &Cli) -> CacheLegCard {
+    let root = PathBuf::from(CHAOS_ROOT).join("cache");
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut store = SharedCache::open(&root, &cli.telemetry).expect("shared cache opens");
+    store
+        .compact(1_000, &cli.telemetry)
+        .expect("healthy compaction commits");
+    let crash_ms = 2_000;
+    store
+        .compact_crashing(crash_ms, &cli.telemetry)
+        .expect("crashed compaction stages without committing");
+
+    // Mid-crash: the staged generation and the dead compactor's lock
+    // are on disk, but readers must still see the old generation as
+    // the sole truth (the lock is held, not yet stale).
+    let mid_crash = scan_generation(&root, crash_ms + 1);
+    let mut violations = check_cache_generation(&mid_crash);
+
+    // Takeover: a later process sweeps the staging debris, declares
+    // the lock stale, and commits a coherent new generation.
+    let mut takeover = SharedCache::open(&root, &cli.telemetry).expect("shared cache reopens");
+    let after_ms = crash_ms + CACHE_LOCK_STALE_MS + 1;
+    takeover
+        .compact(after_ms, &cli.telemetry)
+        .expect("takeover compaction commits");
+    let recovered = scan_generation(&root, after_ms + 1);
+    violations.extend(check_cache_generation(&recovered));
+
+    CacheLegCard {
+        generation: takeover.generation(),
+        mid_crash,
+        recovered,
+        violations,
+    }
+}
+
 fn main() {
     let mut cli = Cli::parse();
     // Reject a malformed --inject up front, not on the first campaign
@@ -451,12 +665,42 @@ fn main() {
         serve.violations.len()
     );
 
+    // Restart legs: kill a journaled serve incarnation at a seeded
+    // point, recover, and demand the reference completed set back.
+    let mut restart = Vec::new();
+    for index in 0..RESTART_CAMPAIGNS {
+        let card = run_restart_campaign(&cli, index, cli.seed);
+        println!(
+            "restart {index:>2}: seed={:016x} inject='{}' acked={} replayed={} violations={}",
+            card.seed,
+            card.inject,
+            card.acked,
+            card.recovered_settled,
+            card.violations.len()
+        );
+        restart.push(card);
+    }
+
+    // Shared-cache crash-coherence leg.
+    let cache = run_cache_leg(&cli);
+    println!(
+        "cache leg: generation={} mid-crash coherent={} recovered coherent={} violations={}",
+        cache.generation,
+        cache.mid_crash.generation_parses && cache.mid_crash.entries_beyond_generation == 0,
+        cache.recovered.generation_parses && !cache.recovered.stale_lock,
+        cache.violations.len()
+    );
+
     let total_jobs: u64 = campaigns.iter().map(|c| c.submitted).sum();
-    let violations_total: usize =
-        campaigns.iter().map(|c| c.violations.len()).sum::<usize>() + serve.violations.len();
+    let violations_total: usize = campaigns.iter().map(|c| c.violations.len()).sum::<usize>()
+        + serve.violations.len()
+        + restart.iter().map(|c| c.violations.len()).sum::<usize>()
+        + cache.violations.len();
     let scorecard = Scorecard {
         seed: cli.seed,
         serve,
+        restart,
+        cache,
         total_jobs,
         hang_preemptions: cli
             .telemetry
@@ -499,6 +743,17 @@ fn main() {
         }
         for v in &scorecard.serve.violations {
             eprintln!("error: serve leg (seed {:016x}): {v}", scorecard.serve.seed);
+        }
+        for card in &scorecard.restart {
+            for v in &card.violations {
+                eprintln!(
+                    "error: restart {} (seed {:016x}, inject '{}'): {v}",
+                    card.index, card.seed, card.inject
+                );
+            }
+        }
+        for v in &scorecard.cache.violations {
+            eprintln!("error: cache leg: {v}");
         }
         std::process::exit(exit_codes::CHAOS_INVARIANT);
     }

@@ -1,27 +1,35 @@
-//! `fsck` for the on-disk stores: scans a store directory, verifies
-//! every record's frame (length prefix + FNV checksum) and payload
-//! schema, quarantines anything corrupt to a `.corrupt-<digest>`
-//! sidecar, and reports what it found.
+//! `fsck` for the on-disk stores: scans a store directory (including
+//! the shared cache's `objects/` shards), verifies every record's
+//! frame (length prefix + FNV checksum) and payload schema,
+//! quarantines anything corrupt to a `.corrupt-<digest>` sidecar, and
+//! reports what it found.
 //!
 //! Usage: `repair [--store DIR] [--prune] [--json PATH]`
 //!
 //! * `--store DIR` — directory to scan (default `.geyser-cache`, the
 //!   shared home of the bench results cache and composition
 //!   checkpoints).
-//! * `--prune` — additionally delete reclaimable debris: quarantine
+//! * `--prune` — additionally reclaim debris: delete quarantine
 //!   sidecars, stale `.tmp` files from interrupted writes, and cache
-//!   entries whose schema version is stale (guaranteed misses).
-//!   Sidecars the scan *keeps* — every sidecar without `--prune`, plus
-//!   any whose removal failed — are reported with their on-disk size
-//!   and age, so operators can see how much quarantine evidence is
-//!   accumulating before deciding to reclaim it.
+//!   entries whose schema version is stale (guaranteed misses), and
+//!   truncate the torn tail a killed writer left on a write-ahead
+//!   journal (the same truncation recovery performs on open; bytes
+//!   reclaimed are reported per journal). Sidecars the scan *keeps* —
+//!   every sidecar without `--prune`, plus any whose removal failed —
+//!   are reported with their on-disk size and age, so operators can
+//!   see how much quarantine evidence is accumulating before deciding
+//!   to reclaim it.
 //! * `--json PATH` — write the scan report as JSON.
 //!
 //! Classification mirrors the loaders exactly: `ckpt-*` files go
-//! through the checkpoint loader, everything else `.json` through the
-//! cache frame + schema check, so `repair` can never disagree with
-//! the pipeline about what is loadable. Corrupt files are moved
-//! aside with the same structured warning (path + digest) and
+//! through the checkpoint loader, `*.journal` files through the
+//! journal scanner (a torn tail is reclaimable, mid-file corruption
+//! is not), the shared cache's `generation` header through the frame
+//! check, and everything else `.json` through the cache frame +
+//! schema check, so `repair` can never disagree with the pipeline
+//! about what is loadable. A `compaction.lock` is reported but never
+//! touched — only a compactor may judge it stale. Corrupt files are
+//! moved aside with the same structured warning (path + digest) and
 //! `store_corrupt_total` accounting the runtime uses.
 //!
 //! Exits 0 when every surviving file is healthy or safely
@@ -31,10 +39,17 @@
 
 use std::path::{Path, PathBuf};
 
-use geyser::store::{is_corrupt_sidecar, quarantine_corrupt, read_record_file, StoreReadError};
+use geyser::store::{
+    is_corrupt_sidecar, quarantine_corrupt, read_record_file, truncate_torn_tail, StoreReadError,
+};
 use geyser::Telemetry;
-use geyser_bench::{classify_cache_payload, exit_codes, report_json, CachePayloadStatus};
-use geyser_supervisor::{load_checkpoint_quarantining, CheckpointError};
+use geyser_bench::{
+    classify_cache_payload, exit_codes, report_json, CachePayloadStatus, CACHE_COMPACTION_LOCK,
+    CACHE_GENERATION_FILE,
+};
+use geyser_supervisor::{
+    load_checkpoint_quarantining, load_journal_events, CheckpointError, JournalError,
+};
 use serde::Serialize;
 
 /// What the scan decided about one file.
@@ -48,6 +63,16 @@ enum FileStatus {
     Sidecar,
     /// A stray `.tmp` from an interrupted atomic write.
     StaleTmp,
+    /// A write-ahead job journal, every frame intact.
+    Journal,
+    /// A journal whose last frame is torn (killed writer); the tail
+    /// is reclaimable, everything before it replays.
+    JournalTorn,
+    /// The shared cache's generation header, frame intact.
+    GenerationHeader,
+    /// A compaction lock file; possibly held by a live compactor, so
+    /// never touched.
+    Lock,
     /// Corrupt and moved aside by this scan.
     Quarantined,
     /// Corrupt but the quarantine rename failed; still in place.
@@ -65,6 +90,10 @@ impl FileStatus {
             FileStatus::StaleVersion => "stale-version",
             FileStatus::Sidecar => "sidecar",
             FileStatus::StaleTmp => "stale-tmp",
+            FileStatus::Journal => "journal",
+            FileStatus::JournalTorn => "journal-torn",
+            FileStatus::GenerationHeader => "generation-header",
+            FileStatus::Lock => "lock",
             FileStatus::Quarantined => "quarantined",
             FileStatus::QuarantineFailed => "quarantine-failed",
             FileStatus::Unreadable => "unreadable",
@@ -77,7 +106,8 @@ impl FileStatus {
 struct FileReport {
     path: String,
     status: FileStatus,
-    /// Whether `--prune` deleted the file.
+    /// Whether `--prune` deleted the file (or, for a torn journal,
+    /// truncated its tail).
     pruned: bool,
     /// On-disk size, reported for quarantine sidecars (`null`
     /// otherwise).
@@ -86,6 +116,12 @@ struct FileReport {
     /// sidecars (`null` otherwise) — how long the evidence has been
     /// sitting there.
     age_secs: Option<u64>,
+    /// Torn-tail bytes on a journal: reclaimable without `--prune`,
+    /// reclaimed with it (`null` for non-journals).
+    torn_bytes: Option<u64>,
+    /// Intact events the journal scanner replayed (`null` for
+    /// non-journals).
+    journal_events: Option<u64>,
 }
 
 #[derive(Serialize)]
@@ -103,6 +139,12 @@ struct RepairReport {
     sidecar_bytes_total: u64,
     /// Age in seconds of the oldest kept sidecar (0 when none).
     sidecar_oldest_age_secs: u64,
+    /// Journals scanned (healthy or torn).
+    journals: usize,
+    /// Torn-tail bytes found across all journals.
+    journal_torn_bytes: u64,
+    /// Torn-tail bytes actually truncated away by `--prune`.
+    journal_bytes_reclaimed: u64,
     /// Final `store_corrupt_total` counter value for this scan.
     store_corrupt_total: u64,
     files: Vec<FileReport>,
@@ -163,27 +205,106 @@ fn sidecar_stats(path: &Path) -> (Option<u64>, Option<u64>) {
     (Some(meta.len()), age_secs)
 }
 
+/// What the scan learned about one file beyond its status.
+struct Scan {
+    status: FileStatus,
+    /// Torn-tail bytes (journals only).
+    torn_bytes: Option<u64>,
+    /// Intact events replayed (journals only).
+    journal_events: Option<u64>,
+}
+
+impl Scan {
+    fn plain(status: FileStatus) -> Scan {
+        Scan {
+            status,
+            torn_bytes: None,
+            journal_events: None,
+        }
+    }
+}
+
 /// Classifies one store file, quarantining corruption exactly like
 /// the pipeline's own loaders would.
-fn scan_file(path: &Path, telemetry: &Telemetry) -> FileStatus {
+fn scan_file(path: &Path, telemetry: &Telemetry) -> Scan {
     let name = path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_default();
     if is_corrupt_sidecar(path) {
-        return FileStatus::Sidecar;
+        return Scan::plain(FileStatus::Sidecar);
     }
     if name.ends_with(".tmp") {
-        return FileStatus::StaleTmp;
+        return Scan::plain(FileStatus::StaleTmp);
+    }
+    if name == CACHE_COMPACTION_LOCK {
+        return Scan::plain(FileStatus::Lock);
+    }
+    if name == CACHE_GENERATION_FILE {
+        // The shared cache's generation header: one framed record. A
+        // corrupt header is quarantined; the next cache open heals it
+        // from the surviving entries.
+        return match read_record_file(path) {
+            Ok(_) => Scan::plain(FileStatus::GenerationHeader),
+            Err(StoreReadError::Corrupt(_)) => {
+                let bytes = std::fs::read(path).unwrap_or_default();
+                quarantine_corrupt(
+                    path,
+                    &bytes,
+                    "generation header corrupt",
+                    "cache",
+                    telemetry,
+                );
+                Scan::plain(if path.exists() {
+                    FileStatus::QuarantineFailed
+                } else {
+                    FileStatus::Quarantined
+                })
+            }
+            Err(StoreReadError::Io(_)) => Scan::plain(FileStatus::Unreadable),
+        };
+    }
+    if name.ends_with(".journal") {
+        // Write-ahead job journal: scan through the same loader
+        // recovery uses. A torn tail is a reclaimable kill artifact;
+        // mid-file corruption means the journal cannot be trusted and
+        // is quarantined whole.
+        return match load_journal_events(path) {
+            Ok((events, torn_bytes)) => Scan {
+                status: if torn_bytes > 0 {
+                    FileStatus::JournalTorn
+                } else {
+                    FileStatus::Journal
+                },
+                torn_bytes: Some(torn_bytes),
+                journal_events: Some(events.len() as u64),
+            },
+            Err(JournalError::Corrupt { .. }) => {
+                let bytes = std::fs::read(path).unwrap_or_default();
+                quarantine_corrupt(
+                    path,
+                    &bytes,
+                    "journal corrupt mid-file",
+                    "journal",
+                    telemetry,
+                );
+                Scan::plain(if path.exists() {
+                    FileStatus::QuarantineFailed
+                } else {
+                    FileStatus::Quarantined
+                })
+            }
+            Err(JournalError::Io(_)) => Scan::plain(FileStatus::Unreadable),
+        };
     }
     if !name.ends_with(".json") {
-        return FileStatus::Unknown;
+        return Scan::plain(FileStatus::Unknown);
     }
     if name.starts_with("ckpt-") {
         // Composition checkpoint: the loader verifies the frame,
         // parses the JSON, checks the schema version, and quarantines
         // on any corruption.
-        return match load_checkpoint_quarantining(path, telemetry) {
+        return Scan::plain(match load_checkpoint_quarantining(path, telemetry) {
             Ok(_) => FileStatus::Healthy,
             Err(CheckpointError::Corrupt { .. }) => {
                 if path.exists() {
@@ -193,10 +314,10 @@ fn scan_file(path: &Path, telemetry: &Telemetry) -> FileStatus {
                 }
             }
             Err(CheckpointError::Io(_)) => FileStatus::Unreadable,
-        };
+        });
     }
     // Results-cache entry: frame first, then the cache schema.
-    match read_record_file(path) {
+    Scan::plain(match read_record_file(path) {
         Ok(payload) => match classify_cache_payload(payload.text()) {
             CachePayloadStatus::Current => FileStatus::Healthy,
             CachePayloadStatus::StaleVersion => FileStatus::StaleVersion,
@@ -226,6 +347,22 @@ fn scan_file(path: &Path, telemetry: &Telemetry) -> FileStatus {
             }
         }
         Err(StoreReadError::Io(_)) => FileStatus::Unreadable,
+    })
+}
+
+/// Collects every file under `dir`, recursing into subdirectories
+/// (the shared cache's `objects/` shards). Deterministic: the final
+/// list is sorted by path.
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                collect_files(&path, out);
+            } else if path.is_file() {
+                out.push(path);
+            }
+        }
     }
 }
 
@@ -233,21 +370,22 @@ fn main() {
     let args = parse_args();
     let telemetry = Telemetry::enabled();
 
-    let mut paths: Vec<PathBuf> = match std::fs::read_dir(&args.store) {
-        Ok(entries) => entries
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .filter(|p| p.is_file())
-            .collect(),
-        Err(e) => {
-            eprintln!("error: cannot scan {}: {e}", args.store.display());
-            std::process::exit(exit_codes::USAGE);
-        }
-    };
+    if !args.store.is_dir() {
+        eprintln!(
+            "error: cannot scan {}: not a directory",
+            args.store.display()
+        );
+        std::process::exit(exit_codes::USAGE);
+    }
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_files(&args.store, &mut paths);
     paths.sort();
 
     let mut files = Vec::new();
+    let mut journal_bytes_reclaimed = 0u64;
     for path in &paths {
-        let status = scan_file(path, &telemetry);
+        let scan = scan_file(path, &telemetry);
+        let status = scan.status;
         // Quarantine evidence is sized and aged *before* any prune so
         // the report can say what was reclaimed vs. what is still
         // accumulating on disk.
@@ -258,21 +396,52 @@ fn main() {
         };
         // Debris is only reclaimed on request: sidecars are evidence,
         // stale .tmp files are harmless, stale-version entries are
-        // merely guaranteed misses.
+        // merely guaranteed misses. A torn journal is not deleted but
+        // truncated — exactly what recovery's open would do — so the
+        // intact prefix stays replayable.
         let reclaimable = matches!(
             status,
             FileStatus::Sidecar | FileStatus::StaleTmp | FileStatus::StaleVersion
         );
-        let pruned = args.prune && reclaimable && std::fs::remove_file(path).is_ok();
-        // Quarantine renames the file, so report the original name.
+        let pruned = if args.prune && status == FileStatus::JournalTorn {
+            match truncate_torn_tail(path) {
+                Ok(reclaimed) => {
+                    journal_bytes_reclaimed += reclaimed;
+                    true
+                }
+                Err(_) => false,
+            }
+        } else {
+            args.prune && reclaimable && std::fs::remove_file(path).is_ok()
+        };
+        // Quarantine renames the file, so report the original name —
+        // relative to the store root so `objects/` shards stay
+        // distinguishable.
         let rel = path
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_else(|| path.display().to_string());
+            .strip_prefix(&args.store)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|_| path.display().to_string());
         match (status, bytes, age_secs, pruned) {
             (FileStatus::Sidecar, Some(b), Some(age), false) => {
                 println!("{rel}: {} (kept, {b} bytes, {age}s old)", status.label());
             }
+            (FileStatus::Journal, _, _, _) => println!(
+                "{rel}: {} ({} event(s))",
+                status.label(),
+                scan.journal_events.unwrap_or(0)
+            ),
+            (FileStatus::JournalTorn, _, _, true) => println!(
+                "{rel}: {} ({} event(s) intact, {} torn byte(s) reclaimed)",
+                status.label(),
+                scan.journal_events.unwrap_or(0),
+                scan.torn_bytes.unwrap_or(0)
+            ),
+            (FileStatus::JournalTorn, _, _, false) => println!(
+                "{rel}: {} ({} event(s) intact, {} torn byte(s) reclaimable)",
+                status.label(),
+                scan.journal_events.unwrap_or(0),
+                scan.torn_bytes.unwrap_or(0)
+            ),
             _ => println!(
                 "{rel}: {}{}",
                 status.label(),
@@ -285,6 +454,8 @@ fn main() {
             pruned,
             bytes,
             age_secs,
+            torn_bytes: scan.torn_bytes,
+            journal_events: scan.journal_events,
         });
     }
 
@@ -319,6 +490,12 @@ fn main() {
         sidecars_kept,
         sidecar_bytes_total,
         sidecar_oldest_age_secs,
+        journals: files
+            .iter()
+            .filter(|f| matches!(f.status, FileStatus::Journal | FileStatus::JournalTorn))
+            .count(),
+        journal_torn_bytes: files.iter().filter_map(|f| f.torn_bytes).sum(),
+        journal_bytes_reclaimed,
         store_corrupt_total: telemetry
             .counter_value(geyser::store::STORE_CORRUPT_COUNTER)
             .unwrap_or(0),
@@ -332,6 +509,12 @@ fn main() {
         println!(
             "repair: keeping {} quarantine sidecar(s), {} byte(s) total, oldest {}s",
             report.sidecars_kept, report.sidecar_bytes_total, report.sidecar_oldest_age_secs
+        );
+    }
+    if report.journals > 0 {
+        println!(
+            "repair: {} journal(s), {} torn byte(s) found, {} reclaimed",
+            report.journals, report.journal_torn_bytes, report.journal_bytes_reclaimed
         );
     }
 

@@ -1,7 +1,8 @@
 //! Overload-resilience scorecard for the compile service layer.
 //!
 //! Usage: `serve --seed S [--arrivals N] [--tenants T] [--fast]
-//! [--jobs W] [--json PATH]`
+//! [--jobs W] [--json PATH] [--journal PATH [--recover]] [--no-shed]
+//! [--inject SPEC]`
 //!
 //! Replays a seeded open-loop arrival schedule — `--arrivals`
 //! submissions from `--tenants` tenants, with a storm phase in which
@@ -10,6 +11,18 @@
 //! counts by typed reason, degraded-tier admissions, and single-flight
 //! dedup hits. `--json PATH` writes the full scorecard, which is
 //! byte-identical for a given seed on any machine.
+//!
+//! `--journal PATH` arms the write-ahead job journal: every lifecycle
+//! decision is durable before it takes effect, so a `kill -9` mid-run
+//! loses nothing acknowledged. Restarting with the same seed plus
+//! `--recover` truncates any torn journal tail, replays settled
+//! outcomes verbatim, and re-admits acknowledged-but-incomplete jobs
+//! exactly once. `--no-shed` (restart-campaign mode) removes
+//! deadlines, shedding, and the degraded tier so the recovered
+//! completed-job set can be diffed digest-for-digest against an
+//! uninjected reference run. The journal faults
+//! `kill-mid-journal-append:N`, `torn-journal-tail`, and
+//! `kill-mid-compaction` compose via `--inject`.
 //!
 //! The four service-layer invariants from
 //! [`geyser_verify::invariants`] are machine-checked over the drained
@@ -36,7 +49,27 @@ fn main() {
         eprintln!("error: --arrivals must be at least 1");
         std::process::exit(exit_codes::USAGE);
     }
+    if cli.recover && cli.journal.is_none() {
+        eprintln!("error: --recover needs --journal PATH (the file to replay)");
+        std::process::exit(exit_codes::USAGE);
+    }
     let card = run_serve(&cli);
+    if card.halted {
+        // An injected journal kill ended this incarnation mid-run;
+        // the journal survives for `--recover`.
+        println!(
+            "serve: halted by injected journal kill after {} completion(s) — restart with --recover",
+            card.completions.len()
+        );
+        return;
+    }
+    if card.recovered_settled > 0 {
+        println!(
+            "serve: recovery replayed {} settled outcome(s) from the journal ({} rerun(s) of settled work)",
+            card.recovered_settled,
+            card.settled_reruns.len()
+        );
+    }
 
     println!(
         "serve: seed {} — {} arrival(s), {} tenant(s), makespan {}ms, \

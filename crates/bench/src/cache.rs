@@ -1,4 +1,4 @@
-//! On-disk compilation cache.
+//! Multi-process shared compilation cache.
 //!
 //! The Geyser technique's composition search is by far the most
 //! expensive stage (minutes for the 16-qubit Heisenberg workload on
@@ -6,11 +6,28 @@
 //! circuits. This cache persists each `(workload, technique, seed,
 //! budget)` compilation as JSON under `.geyser-cache/` so the full
 //! figure suite compiles everything exactly once.
+//!
+//! The store is safe to share between concurrent processes (`serve`
+//! and `bench` runs pointed at the same directory):
+//!
+//! * Entries are **content-addressed**: each lives in its own file at
+//!   `objects/<hh>/<digest:016x>.json`, written via a pid-unique temp
+//!   file and an atomic rename. Two processes racing to publish the
+//!   same key both rename byte-identical content — last rename wins,
+//!   no torn state.
+//! * A framed **generation header** at the store root records how many
+//!   compactions have committed. Compaction bumps it with the same
+//!   temp+rename protocol, so a crash mid-compaction leaves either the
+//!   old or the new generation on disk, never a mix.
+//! * Compaction itself is serialized by an advisory **lock file**
+//!   created with `O_EXCL` semantics; a holder that died is detected
+//!   by the age stamped inside the lock and taken over.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use geyser::store::{
-    quarantine_corrupt, read_record_file_quarantining, write_record_atomic, StoreReadError,
+    clean_stale_tmp, encode_record, is_corrupt_sidecar, quarantine_corrupt, read_record_file,
+    read_record_file_quarantining, StoreReadError,
 };
 use geyser::{
     compile, CompileReport, CompiledCircuit, PipelineConfig, Technique, Telemetry,
@@ -20,7 +37,7 @@ use geyser_circuit::Circuit;
 use geyser_compose::CompositionStats;
 use geyser_map::{Layout, MappedCircuit};
 use geyser_topology::{Lattice, LatticeKind};
-use geyser_verify::VerifyConfig;
+use geyser_verify::{CacheGenerationObservation, VerifyConfig};
 use serde::{Deserialize, Serialize};
 
 #[derive(Serialize, Deserialize)]
@@ -38,11 +55,40 @@ struct CachedStats {
 }
 
 /// On-disk schema version. Bumped to 2 when entries started binding to
-/// a hardware-spec digest; version-1 entries (and anything older,
-/// which lacks the field entirely and fails deserialization) degrade
-/// to a cache miss instead of silently replaying results compiled for
-/// a different machine.
-const CACHE_VERSION: u64 = 2;
+/// a hardware-spec digest, and to 3 when the store became shared
+/// (content-addressed layout, entries stamped with the generation they
+/// were written under). Older entries degrade to a cache miss instead
+/// of silently replaying results compiled for a different machine or
+/// schema.
+const CACHE_VERSION: u64 = 3;
+
+/// Schema version of the generation header record.
+const GENERATION_VERSION: u64 = 1;
+
+/// Default cache root, relative to the working directory (matching the
+/// composition checkpoints that live beside it).
+pub const CACHE_ROOT: &str = ".geyser-cache";
+
+/// Subdirectory holding content-addressed entries, sharded by the top
+/// byte of the key digest.
+pub const CACHE_OBJECTS_DIR: &str = "objects";
+
+/// File name of the framed generation header at the store root.
+pub const CACHE_GENERATION_FILE: &str = "generation";
+
+/// File name of the advisory compaction lock at the store root.
+pub const CACHE_COMPACTION_LOCK: &str = "compaction.lock";
+
+/// Age (against the timestamp stamped inside the lock) after which a
+/// compaction lock is presumed orphaned by a dead process and taken
+/// over.
+pub const CACHE_LOCK_STALE_MS: u64 = 60_000;
+
+#[derive(Serialize, Deserialize)]
+struct GenerationHeader {
+    version: u64,
+    generation: u64,
+}
 
 #[derive(Serialize, Deserialize)]
 struct CachedCompile {
@@ -50,6 +96,11 @@ struct CachedCompile {
     /// Digest of the [`geyser::HardwareSpec`] the entry was compiled
     /// for; a mismatch at load time is a miss, never a replay.
     hardware_digest: u64,
+    /// Store generation current when the entry was published. An entry
+    /// claiming a generation the header never committed is the
+    /// signature of a lost rename — flagged by [`scan_generation`],
+    /// ignored by the loader (the entry itself is still replayable).
+    generation: u64,
     lattice_kind: String,
     rows: usize,
     cols: usize,
@@ -101,20 +152,413 @@ pub fn classify_cache_payload(payload: &str) -> CachePayloadStatus {
 /// FNV-1a fingerprint of a circuit's debug form — changes whenever the
 /// workload generator's output changes, invalidating stale entries.
 fn fingerprint(program: &Circuit) -> u64 {
-    let text = format!("{program:?}");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
+    geyser::store::fnv1a_bytes(format!("{program:?}").as_bytes())
 }
 
-fn cache_path(name: &str, technique: Technique, cfg_tag: &str, fp: u64) -> PathBuf {
-    PathBuf::from(".geyser-cache").join(format!(
-        "{name}-{}-{cfg_tag}-{fp:016x}.json",
+/// Digest addressing one `(workload, technique, config, program)`
+/// tuple inside the object store.
+fn key_digest(name: &str, technique: Technique, cfg_tag: &str, fp: u64) -> u64 {
+    let key = format!(
+        "{name}-{}-{cfg_tag}-{fp:016x}",
         technique.label().to_lowercase()
-    ))
+    );
+    geyser::store::fnv1a_bytes(key.as_bytes())
+}
+
+/// Crash-safe entry publish: framed body, **pid-unique** temp sibling,
+/// atomic rename. The pid suffix is what makes concurrent processes
+/// safe — a shared temp name would let one writer rename the other's
+/// half-written bytes into place.
+fn write_entry_atomic(path: &Path, body: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension(format!("json.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, encode_record(body))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Outcome of one [`SharedCache::compact`] attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionOutcome {
+    /// Whether this process committed a compaction. `false` means the
+    /// lock was held by a live peer (their compaction counts) or the
+    /// commit was aborted by an injected crash.
+    pub performed: bool,
+    /// Files reclaimed: stale-version entries, quarantine sidecars,
+    /// and orphaned temp files.
+    pub pruned: u64,
+    /// Store generation after the attempt.
+    pub generation: u64,
+}
+
+/// Handle on a shared on-disk compile cache rooted at one directory.
+///
+/// Opening is cheap (one header read plus a stale-temp sweep) and safe
+/// to repeat; every `serve`/`bench` process opens its own handle on
+/// the same root.
+pub struct SharedCache {
+    root: PathBuf,
+    generation: u64,
+}
+
+impl SharedCache {
+    /// Opens (creating if needed) the shared cache at `root`: builds
+    /// the object tree, sweeps temp files orphaned by crashed writers,
+    /// and loads — or initializes — the generation header. A corrupt
+    /// header is quarantined and re-seeded at the highest generation
+    /// any live entry claims, so healing never makes existing entries
+    /// read as written "in the future".
+    pub fn open(root: &Path, telemetry: &Telemetry) -> std::io::Result<SharedCache> {
+        let objects = root.join(CACHE_OBJECTS_DIR);
+        std::fs::create_dir_all(&objects)?;
+        clean_stale_tmp(root, telemetry);
+        if let Ok(shards) = std::fs::read_dir(&objects) {
+            for shard in shards.flatten() {
+                if shard.path().is_dir() {
+                    clean_stale_tmp(&shard.path(), telemetry);
+                }
+            }
+        }
+        let gen_path = root.join(CACHE_GENERATION_FILE);
+        let loaded = match read_record_file(&gen_path) {
+            Ok(payload) => serde_json::from_str::<GenerationHeader>(payload.text())
+                .ok()
+                .filter(|h| h.generation > 0)
+                .map(|h| h.generation),
+            Err(StoreReadError::Io(_)) => None,
+            Err(StoreReadError::Corrupt(_)) => {
+                let bytes = std::fs::read(&gen_path).unwrap_or_default();
+                quarantine_corrupt(
+                    &gen_path,
+                    &bytes,
+                    "cache generation header corrupt",
+                    "cache",
+                    telemetry,
+                );
+                None
+            }
+        };
+        let generation = match loaded {
+            Some(g) => g,
+            None => {
+                let floor = max_entry_generation(&objects).max(1);
+                let header = GenerationHeader {
+                    version: GENERATION_VERSION,
+                    generation: floor,
+                };
+                if let Ok(body) = serde_json::to_string(&header) {
+                    let _ = write_entry_atomic(&gen_path, &body);
+                }
+                floor
+            }
+        };
+        Ok(SharedCache {
+            root: root.to_path_buf(),
+            generation,
+        })
+    }
+
+    /// The store root this handle was opened on.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The generation loaded at open (or committed by this handle's
+    /// own compactions since).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Content-addressed path of the entry for one compile key.
+    pub fn entry_path_for(
+        &self,
+        name: &str,
+        technique: Technique,
+        cfg_tag: &str,
+        fp: u64,
+    ) -> PathBuf {
+        let digest = key_digest(name, technique, cfg_tag, fp);
+        self.root
+            .join(CACHE_OBJECTS_DIR)
+            .join(format!("{:02x}", digest >> 56))
+            .join(format!("{digest:016x}.json"))
+    }
+
+    /// Compacts the store: reclaims stale-version entries, quarantine
+    /// sidecars, and orphaned temp files, then commits a new
+    /// generation. Serialized against concurrent compactors by the
+    /// advisory lock file; when a live peer holds the lock this
+    /// returns `performed: false` without touching anything.
+    ///
+    /// `now_ms` drives lock-staleness judgement (the store is
+    /// clock-free by design; callers pass their own time base).
+    pub fn compact(
+        &mut self,
+        now_ms: u64,
+        telemetry: &Telemetry,
+    ) -> std::io::Result<CompactionOutcome> {
+        self.compact_inner(now_ms, telemetry, false)
+    }
+
+    /// [`Self::compact`] that aborts at the worst possible point — the
+    /// new generation header is written to its temp file but never
+    /// renamed, and the lock file is left behind, exactly as a
+    /// `kill -9` mid-commit would. Chaos hook for the
+    /// `kill-mid-compaction` fault; the next [`Self::open`] sweeps the
+    /// temp and the next compaction takes over the stale lock.
+    pub fn compact_crashing(
+        &mut self,
+        now_ms: u64,
+        telemetry: &Telemetry,
+    ) -> std::io::Result<CompactionOutcome> {
+        self.compact_inner(now_ms, telemetry, true)
+    }
+
+    fn compact_inner(
+        &mut self,
+        now_ms: u64,
+        telemetry: &Telemetry,
+        crash_before_commit: bool,
+    ) -> std::io::Result<CompactionOutcome> {
+        if !self.try_lock(now_ms, telemetry)? {
+            return Ok(CompactionOutcome {
+                performed: false,
+                pruned: 0,
+                generation: self.generation,
+            });
+        }
+        let mut pruned = 0u64;
+        let objects = self.root.join(CACHE_OBJECTS_DIR);
+        if let Ok(shards) = std::fs::read_dir(&objects) {
+            for shard in shards.flatten() {
+                let dir = shard.path();
+                if !dir.is_dir() {
+                    continue;
+                }
+                pruned += clean_stale_tmp(&dir, telemetry) as u64;
+                let files = match std::fs::read_dir(&dir) {
+                    Ok(files) => files,
+                    Err(_) => continue,
+                };
+                for file in files.flatten() {
+                    let path = file.path();
+                    if is_corrupt_sidecar(&path) {
+                        if std::fs::remove_file(&path).is_ok() {
+                            pruned += 1;
+                        }
+                        continue;
+                    }
+                    if path.extension().map(|e| e != "json").unwrap_or(true) {
+                        continue;
+                    }
+                    match read_record_file(&path) {
+                        Ok(payload) if payload.is_framed() => {
+                            match classify_cache_payload(payload.text()) {
+                                CachePayloadStatus::Current => {}
+                                CachePayloadStatus::StaleVersion => {
+                                    if std::fs::remove_file(&path).is_ok() {
+                                        pruned += 1;
+                                    }
+                                }
+                                CachePayloadStatus::Malformed => {
+                                    let bytes = std::fs::read(&path).unwrap_or_default();
+                                    quarantine_corrupt(
+                                        &path,
+                                        &bytes,
+                                        "cache entry JSON does not parse",
+                                        "cache",
+                                        telemetry,
+                                    );
+                                }
+                            }
+                        }
+                        Ok(_) => {
+                            let bytes = std::fs::read(&path).unwrap_or_default();
+                            quarantine_corrupt(
+                                &path,
+                                &bytes,
+                                "unframed file in cache object store",
+                                "cache",
+                                telemetry,
+                            );
+                        }
+                        Err(StoreReadError::Corrupt(_)) => {
+                            let bytes = std::fs::read(&path).unwrap_or_default();
+                            quarantine_corrupt(
+                                &path,
+                                &bytes,
+                                "cache entry frame corrupt",
+                                "cache",
+                                telemetry,
+                            );
+                        }
+                        Err(StoreReadError::Io(_)) => {}
+                    }
+                }
+            }
+        }
+        let gen_path = self.root.join(CACHE_GENERATION_FILE);
+        let header = GenerationHeader {
+            version: GENERATION_VERSION,
+            generation: self.generation + 1,
+        };
+        let body = serde_json::to_string(&header)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let tmp = gen_path.with_extension(format!("{}.tmp", std::process::id()));
+        std::fs::write(&tmp, encode_record(&body))?;
+        if crash_before_commit {
+            return Ok(CompactionOutcome {
+                performed: false,
+                pruned,
+                generation: self.generation,
+            });
+        }
+        std::fs::rename(&tmp, &gen_path)?;
+        self.generation += 1;
+        let _ = std::fs::remove_file(self.root.join(CACHE_COMPACTION_LOCK));
+        Ok(CompactionOutcome {
+            performed: true,
+            pruned,
+            generation: self.generation,
+        })
+    }
+
+    /// Acquires the advisory compaction lock, taking over a lock whose
+    /// holder stopped renewing `CACHE_LOCK_STALE_MS` ago (the holder's
+    /// half-written generation temp is swept as part of takeover).
+    /// Advisory by construction: two takeovers racing can momentarily
+    /// both believe they hold it, which at worst double-runs an
+    /// idempotent sweep — the generation commit itself stays atomic.
+    fn try_lock(&self, now_ms: u64, telemetry: &Telemetry) -> std::io::Result<bool> {
+        use std::io::Write;
+        let lock = self.root.join(CACHE_COMPACTION_LOCK);
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock)
+            {
+                Ok(mut file) => {
+                    let _ = write!(file, "{} {now_ms}", std::process::id());
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let held = std::fs::read_to_string(&lock).unwrap_or_default();
+                    let held_ms = held
+                        .split_whitespace()
+                        .nth(1)
+                        .and_then(|t| t.parse::<u64>().ok());
+                    let stale = held_ms
+                        .map(|t| now_ms.saturating_sub(t) >= CACHE_LOCK_STALE_MS)
+                        .unwrap_or(true);
+                    if !stale {
+                        return Ok(false);
+                    }
+                    clean_stale_tmp(&self.root, telemetry);
+                    let _ = std::fs::remove_file(&lock);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Highest generation any parseable entry under `objects` claims —
+/// the floor a healed generation header must respect.
+fn max_entry_generation(objects: &Path) -> u64 {
+    let mut max = 0u64;
+    if let Ok(shards) = std::fs::read_dir(objects) {
+        for shard in shards.flatten() {
+            let dir = shard.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            if let Ok(files) = std::fs::read_dir(&dir) {
+                for file in files.flatten() {
+                    let path = file.path();
+                    if path.extension().map(|e| e != "json").unwrap_or(true) {
+                        continue;
+                    }
+                    if let Ok(payload) = read_record_file(&path) {
+                        if let Ok(entry) = serde_json::from_str::<CachedCompile>(payload.text()) {
+                            max = max.max(entry.generation);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    max
+}
+
+/// Audits a shared cache root **in place** (no healing, no
+/// quarantining) and reports its coherence for the
+/// `cache-generation-coherent` chaos invariant. `now_ms` judges lock
+/// staleness against the timestamp stamped inside the lock file.
+pub fn scan_generation(root: &Path, now_ms: u64) -> CacheGenerationObservation {
+    let gen_path = root.join(CACHE_GENERATION_FILE);
+    let (generation_parses, generation) = match read_record_file(&gen_path) {
+        Ok(payload) => match serde_json::from_str::<GenerationHeader>(payload.text()) {
+            Ok(header) if header.generation > 0 => (true, header.generation),
+            _ => (false, 0),
+        },
+        Err(_) => (false, 0),
+    };
+    let mut corrupt_in_place = 0u64;
+    let mut entries_beyond_generation = 0u64;
+    let objects = root.join(CACHE_OBJECTS_DIR);
+    if let Ok(shards) = std::fs::read_dir(&objects) {
+        for shard in shards.flatten() {
+            let dir = shard.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            if let Ok(files) = std::fs::read_dir(&dir) {
+                for file in files.flatten() {
+                    let path = file.path();
+                    if is_corrupt_sidecar(&path)
+                        || path.extension().map(|e| e != "json").unwrap_or(true)
+                    {
+                        continue;
+                    }
+                    match read_record_file(&path) {
+                        Ok(payload) if payload.is_framed() => {
+                            match serde_json::from_str::<CachedCompile>(payload.text()) {
+                                Ok(entry) if entry.generation > generation => {
+                                    entries_beyond_generation += 1;
+                                }
+                                Ok(_) => {}
+                                Err(_) => corrupt_in_place += 1,
+                            }
+                        }
+                        Ok(_) | Err(StoreReadError::Corrupt(_)) => corrupt_in_place += 1,
+                        Err(StoreReadError::Io(_)) => {}
+                    }
+                }
+            }
+        }
+    }
+    let lock_path = root.join(CACHE_COMPACTION_LOCK);
+    let stale_lock = match std::fs::read_to_string(&lock_path) {
+        Ok(held) => held
+            .split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse::<u64>().ok())
+            .map(|t| now_ms.saturating_sub(t) >= CACHE_LOCK_STALE_MS)
+            .unwrap_or(true),
+        Err(_) => false,
+    };
+    CacheGenerationObservation {
+        generation_parses,
+        generation,
+        corrupt_in_place,
+        entries_beyond_generation,
+        stale_lock,
+    }
 }
 
 fn rebuild_lattice(
@@ -145,12 +589,14 @@ fn to_cached(
     compiled: &CompiledCircuit,
     verification: Option<VerificationStats>,
     cfg: &PipelineConfig,
+    generation: u64,
 ) -> CachedCompile {
     let mapped = compiled.mapped();
     let lattice = mapped.lattice();
     CachedCompile {
         version: CACHE_VERSION,
         hardware_digest: cfg.hardware.digest(),
+        generation,
         lattice_kind: lattice_kind_tag(lattice.kind()).to_string(),
         rows: lattice.rows(),
         cols: lattice.cols(),
@@ -303,7 +749,17 @@ pub fn compile_cached_verified_traced(
     telemetry: &Telemetry,
 ) -> (CompiledCircuit, Option<VerificationStats>) {
     let fp = fingerprint(program);
-    let path = cache_path(name, technique, cfg_tag, fp);
+    let cache = match SharedCache::open(Path::new(CACHE_ROOT), telemetry) {
+        Ok(cache) => cache,
+        Err(_) => {
+            // Unusable store (e.g. read-only filesystem): compile
+            // straight through without caching rather than failing.
+            let compiled = compile(program, technique, cfg);
+            let stats = verify.map(|vc| geyser::verify_compiled(program, &compiled, vc));
+            return (compiled, stats);
+        }
+    };
+    let path = cache.entry_path_for(name, technique, cfg_tag, fp);
     // Frame corruption (torn write, bit rot) is quarantined to a
     // `.corrupt-<digest>` sidecar with a structured warning and a
     // `store_corrupt_total` bump inside the record reader; a framed
@@ -320,7 +776,13 @@ pub fn compile_cached_verified_traced(
                         (Some(_), Some(stats)) => Some(stats),
                         (Some(vc), None) => {
                             let stats = geyser::verify_compiled(program, &compiled, vc);
-                            store(&path, &compiled, Some(stats.clone()), cfg);
+                            store(
+                                &path,
+                                &compiled,
+                                Some(stats.clone()),
+                                cfg,
+                                cache.generation(),
+                            );
                             Some(stats)
                         }
                     };
@@ -349,7 +811,7 @@ pub fn compile_cached_verified_traced(
     telemetry.counter_add("bench.cache_misses", 1);
     let compiled = compile(program, technique, cfg);
     let stats = verify.map(|vc| geyser::verify_compiled(program, &compiled, vc));
-    store(&path, &compiled, stats.clone(), cfg);
+    store(&path, &compiled, stats.clone(), cfg, cache.generation());
     (compiled, stats)
 }
 
@@ -358,20 +820,11 @@ fn store(
     compiled: &CompiledCircuit,
     verification: Option<VerificationStats>,
     cfg: &PipelineConfig,
+    generation: u64,
 ) {
-    let _ = std::fs::create_dir_all(".geyser-cache");
-    if let Ok(body) = serde_json::to_string(&to_cached(compiled, verification, cfg)) {
-        write_atomic(path, &body);
+    if let Ok(body) = serde_json::to_string(&to_cached(compiled, verification, cfg, generation)) {
+        let _ = write_entry_atomic(path, &body);
     }
-}
-
-/// Crash-safe cache write: the body is framed with a length prefix and
-/// FNV checksum (see [`geyser::store`]), lands in a `.tmp` sibling
-/// first, and is renamed into place — a kill mid-write leaves either
-/// the old entry or no entry, and a torn file fails the frame check on
-/// load instead of poisoning later runs.
-fn write_atomic(path: &std::path::Path, body: &str) {
-    let _ = write_record_atomic(path, body);
 }
 
 #[cfg(test)]
@@ -388,6 +841,30 @@ mod tests {
         c
     }
 
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("geyser-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sidecars_under(root: &Path) -> usize {
+        fn walk(dir: &Path, count: &mut usize) {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.is_dir() {
+                        walk(&path, count);
+                    } else if is_corrupt_sidecar(&path) {
+                        *count += 1;
+                    }
+                }
+            }
+        }
+        let mut count = 0;
+        walk(root, &mut count);
+        count
+    }
+
     #[test]
     fn roundtrip_preserves_metrics() {
         let program = sample_program();
@@ -398,7 +875,7 @@ mod tests {
             Technique::Superconducting,
         ] {
             let direct = compile(&program, technique, &cfg);
-            let cached = to_cached(&direct, None, &cfg);
+            let cached = to_cached(&direct, None, &cfg, 1);
             let body = serde_json::to_string(&cached).unwrap();
             let back: CachedCompile = serde_json::from_str(&body).unwrap();
             let rebuilt =
@@ -418,7 +895,7 @@ mod tests {
         let program = sample_program();
         let cfg = PipelineConfig::fast();
         let direct = compile(&program, Technique::Baseline, &cfg);
-        let cached = to_cached(&direct, None, &cfg);
+        let cached = to_cached(&direct, None, &cfg, 1);
         let other = geyser::HardwareSpec::near_term();
         assert!(
             from_cached(cached, Technique::Baseline, other.digest()).is_none(),
@@ -431,7 +908,7 @@ mod tests {
         let program = sample_program();
         let cfg = PipelineConfig::fast();
         let direct = compile(&program, Technique::Baseline, &cfg);
-        let mut cached = to_cached(&direct, None, &cfg);
+        let mut cached = to_cached(&direct, None, &cfg, 1);
         cached.version = CACHE_VERSION - 1;
         assert!(from_cached(cached, Technique::Baseline, cfg.hardware.digest()).is_none());
     }
@@ -484,26 +961,175 @@ mod tests {
 
     #[test]
     fn atomic_write_replaces_and_leaves_no_tmp_behind() {
-        let dir = std::env::temp_dir().join(format!("geyser-cache-atomic-{}", std::process::id()));
+        let dir = temp_root("atomic");
         let _ = std::fs::create_dir_all(&dir);
         let path = dir.join("entry.json");
         std::fs::write(&path, "old").unwrap();
-        write_atomic(&path, "new");
+        write_entry_atomic(&path, "new").unwrap();
         let decoded = geyser::store::read_record_file(&path).unwrap();
         assert!(decoded.is_framed(), "cache entries are framed records");
         assert_eq!(decoded.text(), "new");
-        assert!(
-            !path.with_extension("json.tmp").exists(),
-            "temp file must be renamed away"
-        );
+        let tmps = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().map(|x| x == "tmp").unwrap_or(false))
+            .count();
+        assert_eq!(tmps, 0, "temp file must be renamed away");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_initializes_and_compaction_bumps_the_generation() {
+        let root = temp_root("gen");
+        let telemetry = Telemetry::enabled();
+        let mut cache = SharedCache::open(&root, &telemetry).unwrap();
+        assert_eq!(cache.generation(), 1, "fresh store starts at generation 1");
+        assert!(root.join(CACHE_GENERATION_FILE).exists());
+
+        let outcome = cache.compact(10_000, &telemetry).unwrap();
+        assert!(outcome.performed);
+        assert_eq!(outcome.generation, 2);
+        assert!(
+            !root.join(CACHE_COMPACTION_LOCK).exists(),
+            "a committed compaction releases its lock"
+        );
+        // A second handle (another process) observes the new header.
+        let reopened = SharedCache::open(&root, &telemetry).unwrap();
+        assert_eq!(reopened.generation(), 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn live_peer_lock_makes_compaction_a_noop() {
+        let root = temp_root("lock");
+        let telemetry = Telemetry::enabled();
+        let mut cache = SharedCache::open(&root, &telemetry).unwrap();
+        // A peer took the lock one second ago (its timestamp, our
+        // clock): not stale, so our compaction must back off.
+        std::fs::write(root.join(CACHE_COMPACTION_LOCK), "99999 9000").unwrap();
+        let outcome = cache.compact(10_000, &telemetry).unwrap();
+        assert!(!outcome.performed, "live lock holders are respected");
+        assert_eq!(cache.generation(), 1);
+        // The same lock judged far later is an orphan: taken over.
+        let outcome = cache
+            .compact(9_000 + CACHE_LOCK_STALE_MS + 1, &telemetry)
+            .unwrap();
+        assert!(outcome.performed, "stale locks are taken over");
+        assert_eq!(outcome.generation, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crashed_compaction_leaves_the_old_generation_never_a_mix() {
+        let root = temp_root("crash");
+        let telemetry = Telemetry::enabled();
+        let mut cache = SharedCache::open(&root, &telemetry).unwrap();
+        let outcome = cache.compact_crashing(5_000, &telemetry).unwrap();
+        assert!(!outcome.performed);
+        // The wreckage a kill -9 mid-commit leaves behind: old header
+        // intact, half-committed temp, orphaned lock.
+        assert!(root.join(CACHE_COMPACTION_LOCK).exists());
+        let obs = scan_generation(&root, 5_001);
+        assert!(obs.generation_parses, "old header must read back clean");
+        assert_eq!(obs.generation, 1, "generation is old or new, never mixed");
+        assert!(!obs.stale_lock, "a just-orphaned lock is not yet stale");
+
+        // Recovery: the next open sweeps the temp; once the lock ages
+        // out, the next compaction takes over and commits.
+        let mut reopened = SharedCache::open(&root, &telemetry).unwrap();
+        assert_eq!(reopened.generation(), 1);
+        assert!(
+            telemetry
+                .counter_value(geyser::store::STORE_STALE_TMP_CLEANED_COUNTER)
+                .unwrap_or(0)
+                >= 1,
+            "the half-written generation temp is swept at open"
+        );
+        let outcome = reopened
+            .compact(5_000 + CACHE_LOCK_STALE_MS, &telemetry)
+            .unwrap();
+        assert!(outcome.performed);
+        assert_eq!(outcome.generation, 2);
+        assert!(!root.join(CACHE_COMPACTION_LOCK).exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_prunes_stale_entries_and_sidecars() {
+        let root = temp_root("prune");
+        let telemetry = Telemetry::enabled();
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let mut cache = SharedCache::open(&root, &telemetry).unwrap();
+
+        // A current entry, written the way the compile path does.
+        let direct = compile(&program, Technique::Baseline, &cfg);
+        let keep = cache.entry_path_for("t", Technique::Baseline, "keep", 1);
+        let body = serde_json::to_string(&to_cached(&direct, None, &cfg, 1)).unwrap();
+        write_entry_atomic(&keep, &body).unwrap();
+        // A stale-version entry and a quarantine sidecar beside it.
+        let mut stale = to_cached(&direct, None, &cfg, 1);
+        stale.version = CACHE_VERSION - 1;
+        let stale_path = cache.entry_path_for("t", Technique::Baseline, "stale", 2);
+        write_entry_atomic(&stale_path, &serde_json::to_string(&stale).unwrap()).unwrap();
+        let sidecar = keep.parent().unwrap().join("junk.json.corrupt-00ff");
+        std::fs::write(&sidecar, "quarantined bytes").unwrap();
+
+        let outcome = cache.compact(1_000, &telemetry).unwrap();
+        assert!(outcome.performed);
+        assert_eq!(outcome.pruned, 2, "stale entry + sidecar reclaimed");
+        assert!(keep.exists(), "current entries survive compaction");
+        assert!(!stale_path.exists());
+        assert!(!sidecar.exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn scan_flags_each_incoherence_symptom() {
+        let root = temp_root("scan");
+        let telemetry = Telemetry::enabled();
+        let program = sample_program();
+        let cfg = PipelineConfig::fast();
+        let cache = SharedCache::open(&root, &telemetry).unwrap();
+        let direct = compile(&program, Technique::Baseline, &cfg);
+
+        // Coherent store first.
+        let good = cache.entry_path_for("t", Technique::Baseline, "good", 1);
+        let body = serde_json::to_string(&to_cached(&direct, None, &cfg, 1)).unwrap();
+        write_entry_atomic(&good, &body).unwrap();
+        let obs = scan_generation(&root, 1_000);
+        assert!(obs.generation_parses);
+        assert_eq!(obs.generation, 1);
+        assert_eq!(obs.corrupt_in_place, 0);
+        assert_eq!(obs.entries_beyond_generation, 0);
+        assert!(!obs.stale_lock);
+
+        // An entry stamped with a generation the header never
+        // committed — the signature of a lost rename.
+        let future = cache.entry_path_for("t", Technique::Baseline, "future", 2);
+        let beyond = serde_json::to_string(&to_cached(&direct, None, &cfg, 99)).unwrap();
+        write_entry_atomic(&future, &beyond).unwrap();
+        // A torn entry left in place (scanners never quarantine).
+        let torn = cache.entry_path_for("t", Technique::Baseline, "torn", 3);
+        write_entry_atomic(&torn, &body).unwrap();
+        let bytes = std::fs::read(&torn).unwrap();
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+        // An orphaned lock from a long-dead compactor.
+        std::fs::write(root.join(CACHE_COMPACTION_LOCK), "123 0").unwrap();
+
+        let obs = scan_generation(&root, CACHE_LOCK_STALE_MS);
+        assert_eq!(obs.corrupt_in_place, 1);
+        assert_eq!(obs.entries_beyond_generation, 1);
+        assert!(obs.stale_lock);
+        let violations = geyser_verify::check_cache_generation(&obs);
+        assert_eq!(violations.len(), 3);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
     fn torn_cache_entry_is_quarantined_and_recompiled() {
         let _cwd = CWD_LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join(format!("geyser-cache-torn-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_root("torn");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();
         std::env::set_current_dir(&dir).unwrap();
@@ -520,7 +1146,8 @@ mod tests {
             None,
             &telemetry,
         );
-        let path = cache_path("t", Technique::OptiMap, "torn", fingerprint(&program));
+        let cache = SharedCache::open(Path::new(CACHE_ROOT), &telemetry).unwrap();
+        let path = cache.entry_path_for("t", Technique::OptiMap, "torn", fingerprint(&program));
         // Tear the committed entry the way a mid-write kill would.
         let body = std::fs::read(&path).unwrap();
         std::fs::write(&path, &body[..body.len() / 2]).unwrap();
@@ -541,12 +1168,11 @@ mod tests {
             "corruption must be observable, not a silent miss"
         );
         assert_eq!(telemetry.counter_value("bench.cache_misses"), Some(2));
-        let sidecars: Vec<_> = std::fs::read_dir(".geyser-cache")
-            .unwrap()
-            .filter_map(|e| e.ok())
-            .filter(|e| geyser::store::is_corrupt_sidecar(&e.path()))
-            .collect();
-        assert_eq!(sidecars.len(), 1, "torn entry must be quarantined aside");
+        assert_eq!(
+            sidecars_under(Path::new(CACHE_ROOT)),
+            1,
+            "torn entry must be quarantined aside"
+        );
         // The recompile rewrote a healthy framed entry in place.
         assert!(geyser::store::read_record_file(&path).is_ok());
 
@@ -557,8 +1183,7 @@ mod tests {
     #[test]
     fn verification_verdict_travels_with_the_cache_entry() {
         let _cwd = CWD_LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join(format!("geyser-cache-verify-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_root("verify");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();
         std::env::set_current_dir(&dir).unwrap();
@@ -609,8 +1234,7 @@ mod tests {
     #[test]
     fn cache_hits_are_counted_and_replay_a_stable_report_shape() {
         let _cwd = CWD_LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join(format!("geyser-cache-hits-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_root("hits");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();
         std::env::set_current_dir(&dir).unwrap();
@@ -657,8 +1281,7 @@ mod tests {
     #[test]
     fn version_skew_is_counted_apart_from_cold_misses() {
         let _cwd = CWD_LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join(format!("geyser-cache-skew-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_root("skew");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();
         std::env::set_current_dir(&dir).unwrap();
@@ -682,11 +1305,12 @@ mod tests {
         // Rewrite the committed entry as if an older binary had
         // written it: same well-formed payload, previous schema
         // version.
-        let path = cache_path("t", Technique::OptiMap, "skew", fingerprint(&program));
+        let cache = SharedCache::open(Path::new(CACHE_ROOT), &telemetry).unwrap();
+        let path = cache.entry_path_for("t", Technique::OptiMap, "skew", fingerprint(&program));
         let payload = geyser::store::read_record_file(&path).unwrap();
         let mut entry: CachedCompile = serde_json::from_str(payload.text()).unwrap();
         entry.version = CACHE_VERSION - 1;
-        write_atomic(&path, &serde_json::to_string(&entry).unwrap());
+        write_entry_atomic(&path, &serde_json::to_string(&entry).unwrap()).unwrap();
 
         let (second, _) = compile_cached_verified_traced(
             "t",
@@ -730,7 +1354,7 @@ mod tests {
     #[test]
     fn cache_files_round_trip_through_disk() {
         let _cwd = CWD_LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join(format!("geyser-cache-test-{}", std::process::id()));
+        let dir = temp_root("roundtrip");
         let _ = std::fs::create_dir_all(&dir);
         let old = std::env::current_dir().unwrap();
         std::env::set_current_dir(&dir).unwrap();
@@ -740,7 +1364,53 @@ mod tests {
         let first = compile_cached("t", &program, Technique::OptiMap, &cfg, "test");
         let second = compile_cached("t", &program, Technique::OptiMap, &cfg, "test");
         assert_eq!(first.total_pulses(), second.total_pulses());
-        assert!(dir.join(".geyser-cache").exists());
+        assert!(dir.join(CACHE_ROOT).join(CACHE_OBJECTS_DIR).exists());
+
+        std::env::set_current_dir(old).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_share_one_store_without_torn_state() {
+        let _cwd = CWD_LOCK.lock().unwrap();
+        let dir = temp_root("race");
+        let _ = std::fs::create_dir_all(&dir);
+        let old = std::env::current_dir().unwrap();
+        std::env::set_current_dir(&dir).unwrap();
+
+        // Two writers hammer the same keys through the shared store at
+        // once — the same shape as two processes pointed at one cache
+        // dir. Every publish must land whole.
+        let pulses: Vec<u64> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let program = sample_program();
+                        let cfg = PipelineConfig::fast();
+                        let mut last = 0;
+                        for round in 0..3 {
+                            let tag = format!("race-{round}");
+                            let compiled =
+                                compile_cached("t", &program, Technique::OptiMap, &cfg, &tag);
+                            last = compiled.total_pulses();
+                        }
+                        last
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        assert_eq!(pulses[0], pulses[1], "both writers see the same result");
+
+        let obs = scan_generation(Path::new(CACHE_ROOT), 1_000);
+        assert!(obs.generation_parses);
+        assert_eq!(obs.corrupt_in_place, 0, "no torn entries");
+        assert_eq!(obs.entries_beyond_generation, 0);
+        assert_eq!(sidecars_under(Path::new(CACHE_ROOT)), 0);
+        assert!(
+            geyser_verify::check_cache_generation(&obs).is_empty(),
+            "concurrent sharing must leave a coherent store"
+        );
 
         std::env::set_current_dir(old).unwrap();
         let _ = std::fs::remove_dir_all(&dir);

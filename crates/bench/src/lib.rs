@@ -68,6 +68,16 @@
 //!   workers whose heartbeat goes stale for `N` ms are preempted and
 //!   the attempt is retyped as a retryable `WorkerHung` error;
 //!   implies the supervised runtime
+//! * `--journal PATH` — the `serve` binary appends every job
+//!   lifecycle decision (admitted, dispatched, completed, shed,
+//!   cancelled) to a write-ahead journal at `PATH`, so a killed
+//!   service can be restarted without losing acknowledged work
+//! * `--recover` — the `serve` binary replays the `--journal` file
+//!   before taking traffic: settled outcomes are taken verbatim,
+//!   acknowledged-but-incomplete jobs are re-admitted exactly once
+//! * `--no-shed` — restart-campaign mode for `serve`: no deadlines,
+//!   no shedding, no degraded tier, so kill → recover cycles can be
+//!   diffed against an uninjected reference job for job
 //!
 //! Exit codes are unified in [`exit_codes`].
 
@@ -83,7 +93,9 @@ use std::collections::BTreeMap;
 
 pub use cache::{
     classify_cache_payload, compile_cached, compile_cached_verified,
-    compile_cached_verified_traced, CachePayloadStatus, CACHE_VERSION_MISS_COUNTER,
+    compile_cached_verified_traced, scan_generation, CachePayloadStatus, CompactionOutcome,
+    SharedCache, CACHE_COMPACTION_LOCK, CACHE_GENERATION_FILE, CACHE_LOCK_STALE_MS,
+    CACHE_OBJECTS_DIR, CACHE_ROOT, CACHE_VERSION_MISS_COUNTER,
 };
 use geyser::{
     CompileReport, CompiledCircuit, FaultInjector, FaultSpecError, HardwareSpec, MetricsSnapshot,
@@ -162,6 +174,20 @@ pub struct Cli {
     /// as a retryable `WorkerHung` error. Implies the supervised
     /// runtime.
     pub watchdog_ms: Option<u64>,
+    /// Write-ahead job-journal path for the `serve` binary
+    /// (`--journal`); every admission/dispatch/settlement decision is
+    /// appended before it takes effect.
+    pub journal: Option<String>,
+    /// Replay the `--journal` file before taking traffic
+    /// (`--recover`): settled outcomes are honoured verbatim and
+    /// acknowledged-but-incomplete jobs re-admitted exactly once.
+    pub recover: bool,
+    /// Restart-campaign mode for the `serve` binary (`--no-shed`):
+    /// schedule without deadlines and policy without shedding or
+    /// degradation, so every arrival completes and a kill → recover
+    /// cycle can demand a completed-job set identical to an
+    /// uninjected reference.
+    pub no_shed: bool,
     /// The run's telemetry handle: disabled by default, enabled by
     /// [`Cli::parse`] when `--trace` or `--report` is given. Cloning
     /// shares the same buffers, so spans recorded anywhere in the
@@ -198,6 +224,9 @@ impl Default for Cli {
             arrivals: 2_000,
             tenants: 4,
             watchdog_ms: None,
+            journal: None,
+            recover: false,
+            no_shed: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -287,6 +316,9 @@ impl Cli {
                 "--watchdog-ms" => {
                     cli.watchdog_ms = Some(value("--watchdog-ms").parse().expect("integer"))
                 }
+                "--journal" => cli.journal = Some(value("--journal")),
+                "--recover" => cli.recover = true,
+                "--no-shed" => cli.no_shed = true,
                 "--specs" => {
                     cli.specs = value("--specs")
                         .split(',')

@@ -49,6 +49,19 @@ pub struct FaultInjector {
     /// that only an end-to-end equivalence oracle can catch. Indices
     /// beyond the circuit inject nothing.
     pub miscompile_gates: Vec<usize>,
+    /// Kills the service harness while appending journal event number
+    /// `n` (0-based): the frame is written only partially, leaving the
+    /// torn tail a real `kill -9` mid-append would. Recovery must
+    /// truncate the tail and resume.
+    pub kill_mid_journal_append: Option<usize>,
+    /// Crashes the next store compaction (journal snapshot or shared
+    /// cache) after its temp file is written but *before* the commit
+    /// rename — the old generation must stay fully intact.
+    pub kill_mid_compaction: bool,
+    /// Tears the final journal frame after the run completes, so the
+    /// next recovery must truncate the tail and re-admit the event's
+    /// job exactly once.
+    pub torn_journal_tail: bool,
     /// Composition-stage faults (corrupted candidates, per-block worker
     /// panics).
     pub compose: ComposeFaults,
@@ -116,6 +129,9 @@ impl FaultInjector {
             && !self.corrupt_checkpoint
             && !self.force_compose_timeout
             && self.miscompile_gates.is_empty()
+            && self.kill_mid_journal_append.is_none()
+            && !self.kill_mid_compaction
+            && !self.torn_journal_tail
             && self.compose.is_empty()
             && self.sim.is_empty()
     }
@@ -176,6 +192,15 @@ impl FaultInjector {
         for g in &self.miscompile_gates {
             tokens.push(format!("miscompile:{g}"));
         }
+        if let Some(n) = self.kill_mid_journal_append {
+            tokens.push(format!("kill-mid-journal-append:{n}"));
+        }
+        if self.kill_mid_compaction {
+            tokens.push("kill-mid-compaction".to_string());
+        }
+        if self.torn_journal_tail {
+            tokens.push("torn-journal-tail".to_string());
+        }
         for b in &self.compose.corrupt_blocks {
             tokens.push(format!("compose-corrupt:{b}"));
         }
@@ -203,6 +228,9 @@ impl FaultInjector {
     /// | `checkpoint-corrupt` | checkpoint file truncated after writing |
     /// | `compose-timeout` | composition deadline forced expired |
     /// | `miscompile:<i>` | gate `i` of the final circuit silently corrupted |
+    /// | `kill-mid-journal-append:<n>` | harness killed mid-append of journal event `n` |
+    /// | `kill-mid-compaction` | next store compaction crashed before its commit rename |
+    /// | `torn-journal-tail` | final journal frame torn after the run |
     /// | `compose-corrupt:<i>` | block `i`'s winning candidate corrupted |
     /// | `compose-panic:<i>` | block `i`'s worker panics |
     /// | `sim-nan:<t>` | trajectory `t` transiently NaN (recovers) |
@@ -249,6 +277,9 @@ impl FaultInjector {
                 "checkpoint-corrupt" => plan.corrupt_checkpoint = true,
                 "compose-timeout" => plan.force_compose_timeout = true,
                 "miscompile" => plan.miscompile_gates.push(index("gate")?),
+                "kill-mid-journal-append" => plan.kill_mid_journal_append = Some(index("event")?),
+                "kill-mid-compaction" => plan.kill_mid_compaction = true,
+                "torn-journal-tail" => plan.torn_journal_tail = true,
                 "compose-corrupt" => plan.compose.corrupt_blocks.push(index("block")?),
                 "compose-panic" => plan.compose.panic_blocks.push(index("block")?),
                 "sim-nan" => plan.sim.nan_trajectories.push(index("trajectory")?),
@@ -286,6 +317,15 @@ mod tests {
             .unwrap()
             .is_empty());
         assert!(!FaultInjector::parse("miscompile:0").unwrap().is_empty());
+        assert!(!FaultInjector::parse("kill-mid-journal-append:0")
+            .unwrap()
+            .is_empty());
+        assert!(!FaultInjector::parse("kill-mid-compaction")
+            .unwrap()
+            .is_empty());
+        assert!(!FaultInjector::parse("torn-journal-tail")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -294,7 +334,8 @@ mod tests {
             "pass-panic:map, pass-panic-once:compose, hang-pass:block, \
              kill-after-block:2, checkpoint-corrupt, compose-timeout, \
              compose-corrupt:1, compose-panic:2, sim-nan:3, sim-nan-persistent:4, \
-             miscompile:5",
+             miscompile:5, kill-mid-journal-append:6, kill-mid-compaction, \
+             torn-journal-tail",
         )
         .unwrap();
         assert_eq!(plan.panic_passes, vec!["map".to_string()]);
@@ -308,6 +349,9 @@ mod tests {
         assert_eq!(plan.sim.nan_trajectories, vec![3]);
         assert_eq!(plan.sim.persistent_nan_trajectories, vec![4]);
         assert_eq!(plan.miscompile_gates, vec![5]);
+        assert_eq!(plan.kill_mid_journal_append, Some(6));
+        assert!(plan.kill_mid_compaction);
+        assert!(plan.torn_journal_tail);
     }
 
     #[test]
@@ -353,7 +397,8 @@ mod tests {
     fn spec_roundtrips_through_parse() {
         let spec = "pass-panic:map,pass-panic-once:compose,hang-pass:block,\
                     kill-after-block:2,checkpoint-corrupt,compose-timeout,\
-                    miscompile:5,compose-corrupt:1,compose-panic:2,sim-nan:3,\
+                    miscompile:5,kill-mid-journal-append:6,kill-mid-compaction,\
+                    torn-journal-tail,compose-corrupt:1,compose-panic:2,sim-nan:3,\
                     sim-nan-persistent:4";
         let plan = FaultInjector::parse(spec).unwrap();
         assert_eq!(plan.spec(), spec);

@@ -32,7 +32,12 @@
 //!   dispatch, single-flight deduplication of identical in-flight
 //!   compiles (with leader re-election on failure), deadline-aware
 //!   load shedding with typed [`RejectReason`]s, and a degraded
-//!   compile tier under sustained overload.
+//!   compile tier under sustained overload;
+//! * a **write-ahead job journal** ([`Journal`]) — every service-layer
+//!   lifecycle decision is logged durably before the caller observes
+//!   it, so [`ServiceCore::recover`] can rebuild state after a
+//!   `kill -9` and re-admit acknowledged-but-incomplete jobs exactly
+//!   once.
 //!
 //! The job state machine:
 //!
@@ -55,6 +60,7 @@ mod checkpoint;
 mod compile;
 mod error;
 mod job;
+mod journal;
 mod retry;
 mod service;
 mod singleflight;
@@ -71,10 +77,14 @@ pub use checkpoint::{
 pub use compile::{run_supervised_compile, CheckpointedComposePass, SupervisedCompileOptions};
 pub use error::SupervisorError;
 pub use job::{JobHandle, JobResult, JobSpec, JobState};
+pub use journal::{
+    load_journal_events, Journal, JournalError, JournalEvent, JournalOpenStats, JournalReplay,
+    JOURNAL_VERSION,
+};
 pub use retry::RetryPolicy;
 pub use service::{
     degrade_config, Admission, AttachedInfo, Completion, Dispatch, FlightTicket, PendingJob,
-    ServiceConfig, ServiceCore, ServiceMetrics,
+    RecoveryReport, ServiceConfig, ServiceCore, ServiceMetrics,
 };
 pub use singleflight::{FlightResolution, FlightRole, JobKey, SingleFlight};
 pub use supervisor::{Supervisor, SupervisorConfig, SupervisorMetrics};

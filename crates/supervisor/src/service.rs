@@ -43,6 +43,7 @@ use geyser::{CancelToken, PipelineConfig};
 
 use crate::admission::{CostModel, RejectReason};
 use crate::job::JobSpec;
+use crate::journal::JournalReplay;
 use crate::singleflight::{FlightResolution, FlightRole, JobKey, SingleFlight};
 use crate::tenant::{DrrQueue, TenantId, TokenBucket};
 
@@ -246,6 +247,30 @@ pub struct Completion {
     pub cancelled: Vec<AttachedInfo>,
 }
 
+/// What [`ServiceCore::recover`] reconstructed from a journal replay.
+/// Terminal outcomes are the host's to re-record (they are settled —
+/// recovery never re-runs them); `to_readmit` lists the
+/// acknowledged-but-incomplete jobs the host must submit again,
+/// exactly once each.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Settled completions as `(id, result digest)`.
+    pub completed: Vec<(u64, u64)>,
+    /// Settled sheds as `(id, reject-reason label)`.
+    pub shed: Vec<(u64, String)>,
+    /// Settled cancellations.
+    pub cancelled: Vec<u64>,
+    /// Settled failures.
+    pub failed: Vec<u64>,
+    /// Jobs admitted (or attached) before the crash with no terminal
+    /// outcome, ascending by id. The host re-submits these through the
+    /// normal [`ServiceCore::submit`] path; identical specs collapse
+    /// back into single flights via their dedup keys.
+    pub to_readmit: Vec<u64>,
+    /// Raw journal events folded into the replayed state.
+    pub events_applied: u64,
+}
+
 /// The synchronous service state machine. See the module docs for the
 /// decision pipeline; hosts drive it via [`ServiceCore::submit`],
 /// [`ServiceCore::next`], and [`ServiceCore::complete`].
@@ -316,6 +341,64 @@ impl ServiceCore {
     /// Stops admitting; subsequent submissions shed `shutting-down`.
     pub fn begin_shutdown(&mut self) {
         self.shutting_down = true;
+    }
+
+    /// Rebuilds service state from a journal replay after a crash.
+    /// Call on a **fresh** core before any submissions.
+    ///
+    /// Settled completions re-seed the per-technique EWMA cost model
+    /// (in completion-time order, so the estimates converge to the
+    /// same values the dead process had) and re-charge their tenants'
+    /// token buckets at the original timestamps (so a tenant that
+    /// spent its budget before the crash does not restart with a full
+    /// one). Settled outcomes are returned for the host to re-record —
+    /// they are **never** re-run. Acknowledged-but-incomplete jobs
+    /// come back in [`RecoveryReport::to_readmit`]; the host submits
+    /// each exactly once through the normal admission path, where
+    /// identical specs deduplicate via their single-flight keys.
+    pub fn recover(&mut self, replay: &JournalReplay, now_ms: u64) -> RecoveryReport {
+        let mut report = RecoveryReport {
+            to_readmit: replay.to_readmit(),
+            events_applied: replay.events_applied,
+            ..RecoveryReport::default()
+        };
+        // Completion-time order (ties by id) mirrors the order the
+        // dead process observed costs in, so the EWMA lands on the
+        // same state.
+        let mut completions: Vec<_> = replay
+            .settled()
+            .values()
+            .filter(|ev| ev.kind == "completed")
+            .collect();
+        completions.sort_by_key(|ev| (ev.now_ms, ev.id));
+        for ev in completions {
+            if ev.cost > 0 && !ev.technique.is_empty() {
+                self.cost_model.observe(&ev.technique, ev.cost);
+            }
+            if !ev.tenant.is_empty() && ev.cost > 0 {
+                let tenant = TenantId::from(ev.tenant.as_str());
+                let bucket = self.buckets.entry(tenant).or_insert_with(|| {
+                    TokenBucket::new(
+                        self.config.tenant_burst,
+                        self.config.tenant_rate_per_sec,
+                        ev.now_ms,
+                    )
+                });
+                // Best-effort charge at the original timestamp; an
+                // unpayable charge means the bucket was already dry.
+                let _ = bucket.try_take(ev.cost, ev.now_ms.min(now_ms));
+            }
+        }
+        for (id, ev) in replay.settled() {
+            match ev.kind.as_str() {
+                "completed" => report.completed.push((*id, ev.digest)),
+                "shed" => report.shed.push((*id, ev.reason.clone())),
+                "cancelled" => report.cancelled.push(*id),
+                "failed" => report.failed.push(*id),
+                _ => {}
+            }
+        }
+        report
     }
 
     /// Runs the admission pipeline for one submission.
@@ -927,6 +1010,75 @@ mod tests {
         assert_eq!(d.seed, cfg.seed);
         assert_eq!(d.hardware, cfg.hardware);
         assert!(d.composition.anneal_iters >= 8);
+    }
+
+    #[test]
+    fn recover_rebuilds_state_and_readmits_exactly_once() {
+        use crate::journal::{JournalEvent, JournalReplay};
+        let mut replay = JournalReplay::default();
+        replay.apply(&JournalEvent::admitted(0, "acme", "OptiMap", None, 100, 0));
+        replay.apply(&JournalEvent::dispatched(0, 1));
+        replay.apply(&JournalEvent::completed(
+            0, "acme", "OptiMap", 0xfeed, 900, 10,
+        ));
+        replay.apply(&JournalEvent::admitted(1, "acme", "OptiMap", None, 100, 12));
+        replay.apply(&JournalEvent::dispatched(1, 13));
+        replay.apply(&JournalEvent::shed(
+            2,
+            &RejectReason::QueueFull { capacity: 4 },
+            14,
+        ));
+
+        let mut c = core(100);
+        let before = c.estimated_wait_ms();
+        let report = c.recover(&replay, 20);
+        assert_eq!(report.completed, vec![(0, 0xfeed)]);
+        assert_eq!(report.shed, vec![(2, "queue-full".to_string())]);
+        assert_eq!(report.to_readmit, vec![1]);
+        assert_eq!(report.events_applied, 6);
+        // The 900-cost completion moved the OptiMap EWMA, so a
+        // recovered core estimates queue delay like the dead one did.
+        c.submit(1, spec("incomplete", "acme"), CancelToken::new(), 20);
+        assert!(
+            c.estimated_wait_ms() > before,
+            "recovered cost model reflects observed costs"
+        );
+        // Re-admitting the pending job exactly once leaves exactly one
+        // job queued; settled ids were never re-submitted.
+        assert_eq!(c.queue_len(), 1);
+        let Some(Dispatch::Run(job)) = c.next(20) else {
+            panic!("readmitted job dispatches")
+        };
+        assert_eq!(job.id, 1);
+    }
+
+    #[test]
+    fn recover_recharges_tenant_buckets() {
+        use crate::journal::{JournalEvent, JournalReplay};
+        let mut replay = JournalReplay::default();
+        // The dead process had charged "hog" 150 of its 150-token
+        // burst; after recovery, a backlogged "hog" must throttle
+        // rather than restart with a fresh budget.
+        replay.apply(&JournalEvent::completed(0, "hog", "OptiMap", 1, 150, 5));
+        let mut c = ServiceCore::new(ServiceConfig {
+            queue_capacity: 100,
+            workers: 1,
+            default_cost: 100,
+            tenant_burst: 150,
+            tenant_rate_per_sec: 0,
+            drr_quantum: 200,
+            degrade_wait_ms: 0,
+            dedup: false,
+        });
+        c.recover(&replay, 5);
+        assert!(matches!(
+            c.submit(1, spec("a", "other"), CancelToken::new(), 6),
+            Admission::Queued { .. }
+        ));
+        match c.submit(2, spec("b", "hog"), CancelToken::new(), 6) {
+            Admission::Shed { reason, .. } => assert_eq!(reason.label(), "tenant-throttled"),
+            other => panic!("expected throttle, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,13 +10,16 @@ use std::time::Duration;
 use geyser::{CancelToken, CompileError, ErrorClass, SupervisionStats, Telemetry};
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::checkpoint::checkpoint_fingerprint;
 use crate::compile::{run_supervised_compile, SupervisedCompileOptions};
 use crate::error::SupervisorError;
 use crate::job::{JobHandle, JobResult, JobSpec, JobState};
+use crate::journal::{Journal, JournalEvent};
 use crate::retry::RetryPolicy;
 use crate::service::{
     degrade_config, Admission, AttachedInfo, Dispatch, ServiceConfig, ServiceCore, ServiceMetrics,
 };
+use crate::singleflight::JobKey;
 use crate::watchdog::{Heartbeat, Watchdog, WatchdogConfig};
 
 /// Sizing and policy knobs for one [`Supervisor`].
@@ -119,6 +122,11 @@ struct Shared {
     /// The service layer, present when `config.service` is. Lock
     /// order: `state` before `service` before `results`.
     service: Option<Mutex<ServiceCore>>,
+    /// Write-ahead job journal ([`Supervisor::start_with_journal`]).
+    /// A *leaf* lock: last in the order (`state` → `service` →
+    /// `results` → `journal`); nothing is ever acquired while it is
+    /// held.
+    journal: Option<Mutex<Journal>>,
     /// Wall-clock anchor for the service layer's ms domain.
     start: std::time::Instant,
     next_id: AtomicU64,
@@ -142,6 +150,18 @@ impl Shared {
     /// `now_ms` domain fed to the service layer.
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
+    }
+
+    /// Appends one lifecycle event to the write-ahead journal, if one
+    /// is attached. Append failures are counted, not fatal: losing
+    /// durability must not take down live compiles.
+    fn journal_event(&self, event: &JournalEvent) {
+        if let Some(journal) = &self.journal {
+            if recover(journal.lock()).append(event).is_err() {
+                self.telemetry
+                    .counter_add("supervisor.journal_append_errors", 1);
+            }
+        }
     }
 }
 
@@ -179,6 +199,22 @@ impl Supervisor {
         Self::start_with_telemetry(config, Telemetry::disabled())
     }
 
+    /// Starts the worker pool with a write-ahead job journal: every
+    /// service-layer lifecycle decision (admitted, attached,
+    /// dispatched, completed, shed, cancelled, failed) is appended
+    /// durably, so a killed process can be recovered by replaying the
+    /// journal through [`ServiceCore::recover`] in its next
+    /// incarnation. The journal only records service-layer decisions,
+    /// so `config.service` should be `Some`; without a service layer
+    /// it stays silent. The journal compacts on graceful shutdown.
+    pub fn start_with_journal(
+        config: SupervisorConfig,
+        telemetry: Telemetry,
+        journal: Journal,
+    ) -> Self {
+        Self::start_inner(config, telemetry, Some(journal))
+    }
+
     /// Starts the worker pool with a telemetry handle: every job gets
     /// a `supervisor.job` span (queue wait, attempts, outcome), the
     /// compile attempts nest the pipeline's pass spans beneath it, and
@@ -186,6 +222,14 @@ impl Supervisor {
     /// observational only — results are identical with telemetry
     /// enabled or disabled.
     pub fn start_with_telemetry(config: SupervisorConfig, telemetry: Telemetry) -> Self {
+        Self::start_inner(config, telemetry, None)
+    }
+
+    fn start_inner(
+        config: SupervisorConfig,
+        telemetry: Telemetry,
+        journal: Option<Journal>,
+    ) -> Self {
         let watchdog = config
             .watchdog
             .map(|wd| Watchdog::start(wd, telemetry.clone()));
@@ -208,6 +252,7 @@ impl Supervisor {
             breakers: Mutex::new(HashMap::new()),
             results: Mutex::new(Vec::new()),
             service,
+            journal: journal.map(Mutex::new),
             start: std::time::Instant::now(),
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -292,6 +337,23 @@ impl Supervisor {
         let now_ms = self.shared.now_ms();
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         self.shared.telemetry.counter_add("supervisor.submitted", 1);
+        // The journal wants tenant/technique/key, but the spec moves
+        // into the service; capture them up front (the key is the same
+        // derivation the dedup layer performs).
+        let (tenant, technique, key) = if self.shared.journal.is_some() {
+            let dedup = self.shared.config.service.is_some_and(|s| s.dedup) && spec.dedup;
+            let key = dedup.then(|| {
+                JobKey::derive(
+                    &spec.program,
+                    &spec.config.hardware,
+                    spec.technique,
+                    spec.config.seed,
+                )
+            });
+            (spec.tenant.to_string(), spec.technique.label(), key)
+        } else {
+            (String::new(), "", None)
+        };
         let admission = {
             let mut service = recover(service.lock());
             let admission = service.submit(id, spec, cancel.clone(), now_ms);
@@ -305,13 +367,24 @@ impl Supervisor {
         };
         match admission {
             Admission::Queued { degraded } => {
+                self.shared.journal_event(&JournalEvent::admitted(
+                    id,
+                    &tenant,
+                    technique,
+                    key.as_ref(),
+                    0,
+                    now_ms,
+                ));
                 if degraded {
                     self.shared.degraded.fetch_add(1, Ordering::Relaxed);
                     self.shared.telemetry.counter_add("supervisor.degraded", 1);
                 }
                 self.shared.job_available.notify_one();
             }
-            Admission::Attached { .. } => {
+            Admission::Attached { leader } => {
+                self.shared.journal_event(&JournalEvent::attached(
+                    id, &tenant, technique, leader, now_ms,
+                ));
                 // Counted (metrics and telemetry both) when the
                 // broadcast result is actually delivered, so the
                 // telemetry counter matches `SupervisorMetrics::deduped`
@@ -319,6 +392,8 @@ impl Supervisor {
                 // counted as dedup-served.
             }
             Admission::Shed { spec, reason } => {
+                self.shared
+                    .journal_event(&JournalEvent::shed(id, &reason, now_ms));
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 self.shared.telemetry.counter_add("supervisor.shed", 1);
                 self.shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -417,6 +492,11 @@ impl Supervisor {
         if let Some(wd) = &self.shared.watchdog {
             wd.stop();
         }
+        if let Some(journal) = &self.shared.journal {
+            // Fold the event stream so the next open replays a
+            // snapshot instead of the whole history.
+            let _ = recover(journal.lock()).compact();
+        }
         self.take_results()
     }
 }
@@ -487,6 +567,7 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
                         // then keep scheduling. Followers of its
                         // flight whose own token fired resolve
                         // Cancelled alongside it.
+                        shared.journal_event(&JournalEvent::shed(job.id, &reason, now_ms));
                         shared.shed.fetch_add(1, Ordering::Relaxed);
                         shared.telemetry.counter_add("supervisor.shed", 1);
                         shared.completed.fetch_add(1, Ordering::Relaxed);
@@ -516,7 +597,9 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
             }
         };
         let ticket = pending.ticket();
+        shared.journal_event(&JournalEvent::dispatched(pending.id, shared.now_ms()));
         let queue_wait_ms = shared.now_ms().saturating_sub(pending.enqueued_ms);
+        let tenant = pending.spec.tenant.to_string();
         let job = QueuedJob {
             id: pending.id,
             spec: pending.spec,
@@ -538,6 +621,38 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
             measured_cost,
             shared.now_ms(),
         );
+        // Journal terminal outcomes before they become observable
+        // results: the leader's, then every broadcast follower's.
+        let settled_ms = shared.now_ms();
+        match (&result.state, result.compiled.as_ref()) {
+            (JobState::Done, Some(compiled)) => {
+                let digest = checkpoint_fingerprint(compiled.mapped().circuit());
+                shared.journal_event(&JournalEvent::completed(
+                    result.id,
+                    &tenant,
+                    ticket.technique,
+                    digest,
+                    measured_cost,
+                    settled_ms,
+                ));
+                for info in &completion.broadcast {
+                    shared.journal_event(&JournalEvent::completed(
+                        info.id,
+                        &info.tenant.to_string(),
+                        ticket.technique,
+                        digest,
+                        0,
+                        settled_ms,
+                    ));
+                }
+            }
+            (JobState::Cancelled, _) => {
+                shared.journal_event(&JournalEvent::cancelled(result.id, settled_ms));
+            }
+            _ => {
+                shared.journal_event(&JournalEvent::failed(result.id, settled_ms));
+            }
+        }
         let mut settled = Vec::with_capacity(1 + completion.broadcast.len());
         if let Some(compiled) = result.compiled.as_ref() {
             for info in &completion.broadcast {
@@ -587,6 +702,7 @@ fn worker_loop_serviced(shared: &Shared, service: &Mutex<ServiceCore>) {
 /// token fired while attached: it detached from its flight and ends
 /// [`JobState::Cancelled`], never served the broadcast result.
 fn settle_cancelled_follower(shared: &Shared, info: &AttachedInfo) {
+    shared.journal_event(&JournalEvent::cancelled(info.id, shared.now_ms()));
     count_terminal(shared, JobState::Cancelled);
     shared.completed.fetch_add(1, Ordering::Relaxed);
     recover(shared.results.lock()).push(JobResult {

@@ -248,7 +248,11 @@ impl<T> DrrQueue<T> {
                 .iter()
                 .filter_map(|slot| {
                     let head = slot.queue.front()?;
-                    Some(head.cost.saturating_sub(slot.deficit).div_ceil(self.quantum))
+                    Some(
+                        head.cost
+                            .saturating_sub(slot.deficit)
+                            .div_ceil(self.quantum),
+                    )
                 })
                 .min()
                 .expect("len > 0 implies a backlogged tenant");

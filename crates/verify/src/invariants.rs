@@ -38,6 +38,23 @@
 //! 9. [`ChaosInvariant::NoTenantStarved`] — while one tenant floods,
 //!    no other tenant's p99 latency exceeds three times its fair-share
 //!    baseline.
+//!
+//! Campaigns that kill the supervisor and recover it from its
+//! write-ahead journal hold the durability layer to three more,
+//! checked by [`check_recovery`] and [`check_cache_generation`]:
+//!
+//! 10. [`ChaosInvariant::NoAckedJobLost`] — every job the journal
+//!     acknowledged (admitted or attached) before the kill reaches a
+//!     terminal outcome after recovery; an acknowledgment is a
+//!     durability promise.
+//! 11. [`ChaosInvariant::RecoveryExactlyOnce`] — no settled job is
+//!     ever re-executed after recovery, and a recovered job's result
+//!     digest matches the uninjected reference — at-least-once with a
+//!     different answer is as much a violation as twice.
+//! 12. [`ChaosInvariant::CacheGenerationCoherent`] — after concurrent
+//!     (or killed) compactions, the shared cache's generation header
+//!     parses, no entry is torn across generations, and no stale
+//!     compaction lock outlives its holder.
 
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +87,15 @@ pub enum ChaosInvariant {
     /// No tenant's p99 latency exceeded 3× its fair-share baseline
     /// while another tenant flooded.
     NoTenantStarved,
+    /// Every journal-acknowledged job reached a terminal outcome
+    /// after crash recovery.
+    NoAckedJobLost,
+    /// No settled job re-executed after recovery, and recovered
+    /// results match the uninjected reference digests.
+    RecoveryExactlyOnce,
+    /// The shared cache's generation state stayed coherent through
+    /// concurrent and killed compactions.
+    CacheGenerationCoherent,
 }
 
 impl ChaosInvariant {
@@ -86,6 +112,9 @@ impl ChaosInvariant {
             ChaosInvariant::ShedTyped => "shed-typed",
             ChaosInvariant::DedupBitIdentical => "dedup-bit-identical",
             ChaosInvariant::NoTenantStarved => "no-tenant-starved",
+            ChaosInvariant::NoAckedJobLost => "no-acked-job-lost",
+            ChaosInvariant::RecoveryExactlyOnce => "recovery-exactly-once",
+            ChaosInvariant::CacheGenerationCoherent => "cache-generation-coherent",
         }
     }
 }
@@ -106,7 +135,11 @@ pub struct InvariantViolation {
 }
 
 impl InvariantViolation {
-    fn new(invariant: ChaosInvariant, detail: String) -> Self {
+    /// Builds a violation record for `invariant` with a reproduction
+    /// detail string. Public so harnesses can report campaign-level
+    /// findings (e.g. a completed-set diff) under the same labels the
+    /// per-job checkers use.
+    pub fn new(invariant: ChaosInvariant, detail: String) -> Self {
         InvariantViolation {
             invariant: invariant.label().to_string(),
             detail,
@@ -359,6 +392,122 @@ pub fn check_serve_campaign(
     violations
 }
 
+/// What one journal-tracked job looked like after a kill → recover
+/// cycle, diffed against the uninjected reference run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryJobObservation {
+    /// Job id (stable across the reference, killed, and recovery
+    /// incarnations — the schedule is a pure function of the seed).
+    pub id: u64,
+    /// Whether the journal acknowledged this job (an `admitted` or
+    /// `attached` event survived) before the kill.
+    pub acked: bool,
+    /// Whether the job holds a terminal outcome after recovery.
+    pub settled: bool,
+    /// Times the job was *executed* (actually compiled) after its
+    /// outcome had already settled in the journal. Must be zero:
+    /// settled work is replayed from the journal, never re-run.
+    pub runs_after_settle: u64,
+    /// For completed jobs: whether the post-recovery result digest
+    /// matches the uninjected reference. `None` when the job did not
+    /// complete (shed/cancelled/failed terminals have no digest).
+    pub digest_matches_reference: Option<bool>,
+}
+
+/// How the shared compile cache's generation state scanned after a
+/// campaign of concurrent / killed compactions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheGenerationObservation {
+    /// Whether the generation header file parsed as a framed record
+    /// with a positive generation number.
+    pub generation_parses: bool,
+    /// The generation number read (0 when unparseable).
+    pub generation: u64,
+    /// Cache entries found corrupt in place (not quarantined).
+    pub corrupt_in_place: u64,
+    /// Entries stamped with a generation *newer* than the header —
+    /// a torn compaction mixed two generations.
+    pub entries_beyond_generation: u64,
+    /// Whether a compaction lock file survived with no live holder.
+    pub stale_lock: bool,
+}
+
+/// Checks the crash-recovery invariants (10–11) over one kill →
+/// recover cycle diffed against its uninjected reference.
+pub fn check_recovery(jobs: &[RecoveryJobObservation]) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    for job in jobs {
+        if job.acked && !job.settled {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::NoAckedJobLost,
+                format!(
+                    "job {} was journal-acknowledged before the kill but never settled after recovery",
+                    job.id
+                ),
+            ));
+        }
+        if job.runs_after_settle > 0 {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::RecoveryExactlyOnce,
+                format!(
+                    "job {} re-executed {} time(s) after its outcome had settled",
+                    job.id, job.runs_after_settle
+                ),
+            ));
+        }
+        if job.digest_matches_reference == Some(false) {
+            violations.push(InvariantViolation::new(
+                ChaosInvariant::RecoveryExactlyOnce,
+                format!(
+                    "job {} recovered to a different result than the uninjected reference",
+                    job.id
+                ),
+            ));
+        }
+    }
+    violations
+}
+
+/// Checks the shared-cache coherence invariant (12) over a
+/// post-campaign generation scan.
+pub fn check_cache_generation(obs: &CacheGenerationObservation) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    if !obs.generation_parses || obs.generation == 0 {
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::CacheGenerationCoherent,
+            format!(
+                "cache generation header unreadable (parses={}, generation={})",
+                obs.generation_parses, obs.generation
+            ),
+        ));
+    }
+    if obs.corrupt_in_place > 0 {
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::CacheGenerationCoherent,
+            format!(
+                "{} cache entr(ies) corrupt in place after compaction",
+                obs.corrupt_in_place
+            ),
+        ));
+    }
+    if obs.entries_beyond_generation > 0 {
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::CacheGenerationCoherent,
+            format!(
+                "{} entr(ies) stamped beyond the committed generation — torn compaction",
+                obs.entries_beyond_generation
+            ),
+        ));
+    }
+    if obs.stale_lock {
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::CacheGenerationCoherent,
+            "a compaction lock survived with no live holder".to_string(),
+        ));
+    }
+    violations
+}
+
 /// Checks the store invariant (5) over a post-campaign scan of the
 /// store directory.
 pub fn check_store_scan(files: &[StoreFileObservation]) -> Vec<InvariantViolation> {
@@ -572,6 +721,92 @@ mod tests {
             "dedup-bit-identical"
         );
         assert_eq!(ChaosInvariant::NoTenantStarved.label(), "no-tenant-starved");
+    }
+
+    fn recovered(id: u64) -> RecoveryJobObservation {
+        RecoveryJobObservation {
+            id,
+            acked: true,
+            settled: true,
+            runs_after_settle: 0,
+            digest_matches_reference: Some(true),
+        }
+    }
+
+    #[test]
+    fn clean_recovery_has_no_violations() {
+        assert!(check_recovery(&[recovered(0), recovered(1)]).is_empty());
+    }
+
+    #[test]
+    fn lost_acked_job_is_flagged() {
+        let mut lost = recovered(0);
+        lost.settled = false;
+        lost.digest_matches_reference = None;
+        let v = check_recovery(&[lost, recovered(1)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "no-acked-job-lost");
+        // An unacked job that never settles is not a durability
+        // violation — nothing was promised for it.
+        let mut unacked = recovered(2);
+        unacked.acked = false;
+        unacked.settled = false;
+        unacked.digest_matches_reference = None;
+        assert!(check_recovery(&[unacked]).is_empty());
+    }
+
+    #[test]
+    fn rerun_or_diverged_recovery_is_flagged() {
+        let mut rerun = recovered(0);
+        rerun.runs_after_settle = 1;
+        let mut diverged = recovered(1);
+        diverged.digest_matches_reference = Some(false);
+        let v = check_recovery(&[rerun, diverged]);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.invariant == "recovery-exactly-once"));
+        assert!(v.iter().any(|x| x.detail.contains("re-executed")));
+        assert!(v.iter().any(|x| x.detail.contains("different result")));
+    }
+
+    fn coherent_cache() -> CacheGenerationObservation {
+        CacheGenerationObservation {
+            generation_parses: true,
+            generation: 3,
+            corrupt_in_place: 0,
+            entries_beyond_generation: 0,
+            stale_lock: false,
+        }
+    }
+
+    #[test]
+    fn coherent_cache_generation_has_no_violations() {
+        assert!(check_cache_generation(&coherent_cache()).is_empty());
+    }
+
+    #[test]
+    fn incoherent_cache_generation_is_flagged_per_symptom() {
+        let mut bad = coherent_cache();
+        bad.generation_parses = false;
+        bad.generation = 0;
+        bad.corrupt_in_place = 2;
+        bad.entries_beyond_generation = 1;
+        bad.stale_lock = true;
+        let v = check_cache_generation(&bad);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.invariant == "cache-generation-coherent"));
+    }
+
+    #[test]
+    fn recovery_labels_are_stable() {
+        assert_eq!(ChaosInvariant::NoAckedJobLost.label(), "no-acked-job-lost");
+        assert_eq!(
+            ChaosInvariant::RecoveryExactlyOnce.label(),
+            "recovery-exactly-once"
+        );
+        assert_eq!(
+            ChaosInvariant::CacheGenerationCoherent.label(),
+            "cache-generation-coherent"
+        );
     }
 
     #[test]
