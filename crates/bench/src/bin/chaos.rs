@@ -45,6 +45,18 @@
 //!     observable point — a crashed compaction leaves old or new,
 //!     never a mix.
 //!
+//! Finally a **reuse leg** seeds a composition-reuse store with a
+//! structured (fixed-angle QAOA) compile, rewrites the cached
+//! negative entries as bogus `composed` records (simulated bit-rot
+//! whose frames and schema still verify), and recompiles twice — once
+//! clean, once under the composed `--inject` spec:
+//!
+//! 13. every replayed composition is re-verified against ε and the
+//!     compiled circuit passes the equivalence oracle — the clean
+//!     recompile must bounce every doctored entry off the ε gate,
+//!     and a planted `reuse-poison,reuse-skip-verify` fault must be
+//!     caught by the nonzero `unverified_replays` counter (exit 5).
+//!
 //! The whole run is a pure function of `--seed`: the same seed and
 //! campaign count replay the same schedules, job outcomes, and
 //! scorecard. An extra `--inject SPEC` is composed into every
@@ -59,21 +71,23 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
-use geyser::store::is_corrupt_sidecar;
-use geyser::{verify_compiled, FaultInjector, Technique, Telemetry};
+use geyser::store::{is_corrupt_sidecar, read_record_file, write_record_atomic};
+use geyser::{verify_compiled, FaultInjector, PassManager, Technique, Telemetry};
 use geyser_bench::serve::{run_serve, ServeScorecard};
 use geyser_bench::{
     exit_codes, report_json, scan_generation, Cli, SharedCache, CACHE_LOCK_STALE_MS,
 };
 use geyser_circuit::Circuit;
+use geyser_compose::Ansatz;
+use geyser_reuse::{is_reuse_entry, parse_reuse_record, ReuseStats};
 use geyser_supervisor::{
     load_checkpoint, load_journal_events, run_supervised_compile, CheckpointError, JobSpec,
     JobState, RetryPolicy, SupervisedCompileOptions, Supervisor, SupervisorConfig, WatchdogConfig,
 };
 use geyser_verify::{
-    check_cache_generation, check_campaign_jobs, check_recovery, check_store_scan,
-    CacheGenerationObservation, InvariantViolation, JobObservation, RecoveryJobObservation,
-    StoreFileObservation, StoreFileStatus, VerifyConfig,
+    check_cache_generation, check_campaign_jobs, check_recovery, check_reuse, check_store_scan,
+    CacheGenerationObservation, ChaosInvariant, InvariantViolation, JobObservation,
+    RecoveryJobObservation, ReuseObservation, StoreFileObservation, StoreFileStatus, VerifyConfig,
 };
 use serde::Serialize;
 
@@ -211,6 +225,27 @@ struct CacheLegCard {
     violations: Vec<InvariantViolation>,
 }
 
+/// The composition-reuse leg (invariant 13: `reuse-verified`): a
+/// doctored store's bogus composed entries must bounce off the ε
+/// re-verification gate on a clean recompile, and escape — tripping
+/// the invariant — only under the injected `reuse-skip-verify` fault.
+#[derive(Serialize)]
+struct ReuseLegCard {
+    seed: u64,
+    /// Entries the seeding compile persisted to the leg's store.
+    store_entries: u64,
+    /// Negative entries rewritten as bogus `composed` records.
+    doctored: u64,
+    /// Observation of the clean (fault-free) recompile.
+    clean: ReuseObservation,
+    /// ε-gate rejections the clean recompile recorded — the doctored
+    /// entries bouncing off.
+    clean_rejected: u64,
+    /// Observation of the recompile under the composed `--inject`.
+    faulted: ReuseObservation,
+    violations: Vec<InvariantViolation>,
+}
+
 /// The whole run's scorecard.
 #[derive(Serialize)]
 struct Scorecard {
@@ -222,6 +257,8 @@ struct Scorecard {
     restart: Vec<RestartCard>,
     /// The shared-cache crash-coherence leg (invariant 12).
     cache: CacheLegCard,
+    /// The composition-reuse leg (invariant 13).
+    reuse: ReuseLegCard,
     total_jobs: u64,
     hang_preemptions: u64,
     store_corrupt_total: u64,
@@ -615,6 +652,141 @@ fn run_cache_leg(cli: &Cli) -> CacheLegCard {
     }
 }
 
+/// Rewrites every cached *negative* entry in the leg's reuse store as
+/// a bogus `composed` record with plausible 1-layer ansatz parameters
+/// — simulated bit-rot (or a stale-era store) whose frames and schema
+/// still verify, so only the ε re-verification gate stands between
+/// the garbage and the output. Returns how many entries were doctored.
+fn doctor_reuse_store(dir: &Path) -> u64 {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| is_reuse_entry(p))
+            .collect(),
+        Err(_) => return 0,
+    };
+    paths.sort();
+    let ansatz = Ansatz::new(1);
+    let mut doctored = 0u64;
+    for path in paths {
+        let Ok(payload) = read_record_file(&path) else {
+            continue;
+        };
+        let Ok(mut record) = parse_reuse_record(payload.text()) else {
+            continue;
+        };
+        if record.outcome == "composed" {
+            continue;
+        }
+        record.outcome = "composed".to_string();
+        record.layers = 1;
+        record.hsd = 1e-9;
+        record.params = (0..ansatz.num_params())
+            .map(|i| 0.11 + 0.37 * i as f64)
+            .collect();
+        let json = serde_json::to_string_pretty(&record).expect("reuse record serializes");
+        write_record_atomic(&path, &json).expect("doctor reuse entry");
+        doctored += 1;
+    }
+    doctored
+}
+
+/// Converts a compile's [`ReuseStats`] plus the oracle's verdict into
+/// the plain-data observation the reuse invariant consumes.
+fn observe_reuse(stats: &ReuseStats, verified_equivalent: Option<bool>) -> ReuseObservation {
+    ReuseObservation {
+        blocks_fingerprinted: stats.blocks_fingerprinted,
+        exact_hits: stats.exact_hits,
+        unverified_replays: stats.unverified_replays,
+        verified_equivalent,
+    }
+}
+
+/// Runs the composition-reuse leg: seed a store with a structured
+/// compile, doctor the cached negative entries into bogus composed
+/// records, then recompile clean (the ε gate must bounce every bogus
+/// replay) and once more under the composed `--inject` spec (a
+/// planted `reuse-poison,reuse-skip-verify` must trip invariant 13).
+fn run_reuse_leg(cli: &Cli) -> ReuseLegCard {
+    let seed = splitmix64(cli.seed ^ 0x5eed_5eed_5eed_5eed);
+    let workdir = PathBuf::from(CHAOS_ROOT).join("reuse");
+    let _ = std::fs::remove_dir_all(&workdir);
+    std::fs::create_dir_all(&workdir).expect("create reuse workdir");
+    let store = workdir.join("store");
+
+    // A fixed-angle QAOA is the canonical structured workload: its
+    // repeated layers guarantee exact fingerprint hits. The chaos
+    // budget caps the per-block search like the fault campaigns do —
+    // the leg stresses the replay gate, not the annealer.
+    let circuit = geyser_workloads::qaoa_fixed(4, 4, seed);
+    let mut cfg = cli
+        .pipeline_config()
+        .with_seed(seed)
+        .with_reuse_store(&store);
+    cfg.composition.max_layers = 1;
+    cfg.composition.anneal_iters = cfg.composition.anneal_iters.min(8);
+    cfg.composition.restarts = 1;
+    cfg.composition.retry_attempts = 0;
+    let vcfg = VerifyConfig::default().with_seed(seed);
+
+    let compile = |faults: FaultInjector| {
+        let compiled = PassManager::for_technique(Technique::Geyser)
+            .with_faults(faults)
+            .with_telemetry(cli.telemetry.clone())
+            .run(&circuit, &cfg)
+            .expect("reuse leg compiles");
+        let stats = compiled
+            .report()
+            .and_then(|r| r.reuse)
+            .expect("reuse stats present when reuse is on");
+        let verified = verify_compiled(&circuit, &compiled, &vcfg).equivalent;
+        (stats, verified)
+    };
+
+    // Seed run: populate the store with honest entries.
+    let (seed_stats, seed_verified) = compile(FaultInjector::none());
+    assert!(seed_verified, "the seeding compile must be clean");
+    let doctored = doctor_reuse_store(&store);
+
+    // Clean recompile over the doctored store: every bogus composed
+    // replay must bounce off the ε gate, and the output must still
+    // pass the oracle.
+    let (clean_stats, clean_verified) = compile(FaultInjector::none());
+    let clean = observe_reuse(&clean_stats, Some(clean_verified));
+    let mut violations = check_reuse(&clean);
+    if clean.exact_hits == 0 && clean_stats.exact_hits_rejected == 0 {
+        // A leg that replays nothing proves nothing: the structured
+        // workload guarantees repeated fingerprints, so a recompile
+        // that neither accepted nor bounced a single cached entry
+        // means the reuse plumbing regressed.
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::ReuseVerified,
+            "the clean recompile replayed no cached entries — the reuse index is inert".to_string(),
+        ));
+    }
+
+    // Faulted recompile: the composed `--inject` spec is applied to
+    // the same store. With `reuse-poison,reuse-skip-verify` planted,
+    // the doctored entries escape unverified and invariant 13 trips.
+    let faults = match cli.inject.as_deref() {
+        Some(spec) => FaultInjector::parse(spec).expect("validated in main"),
+        None => FaultInjector::none(),
+    };
+    let (faulted_stats, faulted_verified) = compile(faults);
+    let faulted = observe_reuse(&faulted_stats, Some(faulted_verified));
+    violations.extend(check_reuse(&faulted));
+
+    ReuseLegCard {
+        seed,
+        store_entries: seed_stats.store_entries_saved,
+        doctored,
+        clean,
+        clean_rejected: clean_stats.exact_hits_rejected,
+        faulted,
+        violations,
+    }
+}
+
 fn main() {
     let mut cli = Cli::parse();
     // Reject a malformed --inject up front, not on the first campaign
@@ -691,16 +863,30 @@ fn main() {
         cache.violations.len()
     );
 
+    // Composition-reuse leg: doctored store vs the ε replay gate.
+    let reuse = run_reuse_leg(&cli);
+    println!(
+        "reuse leg: seed={:016x} entries={} doctored={} hits={} rejected={} violations={}",
+        reuse.seed,
+        reuse.store_entries,
+        reuse.doctored,
+        reuse.clean.exact_hits,
+        reuse.clean_rejected,
+        reuse.violations.len()
+    );
+
     let total_jobs: u64 = campaigns.iter().map(|c| c.submitted).sum();
     let violations_total: usize = campaigns.iter().map(|c| c.violations.len()).sum::<usize>()
         + serve.violations.len()
         + restart.iter().map(|c| c.violations.len()).sum::<usize>()
-        + cache.violations.len();
+        + cache.violations.len()
+        + reuse.violations.len();
     let scorecard = Scorecard {
         seed: cli.seed,
         serve,
         restart,
         cache,
+        reuse,
         total_jobs,
         hang_preemptions: cli
             .telemetry
@@ -754,6 +940,9 @@ fn main() {
         }
         for v in &scorecard.cache.violations {
             eprintln!("error: cache leg: {v}");
+        }
+        for v in &scorecard.reuse.violations {
+            eprintln!("error: reuse leg: {v}");
         }
         std::process::exit(exit_codes::CHAOS_INVARIANT);
     }

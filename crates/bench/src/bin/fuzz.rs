@@ -12,6 +12,13 @@
 //! * `--inject SPEC` — compile every case under an injected fault,
 //!   e.g. `--inject miscompile:0` to prove the harness catches and
 //!   shrinks a silent miscompile end to end
+//! * `--structured` — draw repeated-layer (QAOA-like) circuits
+//!   instead of fully random ones, so cases exercise the
+//!   composition-reuse path
+//! * `--reuse` / `--reuse-warm-start` — compile every case with the
+//!   composition-reuse index enabled (in-process, no store, so a
+//!   case's outcome stays a pure function of the entry); quarantine
+//!   entries record the flag so `replay` takes the same path
 //! * `--quarantine DIR` — where reproducers are filed (default
 //!   `quarantine/`)
 //!
@@ -76,12 +83,18 @@ fn main() {
     // The config must be fully reconstructible from the tag stored in
     // each quarantine entry, so only the tag-encoded knobs apply here
     // (no wall-clock budget: a degraded circuit is machine-dependent).
-    let cfg = if cli.fast {
+    let mut cfg = if cli.fast {
         PipelineConfig::fast()
     } else {
         PipelineConfig::paper()
     }
     .with_seed(cli.seed);
+    // Reuse is reconstructible from the quarantine entry's `reuse`
+    // flag (the in-process index is deterministic); a persistent store
+    // is not, so the fuzzer never uses one.
+    if cli.reuse {
+        cfg = cfg.with_reuse().with_reuse_warm_start(cli.reuse_warm_start);
+    }
     let faults = cli.fault_injector();
     let vcfg = VerifyConfig::default().with_seed(cli.seed);
     let opts = FuzzOptions {
@@ -91,6 +104,7 @@ fn main() {
         // carries a mutated spec (recorded in its quarantine entry so
         // replay reproduces hardware-dependent failures exactly).
         mutate_hardware: true,
+        structured: cli.structured,
         ..FuzzOptions::default()
     };
     let qdir = cli.quarantine_dir();
@@ -189,6 +203,7 @@ fn quarantine_failure(
         compile_ms: Some(compile_ms),
         anneal_evaluations,
         hardware: case.hardware.clone(),
+        reuse: cfg.reuse.enabled,
     };
     entry.set_circuit(&minimized);
     match write_entry(qdir, &entry) {

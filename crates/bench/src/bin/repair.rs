@@ -4,11 +4,12 @@
 //! quarantines anything corrupt to a `.corrupt-<digest>` sidecar, and
 //! reports what it found.
 //!
-//! Usage: `repair [--store DIR] [--prune] [--json PATH]`
+//! Usage: `repair [--store DIR] [--prune] [--hardware PATH]
+//! [--json PATH]`
 //!
 //! * `--store DIR` — directory to scan (default `.geyser-cache`, the
-//!   shared home of the bench results cache and composition
-//!   checkpoints).
+//!   shared home of the bench results cache, composition
+//!   checkpoints, and the cross-job reuse store under `reuse/`).
 //! * `--prune` — additionally reclaim debris: delete quarantine
 //!   sidecars, stale `.tmp` files from interrupted writes, and cache
 //!   entries whose schema version is stale (guaranteed misses), and
@@ -18,7 +19,15 @@
 //!   every sidecar without `--prune`, plus any whose removal failed —
 //!   are reported with their on-disk size and age, so operators can
 //!   see how much quarantine evidence is accumulating before deciding
-//!   to reclaim it.
+//!   to reclaim it. Reuse-store entries whose hardware digest or
+//!   composition-config hash no longer matches the machine being
+//!   repaired (see `--hardware`) are stale — guaranteed skips for
+//!   this machine — and are likewise reclaimed only under `--prune`,
+//!   with kept/reclaimed bytes reported in their own section.
+//! * `--hardware PATH` — the hardware spec the reuse staleness check
+//!   binds to (default: the paper machine). Entries are *current*
+//!   when their hardware digest matches and their config hash is one
+//!   of the two blessed pipeline configs (`fast`/`paper`).
 //! * `--json PATH` — write the scan report as JSON.
 //!
 //! Classification mirrors the loaders exactly: `ckpt-*` files go
@@ -42,11 +51,12 @@ use std::path::{Path, PathBuf};
 use geyser::store::{
     is_corrupt_sidecar, quarantine_corrupt, read_record_file, truncate_torn_tail, StoreReadError,
 };
-use geyser::Telemetry;
+use geyser::{HardwareSpec, PipelineConfig, Telemetry};
 use geyser_bench::{
     classify_cache_payload, exit_codes, report_json, CachePayloadStatus, CACHE_COMPACTION_LOCK,
     CACHE_GENERATION_FILE,
 };
+use geyser_reuse::{is_reuse_entry, parse_reuse_record, reuse_config_hash};
 use geyser_supervisor::{
     load_checkpoint_quarantining, load_journal_events, CheckpointError, JournalError,
 };
@@ -70,6 +80,12 @@ enum FileStatus {
     JournalTorn,
     /// The shared cache's generation header, frame intact.
     GenerationHeader,
+    /// A reuse-store entry bound to the current hardware/config.
+    ReuseEntry,
+    /// A healthy reuse-store entry bound to another hardware digest or
+    /// config hash — a guaranteed skip on this machine, reclaimable
+    /// with `--prune`.
+    ReuseStale,
     /// A compaction lock file; possibly held by a live compactor, so
     /// never touched.
     Lock,
@@ -93,6 +109,8 @@ impl FileStatus {
             FileStatus::Journal => "journal",
             FileStatus::JournalTorn => "journal-torn",
             FileStatus::GenerationHeader => "generation-header",
+            FileStatus::ReuseEntry => "reuse-entry",
+            FileStatus::ReuseStale => "reuse-stale",
             FileStatus::Lock => "lock",
             FileStatus::Quarantined => "quarantined",
             FileStatus::QuarantineFailed => "quarantine-failed",
@@ -109,8 +127,8 @@ struct FileReport {
     /// Whether `--prune` deleted the file (or, for a torn journal,
     /// truncated its tail).
     pruned: bool,
-    /// On-disk size, reported for quarantine sidecars (`null`
-    /// otherwise).
+    /// On-disk size, reported for quarantine sidecars and reuse-store
+    /// entries (`null` otherwise).
     bytes: Option<u64>,
     /// Seconds since last modification, reported for quarantine
     /// sidecars (`null` otherwise) — how long the evidence has been
@@ -145,6 +163,14 @@ struct RepairReport {
     journal_torn_bytes: u64,
     /// Torn-tail bytes actually truncated away by `--prune`.
     journal_bytes_reclaimed: u64,
+    /// Reuse-store entries bound to the current hardware/config.
+    reuse_entries: usize,
+    /// Reuse-store entries bound elsewhere (guaranteed skips here).
+    reuse_stale: usize,
+    /// Bytes occupied by reuse entries still on disk after this scan.
+    reuse_bytes_kept: u64,
+    /// Bytes of stale reuse entries reclaimed by `--prune`.
+    reuse_bytes_reclaimed: u64,
     /// Final `store_corrupt_total` counter value for this scan.
     store_corrupt_total: u64,
     files: Vec<FileReport>,
@@ -153,11 +179,12 @@ struct RepairReport {
 struct Args {
     store: PathBuf,
     prune: bool,
+    hardware: Option<PathBuf>,
     json: Option<PathBuf>,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repair [--store DIR] [--prune] [--json PATH]");
+    eprintln!("usage: repair [--store DIR] [--prune] [--hardware PATH] [--json PATH]");
     std::process::exit(exit_codes::USAGE);
 }
 
@@ -165,6 +192,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         store: PathBuf::from(".geyser-cache"),
         prune: false,
+        hardware: None,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -175,6 +203,10 @@ fn parse_args() -> Args {
                 None => usage(),
             },
             "--prune" => args.prune = true,
+            "--hardware" => match it.next() {
+                Some(path) => args.hardware = Some(PathBuf::from(path)),
+                None => usage(),
+            },
             "--json" => match it.next() {
                 Some(path) => args.json = Some(PathBuf::from(path)),
                 None => usage(),
@@ -187,6 +219,41 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// The hardware/config binding reuse entries are judged against: the
+/// repaired machine's hardware digest plus the config hashes of the
+/// two blessed pipeline configurations. Anything else is stale *for
+/// this machine* — still loadable, but a guaranteed skip.
+struct ReuseBinding {
+    hardware_digest: u64,
+    config_hashes: [u64; 2],
+}
+
+impl ReuseBinding {
+    fn new(hardware: &HardwareSpec) -> Self {
+        let hash = |cfg: &PipelineConfig| {
+            let c = cfg.composition;
+            reuse_config_hash(
+                c.epsilon,
+                c.max_layers,
+                c.anneal_iters,
+                c.restarts,
+                c.retry_attempts,
+            )
+        };
+        ReuseBinding {
+            hardware_digest: hardware.digest(),
+            config_hashes: [
+                hash(&PipelineConfig::fast()),
+                hash(&PipelineConfig::paper()),
+            ],
+        }
+    }
+
+    fn is_current(&self, hardware_digest: u64, config_hash: u64) -> bool {
+        hardware_digest == self.hardware_digest && self.config_hashes.contains(&config_hash)
+    }
 }
 
 /// Size and age (seconds since last modification) of a quarantine
@@ -226,7 +293,7 @@ impl Scan {
 
 /// Classifies one store file, quarantining corruption exactly like
 /// the pipeline's own loaders would.
-fn scan_file(path: &Path, telemetry: &Telemetry) -> Scan {
+fn scan_file(path: &Path, binding: &ReuseBinding, telemetry: &Telemetry) -> Scan {
     let name = path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
@@ -300,6 +367,38 @@ fn scan_file(path: &Path, telemetry: &Telemetry) -> Scan {
     if !name.ends_with(".json") {
         return Scan::plain(FileStatus::Unknown);
     }
+    if is_reuse_entry(path) {
+        // Cross-job reuse entry: frame first, then the reuse schema
+        // (the same parse `load_reuse_dir` runs), then the staleness
+        // check against the repaired machine's binding.
+        return Scan::plain(match read_record_file(path) {
+            Ok(payload) => match parse_reuse_record(payload.text()) {
+                Ok(record) if binding.is_current(record.hardware_digest, record.config_hash) => {
+                    FileStatus::ReuseEntry
+                }
+                Ok(_) => FileStatus::ReuseStale,
+                Err(reason) => {
+                    let bytes = std::fs::read(path).unwrap_or_default();
+                    quarantine_corrupt(path, &bytes, &reason, "reuse", telemetry);
+                    if path.exists() {
+                        FileStatus::QuarantineFailed
+                    } else {
+                        FileStatus::Quarantined
+                    }
+                }
+            },
+            Err(StoreReadError::Corrupt(_)) => {
+                let bytes = std::fs::read(path).unwrap_or_default();
+                quarantine_corrupt(path, &bytes, "record frame corrupt", "reuse", telemetry);
+                if path.exists() {
+                    FileStatus::QuarantineFailed
+                } else {
+                    FileStatus::Quarantined
+                }
+            }
+            Err(StoreReadError::Io(_)) => FileStatus::Unreadable,
+        });
+    }
     if name.starts_with("ckpt-") {
         // Composition checkpoint: the loader verifies the frame,
         // parses the JSON, checks the schema version, and quarantines
@@ -369,6 +468,17 @@ fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) {
 fn main() {
     let args = parse_args();
     let telemetry = Telemetry::enabled();
+    let hardware = match &args.hardware {
+        Some(path) => match HardwareSpec::load(path) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("error: cannot load hardware spec {}: {e}", path.display());
+                std::process::exit(exit_codes::USAGE);
+            }
+        },
+        None => HardwareSpec::paper(),
+    };
+    let binding = ReuseBinding::new(&hardware);
 
     if !args.store.is_dir() {
         eprintln!(
@@ -384,24 +494,28 @@ fn main() {
     let mut files = Vec::new();
     let mut journal_bytes_reclaimed = 0u64;
     for path in &paths {
-        let scan = scan_file(path, &telemetry);
+        let scan = scan_file(path, &binding, &telemetry);
         let status = scan.status;
-        // Quarantine evidence is sized and aged *before* any prune so
-        // the report can say what was reclaimed vs. what is still
-        // accumulating on disk.
-        let (bytes, age_secs) = if status == FileStatus::Sidecar {
-            sidecar_stats(path)
-        } else {
-            (None, None)
+        // Quarantine evidence and reuse entries are sized (and aged,
+        // for sidecars) *before* any prune so the report can say what
+        // was reclaimed vs. what is still accumulating on disk.
+        let (bytes, age_secs) = match status {
+            FileStatus::Sidecar => sidecar_stats(path),
+            FileStatus::ReuseEntry | FileStatus::ReuseStale => (sidecar_stats(path).0, None),
+            _ => (None, None),
         };
         // Debris is only reclaimed on request: sidecars are evidence,
-        // stale .tmp files are harmless, stale-version entries are
-        // merely guaranteed misses. A torn journal is not deleted but
-        // truncated — exactly what recovery's open would do — so the
-        // intact prefix stays replayable.
+        // stale .tmp files are harmless, stale-version cache entries
+        // and stale reuse entries are merely guaranteed misses/skips.
+        // A torn journal is not deleted but truncated — exactly what
+        // recovery's open would do — so the intact prefix stays
+        // replayable.
         let reclaimable = matches!(
             status,
-            FileStatus::Sidecar | FileStatus::StaleTmp | FileStatus::StaleVersion
+            FileStatus::Sidecar
+                | FileStatus::StaleTmp
+                | FileStatus::StaleVersion
+                | FileStatus::ReuseStale
         );
         let pruned = if args.prune && status == FileStatus::JournalTorn {
             match truncate_torn_tail(path) {
@@ -471,6 +585,27 @@ fn main() {
         .unwrap_or(0);
     let sidecars_kept = kept_sidecars.len();
 
+    let reuse_entries = files
+        .iter()
+        .filter(|f| f.status == FileStatus::ReuseEntry)
+        .count();
+    let reuse_stale = files
+        .iter()
+        .filter(|f| f.status == FileStatus::ReuseStale)
+        .count();
+    let reuse_bytes_kept = files
+        .iter()
+        .filter(|f| {
+            matches!(f.status, FileStatus::ReuseEntry | FileStatus::ReuseStale) && !f.pruned
+        })
+        .filter_map(|f| f.bytes)
+        .sum::<u64>();
+    let reuse_bytes_reclaimed = files
+        .iter()
+        .filter(|f| f.status == FileStatus::ReuseStale && f.pruned)
+        .filter_map(|f| f.bytes)
+        .sum::<u64>();
+
     let report = RepairReport {
         store: args.store.display().to_string(),
         scanned: files.len(),
@@ -496,6 +631,10 @@ fn main() {
             .count(),
         journal_torn_bytes: files.iter().filter_map(|f| f.torn_bytes).sum(),
         journal_bytes_reclaimed,
+        reuse_entries,
+        reuse_stale,
+        reuse_bytes_kept,
+        reuse_bytes_reclaimed,
         store_corrupt_total: telemetry
             .counter_value(geyser::store::STORE_CORRUPT_COUNTER)
             .unwrap_or(0),
@@ -515,6 +654,20 @@ fn main() {
         println!(
             "repair: {} journal(s), {} torn byte(s) found, {} reclaimed",
             report.journals, report.journal_torn_bytes, report.journal_bytes_reclaimed
+        );
+    }
+    if report.reuse_entries + report.reuse_stale > 0 {
+        println!(
+            "repair: {} reuse entr{} current, {} stale, {} byte(s) kept, {} reclaimed",
+            report.reuse_entries,
+            if report.reuse_entries == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            report.reuse_stale,
+            report.reuse_bytes_kept,
+            report.reuse_bytes_reclaimed
         );
     }
 

@@ -74,6 +74,11 @@ fn replay(entry: &QuarantineEntry) -> Result<(Outcome, ReplayCost), String> {
     if let Some(spec) = &entry.hardware {
         cfg = cfg.with_hardware(spec.clone());
     }
+    // Entries found with the reuse index on replay through the same
+    // compose path (the in-process index is deterministic).
+    if entry.reuse {
+        cfg = cfg.with_reuse();
+    }
     let faults = match &entry.inject {
         Some(spec) => FaultInjector::parse(spec).map_err(|e| e.to_string())?,
         None => FaultInjector::none(),

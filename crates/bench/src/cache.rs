@@ -668,6 +668,8 @@ fn from_cached(
         blocks_cancelled: s.blocks_cancelled,
         blocks_resumed: s.blocks_resumed,
         max_accepted_hsd: s.max_accepted_hsd,
+        // Replayed entries did no reuse work in this process.
+        reuse: None,
     });
     // A replayed circuit carries a report with the same schema as a
     // fresh compile — empty pass list (nothing ran in this process),

@@ -37,6 +37,19 @@
 //!   oracle (`geyser-verify`); the verdict lands on the compile report
 //!   (and in the results cache) and an inequivalent result aborts the
 //!   run with exit status 4
+//! * `--reuse` — enable the composition-reuse index: eligible blocks
+//!   are fingerprinted and repeated blocks replay a cached
+//!   composition (after the shared ε re-check) instead of annealing;
+//!   reuse runs bypass the results cache so every run is measured
+//! * `--reuse-store DIR` — persist the reuse index across jobs in
+//!   `DIR` (one GEYSREC1 record per entry, atomic writes); implies
+//!   `--reuse`
+//! * `--reuse-warm-start` — let near-miss (coarse-fingerprint) hits
+//!   warm-start the annealer with a reduced iteration budget; implies
+//!   `--reuse`
+//! * `--structured` — make the `fuzz` binary draw repeated-layer
+//!   (QAOA-like) circuits instead of fully random ones, so fuzz cases
+//!   exercise the composition-reuse path
 //! * `--cases N` — fuzz-case count for the `fuzz` binary (default 16)
 //! * `--quarantine DIR` — where the `fuzz` binary files minimized
 //!   reproducers and the `replay` binary looks for them (default
@@ -144,8 +157,21 @@ pub struct Cli {
     /// Run compiled circuits through the equivalence oracle
     /// (`--verify`).
     pub verify: bool,
+    /// Enable the composition-reuse index (`--reuse`): repeated blocks
+    /// replay cached compositions after an ε re-check instead of
+    /// annealing from scratch.
+    pub reuse: bool,
+    /// Persist the reuse index across jobs in this directory
+    /// (`--reuse-store DIR`); implies `--reuse`.
+    pub reuse_store: Option<String>,
+    /// Let coarse-fingerprint near-misses warm-start the annealer
+    /// (`--reuse-warm-start`); implies `--reuse`.
+    pub reuse_warm_start: bool,
     /// Fuzz-case count for the `fuzz` binary (`--cases`).
     pub cases: usize,
+    /// Use the repeated-layer structured fuzz generator
+    /// (`--structured`), so fuzz cases exercise the reuse path.
+    pub structured: bool,
     /// Quarantine-corpus directory override (`--quarantine`).
     pub quarantine: Option<String>,
     /// Chrome trace-event output path (`--trace`).
@@ -213,7 +239,11 @@ impl Default for Cli {
             max_retries: 0,
             resume: false,
             verify: false,
+            reuse: false,
+            reuse_store: None,
+            reuse_warm_start: false,
             cases: 16,
+            structured: false,
             quarantine: None,
             trace: None,
             techniques: None,
@@ -281,7 +311,17 @@ impl Cli {
                 }
                 "--resume" => cli.resume = true,
                 "--verify" => cli.verify = true,
+                "--reuse" => cli.reuse = true,
+                "--reuse-store" => {
+                    cli.reuse_store = Some(value("--reuse-store"));
+                    cli.reuse = true;
+                }
+                "--reuse-warm-start" => {
+                    cli.reuse_warm_start = true;
+                    cli.reuse = true;
+                }
                 "--cases" => cli.cases = value("--cases").parse().expect("integer"),
+                "--structured" => cli.structured = true,
                 "--quarantine" => cli.quarantine = Some(value("--quarantine")),
                 "--trace" => cli.trace = Some(value("--trace")),
                 "--techniques" => {
@@ -346,9 +386,18 @@ impl Cli {
         } else {
             PipelineConfig::paper()
         };
-        let base = base
+        let mut base = base
             .with_seed(self.seed)
             .with_hardware(self.hardware_spec());
+        if self.reuse {
+            base = base.with_reuse();
+        }
+        if let Some(dir) = &self.reuse_store {
+            base = base.with_reuse_store(dir);
+        }
+        if self.reuse_warm_start {
+            base = base.with_reuse_warm_start(true);
+        }
         match self.budget_ms {
             Some(ms) => base.with_budget_ms(ms),
             None => base,
@@ -555,46 +604,49 @@ pub fn compile_techniques(
     let tag = cli.config_tag();
     let faults = cli.fault_injector();
     let verify_cfg = cli.verify_config();
-    let mut compiled: Vec<(Technique, CompiledCircuit, Option<VerificationStats>)> = if cli
-        .supervised()
-    {
-        compile_supervised(cli, name, program, techniques, cfg, &faults, &tag)
-            .into_iter()
-            .map(|(t, c)| (t, c, None))
-            .collect()
-    } else {
-        let bypass_cache = cli.report.is_some() || cli.budget_ms.is_some() || !faults.is_empty();
-        techniques
-            .iter()
-            .map(|&t| {
-                if !faults.is_empty() {
-                    let c = PassManager::for_technique(t)
-                        .with_faults(faults.clone())
-                        .with_telemetry(cli.telemetry.clone())
-                        .run(program, cfg)
-                        .unwrap_or_else(|e| panic!("{e}"));
-                    (t, c, None)
-                } else if bypass_cache {
-                    let c = PassManager::for_technique(t)
-                        .with_telemetry(cli.telemetry.clone())
-                        .run(program, cfg)
-                        .unwrap_or_else(|e| panic!("{e}"));
-                    (t, c, None)
-                } else {
-                    let (c, stats) = compile_cached_verified_traced(
-                        name,
-                        program,
-                        t,
-                        cfg,
-                        &tag,
-                        verify_cfg.as_ref(),
-                        &cli.telemetry,
-                    );
-                    (t, c, stats)
-                }
-            })
-            .collect()
-    };
+    let mut compiled: Vec<(Technique, CompiledCircuit, Option<VerificationStats>)> =
+        if cli.supervised() {
+            compile_supervised(cli, name, program, techniques, cfg, &faults, &tag)
+                .into_iter()
+                .map(|(t, c)| (t, c, None))
+                .collect()
+        } else {
+            // Reuse runs also bypass the results cache: a cache hit skips
+            // compilation entirely, so it would neither consult nor grow
+            // the reuse index and the run's ReuseStats would be empty.
+            let bypass_cache =
+                cli.report.is_some() || cli.budget_ms.is_some() || cli.reuse || !faults.is_empty();
+            techniques
+                .iter()
+                .map(|&t| {
+                    if !faults.is_empty() {
+                        let c = PassManager::for_technique(t)
+                            .with_faults(faults.clone())
+                            .with_telemetry(cli.telemetry.clone())
+                            .run(program, cfg)
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        (t, c, None)
+                    } else if bypass_cache {
+                        let c = PassManager::for_technique(t)
+                            .with_telemetry(cli.telemetry.clone())
+                            .run(program, cfg)
+                            .unwrap_or_else(|e| panic!("{e}"));
+                        (t, c, None)
+                    } else {
+                        let (c, stats) = compile_cached_verified_traced(
+                            name,
+                            program,
+                            t,
+                            cfg,
+                            &tag,
+                            verify_cfg.as_ref(),
+                            &cli.telemetry,
+                        );
+                        (t, c, stats)
+                    }
+                })
+                .collect()
+        };
     if let Some(vc) = &verify_cfg {
         for (t, c, cached_verdict) in &mut compiled {
             // Cache hits reuse the verdict persisted next to the
@@ -861,6 +913,36 @@ mod tests {
         assert_eq!(cli.selected_workloads(false).len(), 10);
         // TVD-mode drops the 16-qubit row.
         assert_eq!(cli.selected_workloads(true).len(), 9);
+    }
+
+    #[test]
+    fn reuse_flags_reach_the_pipeline_config() {
+        let off = Cli::default();
+        assert!(!off.pipeline_config().reuse.enabled);
+
+        let on = Cli {
+            reuse: true,
+            ..Cli::default()
+        };
+        let cfg = on.pipeline_config();
+        assert!(cfg.reuse.enabled);
+        assert!(cfg.reuse.store.is_none());
+        assert!(!cfg.reuse.warm_start);
+
+        let stored = Cli {
+            reuse_store: Some("reuse-store".into()),
+            reuse_warm_start: true,
+            ..Cli::default()
+        };
+        let cfg = stored.pipeline_config();
+        // --reuse-store / --reuse-warm-start imply --reuse even when
+        // a library caller skips Cli::parse.
+        assert!(cfg.reuse.enabled);
+        assert_eq!(
+            cfg.reuse.store.as_deref(),
+            Some(std::path::Path::new("reuse-store"))
+        );
+        assert!(cfg.reuse.warm_start);
     }
 
     #[test]

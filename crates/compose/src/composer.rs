@@ -23,6 +23,7 @@ use geyser_num::{hilbert_schmidt_distance, CMatrix};
 use geyser_optimize::{
     adam, dual_annealing, AdamConfig, Bounds, CancelToken, Deadline, DualAnnealingConfig,
 };
+use geyser_reuse::{BlockFingerprint, ReuseEntry, ReuseOutcome, ReuseSession, ReuseStats};
 use geyser_sim::circuit_unitary;
 use geyser_telemetry::Telemetry;
 use geyser_verify::verify_block_candidate;
@@ -242,6 +243,9 @@ pub struct CompositionStats {
     pub blocks_resumed: usize,
     /// Largest HSD among accepted candidates (composition error bound).
     pub max_accepted_hsd: f64,
+    /// Reuse accounting when a [`ReuseSession`] drove this composition
+    /// (`None` when reuse was off).
+    pub reuse: Option<ReuseStats>,
 }
 
 /// A fully composed circuit with its statistics.
@@ -321,12 +325,81 @@ enum SearchVerdict {
     Cancelled,
 }
 
+/// Per-block reuse directive, computed in the serial planning phase so
+/// the parallel waves stay deterministic across thread counts.
+#[derive(Debug, Clone)]
+enum ReusePlan {
+    /// No applicable cached knowledge: search normally.
+    Fresh,
+    /// Near-miss (coarse-fingerprint) hit: warm-start the annealer
+    /// from the cached parameters with a reduced iteration budget.
+    WarmStart {
+        /// Cached ansatz parameters (the annealer's starting point).
+        params: Vec<f64>,
+        /// Ansatz layer count the parameters belong to.
+        layers: usize,
+    },
+    /// Exact-fingerprint hit: replay the cached entry (through the ε
+    /// re-verification gate) instead of annealing.
+    Replay {
+        entry: ReuseEntry,
+        /// CHAOS ONLY: accept the replay without re-verification.
+        skip_verify: bool,
+    },
+    /// Same fingerprint as an earlier block in this run: composed in
+    /// the second wave, after the leader's result is published.
+    Follower,
+}
+
+/// Reuse side-channel threaded through one block's search: annealer
+/// cost, the winning parameters (for publication), and what the replay
+/// / warm-start machinery actually did.
+#[derive(Debug, Clone, Default)]
+struct ReuseTrace {
+    /// Annealer objective evaluations this block spent (mirrors the
+    /// `compose.anneal_evaluations` telemetry counter).
+    evaluations: u64,
+    /// Parameters + layer count of the accepted annealed candidate.
+    winning: Option<(Vec<f64>, usize)>,
+    /// The annealer was actually seeded from a near-miss entry.
+    warm_applied: bool,
+    /// The block was resolved by replaying a cached entry.
+    exact_hit: bool,
+    /// A replay was rejected by re-verification (fell through to a
+    /// fresh search).
+    exact_rejected: bool,
+    /// A replay was accepted *without* re-verification (chaos fault).
+    unverified_replay: bool,
+    /// Evaluations the original composition spent, saved by replay.
+    evals_saved: u64,
+}
+
 fn compose_block_inner(
     block: &Circuit,
     config: &CompositionConfig,
     corrupt: bool,
     cancel: &CancelToken,
     telemetry: &Telemetry,
+) -> CompositionResult {
+    compose_block_planned(
+        block,
+        config,
+        corrupt,
+        cancel,
+        telemetry,
+        &ReusePlan::Fresh,
+        &mut ReuseTrace::default(),
+    )
+}
+
+fn compose_block_planned(
+    block: &Circuit,
+    config: &CompositionConfig,
+    corrupt: bool,
+    cancel: &CancelToken,
+    telemetry: &Telemetry,
+    plan: &ReusePlan,
+    trace: &mut ReuseTrace,
 ) -> CompositionResult {
     let original_pulses = block.total_pulses();
     let fall_back = |reason: FallbackReason| CompositionResult {
@@ -391,6 +464,88 @@ fn compose_block_inner(
         }
     }
 
+    // Exact reuse hit: replay the cached entry instead of annealing.
+    // The replayed candidate goes through the *same* shared-oracle ε
+    // check as a fresh one — a poisoned or stale entry is rejected
+    // here and the block falls through to a normal search.
+    if let ReusePlan::Replay { entry, skip_verify } = plan {
+        match entry.outcome {
+            ReuseOutcome::NotCheaper => {
+                trace.exact_hit = true;
+                trace.evals_saved += entry.evaluations;
+                telemetry.counter_add("reuse.exact_hits", 1);
+                return fall_back(FallbackReason::NotCheaper);
+            }
+            ReuseOutcome::EpsilonRejected => {
+                trace.exact_hit = true;
+                trace.evals_saved += entry.evaluations;
+                telemetry.counter_add("reuse.exact_hits", 1);
+                return fall_back(FallbackReason::EpsilonRejected);
+            }
+            ReuseOutcome::NonConvergent => {
+                trace.exact_hit = true;
+                trace.evals_saved += entry.evaluations;
+                telemetry.counter_add("reuse.exact_hits", 1);
+                return fall_back(FallbackReason::NonConvergence);
+            }
+            ReuseOutcome::Composed => {
+                let ansatz = Ansatz::new(entry.layers);
+                if entry.layers >= 1 && entry.params.len() == ansatz.num_params() {
+                    let mut candidate = ansatz.to_circuit(&entry.params);
+                    if corrupt {
+                        candidate.t(0);
+                    }
+                    if candidate.total_pulses() < original_pulses {
+                        if *skip_verify {
+                            // CHAOS ONLY: trust the entry blindly. The
+                            // geyser-verify reuse invariant trips on the
+                            // nonzero unverified_replays counter.
+                            trace.exact_hit = true;
+                            trace.unverified_replay = true;
+                            trace.evals_saved += entry.evaluations;
+                            telemetry.counter_add("reuse.exact_hits", 1);
+                            telemetry.counter_add("reuse.unverified_replays", 1);
+                            return CompositionResult {
+                                circuit: candidate,
+                                hsd: entry.hsd,
+                                composed: true,
+                                layers: entry.layers,
+                                outcome: BlockOutcome::Composed {
+                                    layers: entry.layers,
+                                    hsd: entry.hsd,
+                                },
+                            };
+                        }
+                        let check = verify_block_candidate(&candidate, &target, config.epsilon);
+                        if check.accepted {
+                            trace.exact_hit = true;
+                            trace.evals_saved += entry.evaluations;
+                            telemetry.counter_add("reuse.exact_hits", 1);
+                            let hsd = check.hsd;
+                            return CompositionResult {
+                                circuit: candidate,
+                                hsd,
+                                composed: true,
+                                layers: entry.layers,
+                                outcome: BlockOutcome::Composed {
+                                    layers: entry.layers,
+                                    hsd,
+                                },
+                            };
+                        }
+                    }
+                }
+                trace.exact_rejected = true;
+                telemetry.counter_add("reuse.exact_hits_rejected", 1);
+                // Fall through to the fresh annealed search below.
+            }
+        }
+    }
+    let warm: Option<(&[f64], usize)> = match plan {
+        ReusePlan::WarmStart { params, layers } => Some((params.as_slice(), *layers)),
+        _ => None,
+    };
+
     // Annealed layer search with reseeded retries: each retry derives a
     // fresh seed and halves the annealing budget (backoff), so a block
     // that refuses to converge costs a bounded, shrinking amount.
@@ -409,6 +564,8 @@ fn compose_block_inner(
             corrupt,
             cancel,
             telemetry,
+            warm,
+            trace,
         ) {
             SearchVerdict::Accepted(result) => return result,
             SearchVerdict::NotCheaper => return fall_back(FallbackReason::NotCheaper),
@@ -430,6 +587,7 @@ fn compose_block_inner(
 
 /// One pass over the layer ladder (Algorithm 2's outer loop) with the
 /// final candidate re-verification.
+#[allow(clippy::too_many_arguments)]
 fn search_all_layers(
     target: &CMatrix,
     config: &CompositionConfig,
@@ -437,6 +595,8 @@ fn search_all_layers(
     corrupt: bool,
     cancel: &CancelToken,
     telemetry: &Telemetry,
+    warm: Option<(&[f64], usize)>,
+    trace: &mut ReuseTrace,
 ) -> SearchVerdict {
     for layers in 1..=config.max_layers {
         let ansatz = Ansatz::new(layers);
@@ -445,8 +605,11 @@ fn search_all_layers(
         if ansatz.min_pulses() >= original_pulses {
             return SearchVerdict::NotCheaper;
         }
-        match search_layer(&ansatz, target, config, layers, cancel, telemetry) {
+        match search_layer(
+            &ansatz, target, config, layers, cancel, telemetry, warm, trace,
+        ) {
             Some((_, params)) => {
+                trace.winning = Some((params.clone(), layers));
                 let mut candidate = ansatz.to_circuit(&params);
                 if corrupt {
                     candidate.t(0);
@@ -496,6 +659,7 @@ fn search_all_layers(
 /// 3. **Multi-start**: Adam from seeded random starts, sweeping the
 ///    categorical combinations — annealing's decode first, then
 ///    all-CCZ, then the rest.
+#[allow(clippy::too_many_arguments)]
 fn search_layer(
     ansatz: &Ansatz,
     target: &CMatrix,
@@ -503,6 +667,8 @@ fn search_layer(
     layers: usize,
     cancel: &CancelToken,
     telemetry: &Telemetry,
+    warm: Option<(&[f64], usize)>,
+    trace: &mut ReuseTrace,
 ) -> Option<(f64, Vec<f64>)> {
     let bounds = Bounds::new(&ansatz.bounds());
     let objective = |params: &[f64]| hilbert_schmidt_distance(&ansatz.unitary(params), target);
@@ -511,14 +677,30 @@ fn search_layer(
         .wrapping_mul(0x9e37_79b9_7f4a_7c15)
         .wrapping_add(layers as u64 * 131);
 
-    // Phase 1: global annealing (bounded by the shared deadline).
-    let da_cfg = DualAnnealingConfig::default()
+    // Phase 1: global annealing (bounded by the shared deadline). A
+    // near-miss reuse hit at this depth seeds the chain from the
+    // cached parameters with a reduced iteration budget: if the cached
+    // optimum is close, the chain converges almost immediately; if
+    // not, the refine/multi-start phases below run as usual.
+    let mut da_cfg = DualAnnealingConfig::default()
         .with_seed(base_seed)
         .with_max_iters(config.anneal_iters)
         .with_target(config.epsilon * 0.5)
         .with_deadline(config.deadline)
         .with_cancel(cancel.clone());
+    if let Some((hint, warm_layers)) = warm {
+        if warm_layers == layers && hint.len() == ansatz.num_params() {
+            if !trace.warm_applied {
+                telemetry.counter_add("reuse.warm_starts", 1);
+            }
+            trace.warm_applied = true;
+            da_cfg = da_cfg
+                .with_x0(hint.to_vec())
+                .with_max_iters((config.anneal_iters / 4).max(16));
+        }
+    }
     let global = dual_annealing(&objective, &bounds, &da_cfg);
+    trace.evaluations += global.evaluations as u64;
     telemetry.counter_add("compose.anneal_evaluations", global.evaluations as u64);
     if global.evaluations > 0 {
         let permille = (global.accepted as u64).saturating_mul(1000) / global.evaluations as u64;
@@ -830,13 +1012,167 @@ pub fn try_compose_blocked_circuit_supervised(
     observer: Option<&dyn BlockObserver>,
     telemetry: &Telemetry,
 ) -> Result<ComposedCircuit, ComposeError> {
+    try_compose_blocked_circuit_reusing(
+        blocked, config, faults, cancel, prior, observer, telemetry, None,
+    )
+}
+
+/// Consults the coarse (near-miss) index for a warm-start plan.
+fn warm_plan(sess: &ReuseSession, coarse: Option<BlockFingerprint>) -> ReusePlan {
+    if !sess.warm_start() {
+        return ReusePlan::Fresh;
+    }
+    match coarse.and_then(|cf| sess.lookup_coarse(cf)) {
+        Some((params, layers)) => ReusePlan::WarmStart {
+            params: params.to_vec(),
+            layers,
+        },
+        None => ReusePlan::Fresh,
+    }
+}
+
+/// Folds one wave's reuse traces into the session (serially, in block
+/// order) and publishes fresh composition outcomes into the index.
+///
+/// Blocks with injected faults never publish: a corrupted candidate's
+/// ε-rejection is an artifact of the fault, not a property of the
+/// fingerprint. Replays never republish (their key is already
+/// indexed), and only final, deterministic outcomes are cached —
+/// cancellation and budget exhaustion are transient, so they stay out.
+fn publish_wave(
+    sess: &mut ReuseSession,
+    wave: &[usize],
+    fps: &[Option<(BlockFingerprint, Option<BlockFingerprint>)>],
+    results: &Mutex<Vec<Option<CompositionResult>>>,
+    traces: &Mutex<Vec<Option<ReuseTrace>>>,
+    faults: &ComposeFaults,
+    telemetry: &Telemetry,
+) {
+    let results = results
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let traces = traces
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for &i in wave {
+        let Some(trace) = traces[i].as_ref() else {
+            continue;
+        };
+        sess.stats.exact_hits += trace.exact_hit as u64;
+        sess.stats.exact_hits_rejected += trace.exact_rejected as u64;
+        sess.stats.warm_starts += trace.warm_applied as u64;
+        sess.stats.evals_saved += trace.evals_saved;
+        sess.stats.unverified_replays += trace.unverified_replay as u64;
+        if trace.evals_saved > 0 {
+            telemetry.counter_add("reuse.evals_saved", trace.evals_saved);
+        }
+        if trace.exact_hit {
+            continue; // replays never republish their own key
+        }
+        let Some((fp, coarse)) = fps[i] else {
+            continue;
+        };
+        if faults.corrupt_blocks.contains(&i) || faults.panic_blocks.contains(&i) {
+            continue;
+        }
+        let Some(res) = results[i].as_ref() else {
+            continue;
+        };
+        let entry = match &res.outcome {
+            BlockOutcome::Composed { layers, hsd } if *layers >= 1 => {
+                trace.winning.as_ref().map(|(params, l)| ReuseEntry {
+                    outcome: ReuseOutcome::Composed,
+                    params: params.clone(),
+                    layers: *l,
+                    hsd: *hsd,
+                    evaluations: trace.evaluations,
+                })
+            }
+            BlockOutcome::FellBack {
+                reason: FallbackReason::NotCheaper,
+            } => Some(ReuseEntry {
+                outcome: ReuseOutcome::NotCheaper,
+                params: Vec::new(),
+                layers: 0,
+                hsd: 0.0,
+                evaluations: trace.evaluations,
+            }),
+            BlockOutcome::FellBack {
+                reason: FallbackReason::EpsilonRejected,
+            } => Some(ReuseEntry {
+                outcome: ReuseOutcome::EpsilonRejected,
+                params: Vec::new(),
+                layers: 0,
+                hsd: 0.0,
+                evaluations: trace.evaluations,
+            }),
+            // The most valuable negative cache of all: a block that
+            // burned the whole budget (including reseeded retries)
+            // without converging will almost surely do it again for
+            // every equal unitary in the job stream. The fallback
+            // pulses are always correct, so the only thing replaying
+            // the failure can cost is the slim chance a different
+            // block-derived seed would have converged.
+            BlockOutcome::FellBack {
+                reason: FallbackReason::NonConvergence,
+            } => Some(ReuseEntry {
+                outcome: ReuseOutcome::NonConvergent,
+                params: Vec::new(),
+                layers: 0,
+                hsd: 0.0,
+                evaluations: trace.evaluations,
+            }),
+            _ => None,
+        };
+        if let Some(entry) = entry {
+            let before = sess.stats.entries_published;
+            sess.publish(fp, coarse, entry);
+            if sess.stats.entries_published > before {
+                telemetry.counter_add("reuse.entries_published", 1);
+            }
+        }
+    }
+}
+
+/// [`try_compose_blocked_circuit_supervised`] with an optional
+/// composition-reuse session.
+///
+/// With `session = Some(..)` the composer runs a serial planning phase
+/// before annealing: every eligible block is fingerprinted
+/// ([`BlockFingerprint`]) and matched against the session index. An
+/// exact hit replays the cached entry (through the ε re-verification
+/// gate) instead of annealing; a near-miss hit warm-starts the
+/// annealer from the cached parameters with a reduced budget; blocks
+/// sharing a fingerprint *within* this run compose once (the lowest
+/// index leads, the rest replay the leader's published result in a
+/// second wave). Planning, publication, and statistics folding are all
+/// serial and in block order, so results stay deterministic across
+/// thread counts for a fixed session content.
+///
+/// Reuse trades the bit-for-bit checkpoint-resume guarantee for saved
+/// annealing work: a resumed run no longer publishes entries for the
+/// restored blocks, so their followers may anneal fresh (and converge
+/// to a different, equally ε-verified candidate). Every replayed
+/// composition passes the same shared-oracle check as a fresh one
+/// unless the session's `reuse-skip-verify` chaos fault is armed.
+#[allow(clippy::too_many_arguments)]
+pub fn try_compose_blocked_circuit_reusing(
+    blocked: &BlockedCircuit,
+    config: &CompositionConfig,
+    faults: &ComposeFaults,
+    cancel: &CancelToken,
+    prior: &[Option<CompositionResult>],
+    observer: Option<&dyn BlockObserver>,
+    telemetry: &Telemetry,
+    mut session: Option<&mut ReuseSession>,
+) -> Result<ComposedCircuit, ComposeError> {
     let source = blocked.source();
     let blocks: Vec<_> = blocked.blocks().collect();
     let num_blocks = blocks.len();
 
-    // Work queue over block indices; results slot per block.
+    // Results and reuse-trace slot per block.
     let results: Mutex<Vec<Option<CompositionResult>>> = Mutex::new(vec![None; num_blocks]);
-    let next = AtomicUsize::new(0);
+    let traces: Mutex<Vec<Option<ReuseTrace>>> = Mutex::new(vec![None; num_blocks]);
     let resumed = AtomicUsize::new(0);
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -844,87 +1180,174 @@ pub fn try_compose_blocked_circuit_supervised(
         config.threads
     };
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(num_blocks.max(1)) {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= num_blocks {
-                    break;
-                }
-                let block = blocks[i];
-                let result = if block.is_triangle() {
-                    let local = block.subcircuit(source);
-                    if let Some(prev) = prior.get(i).and_then(|p| p.as_ref()) {
-                        // Checkpoint resume: restore the recorded result
-                        // without paying for the search again.
-                        resumed.fetch_add(1, Ordering::Relaxed);
-                        telemetry.counter_add("compose.blocks_resumed", 1);
-                        Some(prev.clone())
-                    } else {
-                        let cfg = config.with_seed(config.seed.wrapping_add(i as u64));
-                        let corrupt = faults.corrupt_blocks.contains(&i);
-                        let inject_panic = faults.panic_blocks.contains(&i);
-                        let mut span = telemetry.span("compose", "compose.block");
-                        span.attr("index", i);
-                        // Panic isolation: one block's panic (injected or a
-                        // genuine solver bug) must not take down the pool.
-                        let attempt = catch_unwind(AssertUnwindSafe(|| {
-                            if inject_panic {
-                                panic!("injected composition fault in block {i}");
-                            }
-                            compose_block_inner(&local, &cfg, corrupt, cancel, telemetry)
-                        }));
-                        let res = match attempt {
-                            Ok(res) => res,
-                            Err(payload) => CompositionResult {
-                                circuit: local.clone(),
-                                hsd: 0.0,
-                                composed: false,
-                                layers: 0,
-                                outcome: BlockOutcome::Failed {
-                                    detail: panic_payload_message(payload),
-                                },
-                            },
-                        };
-                        match &res.outcome {
-                            BlockOutcome::Composed { layers, .. } => {
-                                span.attr("outcome", "composed");
-                                span.attr("layers", layers);
-                                telemetry.counter_add("compose.blocks_composed", 1);
-                            }
-                            BlockOutcome::FellBack { reason } => {
-                                span.attr("outcome", reason.label());
-                                telemetry.counter_add("compose.blocks_fell_back", 1);
-                            }
-                            BlockOutcome::Failed { .. } => {
-                                span.attr("outcome", "failed");
-                                telemetry.counter_add("compose.blocks_failed", 1);
-                            }
-                            BlockOutcome::Skipped => {}
-                        }
-                        drop(span);
-                        if let Some(obs) = observer {
-                            obs.block_finished(i, &res);
-                        }
-                        Some(res)
-                    }
-                } else {
-                    None
+    // Serial planning phase: fingerprint eligible blocks and decide
+    // replay / warm-start / follower before any worker starts, so the
+    // waves below are embarrassingly parallel again.
+    let mut plans: Vec<ReusePlan> = vec![ReusePlan::Fresh; num_blocks];
+    let mut fps: Vec<Option<(BlockFingerprint, Option<BlockFingerprint>)>> = vec![None; num_blocks];
+    let mut wave1: Vec<usize> = Vec::with_capacity(num_blocks);
+    let mut wave2: Vec<usize> = Vec::new();
+    if let Some(sess) = session.as_deref_mut() {
+        let mut leaders: std::collections::HashSet<geyser_reuse::ReuseKey> =
+            std::collections::HashSet::new();
+        for (i, block) in blocks.iter().enumerate() {
+            let fresh_triangle =
+                block.is_triangle() && prior.get(i).and_then(|p| p.as_ref()).is_none();
+            if !fresh_triangle {
+                wave1.push(i);
+                continue;
+            }
+            let local = block.subcircuit(source);
+            if local.is_empty() {
+                wave1.push(i);
+                continue;
+            }
+            let target = circuit_unitary(&local);
+            let Some(fp) = BlockFingerprint::of(&target) else {
+                wave1.push(i);
+                continue;
+            };
+            let coarse = BlockFingerprint::coarse(&target);
+            sess.stats.blocks_fingerprinted += 1;
+            telemetry.counter_add("reuse.blocks_fingerprinted", 1);
+            fps[i] = Some((fp, coarse));
+            if let Some(entry) = sess.lookup(fp) {
+                plans[i] = ReusePlan::Replay {
+                    entry: entry.clone(),
+                    skip_verify: sess.skip_verify(),
                 };
-                // Lock holders only assign a Vec slot; recover the data
-                // even if another worker somehow poisoned the mutex.
-                results
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = result;
-            });
+                wave1.push(i);
+            } else if !leaders.insert(sess.key(fp)) {
+                // An earlier block in this run owns the fingerprint:
+                // compose it once, replay here in the second wave.
+                plans[i] = ReusePlan::Follower;
+                wave2.push(i);
+            } else {
+                plans[i] = warm_plan(sess, coarse);
+                wave1.push(i);
+            }
         }
-    })
-    // Worker bodies are wrapped in catch_unwind above, so a scope-level
-    // panic means the pool infrastructure itself failed — surface it as
-    // a typed error rather than unwinding through the pipeline.
-    .map_err(|payload| ComposeError::WorkerPanicked {
-        detail: panic_payload_message(payload),
-    })?;
+    } else {
+        wave1 = (0..num_blocks).collect();
+    }
+
+    // Runs one parallel wave over the given block indices.
+    let run_wave = |wave: &[usize], plans: &[ReusePlan]| -> Result<(), ComposeError> {
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads.min(wave.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let w = next.fetch_add(1, Ordering::Relaxed);
+                    if w >= wave.len() {
+                        break;
+                    }
+                    let i = wave[w];
+                    let block = blocks[i];
+                    let mut trace_slot: Option<ReuseTrace> = None;
+                    let result = if block.is_triangle() {
+                        let local = block.subcircuit(source);
+                        if let Some(prev) = prior.get(i).and_then(|p| p.as_ref()) {
+                            // Checkpoint resume: restore the recorded result
+                            // without paying for the search again.
+                            resumed.fetch_add(1, Ordering::Relaxed);
+                            telemetry.counter_add("compose.blocks_resumed", 1);
+                            Some(prev.clone())
+                        } else {
+                            let cfg = config.with_seed(config.seed.wrapping_add(i as u64));
+                            let corrupt = faults.corrupt_blocks.contains(&i);
+                            let inject_panic = faults.panic_blocks.contains(&i);
+                            let mut span = telemetry.span("compose", "compose.block");
+                            span.attr("index", i);
+                            let mut trace = ReuseTrace::default();
+                            // Panic isolation: one block's panic (injected or a
+                            // genuine solver bug) must not take down the pool.
+                            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                                if inject_panic {
+                                    panic!("injected composition fault in block {i}");
+                                }
+                                compose_block_planned(
+                                    &local, &cfg, corrupt, cancel, telemetry, &plans[i], &mut trace,
+                                )
+                            }));
+                            let res = match attempt {
+                                Ok(res) => res,
+                                Err(payload) => CompositionResult {
+                                    circuit: local.clone(),
+                                    hsd: 0.0,
+                                    composed: false,
+                                    layers: 0,
+                                    outcome: BlockOutcome::Failed {
+                                        detail: panic_payload_message(payload),
+                                    },
+                                },
+                            };
+                            trace_slot = Some(trace);
+                            match &res.outcome {
+                                BlockOutcome::Composed { layers, .. } => {
+                                    span.attr("outcome", "composed");
+                                    span.attr("layers", layers);
+                                    telemetry.counter_add("compose.blocks_composed", 1);
+                                }
+                                BlockOutcome::FellBack { reason } => {
+                                    span.attr("outcome", reason.label());
+                                    telemetry.counter_add("compose.blocks_fell_back", 1);
+                                }
+                                BlockOutcome::Failed { .. } => {
+                                    span.attr("outcome", "failed");
+                                    telemetry.counter_add("compose.blocks_failed", 1);
+                                }
+                                BlockOutcome::Skipped => {}
+                            }
+                            drop(span);
+                            if let Some(obs) = observer {
+                                obs.block_finished(i, &res);
+                            }
+                            Some(res)
+                        }
+                    } else {
+                        None
+                    };
+                    // Lock holders only assign a Vec slot; recover the data
+                    // even if another worker somehow poisoned the mutex.
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = result;
+                    traces
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = trace_slot;
+                });
+            }
+        })
+        // Worker bodies are wrapped in catch_unwind above, so a scope-level
+        // panic means the pool infrastructure itself failed — surface it as
+        // a typed error rather than unwinding through the pipeline.
+        .map_err(|payload| ComposeError::WorkerPanicked {
+            detail: panic_payload_message(payload),
+        })
+    };
+
+    run_wave(&wave1, &plans)?;
+
+    if let Some(sess) = session.as_deref_mut() {
+        // Serial publish of the first wave, then plan the followers:
+        // their leader's entry is indexed now (or the leader failed
+        // transiently and the follower searches fresh).
+        publish_wave(sess, &wave1, &fps, &results, &traces, faults, telemetry);
+        for &i in &wave2 {
+            let Some((fp, coarse)) = fps[i] else {
+                continue;
+            };
+            plans[i] = match sess.lookup(fp) {
+                Some(entry) => ReusePlan::Replay {
+                    entry: entry.clone(),
+                    skip_verify: sess.skip_verify(),
+                },
+                None => warm_plan(sess, coarse),
+            };
+        }
+        run_wave(&wave2, &plans)?;
+        publish_wave(sess, &wave2, &fps, &results, &traces, faults, telemetry);
+    }
 
     // The scope joined every worker above; recover from poisoning the
     // same way as the assignment sites.
@@ -937,6 +1360,7 @@ pub fn try_compose_blocked_circuit_supervised(
     let mut stats = CompositionStats {
         blocks_total: num_blocks,
         blocks_resumed: resumed.load(Ordering::Relaxed),
+        reuse: session.as_ref().map(|s| s.stats),
         ..CompositionStats::default()
     };
     let mut outcomes = Vec::with_capacity(num_blocks);
@@ -1418,6 +1842,216 @@ mod tests {
         let resumed_seen = resumed_recorder.seen.into_inner().unwrap();
         assert!(resumed_seen.iter().all(|(i, _)| i != idx));
         assert_eq!(resumed_seen.len(), full.stats.blocks_eligible - 1);
+    }
+
+    /// A circuit with *repeated* identical triangle blocks: fixed-angle
+    /// QAOA literally repeats one cost-plus-mixer layer, and blocking a
+    /// deep instance yields many blocks with equal unitaries.
+    fn repeated_blocked_fixture(layers: usize) -> (Circuit, BlockedCircuit) {
+        let lat = Lattice::triangular(2, 2);
+        let c = geyser_workloads::qaoa_fixed(4, layers, 5);
+        let blocked = block_circuit(&c, &lat, &BlockingConfig::default());
+        (c, blocked)
+    }
+
+    fn reuse_compose(
+        blocked: &BlockedCircuit,
+        cfg: &CompositionConfig,
+        session: &mut geyser_reuse::ReuseSession,
+    ) -> ComposedCircuit {
+        try_compose_blocked_circuit_reusing(
+            blocked,
+            cfg,
+            &ComposeFaults::none(),
+            &CancelToken::none(),
+            &[],
+            None,
+            &Telemetry::disabled(),
+            Some(session),
+        )
+        .unwrap()
+    }
+
+    fn fast_session() -> geyser_reuse::ReuseSession {
+        let cfg = CompositionConfig::fast();
+        geyser_reuse::ReuseSession::new(
+            0x51,
+            geyser_reuse::reuse_config_hash(
+                cfg.epsilon,
+                cfg.max_layers,
+                cfg.anneal_iters,
+                cfg.restarts,
+                cfg.retry_attempts,
+            ),
+        )
+    }
+
+    #[test]
+    fn reuse_replays_repeated_blocks_within_one_run() {
+        let (c, blocked) = repeated_blocked_fixture(4);
+        let cfg = CompositionConfig::fast().with_seed(5);
+        let mut session = fast_session();
+        let composed = reuse_compose(&blocked, &cfg, &mut session);
+        let stats = composed.stats.reuse.expect("session attached");
+        assert!(stats.blocks_fingerprinted >= 2, "{stats:?}");
+        assert!(
+            stats.exact_hits >= 1,
+            "repeated blocks must replay: {stats:?}"
+        );
+        assert_eq!(stats.unverified_replays, 0);
+        // Replayed compositions are ε-verified: the whole circuit still
+        // matches the source distribution.
+        let p1 = geyser_sim::ideal_distribution(&c);
+        let p2 = geyser_sim::ideal_distribution(&composed.circuit);
+        assert!(geyser_sim::total_variation_distance(&p1, &p2) < 1e-2);
+    }
+
+    #[test]
+    fn reuse_session_is_deterministic_across_thread_counts() {
+        let (_, blocked) = repeated_blocked_fixture(3);
+        let mut cfg1 = CompositionConfig::fast().with_seed(9);
+        cfg1.threads = 1;
+        let mut cfg4 = cfg1;
+        cfg4.threads = 4;
+        let mut s1 = fast_session();
+        let mut s4 = fast_session();
+        let a = reuse_compose(&blocked, &cfg1, &mut s1);
+        let b = reuse_compose(&blocked, &cfg4, &mut s4);
+        assert_eq!(a.circuit.ops(), b.circuit.ops());
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(s1.stats, s4.stats);
+    }
+
+    #[test]
+    fn second_run_against_warm_session_skips_annealing() {
+        let (_, blocked) = repeated_blocked_fixture(3);
+        let cfg = CompositionConfig::fast().with_seed(7);
+        let mut session = fast_session();
+        let first = reuse_compose(&blocked, &cfg, &mut session);
+        let published = session.stats.entries_published;
+        assert!(published >= 1, "first run must publish entries");
+        // Annealer evaluations banked in the published entries. Blocks
+        // the layer-ladder guard rejected before annealing (min_pulses
+        // ≥ original) publish NotCheaper entries with zero
+        // evaluations, so replaying them saves nothing.
+        let replayable_evals: u64 = session
+            .dirty()
+            .iter()
+            .filter_map(|(k, _)| session.get(k))
+            .map(|e| e.evaluations)
+            .sum();
+        let before = session.stats;
+        let second = reuse_compose(&blocked, &cfg, &mut session);
+        let stats = second.stats.reuse.unwrap();
+        // Every published entry replays at least once on the second
+        // run. (Blocks the exact fast paths resolved — layers-0
+        // results — never publish, so the hit count tracks published
+        // entries, not all fingerprints.)
+        assert!(
+            stats.exact_hits - before.exact_hits >= published,
+            "{stats:?}, published = {published}"
+        );
+        assert_eq!(stats.entries_published, published, "no new entries");
+        if replayable_evals > 0 {
+            assert!(stats.evals_saved > before.evals_saved, "{stats:?}");
+        }
+        // Replays reproduce the exact same circuits.
+        assert_eq!(first.circuit.ops(), second.circuit.ops());
+    }
+
+    #[test]
+    fn poisoned_entries_are_rejected_by_reverification() {
+        let (c, blocked) = repeated_blocked_fixture(3);
+        let cfg = CompositionConfig::fast().with_seed(3);
+        let mut session = fast_session();
+        let _ = reuse_compose(&blocked, &cfg, &mut session);
+        // Poison only perturbs Composed entries; without one there is
+        // nothing for the ε gate to catch.
+        let has_composed_entry = session
+            .dirty()
+            .iter()
+            .filter_map(|(k, _)| session.get(k))
+            .any(|e| e.outcome == geyser_reuse::ReuseOutcome::Composed);
+        if !has_composed_entry {
+            return; // nothing composed at this budget; nothing to poison
+        }
+        session.poison_entries();
+        let before = session.stats;
+        let composed = reuse_compose(&blocked, &cfg, &mut session);
+        let stats = composed.stats.reuse.unwrap();
+        // The ε gate caught every poisoned replay of a composed entry,
+        // and the compile stayed clean end to end.
+        assert_eq!(stats.unverified_replays, 0);
+        assert!(
+            stats.exact_hits_rejected > before.exact_hits_rejected,
+            "{stats:?}"
+        );
+        let p1 = geyser_sim::ideal_distribution(&c);
+        let p2 = geyser_sim::ideal_distribution(&composed.circuit);
+        assert!(geyser_sim::total_variation_distance(&p1, &p2) < 1e-2);
+    }
+
+    #[test]
+    fn skip_verify_fault_lets_poison_escape_and_is_counted() {
+        let (_, blocked) = repeated_blocked_fixture(3);
+        let cfg = CompositionConfig::fast().with_seed(3);
+        let mut seed_session = fast_session();
+        let _ = reuse_compose(&blocked, &cfg, &mut seed_session);
+        let has_composed_entry = seed_session
+            .dirty()
+            .iter()
+            .filter_map(|(k, _)| seed_session.get(k))
+            .any(|e| e.outcome == geyser_reuse::ReuseOutcome::Composed);
+        if !has_composed_entry {
+            return; // nothing composed at this budget; nothing to poison
+        }
+        seed_session.poison_entries();
+        let mut session = seed_session.clone().with_skip_verify_fault(true);
+        let composed = reuse_compose(&blocked, &cfg, &mut session);
+        let stats = composed.stats.reuse.unwrap();
+        // The ε gate was bypassed: poisoned candidates escape into the
+        // output and the counter records it — exactly the signal the
+        // geyser-verify reuse invariant trips on downstream.
+        assert!(stats.unverified_replays > 0, "{stats:?}");
+        // The escaped block's unitary really is garbage.
+        let poisoned_survives = blocked
+            .blocks()
+            .zip(&composed.outcomes)
+            .filter(|(b, _)| b.is_triangle())
+            .any(|(_, o)| matches!(o, BlockOutcome::Composed { layers, .. } if *layers >= 1));
+        assert!(poisoned_survives);
+    }
+
+    #[test]
+    fn warm_start_plan_is_applied_from_coarse_index() {
+        let (_, blocked) = repeated_blocked_fixture(3);
+        let cfg = CompositionConfig::fast().with_seed(7);
+        let mut first = fast_session();
+        let _ = reuse_compose(&blocked, &cfg, &mut first);
+        let composed_entries: Vec<_> = first
+            .dirty()
+            .iter()
+            .filter_map(|(k, cf)| first.get(k).map(|e| (*k, *cf, e.clone())))
+            .filter(|(_, _, e)| e.outcome == geyser_reuse::ReuseOutcome::Composed)
+            .collect();
+        if composed_entries.is_empty() {
+            return;
+        }
+        // Rebuild a session holding only the *coarse* knowledge: keep
+        // the coarse index entries but drop the exact keys by loading
+        // them under a perturbed exact fingerprint.
+        let mut session = fast_session().with_warm_start(true);
+        for (key, coarse, entry) in &composed_entries {
+            let mut shifted = *key;
+            shifted.fingerprint = geyser_reuse::BlockFingerprint::Canonical {
+                dim: 8,
+                digest: 0xdead_beef,
+            };
+            session.insert_loaded(shifted, *coarse, entry.clone());
+        }
+        let composed = reuse_compose(&blocked, &cfg, &mut session);
+        let stats = composed.stats.reuse.unwrap();
+        assert!(stats.warm_starts >= 1, "{stats:?}");
     }
 
     #[test]

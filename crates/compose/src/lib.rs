@@ -41,10 +41,11 @@ mod quad;
 pub use ansatz::{Ansatz, Entangler};
 pub use composer::{
     compose_block, compose_blocked_circuit, try_compose_block, try_compose_blocked_circuit,
-    try_compose_blocked_circuit_supervised, try_compose_blocked_circuit_with_faults, BlockObserver,
-    BlockOutcome, ComposeFaults, ComposedCircuit, CompositionConfig, CompositionResult,
-    CompositionStats, FallbackReason,
+    try_compose_blocked_circuit_reusing, try_compose_blocked_circuit_supervised,
+    try_compose_blocked_circuit_with_faults, BlockObserver, BlockOutcome, ComposeFaults,
+    ComposedCircuit, CompositionConfig, CompositionResult, CompositionStats, FallbackReason,
 };
 pub use error::ComposeError;
 pub use geyser_optimize::{CancelToken, Deadline};
+pub use geyser_reuse::{ReuseSession, ReuseStats};
 pub use quad::{try_compose_quad, QuadAnsatz, QuadAttempt, PULSES_CCCZ, QUAD_ENTANGLER_CHOICES};

@@ -1,10 +1,32 @@
 //! End-to-end pipeline configuration.
 
+use std::path::PathBuf;
+
 use geyser_blocking::BlockingConfig;
 use geyser_compose::CompositionConfig;
 use geyser_hardware::HardwareSpec;
 
 use crate::Budget;
+
+/// Composition-reuse options (the `geyser-reuse` subsystem).
+///
+/// When enabled, the compose pass fingerprints every eligible block
+/// and consults a reuse index before annealing: an exact hit replays
+/// the cached composition (after the shared-oracle ε re-check), a
+/// near-miss warm-starts the annealer from cached parameters. A
+/// persistent store directory extends the index across jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReuseOptions {
+    /// Whether the compose pass consults the reuse index at all.
+    pub enabled: bool,
+    /// Directory of the persistent cross-job reuse store (GEYSREC1
+    /// records, one file per entry). `None` keeps the index
+    /// in-process only.
+    pub store: Option<PathBuf>,
+    /// Whether near-miss (coarse-fingerprint) hits warm-start the
+    /// annealer with a reduced iteration budget.
+    pub warm_start: bool,
+}
 
 /// Configuration shared by every compilation technique.
 ///
@@ -27,6 +49,9 @@ pub struct PipelineConfig {
     /// geometry, simultaneous-pulse limits, and the noise model.
     /// Defaults to [`HardwareSpec::paper`].
     pub hardware: HardwareSpec,
+    /// Composition-reuse options; disabled by default so the plain
+    /// pipeline pays nothing for the machinery.
+    pub reuse: ReuseOptions,
 }
 
 impl PipelineConfig {
@@ -38,6 +63,7 @@ impl PipelineConfig {
             seed: 0,
             budget: Budget::unlimited(),
             hardware: HardwareSpec::paper(),
+            reuse: ReuseOptions::default(),
         }
     }
 
@@ -50,6 +76,7 @@ impl PipelineConfig {
             seed: 0,
             budget: Budget::unlimited(),
             hardware: HardwareSpec::paper(),
+            reuse: ReuseOptions::default(),
         }
     }
 
@@ -70,6 +97,31 @@ impl PipelineConfig {
     /// Returns a copy compiling for the given hardware scenario.
     pub fn with_hardware(mut self, hardware: HardwareSpec) -> Self {
         self.hardware = hardware;
+        self
+    }
+
+    /// Returns a copy with the in-process composition-reuse index
+    /// enabled.
+    pub fn with_reuse(mut self) -> Self {
+        self.reuse.enabled = true;
+        self
+    }
+
+    /// Returns a copy with reuse enabled and backed by a persistent
+    /// cross-job store directory.
+    pub fn with_reuse_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.reuse.enabled = true;
+        self.reuse.store = Some(dir.into());
+        self
+    }
+
+    /// Returns a copy with near-miss annealer warm-starts toggled
+    /// (implies reuse when `true`).
+    pub fn with_reuse_warm_start(mut self, on: bool) -> Self {
+        self.reuse.warm_start = on;
+        if on {
+            self.reuse.enabled = true;
+        }
         self
     }
 }
@@ -103,6 +155,20 @@ mod tests {
     fn hardware_defaults_to_the_paper_machine() {
         assert!(PipelineConfig::paper().hardware.is_paper());
         assert!(PipelineConfig::fast().hardware.is_paper());
+    }
+
+    #[test]
+    fn reuse_is_off_by_default_and_builders_enable_it() {
+        assert!(!PipelineConfig::paper().reuse.enabled);
+        assert!(!PipelineConfig::fast().reuse.enabled);
+        let cfg = PipelineConfig::fast().with_reuse();
+        assert!(cfg.reuse.enabled);
+        assert!(cfg.reuse.store.is_none());
+        let cfg = PipelineConfig::fast().with_reuse_store("/tmp/reuse");
+        assert!(cfg.reuse.enabled);
+        assert_eq!(cfg.reuse.store.as_deref(), Some("/tmp/reuse".as_ref()));
+        let cfg = PipelineConfig::fast().with_reuse_warm_start(true);
+        assert!(cfg.reuse.enabled && cfg.reuse.warm_start);
     }
 
     #[test]

@@ -90,6 +90,13 @@ pub enum CompileError {
         /// What the oracle measured.
         detail: String,
     },
+    /// The persistent composition-reuse store could not be read or
+    /// written (I/O failure outside the quarantine path — corrupt
+    /// *entries* are quarantined and never surface here).
+    ReuseStore {
+        /// What the store operation was doing when it failed.
+        detail: String,
+    },
 }
 
 /// Supervision class of a [`CompileError`]: what a retry loop should
@@ -131,7 +138,8 @@ impl CompileError {
             | CompileError::InvariantViolation { .. }
             | CompileError::RegisterMismatch { .. }
             | CompileError::NoTrajectories
-            | CompileError::VerificationFailed { .. } => ErrorClass::Fatal,
+            | CompileError::VerificationFailed { .. }
+            | CompileError::ReuseStore { .. } => ErrorClass::Fatal,
         }
     }
 }
@@ -180,6 +188,9 @@ impl fmt::Display for CompileError {
             CompileError::Sim(e) => write!(f, "simulation failed: {e}"),
             CompileError::VerificationFailed { method, detail } => {
                 write!(f, "equivalence verification ({method}) failed: {detail}")
+            }
+            CompileError::ReuseStore { detail } => {
+                write!(f, "reuse store failed: {detail}")
             }
         }
     }

@@ -62,6 +62,15 @@ pub struct FaultInjector {
     /// next recovery must truncate the tail and re-admit the event's
     /// job exactly once.
     pub torn_journal_tail: bool,
+    /// Perturbs every `Composed` entry in the reuse index after it is
+    /// loaded (a planted stale/poisoned store): the ε re-check must
+    /// reject every poisoned replay, so the compile stays clean.
+    pub reuse_poison: bool,
+    /// Disables the ε re-check on reuse replays — cached compositions
+    /// are trusted blindly. Combined with `reuse-poison` this lets
+    /// garbage escape into the output; the geyser-verify reuse
+    /// invariant (nonzero `unverified_replays`) must trip on it.
+    pub reuse_skip_verify: bool,
     /// Composition-stage faults (corrupted candidates, per-block worker
     /// panics).
     pub compose: ComposeFaults,
@@ -132,6 +141,8 @@ impl FaultInjector {
             && self.kill_mid_journal_append.is_none()
             && !self.kill_mid_compaction
             && !self.torn_journal_tail
+            && !self.reuse_poison
+            && !self.reuse_skip_verify
             && self.compose.is_empty()
             && self.sim.is_empty()
     }
@@ -201,6 +212,12 @@ impl FaultInjector {
         if self.torn_journal_tail {
             tokens.push("torn-journal-tail".to_string());
         }
+        if self.reuse_poison {
+            tokens.push("reuse-poison".to_string());
+        }
+        if self.reuse_skip_verify {
+            tokens.push("reuse-skip-verify".to_string());
+        }
         for b in &self.compose.corrupt_blocks {
             tokens.push(format!("compose-corrupt:{b}"));
         }
@@ -231,6 +248,8 @@ impl FaultInjector {
     /// | `kill-mid-journal-append:<n>` | harness killed mid-append of journal event `n` |
     /// | `kill-mid-compaction` | next store compaction crashed before its commit rename |
     /// | `torn-journal-tail` | final journal frame torn after the run |
+    /// | `reuse-poison` | every loaded Composed reuse entry's params perturbed |
+    /// | `reuse-skip-verify` | reuse replays skip the ε re-check (trusted blindly) |
     /// | `compose-corrupt:<i>` | block `i`'s winning candidate corrupted |
     /// | `compose-panic:<i>` | block `i`'s worker panics |
     /// | `sim-nan:<t>` | trajectory `t` transiently NaN (recovers) |
@@ -280,6 +299,8 @@ impl FaultInjector {
                 "kill-mid-journal-append" => plan.kill_mid_journal_append = Some(index("event")?),
                 "kill-mid-compaction" => plan.kill_mid_compaction = true,
                 "torn-journal-tail" => plan.torn_journal_tail = true,
+                "reuse-poison" => plan.reuse_poison = true,
+                "reuse-skip-verify" => plan.reuse_skip_verify = true,
                 "compose-corrupt" => plan.compose.corrupt_blocks.push(index("block")?),
                 "compose-panic" => plan.compose.panic_blocks.push(index("block")?),
                 "sim-nan" => plan.sim.nan_trajectories.push(index("trajectory")?),
@@ -326,6 +347,10 @@ mod tests {
         assert!(!FaultInjector::parse("torn-journal-tail")
             .unwrap()
             .is_empty());
+        assert!(!FaultInjector::parse("reuse-poison").unwrap().is_empty());
+        assert!(!FaultInjector::parse("reuse-skip-verify")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -335,7 +360,7 @@ mod tests {
              kill-after-block:2, checkpoint-corrupt, compose-timeout, \
              compose-corrupt:1, compose-panic:2, sim-nan:3, sim-nan-persistent:4, \
              miscompile:5, kill-mid-journal-append:6, kill-mid-compaction, \
-             torn-journal-tail",
+             torn-journal-tail, reuse-poison, reuse-skip-verify",
         )
         .unwrap();
         assert_eq!(plan.panic_passes, vec!["map".to_string()]);
@@ -352,6 +377,8 @@ mod tests {
         assert_eq!(plan.kill_mid_journal_append, Some(6));
         assert!(plan.kill_mid_compaction);
         assert!(plan.torn_journal_tail);
+        assert!(plan.reuse_poison);
+        assert!(plan.reuse_skip_verify);
     }
 
     #[test]
@@ -398,7 +425,8 @@ mod tests {
         let spec = "pass-panic:map,pass-panic-once:compose,hang-pass:block,\
                     kill-after-block:2,checkpoint-corrupt,compose-timeout,\
                     miscompile:5,kill-mid-journal-append:6,kill-mid-compaction,\
-                    torn-journal-tail,compose-corrupt:1,compose-panic:2,sim-nan:3,\
+                    torn-journal-tail,reuse-poison,reuse-skip-verify,\
+                    compose-corrupt:1,compose-panic:2,sim-nan:3,\
                     sim-nan-persistent:4";
         let plan = FaultInjector::parse(spec).unwrap();
         assert_eq!(plan.spec(), spec);

@@ -46,7 +46,6 @@ mod fault;
 mod pass;
 pub mod passes;
 mod report;
-pub mod store;
 mod technique;
 mod verify;
 
@@ -59,12 +58,17 @@ pub use evaluate::{
     try_evaluate_tvd_traced, try_evaluate_tvd_with_faults, TvdReport,
 };
 pub use fault::{FaultInjector, FaultSpecError};
-pub use pass::{CompileContext, Pass, PassManager};
-pub use report::{CompileReport, PassReport, SupervisionStats, VerificationStats};
-pub use store::{
+pub use geyser_store::{
     decode_record, encode_record, read_record_file, read_record_file_quarantining,
     write_record_atomic, RecordError, RecordPayload, StoreCorruption, StoreReadError,
 };
+pub use pass::{CompileContext, Pass, PassManager};
+pub use report::{CompileReport, PassReport, SupervisionStats, VerificationStats};
+// The record layer moved to its own crate so non-core consumers (the
+// reuse index, future stores) can share it without depending on the
+// whole pipeline; `geyser::store::*` paths keep working via this
+// re-export.
+pub use geyser_store as store;
 pub use technique::{compile, try_compile, Technique};
 pub use verify::{verification_allowance, verification_stats, verify_compiled};
 

@@ -498,6 +498,7 @@ impl PassManager {
         if let Some(stats) = ctx.composition_stats() {
             report.blocks_fell_back = stats.blocks_fell_back as u64;
             report.blocks_failed = stats.blocks_failed as u64;
+            report.reuse = stats.reuse;
         }
         ctx.into_compiled(report)
     }

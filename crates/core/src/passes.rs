@@ -7,9 +7,10 @@
 //! themselves live in those crates.
 
 use geyser_blocking::try_block_circuit_traced;
-use geyser_compose::try_compose_blocked_circuit_supervised;
+use geyser_compose::{try_compose_blocked_circuit_reusing, try_compose_blocked_circuit_supervised};
 use geyser_map::{optimize_to_fixpoint, try_map_circuit_traced, MappingOptions};
 use geyser_optimize::Deadline;
+use geyser_reuse::{load_reuse_dir, reuse_config_hash, save_reuse_dir, ReuseSession};
 
 use geyser_verify::VerifyConfig;
 
@@ -170,16 +171,67 @@ impl Pass for ComposePass {
         } else if ctx.deadline().is_bounded() {
             cfg = cfg.with_deadline(ctx.deadline());
         }
-        let composed = try_compose_blocked_circuit_supervised(
-            blocked,
-            &cfg,
-            &ctx.faults().compose,
-            ctx.cancel(),
-            &[],
-            None,
-            ctx.telemetry(),
-        )?;
-        ctx.set_composed(composed.circuit, composed.stats);
+        let reuse = ctx.config().reuse.clone();
+        let mut composed = if reuse.enabled {
+            // Build the reuse session keyed to this exact scenario:
+            // entries only replay under the same hardware digest and
+            // the same acceptance-relevant composition knobs.
+            let mut session = ReuseSession::new(
+                ctx.config().hardware.digest(),
+                reuse_config_hash(
+                    cfg.epsilon,
+                    cfg.max_layers,
+                    cfg.anneal_iters,
+                    cfg.restarts,
+                    cfg.retry_attempts,
+                ),
+            )
+            .with_warm_start(reuse.warm_start)
+            .with_skip_verify_fault(ctx.faults().reuse_skip_verify);
+            if let Some(dir) = &reuse.store {
+                load_reuse_dir(dir, &mut session, ctx.telemetry()).map_err(|e| {
+                    CompileError::ReuseStore {
+                        detail: format!("loading {}: {e}", dir.display()),
+                    }
+                })?;
+            }
+            if ctx.faults().reuse_poison {
+                session.poison_entries();
+            }
+            let composed = try_compose_blocked_circuit_reusing(
+                blocked,
+                &cfg,
+                &ctx.faults().compose,
+                ctx.cancel(),
+                &[],
+                None,
+                ctx.telemetry(),
+                Some(&mut session),
+            )?;
+            if let Some(dir) = &reuse.store {
+                save_reuse_dir(dir, &mut session).map_err(|e| CompileError::ReuseStore {
+                    detail: format!("saving {}: {e}", dir.display()),
+                })?;
+            }
+            (composed, Some(session.stats))
+        } else {
+            let composed = try_compose_blocked_circuit_supervised(
+                blocked,
+                &cfg,
+                &ctx.faults().compose,
+                ctx.cancel(),
+                &[],
+                None,
+                ctx.telemetry(),
+            )?;
+            (composed, None)
+        };
+        // Fold the final session stats (including store save counts)
+        // back into the stats the report reads.
+        if let Some(stats) = composed.1 {
+            composed.0.stats.reuse = Some(stats);
+        }
+        ctx.set_composed(composed.0.circuit, composed.0.stats);
         // A token that fired mid-composition left the remaining blocks
         // uncomposed; surface the typed terminal state instead of
         // finalizing a silently degraded circuit.

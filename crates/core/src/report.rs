@@ -1,5 +1,6 @@
 //! Per-run instrumentation: what each pass did and what it cost.
 
+use geyser_reuse::ReuseStats;
 use serde::{Deserialize, Serialize};
 
 /// Measurements for one pass execution.
@@ -133,7 +134,7 @@ pub struct VerificationStats {
 /// The full instrumentation record of one [`crate::PassManager`] run.
 ///
 /// Serializable to JSON for the evaluation binaries (`--report PATH`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CompileReport {
     /// Label of the technique the pass list implements.
     pub technique: String,
@@ -162,6 +163,41 @@ pub struct CompileReport {
     /// Equivalence-oracle verdict for the compiled circuit; `None`
     /// when verification was not requested.
     pub verification: Option<VerificationStats>,
+    /// Composition-reuse accounting (fingerprints, replays,
+    /// warm-starts, store traffic); `None` when reuse was disabled.
+    pub reuse: Option<ReuseStats>,
+}
+
+// Hand-written so reports filed before the reuse subsystem existed
+// still load (the derive rejects missing fields): an absent `reuse`
+// key deserializes to `None`.
+impl serde::Deserialize for CompileReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn or_default<T: serde::Deserialize + Default>(
+            value: &serde::Value,
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            match value.get_field(name) {
+                Ok(v) => serde::Deserialize::from_value(v),
+                Err(_) => Ok(T::default()),
+            }
+        }
+        Ok(CompileReport {
+            technique: serde::Deserialize::from_value(value.get_field("technique")?)?,
+            hardware_digest: serde::Deserialize::from_value(value.get_field("hardware_digest")?)?,
+            passes: serde::Deserialize::from_value(value.get_field("passes")?)?,
+            budget_exhausted: serde::Deserialize::from_value(value.get_field("budget_exhausted")?)?,
+            budget_remaining_ms: serde::Deserialize::from_value(
+                value.get_field("budget_remaining_ms")?,
+            )?,
+            skipped_passes: serde::Deserialize::from_value(value.get_field("skipped_passes")?)?,
+            blocks_fell_back: serde::Deserialize::from_value(value.get_field("blocks_fell_back")?)?,
+            blocks_failed: serde::Deserialize::from_value(value.get_field("blocks_failed")?)?,
+            supervision: serde::Deserialize::from_value(value.get_field("supervision")?)?,
+            verification: serde::Deserialize::from_value(value.get_field("verification")?)?,
+            reuse: or_default(value, "reuse")?,
+        })
+    }
 }
 
 impl CompileReport {
@@ -178,6 +214,7 @@ impl CompileReport {
             blocks_failed: 0,
             supervision: None,
             verification: None,
+            reuse: None,
         }
     }
 
@@ -220,6 +257,7 @@ mod tests {
             blocks_failed: 0,
             supervision: None,
             verification: None,
+            reuse: None,
             passes: vec![
                 PassReport {
                     name: "map".into(),
@@ -339,6 +377,46 @@ mod tests {
         assert_eq!(s.tenant, "acme");
         assert!(s.degraded);
         assert!(!s.deduped);
+    }
+
+    #[test]
+    fn reuse_stats_roundtrip() {
+        let mut r = sample();
+        r.reuse = Some(ReuseStats {
+            blocks_fingerprinted: 12,
+            exact_hits: 8,
+            exact_hits_rejected: 1,
+            warm_starts: 2,
+            evals_saved: 40_000,
+            entries_published: 3,
+            store_entries_loaded: 5,
+            store_entries_stale: 1,
+            store_entries_saved: 3,
+            unverified_replays: 0,
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"reuse\""));
+        assert!(json.contains("\"evals_saved\""));
+        let back: CompileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let s = back.reuse.unwrap();
+        assert_eq!(s.exact_hits, 8);
+        assert_eq!(s.unverified_replays, 0);
+    }
+
+    #[test]
+    fn pre_reuse_reports_still_deserialize() {
+        // Reports filed before the reuse subsystem existed lack the
+        // `reuse` key entirely; the parse must default it to `None`.
+        let json = sample().to_json();
+        let key = json.find("\"reuse\"").expect("sample serializes reuse");
+        let comma = json[..key].rfind(',').expect("reuse is not first");
+        let end = key + json[key..].find("null").expect("reuse is null") + "null".len();
+        let legacy = format!("{}{}", &json[..comma], &json[end..]);
+        assert!(!legacy.contains("\"reuse\""));
+        let back: CompileReport = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.reuse, None);
+        assert_eq!(back, sample());
     }
 
     #[test]

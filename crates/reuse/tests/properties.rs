@@ -1,0 +1,112 @@
+//! Property-based tests for block fingerprints.
+//!
+//! Runs each property over a fixed set of seeds (proptest is not
+//! available offline); failures reproduce exactly by seed.
+
+use geyser_num::{CMatrix, Complex, ZyzDecomposition};
+use geyser_reuse::BlockFingerprint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CASES: u64 = 64;
+
+fn rng_for(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(0x7f4a_7c15))
+}
+
+/// A random single-qubit unitary via ZYZ angles plus global phase.
+fn unitary2(rng: &mut StdRng) -> CMatrix {
+    ZyzDecomposition {
+        alpha: rng.gen_range(0.0..std::f64::consts::TAU),
+        theta: rng.gen_range(0.0..std::f64::consts::PI),
+        phi: rng.gen_range(0.0..std::f64::consts::TAU),
+        lambda: rng.gen_range(0.0..std::f64::consts::TAU),
+    }
+    .to_matrix()
+}
+
+/// The entangling core `CPhase(θ) = diag(1, 1, 1, e^{iθ})`.
+fn cphase(theta: f64) -> CMatrix {
+    CMatrix::from_diagonal(&[
+        Complex::ONE,
+        Complex::ONE,
+        Complex::ONE,
+        Complex::cis(theta),
+    ])
+}
+
+/// `core` dressed with fresh random single-qubit unitaries on both
+/// sides: `(A ⊗ B) · core · (C ⊗ D)`.
+fn dressed(core: &CMatrix, rng: &mut StdRng) -> CMatrix {
+    let pre = unitary2(rng).kron(&unitary2(rng));
+    let post = unitary2(rng).kron(&unitary2(rng));
+    pre.matmul(core).matmul(&post)
+}
+
+/// Two 4×4 unitaries that differ only by single-qubit dressings are
+/// locally equivalent, so they must share a fingerprint — that is the
+/// equivalence class KAK resynthesis collapses, and exactly what the
+/// reuse index keys on.
+#[test]
+fn locally_equivalent_two_qubit_blocks_fingerprint_equal() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed);
+        let theta = rng.gen_range(0.1..std::f64::consts::PI);
+        let core = cphase(theta);
+        let u = dressed(&core, &mut rng);
+        let v = dressed(&core, &mut rng);
+
+        let fu = BlockFingerprint::of(&u).expect("unitary fingerprints");
+        let fv = BlockFingerprint::of(&v).expect("unitary fingerprints");
+        assert!(
+            matches!(fu, BlockFingerprint::TwoQubit { .. }),
+            "seed {seed}: 4x4 input must take the Makhlin path, got {fu:?}"
+        );
+        assert_eq!(
+            fu, fv,
+            "seed {seed}: local dressings changed the fingerprint"
+        );
+    }
+}
+
+/// Cores an ε-sized rotation apart are *not* locally equivalent, so
+/// their fingerprints must differ no matter how they are dressed — a
+/// collision here would hand a replay candidate to the wrong block
+/// (the ε re-verification gate would still catch it, but only by
+/// wasting the replay).
+#[test]
+fn epsilon_distinct_cores_fingerprint_differently() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed ^ 0x00dd_ba11);
+        let theta = rng.gen_range(0.1..std::f64::consts::PI - 0.1);
+        // 0.01 rad is an order of magnitude above the composer's ε
+        // and four above the fingerprint bucket width.
+        let u = dressed(&cphase(theta), &mut rng);
+        let v = dressed(&cphase(theta + 0.01), &mut rng);
+
+        let fu = BlockFingerprint::of(&u).expect("unitary fingerprints");
+        let fv = BlockFingerprint::of(&v).expect("unitary fingerprints");
+        assert_ne!(
+            fu, fv,
+            "seed {seed}: ε-distinct cores collided at θ={theta}"
+        );
+    }
+}
+
+/// The coarse (warm-start) fingerprint still separates ε-distinct
+/// cores: its buckets are 16× wider, which is still three orders of
+/// magnitude tighter than a 0.01 rad core shift.
+#[test]
+fn coarse_fingerprint_still_separates_epsilon_distinct_cores() {
+    for seed in 0..CASES {
+        let mut rng = rng_for(seed ^ 0xc0a5_e000);
+        let theta = rng.gen_range(0.1..std::f64::consts::PI - 0.1);
+        let u = dressed(&cphase(theta), &mut rng);
+        let v = dressed(&cphase(theta + 0.01), &mut rng);
+        assert_ne!(
+            BlockFingerprint::coarse(&u).expect("unitary fingerprints"),
+            BlockFingerprint::coarse(&v).expect("unitary fingerprints"),
+            "seed {seed}"
+        );
+    }
+}

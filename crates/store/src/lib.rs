@@ -1,6 +1,7 @@
 //! Crash-tolerant on-disk record framing shared by every persistent
-//! store (the bench compile cache and the supervisor's composition
-//! checkpoints).
+//! store (the bench compile cache, the supervisor's composition
+//! checkpoints and job journal, and the cross-job composition reuse
+//! store).
 //!
 //! Atomic temp-file + rename writes protect against a crash *between*
 //! writes, but say nothing about a file that was torn by a mid-write
@@ -26,6 +27,9 @@
 //! decode as [`RecordPayload::Legacy`]; callers parse them as before
 //! so an upgrade never invalidates a healthy store, and the next
 //! write rewrites the file framed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -53,6 +57,7 @@ pub fn store_corrupt_kind_counter(label: &str) -> &'static str {
         "cache" => "store_corrupt_total.cache",
         "checkpoint" => "store_corrupt_total.checkpoint",
         "journal" => "store_corrupt_total.journal",
+        "reuse" => "store_corrupt_total.reuse",
         _ => "store_corrupt_total.other",
     }
 }

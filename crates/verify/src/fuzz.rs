@@ -33,6 +33,13 @@ pub struct FuzzOptions {
     /// Off by default: circuit generation is unchanged either way —
     /// the spec is drawn from the case RNG *after* the circuit.
     pub mutate_hardware: bool,
+    /// Replace the fully-random generator with a repeated-layer
+    /// structured one (QAOA-like: a random interaction graph's phase
+    /// layer plus a mixer layer, repeated verbatim 2–5 times), so
+    /// fuzz cases exercise the composition-reuse path — repeated
+    /// layers are exactly what the reuse index deduplicates.
+    /// Benchmark-mutation cases are unchanged.
+    pub structured: bool,
 }
 
 impl Default for FuzzOptions {
@@ -43,6 +50,7 @@ impl Default for FuzzOptions {
             max_qubits: 5,
             max_ops: 24,
             mutate_hardware: false,
+            structured: false,
         }
     }
 }
@@ -91,10 +99,15 @@ pub fn generate_case(opts: &FuzzOptions, index: usize) -> FuzzCase {
         .into_iter()
         .filter(|w| w.num_qubits <= opts.max_qubits)
         .collect();
-    // Even cases explore the raw gate grammar; odd cases stay close to
-    // realistic structure by perturbing a paper benchmark.
+    // Even cases explore the raw gate grammar (or, with `structured`,
+    // repeated-layer circuits); odd cases stay close to realistic
+    // structure by perturbing a paper benchmark.
     let (origin, circuit) = if index.is_multiple_of(2) || bases.is_empty() {
-        ("random".to_string(), random_circuit(&mut rng, opts))
+        if opts.structured {
+            ("structured".to_string(), structured_circuit(&mut rng, opts))
+        } else {
+            ("random".to_string(), random_circuit(&mut rng, opts))
+        }
     } else {
         let base = &bases[index / 2 % bases.len()];
         (base.name.to_string(), mutate(&base.build(), &mut rng, opts))
@@ -143,6 +156,42 @@ fn mutated_spec(rng: &mut StdRng, opts: &FuzzOptions, index: usize) -> HardwareS
     spec.atom_loss = rng.gen_range(0.0..0.005);
     spec.max_parallel_blocks = rng.gen_range(0..5usize);
     spec
+}
+
+/// A QAOA-like repeated-layer circuit: one phase layer over a random
+/// interaction graph (ring plus optional chords) and one mixer layer,
+/// with a single `(γ, β)` angle pair, repeated verbatim 2–5 times
+/// after a Hadamard wall. The literal repetition makes consecutive
+/// layers fingerprint-identical, which is the composition-reuse
+/// index's best case — and its required fuzz coverage.
+fn structured_circuit(rng: &mut StdRng, opts: &FuzzOptions) -> Circuit {
+    let n = rng.gen_range(3..opts.max_qubits.max(3) + 1);
+    let layers = rng.gen_range(2..6usize);
+    let gamma = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    let beta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    // Ring backbone plus up to n/2 random chords, deduplicated.
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|q| (q, (q + 1) % n)).collect();
+    for _ in 0..n / 2 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        let (a, b) = (a.min(b), a.max(b));
+        if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+            edges.push((a, b));
+        }
+    }
+    let mut circuit = Circuit::new(n);
+    for q in 0..n {
+        circuit.push(Operation::new(Gate::H, vec![q]));
+    }
+    for _ in 0..layers {
+        for &(a, b) in &edges {
+            circuit.push(Operation::new(Gate::CPhase(gamma), vec![a, b]));
+        }
+        for q in 0..n {
+            circuit.push(Operation::new(Gate::RX(beta), vec![q]));
+        }
+    }
+    circuit
 }
 
 fn random_circuit(rng: &mut StdRng, opts: &FuzzOptions) -> Circuit {
@@ -448,6 +497,58 @@ mod tests {
                 case.id
             );
         }
+    }
+
+    #[test]
+    fn structured_cases_repeat_layers_verbatim() {
+        let opts = FuzzOptions {
+            seed: 21,
+            cases: 12,
+            structured: true,
+            ..FuzzOptions::default()
+        };
+        let cases = generate_cases(&opts);
+        let structured: Vec<_> = cases.iter().filter(|c| c.origin == "structured").collect();
+        assert!(!structured.is_empty(), "even cases must be structured");
+        for case in &structured {
+            // A single (γ, β) pair across every layer: at most one
+            // distinct CPhase angle and one distinct RX angle.
+            let mut gammas = Vec::new();
+            let mut betas = Vec::new();
+            for op in case.circuit.ops() {
+                match op.gate() {
+                    Gate::CPhase(g) if !gammas.contains(g) => gammas.push(*g),
+                    Gate::RX(b) if !betas.contains(b) => betas.push(*b),
+                    _ => {}
+                }
+            }
+            assert_eq!(gammas.len(), 1, "{}", case.id);
+            assert_eq!(betas.len(), 1, "{}", case.id);
+            // The layer body (everything after the Hadamard wall)
+            // repeats verbatim: the op list is the wall plus an exact
+            // multiple of one layer's ops.
+            let n = case.circuit.num_qubits();
+            let body = &case.circuit.ops()[n..];
+            let edges = body.iter().take_while(|op| op.qubits().len() == 2).count();
+            let layer = edges + n;
+            assert!(layer > 0 && body.len() % layer == 0, "{}", case.id);
+            let layers = body.len() / layer;
+            assert!(layers >= 2, "{}", case.id);
+            for rep in 1..layers {
+                assert_eq!(
+                    &body[..layer],
+                    &body[rep * layer..(rep + 1) * layer],
+                    "{}",
+                    case.id
+                );
+            }
+        }
+        // Determinism and odd-case behavior are unchanged.
+        let again = generate_cases(&opts);
+        for (x, y) in cases.iter().zip(&again) {
+            assert_eq!(x.circuit.ops(), y.circuit.ops());
+        }
+        assert!(cases.iter().any(|c| c.origin != "structured"));
     }
 
     #[test]

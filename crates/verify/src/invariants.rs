@@ -55,6 +55,15 @@
 //!     (or killed) compactions, the shared cache's generation header
 //!     parses, no entry is torn across generations, and no stale
 //!     compaction lock outlives its holder.
+//!
+//! Campaigns that compile with the composition-reuse index enabled
+//! hold the reuse layer to one more, checked by [`check_reuse`]:
+//!
+//! 13. [`ChaosInvariant::ReuseVerified`] — every replayed (reused)
+//!     composition went back through the ε re-verification gate, and
+//!     any compile that replayed cached compositions still passes the
+//!     equivalence oracle. A stale or poisoned store entry may cost a
+//!     recomposition, never correctness.
 
 use serde::{Deserialize, Serialize};
 
@@ -96,6 +105,10 @@ pub enum ChaosInvariant {
     /// The shared cache's generation state stayed coherent through
     /// concurrent and killed compactions.
     CacheGenerationCoherent,
+    /// Every reused composition passed back through the ε
+    /// re-verification gate, and reuse-assisted compiles still pass
+    /// the equivalence oracle.
+    ReuseVerified,
 }
 
 impl ChaosInvariant {
@@ -115,6 +128,7 @@ impl ChaosInvariant {
             ChaosInvariant::NoAckedJobLost => "no-acked-job-lost",
             ChaosInvariant::RecoveryExactlyOnce => "recovery-exactly-once",
             ChaosInvariant::CacheGenerationCoherent => "cache-generation-coherent",
+            ChaosInvariant::ReuseVerified => "reuse-verified",
         }
     }
 }
@@ -508,6 +522,60 @@ pub fn check_cache_generation(obs: &CacheGenerationObservation) -> Vec<Invariant
     violations
 }
 
+/// What one reuse-enabled compile looked like after it drained — a
+/// plain-data mirror of the pipeline's `ReuseStats` plus the oracle's
+/// verdict on the finished circuit (this crate sits below the reuse
+/// crate in the dependency graph, so the harness copies the counters
+/// over).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ReuseObservation {
+    /// Blocks whose fingerprints were consulted against the index.
+    pub blocks_fingerprinted: u64,
+    /// Exact-fingerprint hits that replayed a cached composition.
+    pub exact_hits: u64,
+    /// Replayed compositions that skipped the ε re-verification gate.
+    /// The gate is unconditional in a healthy runtime, so anything
+    /// non-zero is an invariant violation by construction.
+    pub unverified_replays: u64,
+    /// Oracle verdict on the finished circuit; `None` when the
+    /// harness never verified it.
+    pub verified_equivalent: Option<bool>,
+}
+
+/// Checks the reuse invariant (13) over one reuse-enabled compile.
+pub fn check_reuse(obs: &ReuseObservation) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    if obs.unverified_replays > 0 {
+        violations.push(InvariantViolation::new(
+            ChaosInvariant::ReuseVerified,
+            format!(
+                "{} replayed composition(s) skipped the ε re-verification gate",
+                obs.unverified_replays
+            ),
+        ));
+    }
+    if obs.exact_hits > 0 {
+        match obs.verified_equivalent {
+            Some(true) => {}
+            Some(false) => violations.push(InvariantViolation::new(
+                ChaosInvariant::ReuseVerified,
+                format!(
+                    "a compile that replayed {} cached composition(s) failed the equivalence oracle",
+                    obs.exact_hits
+                ),
+            )),
+            None => violations.push(InvariantViolation::new(
+                ChaosInvariant::ReuseVerified,
+                format!(
+                    "a compile that replayed {} cached composition(s) was never verified",
+                    obs.exact_hits
+                ),
+            )),
+        }
+    }
+    violations
+}
+
 /// Checks the store invariant (5) over a post-campaign scan of the
 /// store directory.
 pub fn check_store_scan(files: &[StoreFileObservation]) -> Vec<InvariantViolation> {
@@ -807,6 +875,57 @@ mod tests {
             ChaosInvariant::CacheGenerationCoherent.label(),
             "cache-generation-coherent"
         );
+    }
+
+    #[test]
+    fn clean_reuse_compile_has_no_violations() {
+        let obs = ReuseObservation {
+            blocks_fingerprinted: 90,
+            exact_hits: 72,
+            unverified_replays: 0,
+            verified_equivalent: Some(true),
+        };
+        assert!(check_reuse(&obs).is_empty());
+        // No hits at all needs no oracle verdict either.
+        let cold = ReuseObservation {
+            blocks_fingerprinted: 90,
+            exact_hits: 0,
+            unverified_replays: 0,
+            verified_equivalent: None,
+        };
+        assert!(check_reuse(&cold).is_empty());
+    }
+
+    #[test]
+    fn unverified_or_inequivalent_reuse_is_flagged() {
+        let skipped = ReuseObservation {
+            blocks_fingerprinted: 10,
+            exact_hits: 3,
+            unverified_replays: 3,
+            verified_equivalent: Some(true),
+        };
+        let v = check_reuse(&skipped);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].invariant, "reuse-verified");
+
+        let miscompiled = ReuseObservation {
+            blocks_fingerprinted: 10,
+            exact_hits: 3,
+            unverified_replays: 3,
+            verified_equivalent: Some(false),
+        };
+        assert_eq!(check_reuse(&miscompiled).len(), 2);
+
+        let unchecked = ReuseObservation {
+            blocks_fingerprinted: 10,
+            exact_hits: 1,
+            unverified_replays: 0,
+            verified_equivalent: None,
+        };
+        let v = check_reuse(&unchecked);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("never verified"));
+        assert_eq!(ChaosInvariant::ReuseVerified.label(), "reuse-verified");
     }
 
     #[test]

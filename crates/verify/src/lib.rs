@@ -28,10 +28,10 @@ pub mod quarantine;
 
 pub use fuzz::{derive_seed, generate_case, generate_cases, FuzzCase, FuzzOptions};
 pub use invariants::{
-    check_cache_generation, check_campaign_jobs, check_recovery, check_serve_campaign,
+    check_cache_generation, check_campaign_jobs, check_recovery, check_reuse, check_serve_campaign,
     check_store_scan, CacheGenerationObservation, ChaosInvariant, InvariantViolation,
-    JobObservation, RecoveryJobObservation, ServeJobObservation, StoreFileObservation,
-    StoreFileStatus, TenantLatencyObservation, STARVATION_P99_FACTOR,
+    JobObservation, RecoveryJobObservation, ReuseObservation, ServeJobObservation,
+    StoreFileObservation, StoreFileStatus, TenantLatencyObservation, STARVATION_P99_FACTOR,
 };
 pub use minimize::{minimize, MinimizeStats};
 pub use oracle::{

@@ -68,6 +68,11 @@ pub struct QuarantineEntry {
     /// `None` (and for entries filed before hardware fuzzing existed)
     /// means the paper machine.
     pub hardware: Option<HardwareSpec>,
+    /// Whether the composition-reuse index was enabled when the
+    /// failure was found, so replay takes the same compose path
+    /// (replays and warm-starts included). Entries filed before reuse
+    /// existed load as `false`.
+    pub reuse: bool,
 }
 
 // Hand-written so corpora filed before the cost-metadata and
@@ -99,6 +104,7 @@ impl Deserialize for QuarantineEntry {
             compile_ms: optional(value, "compile_ms")?,
             anneal_evaluations: optional(value, "anneal_evaluations")?,
             hardware: optional(value, "hardware")?,
+            reuse: optional(value, "reuse")?.unwrap_or(false),
         })
     }
 }
@@ -191,6 +197,7 @@ mod tests {
             compile_ms: Some(12),
             anneal_evaluations: Some(4800),
             hardware: Some(HardwareSpec::near_term()),
+            reuse: true,
         };
         entry.set_circuit(&circuit);
         entry
@@ -288,6 +295,28 @@ mod tests {
             "replay must see the exact machine the failure was found on"
         );
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entries_without_reuse_flag_still_load() {
+        // Corpora filed before the reuse index existed carry no
+        // `reuse` key; they must load with reuse off.
+        struct Raw(Value);
+        impl serde::Serialize for Raw {
+            fn to_value(&self) -> Value {
+                self.0.clone()
+            }
+        }
+        let entry = sample("q-prereuse");
+        let Value::Map(fields) = serde::Serialize::to_value(&entry) else {
+            panic!("entries serialize as maps");
+        };
+        let pruned: Vec<(String, Value)> =
+            fields.into_iter().filter(|(k, _)| k != "reuse").collect();
+        let body = serde_json::to_string(&Raw(Value::Map(pruned))).unwrap();
+        let loaded: QuarantineEntry = serde_json::from_str(&body).unwrap();
+        assert!(!loaded.reuse);
+        assert_eq!(loaded.seed, entry.seed);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use advantage::advantage;
 pub use extensions::{bernstein_vazirani, ghz, grover, w_state};
 pub use heisenberg::heisenberg;
 pub use multiplier::{multiplier, multiplier_with_inputs};
-pub use qaoa::qaoa;
+pub use qaoa::{qaoa, qaoa_fixed};
 pub use qft::{inverse_qft, qft, qft_readout, qft_with_input};
 pub use suite::{suite, WorkloadSpec};
 pub use vqe::vqe;

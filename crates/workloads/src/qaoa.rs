@@ -62,6 +62,61 @@ pub fn qaoa(n: usize, p: usize, seed: u64) -> Circuit {
     c
 }
 
+/// Fixed-angle variant of [`qaoa`]: every layer applies the *same*
+/// `(γ, β)` pair, so the circuit is a literal `p`-fold repetition of
+/// one cost-plus-mixer layer.
+///
+/// This is the canonical structured workload for composition reuse:
+/// blocking a deep fixed-angle instance yields many blocks with equal
+/// unitaries (one per repeated layer and triangle), exactly the
+/// repetition the reuse index exploits. Real QAOA schedules from
+/// transfer-learned or concentration-of-parameters settings share this
+/// shape.
+///
+/// The graph (ring + random chords) and the angle pair are drawn from
+/// `seed`, so the circuit stays deterministic for a fixed
+/// `(n, p, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p == 0`.
+pub fn qaoa_fixed(n: usize, p: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "QAOA needs at least two qubits");
+    assert!(p > 0, "QAOA needs at least one layer");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Ring + random chords (same ensemble as `qaoa`).
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    if n == 2 {
+        edges.truncate(1);
+    }
+    for a in 0..n {
+        for b in (a + 2)..n {
+            if (a, b) != (0, n - 1) && rng.gen::<f64>() < 0.5 {
+                edges.push((a, b));
+            }
+        }
+    }
+    let gamma: f64 = rng.gen::<f64>() * std::f64::consts::PI;
+    let beta: f64 = rng.gen::<f64>() * std::f64::consts::FRAC_PI_2;
+
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _layer in 0..p {
+        for &(a, b) in &edges {
+            c.cx(a, b);
+            c.rz(2.0 * gamma, b);
+            c.cx(a, b);
+        }
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
